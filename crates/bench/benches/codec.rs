@@ -1,0 +1,119 @@
+//! Wire-codec microbenchmarks: OpenFlow 1.3 message encode/decode and
+//! SNMP BER encode/decode — the per-operation control-plane costs behind
+//! E3a and E6.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+use bytes::Bytes;
+use mgmt::pdu::{Pdu, PduType, SnmpMessage, Value};
+use mgmt::{mibs, Oid};
+use openflow::message::{FlowMod, Message};
+use openflow::{Action, Match};
+
+fn sample_flow_mod() -> Message {
+    Message::FlowMod(
+        FlowMod::add(0)
+            .priority(100)
+            .match_(
+                Match::new()
+                    .in_port(3)
+                    .eth_type(0x0800)
+                    .ip_proto(6)
+                    .ipv4_dst("10.0.0.9".parse().unwrap())
+                    .tcp_dst(80),
+            )
+            .apply(vec![Action::set_vlan_vid(101), Action::output(7)])
+            .timeouts(30, 300)
+            .cookie(0xdead_beef),
+    )
+}
+
+fn sample_packet_in() -> Message {
+    Message::PacketIn {
+        buffer_id: openflow::NO_BUFFER,
+        total_len: 128,
+        reason: openflow::message::PacketInReason::NoMatch,
+        table_id: 0,
+        cookie: 0,
+        match_: Match::new().in_port(5),
+        data: Bytes::from(vec![0xa5u8; 128]),
+    }
+}
+
+fn bench_openflow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("openflow_codec");
+    g.throughput(Throughput::Elements(1));
+    let fm = sample_flow_mod();
+    g.bench_function("flow_mod_encode", |b| {
+        b.iter(|| std::hint::black_box(fm.encode(42)))
+    });
+    let wire = fm.encode(42);
+    g.bench_function("flow_mod_decode", |b| {
+        b.iter(|| std::hint::black_box(Message::decode(&wire).unwrap()))
+    });
+    let pi = sample_packet_in();
+    g.bench_function("packet_in_encode", |b| {
+        b.iter(|| std::hint::black_box(pi.encode(43)))
+    });
+    let wire = pi.encode(43);
+    g.bench_function("packet_in_decode", |b| {
+        b.iter(|| std::hint::black_box(Message::decode(&wire).unwrap()))
+    });
+    g.finish();
+}
+
+fn sample_snmp_set() -> SnmpMessage {
+    SnmpMessage::new(
+        "public",
+        Pdu::request(
+            PduType::Set,
+            1,
+            vec![
+                (
+                    mibs::vlan_static_egress_ports(101),
+                    Value::OctetString(mibs::encode_portlist(&[1, 49], 49)),
+                ),
+                (
+                    mibs::vlan_static_untagged_ports(101),
+                    Value::OctetString(mibs::encode_portlist(&[1], 49)),
+                ),
+                (mibs::vlan_static_row_status(101), Value::Integer(4)),
+            ],
+        ),
+    )
+}
+
+fn bench_snmp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snmp_codec");
+    g.throughput(Throughput::Elements(1));
+    let msg = sample_snmp_set();
+    g.bench_function("set_encode", |b| b.iter(|| std::hint::black_box(msg.encode())));
+    let wire = msg.encode();
+    g.bench_function("set_decode", |b| {
+        b.iter(|| std::hint::black_box(SnmpMessage::decode(&wire).unwrap()))
+    });
+    let oid: Oid = "1.3.6.1.2.1.17.7.1.4.3.1.5.101".parse().unwrap();
+    g.bench_function("oid_encode", |b| {
+        b.iter(|| {
+            let mut out = bytes::BytesMut::new();
+            mgmt::ber::put_oid(&mut out, &oid);
+            std::hint::black_box(out)
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_openflow, bench_snmp
+}
+criterion_main!(benches);

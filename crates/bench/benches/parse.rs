@@ -1,0 +1,124 @@
+//! Packet-parsing microbenchmarks: flow-key extraction and VLAN
+//! manipulation — the two operations on every HARMLESS hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use bytes::BytesMut;
+use netpkt::vlan::{pop_vlan, push_vlan, VlanTag};
+use netpkt::{builder, FlowKey, MacAddr};
+
+fn frames() -> Vec<(&'static str, bytes::Bytes)> {
+    let udp = builder::sized_udp_packet(
+        MacAddr::host(1),
+        MacAddr::host(2),
+        "10.0.0.1".parse().unwrap(),
+        "10.0.0.2".parse().unwrap(),
+        1000,
+        53,
+        60,
+    );
+    let udp_big = builder::sized_udp_packet(
+        MacAddr::host(1),
+        MacAddr::host(2),
+        "10.0.0.1".parse().unwrap(),
+        "10.0.0.2".parse().unwrap(),
+        1000,
+        53,
+        1514,
+    );
+    let tcp = builder::tcp_packet(
+        MacAddr::host(1),
+        MacAddr::host(2),
+        "10.0.0.1".parse().unwrap(),
+        "10.0.0.2".parse().unwrap(),
+        40000,
+        80,
+        netpkt::tcp::flags::SYN,
+        b"",
+    );
+    let tagged = push_vlan(&udp, VlanTag::new(101)).unwrap();
+    let arp = builder::arp_request(
+        MacAddr::host(1),
+        "10.0.0.1".parse().unwrap(),
+        "10.0.0.2".parse().unwrap(),
+    );
+    vec![
+        ("udp_60", udp),
+        ("udp_1514", udp_big),
+        ("tcp_syn", tcp),
+        ("udp_tagged", tagged),
+        ("arp", arp),
+    ]
+}
+
+fn bench_flowkey(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flowkey_extract");
+    for (name, frame) in frames() {
+        g.throughput(Throughput::Bytes(frame.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &frame, |b, f| {
+            b.iter(|| std::hint::black_box(FlowKey::extract(1, f).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_vlan_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vlan");
+    let udp = builder::sized_udp_packet(
+        MacAddr::host(1),
+        MacAddr::host(2),
+        "10.0.0.1".parse().unwrap(),
+        "10.0.0.2".parse().unwrap(),
+        1000,
+        53,
+        60,
+    );
+    let tagged = push_vlan(&udp, VlanTag::new(101)).unwrap();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push", |b| {
+        b.iter(|| std::hint::black_box(push_vlan(&udp, VlanTag::new(101)).unwrap()))
+    });
+    g.bench_function("pop", |b| {
+        b.iter(|| std::hint::black_box(pop_vlan(&tagged).unwrap()))
+    });
+    g.bench_function("set_vid_in_place", |b| {
+        let mut buf = BytesMut::from(&tagged[..]);
+        b.iter(|| std::hint::black_box(netpkt::vlan::set_vlan_vid(&mut buf, 102).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_masking(c: &mut Criterion) {
+    let udp = builder::sized_udp_packet(
+        MacAddr::host(1),
+        MacAddr::host(2),
+        "10.0.0.1".parse().unwrap(),
+        "10.0.0.2".parse().unwrap(),
+        1000,
+        53,
+        60,
+    );
+    let key = FlowKey::extract(1, &udp).unwrap();
+    let mut mask = FlowKey::empty_mask();
+    mask.eth_type = u16::MAX;
+    mask.ipv4_src = 0xffff_0000;
+    mask.udp_dst = u16::MAX;
+    c.bench_function("flowkey_masked", |b| {
+        b.iter(|| std::hint::black_box(key.masked(&mask)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_flowkey, bench_vlan_ops, bench_masking
+}
+criterion_main!(benches);

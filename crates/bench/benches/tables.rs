@@ -1,0 +1,128 @@
+//! Flow-table and cache microbenchmarks: the raw lookup structures under
+//! the datapath (complements `datapath.rs`, which measures the composed
+//! pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use netpkt::{builder, FlowKey, MacAddr};
+use openflow::table::{FlowEntry, FlowTable, TableId};
+use openflow::{Action, Instruction, Match};
+use softswitch::cache::{CachedPath, MegaflowCache, MicroflowCache};
+use softswitch::tss::TssIndex;
+
+fn key(src: u32, dst_port: u16) -> FlowKey {
+    let f = builder::udp_packet(
+        MacAddr::host(src),
+        MacAddr::host(2),
+        std::net::Ipv4Addr::from(0x0a00_0000 + src),
+        std::net::Ipv4Addr::new(10, 0, 0, 2),
+        1000,
+        dst_port,
+        b"x",
+    );
+    FlowKey::extract(1, &f).unwrap()
+}
+
+fn table_with(n: u32) -> FlowTable {
+    let mut t = FlowTable::new(TableId(0));
+    for i in 0..n {
+        t.add(FlowEntry::new(
+            10,
+            Match::new().eth_type(0x0800).ip_proto(17).udp_dst((i % 30000) as u16),
+            Instruction::apply(vec![Action::output(2)]),
+            0,
+        ))
+        .unwrap();
+    }
+    t
+}
+
+fn bench_linear_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flowtable_linear_lookup");
+    g.throughput(Throughput::Elements(1));
+    for n in [16u32, 256, 4096] {
+        let mut t = table_with(n);
+        let k = key(1, (n - 1) as u16); // worst case: last rule
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(t.lookup(&k)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tss_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tss_lookup");
+    g.throughput(Throughput::Elements(1));
+    for n in [16u32, 256, 4096] {
+        let t = table_with(n);
+        let idx = TssIndex::build(&t);
+        let k = key(1, (n - 1) as u16);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(idx.lookup(&k)))
+        });
+    }
+    g.finish();
+    // Index construction cost (amortized over rule changes).
+    let mut g = c.benchmark_group("tss_build");
+    for n in [256u32, 4096] {
+        let t = table_with(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(TssIndex::build(&t)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("caches");
+    g.throughput(Throughput::Elements(1));
+    let path = CachedPath {
+        actions: vec![softswitch::actions::CAction::Output(2)],
+        hits: vec![(0, 0)],
+        epoch: 1,
+    };
+    let mut micro = MicroflowCache::new(65536);
+    for s in 0..1000u32 {
+        micro.insert(key(s, 53), path.clone());
+    }
+    let k = key(500, 53);
+    g.bench_function("microflow_hit", |b| {
+        b.iter(|| std::hint::black_box(micro.lookup(&k, 1).is_some()))
+    });
+
+    let mut mega = MegaflowCache::new(8192);
+    // 4 distinct masks, hit in the last one.
+    for (i, field) in [0u8, 1, 2, 3].iter().enumerate() {
+        let mut mask = FlowKey::empty_mask();
+        match field {
+            0 => mask.eth_type = u16::MAX,
+            1 => mask.ipv4_dst = u32::MAX,
+            2 => mask.udp_src = u16::MAX,
+            _ => mask.udp_dst = u16::MAX,
+        }
+        let mut kk = key(i as u32 + 1, 53);
+        kk.udp_dst = 9999; // keep earlier masks from matching the probe key
+        mega.insert(&kk, mask, path.clone());
+    }
+    let mut probe = key(77, 53);
+    probe.udp_dst = 9999;
+    g.bench_function("megaflow_hit_4_masks", |b| {
+        b.iter(|| std::hint::black_box(mega.lookup(&probe, 1).0.is_some()))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_linear_lookup, bench_tss_lookup, bench_caches
+}
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! E3 — the paper's criticism of COTS SDN: "notorious for … not scaling,
+//! and offering unpredictable performance" (ref 13 in the paper).
+//!
+//! Two sub-experiments:
+//!
+//! * **E3a — rule-install latency vs rule count.** The management CPU of
+//!   a hardware switch writes TCAM entries serially (~250/s); a software
+//!   switch takes flow-mods at channel speed. We measure simulated
+//!   wall-clock from first flow-mod to barrier-reply, plus the point
+//!   where the COTS TCAM overflows (`TABLE_FULL`).
+//! * **E3b — forwarding throughput vs installed rules.** ACL-style rule
+//!   sets of growing size; traffic spread uniformly across the rules.
+//!   Software modes: linear scan collapses, TSS/full stay flat.
+//!
+//! `cargo run --release -p bench --bin exp_scaling`
+
+use bytes::Bytes;
+use std::any::Any;
+
+use bench::{fmt_mpps, render_table};
+use legacy_switch::{CotsConfig, CotsSwitchNode};
+use netsim::traffic::{FlowSpec, Generator, Pattern, Sink};
+use netsim::{LinkSpec, Network, Node, NodeCtx, NodeId, PortId, SimTime};
+use openflow::message::{FlowMod, Message};
+use openflow::{Action, Match};
+use softswitch::datapath::{DpConfig, PipelineMode};
+use softswitch::{CostModel, SoftSwitchNode};
+
+/// ACL rule i: match (src /16 block, udp_dst) -> output 2. The first
+/// 30000 rules cover the generator's 10.0.0.0/16 sources.
+fn acl_rule(i: u32) -> FlowMod {
+    FlowMod::add(0)
+        .priority(10)
+        .match_(
+            Match::new()
+                .eth_type(0x0800)
+                .ip_proto(17)
+                .udp_dst(1000 + (i % 30000) as u16)
+                .ipv4_src_masked(
+                    std::net::Ipv4Addr::from(0x0a00_0000 + ((i / 30000) << 16)),
+                    std::net::Ipv4Addr::new(255, 255, 0, 0),
+                ),
+        )
+        .apply(vec![Action::output(2)])
+}
+
+/// A controller that pushes n rules + barrier and records completion time.
+struct RuleLoader {
+    n_rules: u32,
+    done_at: Option<SimTime>,
+    errors: u64,
+    started: bool,
+}
+
+impl Node for RuleLoader {
+    fn on_packet(&mut self, _p: PortId, _f: Bytes, _c: &mut NodeCtx) {}
+    fn on_ctrl(&mut self, from: NodeId, data: Bytes, ctx: &mut NodeCtx) {
+        let mut buf = bytes::BytesMut::from(&data[..]);
+        let Ok(msgs) = openflow::message::decode_stream(&mut buf) else { return };
+        for (_, m) in msgs {
+            match m {
+                Message::Hello if !self.started => {
+                    self.started = true;
+                    let mut blob = bytes::BytesMut::new();
+                    blob.extend_from_slice(&Message::Hello.encode(1));
+                    for i in 0..self.n_rules {
+                        blob.extend_from_slice(&Message::FlowMod(acl_rule(i)).encode(i + 2));
+                    }
+                    blob.extend_from_slice(&Message::BarrierRequest.encode(self.n_rules + 2));
+                    ctx.ctrl_send(from, blob.freeze());
+                }
+                Message::BarrierReply => self.done_at = Some(ctx.now()),
+                Message::Error { .. } => self.errors += 1,
+                _ => {}
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn install_latency(n_rules: u32, cots: bool) -> (Option<SimTime>, u64) {
+    let mut net = Network::new(3);
+    let loader = net.add_node(RuleLoader { n_rules, done_at: None, errors: 0, started: false });
+    if cots {
+        let mut sw = CotsSwitchNode::new("cots", 4, CotsConfig::default());
+        sw.connect_controller(loader);
+        net.add_node(sw);
+    } else {
+        let mut sw = SoftSwitchNode::new(
+            "ss",
+            DpConfig::software(1),
+            1,
+            4096,
+            CostModel::default(),
+        );
+        sw.add_port(1, "p1", 1_000_000);
+        sw.add_port(2, "p2", 1_000_000);
+        sw.connect_controller(loader);
+        net.add_node(sw);
+    }
+    net.run_until(SimTime::from_secs(120));
+    let l = net.node_ref::<RuleLoader>(loader);
+    (l.done_at, l.errors)
+}
+
+fn throughput_with_rules(n_rules: u32, mode: PipelineMode) -> f64 {
+    let mut net = Network::new(4);
+    let mut sw = SoftSwitchNode::new(
+        "ss",
+        DpConfig::software(1).with_mode(mode),
+        1,
+        4096,
+        CostModel::default(),
+    );
+    sw.add_port(1, "p1", 10_000_000);
+    sw.add_port(2, "p2", 10_000_000);
+    {
+        let dp = sw.datapath_mut();
+        for i in 0..n_rules {
+            dp.apply_flow_mod(&acl_rule(i), 0).unwrap();
+        }
+    }
+    let sw = net.add_node(sw);
+    // Traffic spread across min(n_rules, 512) distinct rules so caches
+    // cannot collapse everything into one path.
+    let n_flows = n_rules.clamp(1, 512);
+    let flows: Vec<FlowSpec> = (0..n_flows)
+        .map(|i| {
+            let mut f = FlowSpec::simple(1, 2, 60);
+            f.dst_port = 1000 + (i % 30000) as u16;
+            f
+        })
+        .collect();
+    let g = net.add_node(
+        Generator::new(
+            "gen",
+            PortId(0),
+            Pattern::Cbr { pps: 2_000_000.0 },
+            flows,
+            SimTime::from_millis(5),
+            SimTime::from_millis(55),
+        ),
+    );
+    let s = net.add_node(Sink::new("sink"));
+    net.connect(g, PortId(0), sw, PortId(1), LinkSpec::ten_gigabit());
+    net.connect(sw, PortId(2), s, PortId(0), LinkSpec::ten_gigabit());
+    net.run_until(SimTime::from_millis(150));
+    let received = net.node_ref::<Sink>(s).received();
+    received as f64 / 0.050
+}
+
+fn main() {
+    println!("E3: COTS scaling limits vs software, seed 3/4");
+
+    let mut rows = Vec::new();
+    for n in [64u32, 256, 1024, 2048, 4096] {
+        let (soft, soft_err) = install_latency(n, false);
+        let (cots, cots_err) = install_latency(n, true);
+        rows.push(vec![
+            n.to_string(),
+            soft.map(|t| format!("{t}")).unwrap_or_else(|| "-".into()),
+            soft_err.to_string(),
+            cots.map(|t| format!("{t}")).unwrap_or_else(|| "-".into()),
+            cots_err.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "E3a: time to install N rules (barrier-fenced) and TABLE_FULL errors",
+            &["rules", "software", "err", "cots-sdn", "err"],
+            &rows,
+        )
+    );
+
+    let mut rows = Vec::new();
+    for n in [16u32, 128, 1024, 8192, 32768] {
+        let linear = throughput_with_rules(n, PipelineMode::linear());
+        let tss = throughput_with_rules(n, PipelineMode::tss());
+        let full = throughput_with_rules(n, PipelineMode::full());
+        rows.push(vec![
+            n.to_string(),
+            fmt_mpps(linear),
+            fmt_mpps(tss),
+            fmt_mpps(full),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "E3b: software forwarding (Mpps, 64B, offered 2 Mpps, 512-flow mix) vs installed rules",
+            &["rules", "linear", "tss", "full-caches"],
+            &rows,
+        )
+    );
+    println!(
+        "Reading: the COTS management CPU needs seconds for rule sets the\n\
+         software switch absorbs in milliseconds, and its TCAM rejects\n\
+         everything past 2×2048 entries. On the software side the naive\n\
+         linear datapath collapses with rule count while the TSS/cached\n\
+         pipeline stays flat — why HARMLESS can promise 'no limitation on\n\
+         the desired packet forwarding policy'."
+    );
+}

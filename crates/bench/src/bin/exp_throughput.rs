@@ -1,0 +1,54 @@
+//! E1 — "without incurring any major performance penalty".
+//!
+//! RFC 2544-style maximum lossless throughput for the four systems across
+//! standard frame sizes, in two settings:
+//!
+//! * the paper's setting — gigabit access ports (where HARMLESS must not
+//!   lose to the legacy switch), and
+//! * a 10 G stress setting that exposes where each system's real ceiling
+//!   is (hardware = line rate, software = CPU).
+//!
+//! Regenerates the E1 table of EXPERIMENTS.md:
+//! `cargo run --release -p bench --bin exp_throughput`
+
+use bench::{fmt_mpps, max_lossless_pps, render_table, System};
+use netsim::measure::line_rate_pps;
+use netsim::LinkSpec;
+
+fn main() {
+    let systems = [System::Legacy, System::Harmless, System::Software, System::Cots];
+    let frame_sizes = [60usize, 128, 512, 1024, 1514];
+
+    println!("E1: maximum lossless throughput (Mpps), RFC2544 binary search, seed 42");
+
+    for (setting, link) in [
+        ("1G access (paper's deployment)", LinkSpec::gigabit()),
+        ("10G access (stress: exposes the CPU ceiling)", LinkSpec::ten_gigabit()),
+    ] {
+        let mut rows = Vec::new();
+        for &len in &frame_sizes {
+            let mut row = vec![format!("{}B", len + 4)]; // +FCS for the classic label
+            row.push(fmt_mpps(line_rate_pps(link.rate_bps, len)));
+            for sys in systems {
+                let pps = max_lossless_pps(sys, len, link);
+                row.push(fmt_mpps(pps));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            render_table(
+                setting,
+                &["frame", "line-rate", "legacy", "harmless", "software", "cots-sdn"],
+                &rows,
+            )
+        );
+    }
+    println!(
+        "Reading: at 1G access all four systems sustain line rate — the\n\
+         paper's no-performance-penalty claim. At 10G the hardware planes\n\
+         (legacy, cots) stay at line rate while the software planes hit\n\
+         the single-core CPU ceiling; HARMLESS pays the translator's\n\
+         second pass on SS_1."
+    );
+}

@@ -1,0 +1,110 @@
+//! E9 — trunk oversubscription and the VLAN tag overhead, the structural
+//! costs of hairpinning every access port through one interconnect.
+//!
+//! `k` access-port pairs exchange full-rate traffic; every frame crosses
+//! the trunk twice (in tagged form, +4 B). We sweep the number of active
+//! pairs for one and two 10 G trunks and report aggregate goodput and
+//! the theoretical trunk load.
+//!
+//! `cargo run --release -p bench --bin exp_trunk`
+
+use bench::render_table;
+use harmless::instance::HarmlessSpec;
+use netsim::traffic::{FlowSpec, Generator, Pattern, Sink};
+use netsim::{Network, NodeId, PortId, SimTime};
+use openflow::message::FlowMod;
+use openflow::{Action, Match};
+use softswitch::datapath::PipelineMode;
+use softswitch::SoftSwitchNode;
+
+/// Aggregate delivered Mbit/s with `pairs` active port pairs.
+fn run(pairs: u16, n_trunks: u16, frame_len: usize) -> (f64, f64) {
+    let n_ports = pairs * 2;
+    let mut net = Network::new(9);
+    let hx = HarmlessSpec::new(n_ports)
+        .with_trunks(n_trunks)
+        .with_pipeline_mode(PipelineMode::full())
+        .with_cores(4) // keep the CPU out of the way; the trunk is the subject
+        .build(&mut net);
+    hx.configure_legacy_directly(&mut net);
+    hx.install_translator_rules(&mut net);
+    {
+        let dp = net.node_mut::<SoftSwitchNode>(hx.ss2).datapath_mut();
+        for p in 1..=pairs {
+            let (a, b) = (u32::from(p), u32::from(p + pairs));
+            for (x, y) in [(a, b), (b, a)] {
+                dp.apply_flow_mod(
+                    &FlowMod::add(0)
+                        .priority(10)
+                        .match_(Match::new().in_port(x))
+                        .apply(vec![Action::output(y)]),
+                    0,
+                )
+                .unwrap();
+            }
+        }
+    }
+    let window = SimTime::from_millis(100);
+    let line_pps = netsim::measure::line_rate_pps(1_000_000_000, frame_len);
+    let mut sinks: Vec<NodeId> = Vec::new();
+    for p in 1..=pairs {
+        let g = net.add_node(Generator::new(
+            format!("gen{p}"),
+            PortId(0),
+            Pattern::Cbr { pps: line_pps },
+            vec![FlowSpec::simple(u32::from(p), u32::from(p + pairs), frame_len)],
+            SimTime::from_millis(20),
+            SimTime::from_millis(20) + window,
+        ));
+        hx.attach_node(&mut net, p, g);
+        let s = net.add_node(Sink::new(format!("sink{p}")));
+        hx.attach_node(&mut net, p + pairs, s);
+        sinks.push(s);
+    }
+    net.run_until(SimTime::from_millis(400));
+    let delivered_bytes: u64 = sinks.iter().map(|&s| net.node_ref::<Sink>(s).rx_bytes()).collect::<Vec<_>>().iter().sum();
+    let goodput_mbps = delivered_bytes as f64 * 8.0 / window.as_secs_f64() / 1e6;
+    // Offered trunk load: every frame crosses once per direction, tagged.
+    let offered_trunk_mbps = f64::from(pairs)
+        * line_pps
+        * ((frame_len + 4 + 24) as f64 * 8.0)
+        / 1e6;
+    (goodput_mbps, offered_trunk_mbps)
+}
+
+fn main() {
+    println!("E9: trunk oversubscription under hairpinning (1G access, 10G trunks, 1500B)");
+    let frame_len = 1514;
+    let mut rows = Vec::new();
+    for n_trunks in [1u16, 2] {
+        for pairs in [2u16, 4, 8, 10, 12] {
+            let (goodput, trunk_load) = run(pairs, n_trunks, frame_len);
+            let capacity = f64::from(n_trunks) * 10_000.0;
+            rows.push(vec![
+                n_trunks.to_string(),
+                pairs.to_string(),
+                format!("{:.0}", f64::from(pairs) * 1000.0),
+                format!("{:.0}", trunk_load),
+                format!("{:.0}", capacity),
+                format!("{goodput:.0}"),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "aggregate goodput vs trunk budget (Mbit/s)",
+            &["trunks", "pairs", "offered", "trunk-load/dir", "trunk-cap", "goodput"],
+            &rows,
+        )
+    );
+    println!(
+        "Reading: all access traffic shares the trunk (each direction\n\
+         crosses it once, tagged). At 10 full-rate gigabit pairs a single\n\
+         10 G trunk reaches saturation (~100.3% load incl. the 4 B tag and\n\
+         wire overhead) and at 12 pairs it sheds ~17% of the offered load;\n\
+         two trunks with per-VLAN homing restore losslessness. The 802.1Q\n\
+         tag itself costs 0.26% of trunk capacity at 1500 B frames (and\n\
+         would cost 4.5% at 64 B) — the structural price of hairpinning."
+    );
+}

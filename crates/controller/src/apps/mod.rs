@@ -1,0 +1,13 @@
+//! Bundled controller applications.
+
+pub mod dmz;
+pub mod lb;
+pub mod learning;
+pub mod parental;
+pub mod static_fwd;
+
+pub use dmz::Dmz;
+pub use lb::LoadBalancer;
+pub use learning::LearningSwitch;
+pub use parental::ParentalControl;
+pub use static_fwd::StaticForwarder;

@@ -1,0 +1,102 @@
+//! Use case (c) from the demo: Parental Control — "selectively deny access
+//! to specific users to certain web pages on-the-fly".
+//!
+//! Users are identified by source IP, web pages by server IP (the demo's
+//! granularity). Blocks are high-priority drop rules in table 0 over a
+//! goto-learning default, so they apply instantly and can be added or
+//! removed mid-run without touching the forwarding state.
+
+use std::any::Any;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+use openflow::message::FlowMod;
+use openflow::Match;
+
+use crate::node::{App, SwitchHandle};
+
+/// The parental-control app.
+pub struct ParentalControl {
+    /// Active `(user, blocked destination)` rules.
+    blocked: HashSet<(Ipv4Addr, Ipv4Addr)>,
+    installed: bool,
+    blocks_installed: u64,
+    unblocks_installed: u64,
+}
+
+impl ParentalControl {
+    /// Start with an initial blocklist.
+    pub fn new(blocklist: &[(Ipv4Addr, Ipv4Addr)]) -> ParentalControl {
+        ParentalControl {
+            blocked: blocklist.iter().copied().collect(),
+            installed: false,
+            blocks_installed: 0,
+            unblocks_installed: 0,
+        }
+    }
+
+    /// Current blocklist size.
+    pub fn blocked_count(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// Blocks pushed to switches so far.
+    pub fn blocks_installed(&self) -> u64 {
+        self.blocks_installed
+    }
+
+    /// Unblocks pushed to switches so far.
+    pub fn unblocks_installed(&self) -> u64 {
+        self.unblocks_installed
+    }
+
+    fn block_rule(user: Ipv4Addr, dst: Ipv4Addr) -> FlowMod {
+        FlowMod::add(0)
+            .priority(200)
+            .match_(Match::new().eth_type(0x0800).ipv4_src(user).ipv4_dst(dst))
+            .apply(vec![]) // match, no output = drop
+    }
+
+    /// Deny `user` access to `dst`, effective immediately.
+    pub fn block(&mut self, sw: &mut SwitchHandle, user: Ipv4Addr, dst: Ipv4Addr) {
+        if self.blocked.insert((user, dst)) && self.installed {
+            self.blocks_installed += 1;
+            sw.flow_mod(Self::block_rule(user, dst));
+            sw.barrier();
+        }
+    }
+
+    /// Re-allow `user` access to `dst`.
+    pub fn unblock(&mut self, sw: &mut SwitchHandle, user: Ipv4Addr, dst: Ipv4Addr) {
+        if self.blocked.remove(&(user, dst)) && self.installed {
+            self.unblocks_installed += 1;
+            let mut fm = FlowMod::delete(0);
+            fm.priority = 200;
+            fm.match_ = Match::new().eth_type(0x0800).ipv4_src(user).ipv4_dst(dst);
+            fm.command = openflow::table::FlowModCommand::DeleteStrict;
+            sw.flow_mod(fm);
+            sw.barrier();
+        }
+    }
+}
+
+impl App for ParentalControl {
+    fn name(&self) -> &str {
+        "parental-control"
+    }
+
+    fn on_switch_ready(&mut self, sw: &mut SwitchHandle) {
+        for &(user, dst) in &self.blocked {
+            self.blocks_installed += 1;
+            sw.flow_mod(Self::block_rule(user, dst));
+        }
+        // Everything not blocked flows to the learning stage.
+        sw.flow_mod(FlowMod::add(0).priority(1).goto(1));
+        sw.barrier();
+        self.installed = true;
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,399 @@
+//! The controller core: channel management and app dispatch.
+
+use bytes::{Bytes, BytesMut};
+use std::any::Any;
+use std::collections::HashMap;
+
+use netpkt::FlowKey;
+use netsim::{Node, NodeCtx, NodeId, PortId};
+use openflow::message::{decode_stream, FlowMod, Message, MultipartReq, PortDesc, Xid};
+use openflow::oxm::OxmField;
+use openflow::{Action, NO_BUFFER};
+
+/// A packet-in, pre-parsed for apps.
+#[derive(Debug)]
+pub struct PacketInEvent {
+    /// Ingress port (from the match's IN_PORT).
+    pub in_port: u32,
+    /// Why it came up.
+    pub reason: openflow::message::PacketInReason,
+    /// The frame (possibly truncated to miss_send_len).
+    pub data: Bytes,
+    /// Extracted flow key of the frame.
+    pub key: FlowKey,
+}
+
+/// Per-switch connection state.
+#[derive(Debug)]
+pub struct SwitchState {
+    /// Simulator node of the switch.
+    pub node: NodeId,
+    /// Datapath id (0 until features arrive).
+    pub dpid: u64,
+    /// Ports reported by PORT_DESC.
+    pub ports: Vec<PortDesc>,
+    /// True once features + port-desc completed.
+    pub ready: bool,
+    rx: BytesMut,
+}
+
+/// What apps use to talk to one switch: queues messages for sending when
+/// the callback returns.
+pub struct SwitchHandle<'a> {
+    /// The switch's datapath id.
+    pub dpid: u64,
+    /// The switch's ports.
+    pub ports: &'a [PortDesc],
+    xid: &'a mut Xid,
+    queue: &'a mut Vec<Bytes>,
+    flow_mods_sent: &'a mut u64,
+}
+
+impl SwitchHandle<'_> {
+    fn next_xid(&mut self) -> Xid {
+        *self.xid += 1;
+        *self.xid
+    }
+
+    /// Send a raw message.
+    pub fn send(&mut self, msg: Message) {
+        let x = self.next_xid();
+        self.queue.push(msg.encode(x));
+    }
+
+    /// Send a flow-mod.
+    pub fn flow_mod(&mut self, fm: FlowMod) {
+        *self.flow_mods_sent += 1;
+        self.send(Message::FlowMod(fm));
+    }
+
+    /// Send a group-mod.
+    pub fn group_mod(
+        &mut self,
+        command: openflow::group::GroupModCommand,
+        type_: openflow::GroupType,
+        group_id: u32,
+        buckets: Vec<openflow::Bucket>,
+    ) {
+        self.send(Message::GroupMod { command, type_, group_id, buckets });
+    }
+
+    /// Emit a frame out of a specific port (or FLOOD).
+    pub fn packet_out(&mut self, out_port: u32, data: Bytes) {
+        self.send(Message::PacketOut {
+            buffer_id: NO_BUFFER,
+            in_port: openflow::port_no::CONTROLLER,
+            actions: vec![Action::output(out_port)],
+            data,
+        });
+    }
+
+    /// Flood a punted frame, preserving its original ingress port so the
+    /// switch excludes it. Flooding with a fake ingress (e.g. CONTROLLER)
+    /// would mirror the frame back out of the port it came from; one hop
+    /// upstream that re-teaches bridges the source MAC on the wrong port
+    /// and black-holes the host ("MAC flapping").
+    pub fn packet_out_flood(&mut self, in_port: u32, data: Bytes) {
+        self.send(Message::PacketOut {
+            buffer_id: NO_BUFFER,
+            in_port,
+            actions: vec![Action::output(openflow::port_no::FLOOD)],
+            data,
+        });
+    }
+
+    /// Emit a frame with arbitrary actions.
+    pub fn packet_out_actions(&mut self, in_port: u32, actions: Vec<Action>, data: Bytes) {
+        self.send(Message::PacketOut { buffer_id: NO_BUFFER, in_port, actions, data });
+    }
+
+    /// Request flow statistics (reply arrives via `on_stats`).
+    pub fn request_flow_stats(&mut self) {
+        self.send(Message::MultipartRequest(MultipartReq::Flow {
+            table_id: 0xff,
+            out_port: openflow::port_no::ANY,
+            out_group: openflow::group_no::ANY,
+            cookie: 0,
+            cookie_mask: 0,
+            match_: openflow::Match::any(),
+        }));
+    }
+
+    /// Send a barrier.
+    pub fn barrier(&mut self) {
+        self.send(Message::BarrierRequest);
+    }
+}
+
+/// A controller application.
+pub trait App: 'static {
+    /// Name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// The switch finished its handshake (features + ports known).
+    fn on_switch_ready(&mut self, _sw: &mut SwitchHandle) {}
+
+    /// A packet was punted to the controller.
+    fn on_packet_in(&mut self, _sw: &mut SwitchHandle, _ev: &PacketInEvent) {}
+
+    /// A flow entry was removed.
+    fn on_flow_removed(&mut self, _sw: &mut SwitchHandle, _msg: &Message) {}
+
+    /// A multipart (statistics) reply arrived.
+    fn on_stats(&mut self, _sw: &mut SwitchHandle, _msg: &Message) {}
+
+    /// Periodic tick from the controller (1 s period), for apps that need
+    /// to reissue rules or poll stats.
+    fn on_tick(&mut self, _sw: &mut SwitchHandle) {}
+
+    /// Downcast support for tests and experiment drivers.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+const TOKEN_TICK: u64 = 1;
+const TICK: netsim::SimTime = netsim::SimTime::from_secs(1);
+
+/// The controller as a simulator node.
+pub struct ControllerNode {
+    name: String,
+    apps: Vec<Box<dyn App>>,
+    switches: HashMap<NodeId, SwitchState>,
+    xid: Xid,
+    packet_ins: u64,
+    flow_mods_sent: u64,
+    errors_seen: u64,
+}
+
+impl ControllerNode {
+    /// A controller running the given apps (dispatched in order).
+    pub fn new(name: impl Into<String>, apps: Vec<Box<dyn App>>) -> ControllerNode {
+        ControllerNode {
+            name: name.into(),
+            apps,
+            switches: HashMap::new(),
+            xid: 0,
+            packet_ins: 0,
+            flow_mods_sent: 0,
+            errors_seen: 0,
+        }
+    }
+
+    /// Packet-ins received so far.
+    pub fn packet_ins(&self) -> u64 {
+        self.packet_ins
+    }
+
+    /// Flow-mods sent so far.
+    pub fn flow_mods_sent(&self) -> u64 {
+        self.flow_mods_sent
+    }
+
+    /// OpenFlow errors received.
+    pub fn errors_seen(&self) -> u64 {
+        self.errors_seen
+    }
+
+    /// Connected switch state (for assertions).
+    pub fn switch(&self, node: NodeId) -> Option<&SwitchState> {
+        self.switches.get(&node)
+    }
+
+    /// Typed access to an app (for runtime policy updates).
+    pub fn app_mut<T: App>(&mut self) -> Option<&mut T> {
+        self.apps.iter_mut().find_map(|a| a.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Run `f` against every connected, ready switch — used with
+    /// [`netsim::Network::with_node_ctx`] to push policy changes mid-run.
+    pub fn for_each_switch(
+        &mut self,
+        ctx: &mut NodeCtx,
+        mut f: impl FnMut(&mut Vec<Box<dyn App>>, &mut SwitchHandle),
+    ) {
+        let mut sends: Vec<(NodeId, Vec<Bytes>)> = Vec::new();
+        for (node, st) in self.switches.iter() {
+            if !st.ready {
+                continue;
+            }
+            let mut queue = Vec::new();
+            let mut handle = SwitchHandle {
+                dpid: st.dpid,
+                ports: &st.ports,
+                xid: &mut self.xid,
+                queue: &mut queue,
+                flow_mods_sent: &mut self.flow_mods_sent,
+            };
+            f(&mut self.apps, &mut handle);
+            sends.push((*node, queue));
+        }
+        for (node, queue) in sends {
+            for m in queue {
+                ctx.ctrl_send(node, m);
+            }
+        }
+    }
+
+    fn dispatch_to_apps(
+        apps: &mut [Box<dyn App>],
+        st: &SwitchState,
+        xid: &mut Xid,
+        flow_mods_sent: &mut u64,
+        queue: &mut Vec<Bytes>,
+        mut f: impl FnMut(&mut dyn App, &mut SwitchHandle),
+    ) {
+        for app in apps.iter_mut() {
+            let mut handle = SwitchHandle {
+                dpid: st.dpid,
+                ports: &st.ports,
+                xid,
+                queue,
+                flow_mods_sent,
+            };
+            f(app.as_mut(), &mut handle);
+        }
+    }
+}
+
+impl Node for ControllerNode {
+    fn on_start(&mut self, ctx: &mut NodeCtx) {
+        ctx.schedule(TICK, TOKEN_TICK);
+    }
+
+    fn on_packet(&mut self, _port: PortId, _frame: Bytes, _ctx: &mut NodeCtx) {
+        // Controllers are out-of-band in this model.
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx) {
+        if token != TOKEN_TICK {
+            return;
+        }
+        self.for_each_switch(ctx, |apps, handle| {
+            for app in apps.iter_mut() {
+                app.on_tick(handle);
+            }
+        });
+        ctx.schedule(TICK, TOKEN_TICK);
+    }
+
+    fn on_ctrl(&mut self, from: NodeId, data: Bytes, ctx: &mut NodeCtx) {
+        let st = self.switches.entry(from).or_insert_with(|| SwitchState {
+            node: from,
+            dpid: 0,
+            ports: Vec::new(),
+            ready: false,
+            rx: BytesMut::new(),
+        });
+        st.rx.extend_from_slice(&data);
+        let msgs = match decode_stream(&mut st.rx) {
+            Ok(m) => m,
+            Err(_) => {
+                st.rx.clear();
+                return;
+            }
+        };
+        let mut queue: Vec<Bytes> = Vec::new();
+        for (_xid, msg) in msgs {
+            match msg {
+                Message::Hello => {
+                    self.xid += 1;
+                    queue.push(Message::Hello.encode(self.xid));
+                    self.xid += 1;
+                    queue.push(Message::FeaturesRequest.encode(self.xid));
+                }
+                Message::EchoRequest(d) => {
+                    self.xid += 1;
+                    queue.push(Message::EchoReply(d).encode(self.xid));
+                }
+                Message::FeaturesReply { datapath_id, .. } => {
+                    let st = self.switches.get_mut(&from).unwrap();
+                    st.dpid = datapath_id;
+                    self.xid += 1;
+                    queue.push(
+                        Message::MultipartRequest(MultipartReq::PortDesc).encode(self.xid),
+                    );
+                }
+                Message::MultipartReply(openflow::message::MultipartRes::PortDesc(ports)) => {
+                    let st = self.switches.get_mut(&from).unwrap();
+                    st.ports = ports;
+                    st.ready = true;
+                    let st = self.switches.get(&from).unwrap();
+                    Self::dispatch_to_apps(
+                        &mut self.apps,
+                        st,
+                        &mut self.xid,
+                        &mut self.flow_mods_sent,
+                        &mut queue,
+                        |app, h| app.on_switch_ready(h),
+                    );
+                }
+                Message::PacketIn { reason, match_, data, .. } => {
+                    self.packet_ins += 1;
+                    let in_port = match_
+                        .fields()
+                        .iter()
+                        .find_map(|f| match f {
+                            OxmField::InPort(p) => Some(*p),
+                            _ => None,
+                        })
+                        .unwrap_or(0);
+                    let ev = PacketInEvent {
+                        in_port,
+                        reason,
+                        key: FlowKey::extract_lossy(in_port, &data),
+                        data,
+                    };
+                    let st = self.switches.get(&from).unwrap();
+                    Self::dispatch_to_apps(
+                        &mut self.apps,
+                        st,
+                        &mut self.xid,
+                        &mut self.flow_mods_sent,
+                        &mut queue,
+                        |app, h| app.on_packet_in(h, &ev),
+                    );
+                }
+                m @ Message::FlowRemoved { .. } => {
+                    let st = self.switches.get(&from).unwrap();
+                    Self::dispatch_to_apps(
+                        &mut self.apps,
+                        st,
+                        &mut self.xid,
+                        &mut self.flow_mods_sent,
+                        &mut queue,
+                        |app, h| app.on_flow_removed(h, &m),
+                    );
+                }
+                m @ Message::MultipartReply(_) => {
+                    let st = self.switches.get(&from).unwrap();
+                    Self::dispatch_to_apps(
+                        &mut self.apps,
+                        st,
+                        &mut self.xid,
+                        &mut self.flow_mods_sent,
+                        &mut queue,
+                        |app, h| app.on_stats(h, &m),
+                    );
+                }
+                Message::Error { .. } => {
+                    self.errors_seen += 1;
+                }
+                _ => {}
+            }
+        }
+        for m in queue {
+            ctx.ctrl_send(from, m);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

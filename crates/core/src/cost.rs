@@ -1,0 +1,176 @@
+//! The CAPEX model behind "cost-effective transitioning" — reproduces the
+//! paper's economic claims: COTS SDN switches carry a hefty price tag and
+//! must replace working gear; pure software switching cannot match port
+//! density ("in a lower league"); HARMLESS reuses the legacy switch and
+//! adds one commodity server per switch.
+//!
+//! Prices are street prices of the 2017 era, the paper's time frame;
+//! every figure is a parameter so the sensitivity is easy to explore.
+
+/// Price assumptions (USD).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceCatalog {
+    /// A 48-port GbE managed legacy switch, new. Sunk cost for migration
+    /// scenarios — HARMLESS reuses the one already racked.
+    pub legacy_switch_48p: f64,
+    /// A commodity 48-port OpenFlow-capable switch (Pica8/Edge-core
+    /// class, 2017).
+    pub cots_sdn_48p: f64,
+    /// A commodity 2-socket server.
+    pub server: f64,
+    /// A dual-port 10 GbE NIC (DPDK-capable).
+    pub nic_dual_10g: f64,
+    /// Max usable NIC ports per server chassis (PCIe/physical limit) when
+    /// building a pure software switch.
+    pub max_nic_ports_per_server: u16,
+    /// Access ports one HARMLESS server instance can front (trunk fan-in;
+    /// 48 matches one legacy switch per server over 1-2 trunks).
+    pub access_ports_per_server: u16,
+}
+
+impl Default for PriceCatalog {
+    fn default() -> Self {
+        PriceCatalog {
+            legacy_switch_48p: 900.0,
+            cots_sdn_48p: 9_500.0,
+            server: 2_200.0,
+            nic_dual_10g: 350.0,
+            max_nic_ports_per_server: 8,
+            access_ports_per_server: 48,
+        }
+    }
+}
+
+/// A CAPEX breakdown for provisioning `ports` OpenFlow-enabled ports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Ports provisioned.
+    pub ports: u16,
+    /// New hardware spend (USD).
+    pub capex: f64,
+    /// Sunk value reused (legacy switches kept in service).
+    pub reused: f64,
+    /// Devices bought, for the narrative.
+    pub new_devices: u32,
+}
+
+impl CostBreakdown {
+    /// New spend per OpenFlow-enabled port.
+    pub fn per_port(&self) -> f64 {
+        if self.ports == 0 {
+            0.0
+        } else {
+            self.capex / f64::from(self.ports)
+        }
+    }
+}
+
+fn switches_needed(ports: u16, per_switch: u16) -> u32 {
+    u32::from(ports.div_ceil(per_switch.max(1)))
+}
+
+/// HARMLESS: keep the legacy switches, add one server + NIC per switch.
+pub fn harmless_capex(ports: u16, c: &PriceCatalog) -> CostBreakdown {
+    let n = switches_needed(ports, c.access_ports_per_server);
+    CostBreakdown {
+        ports,
+        capex: f64::from(n) * (c.server + c.nic_dual_10g),
+        reused: f64::from(switches_needed(ports, 48)) * c.legacy_switch_48p,
+        new_devices: n,
+    }
+}
+
+/// Greenfield HARMLESS: buy the (cheap) legacy switches too — the "smaller
+/// enterprises gaining a foothold" case.
+pub fn harmless_greenfield_capex(ports: u16, c: &PriceCatalog) -> CostBreakdown {
+    let base = harmless_capex(ports, c);
+    let switches = switches_needed(ports, 48);
+    CostBreakdown {
+        ports,
+        capex: base.capex + f64::from(switches) * c.legacy_switch_48p,
+        reused: 0.0,
+        new_devices: base.new_devices + switches,
+    }
+}
+
+/// Rip-and-replace with COTS SDN switches ("flag-day" migration).
+pub fn cots_capex(ports: u16, c: &PriceCatalog) -> CostBreakdown {
+    let n = switches_needed(ports, 48);
+    CostBreakdown {
+        ports,
+        capex: f64::from(n) * c.cots_sdn_48p,
+        reused: 0.0,
+        new_devices: n,
+    }
+}
+
+/// Pure software switching: servers bristling with NICs. Port density is
+/// the limit — each server provides only `max_nic_ports_per_server`.
+pub fn software_only_capex(ports: u16, c: &PriceCatalog) -> CostBreakdown {
+    let n = switches_needed(ports, c.max_nic_ports_per_server);
+    let nics_per_server = f64::from(c.max_nic_ports_per_server.div_ceil(2));
+    CostBreakdown {
+        ports,
+        capex: f64::from(n) * (c.server + nics_per_server * c.nic_dual_10g),
+        reused: 0.0,
+        new_devices: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmless_beats_cots_on_migration() {
+        let c = PriceCatalog::default();
+        for ports in [8u16, 48, 96, 384] {
+            let h = harmless_capex(ports, &c);
+            let cots = cots_capex(ports, &c);
+            assert!(
+                h.capex < cots.capex / 2.0,
+                "{ports} ports: harmless {} vs cots {}",
+                h.capex,
+                cots.capex
+            );
+        }
+    }
+
+    #[test]
+    fn software_only_loses_on_port_density() {
+        let c = PriceCatalog::default();
+        let sw = software_only_capex(48, &c);
+        let h = harmless_capex(48, &c);
+        // 48 ports need 6 servers as a pure software switch vs 1 for
+        // HARMLESS.
+        assert_eq!(sw.new_devices, 6);
+        assert_eq!(h.new_devices, 1);
+        assert!(sw.capex > 3.0 * h.capex);
+    }
+
+    #[test]
+    fn per_port_costs_are_sane() {
+        let c = PriceCatalog::default();
+        let h = harmless_capex(48, &c);
+        assert!((h.per_port() - (2_200.0 + 350.0) / 48.0).abs() < 1e-9);
+        assert_eq!(harmless_capex(0, &c).per_port(), 0.0);
+    }
+
+    #[test]
+    fn greenfield_still_cheaper_than_cots() {
+        let c = PriceCatalog::default();
+        let g = harmless_greenfield_capex(48, &c);
+        let cots = cots_capex(48, &c);
+        assert!(g.capex < cots.capex);
+        assert_eq!(g.new_devices, 2); // one switch + one server
+        assert_eq!(g.reused, 0.0);
+    }
+
+    #[test]
+    fn device_counts_round_up() {
+        let c = PriceCatalog::default();
+        assert_eq!(harmless_capex(49, &c).new_devices, 2);
+        assert_eq!(cots_capex(49, &c).new_devices, 2);
+        assert_eq!(software_only_capex(9, &c).new_devices, 2);
+    }
+}

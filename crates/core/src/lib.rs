@@ -1,0 +1,64 @@
+//! # harmless — Hybrid ARchitecture to Migrate Legacy Ethernet Switches to SDN
+//!
+//! A from-scratch reproduction of *HARMLESS: Cost-Effective Transitioning
+//! to SDN* (Szalay et al., SIGCOMM 2017 Posters & Demos). HARMLESS turns a
+//! plain legacy Ethernet switch into a fully reconfigurable OpenFlow
+//! switch without replacing hardware:
+//!
+//! 1. every access port of the legacy switch is isolated in its own VLAN
+//!    and hairpinned over a trunk to a server ("Tagging and
+//!    Hairpinning", [`PortMap`]);
+//! 2. a software-switch *translator* (SS_1) maps VLAN ids to patch ports
+//!    ([`translator`]), so that
+//! 3. the main OpenFlow switch (SS_2) — and therefore the SDN controller —
+//!    sees an ordinary N-port switch with no VLAN gymnastics
+//!    ([`instance`]);
+//! 4. the [`manager`] automates the migration end to end over SNMP/NAPALM
+//!    and OpenFlow, with verification and rollback.
+//!
+//! The [`cost`] module reproduces the CAPEX argument ("cost-effective,
+//! without any substantial price tag"), and [`instance::Variant`] exposes
+//! the design ablation between the paper's two-switch layout and a merged
+//! single-datapath pipeline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use harmless::instance::{HarmlessSpec, Variant};
+//! use netsim::{Network, SimTime};
+//! use netsim::host::Host;
+//!
+//! let mut net = Network::new(7);
+//! // An 4-port legacy switch migrated to SDN, with an L2-learning
+//! // controller on top.
+//! let ctrl = net.add_node(controller::ControllerNode::new(
+//!     "ctrl",
+//!     vec![Box::new(controller::apps::LearningSwitch::new())],
+//! ));
+//! let hx = HarmlessSpec::new(4).build(&mut net);
+//! hx.install_translator_rules(&mut net);
+//! hx.connect_controller(&mut net, ctrl);
+//! let a = hx.attach_host(&mut net, 1);
+//! let b = hx.attach_host(&mut net, 2);
+//! net.run_until(SimTime::from_millis(200));
+//! net.with_node_ctx::<Host, _>(a, |h, ctx| {
+//!     h.ping(b"hello", "10.0.0.2".parse().unwrap());
+//!     h.flush(ctx);
+//! });
+//! net.run_until(SimTime::from_millis(400));
+//! assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 1);
+//! # let _ = b;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod instance;
+pub mod manager;
+pub mod portmap;
+pub mod translator;
+
+pub use instance::{HarmlessInstance, HarmlessSpec, Variant};
+pub use manager::{HarmlessManager, ManagerConfig, ManagerPhase};
+pub use portmap::PortMap;

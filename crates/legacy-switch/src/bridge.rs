@@ -1,0 +1,502 @@
+//! The VLAN-aware learning bridge (IEEE 802.1Q forwarding process).
+//!
+//! Configuration follows the Q-BRIDGE-MIB data model exactly, because
+//! that is what the SNMP agent exposes: a static VLAN table (per-VLAN
+//! egress and untagged port sets) plus a per-port PVID for ingress
+//! classification of untagged frames. "Access port of VLAN v" is then
+//! `pvid = v`, `v.egress ∋ p`, `v.untagged ∋ p` — precisely the state the
+//! HARMLESS Manager writes.
+
+use bytes::Bytes;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use netpkt::vlan::{self, VlanTag, VlanView};
+use netpkt::{EthernetFrame, MacAddr};
+
+/// Per-port traffic counters (feeds `ifInOctets`/`ifOutOctets`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortCounters {
+    /// Frames received.
+    pub rx_frames: u64,
+    /// Octets received.
+    pub rx_octets: u64,
+    /// Frames sent.
+    pub tx_frames: u64,
+    /// Octets sent.
+    pub tx_octets: u64,
+    /// Ingress drops (VLAN filtering, unknown VLAN).
+    pub rx_filtered: u64,
+}
+
+/// One VLAN's membership.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VlanEntry {
+    /// Ports that carry this VLAN at all.
+    pub egress: BTreeSet<u16>,
+    /// Subset of `egress` that send it untagged.
+    pub untagged: BTreeSet<u16>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FdbEntry {
+    port: u16,
+    learned_ns: u64,
+}
+
+/// Errors from configuration operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BridgeConfigError {
+    /// VLAN id outside 1..=4094.
+    BadVlanId,
+    /// Port number outside 1..=n_ports.
+    BadPort,
+    /// Operation referenced a VLAN that does not exist.
+    NoSuchVlan,
+}
+
+impl core::fmt::Display for BridgeConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BridgeConfigError::BadVlanId => write!(f, "VLAN id out of range"),
+            BridgeConfigError::BadPort => write!(f, "port out of range"),
+            BridgeConfigError::NoSuchVlan => write!(f, "no such VLAN"),
+        }
+    }
+}
+
+impl std::error::Error for BridgeConfigError {}
+
+/// What the forwarding process decided for one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Forwarded {
+    /// `(egress port, frame as it leaves that port)`.
+    pub outputs: Vec<(u16, Bytes)>,
+    /// The VLAN the frame was classified into.
+    pub vlan: u16,
+    /// True if ingress filtering dropped it.
+    pub filtered: bool,
+}
+
+/// A VLAN-aware learning bridge with `n_ports` ports (1-based).
+#[derive(Debug)]
+pub struct Bridge {
+    n_ports: u16,
+    vlans: BTreeMap<u16, VlanEntry>,
+    pvid: BTreeMap<u16, u16>,
+    fdb: HashMap<(u16, MacAddr), FdbEntry>,
+    aging_ns: u64,
+    counters: BTreeMap<u16, PortCounters>,
+    flood_frames: u64,
+}
+
+/// Default MAC aging time (302 s, the 802.1D default is 300 s ± margin).
+pub const DEFAULT_AGING_NS: u64 = 300 * 1_000_000_000;
+
+impl Bridge {
+    /// Factory-default bridge: all ports untagged members of VLAN 1 with
+    /// PVID 1 — the "dumb switch" the paper starts from.
+    pub fn new(n_ports: u16) -> Bridge {
+        let mut vlans = BTreeMap::new();
+        let all: BTreeSet<u16> = (1..=n_ports).collect();
+        vlans.insert(1, VlanEntry { egress: all.clone(), untagged: all });
+        Bridge {
+            n_ports,
+            vlans,
+            pvid: (1..=n_ports).map(|p| (p, 1)).collect(),
+            fdb: HashMap::new(),
+            aging_ns: DEFAULT_AGING_NS,
+            counters: (1..=n_ports).map(|p| (p, PortCounters::default())).collect(),
+            flood_frames: 0,
+        }
+    }
+
+    /// Number of ports.
+    pub fn n_ports(&self) -> u16 {
+        self.n_ports
+    }
+
+    /// The VLAN table (MIB reads).
+    pub fn vlans(&self) -> &BTreeMap<u16, VlanEntry> {
+        &self.vlans
+    }
+
+    /// A port's PVID (1 if unset).
+    pub fn pvid(&self, port: u16) -> u16 {
+        self.pvid.get(&port).copied().unwrap_or(1)
+    }
+
+    /// Per-port counters.
+    pub fn counters(&self, port: u16) -> PortCounters {
+        self.counters.get(&port).copied().unwrap_or_default()
+    }
+
+    /// Frames that had to be flooded (unknown destination).
+    pub fn flood_frames(&self) -> u64 {
+        self.flood_frames
+    }
+
+    /// Current FDB size.
+    pub fn fdb_len(&self) -> usize {
+        self.fdb.len()
+    }
+
+    /// The learned port for `(vlan, mac)`, if any.
+    pub fn fdb_lookup(&self, vlan: u16, mac: MacAddr) -> Option<u16> {
+        self.fdb.get(&(vlan, mac)).map(|e| e.port)
+    }
+
+    /// Set the MAC aging time.
+    pub fn set_aging_ns(&mut self, ns: u64) {
+        self.aging_ns = ns;
+    }
+
+    fn check_port(&self, port: u16) -> Result<(), BridgeConfigError> {
+        if port == 0 || port > self.n_ports {
+            return Err(BridgeConfigError::BadPort);
+        }
+        Ok(())
+    }
+
+    /// Create an (empty) VLAN; idempotent for existing VLANs.
+    pub fn create_vlan(&mut self, vid: u16) -> Result<(), BridgeConfigError> {
+        if !VlanTag::vid_is_valid(vid) {
+            return Err(BridgeConfigError::BadVlanId);
+        }
+        self.vlans.entry(vid).or_default();
+        Ok(())
+    }
+
+    /// Destroy a VLAN and flush its FDB entries.
+    pub fn destroy_vlan(&mut self, vid: u16) -> Result<(), BridgeConfigError> {
+        if self.vlans.remove(&vid).is_none() {
+            return Err(BridgeConfigError::NoSuchVlan);
+        }
+        self.fdb.retain(|(v, _), _| *v != vid);
+        Ok(())
+    }
+
+    /// Replace a VLAN's egress port set.
+    pub fn set_egress(&mut self, vid: u16, ports: &[u16]) -> Result<(), BridgeConfigError> {
+        for &p in ports {
+            self.check_port(p)?;
+        }
+        let e = self.vlans.get_mut(&vid).ok_or(BridgeConfigError::NoSuchVlan)?;
+        e.egress = ports.iter().copied().collect();
+        e.untagged = e.untagged.intersection(&e.egress).copied().collect();
+        Ok(())
+    }
+
+    /// Replace a VLAN's untagged port set (must be ⊆ egress; enforced by
+    /// intersection, as real agents do).
+    pub fn set_untagged(&mut self, vid: u16, ports: &[u16]) -> Result<(), BridgeConfigError> {
+        for &p in ports {
+            self.check_port(p)?;
+        }
+        let e = self.vlans.get_mut(&vid).ok_or(BridgeConfigError::NoSuchVlan)?;
+        e.untagged = ports.iter().copied().filter(|p| e.egress.contains(p)).collect();
+        Ok(())
+    }
+
+    /// Set a port's PVID. The VLAN must exist.
+    pub fn set_pvid(&mut self, port: u16, vid: u16) -> Result<(), BridgeConfigError> {
+        self.check_port(port)?;
+        if !self.vlans.contains_key(&vid) {
+            return Err(BridgeConfigError::NoSuchVlan);
+        }
+        self.pvid.insert(port, vid);
+        Ok(())
+    }
+
+    /// Convenience: make `port` an access port of `vid` (creates the VLAN,
+    /// sets membership, untagged egress and PVID).
+    pub fn make_access_port(&mut self, port: u16, vid: u16) -> Result<(), BridgeConfigError> {
+        self.check_port(port)?;
+        self.create_vlan(vid)?;
+        let e = self.vlans.get_mut(&vid).unwrap();
+        e.egress.insert(port);
+        e.untagged.insert(port);
+        self.set_pvid(port, vid)
+    }
+
+    /// Convenience: make `port` a tagged member of every VLAN in `vids`
+    /// (a trunk carrying those VLANs).
+    pub fn make_trunk_port(&mut self, port: u16, vids: &[u16]) -> Result<(), BridgeConfigError> {
+        self.check_port(port)?;
+        for &vid in vids {
+            self.create_vlan(vid)?;
+            let e = self.vlans.get_mut(&vid).unwrap();
+            e.egress.insert(port);
+            e.untagged.remove(&port);
+        }
+        Ok(())
+    }
+
+    /// Age out stale FDB entries.
+    pub fn age_fdb(&mut self, now_ns: u64) -> usize {
+        let aging = self.aging_ns;
+        let before = self.fdb.len();
+        self.fdb.retain(|_, e| now_ns.saturating_sub(e.learned_ns) < aging);
+        before - self.fdb.len()
+    }
+
+    /// Flush the entire FDB (topology change).
+    pub fn flush_fdb(&mut self) {
+        self.fdb.clear();
+    }
+
+    /// The 802.1Q forwarding process for one received frame.
+    pub fn forward(&mut self, in_port: u16, frame: &Bytes, now_ns: u64) -> Forwarded {
+        if let Some(c) = self.counters.get_mut(&in_port) {
+            c.rx_frames += 1;
+            c.rx_octets += frame.len() as u64;
+        }
+        let Ok(view) = VlanView::parse(frame) else {
+            return Forwarded { outputs: Vec::new(), vlan: 0, filtered: true };
+        };
+        // Ingress classification + filtering.
+        let (vid, inner): (u16, Bytes) = match view.outer {
+            Some(tag) => {
+                let member = self
+                    .vlans
+                    .get(&tag.vid)
+                    .map(|v| v.egress.contains(&in_port))
+                    .unwrap_or(false);
+                if !member {
+                    if let Some(c) = self.counters.get_mut(&in_port) {
+                        c.rx_filtered += 1;
+                    }
+                    return Forwarded { outputs: Vec::new(), vlan: tag.vid, filtered: true };
+                }
+                (tag.vid, vlan::pop_vlan(frame).unwrap_or_else(|_| frame.clone()))
+            }
+            None => {
+                let vid = self.pvid(in_port);
+                if !self.vlans.contains_key(&vid) {
+                    if let Some(c) = self.counters.get_mut(&in_port) {
+                        c.rx_filtered += 1;
+                    }
+                    return Forwarded { outputs: Vec::new(), vlan: vid, filtered: true };
+                }
+                (vid, frame.clone())
+            }
+        };
+
+        let eth = EthernetFrame::new_unchecked(&inner[..]);
+        let (src, dst) = (eth.src(), eth.dst());
+
+        // Learning.
+        if src.is_unicast() {
+            self.fdb.insert((vid, src), FdbEntry { port: in_port, learned_ns: now_ns });
+        }
+
+        // Forwarding decision.
+        let vlan_entry = self.vlans.get(&vid).expect("validated above");
+        let egress_ports: Vec<u16> = if dst.is_unicast() {
+            match self.fdb.get(&(vid, dst)) {
+                Some(e) if e.port != in_port && vlan_entry.egress.contains(&e.port) => {
+                    vec![e.port]
+                }
+                Some(_) => Vec::new(), // destination is behind the ingress port
+                None => {
+                    self.flood_frames += 1;
+                    vlan_entry.egress.iter().copied().filter(|&p| p != in_port).collect()
+                }
+            }
+        } else {
+            self.flood_frames += u64::from(!dst.is_unicast());
+            vlan_entry.egress.iter().copied().filter(|&p| p != in_port).collect()
+        };
+
+        // Egress tagging.
+        let vlan_entry = self.vlans.get(&vid).unwrap();
+        let mut outputs = Vec::with_capacity(egress_ports.len());
+        let tagged_frame: Option<Bytes> = if egress_ports.iter().any(|p| !vlan_entry.untagged.contains(p))
+        {
+            Some(vlan::push_vlan(&inner, VlanTag::new(vid)).unwrap_or_else(|_| inner.clone()))
+        } else {
+            None
+        };
+        for p in egress_ports {
+            let f = if vlan_entry.untagged.contains(&p) {
+                inner.clone()
+            } else {
+                tagged_frame.clone().expect("built above")
+            };
+            if let Some(c) = self.counters.get_mut(&p) {
+                c.tx_frames += 1;
+                c.tx_octets += f.len() as u64;
+            }
+            outputs.push((p, f));
+        }
+        Forwarded { outputs, vlan: vid, filtered: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpkt::builder;
+    use netpkt::EtherType;
+    use std::net::Ipv4Addr;
+
+    fn frame(src: u32, dst: u32) -> Bytes {
+        builder::udp_packet(
+            MacAddr::host(src),
+            MacAddr::host(dst),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            b"x",
+        )
+    }
+
+    fn bcast(src: u32) -> Bytes {
+        builder::ethernet(MacAddr::BROADCAST, MacAddr::host(src), EtherType::ARP, &[0u8; 46])
+    }
+
+    #[test]
+    fn default_config_floods_then_learns() {
+        let mut b = Bridge::new(4);
+        // Unknown dst: flood to all other ports.
+        let out = b.forward(1, &frame(1, 2), 0);
+        assert_eq!(out.vlan, 1);
+        let mut ports: Vec<u16> = out.outputs.iter().map(|(p, _)| *p).collect();
+        ports.sort_unstable();
+        assert_eq!(ports, vec![2, 3, 4]);
+        // Reply from port 2 teaches the bridge; traffic to host 1 is now unicast.
+        let out = b.forward(2, &frame(2, 1), 1);
+        assert_eq!(out.outputs.len(), 1);
+        assert_eq!(out.outputs[0].0, 1);
+        // And now 1→2 is unicast too.
+        let out = b.forward(1, &frame(1, 2), 2);
+        assert_eq!(out.outputs.len(), 1);
+        assert_eq!(out.outputs[0].0, 2);
+        assert_eq!(b.fdb_len(), 2);
+    }
+
+    #[test]
+    fn vlan_isolation() {
+        let mut b = Bridge::new(4);
+        b.make_access_port(1, 10).unwrap();
+        b.make_access_port(2, 10).unwrap();
+        b.make_access_port(3, 20).unwrap();
+        b.make_access_port(4, 20).unwrap();
+        // Flood from port 1 stays within VLAN 10.
+        let out = b.forward(1, &bcast(1), 0);
+        let ports: Vec<u16> = out.outputs.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ports, vec![2]);
+        assert_eq!(out.vlan, 10);
+    }
+
+    #[test]
+    fn harmless_tagging_and_hairpinning_shape() {
+        // The exact configuration HARMLESS installs: port i in VLAN
+        // 100+i, trunk on port 5 carrying all of them.
+        let mut b = Bridge::new(5);
+        for p in 1..=4u16 {
+            b.make_access_port(p, 100 + p).unwrap();
+        }
+        b.make_trunk_port(5, &[101, 102, 103, 104]).unwrap();
+
+        // Host on port 1 sends untagged; the only member beside port 1 is
+        // the trunk, which gets it tagged with VLAN 101.
+        let out = b.forward(1, &frame(1, 2), 0);
+        assert_eq!(out.outputs.len(), 1);
+        let (p, f) = &out.outputs[0];
+        assert_eq!(*p, 5);
+        let tag = vlan::outer_tag(f).expect("trunk egress must be tagged");
+        assert_eq!(tag.vid, 101);
+
+        // The soft switch hairpins it back tagged 102; the bridge must
+        // deliver it untagged on access port 2.
+        let hairpinned = vlan::push_vlan(&frame(1, 2), VlanTag::new(102)).unwrap();
+        let out = b.forward(5, &hairpinned, 1);
+        // dst host(2) unknown in VLAN 102 -> floods to port 2 only.
+        assert_eq!(out.outputs.len(), 1);
+        let (p, f) = &out.outputs[0];
+        assert_eq!(*p, 2);
+        assert!(vlan::outer_tag(f).is_none(), "access egress must be untagged");
+    }
+
+    #[test]
+    fn ingress_filtering_drops_foreign_tags() {
+        let mut b = Bridge::new(4);
+        b.make_access_port(1, 10).unwrap();
+        // Port 1 is not a member of VLAN 99.
+        let tagged = vlan::push_vlan(&frame(1, 2), VlanTag::new(99)).unwrap();
+        let out = b.forward(1, &tagged, 0);
+        assert!(out.filtered);
+        assert!(out.outputs.is_empty());
+        assert_eq!(b.counters(1).rx_filtered, 1);
+    }
+
+    #[test]
+    fn no_hairpin_to_ingress_port() {
+        let mut b = Bridge::new(2);
+        // Learn host 2 behind port 1, then send to it from port 1.
+        b.forward(1, &frame(2, 9), 0);
+        let out = b.forward(1, &frame(1, 2), 1);
+        assert!(out.outputs.is_empty(), "frames never exit their ingress port");
+    }
+
+    #[test]
+    fn aging_expires_entries() {
+        let mut b = Bridge::new(2);
+        b.set_aging_ns(1_000);
+        b.forward(1, &frame(1, 2), 0);
+        assert_eq!(b.fdb_len(), 1);
+        assert_eq!(b.age_fdb(500), 0);
+        assert_eq!(b.age_fdb(1_500), 1);
+        assert_eq!(b.fdb_len(), 0);
+    }
+
+    #[test]
+    fn destroy_vlan_flushes_fdb() {
+        let mut b = Bridge::new(2);
+        b.make_access_port(1, 10).unwrap();
+        b.make_access_port(2, 10).unwrap();
+        b.forward(1, &frame(1, 2), 0);
+        assert_eq!(b.fdb_len(), 1);
+        b.destroy_vlan(10).unwrap();
+        assert_eq!(b.fdb_len(), 0);
+        // Ports whose PVID points at the dead VLAN now filter ingress.
+        let out = b.forward(1, &frame(1, 2), 1);
+        assert!(out.filtered);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut b = Bridge::new(2);
+        assert_eq!(b.create_vlan(0).unwrap_err(), BridgeConfigError::BadVlanId);
+        assert_eq!(b.create_vlan(4095).unwrap_err(), BridgeConfigError::BadVlanId);
+        assert_eq!(b.set_pvid(9, 1).unwrap_err(), BridgeConfigError::BadPort);
+        assert_eq!(b.set_pvid(1, 99).unwrap_err(), BridgeConfigError::NoSuchVlan);
+        assert_eq!(b.set_egress(99, &[1]).unwrap_err(), BridgeConfigError::NoSuchVlan);
+        assert_eq!(b.set_egress(1, &[7]).unwrap_err(), BridgeConfigError::BadPort);
+    }
+
+    #[test]
+    fn untagged_set_clamped_to_egress() {
+        let mut b = Bridge::new(4);
+        b.create_vlan(10).unwrap();
+        b.set_egress(10, &[1, 2]).unwrap();
+        b.set_untagged(10, &[1, 3]).unwrap(); // 3 is not a member
+        assert_eq!(
+            b.vlans()[&10].untagged.iter().copied().collect::<Vec<_>>(),
+            vec![1]
+        );
+        // Shrinking egress shrinks untagged too.
+        b.set_egress(10, &[2]).unwrap();
+        assert!(b.vlans()[&10].untagged.is_empty());
+    }
+
+    #[test]
+    fn counters_track_octets() {
+        let mut b = Bridge::new(2);
+        let f = frame(1, 2);
+        b.forward(1, &f, 0);
+        assert_eq!(b.counters(1).rx_octets, f.len() as u64);
+        assert_eq!(b.counters(2).tx_frames, 1);
+    }
+}

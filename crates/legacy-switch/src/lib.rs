@@ -1,0 +1,26 @@
+//! # legacy-switch — device models for the non-SDN side of HARMLESS
+//!
+//! Two devices live here:
+//!
+//! * [`Bridge`] / [`LegacySwitchNode`] — the "plain old legacy Ethernet
+//!   switch" HARMLESS migrates: a VLAN-aware 802.1Q learning bridge
+//!   (access/trunk port modes via PVID + egress/untagged sets, MAC
+//!   learning with aging, flooding) with line-rate store-and-forward
+//!   timing and an SNMP agent exposing MIB-II and Q-BRIDGE-MIB subsets —
+//!   the surface the HARMLESS Manager drives via NAPALM.
+//! * [`CotsSwitchNode`] — the comparison point: a commodity hardware
+//!   OpenFlow switch with line-rate matching but a small TCAM
+//!   (`table_capacity`) and slow, serialized rule installation, the two
+//!   properties the paper's claims about COTS SDN hinge on [13, 14].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod cots;
+pub mod mib;
+pub mod node;
+
+pub use bridge::{Bridge, BridgeConfigError, PortCounters};
+pub use cots::{CotsConfig, CotsSwitchNode};
+pub use node::LegacySwitchNode;

@@ -1,0 +1,265 @@
+//! The legacy switch's MIB: a [`MibStore`] view over a live [`Bridge`].
+//!
+//! Reads serve MIB-II system/interfaces plus the Q-BRIDGE static VLAN
+//! table; writes apply Q-BRIDGE sets directly to the bridge, which is
+//! exactly the path the HARMLESS Manager's NAPALM dialects use.
+
+use mgmt::oid::Oid;
+use mgmt::pdu::{ErrorStatus, Value};
+use mgmt::{mibs, MibStore};
+
+use crate::bridge::Bridge;
+
+/// Identity strings advertised by the agent.
+#[derive(Debug, Clone)]
+pub struct SysInfo {
+    /// `sysDescr.0` — the NAPALM dialects sniff this.
+    pub descr: String,
+    /// `sysName.0`.
+    pub name: String,
+}
+
+impl Default for SysInfo {
+    fn default() -> Self {
+        SysInfo {
+            descr: "Acme EtherFabric 4100 generic-l2 Q-BRIDGE switch".into(),
+            name: "legacy-sw".into(),
+        }
+    }
+}
+
+/// A mutable MIB view over a bridge. Construct one per request.
+pub struct BridgeMib<'a> {
+    /// The live bridge.
+    pub bridge: &'a mut Bridge,
+    /// Identity strings.
+    pub sys: &'a SysInfo,
+    /// Uptime in centiseconds.
+    pub uptime_cs: u32,
+}
+
+impl BridgeMib<'_> {
+    /// All instance OIDs this agent serves, in lexicographic order, with
+    /// their current values. Small device ⇒ cheap to enumerate; keeps
+    /// GetNext trivially correct.
+    fn snapshot(&self) -> Vec<(Oid, Value)> {
+        let b = &self.bridge;
+        let n = b.n_ports();
+        let mut out: Vec<(Oid, Value)> = vec![
+            (mibs::sys_descr(), Value::OctetString(self.sys.descr.clone().into_bytes())),
+            (mibs::sys_uptime(), Value::TimeTicks(self.uptime_cs)),
+            (mibs::sys_name(), Value::OctetString(self.sys.name.clone().into_bytes())),
+            (mibs::if_number(), Value::Integer(i64::from(n))),
+        ];
+        for p in 1..=n {
+            let c = b.counters(p);
+            out.push((mibs::if_descr(u32::from(p)), Value::OctetString(format!("port{p}").into_bytes())));
+            out.push((mibs::if_oper_status(u32::from(p)), Value::Integer(1)));
+            out.push((mibs::if_in_octets(u32::from(p)), Value::Counter32(c.rx_octets as u32)));
+            out.push((mibs::if_out_octets(u32::from(p)), Value::Counter32(c.tx_octets as u32)));
+        }
+        for (&vid, entry) in b.vlans() {
+            let egress: Vec<u16> = entry.egress.iter().copied().collect();
+            let untagged: Vec<u16> = entry.untagged.iter().copied().collect();
+            out.push((
+                mibs::vlan_static_egress_ports(vid),
+                Value::OctetString(mibs::encode_portlist(&egress, n)),
+            ));
+            out.push((
+                mibs::vlan_static_untagged_ports(vid),
+                Value::OctetString(mibs::encode_portlist(&untagged, n)),
+            ));
+            out.push((mibs::vlan_static_row_status(vid), Value::Integer(mibs::ROW_ACTIVE)));
+        }
+        for p in 1..=n {
+            out.push((mibs::pvid(u32::from(p)), Value::Gauge32(u32::from(b.pvid(p)))));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn parse_vlan_column(oid: &Oid) -> Option<(u8, u16)> {
+        // 1.3.6.1.2.1.17.7.1.4.3.1.<col>.<vid>
+        let arcs = oid.arcs();
+        let prefix = [1u32, 3, 6, 1, 2, 1, 17, 7, 1, 4, 3, 1];
+        if arcs.len() == prefix.len() + 2 && arcs[..prefix.len()] == prefix {
+            return Some((arcs[prefix.len()] as u8, arcs[prefix.len() + 1] as u16));
+        }
+        None
+    }
+
+    fn parse_pvid(oid: &Oid) -> Option<u16> {
+        let arcs = oid.arcs();
+        let prefix = [1u32, 3, 6, 1, 2, 1, 17, 7, 1, 4, 5, 1, 1];
+        if arcs.len() == prefix.len() + 1 && arcs[..prefix.len()] == prefix {
+            return Some(arcs[prefix.len()] as u16);
+        }
+        None
+    }
+}
+
+impl MibStore for BridgeMib<'_> {
+    fn get(&self, oid: &Oid) -> Option<Value> {
+        self.snapshot().into_iter().find(|(o, _)| o == oid).map(|(_, v)| v)
+    }
+
+    fn next(&self, oid: &Oid) -> Option<(Oid, Value)> {
+        self.snapshot().into_iter().find(|(o, _)| o > oid)
+    }
+
+    fn set(&mut self, oid: &Oid, value: &Value) -> Result<(), ErrorStatus> {
+        if let Some((col, vid)) = Self::parse_vlan_column(oid) {
+            return match col {
+                2 => {
+                    // dot1qVlanStaticEgressPorts
+                    let bytes = value.as_bytes().ok_or(ErrorStatus::WrongType)?;
+                    let ports = mibs::decode_portlist(bytes);
+                    self.bridge.create_vlan(vid).map_err(|_| ErrorStatus::WrongValue)?;
+                    self.bridge.set_egress(vid, &ports).map_err(|_| ErrorStatus::WrongValue)
+                }
+                4 => {
+                    // dot1qVlanStaticUntaggedPorts
+                    let bytes = value.as_bytes().ok_or(ErrorStatus::WrongType)?;
+                    let ports = mibs::decode_portlist(bytes);
+                    self.bridge.create_vlan(vid).map_err(|_| ErrorStatus::WrongValue)?;
+                    self.bridge.set_untagged(vid, &ports).map_err(|_| ErrorStatus::WrongValue)
+                }
+                5 => {
+                    // dot1qVlanStaticRowStatus
+                    match value.as_int() {
+                        Some(mibs::ROW_CREATE_AND_GO) => {
+                            self.bridge.create_vlan(vid).map_err(|_| ErrorStatus::WrongValue)
+                        }
+                        Some(mibs::ROW_DESTROY) => {
+                            self.bridge.destroy_vlan(vid).map_err(|_| ErrorStatus::WrongValue)
+                        }
+                        Some(_) => Err(ErrorStatus::WrongValue),
+                        None => Err(ErrorStatus::WrongType),
+                    }
+                }
+                _ => Err(ErrorStatus::NotWritable),
+            };
+        }
+        if let Some(port) = Self::parse_pvid(oid) {
+            let vid = value.as_int().ok_or(ErrorStatus::WrongType)?;
+            let vid = u16::try_from(vid).map_err(|_| ErrorStatus::WrongValue)?;
+            return self.bridge.set_pvid(port, vid).map_err(|_| ErrorStatus::WrongValue);
+        }
+        if *oid == mibs::sys_name() {
+            return Err(ErrorStatus::NotWritable); // keep identity fixed
+        }
+        Err(ErrorStatus::NotWritable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgmt::pdu::{Pdu, PduType, SnmpMessage};
+    use mgmt::store::agent_respond;
+
+    fn with_mib<R>(bridge: &mut Bridge, f: impl FnOnce(&mut BridgeMib) -> R) -> R {
+        let sys = SysInfo::default();
+        let mut mib = BridgeMib { bridge, sys: &sys, uptime_cs: 100 };
+        f(&mut mib)
+    }
+
+    #[test]
+    fn reads_reflect_bridge_state() {
+        let mut b = Bridge::new(4);
+        b.make_access_port(1, 101).unwrap();
+        with_mib(&mut b, |mib| {
+            let v = mib.get(&mibs::pvid(1)).unwrap();
+            assert_eq!(v, Value::Gauge32(101));
+            let v = mib.get(&mibs::vlan_static_row_status(101)).unwrap();
+            assert_eq!(v, Value::Integer(mibs::ROW_ACTIVE));
+            let v = mib.get(&mibs::if_number()).unwrap();
+            assert_eq!(v, Value::Integer(4));
+            assert!(mib.get(&mibs::vlan_static_row_status(999)).is_none());
+        });
+    }
+
+    #[test]
+    fn qbridge_sets_reconfigure_the_bridge() {
+        let mut b = Bridge::new(5);
+        with_mib(&mut b, |mib| {
+            // The QBridgeDialect plan for VLAN 101, egress {1,5}, untagged {1}.
+            mib.set(
+                &mibs::vlan_static_egress_ports(101),
+                &Value::OctetString(mibs::encode_portlist(&[1, 5], 5)),
+            )
+            .unwrap();
+            mib.set(
+                &mibs::vlan_static_untagged_ports(101),
+                &Value::OctetString(mibs::encode_portlist(&[1], 5)),
+            )
+            .unwrap();
+            mib.set(&mibs::vlan_static_row_status(101), &Value::Integer(mibs::ROW_CREATE_AND_GO))
+                .unwrap();
+            mib.set(&mibs::pvid(1), &Value::Gauge32(101)).unwrap();
+        });
+        assert_eq!(b.pvid(1), 101);
+        let v = &b.vlans()[&101];
+        assert_eq!(v.egress.iter().copied().collect::<Vec<_>>(), vec![1, 5]);
+        assert_eq!(v.untagged.iter().copied().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn destroy_via_rowstatus() {
+        let mut b = Bridge::new(4);
+        b.make_access_port(2, 102).unwrap();
+        with_mib(&mut b, |mib| {
+            mib.set(&mibs::vlan_static_row_status(102), &Value::Integer(mibs::ROW_DESTROY))
+                .unwrap();
+        });
+        assert!(!b.vlans().contains_key(&102));
+    }
+
+    #[test]
+    fn bad_writes_rejected() {
+        let mut b = Bridge::new(4);
+        with_mib(&mut b, |mib| {
+            // PVID to a nonexistent VLAN.
+            assert_eq!(mib.set(&mibs::pvid(1), &Value::Gauge32(999)), Err(ErrorStatus::WrongValue));
+            // Wrong type.
+            assert_eq!(
+                mib.set(&mibs::pvid(1), &Value::OctetString(vec![1])),
+                Err(ErrorStatus::WrongType)
+            );
+            // Read-only scalar.
+            assert_eq!(
+                mib.set(&mibs::sys_descr(), &Value::OctetString(b"nope".to_vec())),
+                Err(ErrorStatus::NotWritable)
+            );
+        });
+    }
+
+    #[test]
+    fn full_walk_via_agent() {
+        let mut b = Bridge::new(2);
+        b.make_access_port(1, 101).unwrap();
+        let sys = SysInfo::default();
+        let mut mib = BridgeMib { bridge: &mut b, sys: &sys, uptime_cs: 1 };
+        // GetNext from the root enumerates something and terminates.
+        let mut cur: Oid = "1".parse().unwrap();
+        let mut count = 0;
+        loop {
+            let req = SnmpMessage::new(
+                "public",
+                Pdu::request(PduType::GetNext, count, vec![(cur.clone(), Value::Null)]),
+            );
+            let resp = agent_respond(&mut mib, "public", &req).unwrap();
+            let (oid, val) = resp.pdu.bindings[0].clone();
+            if val == Value::EndOfMibView {
+                break;
+            }
+            assert!(oid > cur, "GetNext must advance");
+            cur = oid;
+            count += 1;
+            assert!(count < 200, "walk must terminate");
+        }
+        // 4 scalars + 2 ports × 4 if-columns + 2 VLANs × 3 columns
+        // (default VLAN 1 + 101) + 2 PVIDs = 20
+        assert_eq!(count, 20);
+    }
+}

@@ -1,0 +1,58 @@
+//! # mgmt — the management-plane substrate
+//!
+//! The HARMLESS Manager in the paper configures the legacy Ethernet switch
+//! "via SNMP through NAPALM". This crate reproduces both halves:
+//!
+//! * **SNMPv2c subset** — [`Oid`]s, a BER TLV codec ([`ber`]), the
+//!   Get/GetNext/Set/Response PDUs ([`pdu`]), an agent-side dispatcher over
+//!   a [`MibStore`] ([`store`]) and a manager-side request/walk helper
+//!   ([`client`]). Wire format is real BER: the bytes produced here decode
+//!   with any SNMP tooling that speaks v2c.
+//! * **NAPALM-like driver layer** ([`driver`]) — a vendor-neutral
+//!   [`driver::VendorDialect`] trait that compiles high-level intents
+//!   ("make port 3 an access port of VLAN 103") into per-vendor SNMP
+//!   operation plans, with candidate/commit/rollback semantics like
+//!   NAPALM's `load_merge_candidate`/`commit_config`.
+//!
+//! The simulated legacy switch implements [`MibStore`] over its live
+//! configuration, so every management operation in the workspace crosses a
+//! real encode → transport → decode → MIB boundary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ber;
+pub mod client;
+pub mod driver;
+pub mod mibs;
+pub mod oid;
+pub mod pdu;
+pub mod store;
+
+pub use client::SnmpClient;
+pub use oid::Oid;
+pub use pdu::{ErrorStatus, Pdu, PduType, SnmpMessage, Value};
+pub use store::{agent_respond, MemoryMib, MibStore};
+
+/// Errors from the BER codec and PDU layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Ran out of bytes.
+    Truncated,
+    /// Structurally invalid BER or PDU.
+    Malformed(&'static str),
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "truncated BER data"),
+            Error::Malformed(m) => write!(f, "malformed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias.
+pub type Result<T> = core::result::Result<T, Error>;

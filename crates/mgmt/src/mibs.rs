@@ -1,0 +1,147 @@
+//! Well-known OIDs (MIB-II and Q-BRIDGE-MIB subset) and the `PortList`
+//! bitmap encoding used by 802.1Q VLAN tables.
+
+use crate::oid::Oid;
+
+/// `sysDescr.0`.
+pub fn sys_descr() -> Oid {
+    "1.3.6.1.2.1.1.1.0".parse().unwrap()
+}
+
+/// `sysUpTime.0`.
+pub fn sys_uptime() -> Oid {
+    "1.3.6.1.2.1.1.3.0".parse().unwrap()
+}
+
+/// `sysName.0`.
+pub fn sys_name() -> Oid {
+    "1.3.6.1.2.1.1.5.0".parse().unwrap()
+}
+
+/// `ifNumber.0`.
+pub fn if_number() -> Oid {
+    "1.3.6.1.2.1.2.1.0".parse().unwrap()
+}
+
+/// `ifDescr.<ifIndex>`.
+pub fn if_descr(if_index: u32) -> Oid {
+    Oid::new(&[1, 3, 6, 1, 2, 1, 2, 2, 1, 2, if_index])
+}
+
+/// `ifOperStatus.<ifIndex>` (1 = up, 2 = down).
+pub fn if_oper_status(if_index: u32) -> Oid {
+    Oid::new(&[1, 3, 6, 1, 2, 1, 2, 2, 1, 8, if_index])
+}
+
+/// `ifInOctets.<ifIndex>`.
+pub fn if_in_octets(if_index: u32) -> Oid {
+    Oid::new(&[1, 3, 6, 1, 2, 1, 2, 2, 1, 10, if_index])
+}
+
+/// `ifOutOctets.<ifIndex>`.
+pub fn if_out_octets(if_index: u32) -> Oid {
+    Oid::new(&[1, 3, 6, 1, 2, 1, 2, 2, 1, 16, if_index])
+}
+
+/// The `ifTable` entry column subtree (`1.3.6.1.2.1.2.2.1`).
+pub fn if_table() -> Oid {
+    "1.3.6.1.2.1.2.2.1".parse().unwrap()
+}
+
+/// `dot1qVlanStaticEgressPorts.<vid>` — PortList of member ports.
+pub fn vlan_static_egress_ports(vid: u16) -> Oid {
+    Oid::new(&[1, 3, 6, 1, 2, 1, 17, 7, 1, 4, 3, 1, 2, u32::from(vid)])
+}
+
+/// `dot1qVlanStaticUntaggedPorts.<vid>` — PortList of untagged members.
+pub fn vlan_static_untagged_ports(vid: u16) -> Oid {
+    Oid::new(&[1, 3, 6, 1, 2, 1, 17, 7, 1, 4, 3, 1, 4, u32::from(vid)])
+}
+
+/// `dot1qVlanStaticRowStatus.<vid>` — 4 = createAndGo, 6 = destroy.
+pub fn vlan_static_row_status(vid: u16) -> Oid {
+    Oid::new(&[1, 3, 6, 1, 2, 1, 17, 7, 1, 4, 3, 1, 5, u32::from(vid)])
+}
+
+/// The static VLAN table subtree.
+pub fn vlan_static_table() -> Oid {
+    "1.3.6.1.2.1.17.7.1.4.3.1".parse().unwrap()
+}
+
+/// `dot1qPvid.<basePort>`.
+pub fn pvid(base_port: u32) -> Oid {
+    Oid::new(&[1, 3, 6, 1, 2, 1, 17, 7, 1, 4, 5, 1, 1, base_port])
+}
+
+/// RowStatus `createAndGo`.
+pub const ROW_CREATE_AND_GO: i64 = 4;
+/// RowStatus `active` (read-back value of existing rows).
+pub const ROW_ACTIVE: i64 = 1;
+/// RowStatus `destroy`.
+pub const ROW_DESTROY: i64 = 6;
+
+/// Encode a Q-BRIDGE `PortList`: bit for port N is bit `(8 - N % 8)` of
+/// octet `(N-1)/8`, i.e. port 1 is the MSB of the first octet.
+pub fn encode_portlist(ports: &[u16], n_ports: u16) -> Vec<u8> {
+    let len = usize::from(n_ports).div_ceil(8);
+    let mut out = vec![0u8; len];
+    for &p in ports {
+        if p == 0 || p > n_ports {
+            continue;
+        }
+        let idx = usize::from(p - 1) / 8;
+        let bit = 7 - (usize::from(p - 1) % 8);
+        out[idx] |= 1 << bit;
+    }
+    out
+}
+
+/// Decode a Q-BRIDGE `PortList` back to port numbers.
+pub fn decode_portlist(bytes: &[u8]) -> Vec<u16> {
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        for bit in 0..8 {
+            if b & (1 << (7 - bit)) != 0 {
+                out.push((i * 8 + bit + 1) as u16);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portlist_round_trip() {
+        let ports = vec![1, 3, 8, 9, 24];
+        let enc = encode_portlist(&ports, 24);
+        assert_eq!(enc.len(), 3);
+        assert_eq!(decode_portlist(&enc), ports);
+    }
+
+    #[test]
+    fn portlist_bit_positions_match_qbridge() {
+        // Port 1 = MSB of first octet per the PortList TEXTUAL-CONVENTION.
+        assert_eq!(encode_portlist(&[1], 8), vec![0b1000_0000]);
+        assert_eq!(encode_portlist(&[8], 8), vec![0b0000_0001]);
+        assert_eq!(encode_portlist(&[9], 16), vec![0, 0b1000_0000]);
+    }
+
+    #[test]
+    fn portlist_ignores_out_of_range() {
+        assert_eq!(encode_portlist(&[0, 99], 8), vec![0]);
+    }
+
+    #[test]
+    fn oid_shapes() {
+        assert_eq!(pvid(3).to_string(), "1.3.6.1.2.1.17.7.1.4.5.1.1.3");
+        assert_eq!(
+            vlan_static_row_status(101).to_string(),
+            "1.3.6.1.2.1.17.7.1.4.3.1.5.101"
+        );
+        assert!(vlan_static_table().contains(&vlan_static_egress_ports(5)));
+        assert!(if_table().contains(&if_oper_status(2)));
+    }
+}

@@ -1,0 +1,206 @@
+//! ARP for IPv4-over-Ethernet (RFC 826).
+
+use std::net::Ipv4Addr;
+
+use crate::{Error, MacAddr, Result};
+
+/// Byte length of an Ethernet/IPv4 ARP packet.
+pub const PACKET_LEN: usize = 28;
+
+/// ARP operation code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOp {
+    /// Who-has request (1).
+    Request,
+    /// Is-at reply (2).
+    Reply,
+    /// Any other opcode, preserved verbatim.
+    Other(u16),
+}
+
+impl ArpOp {
+    /// Wire value.
+    pub fn value(&self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+            ArpOp::Other(v) => *v,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_value(v: u16) -> Self {
+        match v {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            v => ArpOp::Other(v),
+        }
+    }
+}
+
+/// View over an Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone)]
+pub struct ArpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> ArpPacket<T> {
+    /// Wrap, validating length and the hardware/protocol type fields.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let b = buffer.as_ref();
+        if b.len() < PACKET_LEN {
+            return Err(Error::Truncated);
+        }
+        // htype=1 (Ethernet), ptype=0x0800, hlen=6, plen=4
+        if b[0..2] != [0, 1] || b[2..4] != [0x08, 0x00] || b[4] != 6 || b[5] != 4 {
+            return Err(Error::Malformed);
+        }
+        Ok(ArpPacket { buffer })
+    }
+
+    /// Operation code.
+    pub fn op(&self) -> ArpOp {
+        let b = self.buffer.as_ref();
+        ArpOp::from_value(u16::from_be_bytes([b[6], b[7]]))
+    }
+
+    /// Sender hardware address.
+    pub fn sender_mac(&self) -> MacAddr {
+        MacAddr::from_slice(&self.buffer.as_ref()[8..14])
+    }
+
+    /// Sender protocol address.
+    pub fn sender_ip(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[14], b[15], b[16], b[17])
+    }
+
+    /// Target hardware address.
+    pub fn target_mac(&self) -> MacAddr {
+        MacAddr::from_slice(&self.buffer.as_ref()[18..24])
+    }
+
+    /// Target protocol address.
+    pub fn target_ip(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[24], b[25], b[26], b[27])
+    }
+}
+
+/// Owned summary of an ARP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpRepr {
+    /// Operation.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpRepr {
+    /// Parse from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(p: &ArpPacket<T>) -> Result<Self> {
+        Ok(ArpRepr {
+            op: p.op(),
+            sender_mac: p.sender_mac(),
+            sender_ip: p.sender_ip(),
+            target_mac: p.target_mac(),
+            target_ip: p.target_ip(),
+        })
+    }
+
+    /// Bytes `emit` writes.
+    pub const fn buffer_len(&self) -> usize {
+        PACKET_LEN
+    }
+
+    /// Emit into a buffer of at least [`PACKET_LEN`] bytes.
+    pub fn emit(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&[0, 1]);
+        buf[2..4].copy_from_slice(&[0x08, 0x00]);
+        buf[4] = 6;
+        buf[5] = 4;
+        buf[6..8].copy_from_slice(&self.op.value().to_be_bytes());
+        buf[8..14].copy_from_slice(&self.sender_mac.octets());
+        buf[14..18].copy_from_slice(&self.sender_ip.octets());
+        buf[18..24].copy_from_slice(&self.target_mac.octets());
+        buf[24..28].copy_from_slice(&self.target_ip.octets());
+    }
+
+    /// Build a who-has request.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpRepr {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// Build the reply answering `req`.
+    pub fn reply_to(&self, my_mac: MacAddr) -> Self {
+        ArpRepr {
+            op: ArpOp::Reply,
+            sender_mac: my_mac,
+            sender_ip: self.target_ip,
+            target_mac: self.sender_mac,
+            target_ip: self.sender_ip,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let r = ArpRepr::request(
+            MacAddr::host(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let mut buf = [0u8; PACKET_LEN];
+        r.emit(&mut buf);
+        let parsed = ArpRepr::parse(&ArpPacket::new_checked(&buf[..]).unwrap()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn reply_swaps_roles() {
+        let req = ArpRepr::request(
+            MacAddr::host(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let rep = req.reply_to(MacAddr::host(2));
+        assert_eq!(rep.op, ArpOp::Reply);
+        assert_eq!(rep.sender_ip, Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(rep.sender_mac, MacAddr::host(2));
+        assert_eq!(rep.target_mac, MacAddr::host(1));
+        assert_eq!(rep.target_ip, Ipv4Addr::new(10, 0, 0, 1));
+    }
+
+    #[test]
+    fn rejects_non_ethernet_arp() {
+        let mut buf = [0u8; PACKET_LEN];
+        buf[1] = 6; // htype = IEEE 802
+        assert_eq!(ArpPacket::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(ArpPacket::new_checked(&[0u8; 27][..]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn other_opcode_preserved() {
+        assert_eq!(ArpOp::from_value(9).value(), 9);
+    }
+}

@@ -1,0 +1,271 @@
+//! Convenience constructors for complete, checksummed frames.
+//!
+//! These are what traffic generators, examples and tests use; the hot path
+//! never allocates through here.
+
+use bytes::{Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+use crate::frame::{self, HEADER_LEN};
+use crate::{arp, icmp, ipv4, tcp, udp};
+use crate::{ArpRepr, EtherType, Icmpv4Type, IpProto, MacAddr};
+
+/// Build a raw Ethernet II frame around an opaque payload.
+pub fn ethernet(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&dst.octets());
+    buf.extend_from_slice(&src.octets());
+    buf.extend_from_slice(&ethertype.0.to_be_bytes());
+    buf.extend_from_slice(payload);
+    buf.freeze()
+}
+
+/// Build an Ethernet/IPv4/UDP frame with valid checksums.
+pub fn udp_packet(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+) -> Bytes {
+    let udp_len = udp::HEADER_LEN + payload.len();
+    let mut l4 = vec![0u8; udp_len];
+    l4[udp::HEADER_LEN..].copy_from_slice(payload);
+    let mut u = udp::UdpPacket::new_unchecked(&mut l4[..]);
+    u.set_src_port(src_port);
+    u.set_dst_port(dst_port);
+    u.set_len_field(udp_len as u16);
+    u.fill_checksum_v4(src_ip, dst_ip);
+    ipv4_frame(src_mac, dst_mac, src_ip, dst_ip, IpProto::UDP, &l4)
+}
+
+/// Build an Ethernet/IPv4/TCP frame with valid checksums.
+#[allow(clippy::too_many_arguments)]
+pub fn tcp_packet(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    tcp_flags: u8,
+    payload: &[u8],
+) -> Bytes {
+    let tcp_len = tcp::HEADER_LEN + payload.len();
+    let mut l4 = vec![0u8; tcp_len];
+    l4[tcp::HEADER_LEN..].copy_from_slice(payload);
+    let mut t = tcp::TcpPacket::new_unchecked(&mut l4[..]);
+    t.set_src_port(src_port);
+    t.set_dst_port(dst_port);
+    t.set_seq(0);
+    t.set_ack(0);
+    t.set_header_len(tcp::HEADER_LEN);
+    t.set_flags(tcp_flags);
+    t.set_window(65535);
+    t.fill_checksum_v4(src_ip, dst_ip);
+    ipv4_frame(src_mac, dst_mac, src_ip, dst_ip, IpProto::TCP, &l4)
+}
+
+/// Build an Ethernet/IPv4/ICMP echo-request frame.
+pub fn icmp_echo_request(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    ident: u16,
+    seq: u16,
+    payload: &[u8],
+) -> Bytes {
+    icmp_echo(src_mac, dst_mac, src_ip, dst_ip, Icmpv4Type::EchoRequest, ident, seq, payload)
+}
+
+/// Build an Ethernet/IPv4/ICMP echo-reply frame.
+pub fn icmp_echo_reply(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    ident: u16,
+    seq: u16,
+    payload: &[u8],
+) -> Bytes {
+    icmp_echo(src_mac, dst_mac, src_ip, dst_ip, Icmpv4Type::EchoReply, ident, seq, payload)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn icmp_echo(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    ty: Icmpv4Type,
+    ident: u16,
+    seq: u16,
+    payload: &[u8],
+) -> Bytes {
+    let len = icmp::HEADER_LEN + payload.len();
+    let mut l4 = vec![0u8; len];
+    l4[icmp::HEADER_LEN..].copy_from_slice(payload);
+    let mut i = icmp::Icmpv4Packet::new_unchecked(&mut l4[..]);
+    i.set_msg_type(ty);
+    i.set_code(0);
+    i.set_echo_ident(ident);
+    i.set_echo_seq(seq);
+    i.fill_checksum();
+    ipv4_frame(src_mac, dst_mac, src_ip, dst_ip, IpProto::ICMP, &l4)
+}
+
+/// Build an Ethernet/IPv4 frame around a ready-made L4 payload.
+pub fn ipv4_frame(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    proto: IpProto,
+    l4: &[u8],
+) -> Bytes {
+    let repr = ipv4::Ipv4Repr {
+        src: src_ip,
+        dst: dst_ip,
+        proto,
+        payload_len: l4.len(),
+        ttl: 64,
+        dscp: 0,
+    };
+    let mut ip = vec![0u8; ipv4::HEADER_LEN + l4.len()];
+    ip[ipv4::HEADER_LEN..].copy_from_slice(l4);
+    let mut v = ipv4::Ipv4Packet::new_unchecked(&mut ip[..]);
+    repr.emit(&mut v);
+    ethernet(dst_mac, src_mac, EtherType::IPV4, &ip)
+}
+
+/// Build a broadcast ARP who-has request.
+pub fn arp_request(src_mac: MacAddr, src_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Bytes {
+    let repr = ArpRepr::request(src_mac, src_ip, target_ip);
+    let mut body = [0u8; arp::PACKET_LEN];
+    repr.emit(&mut body);
+    ethernet(MacAddr::BROADCAST, src_mac, EtherType::ARP, &body)
+}
+
+/// Build a unicast ARP reply answering `req` (which must be an ARP frame).
+pub fn arp_reply(req_repr: &ArpRepr, my_mac: MacAddr) -> Bytes {
+    let rep = req_repr.reply_to(my_mac);
+    let mut body = [0u8; arp::PACKET_LEN];
+    rep.emit(&mut body);
+    ethernet(rep.target_mac, my_mac, EtherType::ARP, &body)
+}
+
+/// Pad or size a UDP test frame so the final Ethernet frame is exactly
+/// `frame_len` bytes (64..=1518 in classic benchmarks, FCS excluded here so
+/// pass e.g. 60 for the "64-byte" RFC 2544 point).
+pub fn sized_udp_packet(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    frame_len: usize,
+) -> Bytes {
+    let overhead = HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN;
+    let payload_len = frame_len.saturating_sub(overhead);
+    let payload = vec![0u8; payload_len];
+    udp_packet(src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, &payload)
+}
+
+/// Minimum sized frame (Ethernet minimum minus FCS).
+pub const MIN_WIRE_FRAME: usize = frame::MIN_FRAME_LEN;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArpPacket, EthernetFrame, FlowKey, Ipv4Packet, TcpPacket, UdpPacket};
+
+    #[test]
+    fn udp_packet_is_well_formed() {
+        let f = udp_packet(
+            MacAddr::host(1),
+            MacAddr::host(2),
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            1000,
+            2000,
+            b"payload",
+        );
+        let eth = EthernetFrame::new_checked(&f[..]).unwrap();
+        assert_eq!(eth.ethertype(), EtherType::IPV4);
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        let u = UdpPacket::new_checked(ip.payload()).unwrap();
+        assert!(u.verify_checksum_v4(ip.src(), ip.dst()));
+        assert_eq!(u.payload(), b"payload");
+    }
+
+    #[test]
+    fn tcp_packet_is_well_formed() {
+        let f = tcp_packet(
+            MacAddr::host(1),
+            MacAddr::host(2),
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            1000,
+            80,
+            tcp::flags::SYN,
+            b"",
+        );
+        let eth = EthernetFrame::new_checked(&f[..]).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        let t = TcpPacket::new_checked(ip.payload()).unwrap();
+        assert!(t.is_syn());
+        assert!(t.verify_checksum_v4(ip.src(), ip.dst()));
+    }
+
+    #[test]
+    fn arp_frames_parse_back() {
+        let req = arp_request(MacAddr::host(1), Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        let eth = EthernetFrame::new_checked(&req[..]).unwrap();
+        assert_eq!(eth.dst(), MacAddr::BROADCAST);
+        let a = ArpPacket::new_checked(eth.payload()).unwrap();
+        let repr = ArpRepr::parse(&a).unwrap();
+        let rep = arp_reply(&repr, MacAddr::host(2));
+        let eth2 = EthernetFrame::new_checked(&rep[..]).unwrap();
+        assert_eq!(eth2.dst(), MacAddr::host(1));
+    }
+
+    #[test]
+    fn sized_frames_hit_exact_length() {
+        for len in [60usize, 128, 512, 1514] {
+            let f = sized_udp_packet(
+                MacAddr::host(1),
+                MacAddr::host(2),
+                Ipv4Addr::new(1, 1, 1, 1),
+                Ipv4Addr::new(2, 2, 2, 2),
+                1,
+                2,
+                len,
+            );
+            assert_eq!(f.len(), len);
+            // And they must still carry an extractable flow key.
+            let key = FlowKey::extract(1, &f).unwrap();
+            assert_eq!(key.udp_dst, 2);
+        }
+    }
+
+    #[test]
+    fn icmp_echo_parses() {
+        let f = icmp_echo_request(
+            MacAddr::host(1),
+            MacAddr::host(2),
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            77,
+            3,
+            b"abc",
+        );
+        let key = FlowKey::extract(1, &f).unwrap();
+        assert_eq!(key.ip_proto, 1);
+        assert_eq!(key.icmp_type, 8);
+    }
+}

@@ -1,0 +1,80 @@
+//! RFC 1071 internet checksum.
+
+/// Incremental ones-complement sum over a byte slice, continuing from
+/// `acc`. Pass `0` to start a fresh sum.
+pub fn sum(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Fold a 32-bit accumulator into the final 16-bit ones-complement
+/// checksum value (already inverted, ready to write into the header).
+pub fn finish(mut acc: u32) -> u16 {
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// Compute the checksum of a standalone buffer.
+pub fn checksum(data: &[u8]) -> u16 {
+    finish(sum(0, data))
+}
+
+/// Verify a buffer whose checksum field is included in `data`; valid
+/// buffers sum to `0xffff` before inversion, i.e. `finish` yields 0.
+pub fn verify(data: &[u8]) -> bool {
+    finish(sum(0, data)) == 0
+}
+
+/// Pseudo-header sum for TCP/UDP over IPv4 (RFC 768 / RFC 793).
+pub fn pseudo_header_v4(src: [u8; 4], dst: [u8; 4], proto: u8, len: u16) -> u32 {
+    let mut acc = 0u32;
+    acc = sum(acc, &src);
+    acc = sum(acc, &dst);
+    acc += u32::from(proto);
+    acc += u32::from(len);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The worked example from RFC 1071 §3.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(checksum(&[0xab]), finish(u32::from(u16::from_be_bytes([0xab, 0]))));
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0xde, 0xad, 0x00, 0x00, 0x40, 0x11, 0, 0, 10, 0,
+                            0, 1, 10, 0, 0, 2];
+        let ck = checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x10;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn empty_buffer_checksum() {
+        assert_eq!(checksum(&[]), 0xffff);
+        // An empty buffer trivially verifies only if its stored checksum (none)
+        // is treated as zero; `finish(0)` is `!0 = 0xffff`, not 0.
+        assert!(!verify(&[]));
+    }
+}

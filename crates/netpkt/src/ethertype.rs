@@ -1,0 +1,87 @@
+//! EtherType registry constants.
+
+use core::fmt;
+
+/// A 16-bit EtherType as it appears in Ethernet II and 802.1Q headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EtherType(pub u16);
+
+impl EtherType {
+    /// IPv4 (0x0800).
+    pub const IPV4: EtherType = EtherType(0x0800);
+    /// ARP (0x0806).
+    pub const ARP: EtherType = EtherType(0x0806);
+    /// IEEE 802.1Q VLAN-tagged frame (0x8100).
+    pub const VLAN: EtherType = EtherType(0x8100);
+    /// IEEE 802.1ad provider bridging / QinQ outer tag (0x88a8).
+    pub const QINQ: EtherType = EtherType(0x88a8);
+    /// IPv6 (0x86dd).
+    pub const IPV6: EtherType = EtherType(0x86dd);
+    /// LLDP (0x88cc).
+    pub const LLDP: EtherType = EtherType(0x88cc);
+
+    /// The raw numeric value.
+    pub const fn value(&self) -> u16 {
+        self.0
+    }
+
+    /// True if this EtherType marks a VLAN tag (either C-tag or S-tag).
+    pub const fn is_vlan(&self) -> bool {
+        self.0 == Self::VLAN.0 || self.0 == Self::QINQ.0
+    }
+
+    /// Values below 0x0600 are IEEE 802.3 length fields, not EtherTypes.
+    pub const fn is_valid_ethertype(&self) -> bool {
+        self.0 >= 0x0600
+    }
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        EtherType(v)
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(v: EtherType) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::IPV4 => write!(f, "IPv4"),
+            Self::ARP => write!(f, "ARP"),
+            Self::VLAN => write!(f, "802.1Q"),
+            Self::QINQ => write!(f, "802.1ad"),
+            Self::IPV6 => write!(f, "IPv6"),
+            Self::LLDP => write!(f, "LLDP"),
+            EtherType(v) => write!(f, "0x{v:04x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vlan_detection() {
+        assert!(EtherType::VLAN.is_vlan());
+        assert!(EtherType::QINQ.is_vlan());
+        assert!(!EtherType::IPV4.is_vlan());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EtherType::IPV4.to_string(), "IPv4");
+        assert_eq!(EtherType(0x1234).to_string(), "0x1234");
+    }
+
+    #[test]
+    fn length_fields_are_not_ethertypes() {
+        assert!(!EtherType(0x05dc).is_valid_ethertype());
+        assert!(EtherType::IPV4.is_valid_ethertype());
+    }
+}

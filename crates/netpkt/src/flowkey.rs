@@ -1,0 +1,409 @@
+//! Flow-key extraction: the OpenFlow 1.3 match tuple pulled out of a frame
+//! in one pass.
+//!
+//! [`FlowKey`] is both the *key* (extracted from a packet) and, by reusing
+//! the same shape with each field interpreted as a bitmask, the *mask*
+//! ([`FieldMask`]). `key.masked(&mask)` is a field-wise AND — exactly the
+//! operation OVS-style megaflow caches and OXM masked matches need.
+
+use crate::{EtherType, IpProto, MacAddr, Result};
+use crate::{arp, icmp, ipv4, ipv6, tcp, udp, vlan};
+
+/// OpenFlow 1.3 `OFPVID_PRESENT`: set in [`FlowKey::vlan_vid`] when the
+/// frame carries an 802.1Q tag.
+pub const OFPVID_PRESENT: u16 = 0x1000;
+/// OpenFlow 1.3 `OFPVID_NONE`: the `vlan_vid` value of untagged frames.
+pub const OFPVID_NONE: u16 = 0x0000;
+
+/// Helper for the OpenFlow VLAN-VID encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VlanKey {
+    /// Untagged frame.
+    None,
+    /// Tagged with this VLAN id.
+    Tagged(u16),
+}
+
+impl VlanKey {
+    /// The OXM `VLAN_VID` wire value.
+    pub fn to_oxm(&self) -> u16 {
+        match self {
+            VlanKey::None => OFPVID_NONE,
+            VlanKey::Tagged(vid) => OFPVID_PRESENT | (vid & vlan::VID_MASK),
+        }
+    }
+
+    /// Decode an OXM `VLAN_VID` value.
+    pub fn from_oxm(v: u16) -> Self {
+        if v & OFPVID_PRESENT != 0 {
+            VlanKey::Tagged(v & vlan::VID_MASK)
+        } else {
+            VlanKey::None
+        }
+    }
+}
+
+/// The extracted match tuple. Fields not applicable to the packet (e.g.
+/// `tcp_dst` of an ARP frame) are zero; which fields are meaningful is
+/// implied by `eth_type` / `ip_proto`, mirroring OXM prerequisites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FlowKey {
+    /// Ingress port (switch-local numbering).
+    pub in_port: u32,
+    /// Destination MAC.
+    pub eth_dst: MacAddr,
+    /// Source MAC.
+    pub eth_src: MacAddr,
+    /// EtherType after any VLAN tags.
+    pub eth_type: u16,
+    /// VLAN id in OpenFlow encoding (`OFPVID_PRESENT | vid`, or 0).
+    pub vlan_vid: u16,
+    /// VLAN priority code point (0 when untagged).
+    pub vlan_pcp: u8,
+    /// IP protocol number (v4 proto or v6 next-header).
+    pub ip_proto: u8,
+    /// IP DSCP bits.
+    pub ip_dscp: u8,
+    /// IPv4 source, big-endian u32.
+    pub ipv4_src: u32,
+    /// IPv4 destination, big-endian u32.
+    pub ipv4_dst: u32,
+    /// IPv6 source, big-endian u128.
+    pub ipv6_src: u128,
+    /// IPv6 destination, big-endian u128.
+    pub ipv6_dst: u128,
+    /// TCP source port.
+    pub tcp_src: u16,
+    /// TCP destination port.
+    pub tcp_dst: u16,
+    /// UDP source port.
+    pub udp_src: u16,
+    /// UDP destination port.
+    pub udp_dst: u16,
+    /// ICMPv4 type.
+    pub icmp_type: u8,
+    /// ICMPv4 code.
+    pub icmp_code: u8,
+    /// ARP opcode.
+    pub arp_op: u16,
+    /// ARP sender protocol address.
+    pub arp_spa: u32,
+    /// ARP target protocol address.
+    pub arp_tpa: u32,
+    /// OpenFlow pipeline metadata register. Not a packet field: always 0
+    /// after extraction, written by `WriteMetadata` instructions as the
+    /// packet moves through a multi-table pipeline.
+    pub metadata: u64,
+}
+
+/// A wildcard mask over [`FlowKey`]: each field is a bitmask ANDed with the
+/// corresponding key field. All-ones = exact match on that field, zero =
+/// wildcarded.
+pub type FieldMask = FlowKey;
+
+impl FlowKey {
+    /// A mask matching every field exactly.
+    pub fn exact_mask() -> FieldMask {
+        FlowKey {
+            in_port: u32::MAX,
+            eth_dst: MacAddr([0xff; 6]),
+            eth_src: MacAddr([0xff; 6]),
+            eth_type: u16::MAX,
+            vlan_vid: u16::MAX,
+            vlan_pcp: u8::MAX,
+            ip_proto: u8::MAX,
+            ip_dscp: u8::MAX,
+            ipv4_src: u32::MAX,
+            ipv4_dst: u32::MAX,
+            ipv6_src: u128::MAX,
+            ipv6_dst: u128::MAX,
+            tcp_src: u16::MAX,
+            tcp_dst: u16::MAX,
+            udp_src: u16::MAX,
+            udp_dst: u16::MAX,
+            icmp_type: u8::MAX,
+            icmp_code: u8::MAX,
+            arp_op: u16::MAX,
+            arp_spa: u32::MAX,
+            arp_tpa: u32::MAX,
+            metadata: u64::MAX,
+        }
+    }
+
+    /// A mask that wildcards everything (matches any packet).
+    pub fn empty_mask() -> FieldMask {
+        FlowKey::default()
+    }
+
+    /// Field-wise AND with a mask.
+    pub fn masked(&self, m: &FieldMask) -> FlowKey {
+        let and6 = |a: MacAddr, b: MacAddr| {
+            let mut o = [0u8; 6];
+            for i in 0..6 {
+                o[i] = a.0[i] & b.0[i];
+            }
+            MacAddr(o)
+        };
+        FlowKey {
+            in_port: self.in_port & m.in_port,
+            eth_dst: and6(self.eth_dst, m.eth_dst),
+            eth_src: and6(self.eth_src, m.eth_src),
+            eth_type: self.eth_type & m.eth_type,
+            vlan_vid: self.vlan_vid & m.vlan_vid,
+            vlan_pcp: self.vlan_pcp & m.vlan_pcp,
+            ip_proto: self.ip_proto & m.ip_proto,
+            ip_dscp: self.ip_dscp & m.ip_dscp,
+            ipv4_src: self.ipv4_src & m.ipv4_src,
+            ipv4_dst: self.ipv4_dst & m.ipv4_dst,
+            ipv6_src: self.ipv6_src & m.ipv6_src,
+            ipv6_dst: self.ipv6_dst & m.ipv6_dst,
+            tcp_src: self.tcp_src & m.tcp_src,
+            tcp_dst: self.tcp_dst & m.tcp_dst,
+            udp_src: self.udp_src & m.udp_src,
+            udp_dst: self.udp_dst & m.udp_dst,
+            icmp_type: self.icmp_type & m.icmp_type,
+            icmp_code: self.icmp_code & m.icmp_code,
+            arp_op: self.arp_op & m.arp_op,
+            arp_spa: self.arp_spa & m.arp_spa,
+            arp_tpa: self.arp_tpa & m.arp_tpa,
+            metadata: self.metadata & m.metadata,
+        }
+    }
+
+    /// Union of two masks (bit-wise OR per field). Used when a megaflow
+    /// entry must become *more* specific.
+    pub fn mask_union(&self, m: &FieldMask) -> FieldMask {
+        let or6 = |a: MacAddr, b: MacAddr| {
+            let mut o = [0u8; 6];
+            for i in 0..6 {
+                o[i] = a.0[i] | b.0[i];
+            }
+            MacAddr(o)
+        };
+        FlowKey {
+            in_port: self.in_port | m.in_port,
+            eth_dst: or6(self.eth_dst, m.eth_dst),
+            eth_src: or6(self.eth_src, m.eth_src),
+            eth_type: self.eth_type | m.eth_type,
+            vlan_vid: self.vlan_vid | m.vlan_vid,
+            vlan_pcp: self.vlan_pcp | m.vlan_pcp,
+            ip_proto: self.ip_proto | m.ip_proto,
+            ip_dscp: self.ip_dscp | m.ip_dscp,
+            ipv4_src: self.ipv4_src | m.ipv4_src,
+            ipv4_dst: self.ipv4_dst | m.ipv4_dst,
+            ipv6_src: self.ipv6_src | m.ipv6_src,
+            ipv6_dst: self.ipv6_dst | m.ipv6_dst,
+            tcp_src: self.tcp_src | m.tcp_src,
+            tcp_dst: self.tcp_dst | m.tcp_dst,
+            udp_src: self.udp_src | m.udp_src,
+            udp_dst: self.udp_dst | m.udp_dst,
+            icmp_type: self.icmp_type | m.icmp_type,
+            icmp_code: self.icmp_code | m.icmp_code,
+            arp_op: self.arp_op | m.arp_op,
+            arp_spa: self.arp_spa | m.arp_spa,
+            arp_tpa: self.arp_tpa | m.arp_tpa,
+            metadata: self.metadata | m.metadata,
+        }
+    }
+
+    /// The VLAN tag state as a [`VlanKey`].
+    pub fn vlan(&self) -> VlanKey {
+        VlanKey::from_oxm(self.vlan_vid)
+    }
+
+    /// Extract the flow key of `frame` as received on `in_port`.
+    ///
+    /// L2 must parse; deeper layers are extracted opportunistically (a
+    /// malformed IP header simply leaves the IP fields zero, as a hardware
+    /// parser would treat a runt).
+    pub fn extract(in_port: u32, frame: &[u8]) -> Result<FlowKey> {
+        let eth = crate::EthernetFrame::new_checked(frame)?;
+        let view = vlan::VlanView::parse(frame)?;
+        let mut key = FlowKey {
+            in_port,
+            eth_dst: eth.dst(),
+            eth_src: eth.src(),
+            eth_type: view.inner_ethertype.0,
+            ..FlowKey::default()
+        };
+        if let Some(tag) = view.outer {
+            key.vlan_vid = OFPVID_PRESENT | tag.vid;
+            key.vlan_pcp = tag.pcp;
+        }
+        let payload = &frame[view.payload_offset..];
+        match view.inner_ethertype {
+            EtherType::IPV4 => {
+                if let Ok(ip) = ipv4::Ipv4Packet::new_checked(payload) {
+                    key.ip_proto = ip.proto().0;
+                    key.ip_dscp = ip.dscp();
+                    key.ipv4_src = u32::from(ip.src());
+                    key.ipv4_dst = u32::from(ip.dst());
+                    Self::extract_l4(&mut key, ip.proto(), ip.payload());
+                }
+            }
+            EtherType::IPV6 => {
+                if let Ok(ip) = ipv6::Ipv6Packet::new_checked(payload) {
+                    key.ip_proto = ip.next_header().0;
+                    key.ip_dscp = ip.traffic_class() >> 2;
+                    key.ipv6_src = u128::from(ip.src());
+                    key.ipv6_dst = u128::from(ip.dst());
+                    Self::extract_l4(&mut key, ip.next_header(), ip.payload());
+                }
+            }
+            EtherType::ARP => {
+                if let Ok(a) = arp::ArpPacket::new_checked(payload) {
+                    key.arp_op = a.op().value();
+                    key.arp_spa = u32::from(a.sender_ip());
+                    key.arp_tpa = u32::from(a.target_ip());
+                }
+            }
+            _ => {}
+        }
+        Ok(key)
+    }
+
+    fn extract_l4(key: &mut FlowKey, proto: IpProto, payload: &[u8]) {
+        match proto {
+            IpProto::TCP => {
+                if let Ok(t) = tcp::TcpPacket::new_checked(payload) {
+                    key.tcp_src = t.src_port();
+                    key.tcp_dst = t.dst_port();
+                }
+            }
+            IpProto::UDP => {
+                if let Ok(u) = udp::UdpPacket::new_checked(payload) {
+                    key.udp_src = u.src_port();
+                    key.udp_dst = u.dst_port();
+                }
+            }
+            IpProto::ICMP => {
+                if let Ok(i) = icmp::Icmpv4Packet::new_checked(payload) {
+                    key.icmp_type = i.msg_type().value();
+                    key.icmp_code = i.code();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Extraction that fails only on frames shorter than an Ethernet
+    /// header, mapping truncation to a zero key — used
+    /// by dataplanes that must never drop on parse errors.
+    pub fn extract_lossy(in_port: u32, frame: &[u8]) -> FlowKey {
+        Self::extract(in_port, frame).unwrap_or(FlowKey {
+            in_port,
+            ..FlowKey::default()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::vlan::{push_vlan, VlanTag};
+    use std::net::Ipv4Addr;
+
+    fn udp_frame() -> bytes::Bytes {
+        builder::udp_packet(
+            MacAddr::host(1),
+            MacAddr::host(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1111,
+            53,
+            b"q",
+        )
+    }
+
+    #[test]
+    fn extract_udp() {
+        let key = FlowKey::extract(3, &udp_frame()).unwrap();
+        assert_eq!(key.in_port, 3);
+        assert_eq!(key.eth_src, MacAddr::host(1));
+        assert_eq!(key.eth_dst, MacAddr::host(2));
+        assert_eq!(key.eth_type, 0x0800);
+        assert_eq!(key.vlan(), VlanKey::None);
+        assert_eq!(key.ip_proto, 17);
+        assert_eq!(key.ipv4_src, u32::from(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(key.udp_src, 1111);
+        assert_eq!(key.udp_dst, 53);
+        assert_eq!(key.tcp_dst, 0);
+    }
+
+    #[test]
+    fn extract_tagged_reports_inner_ethertype() {
+        let tagged = push_vlan(&udp_frame(), VlanTag { vid: 101, pcp: 5, dei: false }).unwrap();
+        let key = FlowKey::extract(1, &tagged).unwrap();
+        assert_eq!(key.eth_type, 0x0800, "ETH_TYPE must look through the tag");
+        assert_eq!(key.vlan(), VlanKey::Tagged(101));
+        assert_eq!(key.vlan_pcp, 5);
+        assert_eq!(key.udp_dst, 53, "L4 must still be reachable through the tag");
+    }
+
+    #[test]
+    fn extract_arp() {
+        let frame = builder::arp_request(
+            MacAddr::host(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let key = FlowKey::extract(1, &frame).unwrap();
+        assert_eq!(key.eth_type, 0x0806);
+        assert_eq!(key.arp_op, 1);
+        assert_eq!(key.arp_tpa, u32::from(Ipv4Addr::new(10, 0, 0, 2)));
+    }
+
+    #[test]
+    fn masked_wildcards_fields() {
+        let key = FlowKey::extract(3, &udp_frame()).unwrap();
+        let mut mask = FlowKey::empty_mask();
+        mask.udp_dst = u16::MAX;
+        let m = key.masked(&mask);
+        assert_eq!(m.udp_dst, 53);
+        assert_eq!(m.in_port, 0);
+        assert_eq!(m.eth_src, MacAddr::ZERO);
+    }
+
+    #[test]
+    fn exact_mask_is_identity() {
+        let key = FlowKey::extract(3, &udp_frame()).unwrap();
+        assert_eq!(key.masked(&FlowKey::exact_mask()), key);
+    }
+
+    #[test]
+    fn mask_union_is_monotonic() {
+        let mut a = FlowKey::empty_mask();
+        a.udp_dst = u16::MAX;
+        let mut b = FlowKey::empty_mask();
+        b.in_port = u32::MAX;
+        let u = a.mask_union(&b);
+        assert_eq!(u.udp_dst, u16::MAX);
+        assert_eq!(u.in_port, u32::MAX);
+    }
+
+    #[test]
+    fn vlan_key_oxm_round_trip() {
+        assert_eq!(VlanKey::from_oxm(VlanKey::Tagged(101).to_oxm()), VlanKey::Tagged(101));
+        assert_eq!(VlanKey::from_oxm(VlanKey::None.to_oxm()), VlanKey::None);
+    }
+
+    #[test]
+    fn lossy_never_panics_on_garbage() {
+        for len in 0..64 {
+            let junk = vec![0xa5u8; len];
+            let _ = FlowKey::extract_lossy(1, &junk);
+        }
+    }
+
+    #[test]
+    fn truncated_ip_leaves_l3_zero() {
+        // Valid Ethernet header claiming IPv4, but only 4 payload bytes.
+        let mut f = vec![0u8; 18];
+        f[12..14].copy_from_slice(&0x0800u16.to_be_bytes());
+        let key = FlowKey::extract(1, &f).unwrap();
+        assert_eq!(key.eth_type, 0x0800);
+        assert_eq!(key.ipv4_src, 0);
+        assert_eq!(key.ip_proto, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! ICMPv4 view (RFC 792) — echo request/reply and unreachable, which is all
+//! the examples and tests need.
+
+use crate::checksum;
+use crate::{Error, Result};
+
+/// ICMP header length (type, code, checksum + 4 bytes rest-of-header).
+pub const HEADER_LEN: usize = 8;
+
+/// ICMPv4 message type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Icmpv4Type {
+    /// Echo reply (0).
+    EchoReply,
+    /// Destination unreachable (3).
+    DestUnreachable,
+    /// Echo request (8).
+    EchoRequest,
+    /// Time exceeded (11).
+    TimeExceeded,
+    /// Anything else.
+    Other(u8),
+}
+
+impl Icmpv4Type {
+    /// Wire value.
+    pub fn value(&self) -> u8 {
+        match self {
+            Icmpv4Type::EchoReply => 0,
+            Icmpv4Type::DestUnreachable => 3,
+            Icmpv4Type::EchoRequest => 8,
+            Icmpv4Type::TimeExceeded => 11,
+            Icmpv4Type::Other(v) => *v,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_value(v: u8) -> Self {
+        match v {
+            0 => Icmpv4Type::EchoReply,
+            3 => Icmpv4Type::DestUnreachable,
+            8 => Icmpv4Type::EchoRequest,
+            11 => Icmpv4Type::TimeExceeded,
+            v => Icmpv4Type::Other(v),
+        }
+    }
+}
+
+/// View over an ICMPv4 message.
+#[derive(Debug, Clone)]
+pub struct Icmpv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Icmpv4Packet<T> {
+    /// Wrap without validation.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        Icmpv4Packet { buffer }
+    }
+
+    /// Wrap, validating the minimum length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(Icmpv4Packet { buffer })
+    }
+
+    /// Message type.
+    pub fn msg_type(&self) -> Icmpv4Type {
+        Icmpv4Type::from_value(self.buffer.as_ref()[0])
+    }
+
+    /// Message code.
+    pub fn code(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Echo identifier (bytes 4..6 for echo messages).
+    pub fn echo_ident(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Echo sequence number (bytes 6..8).
+    pub fn echo_seq(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]])
+    }
+
+    /// Payload after the 8-byte header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Verify the message checksum.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(self.buffer.as_ref())
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Icmpv4Packet<T> {
+    /// Set the message type.
+    pub fn set_msg_type(&mut self, t: Icmpv4Type) {
+        self.buffer.as_mut()[0] = t.value();
+    }
+
+    /// Set the message code.
+    pub fn set_code(&mut self, c: u8) {
+        self.buffer.as_mut()[1] = c;
+    }
+
+    /// Set the echo identifier.
+    pub fn set_echo_ident(&mut self, v: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the echo sequence number.
+    pub fn set_echo_seq(&mut self, v: u16) {
+        self.buffer.as_mut()[6..8].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Compute and store the checksum.
+    pub fn fill_checksum(&mut self) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&[0, 0]);
+        let ck = checksum::checksum(self.buffer.as_ref());
+        self.buffer.as_mut()[2..4].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_round_trip() {
+        let mut buf = vec![0u8; HEADER_LEN + 4];
+        buf[HEADER_LEN..].copy_from_slice(b"ping");
+        let mut icmp = Icmpv4Packet::new_unchecked(&mut buf[..]);
+        icmp.set_msg_type(Icmpv4Type::EchoRequest);
+        icmp.set_code(0);
+        icmp.set_echo_ident(7);
+        icmp.set_echo_seq(3);
+        icmp.fill_checksum();
+
+        let icmp = Icmpv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(icmp.msg_type(), Icmpv4Type::EchoRequest);
+        assert_eq!(icmp.echo_ident(), 7);
+        assert_eq!(icmp.echo_seq(), 3);
+        assert_eq!(icmp.payload(), b"ping");
+        assert!(icmp.verify_checksum());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = vec![0u8; HEADER_LEN];
+        let mut icmp = Icmpv4Packet::new_unchecked(&mut buf[..]);
+        icmp.set_msg_type(Icmpv4Type::EchoReply);
+        icmp.fill_checksum();
+        buf[7] ^= 1;
+        assert!(!Icmpv4Packet::new_checked(&buf[..]).unwrap().verify_checksum());
+    }
+
+    #[test]
+    fn type_round_trip() {
+        for v in 0..=255u8 {
+            assert_eq!(Icmpv4Type::from_value(v).value(), v);
+        }
+    }
+}

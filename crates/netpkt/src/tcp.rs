@@ -1,0 +1,215 @@
+//! TCP segment view (RFC 793) — enough for switching, ACLs and the
+//! parental-control use case; no reassembly or state machine.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::{Error, IpProto, Result};
+
+/// Minimum TCP header length (no options).
+pub const HEADER_LEN: usize = 20;
+
+/// TCP flag bits as stored in byte 13.
+pub mod flags {
+    /// FIN.
+    pub const FIN: u8 = 0x01;
+    /// SYN.
+    pub const SYN: u8 = 0x02;
+    /// RST.
+    pub const RST: u8 = 0x04;
+    /// PSH.
+    pub const PSH: u8 = 0x08;
+    /// ACK.
+    pub const ACK: u8 = 0x10;
+    /// URG.
+    pub const URG: u8 = 0x20;
+}
+
+/// View over a TCP segment.
+#[derive(Debug, Clone)]
+pub struct TcpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpPacket<T> {
+    /// Wrap without validation.
+    pub const fn new_unchecked(buffer: T) -> Self {
+        TcpPacket { buffer }
+    }
+
+    /// Wrap, validating the data-offset field.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let b = buffer.as_ref();
+        if b.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let doff = usize::from(b[12] >> 4) * 4;
+        if doff < HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        if b.len() < doff {
+            return Err(Error::Truncated);
+        }
+        Ok(TcpPacket { buffer })
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[4], b[5], b[6], b[7]])
+    }
+
+    /// Acknowledgement number.
+    pub fn ack(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[8], b[9], b[10], b[11]])
+    }
+
+    /// Header length in bytes.
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[12] >> 4) * 4
+    }
+
+    /// Raw flag byte.
+    pub fn flags(&self) -> u8 {
+        self.buffer.as_ref()[13]
+    }
+
+    /// True if SYN set and ACK clear.
+    pub fn is_syn(&self) -> bool {
+        self.flags() & (flags::SYN | flags::ACK) == flags::SYN
+    }
+
+    /// Window size.
+    pub fn window(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[14], b[15]])
+    }
+
+    /// Payload after header+options.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    /// Verify the checksum over the IPv4 pseudo-header.
+    pub fn verify_checksum_v4(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        let b = self.buffer.as_ref();
+        let mut acc = checksum::pseudo_header_v4(
+            src.octets(),
+            dst.octets(),
+            IpProto::TCP.0,
+            b.len() as u16,
+        );
+        acc = checksum::sum(acc, b);
+        checksum::finish(acc) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpPacket<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the sequence number.
+    pub fn set_seq(&mut self, v: u32) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the acknowledgement number.
+    pub fn set_ack(&mut self, v: u32) {
+        self.buffer.as_mut()[8..12].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Set the data offset (header length in bytes).
+    pub fn set_header_len(&mut self, len: usize) {
+        self.buffer.as_mut()[12] = ((len / 4) as u8) << 4;
+    }
+
+    /// Set the flag byte.
+    pub fn set_flags(&mut self, f: u8) {
+        self.buffer.as_mut()[13] = f;
+    }
+
+    /// Set the window size.
+    pub fn set_window(&mut self, w: u16) {
+        self.buffer.as_mut()[14..16].copy_from_slice(&w.to_be_bytes());
+    }
+
+    /// Compute and store the checksum over the IPv4 pseudo-header.
+    pub fn fill_checksum_v4(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        self.buffer.as_mut()[16..18].copy_from_slice(&[0, 0]);
+        let len = self.buffer.as_ref().len();
+        let mut acc =
+            checksum::pseudo_header_v4(src.octets(), dst.octets(), IpProto::TCP.0, len as u16);
+        acc = checksum::sum(acc, self.buffer.as_ref());
+        let ck = checksum::finish(acc);
+        self.buffer.as_mut()[16..18].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_verify_round_trip() {
+        let src = Ipv4Addr::new(10, 1, 0, 1);
+        let dst = Ipv4Addr::new(10, 1, 0, 2);
+        let mut buf = vec![0u8; HEADER_LEN + 3];
+        buf[HEADER_LEN..].copy_from_slice(b"GET");
+        let mut tcp = TcpPacket::new_unchecked(&mut buf[..]);
+        tcp.set_src_port(40000);
+        tcp.set_dst_port(80);
+        tcp.set_seq(1);
+        tcp.set_ack(0);
+        tcp.set_header_len(HEADER_LEN);
+        tcp.set_flags(flags::PSH | flags::ACK);
+        tcp.set_window(65535);
+        tcp.fill_checksum_v4(src, dst);
+
+        let tcp = TcpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(tcp.dst_port(), 80);
+        assert_eq!(tcp.payload(), b"GET");
+        assert!(!tcp.is_syn());
+        assert!(tcp.verify_checksum_v4(src, dst));
+        // A different address (not a src/dst swap, which is sum-invariant)
+        // must fail verification.
+        assert!(!tcp.verify_checksum_v4(src, Ipv4Addr::new(10, 1, 0, 9)));
+    }
+
+    #[test]
+    fn syn_detection() {
+        let mut buf = vec![0u8; HEADER_LEN];
+        let mut tcp = TcpPacket::new_unchecked(&mut buf[..]);
+        tcp.set_header_len(HEADER_LEN);
+        tcp.set_flags(flags::SYN);
+        assert!(TcpPacket::new_checked(&buf[..]).unwrap().is_syn());
+    }
+
+    #[test]
+    fn rejects_bad_data_offset() {
+        let mut buf = vec![0u8; HEADER_LEN];
+        buf[12] = 0x30; // doff = 12 bytes < 20
+        assert_eq!(TcpPacket::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        buf[12] = 0xf0; // doff = 60 bytes > buffer
+        assert_eq!(TcpPacket::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests for the packet formats: build→parse inverses, checksum
+//! validity of everything the builders emit, and decode safety on
+//! arbitrary bytes.
+
+use proptest::prelude::*;
+
+use netpkt::vlan::{self, VlanTag};
+use netpkt::{
+    builder, ArpPacket, ArpRepr, EthernetFrame, EthernetRepr, FlowKey, Icmpv4Packet, Ipv4Packet,
+    MacAddr, TcpPacket, UdpPacket,
+};
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_ip() -> impl Strategy<Value = std::net::Ipv4Addr> {
+    any::<u32>().prop_map(std::net::Ipv4Addr::from)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn built_udp_packets_are_wire_valid(
+        src_mac in arb_mac(),
+        dst_mac in arb_mac(),
+        src_ip in arb_ip(),
+        dst_ip in arb_ip(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1400),
+    ) {
+        let f = builder::udp_packet(src_mac, dst_mac, src_ip, dst_ip, sport, dport, &payload);
+        let eth = EthernetFrame::new_checked(&f[..]).unwrap();
+        prop_assert_eq!(eth.src(), src_mac);
+        prop_assert_eq!(eth.dst(), dst_mac);
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        prop_assert!(ip.verify_checksum());
+        prop_assert_eq!(ip.src(), src_ip);
+        prop_assert_eq!(ip.dst(), dst_ip);
+        let udp = UdpPacket::new_checked(ip.payload()).unwrap();
+        prop_assert!(udp.verify_checksum_v4(src_ip, dst_ip));
+        prop_assert_eq!(udp.src_port(), sport);
+        prop_assert_eq!(udp.dst_port(), dport);
+        prop_assert_eq!(udp.payload(), &payload[..]);
+        // And the flow key agrees with the construction parameters.
+        let key = FlowKey::extract(5, &f).unwrap();
+        prop_assert_eq!(key.in_port, 5);
+        prop_assert_eq!(key.eth_src, src_mac);
+        prop_assert_eq!(key.ip_proto, 17);
+        prop_assert_eq!(key.udp_src, sport);
+        prop_assert_eq!(key.udp_dst, dport);
+    }
+
+    #[test]
+    fn built_tcp_packets_are_wire_valid(
+        src_ip in arb_ip(),
+        dst_ip in arb_ip(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        flags in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let f = builder::tcp_packet(
+            MacAddr::host(1), MacAddr::host(2), src_ip, dst_ip, sport, dport, flags, &payload,
+        );
+        let eth = EthernetFrame::new_checked(&f[..]).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        prop_assert!(ip.verify_checksum());
+        let tcp = TcpPacket::new_checked(ip.payload()).unwrap();
+        prop_assert!(tcp.verify_checksum_v4(src_ip, dst_ip));
+        prop_assert_eq!(tcp.flags(), flags);
+        prop_assert_eq!(tcp.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn ethernet_repr_round_trips(dst in arb_mac(), src in arb_mac(), ty in any::<u16>()) {
+        let repr = EthernetRepr { dst, src, ethertype: netpkt::EtherType(ty) };
+        let mut buf = vec![0u8; 14];
+        let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
+        repr.emit(&mut frame);
+        let parsed = EthernetRepr::parse(&EthernetFrame::new_checked(&buf[..]).unwrap()).unwrap();
+        prop_assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn arp_repr_round_trips(
+        smac in arb_mac(),
+        sip in arb_ip(),
+        tmac in arb_mac(),
+        tip in arb_ip(),
+        op in any::<u16>(),
+    ) {
+        let repr = ArpRepr {
+            op: netpkt::ArpOp::from_value(op),
+            sender_mac: smac,
+            sender_ip: sip,
+            target_mac: tmac,
+            target_ip: tip,
+        };
+        let mut buf = [0u8; netpkt::arp::PACKET_LEN];
+        repr.emit(&mut buf);
+        let parsed = ArpRepr::parse(&ArpPacket::new_checked(&buf[..]).unwrap()).unwrap();
+        prop_assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn vlan_stack_depth_two_round_trips(
+        vid1 in 1u16..4095,
+        vid2 in 1u16..4095,
+        pcp in 0u8..8,
+    ) {
+        let base = builder::udp_packet(
+            MacAddr::host(1), MacAddr::host(2),
+            "10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap(),
+            1, 2, b"payload",
+        );
+        let t1 = vlan::push_vlan(&base, VlanTag { vid: vid1, pcp, dei: false }).unwrap();
+        let t2 = vlan::push_vlan_tpid(&t1, VlanTag::new(vid2), netpkt::EtherType::QINQ).unwrap();
+        let view = vlan::VlanView::parse(&t2).unwrap();
+        prop_assert_eq!(view.outer, Some(VlanTag::new(vid2)));
+        prop_assert_eq!(view.inner, Some(VlanTag { vid: vid1, pcp, dei: false }));
+        // Pop twice restores the original.
+        let p1 = vlan::pop_vlan(&t2).unwrap();
+        let p2 = vlan::pop_vlan(&p1).unwrap();
+        prop_assert_eq!(&p2[..], &base[..]);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = EthernetFrame::new_checked(&data[..]);
+        let _ = Ipv4Packet::new_checked(&data[..]);
+        let _ = UdpPacket::new_checked(&data[..]);
+        let _ = TcpPacket::new_checked(&data[..]);
+        let _ = Icmpv4Packet::new_checked(&data[..]);
+        let _ = ArpPacket::new_checked(&data[..]);
+        let _ = vlan::VlanView::parse(&data[..]);
+        let _ = FlowKey::extract_lossy(0, &data);
+    }
+
+    #[test]
+    fn checksum_incremental_equals_oneshot(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        use netpkt::checksum;
+        // Summing in two chunks must agree with one pass when the first
+        // chunk has even length (ones-complement sums are 16-bit based).
+        prop_assume!(a.len() % 2 == 0);
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        let two_step = checksum::finish(checksum::sum(checksum::sum(0, &a), &b));
+        let one_step = checksum::checksum(&joined);
+        prop_assert_eq!(two_step, one_step);
+    }
+
+    #[test]
+    fn sized_frames_always_extractable(len in 60usize..1515) {
+        let f = builder::sized_udp_packet(
+            MacAddr::host(1), MacAddr::host(2),
+            "10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap(),
+            7, 9, len,
+        );
+        prop_assert_eq!(f.len(), len);
+        let key = FlowKey::extract(1, &f).unwrap();
+        prop_assert_eq!(key.udp_dst, 9);
+    }
+}

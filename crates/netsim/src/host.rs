@@ -1,0 +1,415 @@
+//! A minimal end host: one NIC, an ARP resolver/responder, an ICMP echo
+//! responder, UDP send/receive with a mailbox, and a TCP SYN counter.
+//!
+//! Hosts are the endpoints of the use-case demos (DMZ, parental control,
+//! quickstart ping) — they generate *correct* protocol exchanges so the
+//! switches under test see realistic traffic.
+
+use bytes::Bytes;
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use netpkt::{
+    builder, ArpOp, ArpPacket, ArpRepr, EtherType, EthernetFrame, FlowKey, Icmpv4Type, IpProto,
+    Ipv4Packet, MacAddr, TcpPacket, UdpPacket,
+};
+
+use crate::node::{Node, NodeCtx, PortId};
+use crate::time::SimTime;
+
+/// The single NIC port of every host.
+pub const NIC: PortId = PortId(0);
+
+/// A frame waiting for ARP resolution.
+enum Pending {
+    Udp { dst_ip: Ipv4Addr, dst_port: u16, src_port: u16, payload: Vec<u8> },
+    Ping { dst_ip: Ipv4Addr, payload: Vec<u8> },
+    TcpSyn { dst_ip: Ipv4Addr, dst_port: u16, src_port: u16 },
+}
+
+/// A received UDP datagram kept in the mailbox.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Sender IP.
+    pub src_ip: Ipv4Addr,
+    /// Sender UDP port.
+    pub src_port: u16,
+    /// Destination UDP port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A simulated end host.
+pub struct Host {
+    name: String,
+    mac: MacAddr,
+    ip: Ipv4Addr,
+    arp_table: HashMap<Ipv4Addr, MacAddr>,
+    pending: Vec<Pending>,
+    mailbox: Vec<Datagram>,
+    echo_replies: u64,
+    echo_requests_answered: u64,
+    syns_received: u64,
+    syn_acks_received: u64,
+    rx_frames: u64,
+    ping_seq: u16,
+    udp_src_seq: u16,
+}
+
+impl Host {
+    /// Create a host with the given L2/L3 identity.
+    pub fn new(name: impl Into<String>, mac: MacAddr, ip: Ipv4Addr) -> Host {
+        Host {
+            name: name.into(),
+            mac,
+            ip,
+            arp_table: HashMap::new(),
+            pending: Vec::new(),
+            mailbox: Vec::new(),
+            echo_replies: 0,
+            echo_requests_answered: 0,
+            syns_received: 0,
+            syn_acks_received: 0,
+            rx_frames: 0,
+            ping_seq: 0,
+            udp_src_seq: 40_000,
+        }
+    }
+
+    /// This host's MAC address.
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// This host's IPv4 address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.ip
+    }
+
+    /// Echo replies received (successful pings).
+    pub fn echo_replies_received(&self) -> u64 {
+        self.echo_replies
+    }
+
+    /// Echo requests this host answered.
+    pub fn echo_requests_answered(&self) -> u64 {
+        self.echo_requests_answered
+    }
+
+    /// TCP SYNs received (the host always answers SYN+ACK).
+    pub fn syns_received(&self) -> u64 {
+        self.syns_received
+    }
+
+    /// TCP SYN+ACKs received (successful "connections" initiated by us).
+    pub fn syn_acks_received(&self) -> u64 {
+        self.syn_acks_received
+    }
+
+    /// Total frames delivered to this host.
+    pub fn rx_frames(&self) -> u64 {
+        self.rx_frames
+    }
+
+    /// Received UDP datagrams addressed to us.
+    pub fn mailbox(&self) -> &[Datagram] {
+        &self.mailbox
+    }
+
+    /// The learned ARP table.
+    pub fn arp_table(&self) -> &HashMap<Ipv4Addr, MacAddr> {
+        &self.arp_table
+    }
+
+    /// Sends still waiting for ARP resolution.
+    pub fn pending_sends(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Queue an ICMP echo request to `dst_ip` (resolving ARP first if
+    /// needed). Effective on the next simulation event; typically called
+    /// through [`crate::Network::with_node_ctx`].
+    pub fn ping(&mut self, payload: &[u8], dst_ip: Ipv4Addr) {
+        self.pending.push(Pending::Ping { dst_ip, payload: payload.to_vec() });
+    }
+
+    /// Queue a UDP datagram to `dst_ip:dst_port`.
+    pub fn send_udp(&mut self, dst_ip: Ipv4Addr, dst_port: u16, payload: &[u8]) {
+        self.udp_src_seq = self.udp_src_seq.wrapping_add(1).max(1024);
+        self.pending.push(Pending::Udp {
+            dst_ip,
+            dst_port,
+            src_port: self.udp_src_seq,
+            payload: payload.to_vec(),
+        });
+    }
+
+    /// Queue a TCP SYN ("connection attempt") to `dst_ip:dst_port`.
+    pub fn connect_tcp(&mut self, dst_ip: Ipv4Addr, dst_port: u16) {
+        self.udp_src_seq = self.udp_src_seq.wrapping_add(1).max(1024);
+        self.pending.push(Pending::TcpSyn { dst_ip, dst_port, src_port: self.udp_src_seq });
+    }
+
+    /// Flush queued sends now. Needed when queueing traffic from outside
+    /// an event (e.g. through [`crate::Network::with_node_ctx`]) after the
+    /// simulation has started; `on_start`/`on_packet`/`on_timer` flush
+    /// automatically.
+    pub fn flush(&mut self, ctx: &mut NodeCtx) {
+        self.flush_pending(ctx);
+    }
+
+    /// Flush any queued sends whose next hop is resolved; ARP for the rest.
+    fn flush_pending(&mut self, ctx: &mut NodeCtx) {
+        let mut keep = Vec::new();
+        let pending = std::mem::take(&mut self.pending);
+        let mut arped: Vec<Ipv4Addr> = Vec::new();
+        for p in pending {
+            let dst_ip = match &p {
+                Pending::Udp { dst_ip, .. } => *dst_ip,
+                Pending::Ping { dst_ip, .. } => *dst_ip,
+                Pending::TcpSyn { dst_ip, .. } => *dst_ip,
+            };
+            match self.arp_table.get(&dst_ip).copied() {
+                Some(dst_mac) => self.send_now(p, dst_mac, ctx),
+                None => {
+                    if !arped.contains(&dst_ip) {
+                        arped.push(dst_ip);
+                        ctx.transmit(NIC, builder::arp_request(self.mac, self.ip, dst_ip));
+                    }
+                    keep.push(p);
+                }
+            }
+        }
+        self.pending = keep;
+    }
+
+    fn send_now(&mut self, p: Pending, dst_mac: MacAddr, ctx: &mut NodeCtx) {
+        match p {
+            Pending::Udp { dst_ip, dst_port, src_port, payload } => {
+                let f = builder::udp_packet(
+                    self.mac, dst_mac, self.ip, dst_ip, src_port, dst_port, &payload,
+                );
+                ctx.transmit(NIC, f);
+            }
+            Pending::Ping { dst_ip, payload } => {
+                self.ping_seq = self.ping_seq.wrapping_add(1);
+                let f = builder::icmp_echo_request(
+                    self.mac, dst_mac, self.ip, dst_ip, 1, self.ping_seq, &payload,
+                );
+                ctx.transmit(NIC, f);
+            }
+            Pending::TcpSyn { dst_ip, dst_port, src_port } => {
+                let f = builder::tcp_packet(
+                    self.mac,
+                    dst_mac,
+                    self.ip,
+                    dst_ip,
+                    src_port,
+                    dst_port,
+                    netpkt::tcp::flags::SYN,
+                    b"",
+                );
+                ctx.transmit(NIC, f);
+            }
+        }
+    }
+
+    fn handle_arp(&mut self, frame: &[u8], ctx: &mut NodeCtx) {
+        let eth = EthernetFrame::new_unchecked(frame);
+        let Ok(arp) = ArpPacket::new_checked(eth.payload()) else { return };
+        let Ok(repr) = ArpRepr::parse(&arp) else { return };
+        // Learn the sender either way.
+        self.arp_table.insert(repr.sender_ip, repr.sender_mac);
+        match repr.op {
+            ArpOp::Request if repr.target_ip == self.ip => {
+                ctx.transmit(NIC, builder::arp_reply(&repr, self.mac));
+            }
+            _ => {}
+        }
+        self.flush_pending(ctx);
+    }
+
+    fn handle_ipv4(&mut self, frame: &[u8], ctx: &mut NodeCtx) {
+        let eth = EthernetFrame::new_unchecked(frame);
+        let Ok(ip) = Ipv4Packet::new_checked(eth.payload()) else { return };
+        if ip.dst() != self.ip {
+            return; // promiscuous traffic (e.g. flooded); not for us
+        }
+        match ip.proto() {
+            IpProto::ICMP => {
+                let Ok(icmp) = netpkt::Icmpv4Packet::new_checked(ip.payload()) else { return };
+                match icmp.msg_type() {
+                    Icmpv4Type::EchoRequest => {
+                        self.echo_requests_answered += 1;
+                        let reply = builder::icmp_echo_reply(
+                            self.mac,
+                            eth.src(),
+                            self.ip,
+                            ip.src(),
+                            icmp.echo_ident(),
+                            icmp.echo_seq(),
+                            icmp.payload(),
+                        );
+                        ctx.transmit(NIC, reply);
+                    }
+                    Icmpv4Type::EchoReply => {
+                        self.echo_replies += 1;
+                    }
+                    _ => {}
+                }
+            }
+            IpProto::UDP => {
+                let Ok(udp) = UdpPacket::new_checked(ip.payload()) else { return };
+                self.mailbox.push(Datagram {
+                    at: ctx.now(),
+                    src_ip: ip.src(),
+                    src_port: udp.src_port(),
+                    dst_port: udp.dst_port(),
+                    payload: udp.payload().to_vec(),
+                });
+            }
+            IpProto::TCP => {
+                let Ok(tcp) = TcpPacket::new_checked(ip.payload()) else { return };
+                if tcp.is_syn() {
+                    self.syns_received += 1;
+                    // Answer SYN+ACK so the initiator can count success.
+                    let f = builder::tcp_packet(
+                        self.mac,
+                        eth.src(),
+                        self.ip,
+                        ip.src(),
+                        tcp.dst_port(),
+                        tcp.src_port(),
+                        netpkt::tcp::flags::SYN | netpkt::tcp::flags::ACK,
+                        b"",
+                    );
+                    ctx.transmit(NIC, f);
+                } else if tcp.flags() & netpkt::tcp::flags::SYN != 0
+                    && tcp.flags() & netpkt::tcp::flags::ACK != 0
+                {
+                    self.syn_acks_received += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Node for Host {
+    fn on_start(&mut self, ctx: &mut NodeCtx) {
+        self.flush_pending(ctx);
+    }
+
+    fn on_packet(&mut self, _port: PortId, frame: Bytes, ctx: &mut NodeCtx) {
+        self.rx_frames += 1;
+        let Ok(key) = FlowKey::extract(0, &frame) else { return };
+        // Hosts are access devices: a VLAN tag reaching a host means the
+        // switch misdelivered; count it by ignoring.
+        if key.vlan_vid != 0 {
+            return;
+        }
+        match EtherType(key.eth_type) {
+            EtherType::ARP => self.handle_arp(&frame, ctx),
+            EtherType::IPV4 => self.handle_ipv4(&frame, ctx),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut NodeCtx) {
+        self.flush_pending(ctx);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use crate::net::Network;
+
+    fn two_hosts() -> (Network, crate::net::NodeId, crate::net::NodeId) {
+        let mut net = Network::new(5);
+        let a = net.add_node(Host::new("a", MacAddr::host(1), Ipv4Addr::new(10, 0, 0, 1)));
+        let b = net.add_node(Host::new("b", MacAddr::host(2), Ipv4Addr::new(10, 0, 0, 2)));
+        net.connect(a, NIC, b, NIC, LinkSpec::gigabit());
+        (net, a, b)
+    }
+
+    #[test]
+    fn ping_back_to_back() {
+        let (mut net, a, b) = two_hosts();
+        net.node_mut::<Host>(a).ping(b"hello", Ipv4Addr::new(10, 0, 0, 2));
+        net.run_until(SimTime::from_millis(10));
+        assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 1);
+        assert_eq!(net.node_ref::<Host>(b).echo_requests_answered(), 1);
+        // ARP was learned both ways.
+        assert_eq!(
+            net.node_ref::<Host>(a).arp_table()[&Ipv4Addr::new(10, 0, 0, 2)],
+            MacAddr::host(2)
+        );
+        assert_eq!(
+            net.node_ref::<Host>(b).arp_table()[&Ipv4Addr::new(10, 0, 0, 1)],
+            MacAddr::host(1)
+        );
+    }
+
+    #[test]
+    fn udp_lands_in_mailbox() {
+        let (mut net, a, b) = two_hosts();
+        net.node_mut::<Host>(a).send_udp(Ipv4Addr::new(10, 0, 0, 2), 5353, b"query");
+        net.run_until(SimTime::from_millis(10));
+        let mb = net.node_ref::<Host>(b).mailbox();
+        assert_eq!(mb.len(), 1);
+        assert_eq!(mb[0].payload, b"query");
+        assert_eq!(mb[0].dst_port, 5353);
+        assert_eq!(mb[0].src_ip, Ipv4Addr::new(10, 0, 0, 1));
+    }
+
+    #[test]
+    fn tcp_syn_gets_syn_ack() {
+        let (mut net, a, b) = two_hosts();
+        net.node_mut::<Host>(a).connect_tcp(Ipv4Addr::new(10, 0, 0, 2), 80);
+        net.run_until(SimTime::from_millis(10));
+        assert_eq!(net.node_ref::<Host>(b).syns_received(), 1);
+        assert_eq!(net.node_ref::<Host>(a).syn_acks_received(), 1);
+    }
+
+    #[test]
+    fn host_ignores_foreign_ip() {
+        let (mut net, a, b) = two_hosts();
+        // a pings an address that belongs to nobody; b must not answer.
+        net.node_mut::<Host>(a).ping(b"x", Ipv4Addr::new(10, 0, 0, 99));
+        net.run_until(SimTime::from_millis(10));
+        assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 0);
+        assert_eq!(net.node_ref::<Host>(b).echo_requests_answered(), 0);
+    }
+
+    #[test]
+    fn multiple_pings_resolve_arp_once() {
+        let (mut net, a, b) = two_hosts();
+        {
+            let h = net.node_mut::<Host>(a);
+            h.ping(b"1", Ipv4Addr::new(10, 0, 0, 2));
+            h.ping(b"2", Ipv4Addr::new(10, 0, 0, 2));
+            h.ping(b"3", Ipv4Addr::new(10, 0, 0, 2));
+        }
+        net.run_until(SimTime::from_millis(10));
+        assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 3);
+        assert_eq!(net.node_ref::<Host>(b).echo_requests_answered(), 3);
+    }
+}

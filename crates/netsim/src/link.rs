@@ -1,0 +1,193 @@
+//! Point-to-point duplex links with rate, propagation delay and a bounded
+//! tail-drop egress queue per direction.
+
+use bytes::Bytes;
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// Per-frame wire overhead of real Ethernet in bytes: preamble (7) + SFD (1)
+/// + FCS (4) + inter-frame gap (12). Included in serialization time so that
+/// RFC 2544-style numbers line up with hardware testers.
+pub const ETHERNET_WIRE_OVERHEAD: u32 = 24;
+
+/// Static parameters of one link (applied to both directions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Line rate in bits per second. `0` means infinitely fast.
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub delay: SimTime,
+    /// Egress queue capacity in bytes per direction; frames that would
+    /// overflow it are tail-dropped.
+    pub queue_bytes: usize,
+    /// Extra bytes charged per frame on the wire (preamble/FCS/IFG).
+    pub overhead_bytes: u32,
+}
+
+impl LinkSpec {
+    /// 1 Gbit/s, 1 µs delay, 512 KiB queue — a typical copper access link.
+    pub fn gigabit() -> LinkSpec {
+        LinkSpec {
+            rate_bps: 1_000_000_000,
+            delay: SimTime::from_micros(1),
+            queue_bytes: 512 * 1024,
+            overhead_bytes: ETHERNET_WIRE_OVERHEAD,
+        }
+    }
+
+    /// 10 Gbit/s, 1 µs delay, 2 MiB queue — server/trunk link.
+    pub fn ten_gigabit() -> LinkSpec {
+        LinkSpec {
+            rate_bps: 10_000_000_000,
+            delay: SimTime::from_micros(1),
+            queue_bytes: 2 * 1024 * 1024,
+            overhead_bytes: ETHERNET_WIRE_OVERHEAD,
+        }
+    }
+
+    /// 40 Gbit/s trunk.
+    pub fn forty_gigabit() -> LinkSpec {
+        LinkSpec {
+            rate_bps: 40_000_000_000,
+            queue_bytes: 8 * 1024 * 1024,
+            delay: SimTime::from_micros(1),
+            overhead_bytes: ETHERNET_WIRE_OVERHEAD,
+        }
+    }
+
+    /// An idealized instantaneous link (used for patch ports and tests).
+    pub fn instant() -> LinkSpec {
+        LinkSpec {
+            rate_bps: 0,
+            delay: SimTime::ZERO,
+            queue_bytes: usize::MAX,
+            overhead_bytes: 0,
+        }
+    }
+
+    /// Builder-style rate override.
+    pub fn with_rate_bps(mut self, rate: u64) -> Self {
+        self.rate_bps = rate;
+        self
+    }
+
+    /// Builder-style delay override.
+    pub fn with_delay(mut self, delay: SimTime) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Builder-style queue override.
+    pub fn with_queue_bytes(mut self, q: usize) -> Self {
+        self.queue_bytes = q;
+        self
+    }
+
+    /// Serialization time of one frame of `len` bytes on this link.
+    pub fn ser_time(&self, len: usize) -> SimTime {
+        SimTime::tx_time(len + self.overhead_bytes as usize, self.rate_bps)
+    }
+}
+
+/// Counters kept per link direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames accepted onto the wire.
+    pub tx_frames: u64,
+    /// Payload bytes accepted (excluding wire overhead).
+    pub tx_bytes: u64,
+    /// Frames tail-dropped at the egress queue.
+    pub dropped_frames: u64,
+    /// High-water mark of queue occupancy in bytes.
+    pub max_queue_bytes: usize,
+}
+
+/// One direction of a link: an egress queue feeding a serializer.
+#[derive(Debug)]
+pub(crate) struct LinkDir {
+    pub spec: LinkSpec,
+    /// Frames waiting for the serializer.
+    pub queue: VecDeque<Bytes>,
+    /// Bytes currently queued.
+    pub queued_bytes: usize,
+    /// Time the serializer becomes free.
+    pub busy_until: SimTime,
+    /// Whether a TxDone event is outstanding.
+    pub tx_in_flight: bool,
+    pub stats: LinkStats,
+}
+
+impl LinkDir {
+    pub fn new(spec: LinkSpec) -> LinkDir {
+        LinkDir {
+            spec,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            busy_until: SimTime::ZERO,
+            tx_in_flight: false,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Try to enqueue a frame; returns false on tail drop.
+    pub fn enqueue(&mut self, frame: Bytes) -> bool {
+        let len = frame.len();
+        if self.queued_bytes + len > self.spec.queue_bytes {
+            self.stats.dropped_frames += 1;
+            return false;
+        }
+        self.queued_bytes += len;
+        self.queue.push_back(frame);
+        self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(self.queued_bytes);
+        true
+    }
+
+    /// Pop the next frame for serialization, if any.
+    pub fn dequeue(&mut self) -> Option<Bytes> {
+        let f = self.queue.pop_front()?;
+        self.queued_bytes -= f.len();
+        self.stats.tx_frames += 1;
+        self.stats.tx_bytes += f.len() as u64;
+        Some(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ser_time_includes_overhead() {
+        let spec = LinkSpec::gigabit();
+        // 60-byte frame + 24 bytes overhead = 84 bytes = 672 ns at 1 Gbps.
+        assert_eq!(spec.ser_time(60), SimTime::from_nanos(672));
+    }
+
+    #[test]
+    fn tail_drop_when_full() {
+        let spec = LinkSpec::gigabit().with_queue_bytes(100);
+        let mut dir = LinkDir::new(spec);
+        assert!(dir.enqueue(Bytes::from(vec![0u8; 60])));
+        assert!(!dir.enqueue(Bytes::from(vec![0u8; 60])));
+        assert_eq!(dir.stats.dropped_frames, 1);
+        assert_eq!(dir.queued_bytes, 60);
+    }
+
+    #[test]
+    fn dequeue_updates_counters() {
+        let mut dir = LinkDir::new(LinkSpec::gigabit());
+        dir.enqueue(Bytes::from(vec![0u8; 100]));
+        let f = dir.dequeue().unwrap();
+        assert_eq!(f.len(), 100);
+        assert_eq!(dir.stats.tx_frames, 1);
+        assert_eq!(dir.stats.tx_bytes, 100);
+        assert_eq!(dir.queued_bytes, 0);
+        assert!(dir.dequeue().is_none());
+    }
+
+    #[test]
+    fn instant_link_serializes_in_zero_time() {
+        assert_eq!(LinkSpec::instant().ser_time(9000), SimTime::ZERO);
+    }
+}

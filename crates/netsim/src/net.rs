@@ -1,0 +1,543 @@
+//! The simulation event loop.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::link::{LinkDir, LinkSpec, LinkStats};
+use crate::node::{Action, Node, NodeCtx, PortId};
+use crate::time::SimTime;
+
+/// Identifies a node within one [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A frame finishes arriving at a node's port.
+    Deliver { node: NodeId, port: PortId, frame: Bytes },
+    /// A device timer fires.
+    Timer { node: NodeId, token: u64 },
+    /// A control-plane message arrives.
+    Ctrl { node: NodeId, from: NodeId, data: Bytes },
+    /// A link serializer finishes the current frame.
+    TxDone { link: usize, dir: usize },
+    /// A delayed transmit enters the egress queue.
+    Emit { node: NodeId, port: PortId, frame: Bytes },
+}
+
+struct Sched {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Sched {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Sched {}
+impl PartialOrd for Sched {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Sched {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Link {
+    ends: [(NodeId, PortId); 2],
+    dirs: [LinkDir; 2],
+}
+
+/// A complete simulated network: nodes, links and the event queue.
+///
+/// Deterministic given the seed passed to [`Network::new`]; all device
+/// randomness must come from [`NodeCtx::rng`].
+pub struct Network {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Sched>,
+    nodes: Vec<Box<dyn Node>>,
+    started: Vec<bool>,
+    links: Vec<Link>,
+    port_map: HashMap<(NodeId, PortId), (usize, usize)>,
+    rng: StdRng,
+    ctrl_delay: SimTime,
+    trace_buf: Option<Vec<String>>,
+    unconnected_drops: u64,
+    events_processed: u64,
+}
+
+impl Network {
+    /// Create an empty network with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Network {
+        Network {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            started: Vec::new(),
+            links: Vec::new(),
+            port_map: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            ctrl_delay: SimTime::from_micros(50),
+            trace_buf: None,
+            unconnected_drops: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Register a device; returns its id.
+    pub fn add_node(&mut self, node: impl Node) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Box::new(node));
+        self.started.push(false);
+        id
+    }
+
+    /// Connect `(a, pa)` to `(b, pb)` with a duplex link.
+    ///
+    /// # Panics
+    /// Panics if either port is already connected, or `a == b` with the
+    /// same port.
+    pub fn connect(&mut self, a: NodeId, pa: PortId, b: NodeId, pb: PortId, spec: LinkSpec) {
+        assert!(
+            !self.port_map.contains_key(&(a, pa)),
+            "port {pa} of {a} already connected"
+        );
+        assert!(
+            !self.port_map.contains_key(&(b, pb)),
+            "port {pb} of {b} already connected"
+        );
+        let idx = self.links.len();
+        self.links.push(Link {
+            ends: [(a, pa), (b, pb)],
+            dirs: [LinkDir::new(spec), LinkDir::new(spec)],
+        });
+        self.port_map.insert((a, pa), (idx, 0));
+        self.port_map.insert((b, pb), (idx, 1));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far (for runaway detection in tests).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Frames transmitted to unconnected ports so far.
+    pub fn unconnected_drops(&self) -> u64 {
+        self.unconnected_drops
+    }
+
+    /// Set the out-of-band control channel delay (default 50 µs).
+    pub fn set_ctrl_delay(&mut self, d: SimTime) {
+        self.ctrl_delay = d;
+    }
+
+    /// Start collecting trace lines from [`NodeCtx::trace`].
+    pub fn enable_tracing(&mut self) {
+        if self.trace_buf.is_none() {
+            self.trace_buf = Some(Vec::new());
+        }
+    }
+
+    /// Drain collected trace lines.
+    pub fn take_trace(&mut self) -> Vec<String> {
+        self.trace_buf.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Egress statistics of the link attached to `(node, port)`, if
+    /// connected.
+    pub fn link_stats(&self, node: NodeId, port: PortId) -> Option<LinkStats> {
+        let (idx, dir) = *self.port_map.get(&(node, port))?;
+        Some(self.links[idx].dirs[dir].stats)
+    }
+
+    /// Typed shared access to a node.
+    ///
+    /// # Panics
+    /// Panics if the node is not of type `T`.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
+        self.nodes[id.0]
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Typed exclusive access to a node.
+    ///
+    /// # Panics
+    /// Panics if the node is not of type `T`.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.0]
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Deliver a frame to a node as if it had arrived on `port` now
+    /// (bypasses links; intended for tests).
+    pub fn inject(&mut self, node: NodeId, port: PortId, frame: Bytes) {
+        let at = self.now;
+        self.push(at, Ev::Deliver { node, port, frame });
+    }
+
+    /// Invoke a closure against a node with a full [`NodeCtx`], outside any
+    /// event. This is how experiment drivers poke devices "from the
+    /// management plane" (e.g. ask a generator to start, or a manager to
+    /// begin migration) at the current instant.
+    pub fn with_node_ctx<T: Node, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut NodeCtx) -> R,
+    ) -> R {
+        let mut actions = Vec::new();
+        let r = {
+            let node = self.nodes[id.0]
+                .as_any_mut()
+                .downcast_mut::<T>()
+                .expect("node type mismatch");
+            let mut ctx = NodeCtx {
+                now: self.now,
+                node: id,
+                actions: &mut actions,
+                rng: &mut self.rng,
+                trace: self.trace_buf.as_mut(),
+            };
+            f(node, &mut ctx)
+        };
+        self.apply(id, actions);
+        r
+    }
+
+    /// Run until the event queue is exhausted or `limit` is reached,
+    /// whichever comes first. The clock ends at `limit` if given.
+    pub fn run_until(&mut self, limit: SimTime) {
+        self.start_pending();
+        while let Some(top) = self.queue.peek() {
+            if top.at > limit {
+                break;
+            }
+            let sched = self.queue.pop().unwrap();
+            self.now = sched.at;
+            self.events_processed += 1;
+            self.handle(sched.ev);
+        }
+        if limit != SimTime::MAX {
+            self.now = self.now.max(limit);
+        }
+    }
+
+    /// Run for a duration from the current clock.
+    pub fn run_for(&mut self, d: SimTime) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Run until completely idle (no events left). Use only for workloads
+    /// that terminate; generators with no stop time never go idle.
+    pub fn run_until_idle(&mut self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    fn start_pending(&mut self) {
+        for i in 0..self.nodes.len() {
+            if !self.started[i] {
+                self.started[i] = true;
+                self.dispatch(NodeId(i), |n, ctx| n.on_start(ctx));
+            }
+        }
+    }
+
+    fn push(&mut self, at: SimTime, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Sched { at, seq, ev });
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Deliver { node, port, frame } => {
+                self.dispatch(node, |n, ctx| n.on_packet(port, frame, ctx));
+            }
+            Ev::Timer { node, token } => {
+                self.dispatch(node, |n, ctx| n.on_timer(token, ctx));
+            }
+            Ev::Ctrl { node, from, data } => {
+                self.dispatch(node, |n, ctx| n.on_ctrl(from, data, ctx));
+            }
+            Ev::Emit { node, port, frame } => {
+                self.emit(node, port, frame);
+            }
+            Ev::TxDone { link, dir } => {
+                self.links[link].dirs[dir].tx_in_flight = false;
+                self.kick(link, dir);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut NodeCtx)) {
+        let mut actions = Vec::new();
+        {
+            let node = self.nodes[id.0].as_mut();
+            let mut ctx = NodeCtx {
+                now: self.now,
+                node: id,
+                actions: &mut actions,
+                rng: &mut self.rng,
+                trace: self.trace_buf.as_mut(),
+            };
+            f(node, &mut ctx);
+        }
+        self.apply(id, actions);
+    }
+
+    fn apply(&mut self, id: NodeId, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Transmit { port, frame } => self.emit(id, port, frame),
+                Action::TransmitAfter { delay, port, frame } => {
+                    let at = self.now + delay;
+                    self.push(at, Ev::Emit { node: id, port, frame });
+                }
+                Action::Timer { at, token } => self.push(at, Ev::Timer { node: id, token }),
+                Action::Ctrl { to, data } => {
+                    let at = self.now + self.ctrl_delay;
+                    self.push(at, Ev::Ctrl { node: to, from: id, data });
+                }
+            }
+        }
+    }
+
+    /// Enqueue a frame onto the link attached to `(node, port)`.
+    fn emit(&mut self, node: NodeId, port: PortId, frame: Bytes) {
+        let Some(&(idx, dir)) = self.port_map.get(&(node, port)) else {
+            self.unconnected_drops += 1;
+            return;
+        };
+        if self.links[idx].dirs[dir].enqueue(frame) {
+            self.kick(idx, dir);
+        }
+    }
+
+    /// If the serializer of `(link, dir)` is idle and frames are queued,
+    /// start transmitting the head-of-line frame.
+    fn kick(&mut self, idx: usize, dir: usize) {
+        let now = self.now;
+        let link = &mut self.links[idx];
+        let d = &mut link.dirs[dir];
+        if d.tx_in_flight {
+            return;
+        }
+        let Some(frame) = d.dequeue() else { return };
+        let ser = d.spec.ser_time(frame.len());
+        let tx_done = now + ser;
+        let arrive = tx_done + d.spec.delay;
+        d.tx_in_flight = true;
+        d.busy_until = tx_done;
+        let (peer, peer_port) = link.ends[1 - dir];
+        self.push(tx_done, Ev::TxDone { link: idx, dir });
+        self.push(arrive, Ev::Deliver { node: peer, port: peer_port, frame });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    /// Echoes every frame back out the port it came in on, after `delay`.
+    struct Echo {
+        delay: SimTime,
+        seen: u64,
+    }
+
+    impl Node for Echo {
+        fn on_packet(&mut self, port: PortId, frame: Bytes, ctx: &mut NodeCtx) {
+            self.seen += 1;
+            ctx.transmit_after(self.delay, port, frame);
+        }
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends `count` frames at fixed intervals on port 0 and records the
+    /// arrival times of everything it receives.
+    struct Pinger {
+        count: u32,
+        interval: SimTime,
+        arrivals: Vec<SimTime>,
+        sent: u32,
+    }
+
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut NodeCtx) {
+            ctx.schedule(SimTime::ZERO, 0);
+        }
+        fn on_timer(&mut self, _t: u64, ctx: &mut NodeCtx) {
+            if self.sent < self.count {
+                self.sent += 1;
+                ctx.transmit(PortId(0), Bytes::from(vec![0u8; 100]));
+                ctx.schedule(self.interval, 0);
+            }
+        }
+        fn on_packet(&mut self, _port: PortId, _frame: Bytes, ctx: &mut NodeCtx) {
+            self.arrivals.push(ctx.now());
+        }
+        fn name(&self) -> &str {
+            "pinger"
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn pinger(count: u32, interval: SimTime) -> Pinger {
+        Pinger { count, interval, arrivals: Vec::new(), sent: 0 }
+    }
+
+    #[test]
+    fn round_trip_latency_is_deterministic() {
+        let mut net = Network::new(1);
+        let p = net.add_node(pinger(1, SimTime::from_micros(10)));
+        let e = net.add_node(Echo { delay: SimTime::from_micros(5), seen: 0 });
+        net.connect(p, PortId(0), e, PortId(0), LinkSpec::gigabit());
+        net.run_until_idle();
+        let arr = &net.node_ref::<Pinger>(p).arrivals;
+        assert_eq!(arr.len(), 1);
+        // ser = (100+24)*8ns = 992ns, prop = 1000ns, echo delay = 5000ns,
+        // then the same back: 2*(992+1000) + 5000 = 8984ns.
+        assert_eq!(arr[0], SimTime::from_nanos(8984));
+        assert_eq!(net.node_ref::<Echo>(e).seen, 1);
+    }
+
+    #[test]
+    fn queueing_delays_back_to_back_frames() {
+        let mut net = Network::new(1);
+        let p = net.add_node(pinger(3, SimTime::ZERO)); // 3 frames same instant
+        let e = net.add_node(Echo { delay: SimTime::ZERO, seen: 0 });
+        net.connect(p, PortId(0), e, PortId(0), LinkSpec::gigabit());
+        net.run_until_idle();
+        let arr = &net.node_ref::<Pinger>(p).arrivals;
+        assert_eq!(arr.len(), 3);
+        // Frames serialize one after another: arrivals spaced by 992ns.
+        assert_eq!(arr[1].0 - arr[0].0, 992);
+        assert_eq!(arr[2].0 - arr[1].0, 992);
+    }
+
+    #[test]
+    fn unconnected_port_drops() {
+        let mut net = Network::new(1);
+        let _p = net.add_node(pinger(2, SimTime::from_micros(1)));
+        net.run_until_idle();
+        assert_eq!(net.unconnected_drops(), 2);
+    }
+
+    #[test]
+    fn ctrl_messages_arrive_after_ctrl_delay() {
+        struct CtrlEcho {
+            got_at: Option<SimTime>,
+        }
+        impl Node for CtrlEcho {
+            fn on_packet(&mut self, _p: PortId, _f: Bytes, _c: &mut NodeCtx) {}
+            fn on_ctrl(&mut self, _from: NodeId, _d: Bytes, ctx: &mut NodeCtx) {
+                self.got_at = Some(ctx.now());
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        struct CtrlSender {
+            to: NodeId,
+        }
+        impl Node for CtrlSender {
+            fn on_start(&mut self, ctx: &mut NodeCtx) {
+                ctx.ctrl_send(self.to, Bytes::from_static(b"hi"));
+            }
+            fn on_packet(&mut self, _p: PortId, _f: Bytes, _c: &mut NodeCtx) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut net = Network::new(1);
+        net.set_ctrl_delay(SimTime::from_micros(123));
+        let r = net.add_node(CtrlEcho { got_at: None });
+        let _s = net.add_node(CtrlSender { to: r });
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<CtrlEcho>(r).got_at, Some(SimTime::from_micros(123)));
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut net = Network::new(1);
+        net.run_until(SimTime::from_secs(1));
+        assert_eq!(net.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let mut net = Network::new(1);
+        let a = net.add_node(pinger(0, SimTime::ZERO));
+        let b = net.add_node(pinger(0, SimTime::ZERO));
+        let c = net.add_node(pinger(0, SimTime::ZERO));
+        net.connect(a, PortId(0), b, PortId(0), LinkSpec::gigabit());
+        net.connect(a, PortId(0), c, PortId(0), LinkSpec::gigabit());
+    }
+
+    #[test]
+    fn inject_delivers_to_node() {
+        let mut net = Network::new(1);
+        let e = net.add_node(Echo { delay: SimTime::ZERO, seen: 0 });
+        net.inject(e, PortId(3), Bytes::from_static(b"x"));
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<Echo>(e).seen, 1);
+    }
+
+    #[test]
+    fn link_stats_track_egress() {
+        let mut net = Network::new(1);
+        let p = net.add_node(pinger(5, SimTime::from_micros(100)));
+        let e = net.add_node(Echo { delay: SimTime::ZERO, seen: 0 });
+        net.connect(p, PortId(0), e, PortId(0), LinkSpec::gigabit());
+        net.run_until_idle();
+        let s = net.link_stats(p, PortId(0)).unwrap();
+        assert_eq!(s.tx_frames, 5);
+        assert_eq!(s.tx_bytes, 500);
+        assert_eq!(s.dropped_frames, 0);
+    }
+}

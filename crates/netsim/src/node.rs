@@ -1,0 +1,127 @@
+//! The device trait and the context handed to device callbacks.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use std::any::Any;
+
+use crate::net::NodeId;
+use crate::time::SimTime;
+
+/// A node-local port number. Port numbering is per-device and starts at
+/// whatever the device chooses (switches in this workspace use 1-based
+/// numbering to match OpenFlow, hosts use port 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PortId(pub u16);
+
+impl From<u16> for PortId {
+    fn from(v: u16) -> Self {
+        PortId(v)
+    }
+}
+
+impl core::fmt::Display for PortId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Deferred side effects collected while a device callback runs and applied
+/// by the [`crate::Network`] afterwards.
+#[derive(Debug)]
+pub(crate) enum Action {
+    /// Put a frame on the wire attached to `port` right now.
+    Transmit { port: PortId, frame: Bytes },
+    /// Put a frame on the wire after an internal processing delay.
+    TransmitAfter { delay: SimTime, port: PortId, frame: Bytes },
+    /// Fire `on_timer(token)` at `at`.
+    Timer { at: SimTime, token: u64 },
+    /// Deliver `data` to `to`'s `on_ctrl` after the control-plane delay.
+    Ctrl { to: NodeId, data: Bytes },
+}
+
+/// Execution context passed to every [`Node`] callback.
+///
+/// All mutations are buffered and applied by the simulator after the
+/// callback returns, so callbacks always observe a consistent snapshot.
+pub struct NodeCtx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) actions: &'a mut Vec<Action>,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) trace: Option<&'a mut Vec<String>>,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node whose callback is running.
+    pub fn self_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Transmit `frame` on `port` immediately. If the port is not connected
+    /// the frame is silently dropped (and counted by the network).
+    pub fn transmit(&mut self, port: PortId, frame: Bytes) {
+        self.actions.push(Action::Transmit { port, frame });
+    }
+
+    /// Transmit after an internal processing `delay` (models pipeline
+    /// latency without device-side timer bookkeeping).
+    pub fn transmit_after(&mut self, delay: SimTime, port: PortId, frame: Bytes) {
+        self.actions.push(Action::TransmitAfter { delay, port, frame });
+    }
+
+    /// Schedule `on_timer(token)` to fire `delay` from now.
+    pub fn schedule(&mut self, delay: SimTime, token: u64) {
+        self.actions.push(Action::Timer { at: self.now + delay, token });
+    }
+
+    /// Send an out-of-band control message (OpenFlow, SNMP, ...) to another
+    /// node; it arrives at `on_ctrl` after the network's control delay.
+    pub fn ctrl_send(&mut self, to: NodeId, data: Bytes) {
+        self.actions.push(Action::Ctrl { to, data });
+    }
+
+    /// The simulation-wide deterministic RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Record a trace line (no-op unless tracing was enabled on the
+    /// network).
+    pub fn trace(&mut self, msg: impl AsRef<str>) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.push(format!("[{}] n{}: {}", self.now, self.node.0, msg.as_ref()));
+        }
+    }
+}
+
+/// A simulated device: anything that owns ports and reacts to packets,
+/// timers and control messages.
+pub trait Node: Any {
+    /// A frame arrived on `port`.
+    fn on_packet(&mut self, port: PortId, frame: Bytes, ctx: &mut NodeCtx);
+
+    /// A timer scheduled with [`NodeCtx::schedule`] fired.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut NodeCtx) {}
+
+    /// An out-of-band control message arrived.
+    fn on_ctrl(&mut self, _from: NodeId, _data: Bytes, _ctx: &mut NodeCtx) {}
+
+    /// Called once when the simulation starts running.
+    fn on_start(&mut self, _ctx: &mut NodeCtx) {}
+
+    /// Human-readable name used in traces.
+    fn name(&self) -> &str {
+        "node"
+    }
+
+    /// Downcast support (`&dyn Node → &T`).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Downcast support (`&mut dyn Node → &mut T`).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

@@ -1,0 +1,173 @@
+//! A bounded multi-server service queue for modelling CPU-bound packet
+//! processing inside a device.
+//!
+//! Devices own a [`ServiceQueue`] and drive it with their timer callbacks:
+//!
+//! ```text
+//! on_packet:  match sq.submit(work) {
+//!                 Submit::Start(slot) => schedule(svc_time, TOKEN + slot),
+//!                 Submit::Queued | Submit::Dropped => {}
+//!             }
+//! on_timer:   let work = sq.complete(slot);
+//!             if sq.start_queued(slot) { schedule(svc_time, TOKEN + slot) }
+//!             ... emit results of `work` ...
+//! ```
+//!
+//! This yields an M/G/k queue whose service times the device computes per
+//! item (e.g. from a [`ProcessingTrace`](https://docs.rs) of its pipeline).
+
+use std::collections::VecDeque;
+
+/// Outcome of [`ServiceQueue::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submit {
+    /// A server slot was free; service starts now in slot `.0`. The caller
+    /// must schedule a completion timer for it.
+    Start(usize),
+    /// All servers busy; the item waits in the queue.
+    Queued,
+    /// The queue was full; the item was dropped.
+    Dropped,
+}
+
+/// Bounded FIFO queue in front of `k` parallel servers.
+#[derive(Debug)]
+pub struct ServiceQueue<T> {
+    slots: Vec<Option<T>>,
+    queue: VecDeque<T>,
+    capacity: usize,
+    drops: u64,
+    completed: u64,
+    max_queue_len: usize,
+}
+
+impl<T> ServiceQueue<T> {
+    /// `servers` parallel workers with a waiting room of `capacity` items.
+    pub fn new(servers: usize, capacity: usize) -> ServiceQueue<T> {
+        assert!(servers >= 1, "need at least one server");
+        ServiceQueue {
+            slots: (0..servers).map(|_| None).collect(),
+            queue: VecDeque::new(),
+            capacity,
+            drops: 0,
+            completed: 0,
+            max_queue_len: 0,
+        }
+    }
+
+    /// Offer an item for service.
+    pub fn submit(&mut self, item: T) -> Submit {
+        if let Some(free) = self.slots.iter().position(Option::is_none) {
+            self.slots[free] = Some(item);
+            return Submit::Start(free);
+        }
+        if self.queue.len() >= self.capacity {
+            self.drops += 1;
+            return Submit::Dropped;
+        }
+        self.queue.push_back(item);
+        self.max_queue_len = self.max_queue_len.max(self.queue.len());
+        Submit::Queued
+    }
+
+    /// The item currently served in `slot`.
+    ///
+    /// # Panics
+    /// Panics if the slot is idle.
+    pub fn peek(&self, slot: usize) -> &T {
+        self.slots[slot].as_ref().expect("peek on idle slot")
+    }
+
+    /// Finish the item in `slot`, returning it. The slot becomes idle.
+    ///
+    /// # Panics
+    /// Panics if the slot is idle.
+    pub fn complete(&mut self, slot: usize) -> T {
+        self.completed += 1;
+        self.slots[slot].take().expect("complete on idle slot")
+    }
+
+    /// Pull the next queued item into the (idle) `slot`. Returns true if a
+    /// new service period begins; the caller must then schedule its timer.
+    pub fn start_queued(&mut self, slot: usize) -> bool {
+        if self.slots[slot].is_some() {
+            return false;
+        }
+        match self.queue.pop_front() {
+            Some(item) => {
+                self.slots[slot] = Some(item);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Items dropped because the waiting room was full.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Items that completed service.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// High-water mark of the waiting room.
+    pub fn max_queue_len(&self) -> usize {
+        self.max_queue_len
+    }
+
+    /// Items currently waiting (not in service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of busy servers.
+    pub fn busy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_flow() {
+        let mut sq: ServiceQueue<u32> = ServiceQueue::new(1, 2);
+        assert_eq!(sq.submit(1), Submit::Start(0));
+        assert_eq!(sq.submit(2), Submit::Queued);
+        assert_eq!(sq.submit(3), Submit::Queued);
+        assert_eq!(sq.submit(4), Submit::Dropped);
+        assert_eq!(sq.drops(), 1);
+        assert_eq!(*sq.peek(0), 1);
+        assert_eq!(sq.complete(0), 1);
+        assert!(sq.start_queued(0));
+        assert_eq!(*sq.peek(0), 2);
+        assert_eq!(sq.complete(0), 2);
+        assert!(sq.start_queued(0));
+        assert_eq!(sq.complete(0), 3);
+        assert!(!sq.start_queued(0));
+        assert_eq!(sq.completed(), 3);
+        assert_eq!(sq.max_queue_len(), 2);
+    }
+
+    #[test]
+    fn multi_server_fills_all_slots() {
+        let mut sq: ServiceQueue<u32> = ServiceQueue::new(3, 0);
+        assert_eq!(sq.submit(1), Submit::Start(0));
+        assert_eq!(sq.submit(2), Submit::Start(1));
+        assert_eq!(sq.submit(3), Submit::Start(2));
+        assert_eq!(sq.busy(), 3);
+        assert_eq!(sq.submit(4), Submit::Dropped);
+        sq.complete(1);
+        assert_eq!(sq.submit(5), Submit::Start(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "idle slot")]
+    fn complete_idle_slot_panics() {
+        let mut sq: ServiceQueue<u32> = ServiceQueue::new(1, 1);
+        sq.complete(0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Measurement primitives: counters and a log-linear histogram.
+
+/// A named monotonic counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Add `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// Number of linear sub-buckets per power-of-two bucket. 32 gives ~3%
+/// relative error, plenty for latency percentiles.
+const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = 5; // log2(SUB_BUCKETS)
+
+/// An HDR-style log-linear histogram of `u64` samples (typically
+/// nanoseconds).
+///
+/// Values are bucketed with bounded relative error (~1/`SUB_BUCKETS`), so
+/// percentiles stay accurate from nanoseconds to hours without configuring
+/// a range up front.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            // 64 powers of two × SUB_BUCKETS linear sub-buckets.
+            buckets: vec![0; 64 * SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = ((value >> shift) - SUB_BUCKETS as u64) as usize;
+        ((msb - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    /// Representative (lower-bound) value of bucket `i`.
+    fn bucket_low(i: usize) -> u64 {
+        let tier = i / SUB_BUCKETS;
+        let sub = (i % SUB_BUCKETS) as u64;
+        if tier == 0 {
+            return sub;
+        }
+        let shift = (tier - 1) as u32;
+        (SUB_BUCKETS as u64 + sub) << shift
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at percentile `p` in `[0, 100]`. Returns the lower bound of the
+    /// bucket containing the rank, clamped to the observed min/max.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_low(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand for the median.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// Shorthand for the 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Shorthand for the 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn exact_for_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+        assert_eq!(h.percentile(100.0), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1_000); // 1µs .. 10ms in ns
+        }
+        let p50 = h.p50();
+        let p99 = h.p99();
+        // log-linear bucketing: within ~4% of the true value
+        assert!((p50 as f64 - 5_000_000.0).abs() / 5_000_000.0 < 0.04, "p50={p50}");
+        assert!((p99 as f64 - 9_900_000.0).abs() / 9_900_000.0 < 0.04, "p99={p99}");
+        assert!((h.mean() - 5_000_500.0 * 1.0).abs() / 5_000_500.0 < 0.001);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = Histogram::new();
+        h.record(777);
+        assert_eq!(h.p50(), h.percentile(100.0));
+        assert!(h.p50() <= 777 && h.p50() >= 752, "p50={}", h.p50());
+        assert_eq!(h.max(), 777);
+        assert_eq!(h.min(), 777);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_index_monotonic() {
+        let mut last = 0usize;
+        for v in (0..10_000_000u64).step_by(997) {
+            let i = Histogram::index(v);
+            assert!(i >= last, "index must be monotonic in value");
+            last = i;
+        }
+    }
+}

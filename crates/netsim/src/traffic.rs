@@ -1,0 +1,503 @@
+//! Traffic generation and measurement endpoints.
+//!
+//! Generators stamp every frame with a sequence number and send timestamp
+//! (16 bytes at the start of the UDP payload); sinks recover the stamp to
+//! build one-way latency histograms, like a hardware tester's latency tags.
+
+use bytes::Bytes;
+use rand::Rng;
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+use netpkt::vlan::{push_vlan, VlanTag};
+use netpkt::{builder, EtherType, Ipv4Packet, MacAddr, UdpPacket};
+
+use crate::node::{Node, NodeCtx, PortId};
+use crate::stats::{Counter, Histogram};
+use crate::time::SimTime;
+
+/// Size of the measurement stamp embedded in generated payloads.
+pub const STAMP_LEN: usize = 16;
+
+/// The measurement stamp: sequence number + send time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamp {
+    /// Monotonic per-generator sequence number.
+    pub seq: u64,
+    /// Send time in simulated nanoseconds.
+    pub sent_ns: u64,
+}
+
+impl Stamp {
+    /// Serialize into the first [`STAMP_LEN`] bytes of `buf`.
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0..8].copy_from_slice(&self.seq.to_be_bytes());
+        buf[8..16].copy_from_slice(&self.sent_ns.to_be_bytes());
+    }
+
+    /// Recover a stamp from a payload, if long enough.
+    pub fn read(buf: &[u8]) -> Option<Stamp> {
+        if buf.len() < STAMP_LEN {
+            return None;
+        }
+        Some(Stamp {
+            seq: u64::from_be_bytes(buf[0..8].try_into().unwrap()),
+            sent_ns: u64::from_be_bytes(buf[8..16].try_into().unwrap()),
+        })
+    }
+
+    /// Extract the stamp of a generated frame (Ethernet/[802.1Q]/IPv4/UDP).
+    pub fn from_frame(frame: &[u8]) -> Option<Stamp> {
+        let view = netpkt::vlan::VlanView::parse(frame).ok()?;
+        if view.inner_ethertype != EtherType::IPV4 {
+            return None;
+        }
+        let ip = Ipv4Packet::new_checked(&frame[view.payload_offset..]).ok()?;
+        if ip.proto() != netpkt::IpProto::UDP {
+            return None;
+        }
+        let udp = UdpPacket::new_checked(ip.payload()).ok()?;
+        Stamp::read(udp.payload())
+    }
+}
+
+/// One L2/L3/L4 flow a generator can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Source MAC.
+    pub src_mac: MacAddr,
+    /// Destination MAC.
+    pub dst_mac: MacAddr,
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// UDP source port.
+    pub src_port: u16,
+    /// UDP destination port.
+    pub dst_port: u16,
+    /// Total Ethernet frame length (without FCS); at least 60.
+    pub frame_len: usize,
+}
+
+impl FlowSpec {
+    /// A simple host-to-host flow with standard test parameters.
+    pub fn simple(src: u32, dst: u32, frame_len: usize) -> FlowSpec {
+        FlowSpec {
+            src_mac: MacAddr::host(src),
+            dst_mac: MacAddr::host(dst),
+            src_ip: Ipv4Addr::from(0x0a00_0000 | src),
+            dst_ip: Ipv4Addr::from(0x0a00_0000 | dst),
+            src_port: 10_000 + (src % 50_000) as u16,
+            dst_port: 20_000 + (dst % 40_000) as u16,
+            frame_len,
+        }
+    }
+}
+
+/// Inter-departure pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Constant bit rate: exactly `pps` frames per second.
+    Cbr {
+        /// Frames per second.
+        pps: f64,
+    },
+    /// Poisson arrivals with mean rate `pps`.
+    Poisson {
+        /// Mean frames per second.
+        pps: f64,
+    },
+}
+
+impl Pattern {
+    fn next_gap(&self, rng: &mut rand::rngs::StdRng) -> SimTime {
+        match *self {
+            Pattern::Cbr { pps } => SimTime::from_nanos((1e9 / pps) as u64),
+            Pattern::Poisson { pps } => {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                SimTime::from_nanos(((-u.ln()) * 1e9 / pps) as u64)
+            }
+        }
+    }
+
+    /// The configured mean rate.
+    pub fn pps(&self) -> f64 {
+        match *self {
+            Pattern::Cbr { pps } | Pattern::Poisson { pps } => pps,
+        }
+    }
+}
+
+/// How a multi-flow generator picks the flow of the next frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowChoice {
+    /// Cycle through flows in order.
+    RoundRobin,
+    /// Pick uniformly at random.
+    Random,
+}
+
+const TOKEN_SEND: u64 = 1;
+
+/// A stamped UDP traffic generator attached to one port.
+pub struct Generator {
+    name: String,
+    port: PortId,
+    pattern: Pattern,
+    flows: Vec<FlowSpec>,
+    choice: FlowChoice,
+    start: SimTime,
+    stop: SimTime,
+    vlan: Option<u16>,
+    next_flow: usize,
+    seq: u64,
+    sent: Counter,
+    sent_bytes: Counter,
+    running: bool,
+}
+
+impl Generator {
+    /// Create a generator; it begins sending at `start` and stops at
+    /// `stop` (exclusive).
+    pub fn new(
+        name: impl Into<String>,
+        port: PortId,
+        pattern: Pattern,
+        flows: Vec<FlowSpec>,
+        start: SimTime,
+        stop: SimTime,
+    ) -> Generator {
+        assert!(!flows.is_empty(), "generator needs at least one flow");
+        Generator {
+            name: name.into(),
+            port,
+            pattern,
+            flows,
+            choice: FlowChoice::RoundRobin,
+            start,
+            stop,
+            vlan: None,
+            next_flow: 0,
+            seq: 0,
+            sent: Counter::new(),
+            sent_bytes: Counter::new(),
+            running: false,
+        }
+    }
+
+    /// Select flows randomly instead of round-robin.
+    pub fn with_random_flows(mut self) -> Self {
+        self.choice = FlowChoice::Random;
+        self
+    }
+
+    /// Tag every generated frame with this VLAN id (e.g. to emulate an
+    /// already-tagged trunk feed).
+    pub fn with_vlan(mut self, vid: u16) -> Self {
+        self.vlan = Some(vid);
+        self
+    }
+
+    /// Frames sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent.get()
+    }
+
+    /// Bytes sent so far (frame bytes, no wire overhead).
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes.get()
+    }
+
+    fn build_frame(&mut self, now: SimTime, rng: &mut rand::rngs::StdRng) -> Bytes {
+        let idx = match self.choice {
+            FlowChoice::RoundRobin => {
+                let i = self.next_flow;
+                self.next_flow = (self.next_flow + 1) % self.flows.len();
+                i
+            }
+            FlowChoice::Random => rng.gen_range(0..self.flows.len()),
+        };
+        let f = self.flows[idx];
+        let overhead = 14 + 20 + 8; // eth + ipv4 + udp
+        let payload_len = f.frame_len.saturating_sub(overhead).max(STAMP_LEN);
+        let mut payload = vec![0u8; payload_len];
+        Stamp { seq: self.seq, sent_ns: now.as_nanos() }.write(&mut payload);
+        self.seq += 1;
+        let frame = builder::udp_packet(
+            f.src_mac, f.dst_mac, f.src_ip, f.dst_ip, f.src_port, f.dst_port, &payload,
+        );
+        match self.vlan {
+            Some(vid) => push_vlan(&frame, VlanTag::new(vid)).expect("frame is well-formed"),
+            None => frame,
+        }
+    }
+}
+
+impl Node for Generator {
+    fn on_start(&mut self, ctx: &mut NodeCtx) {
+        self.running = true;
+        let delay = self.start.saturating_sub(ctx.now());
+        ctx.schedule(delay, TOKEN_SEND);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx) {
+        if token != TOKEN_SEND || !self.running {
+            return;
+        }
+        if ctx.now() >= self.stop {
+            self.running = false;
+            return;
+        }
+        let now = ctx.now();
+        let frame = self.build_frame(now, ctx.rng());
+        self.sent.inc();
+        self.sent_bytes.add(frame.len() as u64);
+        ctx.transmit(self.port, frame);
+        let gap = self.pattern.next_gap(ctx.rng());
+        ctx.schedule(gap, TOKEN_SEND);
+    }
+
+    fn on_packet(&mut self, _port: PortId, _frame: Bytes, _ctx: &mut NodeCtx) {
+        // Generators ignore return traffic.
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A measuring sink: counts everything, recovers stamps for latency.
+pub struct Sink {
+    name: String,
+    received: Counter,
+    rx_bytes: Counter,
+    unstamped: Counter,
+    latency: Histogram,
+    first_rx: Option<SimTime>,
+    last_rx: Option<SimTime>,
+    /// Received per UDP destination port — used by the LB experiment to
+    /// count per-backend shares when multiple flows land on one sink.
+    by_dst_port: std::collections::HashMap<u16, u64>,
+}
+
+impl Sink {
+    /// Create a named sink.
+    pub fn new(name: impl Into<String>) -> Sink {
+        Sink {
+            name: name.into(),
+            received: Counter::new(),
+            rx_bytes: Counter::new(),
+            unstamped: Counter::new(),
+            latency: Histogram::new(),
+            first_rx: None,
+            last_rx: None,
+            by_dst_port: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Frames received.
+    pub fn received(&self) -> u64 {
+        self.received.get()
+    }
+
+    /// Bytes received.
+    pub fn rx_bytes(&self) -> u64 {
+        self.rx_bytes.get()
+    }
+
+    /// Frames that carried no recoverable stamp.
+    pub fn unstamped(&self) -> u64 {
+        self.unstamped.get()
+    }
+
+    /// One-way latency histogram (nanoseconds).
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Mean receive rate in frames/second over the observation window.
+    pub fn rx_pps(&self) -> f64 {
+        match (self.first_rx, self.last_rx) {
+            (Some(a), Some(b)) if b > a => {
+                (self.received.get().saturating_sub(1)) as f64 / (b - a).as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Mean goodput in bits/second over the observation window.
+    pub fn rx_bps(&self) -> f64 {
+        match (self.first_rx, self.last_rx) {
+            (Some(a), Some(b)) if b > a => self.rx_bytes.get() as f64 * 8.0 / (b - a).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+
+    /// Per-UDP-destination-port receive counts.
+    pub fn by_dst_port(&self) -> &std::collections::HashMap<u16, u64> {
+        &self.by_dst_port
+    }
+}
+
+impl Node for Sink {
+    fn on_packet(&mut self, _port: PortId, frame: Bytes, ctx: &mut NodeCtx) {
+        self.received.inc();
+        self.rx_bytes.add(frame.len() as u64);
+        let now = ctx.now();
+        if self.first_rx.is_none() {
+            self.first_rx = Some(now);
+        }
+        self.last_rx = Some(now);
+        match Stamp::from_frame(&frame) {
+            Some(stamp) => {
+                let lat = now.as_nanos().saturating_sub(stamp.sent_ns);
+                self.latency.record(lat);
+            }
+            None => self.unstamped.inc(),
+        }
+        if let Ok(key) = netpkt::FlowKey::extract(0, &frame) {
+            if key.udp_dst != 0 {
+                *self.by_dst_port.entry(key.udp_dst).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use crate::net::Network;
+
+    #[test]
+    fn stamp_round_trip() {
+        let mut buf = [0u8; STAMP_LEN];
+        let s = Stamp { seq: 42, sent_ns: 123_456_789 };
+        s.write(&mut buf);
+        assert_eq!(Stamp::read(&buf), Some(s));
+        assert_eq!(Stamp::read(&buf[..8]), None);
+    }
+
+    #[test]
+    fn stamp_recoverable_from_tagged_frame() {
+        let f = FlowSpec::simple(1, 2, 100);
+        let mut payload = vec![0u8; 32];
+        Stamp { seq: 7, sent_ns: 999 }.write(&mut payload);
+        let frame = builder::udp_packet(
+            f.src_mac, f.dst_mac, f.src_ip, f.dst_ip, f.src_port, f.dst_port, &payload,
+        );
+        let tagged = push_vlan(&frame, VlanTag::new(101)).unwrap();
+        assert_eq!(Stamp::from_frame(&tagged).unwrap().seq, 7);
+    }
+
+    #[test]
+    fn cbr_generator_hits_target_rate() {
+        let mut net = Network::new(7);
+        let g = net.add_node(Generator::new(
+            "gen",
+            PortId(0),
+            Pattern::Cbr { pps: 10_000.0 },
+            vec![FlowSpec::simple(1, 2, 128)],
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+        ));
+        let s = net.add_node(Sink::new("sink"));
+        net.connect(g, PortId(0), s, PortId(0), LinkSpec::gigabit());
+        net.run_until(SimTime::from_millis(200));
+        let sent = net.node_ref::<Generator>(g).sent();
+        let recv = net.node_ref::<Sink>(s).received();
+        assert_eq!(sent, 1000); // 10 kpps for 100 ms
+        assert_eq!(recv, sent);
+        let sink = net.node_ref::<Sink>(s);
+        assert_eq!(sink.unstamped(), 0);
+        // Latency = ser (128+24 B at 1 Gbps = 1216 ns) + 1 µs prop.
+        assert_eq!(sink.latency().max(), 2216);
+        assert!((sink.rx_pps() - 10_000.0).abs() < 150.0, "pps={}", sink.rx_pps());
+    }
+
+    #[test]
+    fn poisson_generator_approximates_rate() {
+        let mut net = Network::new(3);
+        let g = net.add_node(Generator::new(
+            "gen",
+            PortId(0),
+            Pattern::Poisson { pps: 50_000.0 },
+            vec![FlowSpec::simple(1, 2, 60)],
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+        ));
+        let s = net.add_node(Sink::new("sink"));
+        net.connect(g, PortId(0), s, PortId(0), LinkSpec::gigabit());
+        net.run_until(SimTime::from_secs(2));
+        let sent = net.node_ref::<Generator>(g).sent() as f64;
+        assert!((sent - 50_000.0).abs() < 1_500.0, "sent={sent}");
+    }
+
+    #[test]
+    fn generator_respects_start_stop_window() {
+        let mut net = Network::new(3);
+        let g = net.add_node(Generator::new(
+            "gen",
+            PortId(0),
+            Pattern::Cbr { pps: 1_000.0 },
+            vec![FlowSpec::simple(1, 2, 60)],
+            SimTime::from_millis(500),
+            SimTime::from_millis(600),
+        ));
+        let s = net.add_node(Sink::new("sink"));
+        net.connect(g, PortId(0), s, PortId(0), LinkSpec::gigabit());
+        net.run_until(SimTime::from_millis(400));
+        assert_eq!(net.node_ref::<Generator>(g).sent(), 0);
+        net.run_until(SimTime::from_secs(1));
+        assert_eq!(net.node_ref::<Generator>(g).sent(), 100);
+    }
+
+    #[test]
+    fn multi_flow_round_robin_covers_all_flows() {
+        let flows = vec![
+            FlowSpec::simple(1, 2, 60),
+            FlowSpec::simple(1, 3, 60),
+            FlowSpec::simple(1, 4, 60),
+        ];
+        let mut net = Network::new(3);
+        let g = net.add_node(Generator::new(
+            "gen",
+            PortId(0),
+            Pattern::Cbr { pps: 3_000.0 },
+            flows,
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        ));
+        let s = net.add_node(Sink::new("sink"));
+        net.connect(g, PortId(0), s, PortId(0), LinkSpec::gigabit());
+        net.run_until(SimTime::from_millis(20));
+        let sink = net.node_ref::<Sink>(s);
+        // 31 sends in [0, 10ms) at 3 kpps (k·333µs for k = 0..=30), dealt
+        // round-robin: flow 0 gets 11, flows 1 and 2 get 10 each.
+        assert_eq!(sink.by_dst_port().len(), 3);
+        assert_eq!(sink.by_dst_port()[&20002], 11);
+        assert_eq!(sink.by_dst_port()[&20003], 10);
+        assert_eq!(sink.by_dst_port()[&20004], 10);
+    }
+}

@@ -1,0 +1,243 @@
+//! OpenFlow 1.3 actions (§7.2.5).
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::oxm::OxmField;
+use crate::{Error, Result};
+
+/// Default `max_len` for controller output actions.
+pub const DEFAULT_MAX_LEN: u16 = 0xffe5; // OFPCML_MAX
+
+/// An OpenFlow action.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Forward out a port (physical or reserved, see [`crate::port_no`]).
+    Output {
+        /// Egress port number.
+        port: u32,
+        /// Bytes to send to the controller when `port` is CONTROLLER.
+        max_len: u16,
+    },
+    /// Process through a group.
+    Group(u32),
+    /// Set the egress queue.
+    SetQueue(u32),
+    /// Push a new outermost 802.1Q tag with the given TPID (0x8100/0x88a8).
+    PushVlan(u16),
+    /// Pop the outermost VLAN tag.
+    PopVlan,
+    /// Rewrite a header field.
+    SetField(OxmField),
+}
+
+impl Action {
+    /// Shorthand for a plain output action.
+    pub fn output(port: u32) -> Action {
+        Action::Output { port, max_len: DEFAULT_MAX_LEN }
+    }
+
+    /// Shorthand for "punt the whole packet to the controller".
+    pub fn to_controller() -> Action {
+        Action::Output { port: crate::port_no::CONTROLLER, max_len: DEFAULT_MAX_LEN }
+    }
+
+    /// Shorthand for setting the VLAN id of the outermost tag (OF
+    /// convention: the OXM value carries the PRESENT bit).
+    pub fn set_vlan_vid(vid: u16) -> Action {
+        Action::SetField(OxmField::VlanVid(netpkt::flowkey::OFPVID_PRESENT | vid, None))
+    }
+
+    /// Encoded length, padded to 8 bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Action::Output { .. } => 16,
+            Action::Group(_) | Action::SetQueue(_) => 8,
+            Action::PushVlan(_) | Action::PopVlan => 8,
+            Action::SetField(f) => (4 + f.encoded_len() + 7) / 8 * 8,
+        }
+    }
+
+    /// Append the wire form to `out`.
+    pub fn encode(&self, out: &mut BytesMut) {
+        match *self {
+            Action::Output { port, max_len } => {
+                out.put_u16(0); // OFPAT_OUTPUT
+                out.put_u16(16);
+                out.put_u32(port);
+                out.put_u16(max_len);
+                out.put_bytes(0, 6);
+            }
+            Action::Group(id) => {
+                out.put_u16(22); // OFPAT_GROUP
+                out.put_u16(8);
+                out.put_u32(id);
+            }
+            Action::SetQueue(id) => {
+                out.put_u16(21); // OFPAT_SET_QUEUE
+                out.put_u16(8);
+                out.put_u32(id);
+            }
+            Action::PushVlan(tpid) => {
+                out.put_u16(17); // OFPAT_PUSH_VLAN
+                out.put_u16(8);
+                out.put_u16(tpid);
+                out.put_bytes(0, 2);
+            }
+            Action::PopVlan => {
+                out.put_u16(18); // OFPAT_POP_VLAN
+                out.put_u16(8);
+                out.put_bytes(0, 4);
+            }
+            Action::SetField(ref f) => {
+                let len = self.encoded_len();
+                out.put_u16(25); // OFPAT_SET_FIELD
+                out.put_u16(len as u16);
+                let before = out.len();
+                f.encode(out);
+                let written = out.len() - before;
+                out.put_bytes(0, len - 4 - written);
+            }
+        }
+    }
+
+    /// Decode one action from the front of `buf`.
+    pub fn decode(buf: &mut &[u8]) -> Result<Action> {
+        if buf.len() < 4 {
+            return Err(Error::Truncated);
+        }
+        let ty = buf.get_u16();
+        let len = usize::from(buf.get_u16());
+        if len < 8 || len % 8 != 0 {
+            return Err(Error::Malformed("action length must be a positive multiple of 8"));
+        }
+        let body_len = len - 4;
+        if buf.len() < body_len {
+            return Err(Error::Truncated);
+        }
+        let mut body = &buf[..body_len];
+        let action = match ty {
+            0 => {
+                if body.len() < 12 {
+                    return Err(Error::Truncated);
+                }
+                let port = body.get_u32();
+                let max_len = body.get_u16();
+                Action::Output { port, max_len }
+            }
+            22 => {
+                if body.len() < 4 {
+                    return Err(Error::Truncated);
+                }
+                Action::Group(body.get_u32())
+            }
+            21 => {
+                if body.len() < 4 {
+                    return Err(Error::Truncated);
+                }
+                Action::SetQueue(body.get_u32())
+            }
+            17 => {
+                if body.len() < 2 {
+                    return Err(Error::Truncated);
+                }
+                Action::PushVlan(body.get_u16())
+            }
+            18 => Action::PopVlan,
+            25 => Action::SetField(OxmField::decode(&mut body)?),
+            _ => return Err(Error::Malformed("unknown action type")),
+        };
+        buf.advance(body_len);
+        Ok(action)
+    }
+
+    /// Encode a list of actions.
+    pub fn encode_list(actions: &[Action], out: &mut BytesMut) {
+        for a in actions {
+            a.encode(out);
+        }
+    }
+
+    /// Total encoded length of a list.
+    pub fn list_len(actions: &[Action]) -> usize {
+        actions.iter().map(Action::encoded_len).sum()
+    }
+
+    /// Decode exactly `len` bytes of actions.
+    pub fn decode_list(buf: &mut &[u8], len: usize) -> Result<Vec<Action>> {
+        if buf.len() < len {
+            return Err(Error::Truncated);
+        }
+        let mut body = &buf[..len];
+        let mut out = Vec::new();
+        while !body.is_empty() {
+            out.push(Action::decode(&mut body)?);
+        }
+        buf.advance(len);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpkt::MacAddr;
+
+    fn round_trip(a: &Action) -> Action {
+        let mut buf = BytesMut::new();
+        a.encode(&mut buf);
+        assert_eq!(buf.len(), a.encoded_len());
+        assert_eq!(buf.len() % 8, 0, "actions must be 8-byte aligned");
+        let mut s = &buf[..];
+        let out = Action::decode(&mut s).unwrap();
+        assert!(s.is_empty());
+        out
+    }
+
+    #[test]
+    fn all_actions_round_trip() {
+        for a in [
+            Action::output(7),
+            Action::to_controller(),
+            Action::Group(42),
+            Action::SetQueue(3),
+            Action::PushVlan(0x8100),
+            Action::PopVlan,
+            Action::set_vlan_vid(101),
+            Action::SetField(OxmField::EthDst(MacAddr::host(9), None)),
+            Action::SetField(OxmField::Ipv4Dst("10.0.0.9".parse().unwrap(), None)),
+        ] {
+            assert_eq!(round_trip(&a), a);
+        }
+    }
+
+    #[test]
+    fn list_round_trip() {
+        let list = vec![Action::set_vlan_vid(102), Action::output(1), Action::PopVlan];
+        let mut buf = BytesMut::new();
+        Action::encode_list(&list, &mut buf);
+        assert_eq!(buf.len(), Action::list_len(&list));
+        let mut s = &buf[..];
+        let got = Action::decode_list(&mut s, buf.len()).unwrap();
+        assert_eq!(got, list);
+    }
+
+    #[test]
+    fn decode_rejects_bad_lengths() {
+        // length not multiple of 8
+        let mut s = &[0u8, 0, 0, 12, 0, 0, 0, 1, 0, 0, 0, 0][..];
+        assert!(Action::decode(&mut s).is_err());
+        // truncated
+        let mut s = &[0u8, 0, 0, 16, 0, 0][..];
+        assert_eq!(Action::decode(&mut s).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn unknown_action_type_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(0x7777);
+        buf.put_u16(8);
+        buf.put_u32(0);
+        let mut s = &buf[..];
+        assert!(Action::decode(&mut s).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! # openflow — an OpenFlow 1.3 subset
+//!
+//! The protocol layer between the HARMLESS software switches and the SDN
+//! controller. Three concerns live here:
+//!
+//! 1. **Wire codec** ([`message`], [`oxm`], [`action`], [`instruction`]):
+//!    OpenFlow 1.3 messages encoded/decoded byte-exactly, covering the
+//!    subset a production L2/L3 deployment needs — handshake, echo,
+//!    `FLOW_MOD`/`GROUP_MOD`/`METER_MOD`, `PACKET_IN`/`PACKET_OUT`,
+//!    `FLOW_REMOVED`, `PORT_STATUS`, barriers, errors and the common
+//!    multipart statistics.
+//! 2. **Match model** ([`Match`], [`OxmField`]): OXM TLVs with masks,
+//!    prerequisite validation, and lossless conversion to the
+//!    [`netpkt::FlowKey`]/[`netpkt::flowkey::FieldMask`] pair the
+//!    dataplanes match on.
+//! 3. **Table semantics** ([`table`], [`group`], [`meter`]): flow-table
+//!    priority/overlap/timeout behaviour per §5 and §6.4 of the 1.3 spec,
+//!    group buckets (all/select/indirect) and token-bucket meters.
+//!
+//! The split mirrors real switch implementations: the codec is shared by
+//! controller and switch; the table semantics are the switch-side model
+//! that both the software datapath (`softswitch`) and the TCAM-limited
+//! COTS model (`legacy-switch`) build on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod group;
+pub mod instruction;
+pub mod message;
+pub mod meter;
+pub mod oxm;
+pub mod table;
+
+pub use action::Action;
+pub use group::{Bucket, Group, GroupTable, GroupType};
+pub use instruction::Instruction;
+pub use message::{Message, PacketInReason, PortDesc, Xid};
+pub use meter::{Meter, MeterBand, MeterTable};
+pub use oxm::{Match, OxmField};
+pub use table::{FlowEntry, FlowModCommand, FlowTable, TableId};
+
+/// OpenFlow protocol version byte for 1.3.
+pub const OFP_VERSION: u8 = 0x04;
+
+/// Port numbers, including the OF 1.3 reserved values.
+pub mod port_no {
+    /// Maximum physical port number.
+    pub const MAX: u32 = 0xffff_ff00;
+    /// Send back out the ingress port.
+    pub const IN_PORT: u32 = 0xffff_fff8;
+    /// Submit to the flow table (valid only in packet-out).
+    pub const TABLE: u32 = 0xffff_fff9;
+    /// Legacy "normal" L2 processing.
+    pub const NORMAL: u32 = 0xffff_fffa;
+    /// Flood within the VLAN, minus ingress.
+    pub const FLOOD: u32 = 0xffff_fffb;
+    /// All ports except ingress.
+    pub const ALL: u32 = 0xffff_fffc;
+    /// Punt to the controller.
+    pub const CONTROLLER: u32 = 0xffff_fffd;
+    /// The switch-local port.
+    pub const LOCAL: u32 = 0xffff_fffe;
+    /// Wildcard in delete/stats filters.
+    pub const ANY: u32 = 0xffff_ffff;
+}
+
+/// Group numbers.
+pub mod group_no {
+    /// Wildcard in delete/stats filters.
+    pub const ANY: u32 = 0xffff_ffff;
+    /// "All groups" in delete commands.
+    pub const ALL: u32 = 0xffff_fffc;
+}
+
+/// The buffer id meaning "packet not buffered".
+pub const NO_BUFFER: u32 = 0xffff_ffff;
+
+/// Errors from the codec and table layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Not enough bytes for the claimed structure.
+    Truncated,
+    /// A structurally invalid field (bad length, bad padding, ...).
+    Malformed(&'static str),
+    /// Version byte other than 1.3 where one is required.
+    BadVersion(u8),
+    /// Message type not implemented by this subset.
+    UnsupportedType(u8),
+    /// The requested table does not exist.
+    BadTable(u8),
+    /// Flow-mod rejected: overlap check failed.
+    Overlap,
+    /// Group-mod rejected (unknown group, loop, ...).
+    BadGroup(&'static str),
+    /// Meter-mod rejected.
+    BadMeter(&'static str),
+    /// Match rejected (failed prerequisite or bad value).
+    BadMatch(&'static str),
+    /// The table is full.
+    TableFull,
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "truncated message"),
+            Error::Malformed(m) => write!(f, "malformed: {m}"),
+            Error::BadVersion(v) => write!(f, "unsupported OpenFlow version 0x{v:02x}"),
+            Error::UnsupportedType(t) => write!(f, "unsupported message type {t}"),
+            Error::BadTable(t) => write!(f, "no such table {t}"),
+            Error::Overlap => write!(f, "overlapping flow entry"),
+            Error::BadGroup(m) => write!(f, "bad group: {m}"),
+            Error::BadMeter(m) => write!(f, "bad meter: {m}"),
+            Error::BadMatch(m) => write!(f, "bad match: {m}"),
+            Error::TableFull => write!(f, "flow table full"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Codec result alias.
+pub type Result<T> = core::result::Result<T, Error>;

@@ -1,0 +1,1557 @@
+//! OpenFlow 1.3 message codec.
+//!
+//! Every message is encoded byte-exactly per the 1.3 wire spec (header:
+//! version, type, length, xid). [`Message::encode`] produces a framed
+//! message; [`Message::decode`] consumes one from a buffer;
+//! [`decode_stream`] drains a byte stream that may carry several messages —
+//! which is how the control channel delivers them.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::action::Action;
+use crate::group::{Bucket, GroupModCommand, GroupType};
+use crate::instruction::Instruction;
+use crate::meter::{MeterBand, MeterModCommand};
+use crate::oxm::Match;
+use crate::table::FlowModCommand;
+use crate::{Error, Result, NO_BUFFER, OFP_VERSION};
+
+/// Transaction id carried in every message header.
+pub type Xid = u32;
+
+/// Message type bytes (OF 1.3 `ofp_type`).
+#[allow(missing_docs)]
+pub mod msg_type {
+    pub const HELLO: u8 = 0;
+    pub const ERROR: u8 = 1;
+    pub const ECHO_REQUEST: u8 = 2;
+    pub const ECHO_REPLY: u8 = 3;
+    pub const FEATURES_REQUEST: u8 = 5;
+    pub const FEATURES_REPLY: u8 = 6;
+    pub const GET_CONFIG_REQUEST: u8 = 7;
+    pub const GET_CONFIG_REPLY: u8 = 8;
+    pub const SET_CONFIG: u8 = 9;
+    pub const PACKET_IN: u8 = 10;
+    pub const FLOW_REMOVED: u8 = 11;
+    pub const PORT_STATUS: u8 = 12;
+    pub const PACKET_OUT: u8 = 13;
+    pub const FLOW_MOD: u8 = 14;
+    pub const GROUP_MOD: u8 = 15;
+    pub const MULTIPART_REQUEST: u8 = 18;
+    pub const MULTIPART_REPLY: u8 = 19;
+    pub const BARRIER_REQUEST: u8 = 20;
+    pub const BARRIER_REPLY: u8 = 21;
+    pub const METER_MOD: u8 = 29;
+}
+
+/// Why a packet was punted to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketInReason {
+    /// Table-miss flow entry.
+    NoMatch,
+    /// An explicit output-to-controller action.
+    Action,
+    /// TTL exceeded.
+    InvalidTtl,
+}
+
+impl PacketInReason {
+    /// Wire value.
+    pub fn value(&self) -> u8 {
+        match self {
+            PacketInReason::NoMatch => 0,
+            PacketInReason::Action => 1,
+            PacketInReason::InvalidTtl => 2,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_value(v: u8) -> Result<Self> {
+        Ok(match v {
+            0 => PacketInReason::NoMatch,
+            1 => PacketInReason::Action,
+            2 => PacketInReason::InvalidTtl,
+            _ => return Err(Error::Malformed("bad packet-in reason")),
+        })
+    }
+}
+
+/// `ofp_port`: description of one switch port (64 bytes on the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortDesc {
+    /// Port number.
+    pub port_no: u32,
+    /// MAC address of the port.
+    pub hw_addr: netpkt::MacAddr,
+    /// Human-readable name (≤ 15 bytes kept).
+    pub name: String,
+    /// `ofp_port_config` bits.
+    pub config: u32,
+    /// `ofp_port_state` bits.
+    pub state: u32,
+    /// Current speed in kb/s.
+    pub curr_speed: u32,
+    /// Maximum speed in kb/s.
+    pub max_speed: u32,
+}
+
+impl PortDesc {
+    /// Byte length on the wire.
+    pub const WIRE_LEN: usize = 64;
+
+    fn encode(&self, out: &mut BytesMut) {
+        out.put_u32(self.port_no);
+        out.put_bytes(0, 4);
+        out.put_slice(&self.hw_addr.octets());
+        out.put_bytes(0, 2);
+        let mut name = [0u8; 16];
+        let n = self.name.len().min(15);
+        name[..n].copy_from_slice(&self.name.as_bytes()[..n]);
+        out.put_slice(&name);
+        out.put_u32(self.config);
+        out.put_u32(self.state);
+        out.put_bytes(0, 16); // curr/advertised/supported/peer features
+        out.put_u32(self.curr_speed);
+        out.put_u32(self.max_speed);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<PortDesc> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(Error::Truncated);
+        }
+        let port_no = buf.get_u32();
+        buf.advance(4);
+        let mut mac = [0u8; 6];
+        buf.copy_to_slice(&mut mac);
+        buf.advance(2);
+        let mut name = [0u8; 16];
+        buf.copy_to_slice(&mut name);
+        let end = name.iter().position(|&b| b == 0).unwrap_or(16);
+        let name = String::from_utf8_lossy(&name[..end]).into_owned();
+        let config = buf.get_u32();
+        let state = buf.get_u32();
+        buf.advance(16);
+        let curr_speed = buf.get_u32();
+        let max_speed = buf.get_u32();
+        Ok(PortDesc {
+            port_no,
+            hw_addr: netpkt::MacAddr(mac),
+            name,
+            config,
+            state,
+            curr_speed,
+            max_speed,
+        })
+    }
+}
+
+/// The `FLOW_MOD` payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowMod {
+    /// Opaque controller cookie.
+    pub cookie: u64,
+    /// Cookie mask for modify/delete filtering.
+    pub cookie_mask: u64,
+    /// Target table.
+    pub table_id: u8,
+    /// Add/modify/delete.
+    pub command: FlowModCommand,
+    /// Idle timeout, seconds.
+    pub idle_timeout: u16,
+    /// Hard timeout, seconds.
+    pub hard_timeout: u16,
+    /// Priority.
+    pub priority: u16,
+    /// Buffered packet to release, or [`NO_BUFFER`].
+    pub buffer_id: u32,
+    /// Delete filter: output port.
+    pub out_port: u32,
+    /// Delete filter: output group.
+    pub out_group: u32,
+    /// `flow_flags` bits.
+    pub flags: u16,
+    /// The match.
+    pub match_: Match,
+    /// The instruction list.
+    pub instructions: Vec<Instruction>,
+}
+
+impl FlowMod {
+    /// Start an `ADD` flow-mod for `table_id` (builder style).
+    pub fn add(table_id: u8) -> FlowMod {
+        FlowMod {
+            cookie: 0,
+            cookie_mask: 0,
+            table_id,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 0,
+            buffer_id: NO_BUFFER,
+            out_port: crate::port_no::ANY,
+            out_group: crate::group_no::ANY,
+            flags: 0,
+            match_: Match::any(),
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Start a non-strict `DELETE` for `table_id`.
+    pub fn delete(table_id: u8) -> FlowMod {
+        FlowMod { command: FlowModCommand::Delete, ..FlowMod::add(table_id) }
+    }
+
+    /// Builder: priority.
+    pub fn priority(mut self, p: u16) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Builder: match.
+    pub fn match_(mut self, m: Match) -> Self {
+        self.match_ = m;
+        self
+    }
+
+    /// Builder: apply-actions instruction.
+    pub fn apply(mut self, actions: Vec<Action>) -> Self {
+        self.instructions.push(Instruction::ApplyActions(actions));
+        self
+    }
+
+    /// Builder: goto-table instruction.
+    pub fn goto(mut self, table: u8) -> Self {
+        self.instructions.push(Instruction::GotoTable(table));
+        self
+    }
+
+    /// Builder: raw instructions.
+    pub fn instructions(mut self, insns: Vec<Instruction>) -> Self {
+        self.instructions = insns;
+        self
+    }
+
+    /// Builder: timeouts.
+    pub fn timeouts(mut self, idle: u16, hard: u16) -> Self {
+        self.idle_timeout = idle;
+        self.hard_timeout = hard;
+        self
+    }
+
+    /// Builder: cookie.
+    pub fn cookie(mut self, c: u64) -> Self {
+        self.cookie = c;
+        self
+    }
+
+    /// Builder: flags.
+    pub fn flags(mut self, f: u16) -> Self {
+        self.flags = f;
+        self
+    }
+}
+
+/// Multipart request bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MultipartReq {
+    /// Switch description.
+    Desc,
+    /// Per-flow statistics.
+    Flow {
+        /// Table to read, or `0xff` for all.
+        table_id: u8,
+        /// Output-port filter.
+        out_port: u32,
+        /// Output-group filter.
+        out_group: u32,
+        /// Cookie filter.
+        cookie: u64,
+        /// Cookie mask (0 = no filtering).
+        cookie_mask: u64,
+        /// Match filter.
+        match_: Match,
+    },
+    /// Aggregate statistics (same filter shape as `Flow`).
+    Aggregate {
+        /// Table to read, or `0xff` for all.
+        table_id: u8,
+        /// Output-port filter.
+        out_port: u32,
+        /// Output-group filter.
+        out_group: u32,
+        /// Cookie filter.
+        cookie: u64,
+        /// Cookie mask.
+        cookie_mask: u64,
+        /// Match filter.
+        match_: Match,
+    },
+    /// Per-table lookup/match counters.
+    Table,
+    /// Per-port counters.
+    PortStats {
+        /// Port, or `port_no::ANY` for all.
+        port_no: u32,
+    },
+    /// Port descriptions.
+    PortDesc,
+}
+
+/// One flow entry in a `Flow` multipart reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowStatsEntry {
+    /// Table the entry lives in.
+    pub table_id: u8,
+    /// Seconds alive.
+    pub duration_sec: u32,
+    /// Priority.
+    pub priority: u16,
+    /// Idle timeout.
+    pub idle_timeout: u16,
+    /// Hard timeout.
+    pub hard_timeout: u16,
+    /// Flags.
+    pub flags: u16,
+    /// Cookie.
+    pub cookie: u64,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+    /// The match.
+    pub match_: Match,
+    /// The instructions.
+    pub instructions: Vec<Instruction>,
+}
+
+/// One table in a `Table` multipart reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableStatsEntry {
+    /// Table id.
+    pub table_id: u8,
+    /// Entries installed.
+    pub active_count: u32,
+    /// Lookups performed.
+    pub lookup_count: u64,
+    /// Lookups that matched.
+    pub matched_count: u64,
+}
+
+/// One port in a `PortStats` multipart reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PortStatsEntry {
+    /// Port number.
+    pub port_no: u32,
+    /// Frames received.
+    pub rx_packets: u64,
+    /// Frames sent.
+    pub tx_packets: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Bytes sent.
+    pub tx_bytes: u64,
+    /// Receive drops.
+    pub rx_dropped: u64,
+    /// Transmit drops.
+    pub tx_dropped: u64,
+}
+
+/// Multipart reply bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MultipartRes {
+    /// Switch description strings.
+    Desc {
+        /// Manufacturer.
+        mfr: String,
+        /// Hardware description.
+        hw: String,
+        /// Software description.
+        sw: String,
+        /// Serial number.
+        serial: String,
+        /// Datapath description.
+        dp: String,
+    },
+    /// Flow statistics.
+    Flow(Vec<FlowStatsEntry>),
+    /// Aggregate statistics.
+    Aggregate {
+        /// Total packets.
+        packet_count: u64,
+        /// Total bytes.
+        byte_count: u64,
+        /// Number of flows.
+        flow_count: u32,
+    },
+    /// Table statistics.
+    Table(Vec<TableStatsEntry>),
+    /// Port statistics.
+    PortStats(Vec<PortStatsEntry>),
+    /// Port descriptions.
+    PortDesc(Vec<PortDesc>),
+}
+
+/// Multipart type codes.
+mod mp_type {
+    pub const DESC: u16 = 0;
+    pub const FLOW: u16 = 1;
+    pub const AGGREGATE: u16 = 2;
+    pub const TABLE: u16 = 3;
+    pub const PORT_STATS: u16 = 4;
+    pub const PORT_DESC: u16 = 13;
+}
+
+/// A decoded OpenFlow message (without the xid, which travels beside it).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Version negotiation; we only ever speak 1.3.
+    Hello,
+    /// Error notification.
+    Error {
+        /// `ofp_error_type`.
+        ty: u16,
+        /// Type-specific code.
+        code: u16,
+        /// At least 64 bytes of the offending message.
+        data: Bytes,
+    },
+    /// Liveness probe.
+    EchoRequest(Bytes),
+    /// Liveness answer (echoes the data).
+    EchoReply(Bytes),
+    /// Ask for datapath features.
+    FeaturesRequest,
+    /// Datapath features.
+    FeaturesReply {
+        /// Datapath id (MAC + implementer bits).
+        datapath_id: u64,
+        /// Packet buffer count.
+        n_buffers: u32,
+        /// Number of pipeline tables.
+        n_tables: u8,
+        /// Capability bits.
+        capabilities: u32,
+    },
+    /// Ask for switch config.
+    GetConfigRequest,
+    /// Switch config.
+    GetConfigReply {
+        /// Fragment handling flags.
+        flags: u16,
+        /// Bytes of each packet sent to the controller on miss.
+        miss_send_len: u16,
+    },
+    /// Set switch config.
+    SetConfig {
+        /// Fragment handling flags.
+        flags: u16,
+        /// Miss send length.
+        miss_send_len: u16,
+    },
+    /// Packet punted to the controller.
+    PacketIn {
+        /// Buffer id or [`NO_BUFFER`].
+        buffer_id: u32,
+        /// Original frame length.
+        total_len: u16,
+        /// Why it was punted.
+        reason: PacketInReason,
+        /// Table that punted it.
+        table_id: u8,
+        /// Cookie of the flow entry.
+        cookie: u64,
+        /// Match metadata (carries at least IN_PORT).
+        match_: Match,
+        /// The (possibly truncated) frame.
+        data: Bytes,
+    },
+    /// A flow entry died.
+    FlowRemoved {
+        /// Cookie.
+        cookie: u64,
+        /// Priority.
+        priority: u16,
+        /// `RemovedReason` wire value.
+        reason: u8,
+        /// Table it lived in.
+        table_id: u8,
+        /// Lifetime seconds.
+        duration_sec: u32,
+        /// Idle timeout.
+        idle_timeout: u16,
+        /// Hard timeout.
+        hard_timeout: u16,
+        /// Packets matched.
+        packet_count: u64,
+        /// Bytes matched.
+        byte_count: u64,
+        /// The match.
+        match_: Match,
+    },
+    /// A port appeared/disappeared/changed.
+    PortStatus {
+        /// 0 = add, 1 = delete, 2 = modify.
+        reason: u8,
+        /// The port.
+        desc: PortDesc,
+    },
+    /// Controller-originated packet.
+    PacketOut {
+        /// Buffer to release or [`NO_BUFFER`].
+        buffer_id: u32,
+        /// Ingress port context (or `port_no::CONTROLLER`).
+        in_port: u32,
+        /// Actions to apply.
+        actions: Vec<Action>,
+        /// Frame data when not buffered.
+        data: Bytes,
+    },
+    /// Flow table modification.
+    FlowMod(FlowMod),
+    /// Group table modification.
+    GroupMod {
+        /// Add/modify/delete.
+        command: GroupModCommand,
+        /// Group behaviour.
+        type_: GroupType,
+        /// Group id.
+        group_id: u32,
+        /// Buckets.
+        buckets: Vec<Bucket>,
+    },
+    /// Meter table modification.
+    MeterMod {
+        /// Add/modify/delete.
+        command: MeterModCommand,
+        /// Meter id.
+        meter_id: u32,
+        /// Rate unit is packets/s instead of kb/s.
+        pktps: bool,
+        /// The drop band (absent for delete).
+        band: Option<MeterBand>,
+    },
+    /// Statistics request.
+    MultipartRequest(MultipartReq),
+    /// Statistics reply.
+    MultipartReply(MultipartRes),
+    /// Flush barrier.
+    BarrierRequest,
+    /// Barrier acknowledgement.
+    BarrierReply,
+}
+
+impl Message {
+    /// The `ofp_type` byte of this message.
+    pub fn type_byte(&self) -> u8 {
+        use msg_type::*;
+        match self {
+            Message::Hello => HELLO,
+            Message::Error { .. } => ERROR,
+            Message::EchoRequest(_) => ECHO_REQUEST,
+            Message::EchoReply(_) => ECHO_REPLY,
+            Message::FeaturesRequest => FEATURES_REQUEST,
+            Message::FeaturesReply { .. } => FEATURES_REPLY,
+            Message::GetConfigRequest => GET_CONFIG_REQUEST,
+            Message::GetConfigReply { .. } => GET_CONFIG_REPLY,
+            Message::SetConfig { .. } => SET_CONFIG,
+            Message::PacketIn { .. } => PACKET_IN,
+            Message::FlowRemoved { .. } => FLOW_REMOVED,
+            Message::PortStatus { .. } => PORT_STATUS,
+            Message::PacketOut { .. } => PACKET_OUT,
+            Message::FlowMod(_) => FLOW_MOD,
+            Message::GroupMod { .. } => GROUP_MOD,
+            Message::MeterMod { .. } => METER_MOD,
+            Message::MultipartRequest(_) => MULTIPART_REQUEST,
+            Message::MultipartReply(_) => MULTIPART_REPLY,
+            Message::BarrierRequest => BARRIER_REQUEST,
+            Message::BarrierReply => BARRIER_REPLY,
+        }
+    }
+
+    /// Encode with full header; `xid` is the transaction id.
+    pub fn encode(&self, xid: Xid) -> Bytes {
+        let mut body = BytesMut::new();
+        self.encode_body(&mut body);
+        let mut out = BytesMut::with_capacity(8 + body.len());
+        out.put_u8(OFP_VERSION);
+        out.put_u8(self.type_byte());
+        out.put_u16((8 + body.len()) as u16);
+        out.put_u32(xid);
+        out.put_slice(&body);
+        out.freeze()
+    }
+
+    fn encode_body(&self, out: &mut BytesMut) {
+        match self {
+            Message::Hello
+            | Message::FeaturesRequest
+            | Message::GetConfigRequest
+            | Message::BarrierRequest
+            | Message::BarrierReply => {}
+            Message::Error { ty, code, data } => {
+                out.put_u16(*ty);
+                out.put_u16(*code);
+                out.put_slice(data);
+            }
+            Message::EchoRequest(d) | Message::EchoReply(d) => out.put_slice(d),
+            Message::FeaturesReply { datapath_id, n_buffers, n_tables, capabilities } => {
+                out.put_u64(*datapath_id);
+                out.put_u32(*n_buffers);
+                out.put_u8(*n_tables);
+                out.put_u8(0); // auxiliary_id
+                out.put_bytes(0, 2);
+                out.put_u32(*capabilities);
+                out.put_u32(0); // reserved
+            }
+            Message::GetConfigReply { flags, miss_send_len }
+            | Message::SetConfig { flags, miss_send_len } => {
+                out.put_u16(*flags);
+                out.put_u16(*miss_send_len);
+            }
+            Message::PacketIn { buffer_id, total_len, reason, table_id, cookie, match_, data } => {
+                out.put_u32(*buffer_id);
+                out.put_u16(*total_len);
+                out.put_u8(reason.value());
+                out.put_u8(*table_id);
+                out.put_u64(*cookie);
+                match_.encode(out);
+                out.put_bytes(0, 2);
+                out.put_slice(data);
+            }
+            Message::FlowRemoved {
+                cookie,
+                priority,
+                reason,
+                table_id,
+                duration_sec,
+                idle_timeout,
+                hard_timeout,
+                packet_count,
+                byte_count,
+                match_,
+            } => {
+                out.put_u64(*cookie);
+                out.put_u16(*priority);
+                out.put_u8(*reason);
+                out.put_u8(*table_id);
+                out.put_u32(*duration_sec);
+                out.put_u32(0); // duration_nsec
+                out.put_u16(*idle_timeout);
+                out.put_u16(*hard_timeout);
+                out.put_u64(*packet_count);
+                out.put_u64(*byte_count);
+                match_.encode(out);
+            }
+            Message::PortStatus { reason, desc } => {
+                out.put_u8(*reason);
+                out.put_bytes(0, 7);
+                desc.encode(out);
+            }
+            Message::PacketOut { buffer_id, in_port, actions, data } => {
+                out.put_u32(*buffer_id);
+                out.put_u32(*in_port);
+                out.put_u16(Action::list_len(actions) as u16);
+                out.put_bytes(0, 6);
+                Action::encode_list(actions, out);
+                out.put_slice(data);
+            }
+            Message::FlowMod(fm) => {
+                out.put_u64(fm.cookie);
+                out.put_u64(fm.cookie_mask);
+                out.put_u8(fm.table_id);
+                out.put_u8(fm.command.value());
+                out.put_u16(fm.idle_timeout);
+                out.put_u16(fm.hard_timeout);
+                out.put_u16(fm.priority);
+                out.put_u32(fm.buffer_id);
+                out.put_u32(fm.out_port);
+                out.put_u32(fm.out_group);
+                out.put_u16(fm.flags);
+                out.put_bytes(0, 2);
+                fm.match_.encode(out);
+                Instruction::encode_list(&fm.instructions, out);
+            }
+            Message::GroupMod { command, type_, group_id, buckets } => {
+                out.put_u16(command.value());
+                out.put_u8(type_.value());
+                out.put_u8(0);
+                out.put_u32(*group_id);
+                for b in buckets {
+                    let blen = 16 + Action::list_len(&b.actions);
+                    out.put_u16(blen as u16);
+                    out.put_u16(b.weight);
+                    out.put_u32(crate::port_no::ANY); // watch_port
+                    out.put_u32(crate::group_no::ANY); // watch_group
+                    out.put_bytes(0, 4);
+                    Action::encode_list(&b.actions, out);
+                }
+            }
+            Message::MeterMod { command, meter_id, pktps, band } => {
+                out.put_u16(command.value());
+                let mut flags = if *pktps { 0x2 } else { 0x1 };
+                flags |= 0x4; // burst
+                out.put_u16(flags);
+                out.put_u32(*meter_id);
+                if let Some(b) = band {
+                    out.put_u16(1); // OFPMBT_DROP
+                    out.put_u16(16);
+                    out.put_u32(b.rate);
+                    out.put_u32(b.burst);
+                    out.put_bytes(0, 4);
+                }
+            }
+            Message::MultipartRequest(req) => {
+                let (ty, body): (u16, BytesMut) = match req {
+                    MultipartReq::Desc => (mp_type::DESC, BytesMut::new()),
+                    MultipartReq::Flow { table_id, out_port, out_group, cookie, cookie_mask, match_ }
+                    | MultipartReq::Aggregate {
+                        table_id,
+                        out_port,
+                        out_group,
+                        cookie,
+                        cookie_mask,
+                        match_,
+                    } => {
+                        let mut b = BytesMut::new();
+                        b.put_u8(*table_id);
+                        b.put_bytes(0, 3);
+                        b.put_u32(*out_port);
+                        b.put_u32(*out_group);
+                        b.put_bytes(0, 4);
+                        b.put_u64(*cookie);
+                        b.put_u64(*cookie_mask);
+                        match_.encode(&mut b);
+                        let ty = if matches!(req, MultipartReq::Flow { .. }) {
+                            mp_type::FLOW
+                        } else {
+                            mp_type::AGGREGATE
+                        };
+                        (ty, b)
+                    }
+                    MultipartReq::Table => (mp_type::TABLE, BytesMut::new()),
+                    MultipartReq::PortStats { port_no } => {
+                        let mut b = BytesMut::new();
+                        b.put_u32(*port_no);
+                        b.put_bytes(0, 4);
+                        (mp_type::PORT_STATS, b)
+                    }
+                    MultipartReq::PortDesc => (mp_type::PORT_DESC, BytesMut::new()),
+                };
+                out.put_u16(ty);
+                out.put_u16(0); // flags
+                out.put_bytes(0, 4);
+                out.put_slice(&body);
+            }
+            Message::MultipartReply(res) => {
+                let (ty, body): (u16, BytesMut) = match res {
+                    MultipartRes::Desc { mfr, hw, sw, serial, dp } => {
+                        let mut b = BytesMut::new();
+                        for (s, len) in
+                            [(mfr, 256), (hw, 256), (sw, 256), (serial, 32), (dp, 256)]
+                        {
+                            let mut field = vec![0u8; len];
+                            let n = s.len().min(len - 1);
+                            field[..n].copy_from_slice(&s.as_bytes()[..n]);
+                            b.put_slice(&field);
+                        }
+                        (mp_type::DESC, b)
+                    }
+                    MultipartRes::Flow(entries) => {
+                        let mut b = BytesMut::new();
+                        for e in entries {
+                            let mlen = e.match_.encoded_len();
+                            let ilen = Instruction::list_len(&e.instructions);
+                            b.put_u16((48 + mlen + ilen) as u16);
+                            b.put_u8(e.table_id);
+                            b.put_u8(0);
+                            b.put_u32(e.duration_sec);
+                            b.put_u32(0); // duration_nsec
+                            b.put_u16(e.priority);
+                            b.put_u16(e.idle_timeout);
+                            b.put_u16(e.hard_timeout);
+                            b.put_u16(e.flags);
+                            b.put_bytes(0, 4);
+                            b.put_u64(e.cookie);
+                            b.put_u64(e.packet_count);
+                            b.put_u64(e.byte_count);
+                            e.match_.encode(&mut b);
+                            Instruction::encode_list(&e.instructions, &mut b);
+                        }
+                        (mp_type::FLOW, b)
+                    }
+                    MultipartRes::Aggregate { packet_count, byte_count, flow_count } => {
+                        let mut b = BytesMut::new();
+                        b.put_u64(*packet_count);
+                        b.put_u64(*byte_count);
+                        b.put_u32(*flow_count);
+                        b.put_bytes(0, 4);
+                        (mp_type::AGGREGATE, b)
+                    }
+                    MultipartRes::Table(entries) => {
+                        let mut b = BytesMut::new();
+                        for e in entries {
+                            b.put_u8(e.table_id);
+                            b.put_bytes(0, 3);
+                            b.put_u32(e.active_count);
+                            b.put_u64(e.lookup_count);
+                            b.put_u64(e.matched_count);
+                        }
+                        (mp_type::TABLE, b)
+                    }
+                    MultipartRes::PortStats(entries) => {
+                        let mut b = BytesMut::new();
+                        for e in entries {
+                            b.put_u32(e.port_no);
+                            b.put_bytes(0, 4);
+                            b.put_u64(e.rx_packets);
+                            b.put_u64(e.tx_packets);
+                            b.put_u64(e.rx_bytes);
+                            b.put_u64(e.tx_bytes);
+                            b.put_u64(e.rx_dropped);
+                            b.put_u64(e.tx_dropped);
+                            b.put_bytes(0, 48); // errors, collisions
+                            b.put_u32(0); // duration_sec
+                            b.put_u32(0); // duration_nsec
+                        }
+                        (mp_type::PORT_STATS, b)
+                    }
+                    MultipartRes::PortDesc(ports) => {
+                        let mut b = BytesMut::new();
+                        for p in ports {
+                            p.encode(&mut b);
+                        }
+                        (mp_type::PORT_DESC, b)
+                    }
+                };
+                out.put_u16(ty);
+                out.put_u16(0);
+                out.put_bytes(0, 4);
+                out.put_slice(&body);
+            }
+        }
+    }
+
+    /// Decode a single framed message from the front of `buf`. Returns the
+    /// xid, the message and how many bytes were consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Xid, Message, usize)> {
+        if buf.len() < 8 {
+            return Err(Error::Truncated);
+        }
+        let version = buf[0];
+        let ty = buf[1];
+        let len = usize::from(u16::from_be_bytes([buf[2], buf[3]]));
+        let xid = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        if len < 8 {
+            return Err(Error::Malformed("header length below 8"));
+        }
+        if buf.len() < len {
+            return Err(Error::Truncated);
+        }
+        if version != OFP_VERSION && ty != msg_type::HELLO {
+            return Err(Error::BadVersion(version));
+        }
+        let mut body = &buf[8..len];
+        let msg = Self::decode_body(ty, &mut body)?;
+        Ok((xid, msg, len))
+    }
+
+    fn decode_body(ty: u8, body: &mut &[u8]) -> Result<Message> {
+        use msg_type::*;
+        Ok(match ty {
+            HELLO => Message::Hello,
+            ERROR => {
+                if body.len() < 4 {
+                    return Err(Error::Truncated);
+                }
+                let ty = body.get_u16();
+                let code = body.get_u16();
+                Message::Error { ty, code, data: Bytes::copy_from_slice(body) }
+            }
+            ECHO_REQUEST => Message::EchoRequest(Bytes::copy_from_slice(body)),
+            ECHO_REPLY => Message::EchoReply(Bytes::copy_from_slice(body)),
+            FEATURES_REQUEST => Message::FeaturesRequest,
+            FEATURES_REPLY => {
+                if body.len() < 24 {
+                    return Err(Error::Truncated);
+                }
+                let datapath_id = body.get_u64();
+                let n_buffers = body.get_u32();
+                let n_tables = body.get_u8();
+                body.advance(3);
+                let capabilities = body.get_u32();
+                Message::FeaturesReply { datapath_id, n_buffers, n_tables, capabilities }
+            }
+            GET_CONFIG_REQUEST => Message::GetConfigRequest,
+            GET_CONFIG_REPLY | SET_CONFIG => {
+                if body.len() < 4 {
+                    return Err(Error::Truncated);
+                }
+                let flags = body.get_u16();
+                let miss_send_len = body.get_u16();
+                if ty == GET_CONFIG_REPLY {
+                    Message::GetConfigReply { flags, miss_send_len }
+                } else {
+                    Message::SetConfig { flags, miss_send_len }
+                }
+            }
+            PACKET_IN => {
+                if body.len() < 16 {
+                    return Err(Error::Truncated);
+                }
+                let buffer_id = body.get_u32();
+                let total_len = body.get_u16();
+                let reason = PacketInReason::from_value(body.get_u8())?;
+                let table_id = body.get_u8();
+                let cookie = body.get_u64();
+                let match_ = Match::decode(body)?;
+                if body.len() < 2 {
+                    return Err(Error::Truncated);
+                }
+                body.advance(2);
+                Message::PacketIn {
+                    buffer_id,
+                    total_len,
+                    reason,
+                    table_id,
+                    cookie,
+                    match_,
+                    data: Bytes::copy_from_slice(body),
+                }
+            }
+            FLOW_REMOVED => {
+                if body.len() < 40 {
+                    return Err(Error::Truncated);
+                }
+                let cookie = body.get_u64();
+                let priority = body.get_u16();
+                let reason = body.get_u8();
+                let table_id = body.get_u8();
+                let duration_sec = body.get_u32();
+                let _duration_nsec = body.get_u32();
+                let idle_timeout = body.get_u16();
+                let hard_timeout = body.get_u16();
+                let packet_count = body.get_u64();
+                let byte_count = body.get_u64();
+                let match_ = Match::decode(body)?;
+                Message::FlowRemoved {
+                    cookie,
+                    priority,
+                    reason,
+                    table_id,
+                    duration_sec,
+                    idle_timeout,
+                    hard_timeout,
+                    packet_count,
+                    byte_count,
+                    match_,
+                }
+            }
+            PORT_STATUS => {
+                if body.len() < 8 + PortDesc::WIRE_LEN {
+                    return Err(Error::Truncated);
+                }
+                let reason = body.get_u8();
+                body.advance(7);
+                let desc = PortDesc::decode(body)?;
+                Message::PortStatus { reason, desc }
+            }
+            PACKET_OUT => {
+                if body.len() < 16 {
+                    return Err(Error::Truncated);
+                }
+                let buffer_id = body.get_u32();
+                let in_port = body.get_u32();
+                let actions_len = usize::from(body.get_u16());
+                body.advance(6);
+                let actions = Action::decode_list(body, actions_len)?;
+                Message::PacketOut {
+                    buffer_id,
+                    in_port,
+                    actions,
+                    data: Bytes::copy_from_slice(body),
+                }
+            }
+            FLOW_MOD => {
+                if body.len() < 40 {
+                    return Err(Error::Truncated);
+                }
+                let cookie = body.get_u64();
+                let cookie_mask = body.get_u64();
+                let table_id = body.get_u8();
+                let command = FlowModCommand::from_value(body.get_u8())?;
+                let idle_timeout = body.get_u16();
+                let hard_timeout = body.get_u16();
+                let priority = body.get_u16();
+                let buffer_id = body.get_u32();
+                let out_port = body.get_u32();
+                let out_group = body.get_u32();
+                let flags = body.get_u16();
+                body.advance(2);
+                let match_ = Match::decode(body)?;
+                let ilen = body.len();
+                let instructions = Instruction::decode_list(body, ilen)?;
+                Message::FlowMod(FlowMod {
+                    cookie,
+                    cookie_mask,
+                    table_id,
+                    command,
+                    idle_timeout,
+                    hard_timeout,
+                    priority,
+                    buffer_id,
+                    out_port,
+                    out_group,
+                    flags,
+                    match_,
+                    instructions,
+                })
+            }
+            GROUP_MOD => {
+                if body.len() < 8 {
+                    return Err(Error::Truncated);
+                }
+                let command = GroupModCommand::from_value(body.get_u16())?;
+                let type_ = GroupType::from_value(body.get_u8())?;
+                body.advance(1);
+                let group_id = body.get_u32();
+                let mut buckets = Vec::new();
+                while !body.is_empty() {
+                    if body.len() < 16 {
+                        return Err(Error::Truncated);
+                    }
+                    let blen = usize::from(body.get_u16());
+                    if blen < 16 {
+                        return Err(Error::Malformed("bucket too short"));
+                    }
+                    let weight = body.get_u16();
+                    body.advance(12); // watch_port, watch_group, pad
+                    let alen = blen - 16;
+                    let actions = Action::decode_list(body, alen)?;
+                    buckets.push(Bucket { weight, actions });
+                }
+                Message::GroupMod { command, type_, group_id, buckets }
+            }
+            METER_MOD => {
+                if body.len() < 8 {
+                    return Err(Error::Truncated);
+                }
+                let command = MeterModCommand::from_value(body.get_u16())?;
+                let flags = body.get_u16();
+                let meter_id = body.get_u32();
+                let pktps = flags & 0x2 != 0;
+                let band = if body.is_empty() {
+                    None
+                } else {
+                    if body.len() < 16 {
+                        return Err(Error::Truncated);
+                    }
+                    let bty = body.get_u16();
+                    let blen = body.get_u16();
+                    if bty != 1 || blen != 16 {
+                        return Err(Error::Malformed("only 16-byte drop bands supported"));
+                    }
+                    let rate = body.get_u32();
+                    let burst = body.get_u32();
+                    body.advance(4);
+                    Some(MeterBand { rate, burst })
+                };
+                Message::MeterMod { command, meter_id, pktps, band }
+            }
+            MULTIPART_REQUEST => {
+                if body.len() < 8 {
+                    return Err(Error::Truncated);
+                }
+                let mpty = body.get_u16();
+                let _flags = body.get_u16();
+                body.advance(4);
+                let req = match mpty {
+                    mp_type::DESC => MultipartReq::Desc,
+                    mp_type::FLOW | mp_type::AGGREGATE => {
+                        if body.len() < 32 {
+                            return Err(Error::Truncated);
+                        }
+                        let table_id = body.get_u8();
+                        body.advance(3);
+                        let out_port = body.get_u32();
+                        let out_group = body.get_u32();
+                        body.advance(4);
+                        let cookie = body.get_u64();
+                        let cookie_mask = body.get_u64();
+                        let match_ = Match::decode(body)?;
+                        if mpty == mp_type::FLOW {
+                            MultipartReq::Flow {
+                                table_id,
+                                out_port,
+                                out_group,
+                                cookie,
+                                cookie_mask,
+                                match_,
+                            }
+                        } else {
+                            MultipartReq::Aggregate {
+                                table_id,
+                                out_port,
+                                out_group,
+                                cookie,
+                                cookie_mask,
+                                match_,
+                            }
+                        }
+                    }
+                    mp_type::TABLE => MultipartReq::Table,
+                    mp_type::PORT_STATS => {
+                        if body.len() < 8 {
+                            return Err(Error::Truncated);
+                        }
+                        let port_no = body.get_u32();
+                        body.advance(4);
+                        MultipartReq::PortStats { port_no }
+                    }
+                    mp_type::PORT_DESC => MultipartReq::PortDesc,
+                    _ => return Err(Error::Malformed("unsupported multipart type")),
+                };
+                Message::MultipartRequest(req)
+            }
+            MULTIPART_REPLY => {
+                if body.len() < 8 {
+                    return Err(Error::Truncated);
+                }
+                let mpty = body.get_u16();
+                let _flags = body.get_u16();
+                body.advance(4);
+                let res = match mpty {
+                    mp_type::DESC => {
+                        if body.len() < 1056 {
+                            return Err(Error::Truncated);
+                        }
+                        let mut read = |len: usize| {
+                            let raw = &body[..len];
+                            let end = raw.iter().position(|&b| b == 0).unwrap_or(len);
+                            let s = String::from_utf8_lossy(&raw[..end]).into_owned();
+                            body.advance(len);
+                            s
+                        };
+                        let mfr = read(256);
+                        let hw = read(256);
+                        let sw = read(256);
+                        let serial = read(32);
+                        let dp = read(256);
+                        MultipartRes::Desc { mfr, hw, sw, serial, dp }
+                    }
+                    mp_type::FLOW => {
+                        let mut entries = Vec::new();
+                        while !body.is_empty() {
+                            if body.len() < 48 {
+                                return Err(Error::Truncated);
+                            }
+                            let elen = usize::from(body.get_u16());
+                            if elen < 48 {
+                                return Err(Error::Malformed("flow stats entry too short"));
+                            }
+                            let table_id = body.get_u8();
+                            body.advance(1);
+                            let duration_sec = body.get_u32();
+                            let _duration_nsec = body.get_u32();
+                            let priority = body.get_u16();
+                            let idle_timeout = body.get_u16();
+                            let hard_timeout = body.get_u16();
+                            let flags = body.get_u16();
+                            body.advance(4);
+                            let cookie = body.get_u64();
+                            let packet_count = body.get_u64();
+                            let byte_count = body.get_u64();
+                            let before = body.len();
+                            let match_ = Match::decode(body)?;
+                            let consumed_match = before - body.len();
+                            let ilen = elen - 48 - consumed_match;
+                            let instructions = Instruction::decode_list(body, ilen)?;
+                            entries.push(FlowStatsEntry {
+                                table_id,
+                                duration_sec,
+                                priority,
+                                idle_timeout,
+                                hard_timeout,
+                                flags,
+                                cookie,
+                                packet_count,
+                                byte_count,
+                                match_,
+                                instructions,
+                            });
+                        }
+                        MultipartRes::Flow(entries)
+                    }
+                    mp_type::AGGREGATE => {
+                        if body.len() < 24 {
+                            return Err(Error::Truncated);
+                        }
+                        let packet_count = body.get_u64();
+                        let byte_count = body.get_u64();
+                        let flow_count = body.get_u32();
+                        body.advance(4);
+                        MultipartRes::Aggregate { packet_count, byte_count, flow_count }
+                    }
+                    mp_type::TABLE => {
+                        let mut entries = Vec::new();
+                        while body.len() >= 24 {
+                            let table_id = body.get_u8();
+                            body.advance(3);
+                            let active_count = body.get_u32();
+                            let lookup_count = body.get_u64();
+                            let matched_count = body.get_u64();
+                            entries.push(TableStatsEntry {
+                                table_id,
+                                active_count,
+                                lookup_count,
+                                matched_count,
+                            });
+                        }
+                        MultipartRes::Table(entries)
+                    }
+                    mp_type::PORT_STATS => {
+                        let mut entries = Vec::new();
+                        while body.len() >= 112 {
+                            let port_no = body.get_u32();
+                            body.advance(4);
+                            let rx_packets = body.get_u64();
+                            let tx_packets = body.get_u64();
+                            let rx_bytes = body.get_u64();
+                            let tx_bytes = body.get_u64();
+                            let rx_dropped = body.get_u64();
+                            let tx_dropped = body.get_u64();
+                            body.advance(56);
+                            entries.push(PortStatsEntry {
+                                port_no,
+                                rx_packets,
+                                tx_packets,
+                                rx_bytes,
+                                tx_bytes,
+                                rx_dropped,
+                                tx_dropped,
+                            });
+                        }
+                        MultipartRes::PortStats(entries)
+                    }
+                    mp_type::PORT_DESC => {
+                        let mut ports = Vec::new();
+                        while body.len() >= PortDesc::WIRE_LEN {
+                            ports.push(PortDesc::decode(body)?);
+                        }
+                        MultipartRes::PortDesc(ports)
+                    }
+                    _ => return Err(Error::Malformed("unsupported multipart type")),
+                };
+                Message::MultipartReply(res)
+            }
+            BARRIER_REQUEST => Message::BarrierRequest,
+            BARRIER_REPLY => Message::BarrierReply,
+            other => return Err(Error::UnsupportedType(other)),
+        })
+    }
+}
+
+/// Drain every complete message from `stream`; bytes of an incomplete
+/// trailing message remain in the buffer.
+pub fn decode_stream(stream: &mut BytesMut) -> Result<Vec<(Xid, Message)>> {
+    let mut out = Vec::new();
+    loop {
+        match Message::decode(&stream[..]) {
+            Ok((xid, msg, used)) => {
+                stream.advance(used);
+                out.push((xid, msg));
+                if stream.is_empty() {
+                    break;
+                }
+            }
+            Err(Error::Truncated) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpkt::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn round_trip(m: &Message) -> Message {
+        let wire = m.encode(0x1234);
+        let (xid, got, used) = Message::decode(&wire).unwrap();
+        assert_eq!(xid, 0x1234);
+        assert_eq!(used, wire.len());
+        got
+    }
+
+    fn sample_match() -> Match {
+        Match::new().in_port(1).eth_type(0x0800).ipv4_dst(Ipv4Addr::new(10, 0, 0, 9))
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        for m in [
+            Message::Hello,
+            Message::EchoRequest(Bytes::from_static(b"ping")),
+            Message::EchoReply(Bytes::from_static(b"ping")),
+            Message::FeaturesRequest,
+            Message::FeaturesReply {
+                datapath_id: 0x00aa_bb00_0000_0001,
+                n_buffers: 256,
+                n_tables: 4,
+                capabilities: 0x47,
+            },
+            Message::GetConfigRequest,
+            Message::GetConfigReply { flags: 0, miss_send_len: 128 },
+            Message::SetConfig { flags: 0, miss_send_len: 0xffff },
+            Message::BarrierRequest,
+            Message::BarrierReply,
+            Message::Error { ty: 5, code: 1, data: Bytes::from_static(b"bad flow mod") },
+        ] {
+            assert_eq!(round_trip(&m), m);
+        }
+    }
+
+    #[test]
+    fn flow_mod_round_trip() {
+        let fm = FlowMod::add(0)
+            .priority(100)
+            .match_(sample_match())
+            .apply(vec![Action::set_vlan_vid(102), Action::output(7)])
+            .timeouts(30, 300)
+            .cookie(0xdeadbeef)
+            .flags(crate::table::flow_flags::SEND_FLOW_REM);
+        assert_eq!(round_trip(&Message::FlowMod(fm.clone())), Message::FlowMod(fm));
+    }
+
+    #[test]
+    fn flow_mod_goto_metadata_round_trip() {
+        let fm = FlowMod::add(0)
+            .match_(Match::new().vlan(101))
+            .instructions(vec![
+                Instruction::WriteMetadata { metadata: 101, mask: 0xfff },
+                Instruction::GotoTable(1),
+            ]);
+        assert_eq!(round_trip(&Message::FlowMod(fm.clone())), Message::FlowMod(fm));
+    }
+
+    #[test]
+    fn packet_in_round_trip() {
+        let m = Message::PacketIn {
+            buffer_id: NO_BUFFER,
+            total_len: 60,
+            reason: PacketInReason::NoMatch,
+            table_id: 0,
+            cookie: 7,
+            match_: Match::new().in_port(3),
+            data: Bytes::from_static(&[0xaa; 60]),
+        };
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn packet_out_round_trip() {
+        let m = Message::PacketOut {
+            buffer_id: NO_BUFFER,
+            in_port: crate::port_no::CONTROLLER,
+            actions: vec![Action::output(crate::port_no::FLOOD)],
+            data: Bytes::from_static(&[0x55; 64]),
+        };
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn flow_removed_round_trip() {
+        let m = Message::FlowRemoved {
+            cookie: 9,
+            priority: 10,
+            reason: 0,
+            table_id: 1,
+            duration_sec: 42,
+            idle_timeout: 30,
+            hard_timeout: 0,
+            packet_count: 1000,
+            byte_count: 64000,
+            match_: sample_match(),
+        };
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn port_status_round_trip() {
+        let m = Message::PortStatus {
+            reason: 2,
+            desc: PortDesc {
+                port_no: 4,
+                hw_addr: MacAddr::host(4),
+                name: "eth4".into(),
+                config: 0,
+                state: 1,
+                curr_speed: 1_000_000,
+                max_speed: 10_000_000,
+            },
+        };
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn group_mod_round_trip() {
+        let m = Message::GroupMod {
+            command: GroupModCommand::Add,
+            type_: GroupType::Select,
+            group_id: 1,
+            buckets: vec![
+                Bucket::new(vec![Action::output(1)]).with_weight(3),
+                Bucket::new(vec![Action::output(2)]),
+            ],
+        };
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn meter_mod_round_trip() {
+        let m = Message::MeterMod {
+            command: MeterModCommand::Add,
+            meter_id: 5,
+            pktps: false,
+            band: Some(MeterBand { rate: 10_000, burst: 100 }),
+        };
+        assert_eq!(round_trip(&m), m);
+        let del = Message::MeterMod {
+            command: MeterModCommand::Delete,
+            meter_id: 5,
+            pktps: false,
+            band: None,
+        };
+        assert_eq!(round_trip(&del), del);
+    }
+
+    #[test]
+    fn multipart_round_trips() {
+        let reqs = vec![
+            MultipartReq::Desc,
+            MultipartReq::Flow {
+                table_id: 0xff,
+                out_port: crate::port_no::ANY,
+                out_group: crate::group_no::ANY,
+                cookie: 0,
+                cookie_mask: 0,
+                match_: Match::any(),
+            },
+            MultipartReq::Aggregate {
+                table_id: 0,
+                out_port: crate::port_no::ANY,
+                out_group: crate::group_no::ANY,
+                cookie: 1,
+                cookie_mask: u64::MAX,
+                match_: sample_match(),
+            },
+            MultipartReq::Table,
+            MultipartReq::PortStats { port_no: crate::port_no::ANY },
+            MultipartReq::PortDesc,
+        ];
+        for r in reqs {
+            let m = Message::MultipartRequest(r);
+            assert_eq!(round_trip(&m), m);
+        }
+
+        let resps = vec![
+            MultipartRes::Desc {
+                mfr: "harmless".into(),
+                hw: "sim".into(),
+                sw: "0.1".into(),
+                serial: "42".into(),
+                dp: "ss2".into(),
+            },
+            MultipartRes::Flow(vec![FlowStatsEntry {
+                table_id: 0,
+                duration_sec: 10,
+                priority: 5,
+                idle_timeout: 0,
+                hard_timeout: 0,
+                flags: 0,
+                cookie: 3,
+                packet_count: 100,
+                byte_count: 6400,
+                match_: sample_match(),
+                instructions: Instruction::apply(vec![Action::output(2)]),
+            }]),
+            MultipartRes::Aggregate { packet_count: 5, byte_count: 300, flow_count: 2 },
+            MultipartRes::Table(vec![TableStatsEntry {
+                table_id: 0,
+                active_count: 3,
+                lookup_count: 100,
+                matched_count: 90,
+            }]),
+            MultipartRes::PortStats(vec![PortStatsEntry {
+                port_no: 1,
+                rx_packets: 10,
+                tx_packets: 20,
+                rx_bytes: 600,
+                tx_bytes: 1200,
+                rx_dropped: 0,
+                tx_dropped: 1,
+            }]),
+            MultipartRes::PortDesc(vec![PortDesc {
+                port_no: 1,
+                hw_addr: MacAddr::host(1),
+                name: "p1".into(),
+                config: 0,
+                state: 0,
+                curr_speed: 1_000_000,
+                max_speed: 1_000_000,
+            }]),
+        ];
+        for r in resps {
+            let m = Message::MultipartReply(r);
+            assert_eq!(round_trip(&m), m);
+        }
+    }
+
+    #[test]
+    fn stream_decoding_handles_coalescing_and_splits() {
+        let m1 = Message::Hello.encode(1);
+        let m2 = Message::EchoRequest(Bytes::from_static(b"x")).encode(2);
+        let m3 = Message::BarrierRequest.encode(3);
+        let mut stream = BytesMut::new();
+        stream.extend_from_slice(&m1);
+        stream.extend_from_slice(&m2);
+        stream.extend_from_slice(&m3[..4]); // partial third message
+        let msgs = decode_stream(&mut stream).unwrap();
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(msgs[0], (1, Message::Hello));
+        assert_eq!(stream.len(), 4, "partial message must remain buffered");
+        stream.extend_from_slice(&m3[4..]);
+        let msgs = decode_stream(&mut stream).unwrap();
+        assert_eq!(msgs, vec![(3, Message::BarrierRequest)]);
+        assert!(stream.is_empty());
+    }
+
+    #[test]
+    fn rejects_wrong_version_except_hello() {
+        let mut wire = BytesMut::from(&Message::BarrierRequest.encode(1)[..]);
+        wire[0] = 0x01;
+        assert_eq!(Message::decode(&wire).unwrap_err(), Error::BadVersion(1));
+        let mut hello = BytesMut::from(&Message::Hello.encode(1)[..]);
+        hello[0] = 0x05; // a 1.4 hello is tolerated during negotiation
+        assert!(Message::decode(&hello).is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage_header() {
+        assert_eq!(Message::decode(&[1, 2, 3]).unwrap_err(), Error::Truncated);
+        // length field below 8
+        let bad = [OFP_VERSION, 0, 0, 4, 0, 0, 0, 0];
+        assert!(matches!(Message::decode(&bad).unwrap_err(), Error::Malformed(_)));
+    }
+
+    #[test]
+    fn unknown_type_is_reported() {
+        let mut wire = BytesMut::new();
+        wire.put_u8(OFP_VERSION);
+        wire.put_u8(77);
+        wire.put_u16(8);
+        wire.put_u32(0);
+        assert_eq!(Message::decode(&wire).unwrap_err(), Error::UnsupportedType(77));
+    }
+}

@@ -1,0 +1,817 @@
+//! OXM (OpenFlow Extensible Match) TLVs and the [`Match`] structure.
+//!
+//! Only the `OFPXMC_OPENFLOW_BASIC` class is implemented, with the fields a
+//! production L2-L4 deployment uses. Each field optionally carries a mask
+//! (the `HM` bit), and [`Match`] converts losslessly to the
+//! `(FlowKey, FieldMask)` pair used by every dataplane in the workspace.
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::net::Ipv4Addr;
+
+use netpkt::flowkey::{FieldMask, OFPVID_PRESENT};
+use netpkt::{FlowKey, MacAddr};
+
+use crate::{Error, Result};
+
+/// `OFPXMC_OPENFLOW_BASIC`.
+pub const OXM_CLASS_BASIC: u16 = 0x8000;
+
+/// OXM basic-class field numbers (OF 1.3 §7.2.3.7).
+#[allow(missing_docs)]
+pub mod field_num {
+    pub const IN_PORT: u8 = 0;
+    pub const METADATA: u8 = 2;
+    pub const ETH_DST: u8 = 3;
+    pub const ETH_SRC: u8 = 4;
+    pub const ETH_TYPE: u8 = 5;
+    pub const VLAN_VID: u8 = 6;
+    pub const VLAN_PCP: u8 = 7;
+    pub const IP_DSCP: u8 = 8;
+    pub const IP_PROTO: u8 = 10;
+    pub const IPV4_SRC: u8 = 11;
+    pub const IPV4_DST: u8 = 12;
+    pub const TCP_SRC: u8 = 13;
+    pub const TCP_DST: u8 = 14;
+    pub const UDP_SRC: u8 = 15;
+    pub const UDP_DST: u8 = 16;
+    pub const ICMPV4_TYPE: u8 = 19;
+    pub const ICMPV4_CODE: u8 = 20;
+    pub const ARP_OP: u8 = 21;
+    pub const ARP_SPA: u8 = 22;
+    pub const ARP_TPA: u8 = 23;
+    pub const IPV6_SRC: u8 = 26;
+    pub const IPV6_DST: u8 = 27;
+}
+
+/// One OXM match field. Fields with an `Option` second element support
+/// masks (`None` = exact match).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OxmField {
+    /// Ingress port.
+    InPort(u32),
+    /// Pipeline metadata with optional mask.
+    Metadata(u64, Option<u64>),
+    /// Destination MAC with optional mask.
+    EthDst(MacAddr, Option<MacAddr>),
+    /// Source MAC with optional mask.
+    EthSrc(MacAddr, Option<MacAddr>),
+    /// EtherType (after VLAN tags).
+    EthType(u16),
+    /// VLAN id in OF encoding (`OFPVID_PRESENT | vid`) with optional mask.
+    VlanVid(u16, Option<u16>),
+    /// VLAN priority (requires a tagged match).
+    VlanPcp(u8),
+    /// IP DSCP.
+    IpDscp(u8),
+    /// IP protocol.
+    IpProto(u8),
+    /// IPv4 source with optional mask.
+    Ipv4Src(Ipv4Addr, Option<Ipv4Addr>),
+    /// IPv4 destination with optional mask.
+    Ipv4Dst(Ipv4Addr, Option<Ipv4Addr>),
+    /// TCP source port.
+    TcpSrc(u16),
+    /// TCP destination port.
+    TcpDst(u16),
+    /// UDP source port.
+    UdpSrc(u16),
+    /// UDP destination port.
+    UdpDst(u16),
+    /// ICMPv4 type.
+    Icmpv4Type(u8),
+    /// ICMPv4 code.
+    Icmpv4Code(u8),
+    /// ARP opcode.
+    ArpOp(u16),
+    /// ARP sender protocol address with optional mask.
+    ArpSpa(Ipv4Addr, Option<Ipv4Addr>),
+    /// ARP target protocol address with optional mask.
+    ArpTpa(Ipv4Addr, Option<Ipv4Addr>),
+    /// IPv6 source with optional mask.
+    Ipv6Src(u128, Option<u128>),
+    /// IPv6 destination with optional mask.
+    Ipv6Dst(u128, Option<u128>),
+}
+
+impl OxmField {
+    /// The OXM field number.
+    pub fn number(&self) -> u8 {
+        use field_num::*;
+        match self {
+            OxmField::InPort(_) => IN_PORT,
+            OxmField::Metadata(..) => METADATA,
+            OxmField::EthDst(..) => ETH_DST,
+            OxmField::EthSrc(..) => ETH_SRC,
+            OxmField::EthType(_) => ETH_TYPE,
+            OxmField::VlanVid(..) => VLAN_VID,
+            OxmField::VlanPcp(_) => VLAN_PCP,
+            OxmField::IpDscp(_) => IP_DSCP,
+            OxmField::IpProto(_) => IP_PROTO,
+            OxmField::Ipv4Src(..) => IPV4_SRC,
+            OxmField::Ipv4Dst(..) => IPV4_DST,
+            OxmField::TcpSrc(_) => TCP_SRC,
+            OxmField::TcpDst(_) => TCP_DST,
+            OxmField::UdpSrc(_) => UDP_SRC,
+            OxmField::UdpDst(_) => UDP_DST,
+            OxmField::Icmpv4Type(_) => ICMPV4_TYPE,
+            OxmField::Icmpv4Code(_) => ICMPV4_CODE,
+            OxmField::ArpOp(_) => ARP_OP,
+            OxmField::ArpSpa(..) => ARP_SPA,
+            OxmField::ArpTpa(..) => ARP_TPA,
+            OxmField::Ipv6Src(..) => IPV6_SRC,
+            OxmField::Ipv6Dst(..) => IPV6_DST,
+        }
+    }
+
+    fn has_mask(&self) -> bool {
+        match self {
+            OxmField::Metadata(_, m) => m.is_some(),
+            OxmField::EthDst(_, m) | OxmField::EthSrc(_, m) => m.is_some(),
+            OxmField::VlanVid(_, m) => m.is_some(),
+            OxmField::Ipv4Src(_, m)
+            | OxmField::Ipv4Dst(_, m)
+            | OxmField::ArpSpa(_, m)
+            | OxmField::ArpTpa(_, m) => m.is_some(),
+            OxmField::Ipv6Src(_, m) | OxmField::Ipv6Dst(_, m) => m.is_some(),
+            _ => false,
+        }
+    }
+
+    fn value_len(&self) -> usize {
+        match self {
+            OxmField::InPort(_) => 4,
+            OxmField::Metadata(..) => 8,
+            OxmField::EthDst(..) | OxmField::EthSrc(..) => 6,
+            OxmField::EthType(_) | OxmField::VlanVid(..) => 2,
+            OxmField::VlanPcp(_) | OxmField::IpDscp(_) | OxmField::IpProto(_) => 1,
+            OxmField::Ipv4Src(..) | OxmField::Ipv4Dst(..) => 4,
+            OxmField::TcpSrc(_) | OxmField::TcpDst(_) => 2,
+            OxmField::UdpSrc(_) | OxmField::UdpDst(_) => 2,
+            OxmField::Icmpv4Type(_) | OxmField::Icmpv4Code(_) => 1,
+            OxmField::ArpOp(_) => 2,
+            OxmField::ArpSpa(..) | OxmField::ArpTpa(..) => 4,
+            OxmField::Ipv6Src(..) | OxmField::Ipv6Dst(..) => 16,
+        }
+    }
+
+    /// Encoded length including the 4-byte TLV header.
+    pub fn encoded_len(&self) -> usize {
+        4 + self.value_len() * if self.has_mask() { 2 } else { 1 }
+    }
+
+    /// Append the TLV to `out`.
+    pub fn encode(&self, out: &mut BytesMut) {
+        out.put_u16(OXM_CLASS_BASIC);
+        out.put_u8((self.number() << 1) | u8::from(self.has_mask()));
+        out.put_u8((self.value_len() * if self.has_mask() { 2 } else { 1 }) as u8);
+        match *self {
+            OxmField::InPort(v) => out.put_u32(v),
+            OxmField::Metadata(v, m) => {
+                out.put_u64(v);
+                if let Some(m) = m {
+                    out.put_u64(m);
+                }
+            }
+            OxmField::EthDst(v, m) | OxmField::EthSrc(v, m) => {
+                out.put_slice(&v.octets());
+                if let Some(m) = m {
+                    out.put_slice(&m.octets());
+                }
+            }
+            OxmField::EthType(v) => out.put_u16(v),
+            OxmField::VlanVid(v, m) => {
+                out.put_u16(v);
+                if let Some(m) = m {
+                    out.put_u16(m);
+                }
+            }
+            OxmField::VlanPcp(v) | OxmField::IpDscp(v) | OxmField::IpProto(v) => out.put_u8(v),
+            OxmField::Ipv4Src(v, m) | OxmField::Ipv4Dst(v, m) => {
+                out.put_slice(&v.octets());
+                if let Some(m) = m {
+                    out.put_slice(&m.octets());
+                }
+            }
+            OxmField::TcpSrc(v) | OxmField::TcpDst(v) | OxmField::UdpSrc(v)
+            | OxmField::UdpDst(v) | OxmField::ArpOp(v) => out.put_u16(v),
+            OxmField::Icmpv4Type(v) | OxmField::Icmpv4Code(v) => out.put_u8(v),
+            OxmField::ArpSpa(v, m) | OxmField::ArpTpa(v, m) => {
+                out.put_slice(&v.octets());
+                if let Some(m) = m {
+                    out.put_slice(&m.octets());
+                }
+            }
+            OxmField::Ipv6Src(v, m) | OxmField::Ipv6Dst(v, m) => {
+                out.put_u128(v);
+                if let Some(m) = m {
+                    out.put_u128(m);
+                }
+            }
+        }
+    }
+
+    /// Decode one TLV from the front of `buf`.
+    pub fn decode(buf: &mut &[u8]) -> Result<OxmField> {
+        if buf.len() < 4 {
+            return Err(Error::Truncated);
+        }
+        let class = buf.get_u16();
+        let fh = buf.get_u8();
+        let len = usize::from(buf.get_u8());
+        if class != OXM_CLASS_BASIC {
+            return Err(Error::Malformed("unsupported OXM class"));
+        }
+        if buf.len() < len {
+            return Err(Error::Truncated);
+        }
+        let field = fh >> 1;
+        let hm = fh & 1 == 1;
+        let check = |want: usize| -> Result<()> {
+            let expect = want * if hm { 2 } else { 1 };
+            if len == expect {
+                Ok(())
+            } else {
+                Err(Error::Malformed("bad OXM length"))
+            }
+        };
+        use field_num::*;
+        let out = match field {
+            IN_PORT => {
+                check(4)?;
+                if hm {
+                    return Err(Error::Malformed("IN_PORT cannot be masked"));
+                }
+                OxmField::InPort(buf.get_u32())
+            }
+            METADATA => {
+                check(8)?;
+                let v = buf.get_u64();
+                let m = if hm { Some(buf.get_u64()) } else { None };
+                OxmField::Metadata(v, m)
+            }
+            ETH_DST | ETH_SRC => {
+                check(6)?;
+                let mut v = [0u8; 6];
+                buf.copy_to_slice(&mut v);
+                let m = if hm {
+                    let mut m = [0u8; 6];
+                    buf.copy_to_slice(&mut m);
+                    Some(MacAddr(m))
+                } else {
+                    None
+                };
+                if field == ETH_DST {
+                    OxmField::EthDst(MacAddr(v), m)
+                } else {
+                    OxmField::EthSrc(MacAddr(v), m)
+                }
+            }
+            ETH_TYPE => {
+                check(2)?;
+                OxmField::EthType(buf.get_u16())
+            }
+            VLAN_VID => {
+                check(2)?;
+                let v = buf.get_u16();
+                let m = if hm { Some(buf.get_u16()) } else { None };
+                OxmField::VlanVid(v, m)
+            }
+            VLAN_PCP => {
+                check(1)?;
+                OxmField::VlanPcp(buf.get_u8())
+            }
+            IP_DSCP => {
+                check(1)?;
+                OxmField::IpDscp(buf.get_u8())
+            }
+            IP_PROTO => {
+                check(1)?;
+                OxmField::IpProto(buf.get_u8())
+            }
+            IPV4_SRC | IPV4_DST | ARP_SPA | ARP_TPA => {
+                check(4)?;
+                let v = Ipv4Addr::from(buf.get_u32());
+                let m = if hm { Some(Ipv4Addr::from(buf.get_u32())) } else { None };
+                match field {
+                    IPV4_SRC => OxmField::Ipv4Src(v, m),
+                    IPV4_DST => OxmField::Ipv4Dst(v, m),
+                    ARP_SPA => OxmField::ArpSpa(v, m),
+                    _ => OxmField::ArpTpa(v, m),
+                }
+            }
+            TCP_SRC => {
+                check(2)?;
+                OxmField::TcpSrc(buf.get_u16())
+            }
+            TCP_DST => {
+                check(2)?;
+                OxmField::TcpDst(buf.get_u16())
+            }
+            UDP_SRC => {
+                check(2)?;
+                OxmField::UdpSrc(buf.get_u16())
+            }
+            UDP_DST => {
+                check(2)?;
+                OxmField::UdpDst(buf.get_u16())
+            }
+            ICMPV4_TYPE => {
+                check(1)?;
+                OxmField::Icmpv4Type(buf.get_u8())
+            }
+            ICMPV4_CODE => {
+                check(1)?;
+                OxmField::Icmpv4Code(buf.get_u8())
+            }
+            ARP_OP => {
+                check(2)?;
+                OxmField::ArpOp(buf.get_u16())
+            }
+            IPV6_SRC | IPV6_DST => {
+                check(16)?;
+                let v = buf.get_u128();
+                let m = if hm { Some(buf.get_u128()) } else { None };
+                if field == IPV6_SRC {
+                    OxmField::Ipv6Src(v, m)
+                } else {
+                    OxmField::Ipv6Dst(v, m)
+                }
+            }
+            _ => return Err(Error::Malformed("unknown OXM field")),
+        };
+        Ok(out)
+    }
+}
+
+/// An ordered set of OXM fields: the `ofp_match` of flow mods, packet-ins
+/// and flow stats.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Match {
+    fields: Vec<OxmField>,
+}
+
+impl Match {
+    /// The empty (match-everything) match.
+    pub fn any() -> Match {
+        Match::default()
+    }
+
+    /// Start an empty match for builder-style construction.
+    pub fn new() -> Match {
+        Match::default()
+    }
+
+    /// The fields in author order.
+    pub fn fields(&self) -> &[OxmField] {
+        &self.fields
+    }
+
+    /// Append a field (builder style).
+    pub fn with(mut self, f: OxmField) -> Match {
+        self.fields.push(f);
+        self
+    }
+
+    /// Match on ingress port.
+    pub fn in_port(self, p: u32) -> Match {
+        self.with(OxmField::InPort(p))
+    }
+
+    /// Match on EtherType.
+    pub fn eth_type(self, t: u16) -> Match {
+        self.with(OxmField::EthType(t))
+    }
+
+    /// Match on destination MAC.
+    pub fn eth_dst(self, m: MacAddr) -> Match {
+        self.with(OxmField::EthDst(m, None))
+    }
+
+    /// Match on source MAC.
+    pub fn eth_src(self, m: MacAddr) -> Match {
+        self.with(OxmField::EthSrc(m, None))
+    }
+
+    /// Match frames tagged with a specific VLAN id.
+    pub fn vlan(self, vid: u16) -> Match {
+        self.with(OxmField::VlanVid(OFPVID_PRESENT | vid, None))
+    }
+
+    /// Match untagged frames.
+    pub fn untagged(self) -> Match {
+        self.with(OxmField::VlanVid(0, None))
+    }
+
+    /// Match any tagged frame regardless of VID.
+    pub fn any_vlan(self) -> Match {
+        self.with(OxmField::VlanVid(OFPVID_PRESENT, Some(OFPVID_PRESENT)))
+    }
+
+    /// Match on IP protocol (requires [`Match::eth_type`] 0x0800/0x86dd).
+    pub fn ip_proto(self, p: u8) -> Match {
+        self.with(OxmField::IpProto(p))
+    }
+
+    /// Match an exact IPv4 source.
+    pub fn ipv4_src(self, a: Ipv4Addr) -> Match {
+        self.with(OxmField::Ipv4Src(a, None))
+    }
+
+    /// Match an IPv4 source prefix.
+    pub fn ipv4_src_masked(self, a: Ipv4Addr, m: Ipv4Addr) -> Match {
+        self.with(OxmField::Ipv4Src(a, Some(m)))
+    }
+
+    /// Match an exact IPv4 destination.
+    pub fn ipv4_dst(self, a: Ipv4Addr) -> Match {
+        self.with(OxmField::Ipv4Dst(a, None))
+    }
+
+    /// Match an IPv4 destination prefix.
+    pub fn ipv4_dst_masked(self, a: Ipv4Addr, m: Ipv4Addr) -> Match {
+        self.with(OxmField::Ipv4Dst(a, Some(m)))
+    }
+
+    /// Match a TCP destination port.
+    pub fn tcp_dst(self, p: u16) -> Match {
+        self.with(OxmField::TcpDst(p))
+    }
+
+    /// Match a UDP destination port.
+    pub fn udp_dst(self, p: u16) -> Match {
+        self.with(OxmField::UdpDst(p))
+    }
+
+    /// Validate OF 1.3 prerequisites (§7.2.3.8) and duplicate fields.
+    pub fn validate(&self) -> Result<()> {
+        let mut seen = [false; 40];
+        let has = |fields: &[OxmField], pred: &dyn Fn(&OxmField) -> bool| fields.iter().any(pred);
+        for f in &self.fields {
+            let n = usize::from(f.number());
+            if seen[n] {
+                return Err(Error::BadMatch("duplicate field"));
+            }
+            seen[n] = true;
+            match f {
+                OxmField::VlanPcp(_) => {
+                    let tagged = has(&self.fields, &|g| {
+                        matches!(g, OxmField::VlanVid(v, _) if v & OFPVID_PRESENT != 0)
+                    });
+                    if !tagged {
+                        return Err(Error::BadMatch("VLAN_PCP requires tagged VLAN_VID"));
+                    }
+                }
+                OxmField::IpProto(_) | OxmField::IpDscp(_) => {
+                    let ip = has(&self.fields, &|g| {
+                        matches!(g, OxmField::EthType(0x0800) | OxmField::EthType(0x86dd))
+                    });
+                    if !ip {
+                        return Err(Error::BadMatch("IP field requires ETH_TYPE ip"));
+                    }
+                }
+                OxmField::Ipv4Src(..) | OxmField::Ipv4Dst(..) => {
+                    if !has(&self.fields, &|g| matches!(g, OxmField::EthType(0x0800))) {
+                        return Err(Error::BadMatch("IPv4 field requires ETH_TYPE 0x0800"));
+                    }
+                }
+                OxmField::Ipv6Src(..) | OxmField::Ipv6Dst(..) => {
+                    if !has(&self.fields, &|g| matches!(g, OxmField::EthType(0x86dd))) {
+                        return Err(Error::BadMatch("IPv6 field requires ETH_TYPE 0x86dd"));
+                    }
+                }
+                OxmField::TcpSrc(_) | OxmField::TcpDst(_) => {
+                    if !has(&self.fields, &|g| matches!(g, OxmField::IpProto(6))) {
+                        return Err(Error::BadMatch("TCP field requires IP_PROTO 6"));
+                    }
+                }
+                OxmField::UdpSrc(_) | OxmField::UdpDst(_) => {
+                    if !has(&self.fields, &|g| matches!(g, OxmField::IpProto(17))) {
+                        return Err(Error::BadMatch("UDP field requires IP_PROTO 17"));
+                    }
+                }
+                OxmField::Icmpv4Type(_) | OxmField::Icmpv4Code(_) => {
+                    if !has(&self.fields, &|g| matches!(g, OxmField::IpProto(1))) {
+                        return Err(Error::BadMatch("ICMP field requires IP_PROTO 1"));
+                    }
+                }
+                OxmField::ArpOp(_) | OxmField::ArpSpa(..) | OxmField::ArpTpa(..) => {
+                    if !has(&self.fields, &|g| matches!(g, OxmField::EthType(0x0806))) {
+                        return Err(Error::BadMatch("ARP field requires ETH_TYPE 0x0806"));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert to the `(value, mask)` pair used for dataplane lookup.
+    pub fn to_key_mask(&self) -> (FlowKey, FieldMask) {
+        let mut key = FlowKey::default();
+        let mut mask = FieldMask::default();
+        let full_mac = MacAddr([0xff; 6]);
+        for f in &self.fields {
+            match *f {
+                OxmField::InPort(v) => {
+                    key.in_port = v;
+                    mask.in_port = u32::MAX;
+                }
+                OxmField::Metadata(v, m) => {
+                    let m = m.unwrap_or(u64::MAX);
+                    key.metadata = v & m;
+                    mask.metadata = m;
+                }
+                OxmField::EthDst(v, m) => {
+                    let m = m.unwrap_or(full_mac);
+                    key.eth_dst = v.masked_with(&m);
+                    mask.eth_dst = m;
+                }
+                OxmField::EthSrc(v, m) => {
+                    let m = m.unwrap_or(full_mac);
+                    key.eth_src = v.masked_with(&m);
+                    mask.eth_src = m;
+                }
+                OxmField::EthType(v) => {
+                    key.eth_type = v;
+                    mask.eth_type = u16::MAX;
+                }
+                OxmField::VlanVid(v, m) => {
+                    let m = m.unwrap_or(OFPVID_PRESENT | netpkt::VID_MASK);
+                    key.vlan_vid = v & m;
+                    mask.vlan_vid = m;
+                }
+                OxmField::VlanPcp(v) => {
+                    key.vlan_pcp = v;
+                    mask.vlan_pcp = u8::MAX;
+                }
+                OxmField::IpDscp(v) => {
+                    key.ip_dscp = v;
+                    mask.ip_dscp = u8::MAX;
+                }
+                OxmField::IpProto(v) => {
+                    key.ip_proto = v;
+                    mask.ip_proto = u8::MAX;
+                }
+                OxmField::Ipv4Src(v, m) => {
+                    let m = m.map(u32::from).unwrap_or(u32::MAX);
+                    key.ipv4_src = u32::from(v) & m;
+                    mask.ipv4_src = m;
+                }
+                OxmField::Ipv4Dst(v, m) => {
+                    let m = m.map(u32::from).unwrap_or(u32::MAX);
+                    key.ipv4_dst = u32::from(v) & m;
+                    mask.ipv4_dst = m;
+                }
+                OxmField::TcpSrc(v) => {
+                    key.tcp_src = v;
+                    mask.tcp_src = u16::MAX;
+                }
+                OxmField::TcpDst(v) => {
+                    key.tcp_dst = v;
+                    mask.tcp_dst = u16::MAX;
+                }
+                OxmField::UdpSrc(v) => {
+                    key.udp_src = v;
+                    mask.udp_src = u16::MAX;
+                }
+                OxmField::UdpDst(v) => {
+                    key.udp_dst = v;
+                    mask.udp_dst = u16::MAX;
+                }
+                OxmField::Icmpv4Type(v) => {
+                    key.icmp_type = v;
+                    mask.icmp_type = u8::MAX;
+                }
+                OxmField::Icmpv4Code(v) => {
+                    key.icmp_code = v;
+                    mask.icmp_code = u8::MAX;
+                }
+                OxmField::ArpOp(v) => {
+                    key.arp_op = v;
+                    mask.arp_op = u16::MAX;
+                }
+                OxmField::ArpSpa(v, m) => {
+                    let m = m.map(u32::from).unwrap_or(u32::MAX);
+                    key.arp_spa = u32::from(v) & m;
+                    mask.arp_spa = m;
+                }
+                OxmField::ArpTpa(v, m) => {
+                    let m = m.map(u32::from).unwrap_or(u32::MAX);
+                    key.arp_tpa = u32::from(v) & m;
+                    mask.arp_tpa = m;
+                }
+                OxmField::Ipv6Src(v, m) => {
+                    let m = m.unwrap_or(u128::MAX);
+                    key.ipv6_src = v & m;
+                    mask.ipv6_src = m;
+                }
+                OxmField::Ipv6Dst(v, m) => {
+                    let m = m.unwrap_or(u128::MAX);
+                    key.ipv6_dst = v & m;
+                    mask.ipv6_dst = m;
+                }
+            }
+        }
+        (key, mask)
+    }
+
+    /// True if `pkt` (an extracted flow key) satisfies this match.
+    pub fn matches(&self, pkt: &FlowKey) -> bool {
+        let (key, mask) = self.to_key_mask();
+        pkt.masked(&mask) == key
+    }
+
+    /// Encoded length of the `ofp_match` including padding to 8 bytes.
+    pub fn encoded_len(&self) -> usize {
+        let body: usize = 4 + self.fields.iter().map(OxmField::encoded_len).sum::<usize>();
+        (body + 7) / 8 * 8
+    }
+
+    /// Encode as `ofp_match` (type=1/OXM, padded to 8 bytes).
+    pub fn encode(&self, out: &mut BytesMut) {
+        let body: usize = 4 + self.fields.iter().map(OxmField::encoded_len).sum::<usize>();
+        out.put_u16(1); // OFPMT_OXM
+        out.put_u16(body as u16);
+        for f in &self.fields {
+            f.encode(out);
+        }
+        let pad = (8 - body % 8) % 8;
+        out.put_bytes(0, pad);
+    }
+
+    /// Decode an `ofp_match` from the front of `buf`, consuming padding.
+    pub fn decode(buf: &mut &[u8]) -> Result<Match> {
+        if buf.len() < 4 {
+            return Err(Error::Truncated);
+        }
+        let ty = buf.get_u16();
+        let len = usize::from(buf.get_u16());
+        if ty != 1 {
+            return Err(Error::Malformed("only OXM matches supported"));
+        }
+        if len < 4 {
+            return Err(Error::Malformed("match length below header"));
+        }
+        let body_len = len - 4;
+        if buf.len() < body_len {
+            return Err(Error::Truncated);
+        }
+        let mut body = &buf[..body_len];
+        let mut fields = Vec::new();
+        while !body.is_empty() {
+            fields.push(OxmField::decode(&mut body)?);
+        }
+        buf.advance(body_len);
+        let pad = (8 - len % 8) % 8;
+        if buf.len() < pad {
+            return Err(Error::Truncated);
+        }
+        buf.advance(pad);
+        Ok(Match { fields })
+    }
+}
+
+/// Mask helper for [`MacAddr`] used by `to_key_mask`.
+trait MaskedMac {
+    fn masked_with(&self, m: &MacAddr) -> MacAddr;
+}
+
+impl MaskedMac for MacAddr {
+    fn masked_with(&self, m: &MacAddr) -> MacAddr {
+        let mut o = [0u8; 6];
+        for i in 0..6 {
+            o[i] = self.0[i] & m.0[i];
+        }
+        MacAddr(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpkt::builder;
+
+    fn round_trip(m: &Match) -> Match {
+        let mut buf = BytesMut::new();
+        m.encode(&mut buf);
+        assert_eq!(buf.len(), m.encoded_len(), "encoded_len must match reality");
+        assert_eq!(buf.len() % 8, 0, "ofp_match must be 8-byte aligned");
+        let mut slice = &buf[..];
+        let out = Match::decode(&mut slice).unwrap();
+        assert!(slice.is_empty(), "decode must consume everything");
+        out
+    }
+
+    #[test]
+    fn empty_match_round_trip() {
+        let m = Match::any();
+        assert_eq!(round_trip(&m), m);
+        assert_eq!(m.encoded_len(), 8); // 4-byte header padded to 8
+    }
+
+    #[test]
+    fn typical_acl_match_round_trip() {
+        let m = Match::new()
+            .in_port(3)
+            .eth_type(0x0800)
+            .ipv4_src_masked(Ipv4Addr::new(10, 1, 0, 0), Ipv4Addr::new(255, 255, 0, 0))
+            .ip_proto(6)
+            .tcp_dst(80);
+        assert_eq!(round_trip(&m), m);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn vlan_translator_match_round_trip() {
+        let m = Match::new().in_port(1).vlan(101);
+        assert_eq!(round_trip(&m), m);
+        let any = Match::new().any_vlan();
+        assert_eq!(round_trip(&any), any);
+    }
+
+    #[test]
+    fn validate_rejects_missing_prereqs() {
+        assert!(Match::new().tcp_dst(80).validate().is_err());
+        assert!(Match::new().eth_type(0x0800).tcp_dst(80).validate().is_err());
+        assert!(Match::new().eth_type(0x0800).ip_proto(6).tcp_dst(80).validate().is_ok());
+        assert!(Match::new().ipv4_src(Ipv4Addr::new(1, 2, 3, 4)).validate().is_err());
+        assert!(Match::new().with(OxmField::VlanPcp(3)).validate().is_err());
+        assert!(Match::new().vlan(5).with(OxmField::VlanPcp(3)).validate().is_ok());
+        // Untagged + PCP is contradictory.
+        assert!(Match::new().untagged().with(OxmField::VlanPcp(3)).validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicates() {
+        assert!(Match::new().in_port(1).in_port(2).validate().is_err());
+    }
+
+    #[test]
+    fn matches_against_extracted_key() {
+        let frame = builder::udp_packet(
+            MacAddr::host(1),
+            MacAddr::host(2),
+            Ipv4Addr::new(10, 1, 2, 3),
+            Ipv4Addr::new(10, 9, 9, 9),
+            5555,
+            53,
+            b"x",
+        );
+        let key = FlowKey::extract(7, &frame).unwrap();
+        assert!(Match::new().in_port(7).matches(&key));
+        assert!(Match::new().eth_type(0x0800).udp_dst(53).matches(&key));
+        assert!(!Match::new().eth_type(0x0800).udp_dst(54).matches(&key));
+        assert!(Match::new()
+            .ipv4_src_masked(Ipv4Addr::new(10, 1, 0, 0), Ipv4Addr::new(255, 255, 0, 0))
+            .matches(&key));
+        assert!(!Match::new()
+            .ipv4_src_masked(Ipv4Addr::new(10, 2, 0, 0), Ipv4Addr::new(255, 255, 0, 0))
+            .matches(&key));
+        assert!(Match::new().untagged().matches(&key));
+        assert!(!Match::new().vlan(101).matches(&key));
+    }
+
+    #[test]
+    fn masked_fields_round_trip() {
+        let m = Match::new()
+            .with(OxmField::EthDst(MacAddr::host(5), Some(MacAddr([0xff, 0xff, 0, 0, 0, 0]))))
+            .with(OxmField::Metadata(0xdead_beef, Some(0xffff_ffff)))
+            .with(OxmField::Ipv6Dst(0x1234, Some(u128::MAX)));
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut buf = &[0u8, 2, 0, 4][..]; // type 2 is not OXM
+        assert!(Match::decode(&mut buf).is_err());
+        let mut buf = &[0u8, 1][..];
+        assert_eq!(Match::decode(&mut buf).unwrap_err(), Error::Truncated);
+        // Claimed length beyond the buffer.
+        let mut buf = &[0u8, 1, 0, 20, 0, 0][..];
+        assert_eq!(Match::decode(&mut buf).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn oxm_field_decode_rejects_masked_in_port() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(OXM_CLASS_BASIC);
+        buf.put_u8(1); // IN_PORT with HM bit
+        buf.put_u8(8);
+        buf.put_u32(1);
+        buf.put_u32(0xffff_ffff);
+        let mut s = &buf[..];
+        assert!(OxmField::decode(&mut s).is_err());
+    }
+
+    #[test]
+    fn to_key_mask_normalizes_value_under_mask() {
+        // Value bits outside the mask must be cleared so lookup works.
+        let m = Match::new().with(OxmField::Ipv4Src(
+            Ipv4Addr::new(10, 1, 2, 3),
+            Some(Ipv4Addr::new(255, 255, 0, 0)),
+        ));
+        let (key, mask) = m.to_key_mask();
+        assert_eq!(key.ipv4_src, u32::from(Ipv4Addr::new(10, 1, 0, 0)));
+        assert_eq!(mask.ipv4_src, 0xffff_0000);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for flow-table semantics: priority ordering, the
+//! non-strict subset relation, and overlap symmetry — checked against
+//! brute-force oracles.
+
+use proptest::prelude::*;
+
+use netpkt::{builder, FlowKey, MacAddr};
+use openflow::table::{FlowEntry, FlowTable, TableId};
+use openflow::{Action, Instruction, Match};
+
+/// A small universe of match shapes so collisions actually happen.
+fn arb_rule_match() -> impl Strategy<Value = Match> {
+    prop_oneof![
+        Just(Match::any()),
+        (0u16..8).prop_map(|p| Match::new().eth_type(0x0800).ip_proto(17).udp_dst(p)),
+        (0u32..4).prop_map(|s| {
+            Match::new().eth_type(0x0800).ipv4_src_masked(
+                std::net::Ipv4Addr::from(0x0a00_0000 + (s << 8)),
+                std::net::Ipv4Addr::new(255, 255, 255, 0),
+            )
+        }),
+        Just(Match::new().eth_type(0x0806)),
+        (1u32..5).prop_map(|p| Match::new().in_port(p)),
+    ]
+}
+
+fn packet_key(in_port: u32, src_low: u32, dport: u16) -> FlowKey {
+    let f = builder::udp_packet(
+        MacAddr::host(src_low),
+        MacAddr::host(99),
+        std::net::Ipv4Addr::from(0x0a00_0000 + src_low),
+        std::net::Ipv4Addr::new(10, 0, 0, 99),
+        1000,
+        dport,
+        b"x",
+    );
+    FlowKey::extract(in_port, &f).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `lookup` must return the first (highest-priority, FIFO within
+    /// priority) matching entry — cross-checked against a brute-force
+    /// scan of the unordered rule list.
+    #[test]
+    fn lookup_matches_bruteforce_oracle(
+        rules in proptest::collection::vec((arb_rule_match(), 0u16..4), 1..15),
+        probes in proptest::collection::vec((1u32..5, 0u32..1024, 0u16..8), 1..20),
+    ) {
+        let mut table = FlowTable::new(TableId(0));
+        // Shadow list in insertion order for the oracle.
+        let mut oracle: Vec<(u16, Match, usize)> = Vec::new();
+        for (i, (m, prio)) in rules.iter().enumerate() {
+            let e = FlowEntry::new(
+                *prio,
+                m.clone(),
+                Instruction::apply(vec![Action::output(i as u32 + 1)]),
+                0,
+            );
+            // `add` replaces identical (match, priority); mirror that.
+            let (key, mask) = m.to_key_mask();
+            oracle.retain(|(p, om, _)| {
+                let (ok, omask) = om.to_key_mask();
+                !(*p == *prio && ok == key && omask == mask)
+            });
+            table.add(e).unwrap();
+            oracle.push((*prio, m.clone(), i + 1));
+        }
+        for (in_port, src, dport) in probes {
+            let key = packet_key(in_port, src, dport);
+            let got = table.lookup(&key).map(|idx| table.entry(idx).priority);
+            // Oracle: max priority among matching; FIFO tie-break.
+            let want = oracle
+                .iter()
+                .filter(|(_, m, _)| m.matches(&key))
+                .map(|(p, _, _)| *p)
+                .max();
+            prop_assert_eq!(got, want, "priority winner mismatch for {:?}", key);
+        }
+    }
+
+    /// Non-strict delete removes exactly the entries whose match region
+    /// is contained in the filter region.
+    #[test]
+    fn nonstrict_delete_is_subset_semantics(
+        rules in proptest::collection::vec((arb_rule_match(), 0u16..4), 1..12),
+        filter in arb_rule_match(),
+    ) {
+        let mut table = FlowTable::new(TableId(0));
+        for (i, (m, prio)) in rules.iter().enumerate() {
+            let _ = table.add(FlowEntry::new(
+                *prio,
+                m.clone(),
+                Instruction::apply(vec![Action::output(i as u32 + 1)]),
+                0,
+            ));
+        }
+        let before = table.len();
+        let (fkey, fmask) = filter.to_key_mask();
+        let should_go: usize = table
+            .entries()
+            .iter()
+            .filter(|e| e.within_filter(&fkey, &fmask))
+            .count();
+        let removed = table.delete(
+            &filter,
+            0,
+            false,
+            openflow::port_no::ANY,
+            openflow::group_no::ANY,
+        );
+        prop_assert_eq!(removed.len(), should_go);
+        prop_assert_eq!(table.len(), before - should_go);
+        // Survivors must not be within the filter.
+        for e in table.entries() {
+            prop_assert!(!e.within_filter(&fkey, &fmask));
+        }
+    }
+
+    /// Overlap is symmetric, and a witness packet matching both entries
+    /// implies overlap (soundness direction).
+    #[test]
+    fn overlap_symmetric_and_sound(
+        m1 in arb_rule_match(),
+        m2 in arb_rule_match(),
+        probes in proptest::collection::vec((1u32..5, 0u32..64, 0u16..8), 0..20),
+    ) {
+        let e1 = FlowEntry::new(1, m1, Instruction::apply(vec![]), 0);
+        let e2 = FlowEntry::new(1, m2, Instruction::apply(vec![]), 0);
+        prop_assert_eq!(e1.overlaps(&e2), e2.overlaps(&e1), "overlap must be symmetric");
+        for (in_port, src, dport) in probes {
+            let key = packet_key(in_port, src, dport);
+            if e1.matches(&key) && e2.matches(&key) {
+                prop_assert!(e1.overlaps(&e2), "witness packet but overlaps() said no");
+            }
+        }
+    }
+
+    /// Timeout processing never removes a permanent entry and always
+    /// removes one whose hard deadline has passed.
+    #[test]
+    fn expiry_boundaries(
+        idle in 0u16..5,
+        hard in 0u16..5,
+        advance_secs in 0u64..10,
+    ) {
+        let mut table = FlowTable::new(TableId(0));
+        table
+            .add(
+                FlowEntry::new(1, Match::any(), Instruction::apply(vec![]), 0)
+                    .with_timeouts(idle, hard),
+            )
+            .unwrap();
+        let now = advance_secs * 1_000_000_000;
+        let removed = table.expire(now);
+        let hard_due = hard > 0 && advance_secs >= u64::from(hard);
+        let idle_due = idle > 0 && advance_secs >= u64::from(idle);
+        prop_assert_eq!(removed.len() == 1, hard_due || idle_due);
+        if hard == 0 && idle == 0 {
+            prop_assert_eq!(table.len(), 1, "permanent entries never expire");
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! Concrete packet transformations.
+//!
+//! OpenFlow actions are declarative; this module is where they touch
+//! bytes. Every transformation keeps the frame wire-valid (checksums
+//! updated) and keeps the in-flight [`FlowKey`] in sync so later tables
+//! match on the rewritten packet, as §5.10 of the spec requires.
+
+use bytes::{Bytes, BytesMut};
+
+use netpkt::flowkey::OFPVID_PRESENT;
+use netpkt::vlan::{TAG_LEN, VlanView};
+use netpkt::{EtherType, FlowKey, IpProto, Ipv4Packet, TcpPacket, UdpPacket};
+use openflow::oxm::OxmField;
+
+/// A concrete (fully resolved) action, as recorded for cache replay: no
+/// groups, no reserved ports — just transformations and concrete outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CAction {
+    /// Push an 802.1Q tag with this TPID and VID 0.
+    PushVlan(u16),
+    /// Pop the outermost tag.
+    PopVlan,
+    /// Rewrite a header field.
+    SetField(OxmField),
+    /// Pass through meter `id` (checked per packet at replay).
+    Meter(u32),
+    /// Emit the packet, as currently transformed, on this concrete port.
+    Output(u32),
+    /// Punt a copy to the controller.
+    ToController,
+}
+
+/// Apply a VLAN push to the frame and key.
+pub fn push_vlan(frame: &mut BytesMut, key: &mut FlowKey, tpid: u16) {
+    let mut out = BytesMut::with_capacity(frame.len() + TAG_LEN);
+    out.extend_from_slice(&frame[..12]);
+    out.extend_from_slice(&tpid.to_be_bytes());
+    // New tag inherits the VID/PCP of the existing outer tag if any,
+    // else zero (OF 1.3 §5.12: "existing values copied").
+    let tci = if key.vlan_vid & OFPVID_PRESENT != 0 {
+        ((u16::from(key.vlan_pcp)) << 13) | (key.vlan_vid & 0x0fff)
+    } else {
+        0
+    };
+    out.extend_from_slice(&tci.to_be_bytes());
+    out.extend_from_slice(&frame[12..]);
+    *frame = out;
+    key.vlan_vid = OFPVID_PRESENT | (tci & 0x0fff);
+    key.vlan_pcp = (tci >> 13) as u8;
+}
+
+/// Apply a VLAN pop. No-op on untagged frames (counted by the caller).
+pub fn pop_vlan(frame: &mut BytesMut, key: &mut FlowKey) {
+    let tpid = u16::from_be_bytes([frame[12], frame[13]]);
+    if !EtherType(tpid).is_vlan() || frame.len() < 14 + TAG_LEN {
+        return;
+    }
+    let mut out = BytesMut::with_capacity(frame.len() - TAG_LEN);
+    out.extend_from_slice(&frame[..12]);
+    out.extend_from_slice(&frame[12 + TAG_LEN..]);
+    *frame = out;
+    // Re-derive VLAN state: there may be an inner tag (QinQ).
+    match VlanView::parse(frame) {
+        Ok(v) => match v.outer {
+            Some(tag) => {
+                key.vlan_vid = OFPVID_PRESENT | tag.vid;
+                key.vlan_pcp = tag.pcp;
+            }
+            None => {
+                key.vlan_vid = 0;
+                key.vlan_pcp = 0;
+            }
+        },
+        Err(_) => {
+            key.vlan_vid = 0;
+            key.vlan_pcp = 0;
+        }
+    }
+}
+
+/// Apply a set-field to the frame and key. Returns `false` when the field
+/// does not apply to this packet (e.g. set-VLAN on an untagged frame);
+/// such packets are left untouched, matching hardware behaviour.
+pub fn set_field(frame: &mut BytesMut, key: &mut FlowKey, field: &OxmField) -> bool {
+    match *field {
+        OxmField::EthDst(mac, _) => {
+            frame[0..6].copy_from_slice(&mac.octets());
+            key.eth_dst = mac;
+            true
+        }
+        OxmField::EthSrc(mac, _) => {
+            frame[6..12].copy_from_slice(&mac.octets());
+            key.eth_src = mac;
+            true
+        }
+        OxmField::VlanVid(v, _) => {
+            let vid = v & 0x0fff;
+            if key.vlan_vid & OFPVID_PRESENT == 0 {
+                return false; // no tag to rewrite
+            }
+            let tci = (u16::from(key.vlan_pcp) << 13) | vid;
+            frame[14..16].copy_from_slice(&tci.to_be_bytes());
+            key.vlan_vid = OFPVID_PRESENT | vid;
+            true
+        }
+        OxmField::VlanPcp(p) => {
+            if key.vlan_vid & OFPVID_PRESENT == 0 {
+                return false;
+            }
+            let tci = (u16::from(p) << 13) | (key.vlan_vid & 0x0fff);
+            frame[14..16].copy_from_slice(&tci.to_be_bytes());
+            key.vlan_pcp = p;
+            true
+        }
+        OxmField::Ipv4Src(a, _) => rewrite_ipv4(frame, key, Some(a), None),
+        OxmField::Ipv4Dst(a, _) => rewrite_ipv4(frame, key, None, Some(a)),
+        OxmField::TcpSrc(p) => rewrite_l4_port(frame, key, true, true, p),
+        OxmField::TcpDst(p) => rewrite_l4_port(frame, key, true, false, p),
+        OxmField::UdpSrc(p) => rewrite_l4_port(frame, key, false, true, p),
+        OxmField::UdpDst(p) => rewrite_l4_port(frame, key, false, false, p),
+        OxmField::IpDscp(d) => rewrite_dscp(frame, key, d),
+        OxmField::Metadata(v, m) => {
+            let m = m.unwrap_or(u64::MAX);
+            key.metadata = (key.metadata & !m) | (v & m);
+            true
+        }
+        _ => false,
+    }
+}
+
+fn ip_offset(frame: &[u8]) -> Option<usize> {
+    let view = VlanView::parse(frame).ok()?;
+    if view.inner_ethertype != EtherType::IPV4 {
+        return None;
+    }
+    Some(view.payload_offset)
+}
+
+fn rewrite_ipv4(
+    frame: &mut BytesMut,
+    key: &mut FlowKey,
+    src: Option<std::net::Ipv4Addr>,
+    dst: Option<std::net::Ipv4Addr>,
+) -> bool {
+    let Some(off) = ip_offset(frame) else { return false };
+    let buf = &mut frame[off..];
+    let Ok(mut ip) = Ipv4Packet::new_checked(&mut buf[..]) else {
+        return false;
+    };
+    if let Some(a) = src {
+        ip.set_src(a);
+        key.ipv4_src = u32::from(a);
+    }
+    if let Some(a) = dst {
+        ip.set_dst(a);
+        key.ipv4_dst = u32::from(a);
+    }
+    ip.fill_checksum();
+    fix_l4_checksum(frame, off);
+    true
+}
+
+fn rewrite_dscp(frame: &mut BytesMut, key: &mut FlowKey, dscp: u8) -> bool {
+    let Some(off) = ip_offset(frame) else { return false };
+    let buf = &mut frame[off..];
+    let Ok(mut ip) = Ipv4Packet::new_checked(&mut buf[..]) else {
+        return false;
+    };
+    ip.set_dscp(dscp);
+    ip.fill_checksum();
+    key.ip_dscp = dscp;
+    true
+}
+
+fn rewrite_l4_port(
+    frame: &mut BytesMut,
+    key: &mut FlowKey,
+    tcp: bool,
+    src_side: bool,
+    port: u16,
+) -> bool {
+    let Some(off) = ip_offset(frame) else { return false };
+    let want = if tcp { IpProto::TCP } else { IpProto::UDP };
+    {
+        let Ok(ip) = Ipv4Packet::new_checked(&frame[off..]) else {
+            return false;
+        };
+        if ip.proto() != want {
+            return false;
+        }
+    }
+    let hl = usize::from(frame[off] & 0x0f) * 4;
+    let l4_off = off + hl;
+    if frame.len() < l4_off + 4 {
+        return false;
+    }
+    let range = if src_side { l4_off..l4_off + 2 } else { l4_off + 2..l4_off + 4 };
+    frame[range].copy_from_slice(&port.to_be_bytes());
+    match (tcp, src_side) {
+        (true, true) => key.tcp_src = port,
+        (true, false) => key.tcp_dst = port,
+        (false, true) => key.udp_src = port,
+        (false, false) => key.udp_dst = port,
+    }
+    fix_l4_checksum(frame, off);
+    true
+}
+
+/// Recompute the TCP/UDP checksum of an IPv4 packet at `off`.
+fn fix_l4_checksum(frame: &mut BytesMut, off: usize) {
+    let (src, dst, proto, hl) = {
+        let Ok(ip) = Ipv4Packet::new_checked(&frame[off..]) else {
+            return;
+        };
+        (ip.src(), ip.dst(), ip.proto(), ip.header_len())
+    };
+    let l4 = off + hl;
+    match proto {
+        IpProto::TCP => {
+            if let Ok(mut t) = TcpPacket::new_checked(&mut frame[l4..]) {
+                t.fill_checksum_v4(src, dst);
+            }
+        }
+        IpProto::UDP => {
+            if let Ok(mut u) = UdpPacket::new_checked(&mut frame[l4..]) {
+                u.fill_checksum_v4(src, dst);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Result of replaying a [`CAction`] list.
+#[derive(Debug, Default)]
+pub struct ReplayOutput {
+    /// `(concrete port, frame)` pairs to emit.
+    pub outputs: Vec<(u32, Bytes)>,
+    /// Copies for the controller.
+    pub to_controller: Vec<Bytes>,
+    /// Dropped by a meter.
+    pub metered_out: bool,
+}
+
+/// Replay a recorded action list on a fresh packet. `meter` is consulted
+/// for [`CAction::Meter`] entries.
+pub fn replay(
+    cactions: &[CAction],
+    frame: Bytes,
+    key: &mut FlowKey,
+    now_ns: u64,
+    meters: &mut openflow::MeterTable,
+) -> ReplayOutput {
+    let mut out = ReplayOutput::default();
+    let mut buf = BytesMut::from(&frame[..]);
+    for a in cactions {
+        match a {
+            CAction::PushVlan(tpid) => push_vlan(&mut buf, key, *tpid),
+            CAction::PopVlan => pop_vlan(&mut buf, key),
+            CAction::SetField(f) => {
+                set_field(&mut buf, key, f);
+            }
+            CAction::Meter(id) => {
+                if !meters.offer(*id, now_ns, buf.len()) {
+                    out.metered_out = true;
+                    return out;
+                }
+            }
+            CAction::Output(port) => {
+                out.outputs.push((*port, Bytes::copy_from_slice(&buf)));
+            }
+            CAction::ToController => {
+                out.to_controller.push(Bytes::copy_from_slice(&buf));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpkt::{builder, MacAddr};
+    use std::net::Ipv4Addr;
+
+    fn frame_and_key() -> (BytesMut, FlowKey) {
+        let f = builder::udp_packet(
+            MacAddr::host(1),
+            MacAddr::host(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            2000,
+            b"payload",
+        );
+        let key = FlowKey::extract(1, &f).unwrap();
+        (BytesMut::from(&f[..]), key)
+    }
+
+    fn assert_checksums_ok(frame: &[u8]) {
+        let view = VlanView::parse(frame).unwrap();
+        let ip = Ipv4Packet::new_checked(&frame[view.payload_offset..]).unwrap();
+        assert!(ip.verify_checksum(), "IP checksum must hold");
+        if ip.proto() == IpProto::UDP {
+            let u = UdpPacket::new_checked(ip.payload()).unwrap();
+            assert!(u.verify_checksum_v4(ip.src(), ip.dst()), "UDP checksum must hold");
+        }
+        if ip.proto() == IpProto::TCP {
+            let t = TcpPacket::new_checked(ip.payload()).unwrap();
+            assert!(t.verify_checksum_v4(ip.src(), ip.dst()), "TCP checksum must hold");
+        }
+    }
+
+    #[test]
+    fn push_then_set_vid_then_pop() {
+        let (mut f, mut k) = frame_and_key();
+        let orig = f.clone();
+        push_vlan(&mut f, &mut k, 0x8100);
+        assert_eq!(k.vlan_vid, OFPVID_PRESENT);
+        assert!(set_field(&mut f, &mut k, &OxmField::VlanVid(OFPVID_PRESENT | 101, None)));
+        assert_eq!(k.vlan_vid, OFPVID_PRESENT | 101);
+        let reparsed = FlowKey::extract(1, &f).unwrap();
+        assert_eq!(reparsed.vlan_vid, OFPVID_PRESENT | 101);
+        assert_eq!(reparsed.udp_dst, 2000, "payload reachable through tag");
+        pop_vlan(&mut f, &mut k);
+        assert_eq!(k.vlan_vid, 0);
+        assert_eq!(&f[..], &orig[..], "push+pop must be identity");
+    }
+
+    #[test]
+    fn set_vlan_on_untagged_is_refused() {
+        let (mut f, mut k) = frame_and_key();
+        assert!(!set_field(&mut f, &mut k, &OxmField::VlanVid(OFPVID_PRESENT | 5, None)));
+    }
+
+    #[test]
+    fn pop_on_untagged_is_noop() {
+        let (mut f, mut k) = frame_and_key();
+        let orig = f.clone();
+        pop_vlan(&mut f, &mut k);
+        assert_eq!(&f[..], &orig[..]);
+    }
+
+    #[test]
+    fn rewrite_macs() {
+        let (mut f, mut k) = frame_and_key();
+        assert!(set_field(&mut f, &mut k, &OxmField::EthDst(MacAddr::host(9), None)));
+        assert!(set_field(&mut f, &mut k, &OxmField::EthSrc(MacAddr::host(8), None)));
+        let re = FlowKey::extract(1, &f).unwrap();
+        assert_eq!(re.eth_dst, MacAddr::host(9));
+        assert_eq!(re.eth_src, MacAddr::host(8));
+    }
+
+    #[test]
+    fn rewrite_ipv4_fixes_both_checksums() {
+        let (mut f, mut k) = frame_and_key();
+        assert!(set_field(&mut f, &mut k, &OxmField::Ipv4Dst(Ipv4Addr::new(192, 168, 9, 9), None)));
+        assert_eq!(k.ipv4_dst, u32::from(Ipv4Addr::new(192, 168, 9, 9)));
+        assert_checksums_ok(&f);
+        let re = FlowKey::extract(1, &f).unwrap();
+        assert_eq!(re.ipv4_dst, k.ipv4_dst);
+    }
+
+    #[test]
+    fn rewrite_udp_port_fixes_checksum() {
+        let (mut f, mut k) = frame_and_key();
+        assert!(set_field(&mut f, &mut k, &OxmField::UdpDst(53)));
+        assert_eq!(k.udp_dst, 53);
+        assert_checksums_ok(&f);
+    }
+
+    #[test]
+    fn tcp_field_on_udp_packet_refused() {
+        let (mut f, mut k) = frame_and_key();
+        assert!(!set_field(&mut f, &mut k, &OxmField::TcpDst(80)));
+    }
+
+    #[test]
+    fn rewrite_tcp_port_on_tcp_packet() {
+        let f = builder::tcp_packet(
+            MacAddr::host(1),
+            MacAddr::host(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            80,
+            netpkt::tcp::flags::SYN,
+            b"",
+        );
+        let mut key = FlowKey::extract(1, &f).unwrap();
+        let mut buf = BytesMut::from(&f[..]);
+        assert!(set_field(&mut buf, &mut key, &OxmField::TcpDst(8080)));
+        assert_eq!(key.tcp_dst, 8080);
+        assert_checksums_ok(&buf);
+    }
+
+    #[test]
+    fn dscp_rewrite() {
+        let (mut f, mut k) = frame_and_key();
+        assert!(set_field(&mut f, &mut k, &OxmField::IpDscp(46)));
+        assert_eq!(k.ip_dscp, 46);
+        assert_checksums_ok(&f);
+    }
+
+    #[test]
+    fn metadata_set_touches_only_key() {
+        let (mut f, mut k) = frame_and_key();
+        let orig = f.clone();
+        assert!(set_field(&mut f, &mut k, &OxmField::Metadata(0xab, Some(0xff))));
+        assert_eq!(k.metadata, 0xab);
+        assert_eq!(&f[..], &orig[..]);
+    }
+
+    #[test]
+    fn replay_translator_sequence() {
+        // The HARMLESS SS_1 downstream path: pop the access VLAN then send
+        // to a patch port; upstream: push + set-vid then to trunk.
+        let (f, _) = frame_and_key();
+        let tagged = netpkt::vlan::push_vlan(&f.freeze(), netpkt::vlan::VlanTag::new(101)).unwrap();
+        let mut key = FlowKey::extract(1, &tagged).unwrap();
+        let mut meters = openflow::MeterTable::new();
+        let out = replay(
+            &[CAction::PopVlan, CAction::Output(7)],
+            tagged,
+            &mut key,
+            0,
+            &mut meters,
+        );
+        assert_eq!(out.outputs.len(), 1);
+        assert_eq!(out.outputs[0].0, 7);
+        let rekey = FlowKey::extract(7, &out.outputs[0].1).unwrap();
+        assert_eq!(rekey.vlan_vid, 0, "tag must be gone on the patch side");
+    }
+
+    #[test]
+    fn replay_meter_drop() {
+        let (f, mut k) = frame_and_key();
+        let mut meters = openflow::MeterTable::new();
+        meters.add(1, openflow::MeterBand { rate: 1, burst: 0 }, true, 0).unwrap();
+        // burst 0 -> capacity max(1)... offer a couple to exhaust tokens.
+        let _ = replay(&[CAction::Meter(1), CAction::Output(1)], f.clone().freeze(), &mut k, 0, &mut meters);
+        let out = replay(&[CAction::Meter(1), CAction::Output(1)], f.freeze(), &mut k, 0, &mut meters);
+        assert!(out.metered_out);
+        assert!(out.outputs.is_empty());
+    }
+}

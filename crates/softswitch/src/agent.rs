@@ -1,0 +1,483 @@
+//! The switch side of the OpenFlow control channel.
+//!
+//! [`OfAgent`] consumes raw channel bytes (possibly containing several
+//! coalesced or split messages), applies them to a [`Datapath`] and emits
+//! reply frames. It is transport-agnostic; the node layer moves the bytes
+//! over the simulator's control plane.
+
+use bytes::{Bytes, BytesMut};
+
+use openflow::message::{
+    decode_stream, FlowStatsEntry, Message, MultipartReq, MultipartRes, PacketInReason,
+    TableStatsEntry, Xid,
+};
+use openflow::table::{FlowEntry, RemovedReason};
+use openflow::{Action, Error, NO_BUFFER};
+
+use crate::datapath::Datapath;
+
+/// Output of one [`OfAgent::handle`] call.
+#[derive(Debug, Default)]
+pub struct AgentOutput {
+    /// Frames to send back to the controller.
+    pub replies: Vec<Bytes>,
+    /// Packets released by `PACKET_OUT`: `(port, frame)` to transmit.
+    pub transmits: Vec<(u32, Bytes)>,
+}
+
+/// OpenFlow agent state for one switch.
+#[derive(Debug)]
+pub struct OfAgent {
+    rx: BytesMut,
+    next_xid: Xid,
+    hello_done: bool,
+    miss_send_len: u16,
+    description: String,
+}
+
+impl OfAgent {
+    /// A fresh agent; `description` lands in the Desc multipart reply.
+    pub fn new(description: impl Into<String>) -> OfAgent {
+        OfAgent {
+            rx: BytesMut::new(),
+            next_xid: 1,
+            hello_done: false,
+            miss_send_len: 0xffff,
+            description: description.into(),
+        }
+    }
+
+    fn xid(&mut self) -> Xid {
+        let x = self.next_xid;
+        self.next_xid += 1;
+        x
+    }
+
+    /// True once HELLOs crossed.
+    pub fn handshaken(&self) -> bool {
+        self.hello_done
+    }
+
+    /// The switch's opening HELLO.
+    pub fn hello(&mut self) -> Bytes {
+        let x = self.xid();
+        Message::Hello.encode(x)
+    }
+
+    /// Build an asynchronous `PACKET_IN` for a punted frame.
+    pub fn packet_in(&mut self, reason: PacketInReason, in_port: u32, data: &Bytes) -> Bytes {
+        let keep = usize::from(self.miss_send_len).min(data.len());
+        let x = self.xid();
+        Message::PacketIn {
+            buffer_id: NO_BUFFER,
+            total_len: data.len() as u16,
+            reason,
+            table_id: 0,
+            cookie: 0,
+            match_: openflow::Match::new().in_port(in_port),
+            data: data.slice(..keep),
+        }
+        .encode(x)
+    }
+
+    /// Build an asynchronous `FLOW_REMOVED` for an expired/deleted entry.
+    pub fn flow_removed(
+        &mut self,
+        table_id: u8,
+        entry: &FlowEntry,
+        reason: RemovedReason,
+        now_ns: u64,
+    ) -> Bytes {
+        let x = self.xid();
+        Message::FlowRemoved {
+            cookie: entry.cookie,
+            priority: entry.priority,
+            reason: reason.value(),
+            table_id,
+            duration_sec: ((now_ns.saturating_sub(entry.installed_ns)) / 1_000_000_000) as u32,
+            idle_timeout: entry.idle_timeout,
+            hard_timeout: entry.hard_timeout,
+            packet_count: entry.packets,
+            byte_count: entry.bytes,
+            match_: entry.match_.clone(),
+        }
+        .encode(x)
+    }
+
+    /// Feed controller→switch bytes; apply them to `dp`.
+    pub fn handle(&mut self, dp: &mut Datapath, data: &[u8], now_ns: u64) -> AgentOutput {
+        let mut out = AgentOutput::default();
+        self.rx.extend_from_slice(data);
+        let msgs = match decode_stream(&mut self.rx) {
+            Ok(m) => m,
+            Err(_) => {
+                // Undecodable stream: reset the buffer, report one error.
+                self.rx.clear();
+                let x = self.xid();
+                out.replies.push(
+                    Message::Error { ty: 0, code: 0, data: Bytes::new() }.encode(x),
+                );
+                return out;
+            }
+        };
+        for (xid, msg) in msgs {
+            self.dispatch(dp, xid, msg, now_ns, &mut out);
+        }
+        out
+    }
+
+    fn dispatch(
+        &mut self,
+        dp: &mut Datapath,
+        xid: Xid,
+        msg: Message,
+        now_ns: u64,
+        out: &mut AgentOutput,
+    ) {
+        match msg {
+            Message::Hello => {
+                self.hello_done = true;
+            }
+            Message::EchoRequest(d) => out.replies.push(Message::EchoReply(d).encode(xid)),
+            Message::EchoReply(_) => {}
+            Message::FeaturesRequest => {
+                out.replies.push(
+                    Message::FeaturesReply {
+                        datapath_id: dp.datapath_id(),
+                        n_buffers: 0,
+                        n_tables: dp.n_tables(),
+                        capabilities: 0x0000_0047, // FLOW_STATS|TABLE_STATS|PORT_STATS|GROUP_STATS
+                    }
+                    .encode(xid),
+                );
+            }
+            Message::GetConfigRequest => {
+                out.replies.push(
+                    Message::GetConfigReply { flags: 0, miss_send_len: self.miss_send_len }
+                        .encode(xid),
+                );
+            }
+            Message::SetConfig { miss_send_len, .. } => {
+                self.miss_send_len = miss_send_len;
+            }
+            Message::FlowMod(fm) => match dp.apply_flow_mod(&fm, now_ns) {
+                Ok(removed) => {
+                    for (table_id, e) in removed {
+                        if e.flags & openflow::table::flow_flags::SEND_FLOW_REM != 0 {
+                            let m =
+                                self.flow_removed(table_id, &e, RemovedReason::Delete, now_ns);
+                            out.replies.push(m);
+                        }
+                    }
+                }
+                Err(e) => out.replies.push(self.error_for(&e, xid)),
+            },
+            Message::GroupMod { command, type_, group_id, buckets } => {
+                if let Err(e) = dp.apply_group_mod(command, type_, group_id, buckets) {
+                    out.replies.push(self.error_for(&e, xid));
+                }
+            }
+            Message::MeterMod { command, meter_id, pktps, band } => {
+                if let Err(e) = dp.apply_meter_mod(command, meter_id, pktps, band, now_ns) {
+                    out.replies.push(self.error_for(&e, xid));
+                }
+            }
+            Message::PacketOut { in_port, actions, data, .. } => {
+                let r = dp.packet_out(in_port, &actions, data, now_ns);
+                out.transmits.extend(r.outputs);
+            }
+            Message::BarrierRequest => {
+                out.replies.push(Message::BarrierReply.encode(xid));
+            }
+            Message::MultipartRequest(req) => {
+                out.replies.push(self.multipart(dp, xid, req, now_ns));
+            }
+            // Switch-side agents ignore controller-only messages.
+            Message::FeaturesReply { .. }
+            | Message::GetConfigReply { .. }
+            | Message::PacketIn { .. }
+            | Message::FlowRemoved { .. }
+            | Message::PortStatus { .. }
+            | Message::MultipartReply(_)
+            | Message::BarrierReply
+            | Message::Error { .. } => {}
+        }
+    }
+
+    fn error_for(&mut self, e: &Error, xid: Xid) -> Bytes {
+        // (type, code) pairs per OF 1.3 §7.4.
+        let (ty, code) = match e {
+            Error::Overlap => (5, 1),           // FLOW_MOD_FAILED / OVERLAP
+            Error::TableFull => (5, 2),         // FLOW_MOD_FAILED / TABLE_FULL
+            Error::BadTable(_) => (5, 3),       // FLOW_MOD_FAILED / BAD_TABLE_ID
+            Error::BadMatch(_) => (4, 0),       // BAD_MATCH
+            Error::BadGroup(_) => (6, 0),       // GROUP_MOD_FAILED
+            Error::BadMeter(_) => (12, 0),      // METER_MOD_FAILED
+            _ => (1, 0),                        // BAD_REQUEST
+        };
+        Message::Error { ty, code, data: Bytes::new() }.encode(xid)
+    }
+
+    fn multipart(&mut self, dp: &mut Datapath, xid: Xid, req: MultipartReq, now_ns: u64) -> Bytes {
+        let res = match req {
+            MultipartReq::Desc => MultipartRes::Desc {
+                mfr: "harmless-workspace".into(),
+                hw: "simulated x86 + DPDK".into(),
+                sw: env!("CARGO_PKG_VERSION").into(),
+                serial: format!("{:016x}", dp.datapath_id()),
+                dp: self.description.clone(),
+            },
+            MultipartReq::Flow { table_id, out_port, out_group, match_, .. } => {
+                let (fkey, fmask) = match_.to_key_mask();
+                let mut entries = Vec::new();
+                for t in 0..dp.n_tables() {
+                    if table_id != 0xff && table_id != t {
+                        continue;
+                    }
+                    let table = dp.table(t).unwrap();
+                    for e in table.entries() {
+                        if e.within_filter(&fkey, &fmask)
+                            && e.outputs_to(out_port)
+                            && e.outputs_to_group(out_group)
+                        {
+                            entries.push(FlowStatsEntry {
+                                table_id: t,
+                                duration_sec: ((now_ns.saturating_sub(e.installed_ns))
+                                    / 1_000_000_000)
+                                    as u32,
+                                priority: e.priority,
+                                idle_timeout: e.idle_timeout,
+                                hard_timeout: e.hard_timeout,
+                                flags: e.flags,
+                                cookie: e.cookie,
+                                packet_count: e.packets,
+                                byte_count: e.bytes,
+                                match_: e.match_.clone(),
+                                instructions: e.instructions.clone(),
+                            });
+                        }
+                    }
+                }
+                MultipartRes::Flow(entries)
+            }
+            MultipartReq::Aggregate { table_id, out_port, out_group, match_, .. } => {
+                let (fkey, fmask) = match_.to_key_mask();
+                let (mut p, mut b, mut n) = (0u64, 0u64, 0u32);
+                for t in 0..dp.n_tables() {
+                    if table_id != 0xff && table_id != t {
+                        continue;
+                    }
+                    for e in dp.table(t).unwrap().entries() {
+                        if e.within_filter(&fkey, &fmask)
+                            && e.outputs_to(out_port)
+                            && e.outputs_to_group(out_group)
+                        {
+                            p += e.packets;
+                            b += e.bytes;
+                            n += 1;
+                        }
+                    }
+                }
+                MultipartRes::Aggregate { packet_count: p, byte_count: b, flow_count: n }
+            }
+            MultipartReq::Table => MultipartRes::Table(
+                (0..dp.n_tables())
+                    .map(|t| {
+                        let table = dp.table(t).unwrap();
+                        TableStatsEntry {
+                            table_id: t,
+                            active_count: table.len() as u32,
+                            lookup_count: table.lookups(),
+                            matched_count: table.hits(),
+                        }
+                    })
+                    .collect(),
+            ),
+            MultipartReq::PortStats { port_no } => MultipartRes::PortStats(
+                dp.port_stats()
+                    .into_iter()
+                    .filter(|s| port_no == openflow::port_no::ANY || s.port_no == port_no)
+                    .collect(),
+            ),
+            MultipartReq::PortDesc => MultipartRes::PortDesc(dp.port_descs()),
+        };
+        Message::MultipartReply(res).encode(xid)
+    }
+}
+
+/// Convenience used by tests: build the `PACKET_OUT` a controller would
+/// send to emit `data` out of `port`.
+pub fn packet_out_msg(xid: Xid, port: u32, data: Bytes) -> Bytes {
+    Message::PacketOut {
+        buffer_id: NO_BUFFER,
+        in_port: openflow::port_no::CONTROLLER,
+        actions: vec![Action::output(port)],
+        data,
+    }
+    .encode(xid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::{DpConfig, PipelineMode};
+    use netpkt::{builder, MacAddr};
+    use openflow::message::FlowMod;
+    use openflow::Match;
+    use std::net::Ipv4Addr;
+
+    fn dp() -> Datapath {
+        let mut dp = Datapath::new(DpConfig::software(0xabc).with_mode(PipelineMode::full()));
+        dp.add_port(1, "p1", 1_000_000);
+        dp.add_port(2, "p2", 1_000_000);
+        dp
+    }
+
+    fn frame() -> Bytes {
+        builder::udp_packet(
+            MacAddr::host(1),
+            MacAddr::host(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            53,
+            b"x",
+        )
+    }
+
+    #[test]
+    fn handshake_and_features() {
+        let mut dp = dp();
+        let mut agent = OfAgent::new("test");
+        let mut stream = BytesMut::new();
+        stream.extend_from_slice(&Message::Hello.encode(1));
+        stream.extend_from_slice(&Message::FeaturesRequest.encode(2));
+        let out = agent.handle(&mut dp, &stream, 0);
+        assert!(agent.handshaken());
+        assert_eq!(out.replies.len(), 1);
+        let (xid, msg, _) = Message::decode(&out.replies[0]).unwrap();
+        assert_eq!(xid, 2);
+        match msg {
+            Message::FeaturesReply { datapath_id, n_tables, .. } => {
+                assert_eq!(datapath_id, 0xabc);
+                assert_eq!(n_tables, 4);
+            }
+            other => panic!("expected FeaturesReply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flow_mod_installs_and_barrier_syncs() {
+        let mut dp = dp();
+        let mut agent = OfAgent::new("test");
+        let fm = FlowMod::add(0)
+            .priority(5)
+            .match_(Match::new().eth_type(0x0800))
+            .apply(vec![Action::output(2)]);
+        let mut stream = BytesMut::new();
+        stream.extend_from_slice(&Message::FlowMod(fm).encode(7));
+        stream.extend_from_slice(&Message::BarrierRequest.encode(8));
+        let out = agent.handle(&mut dp, &stream, 0);
+        assert_eq!(out.replies.len(), 1);
+        let (xid, msg, _) = Message::decode(&out.replies[0]).unwrap();
+        assert_eq!((xid, msg), (8, Message::BarrierReply));
+        // The rule is live.
+        let r = dp.process(1, frame(), 0);
+        assert_eq!(r.outputs[0].0, 2);
+    }
+
+    #[test]
+    fn bad_flow_mod_yields_error() {
+        let mut dp = dp();
+        let mut agent = OfAgent::new("test");
+        let fm = FlowMod::add(99).priority(5).apply(vec![Action::output(2)]);
+        let out = agent.handle(&mut dp, &Message::FlowMod(fm).encode(3), 0);
+        let (xid, msg, _) = Message::decode(&out.replies[0]).unwrap();
+        assert_eq!(xid, 3);
+        match msg {
+            Message::Error { ty, code, .. } => {
+                assert_eq!(ty, 5); // FLOW_MOD_FAILED
+                assert_eq!(code, 3); // BAD_TABLE_ID
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn packet_out_transmits() {
+        let mut dp = dp();
+        let mut agent = OfAgent::new("test");
+        let out = agent.handle(&mut dp, &packet_out_msg(1, 2, frame()), 0);
+        assert_eq!(out.transmits.len(), 1);
+        assert_eq!(out.transmits[0].0, 2);
+    }
+
+    #[test]
+    fn echo_and_split_messages() {
+        let mut dp = dp();
+        let mut agent = OfAgent::new("test");
+        let echo = Message::EchoRequest(Bytes::from_static(b"abc")).encode(9);
+        // Deliver in two fragments.
+        let out1 = agent.handle(&mut dp, &echo[..5], 0);
+        assert!(out1.replies.is_empty());
+        let out2 = agent.handle(&mut dp, &echo[5..], 0);
+        assert_eq!(out2.replies.len(), 1);
+        let (_, msg, _) = Message::decode(&out2.replies[0]).unwrap();
+        assert_eq!(msg, Message::EchoReply(Bytes::from_static(b"abc")));
+    }
+
+    #[test]
+    fn flow_stats_roundtrip() {
+        let mut dp = dp();
+        let mut agent = OfAgent::new("test");
+        let fm = FlowMod::add(0)
+            .priority(5)
+            .match_(Match::new().eth_type(0x0800))
+            .apply(vec![Action::output(2)])
+            .cookie(0x77);
+        agent.handle(&mut dp, &Message::FlowMod(fm).encode(1), 0);
+        dp.process(1, frame(), 0);
+        dp.process(1, frame(), 0);
+        let req = Message::MultipartRequest(MultipartReq::Flow {
+            table_id: 0xff,
+            out_port: openflow::port_no::ANY,
+            out_group: openflow::group_no::ANY,
+            cookie: 0,
+            cookie_mask: 0,
+            match_: Match::any(),
+        })
+        .encode(5);
+        let out = agent.handle(&mut dp, &req, 2_000_000_000);
+        let (_, msg, _) = Message::decode(&out.replies[0]).unwrap();
+        match msg {
+            Message::MultipartReply(MultipartRes::Flow(entries)) => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].packet_count, 2);
+                assert_eq!(entries[0].cookie, 0x77);
+                assert_eq!(entries[0].duration_sec, 2);
+            }
+            other => panic!("expected flow stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn packet_in_respects_miss_send_len() {
+        let mut dp = dp();
+        let mut agent = OfAgent::new("test");
+        agent.handle(
+            &mut dp,
+            &Message::SetConfig { flags: 0, miss_send_len: 32 }.encode(1),
+            0,
+        );
+        let f = frame();
+        let pi = agent.packet_in(PacketInReason::NoMatch, 1, &f);
+        let (_, msg, _) = Message::decode(&pi).unwrap();
+        match msg {
+            Message::PacketIn { data, total_len, .. } => {
+                assert_eq!(data.len(), 32);
+                assert_eq!(usize::from(total_len), f.len());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

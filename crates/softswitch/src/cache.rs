@@ -1,0 +1,295 @@
+//! Flow caches in front of the pipeline, OVS-style.
+//!
+//! * [`MicroflowCache`]: exact [`FlowKey`] → recorded actions. One hash
+//!   probe, but every distinct microflow occupies a slot.
+//! * [`MegaflowCache`]: `(mask, masked key)` → recorded actions, where the
+//!   mask is the *unwildcarded* set of fields the slow path actually
+//!   consulted. One entry covers an entire rule region, so the cache stays
+//!   small under flow churn.
+//!
+//! Both caches are tagged with the datapath's mutation epoch; any
+//! table/group/meter change bumps the epoch, implicitly flushing them.
+
+use std::collections::HashMap;
+
+use netpkt::flowkey::FieldMask;
+use netpkt::FlowKey;
+
+use crate::actions::CAction;
+
+/// A cached, fully resolved processing recipe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedPath {
+    /// Flattened actions to replay.
+    pub actions: Vec<CAction>,
+    /// `(table, entry index)` pairs whose counters this path bumps.
+    pub hits: Vec<(usize, usize)>,
+    /// Datapath epoch this was recorded at.
+    pub epoch: u64,
+}
+
+/// Exact-match cache.
+#[derive(Debug, Default)]
+pub struct MicroflowCache {
+    map: HashMap<FlowKey, CachedPath>,
+    epoch: u64,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl MicroflowCache {
+    /// A cache bounded to `capacity` entries (evicts by full flush, like
+    /// the kernel datapath's emergency flush).
+    pub fn new(capacity: usize) -> MicroflowCache {
+        MicroflowCache { map: HashMap::new(), epoch: 0, capacity, hits: 0, misses: 0 }
+    }
+
+    /// Look up an exact key at `epoch`.
+    pub fn lookup(&mut self, key: &FlowKey, epoch: u64) -> Option<&CachedPath> {
+        if self.epoch != epoch {
+            self.map.clear();
+            self.epoch = epoch;
+        }
+        match self.map.get(key) {
+            Some(p) => {
+                self.hits += 1;
+                Some(p)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record a path for `key`.
+    pub fn insert(&mut self, key: FlowKey, path: CachedPath) {
+        if self.epoch != path.epoch {
+            self.map.clear();
+            self.epoch = path.epoch;
+        }
+        if self.map.len() >= self.capacity {
+            self.map.clear(); // emergency flush
+        }
+        self.map.insert(key, path);
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Masked cache: a list of masks, each with an exact map of masked keys.
+#[derive(Debug, Default)]
+pub struct MegaflowCache {
+    groups: Vec<(FieldMask, HashMap<FlowKey, CachedPath>)>,
+    epoch: u64,
+    capacity: usize,
+    len: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl MegaflowCache {
+    /// A cache bounded to `capacity` total entries.
+    pub fn new(capacity: usize) -> MegaflowCache {
+        MegaflowCache {
+            groups: Vec::new(),
+            epoch: 0,
+            capacity,
+            len: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn flush(&mut self) {
+        self.groups.clear();
+        self.len = 0;
+    }
+
+    /// Look up `key`; returns the path and the number of masks probed.
+    pub fn lookup(&mut self, key: &FlowKey, epoch: u64) -> (Option<&CachedPath>, u32) {
+        if self.epoch != epoch {
+            self.flush();
+            self.epoch = epoch;
+        }
+        let mut probes = 0u32;
+        let mut found: Option<usize> = None;
+        for (i, (mask, map)) in self.groups.iter().enumerate() {
+            probes += 1;
+            let masked = key.masked(mask);
+            if map.contains_key(&masked) {
+                found = Some(i);
+                break;
+            }
+        }
+        match found {
+            Some(i) => {
+                self.hits += 1;
+                let (mask, map) = &self.groups[i];
+                let masked = key.masked(mask);
+                (map.get(&masked), probes)
+            }
+            None => {
+                self.misses += 1;
+                (None, probes)
+            }
+        }
+    }
+
+    /// Record a path for `key` under `mask` (the unwildcarded field set).
+    pub fn insert(&mut self, key: &FlowKey, mask: FieldMask, path: CachedPath) {
+        if self.epoch != path.epoch {
+            self.flush();
+            self.epoch = path.epoch;
+        }
+        if self.len >= self.capacity {
+            self.flush();
+        }
+        let masked = key.masked(&mask);
+        let group = match self.groups.iter_mut().position(|(m, _)| *m == mask) {
+            Some(i) => &mut self.groups[i].1,
+            None => {
+                self.groups.push((mask, HashMap::new()));
+                &mut self.groups.last_mut().unwrap().1
+            }
+        };
+        if group.insert(masked, path).is_none() {
+            self.len += 1;
+        }
+    }
+
+    /// Total cached entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Distinct masks.
+    pub fn mask_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpkt::{builder, MacAddr};
+    use std::net::Ipv4Addr;
+
+    fn key(src: u32, dst_port: u16) -> FlowKey {
+        let f = builder::udp_packet(
+            MacAddr::host(1),
+            MacAddr::host(2),
+            Ipv4Addr::from(0x0a000000 + src),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            dst_port,
+            b"x",
+        );
+        FlowKey::extract(1, &f).unwrap()
+    }
+
+    fn path(epoch: u64) -> CachedPath {
+        CachedPath { actions: vec![CAction::Output(1)], hits: vec![(0, 0)], epoch }
+    }
+
+    #[test]
+    fn microflow_hit_and_epoch_flush() {
+        let mut c = MicroflowCache::new(100);
+        c.insert(key(1, 53), path(1));
+        assert!(c.lookup(&key(1, 53), 1).is_some());
+        assert!(c.lookup(&key(2, 53), 1).is_none(), "different src = different microflow");
+        // Epoch bump flushes.
+        assert!(c.lookup(&key(1, 53), 2).is_none());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn microflow_capacity_flush() {
+        let mut c = MicroflowCache::new(2);
+        c.insert(key(1, 1), path(1));
+        c.insert(key(2, 1), path(1));
+        c.insert(key(3, 1), path(1)); // triggers flush then insert
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup(&key(3, 1), 1).is_some());
+    }
+
+    #[test]
+    fn megaflow_one_entry_covers_many_microflows() {
+        let mut c = MegaflowCache::new(100);
+        // Unwildcarded mask: only udp_dst matters.
+        let mut mask = FlowKey::empty_mask();
+        mask.udp_dst = u16::MAX;
+        c.insert(&key(1, 53), mask, path(1));
+        // Every src hits the same megaflow.
+        for src in 1..50 {
+            let (hit, probes) = c.lookup(&key(src, 53), 1);
+            assert!(hit.is_some(), "src {src} must hit");
+            assert_eq!(probes, 1);
+        }
+        let (miss, _) = c.lookup(&key(1, 80), 1);
+        assert!(miss.is_none());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.hits(), 49);
+    }
+
+    #[test]
+    fn megaflow_multiple_masks_probe_in_order() {
+        let mut c = MegaflowCache::new(100);
+        let mut m1 = FlowKey::empty_mask();
+        m1.udp_dst = u16::MAX;
+        let mut m2 = FlowKey::empty_mask();
+        m2.ipv4_src = u32::MAX;
+        c.insert(&key(1, 53), m1, path(1));
+        c.insert(&key(7, 99), m2, path(1));
+        assert_eq!(c.mask_count(), 2);
+        let (hit, probes) = c.lookup(&key(7, 99), 1);
+        assert!(hit.is_some());
+        assert_eq!(probes, 2, "second mask group needs a second probe");
+    }
+
+    #[test]
+    fn megaflow_epoch_flush() {
+        let mut c = MegaflowCache::new(100);
+        let mask = FlowKey::exact_mask();
+        c.insert(&key(1, 53), mask, path(1));
+        let (hit, _) = c.lookup(&key(1, 53), 2);
+        assert!(hit.is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,1176 @@
+//! The multi-table OpenFlow 1.3 dataplane.
+//!
+//! [`Datapath::process`] is the single entry point: a frame plus ingress
+//! port goes in, concrete outputs / packet-ins / a [`ProcessingTrace`]
+//! come out. Depending on [`PipelineMode`], lookups are served by the
+//! microflow cache, the megaflow cache, tuple-space indexes, or a plain
+//! linear walk — the ablation axis of the E8 experiment.
+
+use bytes::{Bytes, BytesMut};
+use std::collections::BTreeMap;
+
+use netpkt::flowkey::FieldMask;
+use netpkt::FlowKey;
+use openflow::message::{FlowMod, PacketInReason, PortDesc, PortStatsEntry};
+use openflow::table::{FlowEntry, FlowModCommand, RemovedReason, TableId};
+use openflow::{
+    port_no, Action, Error, FlowTable, GroupTable, Instruction, MeterTable, Result,
+};
+
+use crate::actions::{self, CAction};
+use crate::cache::{CachedPath, MegaflowCache, MicroflowCache};
+use crate::trace::{LookupPath, ProcessingTrace};
+use crate::tss::TssIndex;
+
+/// Which lookup machinery is active — the ablation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineMode {
+    /// Use tuple-space indexes on the slow path (vs. linear scan).
+    pub tss: bool,
+    /// Use the exact-match microflow cache.
+    pub microflow: bool,
+    /// Use the masked megaflow cache.
+    pub megaflow: bool,
+}
+
+impl PipelineMode {
+    /// Linear scan only — the naive baseline.
+    pub fn linear() -> Self {
+        PipelineMode { tss: false, microflow: false, megaflow: false }
+    }
+
+    /// TSS-indexed tables, no caches — an ESwitch-style specialised
+    /// pipeline.
+    pub fn tss() -> Self {
+        PipelineMode { tss: true, microflow: false, megaflow: false }
+    }
+
+    /// Microflow cache over a TSS pipeline.
+    pub fn microflow() -> Self {
+        PipelineMode { tss: true, microflow: true, megaflow: false }
+    }
+
+    /// The full OVS-style hierarchy: micro → mega → TSS slow path.
+    pub fn full() -> Self {
+        PipelineMode { tss: true, microflow: true, megaflow: true }
+    }
+}
+
+impl Default for PipelineMode {
+    fn default() -> Self {
+        PipelineMode::full()
+    }
+}
+
+/// Datapath construction parameters.
+#[derive(Debug, Clone)]
+pub struct DpConfig {
+    /// OpenFlow datapath id.
+    pub datapath_id: u64,
+    /// Number of pipeline tables.
+    pub n_tables: u8,
+    /// Lookup machinery.
+    pub mode: PipelineMode,
+    /// Microflow cache capacity.
+    pub micro_capacity: usize,
+    /// Megaflow cache capacity.
+    pub mega_capacity: usize,
+    /// Per-table entry capacity (`usize::MAX` = software, small = TCAM).
+    pub table_capacity: usize,
+}
+
+impl DpConfig {
+    /// A software switch: 4 tables, full caching, effectively unbounded
+    /// rule space.
+    pub fn software(datapath_id: u64) -> DpConfig {
+        DpConfig {
+            datapath_id,
+            n_tables: 4,
+            mode: PipelineMode::full(),
+            micro_capacity: 65_536,
+            mega_capacity: 8_192,
+            table_capacity: usize::MAX,
+        }
+    }
+
+    /// Builder-style mode override.
+    pub fn with_mode(mut self, mode: PipelineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Builder-style table count override.
+    pub fn with_tables(mut self, n: u8) -> Self {
+        self.n_tables = n;
+        self
+    }
+
+    /// Builder-style table capacity override (TCAM modelling).
+    pub fn with_table_capacity(mut self, cap: usize) -> Self {
+        self.table_capacity = cap;
+        self
+    }
+}
+
+/// One switch port.
+#[derive(Debug, Clone)]
+pub struct PortInfo {
+    /// OpenFlow port number (1-based).
+    pub no: u32,
+    /// Name, e.g. `"trunk0"` or `"patch3"`.
+    pub name: String,
+    /// Link state.
+    pub up: bool,
+    /// Advertised speed, kb/s.
+    pub speed_kbps: u32,
+}
+
+/// Everything one `process` call produced.
+#[derive(Debug, Default)]
+pub struct DpResult {
+    /// `(port, frame)` pairs to transmit.
+    pub outputs: Vec<(u32, Bytes)>,
+    /// Frames punted to the controller: `(reason, ingress port, frame)`.
+    pub packet_ins: Vec<(PacketInReason, u32, Bytes)>,
+    /// True if the pipeline dropped the packet (miss or meter).
+    pub dropped: bool,
+    /// Cost-accounting trace.
+    pub trace: Option<ProcessingTrace>,
+}
+
+/// The dataplane state of one software (or modelled hardware) switch.
+pub struct Datapath {
+    config: DpConfig,
+    ports: BTreeMap<u32, PortInfo>,
+    tables: Vec<FlowTable>,
+    groups: GroupTable,
+    meters: MeterTable,
+    /// Mutation epoch: bumped by any table/group/meter/port change;
+    /// flushes both caches and invalidates TSS indexes.
+    epoch: u64,
+    tss: Vec<Option<TssIndex>>,
+    table_masks: Vec<(u64, FieldMask)>,
+    micro: MicroflowCache,
+    mega: MegaflowCache,
+    port_stats: BTreeMap<u32, PortStatsEntry>,
+    packets_processed: u64,
+}
+
+/// Recursion bound for group chains.
+const MAX_GROUP_DEPTH: u32 = 4;
+
+struct ExecCtx {
+    buf: BytesMut,
+    key: FlowKey,
+    in_port: u32,
+    recorded: Vec<CAction>,
+    outputs: Vec<(u32, Bytes)>,
+    packet_ins: Vec<(PacketInReason, u32, Bytes)>,
+    trace: ProcessingTrace,
+    unwild: FieldMask,
+    metered_out: bool,
+}
+
+/// The OF 1.3 action set: one slot per action kind, executed in spec
+/// order at pipeline end.
+#[derive(Debug, Default, Clone)]
+struct ActionSet {
+    pop_vlan: bool,
+    push_vlan: Option<u16>,
+    set_fields: Vec<openflow::OxmField>,
+    group: Option<u32>,
+    output: Option<u32>,
+}
+
+impl ActionSet {
+    fn write(&mut self, actions: &[Action]) {
+        for a in actions {
+            match a {
+                Action::PopVlan => self.pop_vlan = true,
+                Action::PushVlan(tpid) => self.push_vlan = Some(*tpid),
+                Action::SetField(f) => {
+                    self.set_fields.retain(|g| g.number() != f.number());
+                    self.set_fields.push(*f);
+                }
+                Action::Group(g) => self.group = Some(*g),
+                Action::Output { port, .. } => self.output = Some(*port),
+                Action::SetQueue(_) => {}
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        *self = ActionSet::default();
+    }
+
+    fn is_empty(&self) -> bool {
+        !self.pop_vlan
+            && self.push_vlan.is_none()
+            && self.set_fields.is_empty()
+            && self.group.is_none()
+            && self.output.is_none()
+    }
+}
+
+impl Datapath {
+    /// Build an empty datapath per `config`.
+    pub fn new(config: DpConfig) -> Datapath {
+        let n = usize::from(config.n_tables.max(1));
+        let tables = (0..n)
+            .map(|i| FlowTable::with_capacity(TableId(i as u8), config.table_capacity))
+            .collect();
+        Datapath {
+            micro: MicroflowCache::new(config.micro_capacity),
+            mega: MegaflowCache::new(config.mega_capacity),
+            tss: (0..n).map(|_| None).collect(),
+            table_masks: (0..n).map(|_| (u64::MAX, FieldMask::default())).collect(),
+            config,
+            ports: BTreeMap::new(),
+            tables,
+            groups: GroupTable::new(),
+            meters: MeterTable::new(),
+            epoch: 1,
+            port_stats: BTreeMap::new(),
+            packets_processed: 0,
+        }
+    }
+
+    /// The datapath id.
+    pub fn datapath_id(&self) -> u64 {
+        self.config.datapath_id
+    }
+
+    /// Number of pipeline tables.
+    pub fn n_tables(&self) -> u8 {
+        self.tables.len() as u8
+    }
+
+    /// Current mutation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total packets processed.
+    pub fn packets_processed(&self) -> u64 {
+        self.packets_processed
+    }
+
+    /// Register a port.
+    pub fn add_port(&mut self, no: u32, name: impl Into<String>, speed_kbps: u32) {
+        self.ports.insert(
+            no,
+            PortInfo { no, name: name.into(), up: true, speed_kbps },
+        );
+        self.port_stats.insert(no, PortStatsEntry { port_no: no, ..Default::default() });
+        self.epoch += 1;
+    }
+
+    /// The registered ports.
+    pub fn ports(&self) -> impl Iterator<Item = &PortInfo> {
+        self.ports.values()
+    }
+
+    /// OpenFlow port descriptions.
+    pub fn port_descs(&self) -> Vec<PortDesc> {
+        self.ports
+            .values()
+            .map(|p| PortDesc {
+                port_no: p.no,
+                hw_addr: netpkt::MacAddr::host(0xd000 + p.no),
+                name: p.name.clone(),
+                config: 0,
+                state: if p.up { 0 } else { 1 },
+                curr_speed: p.speed_kbps,
+                max_speed: p.speed_kbps,
+            })
+            .collect()
+    }
+
+    /// Per-port counters.
+    pub fn port_stats(&self) -> Vec<PortStatsEntry> {
+        self.port_stats.values().copied().collect()
+    }
+
+    /// Table accessor (stats, tests).
+    pub fn table(&self, id: u8) -> Option<&FlowTable> {
+        self.tables.get(usize::from(id))
+    }
+
+    /// Group table accessor.
+    pub fn group_table(&self) -> &GroupTable {
+        &self.groups
+    }
+
+    /// Meter table accessor.
+    pub fn meter_table(&self) -> &MeterTable {
+        &self.meters
+    }
+
+    /// Microflow cache stats accessor.
+    pub fn micro_cache(&self) -> &MicroflowCache {
+        &self.micro
+    }
+
+    /// Megaflow cache stats accessor.
+    pub fn mega_cache(&self) -> &MegaflowCache {
+        &self.mega
+    }
+
+    /// Apply a flow-mod; returns entries removed by delete commands (for
+    /// `FLOW_REMOVED` generation).
+    pub fn apply_flow_mod(&mut self, fm: &FlowMod, now_ns: u64) -> Result<Vec<(u8, FlowEntry)>> {
+        fm.match_.validate()?;
+        let tid = usize::from(fm.table_id);
+        let all_tables = fm.table_id == 0xff;
+        if !all_tables && tid >= self.tables.len() {
+            return Err(Error::BadTable(fm.table_id));
+        }
+        let mut removed = Vec::new();
+        match fm.command {
+            FlowModCommand::Add => {
+                let entry = FlowEntry::new(
+                    fm.priority,
+                    fm.match_.clone(),
+                    fm.instructions.clone(),
+                    now_ns,
+                )
+                .with_cookie(fm.cookie)
+                .with_timeouts(fm.idle_timeout, fm.hard_timeout)
+                .with_flags(fm.flags);
+                self.tables[tid].add(entry)?;
+            }
+            FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
+                let strict = fm.command == FlowModCommand::ModifyStrict;
+                self.tables[tid].modify(&fm.match_, fm.priority, strict, &fm.instructions);
+            }
+            FlowModCommand::Delete | FlowModCommand::DeleteStrict => {
+                let strict = fm.command == FlowModCommand::DeleteStrict;
+                let range: Vec<usize> =
+                    if all_tables { (0..self.tables.len()).collect() } else { vec![tid] };
+                for t in range {
+                    for e in self.tables[t].delete(
+                        &fm.match_,
+                        fm.priority,
+                        strict,
+                        fm.out_port,
+                        fm.out_group,
+                    ) {
+                        removed.push((t as u8, e));
+                    }
+                }
+            }
+        }
+        self.epoch += 1;
+        Ok(removed)
+    }
+
+    /// Apply a group-mod.
+    pub fn apply_group_mod(
+        &mut self,
+        command: openflow::group::GroupModCommand,
+        type_: openflow::GroupType,
+        group_id: u32,
+        buckets: Vec<openflow::Bucket>,
+    ) -> Result<()> {
+        use openflow::group::GroupModCommand as C;
+        match command {
+            C::Add => self.groups.add(group_id, type_, buckets)?,
+            C::Modify => self.groups.modify(group_id, type_, buckets)?,
+            C::Delete => {
+                self.groups.delete(group_id);
+            }
+        }
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Apply a meter-mod.
+    pub fn apply_meter_mod(
+        &mut self,
+        command: openflow::meter::MeterModCommand,
+        meter_id: u32,
+        pktps: bool,
+        band: Option<openflow::MeterBand>,
+        now_ns: u64,
+    ) -> Result<()> {
+        use openflow::meter::MeterModCommand as C;
+        match command {
+            C::Add => {
+                let band = band.ok_or(Error::BadMeter("add needs a band"))?;
+                self.meters.add(meter_id, band, pktps, now_ns)?;
+            }
+            C::Modify => {
+                let band = band.ok_or(Error::BadMeter("modify needs a band"))?;
+                self.meters.modify(meter_id, band, pktps)?;
+            }
+            C::Delete => {
+                self.meters.delete(meter_id);
+            }
+        }
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Remove timed-out flows; returns `(table, entry, reason)` for
+    /// `FLOW_REMOVED` generation.
+    pub fn expire_flows(&mut self, now_ns: u64) -> Vec<(u8, FlowEntry, RemovedReason)> {
+        let mut out = Vec::new();
+        for (t, table) in self.tables.iter_mut().enumerate() {
+            for (e, r) in table.expire(now_ns) {
+                out.push((t as u8, e, r));
+            }
+        }
+        if !out.is_empty() {
+            self.epoch += 1;
+        }
+        out
+    }
+
+    /// Execute a controller `PACKET_OUT`: apply `actions` to `data` with
+    /// `in_port` as the ingress context.
+    pub fn packet_out(&mut self, in_port: u32, actions: &[Action], data: Bytes, _now_ns: u64) -> DpResult {
+        let key = FlowKey::extract_lossy(in_port, &data);
+        let mut ctx = ExecCtx {
+            buf: BytesMut::from(&data[..]),
+            key,
+            in_port,
+            recorded: Vec::new(),
+            outputs: Vec::new(),
+            packet_ins: Vec::new(),
+            trace: ProcessingTrace::new(data.len()),
+            unwild: FieldMask::default(),
+            metered_out: false,
+        };
+        self.exec_actions(actions, &mut ctx, false, 0);
+        for (port, f) in &ctx.outputs {
+            if let Some(s) = self.port_stats.get_mut(port) {
+                s.tx_packets += 1;
+                s.tx_bytes += f.len() as u64;
+            }
+        }
+        DpResult {
+            outputs: ctx.outputs,
+            packet_ins: ctx.packet_ins,
+            dropped: false,
+            trace: Some(ctx.trace),
+        }
+    }
+
+    /// Process one frame.
+    pub fn process(&mut self, in_port: u32, frame: Bytes, now_ns: u64) -> DpResult {
+        self.packets_processed += 1;
+        if let Some(s) = self.port_stats.get_mut(&in_port) {
+            s.rx_packets += 1;
+            s.rx_bytes += frame.len() as u64;
+        }
+        let mut trace = ProcessingTrace::new(frame.len());
+        let key = FlowKey::extract_lossy(in_port, &frame);
+
+        // 1. Microflow cache.
+        if self.config.mode.microflow {
+            if let Some(path) = self.micro.lookup(&key, self.epoch) {
+                let path = path.clone();
+                trace.path = LookupPath::MicroHit;
+                return self.finish_cached(path, frame, key, now_ns, trace);
+            }
+        }
+
+        // 2. Megaflow cache.
+        if self.config.mode.megaflow {
+            let (hit, probes) = self.mega.lookup(&key, self.epoch);
+            if let Some(path) = hit {
+                let path = path.clone();
+                trace.path = LookupPath::MegaHit { probes };
+                // Promote to the microflow cache for next time.
+                if self.config.mode.microflow {
+                    self.micro.insert(key, path.clone());
+                }
+                return self.finish_cached(path, frame, key, now_ns, trace);
+            }
+            if let LookupPath::SlowPath { .. } = trace.path {
+                // carry the wasted probes into the slow-path accounting
+                trace.path =
+                    LookupPath::SlowPath { tables: 0, entries_scanned: 0, tss_probes: probes };
+            }
+        }
+
+        // 3. Slow path.
+        self.slow_path(in_port, frame, key, now_ns, trace)
+    }
+
+    fn finish_cached(
+        &mut self,
+        path: CachedPath,
+        frame: Bytes,
+        mut key: FlowKey,
+        now_ns: u64,
+        mut trace: ProcessingTrace,
+    ) -> DpResult {
+        let len = frame.len() as u64;
+        for &(t, idx) in &path.hits {
+            self.tables[t].hit(idx, len, now_ns);
+        }
+        // Account the replayed work in the trace.
+        for a in &path.actions {
+            match a {
+                CAction::PushVlan(_) | CAction::PopVlan => trace.vlan_ops += 1,
+                CAction::SetField(_) => trace.set_fields += 1,
+                CAction::Meter(_) => trace.meter_checks += 1,
+                CAction::Output(_) => trace.outputs += 1,
+                CAction::ToController => trace.packet_in = true,
+            }
+        }
+        let rep = actions::replay(&path.actions, frame, &mut key, now_ns, &mut self.meters);
+        for (port, f) in &rep.outputs {
+            if let Some(s) = self.port_stats.get_mut(port) {
+                s.tx_packets += 1;
+                s.tx_bytes += f.len() as u64;
+            }
+        }
+        let dropped = rep.metered_out || (rep.outputs.is_empty() && rep.to_controller.is_empty());
+        DpResult {
+            outputs: rep.outputs,
+            packet_ins: rep
+                .to_controller
+                .into_iter()
+                .map(|d| (PacketInReason::Action, key.in_port, d))
+                .collect(),
+            dropped,
+            trace: Some(trace),
+        }
+    }
+
+    /// Aggregate mask of `table` (union of all entry masks), cached per
+    /// version. IN_PORT is always included: cached paths embed concrete
+    /// ports.
+    fn aggregate_mask(&mut self, t: usize) -> FieldMask {
+        let version = self.tables[t].version();
+        if self.table_masks[t].0 != version {
+            let mut m = FieldMask::default();
+            m.in_port = u32::MAX;
+            for e in self.tables[t].entries() {
+                m = m.mask_union(&e.mask);
+            }
+            self.table_masks[t] = (version, m);
+        }
+        self.table_masks[t].1
+    }
+
+    fn slow_path(
+        &mut self,
+        in_port: u32,
+        frame: Bytes,
+        key: FlowKey,
+        now_ns: u64,
+        trace: ProcessingTrace,
+    ) -> DpResult {
+        let (mut tables_visited, mut scanned, mut tss_probes) = match trace.path {
+            LookupPath::SlowPath { tables, entries_scanned, tss_probes } => {
+                (tables, entries_scanned, tss_probes)
+            }
+            _ => (0, 0, 0),
+        };
+        let mut unwild = FieldMask::default();
+        unwild.in_port = u32::MAX;
+
+        let mut ctx = ExecCtx {
+            buf: BytesMut::from(&frame[..]),
+            key,
+            in_port,
+            recorded: Vec::new(),
+            outputs: Vec::new(),
+            packet_ins: Vec::new(),
+            trace,
+            unwild,
+            metered_out: false,
+        };
+        let mut action_set = ActionSet::default();
+        let mut table = 0usize;
+        let mut matched_any = false;
+        let mut hits: Vec<(usize, usize)> = Vec::new();
+
+        loop {
+            tables_visited += 1;
+            let agg = self.aggregate_mask(table);
+            ctx.unwild = ctx.unwild.mask_union(&agg);
+
+            let hit = if self.config.mode.tss {
+                // (Re)build the index if stale.
+                let rebuild = match &self.tss[table] {
+                    Some(i) => !i.fresh(&self.tables[table]),
+                    None => true,
+                };
+                if rebuild {
+                    self.tss[table] = Some(TssIndex::build(&self.tables[table]));
+                }
+                let idx = self.tss[table].as_ref().unwrap();
+                let (hit, probes) = idx.lookup(&ctx.key);
+                tss_probes += probes;
+                // Count the lookup on the table for stats parity.
+                let _ = self.tables[table].lookups();
+                hit
+            } else {
+                let (hit, n) = self.tables[table].lookup_counting(&ctx.key);
+                scanned += n as u32;
+                hit
+            };
+
+            let Some(entry_idx) = hit else {
+                // OF 1.3 §5.4: no table-miss entry ⇒ drop.
+                break;
+            };
+            matched_any = true;
+            self.tables[table].hit(entry_idx, ctx.buf.len() as u64, now_ns);
+            hits.push((table, entry_idx));
+            let entry = self.tables[table].entry(entry_idx);
+            let instructions = entry.instructions.clone();
+            let is_miss_entry = entry.priority == 0 && entry.match_.fields().is_empty();
+
+            let mut goto: Option<u8> = None;
+            for insn in &instructions {
+                match insn {
+                    Instruction::Meter(id) => {
+                        ctx.trace.meter_checks += 1;
+                        ctx.recorded.push(CAction::Meter(*id));
+                        if !self.meters.offer(*id, now_ns, ctx.buf.len()) {
+                            ctx.metered_out = true;
+                        }
+                    }
+                    Instruction::ApplyActions(list) => {
+                        self.exec_actions(list, &mut ctx, is_miss_entry, 0);
+                    }
+                    Instruction::ClearActions => action_set.clear(),
+                    Instruction::WriteActions(list) => action_set.write(list),
+                    Instruction::WriteMetadata { metadata, mask } => {
+                        ctx.key.metadata = (ctx.key.metadata & !mask) | (metadata & mask);
+                    }
+                    Instruction::GotoTable(t) => goto = Some(*t),
+                }
+                if ctx.metered_out {
+                    break;
+                }
+            }
+            if ctx.metered_out {
+                break;
+            }
+            match goto {
+                Some(t) if usize::from(t) < self.tables.len() && usize::from(t) > table => {
+                    table = usize::from(t);
+                }
+                Some(_) => break, // invalid goto: stop processing
+                None => {
+                    // End of pipeline: run the action set.
+                    if !action_set.is_empty() {
+                        let list = Self::action_set_to_list(&action_set);
+                        self.exec_actions(&list, &mut ctx, is_miss_entry, 0);
+                    }
+                    break;
+                }
+            }
+        }
+
+        ctx.trace.path = LookupPath::SlowPath {
+            tables: tables_visited,
+            entries_scanned: scanned,
+            tss_probes,
+        };
+
+        // Install caches (only for clean, meter-free completions; metered
+        // paths are rate-dependent and recycle through the slow path).
+        let has_meter = ctx.recorded.iter().any(|a| matches!(a, CAction::Meter(_)));
+        if matched_any && !ctx.metered_out && !has_meter {
+            let path = CachedPath {
+                actions: ctx.recorded.clone(),
+                hits: hits.clone(),
+                epoch: self.epoch,
+            };
+            if self.config.mode.megaflow {
+                self.mega.insert(&key, ctx.unwild, path.clone());
+            }
+            if self.config.mode.microflow {
+                self.micro.insert(key, path);
+            }
+        }
+
+        for (port, f) in &ctx.outputs {
+            if let Some(s) = self.port_stats.get_mut(port) {
+                s.tx_packets += 1;
+                s.tx_bytes += f.len() as u64;
+            }
+        }
+        let dropped =
+            ctx.metered_out || (ctx.outputs.is_empty() && ctx.packet_ins.is_empty());
+        DpResult {
+            outputs: ctx.outputs,
+            packet_ins: ctx.packet_ins,
+            dropped,
+            trace: Some(ctx.trace),
+        }
+    }
+
+    fn action_set_to_list(set: &ActionSet) -> Vec<Action> {
+        // Spec execution order: pop, push, set-field, group, output
+        // (output ignored when a group is present).
+        let mut list = Vec::new();
+        if set.pop_vlan {
+            list.push(Action::PopVlan);
+        }
+        if let Some(tpid) = set.push_vlan {
+            list.push(Action::PushVlan(tpid));
+        }
+        for f in &set.set_fields {
+            list.push(Action::SetField(*f));
+        }
+        if let Some(g) = set.group {
+            list.push(Action::Group(g));
+        } else if let Some(p) = set.output {
+            list.push(Action::output(p));
+        }
+        list
+    }
+
+    fn exec_actions(&mut self, list: &[Action], ctx: &mut ExecCtx, miss_entry: bool, depth: u32) {
+        for a in list {
+            match a {
+                Action::PushVlan(tpid) => {
+                    ctx.trace.vlan_ops += 1;
+                    ctx.recorded.push(CAction::PushVlan(*tpid));
+                    actions::push_vlan(&mut ctx.buf, &mut ctx.key, *tpid);
+                }
+                Action::PopVlan => {
+                    ctx.trace.vlan_ops += 1;
+                    ctx.recorded.push(CAction::PopVlan);
+                    actions::pop_vlan(&mut ctx.buf, &mut ctx.key);
+                    // Popping exposes inner headers: matching beyond here
+                    // depended on the tag, keep it unwildcarded.
+                    ctx.unwild.vlan_vid = u16::MAX;
+                }
+                Action::SetField(f) => {
+                    ctx.trace.set_fields += 1;
+                    ctx.recorded.push(CAction::SetField(*f));
+                    actions::set_field(&mut ctx.buf, &mut ctx.key, f);
+                }
+                Action::SetQueue(_) => {}
+                Action::Group(gid) => {
+                    self.exec_group(*gid, ctx, depth);
+                }
+                Action::Output { port, .. } => {
+                    self.exec_output(*port, ctx, miss_entry);
+                }
+            }
+        }
+    }
+
+    fn exec_group(&mut self, gid: u32, ctx: &mut ExecCtx, depth: u32) {
+        if depth >= MAX_GROUP_DEPTH {
+            return;
+        }
+        ctx.trace.group_hops += 1;
+        let Some(group) = self.groups.get(gid) else { return };
+        // Select-group bucket choice hashes the 5-tuple: those fields must
+        // be in the megaflow mask or different flows would replay the
+        // wrong bucket.
+        if group.type_ == openflow::GroupType::Select {
+            ctx.unwild.ipv4_src = u32::MAX;
+            ctx.unwild.ipv4_dst = u32::MAX;
+            ctx.unwild.ipv6_src = u128::MAX;
+            ctx.unwild.ipv6_dst = u128::MAX;
+            ctx.unwild.ip_proto = u8::MAX;
+            ctx.unwild.tcp_src = u16::MAX;
+            ctx.unwild.tcp_dst = u16::MAX;
+            ctx.unwild.udp_src = u16::MAX;
+            ctx.unwild.udp_dst = u16::MAX;
+        }
+        let buckets: Vec<Vec<Action>> =
+            group.select_buckets(&ctx.key).into_iter().map(|b| b.actions.clone()).collect();
+        self.groups.account(gid, ctx.buf.len() as u64);
+        for bucket in buckets {
+            // Each bucket works on a copy of the packet (OF 1.3 §5.6.1).
+            let saved_buf = ctx.buf.clone();
+            let saved_key = ctx.key;
+            self.exec_actions(&bucket, ctx, false, depth + 1);
+            ctx.buf = saved_buf;
+            ctx.key = saved_key;
+        }
+    }
+
+    fn exec_output(&mut self, port: u32, ctx: &mut ExecCtx, miss_entry: bool) {
+        match port {
+            port_no::CONTROLLER => {
+                ctx.trace.packet_in = true;
+                ctx.recorded.push(CAction::ToController);
+                let reason =
+                    if miss_entry { PacketInReason::NoMatch } else { PacketInReason::Action };
+                ctx.packet_ins.push((reason, ctx.in_port, Bytes::copy_from_slice(&ctx.buf)));
+            }
+            port_no::IN_PORT => {
+                ctx.trace.outputs += 1;
+                ctx.recorded.push(CAction::Output(ctx.in_port));
+                ctx.outputs.push((ctx.in_port, Bytes::copy_from_slice(&ctx.buf)));
+            }
+            port_no::FLOOD | port_no::ALL => {
+                let ports: Vec<u32> = self
+                    .ports
+                    .values()
+                    .filter(|p| p.up && p.no != ctx.in_port)
+                    .map(|p| p.no)
+                    .collect();
+                for p in ports {
+                    ctx.trace.outputs += 1;
+                    ctx.recorded.push(CAction::Output(p));
+                    ctx.outputs.push((p, Bytes::copy_from_slice(&ctx.buf)));
+                }
+            }
+            port_no::ANY | port_no::TABLE | port_no::NORMAL | port_no::LOCAL => {}
+            concrete => {
+                ctx.trace.outputs += 1;
+                ctx.recorded.push(CAction::Output(concrete));
+                ctx.outputs.push((concrete, Bytes::copy_from_slice(&ctx.buf)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpkt::{builder, MacAddr};
+    use openflow::Match;
+    use std::net::Ipv4Addr;
+
+    fn udp_frame(src: u32, dst_port: u16) -> Bytes {
+        builder::udp_packet(
+            MacAddr::host(src),
+            MacAddr::host(99),
+            Ipv4Addr::from(0x0a000000 + src),
+            Ipv4Addr::new(10, 0, 0, 99),
+            1000,
+            dst_port,
+            b"data",
+        )
+    }
+
+    fn dp(mode: PipelineMode) -> Datapath {
+        let mut dp = Datapath::new(DpConfig::software(1).with_mode(mode));
+        for p in 1..=4 {
+            dp.add_port(p, format!("p{p}"), 1_000_000);
+        }
+        dp
+    }
+
+    fn add_forward_rule(dp: &mut Datapath, dst_port: u16, out: u32) {
+        dp.apply_flow_mod(
+            &FlowMod::add(0)
+                .priority(10)
+                .match_(Match::new().eth_type(0x0800).ip_proto(17).udp_dst(dst_port))
+                .apply(vec![Action::output(out)]),
+            0,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn basic_forwarding_all_modes() {
+        for mode in [
+            PipelineMode::linear(),
+            PipelineMode::tss(),
+            PipelineMode::microflow(),
+            PipelineMode::full(),
+        ] {
+            let mut dp = dp(mode);
+            add_forward_rule(&mut dp, 53, 2);
+            let r = dp.process(1, udp_frame(1, 53), 0);
+            assert_eq!(r.outputs.len(), 1, "mode {mode:?}");
+            assert_eq!(r.outputs[0].0, 2);
+            assert!(!r.dropped);
+            let r = dp.process(1, udp_frame(1, 80), 0);
+            assert!(r.dropped, "no rule for port 80 ⇒ drop (mode {mode:?})");
+        }
+    }
+
+    #[test]
+    fn cache_hierarchy_is_used() {
+        let mut dp = dp(PipelineMode::full());
+        add_forward_rule(&mut dp, 53, 2);
+        // First packet: slow path.
+        let r1 = dp.process(1, udp_frame(1, 53), 0);
+        assert!(matches!(r1.trace.unwrap().path, LookupPath::SlowPath { .. }));
+        // Same microflow: microflow hit.
+        let r2 = dp.process(1, udp_frame(1, 53), 1);
+        assert!(matches!(r2.trace.unwrap().path, LookupPath::MicroHit));
+        // Different src, same rule region: megaflow hit (the aggregate
+        // mask includes eth/ip fields, so src variation stays within one
+        // megaflow only if the mask says so — here table 0 masks udp_dst,
+        // eth_type, ip_proto, and IN_PORT, so a new src IP still maps to
+        // the same masked key... but eth_src differs in the key only if
+        // masked. Aggregate mask has no eth_src bits ⇒ megaflow hit.)
+        let r3 = dp.process(1, udp_frame(7, 53), 2);
+        assert!(
+            matches!(r3.trace.unwrap().path, LookupPath::MegaHit { .. }),
+            "got {:?}",
+            r3.trace.unwrap().path
+        );
+        assert_eq!(dp.micro_cache().hits(), 1);
+        assert_eq!(dp.mega_cache().hits(), 1);
+        // Flow counters reflect all three packets.
+        assert_eq!(dp.table(0).unwrap().entries()[0].packets, 3);
+    }
+
+    #[test]
+    fn flow_mod_invalidates_caches() {
+        let mut dp = dp(PipelineMode::full());
+        add_forward_rule(&mut dp, 53, 2);
+        dp.process(1, udp_frame(1, 53), 0);
+        dp.process(1, udp_frame(1, 53), 1);
+        assert_eq!(dp.micro_cache().hits(), 1);
+        // Re-point the rule to port 3; cached path must not survive.
+        dp.apply_flow_mod(
+            &FlowMod::add(0)
+                .priority(10)
+                .match_(Match::new().eth_type(0x0800).ip_proto(17).udp_dst(53))
+                .apply(vec![Action::output(3)]),
+            2,
+        )
+        .unwrap();
+        let r = dp.process(1, udp_frame(1, 53), 3);
+        assert_eq!(r.outputs[0].0, 3, "stale cache would say 2");
+    }
+
+    #[test]
+    fn vlan_translate_pipeline() {
+        // The HARMLESS SS_1 shape: trunk ingress match VLAN → pop → patch.
+        let mut dp = dp(PipelineMode::full());
+        dp.apply_flow_mod(
+            &FlowMod::add(0)
+                .priority(100)
+                .match_(Match::new().in_port(1).vlan(101))
+                .apply(vec![Action::PopVlan, Action::output(2)]),
+            0,
+        )
+        .unwrap();
+        let tagged =
+            netpkt::vlan::push_vlan(&udp_frame(5, 53), netpkt::vlan::VlanTag::new(101)).unwrap();
+        let r = dp.process(1, tagged.clone(), 0);
+        assert_eq!(r.outputs.len(), 1);
+        let out_key = FlowKey::extract(0, &r.outputs[0].1).unwrap();
+        assert_eq!(out_key.vlan_vid, 0, "tag must be popped");
+        // And the cached replay does the same thing.
+        let r2 = dp.process(1, tagged, 1);
+        assert!(matches!(r2.trace.unwrap().path, LookupPath::MicroHit));
+        let out_key2 = FlowKey::extract(0, &r2.outputs[0].1).unwrap();
+        assert_eq!(out_key2.vlan_vid, 0);
+    }
+
+    #[test]
+    fn multi_table_goto_with_metadata() {
+        let mut dp = dp(PipelineMode::full());
+        // Table 0: stamp metadata from VLAN, goto 1.
+        dp.apply_flow_mod(
+            &FlowMod::add(0).priority(10).match_(Match::new().vlan(101)).instructions(vec![
+                Instruction::WriteMetadata { metadata: 101, mask: 0xfff },
+                Instruction::ApplyActions(vec![Action::PopVlan]),
+                Instruction::GotoTable(1),
+            ]),
+            0,
+        )
+        .unwrap();
+        // Table 1: match metadata, forward.
+        dp.apply_flow_mod(
+            &FlowMod::add(1)
+                .priority(10)
+                .match_(Match::new().with(openflow::OxmField::Metadata(101, None)))
+                .apply(vec![Action::output(4)]),
+            0,
+        )
+        .unwrap();
+        let tagged =
+            netpkt::vlan::push_vlan(&udp_frame(5, 53), netpkt::vlan::VlanTag::new(101)).unwrap();
+        let r = dp.process(1, tagged, 0);
+        assert_eq!(r.outputs.len(), 1);
+        assert_eq!(r.outputs[0].0, 4);
+    }
+
+    #[test]
+    fn table_miss_to_controller() {
+        let mut dp = dp(PipelineMode::full());
+        dp.apply_flow_mod(
+            &FlowMod::add(0).priority(0).apply(vec![Action::to_controller()]),
+            0,
+        )
+        .unwrap();
+        let r = dp.process(1, udp_frame(1, 53), 0);
+        assert_eq!(r.packet_ins.len(), 1);
+        assert_eq!(r.packet_ins[0].0, PacketInReason::NoMatch);
+    }
+
+    #[test]
+    fn flood_excludes_ingress() {
+        let mut dp = dp(PipelineMode::full());
+        dp.apply_flow_mod(
+            &FlowMod::add(0).priority(0).apply(vec![Action::output(port_no::FLOOD)]),
+            0,
+        )
+        .unwrap();
+        let r = dp.process(2, udp_frame(1, 53), 0);
+        let mut ports: Vec<u32> = r.outputs.iter().map(|(p, _)| *p).collect();
+        ports.sort_unstable();
+        assert_eq!(ports, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn select_group_balances_and_caches_per_flow() {
+        let mut dp = dp(PipelineMode::full());
+        dp.apply_group_mod(
+            openflow::group::GroupModCommand::Add,
+            openflow::GroupType::Select,
+            1,
+            vec![
+                openflow::Bucket::new(vec![Action::output(2)]),
+                openflow::Bucket::new(vec![Action::output(3)]),
+            ],
+        )
+        .unwrap();
+        dp.apply_flow_mod(
+            &FlowMod::add(0).priority(10).match_(Match::new().eth_type(0x0800)).apply(vec![
+                Action::Group(1),
+            ]),
+            0,
+        )
+        .unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for src in 1..100u32 {
+            let r = dp.process(1, udp_frame(src, 53), u64::from(src));
+            assert_eq!(r.outputs.len(), 1);
+            seen.insert(r.outputs[0].0);
+            // Re-processing the same flow must pick the same port (from
+            // cache, and by hash determinism).
+            let r2 = dp.process(1, udp_frame(src, 53), u64::from(src) + 1000);
+            assert_eq!(r2.outputs[0].0, r.outputs[0].0);
+        }
+        assert_eq!(seen.len(), 2, "both backends must be used");
+    }
+
+    #[test]
+    fn all_group_copies_with_independent_rewrites() {
+        let mut dp = dp(PipelineMode::full());
+        dp.apply_group_mod(
+            openflow::group::GroupModCommand::Add,
+            openflow::GroupType::All,
+            1,
+            vec![
+                openflow::Bucket::new(vec![
+                    Action::SetField(openflow::OxmField::EthDst(MacAddr::host(50), None)),
+                    Action::output(2),
+                ]),
+                openflow::Bucket::new(vec![Action::output(3)]),
+            ],
+        )
+        .unwrap();
+        dp.apply_flow_mod(
+            &FlowMod::add(0).priority(1).apply(vec![Action::Group(1)]),
+            0,
+        )
+        .unwrap();
+        let r = dp.process(1, udp_frame(1, 53), 0);
+        assert_eq!(r.outputs.len(), 2);
+        let k2 = FlowKey::extract(0, &r.outputs[0].1).unwrap();
+        let k3 = FlowKey::extract(0, &r.outputs[1].1).unwrap();
+        assert_eq!(k2.eth_dst, MacAddr::host(50), "bucket 1 rewrote its copy");
+        assert_eq!(k3.eth_dst, MacAddr::host(99), "bucket 2 copy untouched");
+    }
+
+    #[test]
+    fn metered_flows_bypass_caches_and_drop() {
+        let mut dp = dp(PipelineMode::full());
+        dp.apply_meter_mod(
+            openflow::meter::MeterModCommand::Add,
+            1,
+            true,
+            Some(openflow::MeterBand { rate: 1, burst: 1 }),
+            0,
+        )
+        .unwrap();
+        dp.apply_flow_mod(
+            &FlowMod::add(0)
+                .priority(10)
+                .match_(Match::new().eth_type(0x0800))
+                .instructions(vec![
+                    Instruction::Meter(1),
+                    Instruction::ApplyActions(vec![Action::output(2)]),
+                ]),
+            0,
+        )
+        .unwrap();
+        // 1 pps with burst 1: first passes, immediate repeats drop.
+        let r1 = dp.process(1, udp_frame(1, 53), 0);
+        assert!(!r1.dropped);
+        let r2 = dp.process(1, udp_frame(1, 53), 1000);
+        assert!(r2.dropped, "second packet within the same second must drop");
+        assert!(dp.micro_cache().is_empty(), "metered paths must not be cached");
+    }
+
+    #[test]
+    fn action_set_group_overrides_output() {
+        let mut dp = dp(PipelineMode::full());
+        dp.apply_group_mod(
+            openflow::group::GroupModCommand::Add,
+            openflow::GroupType::Indirect,
+            7,
+            vec![openflow::Bucket::new(vec![Action::output(3)])],
+        )
+        .unwrap();
+        dp.apply_flow_mod(
+            &FlowMod::add(0).priority(1).instructions(vec![Instruction::WriteActions(vec![
+                Action::output(2),
+                Action::Group(7),
+            ])]),
+            0,
+        )
+        .unwrap();
+        let r = dp.process(1, udp_frame(1, 53), 0);
+        assert_eq!(r.outputs.len(), 1);
+        assert_eq!(r.outputs[0].0, 3, "group in action set wins over output");
+    }
+
+    #[test]
+    fn expiry_generates_removals_and_bumps_epoch() {
+        let mut dp = dp(PipelineMode::full());
+        dp.apply_flow_mod(
+            &FlowMod::add(0)
+                .priority(10)
+                .match_(Match::new().eth_type(0x0800))
+                .apply(vec![Action::output(2)])
+                .timeouts(0, 1),
+            0,
+        )
+        .unwrap();
+        let e0 = dp.epoch();
+        let removed = dp.expire_flows(2_000_000_000);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].2, RemovedReason::HardTimeout);
+        assert!(dp.epoch() > e0);
+    }
+
+    #[test]
+    fn bad_table_rejected() {
+        let mut dp = dp(PipelineMode::full());
+        let err = dp
+            .apply_flow_mod(&FlowMod::add(9).priority(1).apply(vec![Action::output(1)]), 0)
+            .unwrap_err();
+        assert_eq!(err, Error::BadTable(9));
+    }
+
+    #[test]
+    fn port_stats_account_rx_and_tx() {
+        let mut dp = dp(PipelineMode::full());
+        add_forward_rule(&mut dp, 53, 2);
+        dp.process(1, udp_frame(1, 53), 0);
+        dp.process(1, udp_frame(1, 53), 1);
+        let stats = dp.port_stats();
+        let p1 = stats.iter().find(|s| s.port_no == 1).unwrap();
+        let p2 = stats.iter().find(|s| s.port_no == 2).unwrap();
+        assert_eq!(p1.rx_packets, 2);
+        assert_eq!(p2.tx_packets, 2);
+        assert!(p2.tx_bytes > 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # softswitch — the software OpenFlow dataplane
+//!
+//! This crate is the workspace's stand-in for ESwitch/OVS on a DPDK
+//! server: a natively-executing OpenFlow 1.3 dataplane whose per-packet
+//! costs are real Rust work (parsing, hashing, header rewriting) that
+//! Criterion can measure, plus an explicit cost model that feeds the
+//! discrete-event simulator.
+//!
+//! Layering, bottom up:
+//!
+//! * [`actions`] — concrete packet transformations (VLAN push/pop/rewrite,
+//!   set-field with checksum maintenance) and the flattened
+//!   [`actions::CAction`] lists that caches replay;
+//! * [`trace`] — the [`trace::ProcessingTrace`] every lookup produces and
+//!   the [`trace::CostModel`] that converts it to nanoseconds;
+//! * [`tss`] — tuple-space-search table indexes (the "ESwitch-style"
+//!   specialised fast path: one hash probe per distinct mask);
+//! * [`cache`] — exact-match microflow cache and masked megaflow cache
+//!   with OVS-style unwildcarding;
+//! * [`datapath`] — the multi-table pipeline: flow/group/meter tables,
+//!   reserved-port semantics, packet-in generation, [`PipelineMode`]
+//!   selection;
+//! * [`agent`] — the switch side of the OpenFlow channel (handshake,
+//!   flow-mods, packet-out, stats);
+//! * [`node`] — the [`netsim::Node`] wrapper: a CPU service queue in front
+//!   of the datapath, driven by the cost model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actions;
+pub mod agent;
+pub mod cache;
+pub mod datapath;
+pub mod node;
+pub mod trace;
+pub mod tss;
+
+pub use datapath::{Datapath, DpConfig, DpResult, PipelineMode};
+pub use node::SoftSwitchNode;
+pub use trace::{CostModel, ProcessingTrace};

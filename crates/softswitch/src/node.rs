@@ -1,0 +1,437 @@
+//! The simulator node wrapping a [`Datapath`]: a multi-core CPU service
+//! queue in front of the pipeline, an [`OfAgent`] on the control plane,
+//! and periodic flow expiry.
+//!
+//! Sim port numbering is 1:1 with OpenFlow port numbers (`PortId(n)` ↔
+//! OF port `n`), which keeps the wiring in experiment topologies legible.
+
+use bytes::Bytes;
+use std::any::Any;
+
+use netsim::service::{ServiceQueue, Submit};
+use netsim::{Node, NodeCtx, NodeId, PortId, SimTime};
+use openflow::table::flow_flags;
+
+use crate::agent::OfAgent;
+use crate::datapath::{Datapath, DpConfig, DpResult};
+use crate::trace::CostModel;
+
+/// Timer token for periodic flow expiry.
+const TOKEN_EXPIRE: u64 = 1;
+/// Timer tokens `TOKEN_SVC + slot` mark service completions.
+const TOKEN_SVC: u64 = 1000;
+
+/// Magic prefix of local administration messages (the analogue of the
+/// switch's local management socket, à la `ovs-vsctl`).
+pub const ADMIN_MAGIC: &[u8; 8] = b"HXADMIN\0";
+/// Admin command: set the controller to the node id that follows (u64
+/// big-endian) and initiate the OpenFlow connection.
+pub const ADMIN_SET_CONTROLLER: u8 = 1;
+
+/// Build a set-controller admin message.
+pub fn admin_set_controller(controller: NodeId) -> Bytes {
+    let mut b = Vec::with_capacity(17);
+    b.extend_from_slice(ADMIN_MAGIC);
+    b.push(ADMIN_SET_CONTROLLER);
+    b.extend_from_slice(&(controller.0 as u64).to_be_bytes());
+    Bytes::from(b)
+}
+
+/// How often the switch sweeps for expired flows.
+const EXPIRE_PERIOD: SimTime = SimTime::from_millis(500);
+
+struct Work {
+    in_port: u32,
+    frame: Bytes,
+}
+
+struct Finished {
+    result: DpResult,
+}
+
+/// A software switch attached to the simulator.
+pub struct SoftSwitchNode {
+    name: String,
+    dp: Datapath,
+    agent: OfAgent,
+    cost: CostModel,
+    controller: Option<NodeId>,
+    sq: ServiceQueue<Work>,
+    in_service: Vec<Option<Finished>>,
+    rx_dropped: u64,
+}
+
+impl SoftSwitchNode {
+    /// Create a switch node.
+    ///
+    /// * `cores` — parallel packet-processing workers;
+    /// * `rx_queue` — frames that may wait for a worker before tail drop
+    ///   (the vhost/NIC RX ring).
+    pub fn new(
+        name: impl Into<String>,
+        config: DpConfig,
+        cores: usize,
+        rx_queue: usize,
+        cost: CostModel,
+    ) -> SoftSwitchNode {
+        let name = name.into();
+        SoftSwitchNode {
+            agent: OfAgent::new(name.clone()),
+            name,
+            dp: Datapath::new(config),
+            cost,
+            controller: None,
+            sq: ServiceQueue::new(cores, rx_queue),
+            in_service: (0..cores).map(|_| None).collect(),
+            rx_dropped: 0,
+        }
+    }
+
+    /// Attach the controller this switch should speak OpenFlow to.
+    pub fn connect_controller(&mut self, controller: NodeId) {
+        self.controller = Some(controller);
+    }
+
+    /// Register an OpenFlow/sim port.
+    pub fn add_port(&mut self, no: u32, name: impl Into<String>, speed_kbps: u32) {
+        self.dp.add_port(no, name, speed_kbps);
+    }
+
+    /// Direct dataplane access (used by tests and by the HARMLESS manager
+    /// for translator-rule installation without a full controller).
+    pub fn datapath_mut(&mut self) -> &mut Datapath {
+        &mut self.dp
+    }
+
+    /// Read-only dataplane access.
+    pub fn datapath(&self) -> &Datapath {
+        &self.dp
+    }
+
+    /// Frames tail-dropped at the RX queue (CPU overload).
+    pub fn rx_dropped(&self) -> u64 {
+        self.rx_dropped
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn start_service(&mut self, slot: usize, ctx: &mut NodeCtx) {
+        // Process immediately to learn the cost, hold the results until
+        // the service time elapses.
+        let (in_port, frame) = {
+            let w = self.sq.peek(slot);
+            (w.in_port, w.frame.clone())
+        };
+        let result = self.dp.process(in_port, frame, ctx.now().as_nanos());
+        let svc_ns = result
+            .trace
+            .as_ref()
+            .map(|t| self.cost.cost_ns(t))
+            .unwrap_or(100);
+        self.in_service[slot] = Some(Finished { result });
+        ctx.schedule(SimTime::from_nanos(svc_ns), TOKEN_SVC + slot as u64);
+    }
+
+    fn emit_result(&mut self, result: DpResult, ctx: &mut NodeCtx) {
+        for (port, frame) in result.outputs {
+            ctx.transmit(PortId(port as u16), frame);
+        }
+        if let Some(controller) = self.controller {
+            for (reason, in_port, data) in result.packet_ins {
+                let msg = self.agent.packet_in(reason, in_port, &data);
+                ctx.ctrl_send(controller, msg);
+            }
+        }
+    }
+}
+
+impl Node for SoftSwitchNode {
+    fn on_start(&mut self, ctx: &mut NodeCtx) {
+        ctx.schedule(EXPIRE_PERIOD, TOKEN_EXPIRE);
+        if let Some(c) = self.controller {
+            let hello = self.agent.hello();
+            ctx.ctrl_send(c, hello);
+        }
+    }
+
+    fn on_packet(&mut self, port: PortId, frame: Bytes, ctx: &mut NodeCtx) {
+        match self.sq.submit(Work { in_port: u32::from(port.0), frame }) {
+            Submit::Start(slot) => self.start_service(slot, ctx),
+            Submit::Queued => {}
+            Submit::Dropped => self.rx_dropped += 1,
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx) {
+        if token == TOKEN_EXPIRE {
+            let removed = self.dp.expire_flows(ctx.now().as_nanos());
+            if let Some(c) = self.controller {
+                for (table_id, entry, reason) in removed {
+                    if entry.flags & flow_flags::SEND_FLOW_REM != 0 {
+                        let msg =
+                            self.agent.flow_removed(table_id, &entry, reason, ctx.now().as_nanos());
+                        ctx.ctrl_send(c, msg);
+                    }
+                }
+            }
+            ctx.schedule(EXPIRE_PERIOD, TOKEN_EXPIRE);
+            return;
+        }
+        if token >= TOKEN_SVC {
+            let slot = (token - TOKEN_SVC) as usize;
+            let _ = self.sq.complete(slot);
+            if let Some(fin) = self.in_service[slot].take() {
+                self.emit_result(fin.result, ctx);
+            }
+            if self.sq.start_queued(slot) {
+                self.start_service(slot, ctx);
+            }
+        }
+    }
+
+    fn on_ctrl(&mut self, from: NodeId, data: Bytes, ctx: &mut NodeCtx) {
+        // Local administration (set-controller) arrives on the same
+        // management plane with a magic prefix.
+        if data.len() >= 17 && &data[..8] == ADMIN_MAGIC {
+            if data[8] == ADMIN_SET_CONTROLLER {
+                let id = u64::from_be_bytes(data[9..17].try_into().expect("length checked"));
+                let controller = NodeId(id as usize);
+                self.controller = Some(controller);
+                let hello = self.agent.hello();
+                ctx.ctrl_send(controller, hello);
+            }
+            return;
+        }
+        // Only the attached controller (or a manager acting as one) is
+        // honoured; OpenFlow has no in-band peer auth in this model.
+        let out = self.agent.handle(&mut self.dp, &data, ctx.now().as_nanos());
+        for reply in out.replies {
+            ctx.ctrl_send(from, reply);
+        }
+        for (port, frame) in out.transmits {
+            ctx.transmit(PortId(port as u16), frame);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::PipelineMode;
+    use netpkt::MacAddr;
+    use netsim::traffic::{FlowSpec, Generator, Pattern, Sink};
+    use netsim::{LinkSpec, Network};
+    use openflow::message::FlowMod;
+    use openflow::{Action, Match};
+    use std::net::Ipv4Addr;
+
+    fn switch() -> SoftSwitchNode {
+        let mut s = SoftSwitchNode::new(
+            "ss",
+            DpConfig::software(1).with_mode(PipelineMode::full()),
+            1,
+            4096,
+            CostModel::default(),
+        );
+        s.add_port(1, "p1", 1_000_000);
+        s.add_port(2, "p2", 1_000_000);
+        s
+    }
+
+    #[test]
+    fn forwards_traffic_between_ports() {
+        let mut net = Network::new(1);
+        let mut sw = switch();
+        sw.datapath_mut()
+            .apply_flow_mod(
+                &FlowMod::add(0)
+                    .priority(1)
+                    .match_(Match::new().in_port(1))
+                    .apply(vec![Action::output(2)]),
+                0,
+            )
+            .unwrap();
+        let s = net.add_node(sw);
+        let g = net.add_node(Generator::new(
+            "gen",
+            PortId(0),
+            Pattern::Cbr { pps: 100_000.0 },
+            vec![FlowSpec::simple(1, 2, 128)],
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        ));
+        let sink = net.add_node(Sink::new("sink"));
+        net.connect(g, PortId(0), s, PortId(1), LinkSpec::gigabit());
+        net.connect(s, PortId(2), sink, PortId(0), LinkSpec::gigabit());
+        net.run_until(SimTime::from_millis(50));
+        let rx = net.node_ref::<Sink>(sink).received();
+        assert_eq!(rx, 1000, "100 kpps × 10 ms, no loss expected");
+        // Latency includes the switch's processing time.
+        let lat = net.node_ref::<Sink>(sink).latency();
+        assert!(lat.p50() > 2_000, "p50 {}ns must exceed raw wire latency", lat.p50());
+    }
+
+    #[test]
+    fn cpu_saturation_drops_at_rx_queue() {
+        let mut net = Network::new(1);
+        let mut sw = SoftSwitchNode::new(
+            "slow",
+            DpConfig::software(1).with_mode(PipelineMode::linear()),
+            1,
+            16, // tiny RX ring
+            CostModel::scaled(50.0), // ~deliberately slow CPU
+        );
+        sw.add_port(1, "p1", 1_000_000);
+        sw.add_port(2, "p2", 1_000_000);
+        sw.datapath_mut()
+            .apply_flow_mod(
+                &FlowMod::add(0).priority(1).apply(vec![Action::output(2)]),
+                0,
+            )
+            .unwrap();
+        let s = net.add_node(sw);
+        let g = net.add_node(Generator::new(
+            "gen",
+            PortId(0),
+            Pattern::Cbr { pps: 500_000.0 },
+            vec![FlowSpec::simple(1, 2, 60)],
+            SimTime::ZERO,
+            SimTime::from_millis(20),
+        ));
+        let sink = net.add_node(Sink::new("sink"));
+        net.connect(g, PortId(0), s, PortId(1), LinkSpec::gigabit());
+        net.connect(s, PortId(2), sink, PortId(0), LinkSpec::gigabit());
+        net.run_until(SimTime::from_millis(100));
+        let sw = net.node_ref::<SoftSwitchNode>(s);
+        assert!(sw.rx_dropped() > 0, "an overloaded core must shed load");
+        let rx = net.node_ref::<Sink>(sink).received();
+        assert!(rx > 0 && rx < 10_000, "some but not all forwarded: {rx}");
+    }
+
+    /// A scripted controller: sends a canned list of messages on start,
+    /// records everything it receives.
+    struct MiniController {
+        to_send: Vec<Bytes>,
+        target: Option<NodeId>,
+        received: Vec<openflow::Message>,
+    }
+
+    impl Node for MiniController {
+        fn on_packet(&mut self, _p: PortId, _f: Bytes, _ctx: &mut NodeCtx) {}
+        fn on_ctrl(&mut self, from: NodeId, data: Bytes, ctx: &mut NodeCtx) {
+            let mut buf = bytes::BytesMut::from(&data[..]);
+            for (_, m) in openflow::message::decode_stream(&mut buf).unwrap() {
+                self.received.push(m);
+            }
+            if self.target.is_none() {
+                self.target = Some(from);
+                for m in std::mem::take(&mut self.to_send) {
+                    ctx.ctrl_send(from, m);
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn of_channel_end_to_end() {
+        let mut net = Network::new(1);
+        let fm = FlowMod::add(0)
+            .priority(1)
+            .match_(Match::new().in_port(1))
+            .apply(vec![Action::output(2)]);
+        let ctrl = net.add_node(MiniController {
+            to_send: vec![
+                openflow::Message::Hello.encode(1),
+                openflow::Message::FeaturesRequest.encode(2),
+                openflow::Message::FlowMod(fm).encode(3),
+                openflow::Message::BarrierRequest.encode(4),
+            ],
+            target: None,
+            received: Vec::new(),
+        });
+        let mut sw = switch();
+        sw.connect_controller(ctrl);
+        let s = net.add_node(sw);
+        let h = net.add_node(netsim::host::Host::new(
+            "h",
+            MacAddr::host(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+        ));
+        let sink = net.add_node(Sink::new("sink"));
+        net.connect(h, PortId(0), s, PortId(1), LinkSpec::gigabit());
+        net.connect(s, PortId(2), sink, PortId(0), LinkSpec::gigabit());
+        net.run_until(SimTime::from_millis(10));
+        // Controller saw features + barrier.
+        let ctrl_node = net.node_ref::<MiniController>(ctrl);
+        assert!(ctrl_node
+            .received
+            .iter()
+            .any(|m| matches!(m, openflow::Message::FeaturesReply { .. })));
+        assert!(ctrl_node.received.iter().any(|m| matches!(m, openflow::Message::BarrierReply)));
+        // The installed rule forwards.
+        net.with_node_ctx::<netsim::host::Host, _>(h, |host, ctx| {
+            host.send_udp(Ipv4Addr::new(10, 0, 0, 2), 53, b"q");
+            host.flush(ctx);
+        });
+        net.run_until(SimTime::from_millis(20));
+        // The ARP for 10.0.0.2 gets forwarded to the sink (port 2).
+        assert!(net.node_ref::<Sink>(sink).received() > 0);
+    }
+
+    #[test]
+    fn packet_in_reaches_controller() {
+        let mut net = Network::new(1);
+        let ctrl = net.add_node(MiniController {
+            to_send: vec![openflow::Message::Hello.encode(1)],
+            target: None,
+            received: Vec::new(),
+        });
+        let mut sw = switch();
+        sw.connect_controller(ctrl);
+        sw.datapath_mut()
+            .apply_flow_mod(
+                &FlowMod::add(0).priority(0).apply(vec![Action::to_controller()]),
+                0,
+            )
+            .unwrap();
+        let s = net.add_node(sw);
+        let g = net.add_node(Generator::new(
+            "gen",
+            PortId(0),
+            Pattern::Cbr { pps: 1000.0 },
+            vec![FlowSpec::simple(1, 2, 60)],
+            SimTime::ZERO,
+            SimTime::from_millis(2),
+        ));
+        net.connect(g, PortId(0), s, PortId(1), LinkSpec::gigabit());
+        net.run_until(SimTime::from_millis(10));
+        let ctrl_node = net.node_ref::<MiniController>(ctrl);
+        let pis = ctrl_node
+            .received
+            .iter()
+            .filter(|m| matches!(m, openflow::Message::PacketIn { .. }))
+            .count();
+        assert_eq!(pis, 2);
+    }
+}

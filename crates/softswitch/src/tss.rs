@@ -1,0 +1,217 @@
+//! Tuple-space-search index over a flow table.
+//!
+//! Entries are grouped by their (identical) mask; lookup probes one hash
+//! map per distinct mask and keeps the best-priority hit. For the common
+//! controller workloads — a handful of rule shapes, thousands of rules —
+//! this turns an O(n) scan into a few O(1) probes. A table whose entries
+//! all share one mask degenerates to a single probe, which is the
+//! dataplane-specialisation trick ESwitch builds its templates from.
+
+use std::collections::HashMap;
+
+use netpkt::flowkey::FieldMask;
+use netpkt::FlowKey;
+use openflow::FlowTable;
+
+/// One mask group: a hash of masked keys to `(priority, entry index)`.
+#[derive(Debug)]
+struct MaskGroup {
+    mask: FieldMask,
+    /// Highest priority inside this group (for early exit ordering).
+    max_priority: u16,
+    entries: HashMap<FlowKey, (u16, usize)>,
+}
+
+/// A TSS index built against a specific [`FlowTable`] version.
+#[derive(Debug)]
+pub struct TssIndex {
+    version: u64,
+    groups: Vec<MaskGroup>,
+}
+
+impl TssIndex {
+    /// Build the index for the current contents of `table`.
+    pub fn build(table: &FlowTable) -> TssIndex {
+        let mut groups: Vec<MaskGroup> = Vec::new();
+        for (idx, e) in table.entries().iter().enumerate() {
+            let g = match groups.iter_mut().find(|g| g.mask == e.mask) {
+                Some(g) => g,
+                None => {
+                    groups.push(MaskGroup {
+                        mask: e.mask,
+                        max_priority: 0,
+                        entries: HashMap::new(),
+                    });
+                    groups.last_mut().unwrap()
+                }
+            };
+            g.max_priority = g.max_priority.max(e.priority);
+            // Keep the better (priority, earlier index) on duplicate keys;
+            // entries() is already priority-then-FIFO ordered, so first
+            // insert wins.
+            g.entries.entry(e.key).or_insert((e.priority, idx));
+        }
+        // Probe high-priority groups first so we can stop early.
+        groups.sort_by(|a, b| b.max_priority.cmp(&a.max_priority));
+        TssIndex { version: table.version(), groups }
+    }
+
+    /// True if the index still reflects `table`.
+    pub fn fresh(&self, table: &FlowTable) -> bool {
+        self.version == table.version()
+    }
+
+    /// Number of distinct masks (= probes in the worst case).
+    pub fn mask_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Look up `key`; returns `(entry index, probes made)`.
+    pub fn lookup(&self, key: &FlowKey) -> (Option<usize>, u32) {
+        let mut best: Option<(u16, usize)> = None;
+        let mut probes = 0u32;
+        for g in &self.groups {
+            // If the best hit so far beats everything this group can
+            // offer, stop probing.
+            if let Some((bp, _)) = best {
+                if bp >= g.max_priority {
+                    break;
+                }
+            }
+            probes += 1;
+            let masked = key.masked(&g.mask);
+            if let Some(&(prio, idx)) = g.entries.get(&masked) {
+                match best {
+                    // Tie on priority: prefer the earlier-installed entry
+                    // (smaller index), matching FIFO semantics.
+                    Some((bp, bi)) if bp > prio || (bp == prio && bi < idx) => {}
+                    _ => best = Some((prio, idx)),
+                }
+            }
+        }
+        (best.map(|(_, idx)| idx), probes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpkt::{builder, MacAddr};
+    use openflow::table::{FlowEntry, TableId};
+    use openflow::{Action, Instruction, Match};
+    use std::net::Ipv4Addr;
+
+    fn udp_key(src: u32, dst_port: u16) -> FlowKey {
+        let f = builder::udp_packet(
+            MacAddr::host(1),
+            MacAddr::host(2),
+            Ipv4Addr::from(0x0a000000 + src),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            dst_port,
+            b"x",
+        );
+        FlowKey::extract(1, &f).unwrap()
+    }
+
+    fn entry(priority: u16, m: Match, out: u32) -> FlowEntry {
+        FlowEntry::new(priority, m, Instruction::apply(vec![Action::output(out)]), 0)
+    }
+
+    #[test]
+    fn index_agrees_with_linear_lookup() {
+        let mut t = FlowTable::new(TableId(0));
+        // Three rule shapes: per-dst-port ACLs, per-src exact, catch-all.
+        for p in [53u16, 80, 443, 8080] {
+            t.add(entry(100, Match::new().eth_type(0x0800).ip_proto(17).udp_dst(p), u32::from(p)))
+                .unwrap();
+        }
+        for s in 1..20u32 {
+            t.add(entry(
+                50,
+                Match::new().eth_type(0x0800).ipv4_src(Ipv4Addr::from(0x0a000000 + s)),
+                1000 + s,
+            ))
+            .unwrap();
+        }
+        t.add(entry(1, Match::any(), 9999)).unwrap();
+
+        let idx = TssIndex::build(&t);
+        assert_eq!(idx.mask_count(), 3);
+        assert!(idx.fresh(&t));
+
+        for key in [udp_key(1, 53), udp_key(5, 80), udp_key(7, 1234), udp_key(99, 7)] {
+            let (tss_hit, probes) = idx.lookup(&key);
+            let lin_hit = t.lookup(&key);
+            assert_eq!(
+                tss_hit.map(|i| t.entry(i).priority),
+                lin_hit.map(|i| t.entry(i).priority),
+                "priority mismatch for {key:?}"
+            );
+            // Higher-priority rule must win: port rules (prio 100) over
+            // src rules (prio 50).
+            assert!(probes >= 1);
+            if let (Some(a), Some(b)) = (tss_hit, lin_hit) {
+                assert_eq!(a, b, "index must return the same entry");
+            }
+        }
+    }
+
+    #[test]
+    fn priority_early_exit() {
+        let mut t = FlowTable::new(TableId(0));
+        t.add(entry(100, Match::new().eth_type(0x0800).ip_proto(17).udp_dst(53), 1)).unwrap();
+        t.add(entry(1, Match::any(), 2)).unwrap();
+        let idx = TssIndex::build(&t);
+        // A dns packet hits the priority-100 group first and stops.
+        let (hit, probes) = idx.lookup(&udp_key(1, 53));
+        assert_eq!(t.entry(hit.unwrap()).priority, 100);
+        assert_eq!(probes, 1, "must not probe the catch-all group");
+    }
+
+    #[test]
+    fn staleness_detection() {
+        let mut t = FlowTable::new(TableId(0));
+        t.add(entry(1, Match::any(), 1)).unwrap();
+        let idx = TssIndex::build(&t);
+        assert!(idx.fresh(&t));
+        t.add(entry(2, Match::new().eth_type(0x0806), 2)).unwrap();
+        assert!(!idx.fresh(&t));
+    }
+
+    #[test]
+    fn single_template_table_is_one_probe() {
+        let mut t = FlowTable::new(TableId(0));
+        for vid in 1..100u16 {
+            t.add(entry(10, Match::new().vlan(vid), u32::from(vid))).unwrap();
+        }
+        let idx = TssIndex::build(&t);
+        assert_eq!(idx.mask_count(), 1, "homogeneous table = ESwitch template");
+        let tagged = netpkt::vlan::push_vlan(
+            &builder::udp_packet(
+                MacAddr::host(1),
+                MacAddr::host(2),
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                1,
+                2,
+                b"x",
+            ),
+            netpkt::vlan::VlanTag::new(42),
+        )
+        .unwrap();
+        let key = FlowKey::extract(1, &tagged).unwrap();
+        let (hit, probes) = idx.lookup(&key);
+        assert_eq!(probes, 1);
+        assert!(t.entry(hit.unwrap()).matches(&key));
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        let mut t = FlowTable::new(TableId(0));
+        t.add(entry(10, Match::new().eth_type(0x0806), 1)).unwrap();
+        let idx = TssIndex::build(&t);
+        let (hit, _) = idx.lookup(&udp_key(1, 53));
+        assert!(hit.is_none());
+    }
+}

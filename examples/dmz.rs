@@ -1,0 +1,94 @@
+//! Use case (b) from the demo: VM-level access policies in a multi-tenant
+//! segment — the `DMZ` row of Fig. 1 — enforced by SS_2's policy table on
+//! a migrated legacy switch.
+//!
+//! Eight "VMs" share the switch. The default is deny; the operator
+//! permits two pairs, probes the matrix, then fine-tunes the policy at
+//! runtime (permits a new pair, revokes an old one) and probes again.
+//!
+//! Run with: `cargo run --release -p harmless --example dmz`
+
+use controller::apps::{dmz::render_policy, Dmz, LearningSwitch};
+use controller::ControllerNode;
+use harmless::instance::HarmlessSpec;
+use netsim::host::Host;
+use netsim::{Network, NodeId, SimTime};
+use std::net::Ipv4Addr;
+
+fn ip(i: u16) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, i as u8)
+}
+
+fn probe_pair(net: &mut Network, from: NodeId, to: u16) -> bool {
+    let before = net.node_ref::<Host>(from).echo_replies_received();
+    net.with_node_ctx::<Host, _>(from, |h, ctx| {
+        h.ping(b"dmz probe", ip(to));
+        h.flush(ctx);
+    });
+    net.run_for(SimTime::from_millis(300));
+    net.node_ref::<Host>(from).echo_replies_received() > before
+}
+
+fn main() {
+    let mut net = Network::new(8);
+    let pairs = vec![(ip(1), ip(2)), (ip(3), ip(4))];
+    let ctrl = net.add_node(ControllerNode::new(
+        "controller",
+        vec![
+            Box::new(Dmz::new(&pairs)),
+            Box::new(LearningSwitch::new().in_table(1)),
+        ],
+    ));
+    let hx = HarmlessSpec::new(8).build(&mut net);
+    hx.configure_legacy_directly(&mut net);
+    hx.install_translator_rules(&mut net);
+    hx.connect_controller(&mut net, ctrl);
+    let hosts: Vec<_> = (1..=8).map(|i| hx.attach_host(&mut net, i)).collect();
+    net.run_until(SimTime::from_millis(100));
+
+    println!("policy table (SS_2, table 0):");
+    {
+        let c = net.node_ref::<ControllerNode>(ctrl);
+        // Rendering needs the app; peek through the controller.
+        let _ = c;
+    }
+    let mut rendered: Vec<String> = Vec::new();
+    net.with_node_ctx::<ControllerNode, _>(ctrl, |c, _| {
+        if let Some(dmz) = c.app_mut::<Dmz>() {
+            rendered = render_policy(dmz);
+        }
+    });
+    for row in &rendered {
+        println!("  {row}");
+    }
+
+    println!("\nprobing (VM1->VM2, VM1->VM3, VM3->VM4, VM5->VM6):");
+    let probes = [(0usize, 2u16), (0, 3), (2, 4), (4, 6)];
+    for &(from, to) in &probes {
+        let ok = probe_pair(&mut net, hosts[from], to);
+        println!("  VM{} -> VM{}: {}", from + 1, to, if ok { "ALLOWED" } else { "denied" });
+    }
+
+    println!("\nfine-tuning at runtime: permit VM5<->VM6, revoke VM1<->VM2");
+    net.with_node_ctx::<ControllerNode, _>(ctrl, |c, ctx| {
+        c.for_each_switch(ctx, |apps, handle| {
+            let dmz = apps
+                .iter_mut()
+                .find_map(|a| a.as_any_mut().downcast_mut::<Dmz>())
+                .expect("dmz app");
+            dmz.permit(handle, ip(5), ip(6));
+            dmz.revoke(handle, ip(1), ip(2));
+        });
+    });
+    net.run_for(SimTime::from_millis(50));
+
+    println!("re-probing:");
+    let vm5_vm6 = probe_pair(&mut net, hosts[4], 6);
+    let vm1_vm2 = probe_pair(&mut net, hosts[0], 2);
+    println!("  VM5 -> VM6: {}", if vm5_vm6 { "ALLOWED" } else { "denied" });
+    println!("  VM1 -> VM2: {}", if vm1_vm2 { "ALLOWED" } else { "denied" });
+
+    assert!(vm5_vm6, "newly permitted pair must connect");
+    assert!(!vm1_vm2, "revoked pair must be cut off");
+    println!("\nVM-level policy enforced and fine-tuned live, in-network — no firewall appliance.");
+}

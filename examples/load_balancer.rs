@@ -1,0 +1,93 @@
+//! Use case (a) from the demo: a server Load Balancer realized *in the
+//! network* on a migrated legacy switch — no standalone appliance.
+//!
+//! Four web backends sit on access ports 2–5; four clients (ports 1 and
+//! 6–8) address a virtual IP. The LB app answers ARP for the VIP and
+//! splits clients by source address; the connection counters show the
+//! spread. Real TCP handshakes run end to end (SYN → SYN/ACK through
+//! address rewriting in SS_2).
+//!
+//! Run with: `cargo run --release -p harmless --example load_balancer`
+
+use controller::apps::lb::Backend;
+use controller::apps::{LearningSwitch, LoadBalancer};
+use controller::ControllerNode;
+use harmless::instance::HarmlessSpec;
+use netsim::host::Host;
+use netsim::{Network, SimTime};
+use std::net::Ipv4Addr;
+
+fn main() {
+    let mut net = Network::new(3);
+    let vip: Ipv4Addr = "10.0.0.100".parse().unwrap();
+
+    let backends: Vec<Backend> = (2..=5u16)
+        .map(|p| Backend {
+            port: u32::from(p),
+            mac: netpkt::MacAddr::host(u32::from(p)),
+            ip: Ipv4Addr::new(10, 0, 0, p as u8),
+        })
+        .collect();
+
+    let ctrl = net.add_node(ControllerNode::new(
+        "controller",
+        vec![
+            Box::new(LoadBalancer::new(vip, 80, backends)),
+            Box::new(LearningSwitch::new().in_table(1)),
+        ],
+    ));
+
+    // 8 access ports: clients on 1, 6, 7, 8; backends on 2..=5.
+    let hx = HarmlessSpec::new(8).build(&mut net);
+    hx.configure_legacy_directly(&mut net);
+    hx.install_translator_rules(&mut net);
+    hx.connect_controller(&mut net, ctrl);
+
+    let client_ports = [1u16, 6, 7, 8];
+    let clients: Vec<_> = client_ports.iter().map(|&p| hx.attach_host(&mut net, p)).collect();
+    let backend_hosts: Vec<_> = (2..=5).map(|p| hx.attach_host(&mut net, p)).collect();
+
+    net.run_until(SimTime::from_millis(100));
+
+    // Each client opens 3 TCP connections to the VIP.
+    for round in 0..3 {
+        for &c in &clients {
+            net.with_node_ctx::<Host, _>(c, |h, ctx| {
+                h.connect_tcp(vip, 80);
+                h.flush(ctx);
+            });
+        }
+        net.run_for(SimTime::from_millis(50));
+        let _ = round;
+    }
+    net.run_until(SimTime::from_secs(1));
+
+    let mut handshakes = 0;
+    for (&p, &c) in client_ports.iter().zip(&clients) {
+        let acks = net.node_ref::<Host>(c).syn_acks_received();
+        handshakes += acks;
+        println!("client 10.0.0.{p}: {acks} completed handshake(s)");
+    }
+    println!();
+    for (i, &b) in backend_hosts.iter().enumerate() {
+        println!(
+            "backend {} (10.0.0.{}): {} connection(s)",
+            i + 1,
+            i + 2,
+            net.node_ref::<Host>(b).syns_received()
+        );
+    }
+    let total: u64 =
+        backend_hosts.iter().map(|&b| net.node_ref::<Host>(b).syns_received()).sum();
+    let used = backend_hosts
+        .iter()
+        .filter(|&&b| net.node_ref::<Host>(b).syns_received() > 0)
+        .count();
+    assert_eq!(total, 12, "every connection must land on some backend");
+    assert!(used >= 3, "source-IP buckets must spread clients over backends");
+    assert!(handshakes >= 9, "handshakes complete through the VIP rewrite");
+    println!(
+        "\nIngress web traffic from 4 client IPs balanced across {used} backends by\n\
+         source-IP matching, with VIP proxy-ARP and bidirectional rewriting in SS_2."
+    );
+}

@@ -1,0 +1,1 @@
+//! Integration-test-only package: all content lives in `tests/`.

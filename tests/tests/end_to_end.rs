@@ -1,0 +1,203 @@
+//! Cross-crate integration tests: the full HARMLESS stack assembled from
+//! public APIs, exercised end to end.
+
+use controller::apps::{LearningSwitch, StaticForwarder};
+use controller::ControllerNode;
+use harmless::instance::{HarmlessSpec, Variant};
+use harmless::manager::{HarmlessManager, ManagerConfig, ManagerPhase};
+use legacy_switch::LegacySwitchNode;
+use netsim::host::Host;
+use netsim::traffic::{FlowSpec, Generator, Pattern, Sink};
+use netsim::{LinkSpec, Network, PortId, SimTime};
+use softswitch::SoftSwitchNode;
+
+/// The paper's demo, end to end: full automated migration, then all
+/// use-case-style traffic through the migrated switch.
+#[test]
+fn migrate_then_forward() {
+    let mut net = Network::new(1001);
+    let ctrl =
+        net.add_node(ControllerNode::new("ctrl", vec![Box::new(LearningSwitch::new())]));
+    let hx = HarmlessSpec::new(8).build(&mut net);
+    let mgr = net.add_node(HarmlessManager::new(ManagerConfig::for_instance(&hx, ctrl)));
+    let hosts: Vec<_> = (1..=8).map(|i| hx.attach_host(&mut net, i)).collect();
+
+    net.run_until(SimTime::from_secs(2));
+    assert_eq!(
+        *net.node_ref::<HarmlessManager>(mgr).phase(),
+        ManagerPhase::Done,
+        "migration must complete"
+    );
+
+    // All-pairs ping (sequentially, like an operator's smoke test).
+    for i in 0..8usize {
+        let to = std::net::Ipv4Addr::new(10, 0, 0, ((i + 1) % 8 + 1) as u8);
+        net.with_node_ctx::<Host, _>(hosts[i], move |h, ctx| {
+            h.ping(b"smoke", to);
+            h.flush(ctx);
+        });
+        net.run_for(SimTime::from_millis(200));
+    }
+    for (i, &h) in hosts.iter().enumerate() {
+        assert_eq!(
+            net.node_ref::<Host>(h).echo_replies_received(),
+            1,
+            "host {} must reach its neighbour",
+            i + 1
+        );
+    }
+}
+
+/// The controller sees SS_2 as an ordinary N-port switch: port numbers in
+/// packet-ins match legacy access ports, and no VLAN tags ever leak into
+/// controller-visible frames.
+#[test]
+fn transparency_port_numbering_and_no_tag_leak() {
+    let mut net = Network::new(1002);
+    let ctrl =
+        net.add_node(ControllerNode::new("ctrl", vec![Box::new(LearningSwitch::new())]));
+    let hx = HarmlessSpec::new(4).build(&mut net);
+    hx.configure_legacy_directly(&mut net);
+    hx.install_translator_rules(&mut net);
+    hx.connect_controller(&mut net, ctrl);
+    let h3 = hx.attach_host(&mut net, 3);
+    let _h4 = hx.attach_host(&mut net, 4);
+    net.run_until(SimTime::from_millis(100));
+
+    net.with_node_ctx::<Host, _>(h3, |h, ctx| {
+        h.ping(b"transparent?", "10.0.0.4".parse().unwrap());
+        h.flush(ctx);
+    });
+    net.run_until(SimTime::from_millis(400));
+
+    // The learning app must have learned h3's MAC on *port 3* — the same
+    // number as the legacy access port.
+    let mut learned = None;
+    net.with_node_ctx::<ControllerNode, _>(ctrl, |c, _| {
+        if let Some(app) = c.app_mut::<LearningSwitch>() {
+            learned = app.lookup(0x52, netpkt::MacAddr::host(3));
+        }
+    });
+    assert_eq!(learned, Some(3), "controller-visible port = legacy access port");
+    assert_eq!(net.node_ref::<Host>(h3).echo_replies_received(), 1);
+}
+
+/// Migration against an uncooperative device rolls back and leaves the
+/// dataplane functioning as a plain legacy switch.
+#[test]
+fn failed_migration_leaves_legacy_network_working() {
+    let mut net = Network::new(1003);
+    let ctrl = net.add_node(ControllerNode::new("ctrl", vec![]));
+    let hx = HarmlessSpec::new(4).build(&mut net);
+    let mut cfg = ManagerConfig::for_instance(&hx, ctrl);
+    cfg.fail_verify_at = Some(2);
+    let mgr = net.add_node(HarmlessManager::new(cfg));
+    let a = hx.attach_host(&mut net, 1);
+    let b = hx.attach_host(&mut net, 2);
+    net.run_until(SimTime::from_secs(2));
+    assert!(matches!(
+        net.node_ref::<HarmlessManager>(mgr).phase(),
+        ManagerPhase::RolledBack(_)
+    ));
+    // Factory default = one flat VLAN: hosts still reach each other
+    // through the (un-migrated) legacy switch.
+    net.with_node_ctx::<Host, _>(a, |h, ctx| {
+        h.ping(b"still works", "10.0.0.2".parse().unwrap());
+        h.flush(ctx);
+    });
+    net.run_until(SimTime::from_secs(3));
+    assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 1);
+    let _ = b;
+}
+
+/// Sustained line-rate traffic through the whole stack loses nothing and
+/// keeps latency bounded (the E1/E2 claims as a regression test).
+#[test]
+fn line_rate_no_loss_regression() {
+    let mut net = Network::new(1004);
+    let ctrl = net.add_node(ControllerNode::new(
+        "ctrl",
+        vec![Box::new(StaticForwarder::bidirectional(&[(1, 2)]))],
+    ));
+    let hx = HarmlessSpec::new(2).build(&mut net);
+    hx.configure_legacy_directly(&mut net);
+    hx.install_translator_rules(&mut net);
+    hx.connect_controller(&mut net, ctrl);
+    // 80% of gigabit line rate, 512-byte frames, 100 ms.
+    let pps = netsim::measure::line_rate_pps(1_000_000_000, 512) * 0.8;
+    let g = net.add_node(Generator::new(
+        "gen",
+        PortId(0),
+        Pattern::Cbr { pps },
+        vec![FlowSpec::simple(1, 2, 512)],
+        SimTime::from_millis(100),
+        SimTime::from_millis(200),
+    ));
+    let s = net.add_node(Sink::new("sink"));
+    hx.attach_node(&mut net, 1, g);
+    hx.attach_node(&mut net, 2, s);
+    net.run_until(SimTime::from_millis(500));
+    let sent = net.node_ref::<Generator>(g).sent();
+    let sink = net.node_ref::<Sink>(s);
+    assert_eq!(sink.received(), sent, "no loss at 80% line rate");
+    assert!(sink.latency().p99() < 100_000, "p99 {}ns under 100µs", sink.latency().p99());
+}
+
+/// The merged-variant ablation forwards the same traffic with one fewer
+/// software hop (E7's functional core).
+#[test]
+fn merged_variant_equivalence() {
+    for variant in [Variant::TwoSwitch, Variant::Merged] {
+        let mut net = Network::new(1005);
+        let hx = HarmlessSpec::new(2).with_variant(variant).build(&mut net);
+        hx.configure_legacy_directly(&mut net);
+        hx.install_translator_rules(&mut net);
+        match variant {
+            Variant::TwoSwitch => {
+                let dp = net.node_mut::<SoftSwitchNode>(hx.ss2).datapath_mut();
+                for (a, b) in [(1u32, 2u32), (2, 1)] {
+                    dp.apply_flow_mod(
+                        &openflow::message::FlowMod::add(0)
+                            .priority(10)
+                            .match_(openflow::Match::new().in_port(a))
+                            .apply(vec![openflow::Action::output(b)]),
+                        0,
+                    )
+                    .unwrap();
+                }
+            }
+            Variant::Merged => {
+                let r12 = hx.merged_wiring_rule(1, 2);
+                let r21 = hx.merged_wiring_rule(2, 1);
+                let dp = net.node_mut::<SoftSwitchNode>(hx.ss2).datapath_mut();
+                dp.apply_flow_mod(&r12, 0).unwrap();
+                dp.apply_flow_mod(&r21, 0).unwrap();
+            }
+        }
+        let a = hx.attach_host(&mut net, 1);
+        let b = hx.attach_host(&mut net, 2);
+        net.node_mut::<Host>(a).ping(b"variant", "10.0.0.2".parse().unwrap());
+        net.run_until(SimTime::from_millis(300));
+        assert_eq!(
+            net.node_ref::<Host>(a).echo_replies_received(),
+            1,
+            "variant {variant:?} must forward"
+        );
+        let _ = b;
+    }
+}
+
+/// The legacy switch keeps plain L2 semantics for unmanaged traffic: a
+/// host on a port outside the HARMLESS port map still works via VLAN 1.
+#[test]
+fn legacy_switch_is_still_a_switch() {
+    let mut net = Network::new(1006);
+    let sw = net.add_node(LegacySwitchNode::new("sw", 8));
+    let a = net.add_node(Host::new("a", netpkt::MacAddr::host(1), "10.1.0.1".parse().unwrap()));
+    let b = net.add_node(Host::new("b", netpkt::MacAddr::host(2), "10.1.0.2".parse().unwrap()));
+    net.connect(a, PortId(0), sw, PortId(7), LinkSpec::gigabit());
+    net.connect(b, PortId(0), sw, PortId(8), LinkSpec::gigabit());
+    net.node_mut::<Host>(a).ping(b"plain l2", "10.1.0.2".parse().unwrap());
+    net.run_until(SimTime::from_millis(100));
+    assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 1);
+}

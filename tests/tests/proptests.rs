@@ -1,0 +1,331 @@
+//! Property-based tests over the workspace's codecs and core invariants.
+//!
+//! Three families:
+//! * round-trip properties (encode ∘ decode = id) for OpenFlow, SNMP/BER
+//!   and packet formats;
+//! * fuzz-decode safety (arbitrary bytes never panic, only error);
+//! * semantic invariants (cache result = slow-path result, translator
+//!   bijectivity, flow-table priority order).
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use netpkt::vlan::{pop_vlan, push_vlan, VlanTag};
+use netpkt::{builder, FlowKey, MacAddr};
+use openflow::message::{FlowMod, Message};
+use openflow::{Action, Match, OxmField};
+use softswitch::datapath::{Datapath, DpConfig, PipelineMode};
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_ipv4() -> impl Strategy<Value = std::net::Ipv4Addr> {
+    any::<u32>().prop_map(std::net::Ipv4Addr::from)
+}
+
+fn arb_oxm_field() -> impl Strategy<Value = OxmField> {
+    prop_oneof![
+        (1u32..48).prop_map(OxmField::InPort),
+        (any::<u64>(), any::<Option<u64>>()).prop_map(|(v, m)| OxmField::Metadata(v, m)),
+        (arb_mac(), proptest::option::of(arb_mac())).prop_map(|(v, m)| OxmField::EthDst(v, m)),
+        (arb_mac(), proptest::option::of(arb_mac())).prop_map(|(v, m)| OxmField::EthSrc(v, m)),
+        any::<u16>().prop_map(OxmField::EthType),
+        (0u16..4096).prop_map(|v| OxmField::VlanVid(0x1000 | v, None)),
+        (0u8..8).prop_map(OxmField::VlanPcp),
+        any::<u8>().prop_map(OxmField::IpProto),
+        (arb_ipv4(), proptest::option::of(arb_ipv4())).prop_map(|(v, m)| OxmField::Ipv4Src(v, m)),
+        (arb_ipv4(), proptest::option::of(arb_ipv4())).prop_map(|(v, m)| OxmField::Ipv4Dst(v, m)),
+        any::<u16>().prop_map(OxmField::TcpSrc),
+        any::<u16>().prop_map(OxmField::TcpDst),
+        any::<u16>().prop_map(OxmField::UdpSrc),
+        any::<u16>().prop_map(OxmField::UdpDst),
+        any::<u8>().prop_map(OxmField::Icmpv4Type),
+        (any::<u16>()).prop_map(OxmField::ArpOp),
+        (arb_ipv4(), proptest::option::of(arb_ipv4())).prop_map(|(v, m)| OxmField::ArpSpa(v, m)),
+        (any::<u128>(), proptest::option::of(any::<u128>()))
+            .prop_map(|(v, m)| OxmField::Ipv6Src(v, m)),
+    ]
+}
+
+fn arb_match() -> impl Strategy<Value = Match> {
+    proptest::collection::vec(arb_oxm_field(), 0..6)
+        .prop_map(|fields| fields.into_iter().fold(Match::new(), |m, f| m.with(f)))
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u32..48).prop_map(Action::output),
+        Just(Action::to_controller()),
+        any::<u32>().prop_map(Action::Group),
+        any::<u32>().prop_map(Action::SetQueue),
+        Just(Action::PushVlan(0x8100)),
+        Just(Action::PushVlan(0x88a8)),
+        Just(Action::PopVlan),
+        (0u16..4095).prop_map(Action::set_vlan_vid),
+        arb_mac().prop_map(|m| Action::SetField(OxmField::EthDst(m, None))),
+        arb_ipv4().prop_map(|a| Action::SetField(OxmField::Ipv4Dst(a, None))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn of_match_round_trips(m in arb_match()) {
+        let mut buf = bytes::BytesMut::new();
+        m.encode(&mut buf);
+        prop_assert_eq!(buf.len(), m.encoded_len());
+        let mut s = &buf[..];
+        let got = Match::decode(&mut s).unwrap();
+        prop_assert!(s.is_empty());
+        prop_assert_eq!(got, m);
+    }
+
+    #[test]
+    fn of_flow_mod_round_trips(
+        m in arb_match(),
+        actions in proptest::collection::vec(arb_action(), 0..5),
+        priority in any::<u16>(),
+        cookie in any::<u64>(),
+        idle in any::<u16>(),
+        hard in any::<u16>(),
+        xid in any::<u32>(),
+    ) {
+        let fm = FlowMod::add(0)
+            .priority(priority)
+            .match_(m)
+            .apply(actions)
+            .timeouts(idle, hard)
+            .cookie(cookie);
+        let wire = Message::FlowMod(fm.clone()).encode(xid);
+        let (got_xid, got, used) = Message::decode(&wire).unwrap();
+        prop_assert_eq!(got_xid, xid);
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(got, Message::FlowMod(fm));
+    }
+
+    #[test]
+    fn of_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&data); // must not panic
+    }
+
+    #[test]
+    fn snmp_message_round_trips(
+        community in "[a-z]{1,12}",
+        request_id in any::<i64>(),
+        // X.690 §8.19: arc1 ∈ {0,1,2}; arc2 < 40 unless arc1 == 2. Keep
+        // the generator inside the standard — OIDs like 0.40 are
+        // inherently ambiguous on the wire.
+        arc1 in 0u32..3,
+        arc2 in 0u32..40,
+        rest in proptest::collection::vec(0u32..100_000, 0..10),
+        int_val in any::<i64>(),
+        bytes_val in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        use mgmt::pdu::{Pdu, PduType, SnmpMessage, Value};
+        let mut arcs = vec![arc1, arc2];
+        arcs.extend(rest);
+        let oid = mgmt::Oid(arcs);
+        let msg = SnmpMessage::new(
+            community,
+            Pdu::request(
+                PduType::Set,
+                request_id,
+                vec![
+                    (oid.clone(), Value::Integer(int_val)),
+                    (oid.child(1), Value::OctetString(bytes_val)),
+                    (oid.child(2), Value::Counter64(int_val as u64)),
+                ],
+            ),
+        );
+        let wire = msg.encode();
+        prop_assert_eq!(SnmpMessage::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn snmp_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = mgmt::SnmpMessage::decode(&data); // must not panic
+    }
+
+    #[test]
+    fn flowkey_extract_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = FlowKey::extract_lossy(1, &data); // must not panic
+    }
+
+    #[test]
+    fn vlan_push_pop_identity(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        vid in 1u16..4095,
+        payload_len in 0usize..512,
+    ) {
+        let frame = builder::udp_packet(
+            MacAddr::host(src),
+            MacAddr::host(dst),
+            std::net::Ipv4Addr::from(src),
+            std::net::Ipv4Addr::from(dst),
+            1,
+            2,
+            &vec![0u8; payload_len],
+        );
+        let tagged = push_vlan(&frame, VlanTag::new(vid)).unwrap();
+        let key = FlowKey::extract(1, &tagged).unwrap();
+        prop_assert_eq!(key.vlan_vid, 0x1000 | vid);
+        let popped = pop_vlan(&tagged).unwrap();
+        prop_assert_eq!(&popped[..], &frame[..]);
+    }
+
+    #[test]
+    fn masking_is_idempotent_and_monotone(
+        src in any::<u32>(),
+        dport in any::<u16>(),
+    ) {
+        let frame = builder::udp_packet(
+            MacAddr::host(src),
+            MacAddr::host(2),
+            std::net::Ipv4Addr::from(src),
+            std::net::Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            dport,
+            b"x",
+        );
+        let key = FlowKey::extract(1, &frame).unwrap();
+        let mut mask = FlowKey::empty_mask();
+        mask.ipv4_src = 0xffff_0000;
+        mask.udp_dst = u16::MAX;
+        let m1 = key.masked(&mask);
+        prop_assert_eq!(m1.masked(&mask), m1, "masking twice = masking once");
+        // Union with another mask only preserves or adds bits.
+        let mut mask2 = FlowKey::empty_mask();
+        mask2.eth_type = u16::MAX;
+        let u = mask.mask_union(&mask2);
+        prop_assert_eq!(key.masked(&u).masked(&mask), m1);
+    }
+
+    /// The cache hierarchy must be semantically invisible: for any mix of
+    /// rules and packets, `full` mode forwards exactly like `linear` mode.
+    #[test]
+    fn caches_preserve_forwarding_semantics(
+        rules in proptest::collection::vec((0u16..32, 1u32..4), 1..20),
+        packets in proptest::collection::vec((any::<u32>(), 0u16..32), 1..60),
+    ) {
+        let build = |mode: PipelineMode| {
+            let mut dp = Datapath::new(DpConfig::software(1).with_mode(mode));
+            for p in 1..=4 {
+                dp.add_port(p, format!("p{p}"), 1_000_000);
+            }
+            for (i, &(dport, out)) in rules.iter().enumerate() {
+                dp.apply_flow_mod(
+                    &FlowMod::add(0)
+                        .priority(10 + (i % 3) as u16)
+                        .match_(Match::new().eth_type(0x0800).ip_proto(17).udp_dst(dport))
+                        .apply(vec![Action::output(out)]),
+                    0,
+                ).unwrap();
+            }
+            dp
+        };
+        let mut slow = build(PipelineMode::linear());
+        let mut fast = build(PipelineMode::full());
+        for (i, &(src, dport)) in packets.iter().enumerate() {
+            let frame: Bytes = builder::udp_packet(
+                MacAddr::host(src),
+                MacAddr::host(2),
+                std::net::Ipv4Addr::from(src),
+                std::net::Ipv4Addr::new(10, 0, 0, 2),
+                1000,
+                dport,
+                b"x",
+            );
+            let a = slow.process(1, frame.clone(), i as u64);
+            let b = fast.process(1, frame, i as u64);
+            prop_assert_eq!(a.dropped, b.dropped, "packet {}", i);
+            prop_assert_eq!(a.outputs, b.outputs, "packet {}", i);
+        }
+    }
+
+    /// Translator invariant: any packet entering tagged with a mapped
+    /// VLAN exits untagged on the right patch port, and vice versa.
+    #[test]
+    fn translator_is_a_bijection(
+        port in 1u16..48,
+        src in any::<u32>(),
+    ) {
+        let map = harmless::PortMap::with_defaults(48).unwrap();
+        let mut dp = Datapath::new(DpConfig::software(0x51));
+        dp.add_port(1, "trunk", 10_000_000);
+        for p in 1..=48u16 {
+            dp.add_port(harmless::translator::patch_port(p), format!("patch{p}"), 10_000_000);
+        }
+        for fm in harmless::translator::translator_rules(&map, 1) {
+            dp.apply_flow_mod(&fm, 0).unwrap();
+        }
+        let vlan = map.vlan_of(port).unwrap();
+        let frame = builder::udp_packet(
+            MacAddr::host(src),
+            MacAddr::host(2),
+            std::net::Ipv4Addr::from(src),
+            std::net::Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            b"x",
+        );
+        // Down: trunk → patch(port), untagged.
+        let tagged = push_vlan(&frame, VlanTag::new(vlan)).unwrap();
+        let down = dp.process(1, tagged, 0);
+        prop_assert_eq!(down.outputs.len(), 1);
+        prop_assert_eq!(down.outputs[0].0, harmless::translator::patch_port(port));
+        prop_assert_eq!(&down.outputs[0].1[..], &frame[..]);
+        // Up: patch(port) → trunk, tagged with the same VLAN.
+        let up = dp.process(harmless::translator::patch_port(port), frame, 1);
+        prop_assert_eq!(up.outputs.len(), 1);
+        prop_assert_eq!(up.outputs[0].0, 1);
+        let key = FlowKey::extract(1, &up.outputs[0].1).unwrap();
+        prop_assert_eq!(key.vlan_vid, 0x1000 | vlan);
+    }
+
+    /// Bridge invariant: frames never exit their ingress port and never
+    /// leave their VLAN.
+    #[test]
+    fn bridge_isolation_invariant(
+        in_port in 1u16..9,
+        src in any::<u32>(),
+        dst in any::<u32>(),
+    ) {
+        let mut bridge = legacy_switch::Bridge::new(9);
+        for p in 1..=4u16 {
+            bridge.make_access_port(p, 100 + p).unwrap();
+        }
+        bridge.make_trunk_port(9, &[101, 102, 103, 104]).unwrap();
+        let frame = builder::udp_packet(
+            MacAddr::host(src),
+            MacAddr::host(dst),
+            std::net::Ipv4Addr::from(src),
+            std::net::Ipv4Addr::from(dst),
+            1,
+            2,
+            b"x",
+        );
+        let out = bridge.forward(in_port, &frame, 0);
+        for (p, f) in &out.outputs {
+            prop_assert_ne!(*p, in_port, "no hairpin to ingress");
+            if out.vlan >= 101 && out.vlan <= 104 {
+                // Members of per-port VLANs: only the access port + trunk.
+                let access = (out.vlan - 100) as u16;
+                prop_assert!(*p == access || *p == 9, "port {} outside VLAN {}", p, out.vlan);
+            }
+            // Egress tagging discipline: per-port VLANs leave the trunk
+            // tagged and access ports untagged. (The factory VLAN 1 is
+            // untagged everywhere, including the trunk, so it is exempt.)
+            let tag = netpkt::vlan::outer_tag(f);
+            if (101..=104).contains(&out.vlan) {
+                if *p == 9 {
+                    prop_assert!(tag.is_some());
+                } else {
+                    prop_assert!(tag.is_none());
+                }
+            }
+        }
+    }
+}
