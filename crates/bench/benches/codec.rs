@@ -88,7 +88,9 @@ fn bench_snmp(c: &mut Criterion) {
     let mut g = c.benchmark_group("snmp_codec");
     g.throughput(Throughput::Elements(1));
     let msg = sample_snmp_set();
-    g.bench_function("set_encode", |b| b.iter(|| std::hint::black_box(msg.encode())));
+    g.bench_function("set_encode", |b| {
+        b.iter(|| std::hint::black_box(msg.encode()))
+    });
     let wire = msg.encode();
     g.bench_function("set_decode", |b| {
         b.iter(|| std::hint::black_box(SnmpMessage::decode(&wire).unwrap()))

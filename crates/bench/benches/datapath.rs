@@ -38,7 +38,12 @@ fn acl_dp(mode: PipelineMode, n_rules: u32) -> Datapath {
         dp.apply_flow_mod(
             &FlowMod::add(0)
                 .priority(10)
-                .match_(Match::new().eth_type(0x0800).ip_proto(17).udp_dst((i % 30000) as u16))
+                .match_(
+                    Match::new()
+                        .eth_type(0x0800)
+                        .ip_proto(17)
+                        .udp_dst((i % 30000) as u16),
+                )
                 .apply(vec![Action::output(2)]),
             0,
         )
@@ -109,7 +114,11 @@ fn bench_translator_paths(c: &mut Criterion) {
     let mut dp = Datapath::new(DpConfig::software(0x51));
     dp.add_port(1, "trunk", 10_000_000);
     for p in 1..=48u16 {
-        dp.add_port(harmless::translator::patch_port(p), format!("patch{p}"), 10_000_000);
+        dp.add_port(
+            harmless::translator::patch_port(p),
+            format!("patch{p}"),
+            10_000_000,
+        );
     }
     for fm in harmless::translator::translator_rules(&map, 1) {
         dp.apply_flow_mod(&fm, 0).unwrap();

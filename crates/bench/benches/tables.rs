@@ -29,7 +29,10 @@ fn table_with(n: u32) -> FlowTable {
     for i in 0..n {
         t.add(FlowEntry::new(
             10,
-            Match::new().eth_type(0x0800).ip_proto(17).udp_dst((i % 30000) as u16),
+            Match::new()
+                .eth_type(0x0800)
+                .ip_proto(17)
+                .udp_dst((i % 30000) as u16),
             Instruction::apply(vec![Action::output(2)]),
             0,
         ))

@@ -7,7 +7,9 @@
 //!
 //! `cargo run --release -p bench --bin exp_ablation`
 
-use bench::{fmt_mpps, fmt_us, forwarding_trial, max_lossless_pps, render_table, System, TrialSpec};
+use bench::{
+    fmt_mpps, fmt_us, forwarding_trial, max_lossless_pps, render_table, System, TrialSpec,
+};
 use harmless::instance::Variant;
 use netsim::{LinkSpec, SimTime};
 use softswitch::datapath::PipelineMode;
@@ -16,8 +18,14 @@ fn main() {
     println!("E7: two-switch (paper) vs merged single-datapath, seed 42");
 
     let variants = [
-        ("two-switch", System::HarmlessWith(Variant::TwoSwitch, PipelineMode::full())),
-        ("merged", System::HarmlessWith(Variant::Merged, PipelineMode::full())),
+        (
+            "two-switch",
+            System::HarmlessWith(Variant::TwoSwitch, PipelineMode::full()),
+        ),
+        (
+            "merged",
+            System::HarmlessWith(Variant::Merged, PipelineMode::full()),
+        ),
     ];
 
     let mut rows = Vec::new();

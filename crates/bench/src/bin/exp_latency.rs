@@ -12,7 +12,12 @@ use netsim::measure::line_rate_pps;
 use netsim::{LinkSpec, SimTime};
 
 fn main() {
-    let systems = [System::Legacy, System::Harmless, System::Software, System::Cots];
+    let systems = [
+        System::Legacy,
+        System::Harmless,
+        System::Software,
+        System::Cots,
+    ];
     println!("E2: one-way latency (µs), gigabit access, seed 42");
     for &frame_len in &[60usize, 1514] {
         let line = line_rate_pps(1_000_000_000, frame_len);

@@ -25,8 +25,10 @@ struct Run {
 
 fn migrate(n_ports: u16, sys_descr: Option<&str>, fail_at: Option<usize>) -> Run {
     let mut net = Network::new(99);
-    let ctrl =
-        net.add_node(ControllerNode::new("ctrl", vec![Box::new(LearningSwitch::new())]));
+    let ctrl = net.add_node(ControllerNode::new(
+        "ctrl",
+        vec![Box::new(LearningSwitch::new())],
+    ));
     let mut spec = HarmlessSpec::new(n_ports);
     spec.legacy_sys_descr = sys_descr.map(str::to_string);
     let hx = spec.build(&mut net);
@@ -61,9 +63,10 @@ fn main() {
     println!("    (control-plane RTT 2 x 50 µs per operation)");
     let mut rows = Vec::new();
     for &n in &[8u16, 24, 48, 96, 192] {
-        for (dialect, descr) in
-            [("qbridge", None), ("legacy-cli", Some("AcmeOS LegacyOS vintage"))]
-        {
+        for (dialect, descr) in [
+            ("qbridge", None),
+            ("legacy-cli", Some("AcmeOS LegacyOS vintage")),
+        ] {
             let r = migrate(n, descr, None);
             rows.push(vec![
                 n.to_string(),
@@ -81,7 +84,16 @@ fn main() {
         "{}",
         render_table(
             "Migration sweep",
-            &["ports", "dialect", "outcome", "total", "snmp-ops", "flow-mods", "configure", "install"],
+            &[
+                "ports",
+                "dialect",
+                "outcome",
+                "total",
+                "snmp-ops",
+                "flow-mods",
+                "configure",
+                "install"
+            ],
             &rows,
         )
     );

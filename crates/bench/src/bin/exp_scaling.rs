@@ -56,7 +56,9 @@ impl Node for RuleLoader {
     fn on_packet(&mut self, _p: PortId, _f: Bytes, _c: &mut NodeCtx) {}
     fn on_ctrl(&mut self, from: NodeId, data: Bytes, ctx: &mut NodeCtx) {
         let mut buf = bytes::BytesMut::from(&data[..]);
-        let Ok(msgs) = openflow::message::decode_stream(&mut buf) else { return };
+        let Ok(msgs) = openflow::message::decode_stream(&mut buf) else {
+            return;
+        };
         for (_, m) in msgs {
             match m {
                 Message::Hello if !self.started => {
@@ -85,19 +87,19 @@ impl Node for RuleLoader {
 
 fn install_latency(n_rules: u32, cots: bool) -> (Option<SimTime>, u64) {
     let mut net = Network::new(3);
-    let loader = net.add_node(RuleLoader { n_rules, done_at: None, errors: 0, started: false });
+    let loader = net.add_node(RuleLoader {
+        n_rules,
+        done_at: None,
+        errors: 0,
+        started: false,
+    });
     if cots {
         let mut sw = CotsSwitchNode::new("cots", 4, CotsConfig::default());
         sw.connect_controller(loader);
         net.add_node(sw);
     } else {
-        let mut sw = SoftSwitchNode::new(
-            "ss",
-            DpConfig::software(1),
-            1,
-            4096,
-            CostModel::default(),
-        );
+        let mut sw =
+            SoftSwitchNode::new("ss", DpConfig::software(1), 1, 4096, CostModel::default());
         sw.add_port(1, "p1", 1_000_000);
         sw.add_port(2, "p2", 1_000_000);
         sw.connect_controller(loader);
@@ -136,16 +138,14 @@ fn throughput_with_rules(n_rules: u32, mode: PipelineMode) -> f64 {
             f
         })
         .collect();
-    let g = net.add_node(
-        Generator::new(
-            "gen",
-            PortId(0),
-            Pattern::Cbr { pps: 2_000_000.0 },
-            flows,
-            SimTime::from_millis(5),
-            SimTime::from_millis(55),
-        ),
-    );
+    let g = net.add_node(Generator::new(
+        "gen",
+        PortId(0),
+        Pattern::Cbr { pps: 2_000_000.0 },
+        flows,
+        SimTime::from_millis(5),
+        SimTime::from_millis(55),
+    ));
     let s = net.add_node(Sink::new("sink"));
     net.connect(g, PortId(0), sw, PortId(1), LinkSpec::ten_gigabit());
     net.connect(sw, PortId(2), s, PortId(0), LinkSpec::ten_gigabit());

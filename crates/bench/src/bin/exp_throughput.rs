@@ -16,14 +16,22 @@ use netsim::measure::line_rate_pps;
 use netsim::LinkSpec;
 
 fn main() {
-    let systems = [System::Legacy, System::Harmless, System::Software, System::Cots];
+    let systems = [
+        System::Legacy,
+        System::Harmless,
+        System::Software,
+        System::Cots,
+    ];
     let frame_sizes = [60usize, 128, 512, 1024, 1514];
 
     println!("E1: maximum lossless throughput (Mpps), RFC2544 binary search, seed 42");
 
     for (setting, link) in [
         ("1G access (paper's deployment)", LinkSpec::gigabit()),
-        ("10G access (stress: exposes the CPU ceiling)", LinkSpec::ten_gigabit()),
+        (
+            "10G access (stress: exposes the CPU ceiling)",
+            LinkSpec::ten_gigabit(),
+        ),
     ] {
         let mut rows = Vec::new();
         for &len in &frame_sizes {
@@ -39,7 +47,14 @@ fn main() {
             "{}",
             render_table(
                 setting,
-                &["frame", "line-rate", "legacy", "harmless", "software", "cots-sdn"],
+                &[
+                    "frame",
+                    "line-rate",
+                    "legacy",
+                    "harmless",
+                    "software",
+                    "cots-sdn"
+                ],
                 &rows,
             )
         );

@@ -52,7 +52,11 @@ fn run(pairs: u16, n_trunks: u16, frame_len: usize) -> (f64, f64) {
             format!("gen{p}"),
             PortId(0),
             Pattern::Cbr { pps: line_pps },
-            vec![FlowSpec::simple(u32::from(p), u32::from(p + pairs), frame_len)],
+            vec![FlowSpec::simple(
+                u32::from(p),
+                u32::from(p + pairs),
+                frame_len,
+            )],
             SimTime::from_millis(20),
             SimTime::from_millis(20) + window,
         ));
@@ -62,13 +66,14 @@ fn run(pairs: u16, n_trunks: u16, frame_len: usize) -> (f64, f64) {
         sinks.push(s);
     }
     net.run_until(SimTime::from_millis(400));
-    let delivered_bytes: u64 = sinks.iter().map(|&s| net.node_ref::<Sink>(s).rx_bytes()).collect::<Vec<_>>().iter().sum();
+    let delivered_bytes: u64 = sinks
+        .iter()
+        .map(|&s| net.node_ref::<Sink>(s).rx_bytes())
+        .sum();
     let goodput_mbps = delivered_bytes as f64 * 8.0 / window.as_secs_f64() / 1e6;
     // Offered trunk load: every frame crosses once per direction, tagged.
-    let offered_trunk_mbps = f64::from(pairs)
-        * line_pps
-        * ((frame_len + 4 + 24) as f64 * 8.0)
-        / 1e6;
+    let offered_trunk_mbps =
+        f64::from(pairs) * line_pps * ((frame_len + 4 + 24) as f64 * 8.0) / 1e6;
     (goodput_mbps, offered_trunk_mbps)
 }
 
@@ -94,7 +99,14 @@ fn main() {
         "{}",
         render_table(
             "aggregate goodput vs trunk budget (Mbit/s)",
-            &["trunks", "pairs", "offered", "trunk-load/dir", "trunk-cap", "goodput"],
+            &[
+                "trunks",
+                "pairs",
+                "offered",
+                "trunk-load/dir",
+                "trunk-cap",
+                "goodput"
+            ],
             &rows,
         )
     );

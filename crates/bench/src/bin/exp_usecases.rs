@@ -11,8 +11,8 @@
 //!
 //! `cargo run --release -p bench --bin exp_usecases [lb|dmz|pc]`
 
-use controller::apps::{Dmz, LearningSwitch, LoadBalancer, ParentalControl};
 use controller::apps::lb::Backend;
+use controller::apps::{Dmz, LearningSwitch, LoadBalancer, ParentalControl};
 use controller::ControllerNode;
 use harmless::instance::HarmlessSpec;
 use netsim::host::Host;
@@ -78,18 +78,31 @@ fn lb() {
         .collect();
     net.run_until(SimTime::from_secs(1));
 
-    let counts: Vec<u64> = sinks.iter().map(|&s| net.node_ref::<Sink>(s).received()).collect();
+    let counts: Vec<u64> = sinks
+        .iter()
+        .map(|&s| net.node_ref::<Sink>(s).received())
+        .collect();
     let total: u64 = counts.iter().sum();
-    let shares: Vec<f64> = counts.iter().map(|&c| c as f64 / total.max(1) as f64).collect();
+    let shares: Vec<f64> = counts
+        .iter()
+        .map(|&c| c as f64 / total.max(1) as f64)
+        .collect();
     let rows: Vec<Vec<String>> = counts
         .iter()
         .zip(&shares)
         .enumerate()
         .map(|(i, (c, s))| {
-            vec![format!("backend{}", i + 1), c.to_string(), format!("{:.1}%", s * 100.0)]
+            vec![
+                format!("backend{}", i + 1),
+                c.to_string(),
+                format!("{:.1}%", s * 100.0),
+            ]
         })
         .collect();
-    println!("{}", render_table("per-backend share", &["backend", "frames", "share"], &rows));
+    println!(
+        "{}",
+        render_table("per-backend share", &["backend", "frames", "share"], &rows)
+    );
     println!(
         "delivered {total} frames; Jain fairness index = {:.4} (1.0 = perfect)",
         jain_index(&shares)
@@ -139,7 +152,11 @@ fn dmz() {
     }
     println!(
         "{}",
-        render_table("echo replies received per VM (out of 7 probes each)", &["vm", "replies"], &rows)
+        render_table(
+            "echo replies received per VM (out of 7 probes each)",
+            &["vm", "replies"],
+            &rows
+        )
     );
     println!(
         "reachable directed pairs: {reachable} of 56 probed; policy allows exactly 4\n\
@@ -209,8 +226,16 @@ fn pc() {
     let phase3_site_a = probe(&mut net, kid, 3);
 
     let rows = vec![
-        vec!["before block".into(), phase1_site_a.to_string(), phase1_site_b.to_string()],
-        vec!["blocked".into(), phase2_site_a.to_string(), phase2_site_b.to_string()],
+        vec![
+            "before block".into(),
+            phase1_site_a.to_string(),
+            phase1_site_b.to_string(),
+        ],
+        vec![
+            "blocked".into(),
+            phase2_site_a.to_string(),
+            phase2_site_b.to_string(),
+        ],
         vec!["unblocked".into(), phase3_site_a.to_string(), "-".into()],
     ];
     println!(

@@ -119,7 +119,10 @@ pub struct ForwardingResult {
 impl ForwardingResult {
     /// As an RFC 2544 trial outcome.
     pub fn trial(&self) -> TrialResult {
-        TrialResult { sent: self.sent, received: self.received }
+        TrialResult {
+            sent: self.sent,
+            received: self.received,
+        }
     }
 }
 
@@ -345,16 +348,31 @@ mod tests {
         ] {
             let r = forwarding_trial(
                 system,
-                TrialSpec { pps: 5_000.0, duration: SimTime::from_millis(50), ..TrialSpec::default() },
+                TrialSpec {
+                    pps: 5_000.0,
+                    duration: SimTime::from_millis(50),
+                    ..TrialSpec::default()
+                },
             );
-            assert_eq!(r.received, r.sent, "{}: {} of {}", system.label(), r.received, r.sent);
+            assert_eq!(
+                r.received,
+                r.sent,
+                "{}: {} of {}",
+                system.label(),
+                r.received,
+                r.sent
+            );
             assert!(r.p50_ns > 0);
         }
     }
 
     #[test]
     fn harmless_latency_exceeds_legacy_but_same_order() {
-        let spec = TrialSpec { pps: 1_000.0, duration: SimTime::from_millis(50), ..TrialSpec::default() };
+        let spec = TrialSpec {
+            pps: 1_000.0,
+            duration: SimTime::from_millis(50),
+            ..TrialSpec::default()
+        };
         let legacy = forwarding_trial(System::Legacy, spec);
         let harmless = forwarding_trial(System::Harmless, spec);
         assert!(harmless.p50_ns > legacy.p50_ns);

@@ -32,7 +32,10 @@ impl Dmz {
             allowed.insert((a, b));
             allowed.insert((b, a));
         }
-        Dmz { allowed, installed: false }
+        Dmz {
+            allowed,
+            installed: false,
+        }
     }
 
     /// The number of directed permitted pairs.
@@ -80,7 +83,12 @@ impl App for Dmz {
             sw.flow_mod(Self::pair_rule(a, b));
         }
         // ARP is a prerequisite for any IP exchange; police at L3 only.
-        sw.flow_mod(FlowMod::add(0).priority(50).match_(Match::new().eth_type(0x0806)).goto(1));
+        sw.flow_mod(
+            FlowMod::add(0)
+                .priority(50)
+                .match_(Match::new().eth_type(0x0806))
+                .goto(1),
+        );
         // Default deny for IP: drop by matching with no actions.
         sw.flow_mod(
             FlowMod::add(0)

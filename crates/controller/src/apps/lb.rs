@@ -50,7 +50,10 @@ impl LoadBalancer {
     /// Build the app. `backends.len()` must be a power of two (2, 4, 8...)
     /// so source-space partitioning is exact.
     pub fn new(vip: Ipv4Addr, service_port: u16, backends: Vec<Backend>) -> LoadBalancer {
-        assert!(backends.len().is_power_of_two(), "backend count must be a power of two");
+        assert!(
+            backends.len().is_power_of_two(),
+            "backend count must be a power of two"
+        );
         LoadBalancer {
             vip,
             vip_mac: MacAddr::host(0xbbbb),
@@ -109,15 +112,16 @@ impl App for LoadBalancer {
             // Forward direction: src-IP bucket i, dst VIP -> backend i.
             let fwd = self
                 .service_match()
-                .with(OxmField::Ipv4Src(Ipv4Addr::from(i as u32), Some(Ipv4Addr::from(low_mask))))
+                .with(OxmField::Ipv4Src(
+                    Ipv4Addr::from(i as u32),
+                    Some(Ipv4Addr::from(low_mask)),
+                ))
                 .ipv4_dst(self.vip);
-            sw.flow_mod(
-                FlowMod::add(0).priority(100).match_(fwd).apply(vec![
-                    Action::SetField(OxmField::EthDst(b.mac, None)),
-                    Action::SetField(OxmField::Ipv4Dst(b.ip, None)),
-                    Action::output(b.port),
-                ]),
-            );
+            sw.flow_mod(FlowMod::add(0).priority(100).match_(fwd).apply(vec![
+                Action::SetField(OxmField::EthDst(b.mac, None)),
+                Action::SetField(OxmField::Ipv4Dst(b.ip, None)),
+                Action::output(b.port),
+            ]));
             // Return direction: backend i's service traffic gets re-sourced
             // as the VIP before the learning stage forwards it.
             sw.flow_mod(
@@ -144,8 +148,12 @@ impl App for LoadBalancer {
             return;
         }
         let eth = EthernetFrame::new_unchecked(&ev.data[..]);
-        let Ok(arp) = ArpPacket::new_checked(eth.payload()) else { return };
-        let Ok(repr) = ArpRepr::parse(&arp) else { return };
+        let Ok(arp) = ArpPacket::new_checked(eth.payload()) else {
+            return;
+        };
+        let Ok(repr) = ArpRepr::parse(&arp) else {
+            return;
+        };
         if repr.target_ip != self.vip {
             return;
         }

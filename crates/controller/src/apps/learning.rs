@@ -24,7 +24,12 @@ pub struct LearningSwitch {
 impl LearningSwitch {
     /// Learning on table 0 with a 60 s idle timeout.
     pub fn new() -> LearningSwitch {
-        LearningSwitch { table: 0, idle_timeout: 60, macs: HashMap::new(), rules_installed: 0 }
+        LearningSwitch {
+            table: 0,
+            idle_timeout: 60,
+            macs: HashMap::new(),
+            rules_installed: 0,
+        }
     }
 
     /// Run in a different table (used behind ACL tables).

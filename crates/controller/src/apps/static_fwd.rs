@@ -24,12 +24,18 @@ impl StaticForwarder {
             wiring.push((a, b));
             wiring.push((b, a));
         }
-        StaticForwarder { wiring, installed_on: 0 }
+        StaticForwarder {
+            wiring,
+            installed_on: 0,
+        }
     }
 
     /// Forward exactly the listed directed pairs.
     pub fn directed(wiring: Vec<(u32, u32)>) -> StaticForwarder {
-        StaticForwarder { wiring, installed_on: 0 }
+        StaticForwarder {
+            wiring,
+            installed_on: 0,
+        }
     }
 
     /// How many switches received the wiring.
@@ -78,13 +84,22 @@ mod tests {
             "ctrl",
             vec![Box::new(StaticForwarder::bidirectional(&[(1, 2)]))],
         ));
-        let mut sw = SoftSwitchNode::new("ss", DpConfig::software(1), 1, 4096, CostModel::default());
+        let mut sw =
+            SoftSwitchNode::new("ss", DpConfig::software(1), 1, 4096, CostModel::default());
         sw.add_port(1, "p1", 1_000_000);
         sw.add_port(2, "p2", 1_000_000);
         sw.connect_controller(ctrl);
         let s = net.add_node(sw);
-        let a = net.add_node(Host::new("a", netpkt::MacAddr::host(1), Ipv4Addr::new(10, 0, 0, 1)));
-        let b = net.add_node(Host::new("b", netpkt::MacAddr::host(2), Ipv4Addr::new(10, 0, 0, 2)));
+        let a = net.add_node(Host::new(
+            "a",
+            netpkt::MacAddr::host(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+        ));
+        let b = net.add_node(Host::new(
+            "b",
+            netpkt::MacAddr::host(2),
+            Ipv4Addr::new(10, 0, 0, 2),
+        ));
         net.connect(a, PortId(0), s, PortId(1), LinkSpec::gigabit());
         net.connect(b, PortId(0), s, PortId(2), LinkSpec::gigabit());
         // Let the handshake + installation settle, then ping.

@@ -75,7 +75,12 @@ impl SwitchHandle<'_> {
         group_id: u32,
         buckets: Vec<openflow::Bucket>,
     ) {
-        self.send(Message::GroupMod { command, type_, group_id, buckets });
+        self.send(Message::GroupMod {
+            command,
+            type_,
+            group_id,
+            buckets,
+        });
     }
 
     /// Emit a frame out of a specific port (or FLOOD).
@@ -104,7 +109,12 @@ impl SwitchHandle<'_> {
 
     /// Emit a frame with arbitrary actions.
     pub fn packet_out_actions(&mut self, in_port: u32, actions: Vec<Action>, data: Bytes) {
-        self.send(Message::PacketOut { buffer_id: NO_BUFFER, in_port, actions, data });
+        self.send(Message::PacketOut {
+            buffer_id: NO_BUFFER,
+            in_port,
+            actions,
+            data,
+        });
     }
 
     /// Request flow statistics (reply arrives via `on_stats`).
@@ -200,7 +210,9 @@ impl ControllerNode {
 
     /// Typed access to an app (for runtime policy updates).
     pub fn app_mut<T: App>(&mut self) -> Option<&mut T> {
-        self.apps.iter_mut().find_map(|a| a.as_any_mut().downcast_mut::<T>())
+        self.apps
+            .iter_mut()
+            .find_map(|a| a.as_any_mut().downcast_mut::<T>())
     }
 
     /// Run `f` against every connected, ready switch — used with
@@ -308,9 +320,7 @@ impl Node for ControllerNode {
                     let st = self.switches.get_mut(&from).unwrap();
                     st.dpid = datapath_id;
                     self.xid += 1;
-                    queue.push(
-                        Message::MultipartRequest(MultipartReq::PortDesc).encode(self.xid),
-                    );
+                    queue.push(Message::MultipartRequest(MultipartReq::PortDesc).encode(self.xid));
                 }
                 Message::MultipartReply(openflow::message::MultipartRes::PortDesc(ports)) => {
                     let st = self.switches.get_mut(&from).unwrap();
@@ -326,7 +336,12 @@ impl Node for ControllerNode {
                         |app, h| app.on_switch_ready(h),
                     );
                 }
-                Message::PacketIn { reason, match_, data, .. } => {
+                Message::PacketIn {
+                    reason,
+                    match_,
+                    data,
+                    ..
+                } => {
                     self.packet_ins += 1;
                     let in_port = match_
                         .fields()

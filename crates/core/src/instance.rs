@@ -125,8 +125,8 @@ impl HarmlessSpec {
     /// [`crate::manager::HarmlessManager`]) to set up tagging, and
     /// [`HarmlessInstance::install_translator_rules`] for SS_1.
     pub fn build(self, net: &mut Network) -> HarmlessInstance {
-        let map = PortMap::new(self.vlan_base, self.n_access_ports)
-            .expect("spec within VLAN budget");
+        let map =
+            PortMap::new(self.vlan_base, self.n_access_ports).expect("spec within VLAN budget");
         let n = self.n_access_ports;
         let t = self.n_trunks;
 
@@ -177,7 +177,13 @@ impl HarmlessSpec {
                         LinkSpec::instant(),
                     );
                 }
-                HarmlessInstance { spec: self, map, legacy, ss1: Some(ss1), ss2 }
+                HarmlessInstance {
+                    spec: self,
+                    map,
+                    legacy,
+                    ss1: Some(ss1),
+                    ss2,
+                }
             }
             Variant::Merged => {
                 let mut ssm = SoftSwitchNode::new(
@@ -194,7 +200,13 @@ impl HarmlessSpec {
                 for tr in 1..=t {
                     net.connect(legacy, PortId(n + tr), ssm, PortId(tr), self.trunk_link);
                 }
-                HarmlessInstance { spec: self, map, legacy, ss1: None, ss2: ssm }
+                HarmlessInstance {
+                    spec: self,
+                    map,
+                    legacy,
+                    ss1: None,
+                    ss2: ssm,
+                }
             }
         }
     }
@@ -239,8 +251,12 @@ impl HarmlessInstance {
         let legacy = net.node_mut::<LegacySwitchNode>(self.legacy);
         let bridge = legacy.bridge_mut();
         for &(port, vlan, trunk) in &assignments {
-            bridge.make_access_port(port, vlan).expect("spec-validated config");
-            bridge.make_trunk_port(trunk, &[vlan]).expect("spec-validated config");
+            bridge
+                .make_access_port(port, vlan)
+                .expect("spec-validated config");
+            bridge
+                .make_trunk_port(trunk, &[vlan])
+                .expect("spec-validated config");
         }
     }
 
@@ -252,7 +268,8 @@ impl HarmlessInstance {
                 let rules = translator::translator_rules(&self.map, self.spec.n_trunks);
                 let dp = net.node_mut::<SoftSwitchNode>(ss1).datapath_mut();
                 for fm in &rules {
-                    dp.apply_flow_mod(fm, 0).expect("translator rules are valid");
+                    dp.apply_flow_mod(fm, 0)
+                        .expect("translator rules are valid");
                 }
             }
             (Variant::Merged, _) => {
@@ -285,7 +302,8 @@ impl HarmlessInstance {
     /// `run_*` so the OpenFlow HELLO goes out at start; the manager path
     /// uses the admin message instead.
     pub fn connect_controller(&self, net: &mut Network, controller: NodeId) {
-        net.node_mut::<SoftSwitchNode>(self.ss2).connect_controller(controller);
+        net.node_mut::<SoftSwitchNode>(self.ss2)
+            .connect_controller(controller);
     }
 
     /// Merged-variant helper: the table-1 rule forwarding traffic that
@@ -314,7 +332,10 @@ impl HarmlessInstance {
     /// # Panics
     /// Panics if `i` is not an access port or `i > 250`.
     pub fn attach_host(&self, net: &mut Network, i: u16) -> NodeId {
-        assert!((1..=self.spec.n_access_ports).contains(&i), "not an access port: {i}");
+        assert!(
+            (1..=self.spec.n_access_ports).contains(&i),
+            "not an access port: {i}"
+        );
         assert!(i <= 250, "host IP scheme supports up to 250 hosts");
         let h = net.add_node(Host::new(
             format!("h{i}"),
@@ -328,8 +349,17 @@ impl HarmlessInstance {
     /// Attach an arbitrary node (generator/sink) to access port `i` on
     /// its `port` 0.
     pub fn attach_node(&self, net: &mut Network, i: u16, node: NodeId) {
-        assert!((1..=self.spec.n_access_ports).contains(&i), "not an access port: {i}");
-        net.connect(node, PortId(0), self.legacy, PortId(i), self.spec.access_link);
+        assert!(
+            (1..=self.spec.n_access_ports).contains(&i),
+            "not an access port: {i}"
+        );
+        net.connect(
+            node,
+            PortId(0),
+            self.legacy,
+            PortId(i),
+            self.spec.access_link,
+        );
     }
 
     /// End-to-end readiness check used by examples: true once SS_2 has a
@@ -390,7 +420,8 @@ mod tests {
         hx.install_translator_rules(&mut net);
         let a = hx.attach_host(&mut net, 1);
         let b = hx.attach_host(&mut net, 2);
-        net.node_mut::<Host>(a).ping(b"x", "10.0.0.2".parse().unwrap());
+        net.node_mut::<Host>(a)
+            .ping(b"x", "10.0.0.2".parse().unwrap());
         net.run_until(SimTime::from_millis(200));
         assert_eq!(net.node_ref::<Host>(b).rx_frames(), 0);
         assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 0);
@@ -399,7 +430,9 @@ mod tests {
     #[test]
     fn merged_variant_forwards_with_one_switch() {
         let mut net = Network::new(42);
-        let hx = HarmlessSpec::new(4).with_variant(Variant::Merged).build(&mut net);
+        let hx = HarmlessSpec::new(4)
+            .with_variant(Variant::Merged)
+            .build(&mut net);
         assert!(hx.ss1.is_none());
         hx.configure_legacy_directly(&mut net);
         hx.install_translator_rules(&mut net);
@@ -411,7 +444,8 @@ mod tests {
         }
         let a = hx.attach_host(&mut net, 1);
         let b = hx.attach_host(&mut net, 2);
-        net.node_mut::<Host>(a).ping(b"merged", "10.0.0.2".parse().unwrap());
+        net.node_mut::<Host>(a)
+            .ping(b"merged", "10.0.0.2".parse().unwrap());
         net.run_until(SimTime::from_millis(200));
         assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 1);
         assert_eq!(net.node_ref::<Host>(b).echo_requests_answered(), 1);
@@ -443,8 +477,16 @@ mod tests {
         let sink = net.node_ref::<Sink>(s);
         assert_eq!(sink.received(), 5_000, "no loss at 50 kpps");
         // Latency through legacy → SS_1 → SS_2 → SS_1 → legacy.
-        assert!(sink.latency().p50() > 8_000, "p50={}ns", sink.latency().p50());
-        assert!(sink.latency().p50() < 50_000, "p50={}ns", sink.latency().p50());
+        assert!(
+            sink.latency().p50() > 8_000,
+            "p50={}ns",
+            sink.latency().p50()
+        );
+        assert!(
+            sink.latency().p50() < 50_000,
+            "p50={}ns",
+            sink.latency().p50()
+        );
     }
 
     #[test]

@@ -190,7 +190,9 @@ impl HarmlessManager {
 
     fn start_discovery(&mut self, ctx: &mut NodeCtx) {
         self.enter(ManagerPhase::Discovering, ctx);
-        let req = self.snmp.get(&[mibs::sys_descr(), mibs::sys_name(), mibs::if_number()]);
+        let req = self
+            .snmp
+            .get(&[mibs::sys_descr(), mibs::sys_name(), mibs::if_number()]);
         let legacy = self.config.legacy;
         self.send_tracked(legacy, req, Await::SnmpResponse, ctx);
     }
@@ -207,7 +209,11 @@ impl HarmlessManager {
                 // a VLAN on two trunks would form an L2 loop through the
                 // software switches.
                 let home_trunk = self.config.map.n_ports() + 1 + (vid % self.config.n_trunks);
-                VlanDef { vid, egress: vec![port, home_trunk], untagged: vec![port] }
+                VlanDef {
+                    vid,
+                    egress: vec![port, home_trunk],
+                    untagged: vec![port],
+                }
             })
             .collect();
         let cfg = DesiredVlanConfig {
@@ -244,11 +250,15 @@ impl HarmlessManager {
 
     fn start_rollback(&mut self, reason: String, ctx: &mut NodeCtx) {
         self.enter(ManagerPhase::RollingBack, ctx);
-        self.plan = self.driver.as_mut().map(|d| d.rollback_plan()).unwrap_or_default();
+        self.plan = self
+            .driver
+            .as_mut()
+            .map(|d| d.rollback_plan())
+            .unwrap_or_default();
         self.plan_idx = 0;
-        // Stash the reason for when rollback completes.
-        self.facts_descr = self.facts_descr.clone();
-        self.timeline.push((ctx.now(), format!("rollback because: {reason}")));
+        // The timeline entry stashes the reason for rollback_reason().
+        self.timeline
+            .push((ctx.now(), format!("rollback because: {reason}")));
         self.step_rollback(ctx, reason);
     }
 
@@ -297,14 +307,19 @@ impl HarmlessManager {
     fn start_connect(&mut self, ctx: &mut NodeCtx) {
         self.enter(ManagerPhase::Connecting, ctx);
         // Point SS_2 at the controller, then health-check the channel.
-        ctx.ctrl_send(self.config.ss2, admin_set_controller(self.config.controller));
+        ctx.ctrl_send(
+            self.config.ss2,
+            admin_set_controller(self.config.controller),
+        );
         let echo = Message::EchoRequest(Bytes::from_static(b"harmless-health")).encode(0x7fff);
         let ss2 = self.config.ss2;
         self.send_tracked(ss2, echo, Await::EchoReply, ctx);
     }
 
     fn handle_snmp(&mut self, data: &Bytes, ctx: &mut NodeCtx) {
-        let Ok(Some(pdu)) = self.snmp.accept(data) else { return };
+        let Ok(Some(pdu)) = self.snmp.accept(data) else {
+            return;
+        };
         self.awaiting = Await::None;
         match self.phase.clone() {
             ManagerPhase::Discovering => {
@@ -334,15 +349,11 @@ impl HarmlessManager {
                     }
                     SnmpOp::Verify(oid, expect) => {
                         self.verifies_done += 1;
-                        let injected =
-                            self.config.fail_verify_at == Some(self.verifies_done);
+                        let injected = self.config.fail_verify_at == Some(self.verifies_done);
                         let got = pdu.bindings.first().map(|(_, v)| v.clone());
                         let matches = got.as_ref() == Some(expect);
                         if injected || !matches {
-                            self.start_rollback(
-                                format!("verification mismatch at {oid}"),
-                                ctx,
-                            );
+                            self.start_rollback(format!("verification mismatch at {oid}"), ctx);
                             return;
                         }
                     }
@@ -362,7 +373,9 @@ impl HarmlessManager {
 
     fn handle_of(&mut self, data: &Bytes, ctx: &mut NodeCtx) {
         let mut buf = BytesMut::from(&data[..]);
-        let Ok(msgs) = openflow::message::decode_stream(&mut buf) else { return };
+        let Ok(msgs) = openflow::message::decode_stream(&mut buf) else {
+            return;
+        };
         for (_, msg) in msgs {
             match (&self.phase, &msg) {
                 (ManagerPhase::InstallingTranslator, Message::BarrierReply) => {
@@ -474,7 +487,12 @@ mod tests {
         net.run_until(SimTime::from_secs(2));
         {
             let m = net.node_ref::<HarmlessManager>(mgr);
-            assert_eq!(*m.phase(), ManagerPhase::Done, "timeline: {:?}", m.timeline());
+            assert_eq!(
+                *m.phase(),
+                ManagerPhase::Done,
+                "timeline: {:?}",
+                m.timeline()
+            );
             assert_eq!(m.dialect(), Some("qbridge"));
             assert!(m.snmp_ops() > 10);
             assert_eq!(m.flow_mods_sent(), 8); // 4 ports × (1 down + 1 up)
@@ -491,7 +509,10 @@ mod tests {
         // The legacy switch's config matches the plan.
         let legacy = net.node_ref::<LegacySwitchNode>(hx.legacy);
         assert_eq!(legacy.bridge().pvid(1), 101);
-        assert!(legacy.bridge().vlans()[&104].egress.contains(&5), "trunk is a member");
+        assert!(
+            legacy.bridge().vlans()[&104].egress.contains(&5),
+            "trunk is a member"
+        );
     }
 
     #[test]
@@ -528,10 +549,17 @@ mod tests {
         // destroyed.
         let legacy = net.node_ref::<LegacySwitchNode>(hx.legacy);
         for p in 1..=4 {
-            assert_eq!(legacy.bridge().pvid(p), 1, "port {p} must be back on VLAN 1");
+            assert_eq!(
+                legacy.bridge().pvid(p),
+                1,
+                "port {p} must be back on VLAN 1"
+            );
         }
         for vid in 101..=104 {
-            assert!(!legacy.bridge().vlans().contains_key(&vid), "VLAN {vid} must be gone");
+            assert!(
+                !legacy.bridge().vlans().contains_key(&vid),
+                "VLAN {vid} must be gone"
+            );
         }
     }
 
@@ -545,7 +573,11 @@ mod tests {
         let mgr = net.add_node(HarmlessManager::new(cfg));
         net.run_until(SimTime::from_secs(5));
         let m = net.node_ref::<HarmlessManager>(mgr);
-        assert!(matches!(m.phase(), ManagerPhase::Failed(_)), "got {:?}", m.phase());
+        assert!(
+            matches!(m.phase(), ManagerPhase::Failed(_)),
+            "got {:?}",
+            m.phase()
+        );
     }
 
     #[test]
@@ -553,8 +585,7 @@ mod tests {
         let (mut net, _, _, mgr) = migrated_network(None, None);
         net.run_until(SimTime::from_secs(2));
         let m = net.node_ref::<HarmlessManager>(mgr);
-        let phases: Vec<&str> =
-            m.timeline().iter().map(|(_, p)| p.as_str()).collect();
+        let phases: Vec<&str> = m.timeline().iter().map(|(_, p)| p.as_str()).collect();
         assert_eq!(
             phases,
             vec![

@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn vlan_budget_enforced() {
         assert!(PortMap::new(100, 3994).is_ok()); // 100+3994 = 4094
-        assert_eq!(PortMap::new(100, 3995).unwrap_err(), PortMapError::VlanSpaceExhausted);
+        assert_eq!(
+            PortMap::new(100, 3995).unwrap_err(),
+            PortMapError::VlanSpaceExhausted
+        );
         assert_eq!(PortMap::new(0, 4).unwrap_err(), PortMapError::BaseTooLow);
         assert_eq!(PortMap::new(100, 0).unwrap_err(), PortMapError::NoPorts);
     }

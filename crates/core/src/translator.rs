@@ -184,7 +184,11 @@ mod tests {
             let r = dp.process(patch_port(p), frame(), 0);
             trunks_used.insert(r.outputs[0].0);
         }
-        assert_eq!(trunks_used.len(), 2, "both trunks must carry upstream traffic");
+        assert_eq!(
+            trunks_used.len(),
+            2,
+            "both trunks must carry upstream traffic"
+        );
         // Downstream works from either trunk.
         let tagged = push_vlan(&frame(), VlanTag::new(105)).unwrap();
         for trunk in [1u32, 2] {

@@ -98,14 +98,22 @@ impl Bridge {
     pub fn new(n_ports: u16) -> Bridge {
         let mut vlans = BTreeMap::new();
         let all: BTreeSet<u16> = (1..=n_ports).collect();
-        vlans.insert(1, VlanEntry { egress: all.clone(), untagged: all });
+        vlans.insert(
+            1,
+            VlanEntry {
+                egress: all.clone(),
+                untagged: all,
+            },
+        );
         Bridge {
             n_ports,
             vlans,
             pvid: (1..=n_ports).map(|p| (p, 1)).collect(),
             fdb: HashMap::new(),
             aging_ns: DEFAULT_AGING_NS,
-            counters: (1..=n_ports).map(|p| (p, PortCounters::default())).collect(),
+            counters: (1..=n_ports)
+                .map(|p| (p, PortCounters::default()))
+                .collect(),
             flood_frames: 0,
         }
     }
@@ -180,7 +188,10 @@ impl Bridge {
         for &p in ports {
             self.check_port(p)?;
         }
-        let e = self.vlans.get_mut(&vid).ok_or(BridgeConfigError::NoSuchVlan)?;
+        let e = self
+            .vlans
+            .get_mut(&vid)
+            .ok_or(BridgeConfigError::NoSuchVlan)?;
         e.egress = ports.iter().copied().collect();
         e.untagged = e.untagged.intersection(&e.egress).copied().collect();
         Ok(())
@@ -192,8 +203,15 @@ impl Bridge {
         for &p in ports {
             self.check_port(p)?;
         }
-        let e = self.vlans.get_mut(&vid).ok_or(BridgeConfigError::NoSuchVlan)?;
-        e.untagged = ports.iter().copied().filter(|p| e.egress.contains(p)).collect();
+        let e = self
+            .vlans
+            .get_mut(&vid)
+            .ok_or(BridgeConfigError::NoSuchVlan)?;
+        e.untagged = ports
+            .iter()
+            .copied()
+            .filter(|p| e.egress.contains(p))
+            .collect();
         Ok(())
     }
 
@@ -235,7 +253,8 @@ impl Bridge {
     pub fn age_fdb(&mut self, now_ns: u64) -> usize {
         let aging = self.aging_ns;
         let before = self.fdb.len();
-        self.fdb.retain(|_, e| now_ns.saturating_sub(e.learned_ns) < aging);
+        self.fdb
+            .retain(|_, e| now_ns.saturating_sub(e.learned_ns) < aging);
         before - self.fdb.len()
     }
 
@@ -251,7 +270,11 @@ impl Bridge {
             c.rx_octets += frame.len() as u64;
         }
         let Ok(view) = VlanView::parse(frame) else {
-            return Forwarded { outputs: Vec::new(), vlan: 0, filtered: true };
+            return Forwarded {
+                outputs: Vec::new(),
+                vlan: 0,
+                filtered: true,
+            };
         };
         // Ingress classification + filtering.
         let (vid, inner): (u16, Bytes) = match view.outer {
@@ -265,9 +288,16 @@ impl Bridge {
                     if let Some(c) = self.counters.get_mut(&in_port) {
                         c.rx_filtered += 1;
                     }
-                    return Forwarded { outputs: Vec::new(), vlan: tag.vid, filtered: true };
+                    return Forwarded {
+                        outputs: Vec::new(),
+                        vlan: tag.vid,
+                        filtered: true,
+                    };
                 }
-                (tag.vid, vlan::pop_vlan(frame).unwrap_or_else(|_| frame.clone()))
+                (
+                    tag.vid,
+                    vlan::pop_vlan(frame).unwrap_or_else(|_| frame.clone()),
+                )
             }
             None => {
                 let vid = self.pvid(in_port);
@@ -275,7 +305,11 @@ impl Bridge {
                     if let Some(c) = self.counters.get_mut(&in_port) {
                         c.rx_filtered += 1;
                     }
-                    return Forwarded { outputs: Vec::new(), vlan: vid, filtered: true };
+                    return Forwarded {
+                        outputs: Vec::new(),
+                        vlan: vid,
+                        filtered: true,
+                    };
                 }
                 (vid, frame.clone())
             }
@@ -286,7 +320,13 @@ impl Bridge {
 
         // Learning.
         if src.is_unicast() {
-            self.fdb.insert((vid, src), FdbEntry { port: in_port, learned_ns: now_ns });
+            self.fdb.insert(
+                (vid, src),
+                FdbEntry {
+                    port: in_port,
+                    learned_ns: now_ns,
+                },
+            );
         }
 
         // Forwarding decision.
@@ -299,18 +339,30 @@ impl Bridge {
                 Some(_) => Vec::new(), // destination is behind the ingress port
                 None => {
                     self.flood_frames += 1;
-                    vlan_entry.egress.iter().copied().filter(|&p| p != in_port).collect()
+                    vlan_entry
+                        .egress
+                        .iter()
+                        .copied()
+                        .filter(|&p| p != in_port)
+                        .collect()
                 }
             }
         } else {
             self.flood_frames += u64::from(!dst.is_unicast());
-            vlan_entry.egress.iter().copied().filter(|&p| p != in_port).collect()
+            vlan_entry
+                .egress
+                .iter()
+                .copied()
+                .filter(|&p| p != in_port)
+                .collect()
         };
 
         // Egress tagging.
         let vlan_entry = self.vlans.get(&vid).unwrap();
         let mut outputs = Vec::with_capacity(egress_ports.len());
-        let tagged_frame: Option<Bytes> = if egress_ports.iter().any(|p| !vlan_entry.untagged.contains(p))
+        let tagged_frame: Option<Bytes> = if egress_ports
+            .iter()
+            .any(|p| !vlan_entry.untagged.contains(p))
         {
             Some(vlan::push_vlan(&inner, VlanTag::new(vid)).unwrap_or_else(|_| inner.clone()))
         } else {
@@ -328,7 +380,11 @@ impl Bridge {
             }
             outputs.push((p, f));
         }
-        Forwarded { outputs, vlan: vid, filtered: false }
+        Forwarded {
+            outputs,
+            vlan: vid,
+            filtered: false,
+        }
     }
 }
 
@@ -352,7 +408,12 @@ mod tests {
     }
 
     fn bcast(src: u32) -> Bytes {
-        builder::ethernet(MacAddr::BROADCAST, MacAddr::host(src), EtherType::ARP, &[0u8; 46])
+        builder::ethernet(
+            MacAddr::BROADCAST,
+            MacAddr::host(src),
+            EtherType::ARP,
+            &[0u8; 46],
+        )
     }
 
     #[test]
@@ -416,7 +477,10 @@ mod tests {
         assert_eq!(out.outputs.len(), 1);
         let (p, f) = &out.outputs[0];
         assert_eq!(*p, 2);
-        assert!(vlan::outer_tag(f).is_none(), "access egress must be untagged");
+        assert!(
+            vlan::outer_tag(f).is_none(),
+            "access egress must be untagged"
+        );
     }
 
     #[test]
@@ -437,7 +501,10 @@ mod tests {
         // Learn host 2 behind port 1, then send to it from port 1.
         b.forward(1, &frame(2, 9), 0);
         let out = b.forward(1, &frame(1, 2), 1);
-        assert!(out.outputs.is_empty(), "frames never exit their ingress port");
+        assert!(
+            out.outputs.is_empty(),
+            "frames never exit their ingress port"
+        );
     }
 
     #[test]
@@ -469,11 +536,23 @@ mod tests {
     fn config_validation() {
         let mut b = Bridge::new(2);
         assert_eq!(b.create_vlan(0).unwrap_err(), BridgeConfigError::BadVlanId);
-        assert_eq!(b.create_vlan(4095).unwrap_err(), BridgeConfigError::BadVlanId);
+        assert_eq!(
+            b.create_vlan(4095).unwrap_err(),
+            BridgeConfigError::BadVlanId
+        );
         assert_eq!(b.set_pvid(9, 1).unwrap_err(), BridgeConfigError::BadPort);
-        assert_eq!(b.set_pvid(1, 99).unwrap_err(), BridgeConfigError::NoSuchVlan);
-        assert_eq!(b.set_egress(99, &[1]).unwrap_err(), BridgeConfigError::NoSuchVlan);
-        assert_eq!(b.set_egress(1, &[7]).unwrap_err(), BridgeConfigError::BadPort);
+        assert_eq!(
+            b.set_pvid(1, 99).unwrap_err(),
+            BridgeConfigError::NoSuchVlan
+        );
+        assert_eq!(
+            b.set_egress(99, &[1]).unwrap_err(),
+            BridgeConfigError::NoSuchVlan
+        );
+        assert_eq!(
+            b.set_egress(1, &[7]).unwrap_err(),
+            BridgeConfigError::BadPort
+        );
     }
 
     #[test]

@@ -23,8 +23,8 @@ use std::collections::VecDeque;
 use netsim::{Node, NodeCtx, NodeId, PortId, SimTime};
 use openflow::message::Message;
 use openflow::oxm::OxmField;
-use softswitch::datapath::{Datapath, DpConfig, PipelineMode};
 use softswitch::agent::OfAgent;
+use softswitch::datapath::{Datapath, DpConfig, PipelineMode};
 
 const TOKEN_INSTALL: u64 = 1;
 const TOKEN_EXPIRE: u64 = 2;
@@ -76,16 +76,14 @@ impl CotsSwitchNode {
     /// Build the switch with `n_ports` ports.
     pub fn new(name: impl Into<String>, n_ports: u16, config: CotsConfig) -> CotsSwitchNode {
         let name = name.into();
-        let mut dp = Datapath::new(
-            DpConfig {
-                datapath_id: config.datapath_id,
-                n_tables: 2, // hardware pipelines are shallow
-                mode: PipelineMode::tss(),
-                micro_capacity: 0,
-                mega_capacity: 0,
-                table_capacity: config.tcam_entries,
-            },
-        );
+        let mut dp = Datapath::new(DpConfig {
+            datapath_id: config.datapath_id,
+            n_tables: 2, // hardware pipelines are shallow
+            mode: PipelineMode::tss(),
+            micro_capacity: 0,
+            mega_capacity: 0,
+            table_capacity: config.tcam_entries,
+        });
         for p in 1..=n_ports {
             dp.add_port(u32::from(p), format!("te{p}"), 10_000_000);
         }
@@ -157,7 +155,9 @@ impl CotsSwitchNode {
         if self.busy {
             return;
         }
-        let Some((_, _, msg)) = self.install_queue.front() else { return };
+        let Some((_, _, msg)) = self.install_queue.front() else {
+            return;
+        };
         let delay = match msg {
             Message::FlowMod(_) | Message::GroupMod { .. } | Message::MeterMod { .. } => {
                 self.config.install_delay
@@ -180,7 +180,9 @@ impl Node for CotsSwitchNode {
 
     fn on_packet(&mut self, port: PortId, frame: Bytes, ctx: &mut NodeCtx) {
         // The ASIC forwards at line rate with a fixed pipeline latency.
-        let result = self.dp.process(u32::from(port.0), frame, ctx.now().as_nanos());
+        let result = self
+            .dp
+            .process(u32::from(port.0), frame, ctx.now().as_nanos());
         for (p, f) in result.outputs {
             ctx.transmit_after(self.config.pipeline_latency, PortId(p as u16), f);
         }
@@ -234,7 +236,12 @@ impl Node for CotsSwitchNode {
             if !Self::hardware_supports(&msg) {
                 ctx.ctrl_send(
                     from,
-                    Message::Error { ty: 4, code: 8, data: Bytes::new() }.encode(xid),
+                    Message::Error {
+                        ty: 4,
+                        code: 8,
+                        data: Bytes::new(),
+                    }
+                    .encode(xid),
                 );
                 continue;
             }
@@ -324,7 +331,11 @@ mod tests {
         // "unpredictable performance" does not apply to the dataplane.
         let p50 = sink.latency().p50();
         assert!((3_000..5_000).contains(&p50), "p50 = {p50}ns");
-        assert_eq!(sink.latency().max() - sink.latency().min(), 0, "hardware jitter = 0");
+        assert_eq!(
+            sink.latency().max() - sink.latency().min(),
+            0,
+            "hardware jitter = 0"
+        );
     }
 
     #[test]
@@ -332,7 +343,10 @@ mod tests {
         let mut sw = CotsSwitchNode::new(
             "cots",
             4,
-            CotsConfig { tcam_entries: 10, ..CotsConfig::default() },
+            CotsConfig {
+                tcam_entries: 10,
+                ..CotsConfig::default()
+            },
         );
         for i in 0..10u16 {
             sw.datapath_mut()
@@ -376,7 +390,11 @@ mod tests {
             );
         }
         msgs.push(Message::BarrierRequest.encode(99));
-        let ctrl = net.add_node(ScriptedController { to_send: msgs, received: Vec::new(), target: None });
+        let ctrl = net.add_node(ScriptedController {
+            to_send: msgs,
+            received: Vec::new(),
+            target: None,
+        });
         let mut sw = CotsSwitchNode::new("cots", 4, CotsConfig::default());
         sw.connect_controller(ctrl);
         let s = net.add_node(sw);

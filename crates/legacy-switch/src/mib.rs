@@ -46,17 +46,32 @@ impl BridgeMib<'_> {
         let b = &self.bridge;
         let n = b.n_ports();
         let mut out: Vec<(Oid, Value)> = vec![
-            (mibs::sys_descr(), Value::OctetString(self.sys.descr.clone().into_bytes())),
+            (
+                mibs::sys_descr(),
+                Value::OctetString(self.sys.descr.clone().into_bytes()),
+            ),
             (mibs::sys_uptime(), Value::TimeTicks(self.uptime_cs)),
-            (mibs::sys_name(), Value::OctetString(self.sys.name.clone().into_bytes())),
+            (
+                mibs::sys_name(),
+                Value::OctetString(self.sys.name.clone().into_bytes()),
+            ),
             (mibs::if_number(), Value::Integer(i64::from(n))),
         ];
         for p in 1..=n {
             let c = b.counters(p);
-            out.push((mibs::if_descr(u32::from(p)), Value::OctetString(format!("port{p}").into_bytes())));
+            out.push((
+                mibs::if_descr(u32::from(p)),
+                Value::OctetString(format!("port{p}").into_bytes()),
+            ));
             out.push((mibs::if_oper_status(u32::from(p)), Value::Integer(1)));
-            out.push((mibs::if_in_octets(u32::from(p)), Value::Counter32(c.rx_octets as u32)));
-            out.push((mibs::if_out_octets(u32::from(p)), Value::Counter32(c.tx_octets as u32)));
+            out.push((
+                mibs::if_in_octets(u32::from(p)),
+                Value::Counter32(c.rx_octets as u32),
+            ));
+            out.push((
+                mibs::if_out_octets(u32::from(p)),
+                Value::Counter32(c.tx_octets as u32),
+            ));
         }
         for (&vid, entry) in b.vlans() {
             let egress: Vec<u16> = entry.egress.iter().copied().collect();
@@ -69,10 +84,16 @@ impl BridgeMib<'_> {
                 mibs::vlan_static_untagged_ports(vid),
                 Value::OctetString(mibs::encode_portlist(&untagged, n)),
             ));
-            out.push((mibs::vlan_static_row_status(vid), Value::Integer(mibs::ROW_ACTIVE)));
+            out.push((
+                mibs::vlan_static_row_status(vid),
+                Value::Integer(mibs::ROW_ACTIVE),
+            ));
         }
         for p in 1..=n {
-            out.push((mibs::pvid(u32::from(p)), Value::Gauge32(u32::from(b.pvid(p)))));
+            out.push((
+                mibs::pvid(u32::from(p)),
+                Value::Gauge32(u32::from(b.pvid(p))),
+            ));
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
@@ -100,7 +121,10 @@ impl BridgeMib<'_> {
 
 impl MibStore for BridgeMib<'_> {
     fn get(&self, oid: &Oid) -> Option<Value> {
-        self.snapshot().into_iter().find(|(o, _)| o == oid).map(|(_, v)| v)
+        self.snapshot()
+            .into_iter()
+            .find(|(o, _)| o == oid)
+            .map(|(_, v)| v)
     }
 
     fn next(&self, oid: &Oid) -> Option<(Oid, Value)> {
@@ -114,25 +138,35 @@ impl MibStore for BridgeMib<'_> {
                     // dot1qVlanStaticEgressPorts
                     let bytes = value.as_bytes().ok_or(ErrorStatus::WrongType)?;
                     let ports = mibs::decode_portlist(bytes);
-                    self.bridge.create_vlan(vid).map_err(|_| ErrorStatus::WrongValue)?;
-                    self.bridge.set_egress(vid, &ports).map_err(|_| ErrorStatus::WrongValue)
+                    self.bridge
+                        .create_vlan(vid)
+                        .map_err(|_| ErrorStatus::WrongValue)?;
+                    self.bridge
+                        .set_egress(vid, &ports)
+                        .map_err(|_| ErrorStatus::WrongValue)
                 }
                 4 => {
                     // dot1qVlanStaticUntaggedPorts
                     let bytes = value.as_bytes().ok_or(ErrorStatus::WrongType)?;
                     let ports = mibs::decode_portlist(bytes);
-                    self.bridge.create_vlan(vid).map_err(|_| ErrorStatus::WrongValue)?;
-                    self.bridge.set_untagged(vid, &ports).map_err(|_| ErrorStatus::WrongValue)
+                    self.bridge
+                        .create_vlan(vid)
+                        .map_err(|_| ErrorStatus::WrongValue)?;
+                    self.bridge
+                        .set_untagged(vid, &ports)
+                        .map_err(|_| ErrorStatus::WrongValue)
                 }
                 5 => {
                     // dot1qVlanStaticRowStatus
                     match value.as_int() {
-                        Some(mibs::ROW_CREATE_AND_GO) => {
-                            self.bridge.create_vlan(vid).map_err(|_| ErrorStatus::WrongValue)
-                        }
-                        Some(mibs::ROW_DESTROY) => {
-                            self.bridge.destroy_vlan(vid).map_err(|_| ErrorStatus::WrongValue)
-                        }
+                        Some(mibs::ROW_CREATE_AND_GO) => self
+                            .bridge
+                            .create_vlan(vid)
+                            .map_err(|_| ErrorStatus::WrongValue),
+                        Some(mibs::ROW_DESTROY) => self
+                            .bridge
+                            .destroy_vlan(vid)
+                            .map_err(|_| ErrorStatus::WrongValue),
                         Some(_) => Err(ErrorStatus::WrongValue),
                         None => Err(ErrorStatus::WrongType),
                     }
@@ -143,7 +177,10 @@ impl MibStore for BridgeMib<'_> {
         if let Some(port) = Self::parse_pvid(oid) {
             let vid = value.as_int().ok_or(ErrorStatus::WrongType)?;
             let vid = u16::try_from(vid).map_err(|_| ErrorStatus::WrongValue)?;
-            return self.bridge.set_pvid(port, vid).map_err(|_| ErrorStatus::WrongValue);
+            return self
+                .bridge
+                .set_pvid(port, vid)
+                .map_err(|_| ErrorStatus::WrongValue);
         }
         if *oid == mibs::sys_name() {
             return Err(ErrorStatus::NotWritable); // keep identity fixed
@@ -160,7 +197,11 @@ mod tests {
 
     fn with_mib<R>(bridge: &mut Bridge, f: impl FnOnce(&mut BridgeMib) -> R) -> R {
         let sys = SysInfo::default();
-        let mut mib = BridgeMib { bridge, sys: &sys, uptime_cs: 100 };
+        let mut mib = BridgeMib {
+            bridge,
+            sys: &sys,
+            uptime_cs: 100,
+        };
         f(&mut mib)
     }
 
@@ -194,8 +235,11 @@ mod tests {
                 &Value::OctetString(mibs::encode_portlist(&[1], 5)),
             )
             .unwrap();
-            mib.set(&mibs::vlan_static_row_status(101), &Value::Integer(mibs::ROW_CREATE_AND_GO))
-                .unwrap();
+            mib.set(
+                &mibs::vlan_static_row_status(101),
+                &Value::Integer(mibs::ROW_CREATE_AND_GO),
+            )
+            .unwrap();
             mib.set(&mibs::pvid(1), &Value::Gauge32(101)).unwrap();
         });
         assert_eq!(b.pvid(1), 101);
@@ -209,8 +253,11 @@ mod tests {
         let mut b = Bridge::new(4);
         b.make_access_port(2, 102).unwrap();
         with_mib(&mut b, |mib| {
-            mib.set(&mibs::vlan_static_row_status(102), &Value::Integer(mibs::ROW_DESTROY))
-                .unwrap();
+            mib.set(
+                &mibs::vlan_static_row_status(102),
+                &Value::Integer(mibs::ROW_DESTROY),
+            )
+            .unwrap();
         });
         assert!(!b.vlans().contains_key(&102));
     }
@@ -220,7 +267,10 @@ mod tests {
         let mut b = Bridge::new(4);
         with_mib(&mut b, |mib| {
             // PVID to a nonexistent VLAN.
-            assert_eq!(mib.set(&mibs::pvid(1), &Value::Gauge32(999)), Err(ErrorStatus::WrongValue));
+            assert_eq!(
+                mib.set(&mibs::pvid(1), &Value::Gauge32(999)),
+                Err(ErrorStatus::WrongValue)
+            );
             // Wrong type.
             assert_eq!(
                 mib.set(&mibs::pvid(1), &Value::OctetString(vec![1])),
@@ -239,7 +289,11 @@ mod tests {
         let mut b = Bridge::new(2);
         b.make_access_port(1, 101).unwrap();
         let sys = SysInfo::default();
-        let mut mib = BridgeMib { bridge: &mut b, sys: &sys, uptime_cs: 1 };
+        let mut mib = BridgeMib {
+            bridge: &mut b,
+            sys: &sys,
+            uptime_cs: 1,
+        };
         // GetNext from the root enumerates something and terminates.
         let mut cur: Oid = "1".parse().unwrap();
         let mut count = 0;

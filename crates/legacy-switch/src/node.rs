@@ -35,7 +35,10 @@ impl LegacySwitchNode {
     pub fn new(name: impl Into<String>, n_ports: u16) -> LegacySwitchNode {
         let name = name.into();
         LegacySwitchNode {
-            sys: SysInfo { name: name.clone(), ..SysInfo::default() },
+            sys: SysInfo {
+                name: name.clone(),
+                ..SysInfo::default()
+            },
             name,
             bridge: Bridge::new(n_ports),
             community: "public".into(),
@@ -101,10 +104,16 @@ impl Node for LegacySwitchNode {
     fn on_ctrl(&mut self, from: NodeId, data: Bytes, ctx: &mut NodeCtx) {
         // The management plane speaks SNMP to this box; anything else is
         // silently ignored, like a real closed appliance.
-        let Ok(msg) = SnmpMessage::decode(&data) else { return };
+        let Ok(msg) = SnmpMessage::decode(&data) else {
+            return;
+        };
         self.snmp_requests += 1;
         let uptime_cs = (ctx.now().as_millis() / 10) as u32;
-        let mut mib = BridgeMib { bridge: &mut self.bridge, sys: &self.sys, uptime_cs };
+        let mut mib = BridgeMib {
+            bridge: &mut self.bridge,
+            sys: &self.sys,
+            uptime_cs,
+        };
         if let Some(resp) = agent_respond(&mut mib, &self.community, &msg) {
             ctx.ctrl_send(from, resp.encode());
         }
@@ -152,7 +161,8 @@ mod tests {
     #[test]
     fn hosts_ping_through_the_switch() {
         let (mut net, sw, hosts) = lan();
-        net.node_mut::<Host>(hosts[0]).ping(b"hello", Ipv4Addr::new(10, 0, 0, 3));
+        net.node_mut::<Host>(hosts[0])
+            .ping(b"hello", Ipv4Addr::new(10, 0, 0, 3));
         net.run_until(SimTime::from_millis(50));
         assert_eq!(net.node_ref::<Host>(hosts[0]).echo_replies_received(), 1);
         assert_eq!(net.node_ref::<Host>(hosts[2]).echo_requests_answered(), 1);
@@ -169,8 +179,10 @@ mod tests {
             b.make_access_port(2, 10).unwrap();
             b.make_access_port(3, 20).unwrap();
         }
-        net.node_mut::<Host>(hosts[0]).ping(b"ok", Ipv4Addr::new(10, 0, 0, 2));
-        net.node_mut::<Host>(hosts[0]).ping(b"blocked", Ipv4Addr::new(10, 0, 0, 3));
+        net.node_mut::<Host>(hosts[0])
+            .ping(b"ok", Ipv4Addr::new(10, 0, 0, 2));
+        net.node_mut::<Host>(hosts[0])
+            .ping(b"blocked", Ipv4Addr::new(10, 0, 0, 3));
         net.run_until(SimTime::from_millis(50));
         // Same VLAN works, cross-VLAN does not.
         assert_eq!(net.node_ref::<Host>(hosts[0]).echo_replies_received(), 1);
@@ -180,7 +192,8 @@ mod tests {
     #[test]
     fn forwarding_latency_applied() {
         let (mut net, _sw, hosts) = lan();
-        net.node_mut::<Host>(hosts[0]).ping(b"x", Ipv4Addr::new(10, 0, 0, 2));
+        net.node_mut::<Host>(hosts[0])
+            .ping(b"x", Ipv4Addr::new(10, 0, 0, 2));
         net.run_until(SimTime::from_millis(50));
         // ARP exchange + ICMP round trip all crossed the switch; just
         // assert the reply arrived (timing is covered by netsim tests).
@@ -219,7 +232,11 @@ mod tests {
             Pdu::request(PduType::Get, 42, vec![(mibs::if_number(), Value::Null)]),
         )
         .encode();
-        let mgr = net.add_node(OneShotSnmp { target: sw, request: req, reply: None });
+        let mgr = net.add_node(OneShotSnmp {
+            target: sw,
+            request: req,
+            reply: None,
+        });
         net.run_until(SimTime::from_millis(10));
         let reply = net.node_ref::<OneShotSnmp>(mgr).reply.as_ref().unwrap();
         assert_eq!(reply.pdu.request_id, 42);
@@ -240,12 +257,18 @@ mod tests {
                 mibs::vlan_static_untagged_ports(101),
                 Value::OctetString(mibs::encode_portlist(&[1], 4)),
             ),
-            (mibs::vlan_static_row_status(101), Value::Integer(mibs::ROW_CREATE_AND_GO)),
+            (
+                mibs::vlan_static_row_status(101),
+                Value::Integer(mibs::ROW_CREATE_AND_GO),
+            ),
             (mibs::pvid(1), Value::Gauge32(101)),
         ];
-        let req =
-            SnmpMessage::new("public", Pdu::request(PduType::Set, 7, bindings)).encode();
-        let mgr = net.add_node(OneShotSnmp { target: sw, request: req, reply: None });
+        let req = SnmpMessage::new("public", Pdu::request(PduType::Set, 7, bindings)).encode();
+        let mgr = net.add_node(OneShotSnmp {
+            target: sw,
+            request: req,
+            reply: None,
+        });
         net.run_until(SimTime::from_millis(10));
         let reply = net.node_ref::<OneShotSnmp>(mgr).reply.as_ref().unwrap();
         assert_eq!(reply.pdu.error_status, mgmt::ErrorStatus::NoError);
@@ -263,7 +286,11 @@ mod tests {
             Pdu::request(PduType::Get, 1, vec![(mibs::sys_descr(), Value::Null)]),
         )
         .encode();
-        let mgr = net.add_node(OneShotSnmp { target: sw, request: req, reply: None });
+        let mgr = net.add_node(OneShotSnmp {
+            target: sw,
+            request: req,
+            reply: None,
+        });
         net.run_until(SimTime::from_millis(10));
         assert!(net.node_ref::<OneShotSnmp>(mgr).reply.is_none());
     }
@@ -301,7 +328,9 @@ mod tests {
             }
             fn on_packet(&mut self, _p: PortId, _f: Bytes, _c: &mut NodeCtx) {}
             fn on_ctrl(&mut self, from: NodeId, data: Bytes, ctx: &mut NodeCtx) {
-                let Some(pdu) = self.client.accept(&data).unwrap() else { return };
+                let Some(pdu) = self.client.accept(&data).unwrap() else {
+                    return;
+                };
                 let w = self.walker.as_mut().unwrap();
                 match w.accept(&mut self.client, &pdu) {
                     (mgmt::client::WalkStep::Item(o, v), Some(next)) => {
@@ -320,7 +349,10 @@ mod tests {
         }
         let mut net = Network::new(2);
         let sw = net.add_node(LegacySwitchNode::new("sw1", 4));
-        net.node_mut::<LegacySwitchNode>(sw).bridge_mut().make_access_port(1, 101).unwrap();
+        net.node_mut::<LegacySwitchNode>(sw)
+            .bridge_mut()
+            .make_access_port(1, 101)
+            .unwrap();
         let mgr = net.add_node(Walker2 {
             target: sw,
             client: mgmt::SnmpClient::new("public"),

@@ -236,7 +236,21 @@ mod tests {
 
     #[test]
     fn integers_round_trip_minimally() {
-        for v in [0i64, 1, -1, 127, 128, -128, -129, 255, 256, 65535, -65536, i64::MAX, i64::MIN] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            127,
+            128,
+            -128,
+            -129,
+            255,
+            256,
+            65535,
+            -65536,
+            i64::MAX,
+            i64::MIN,
+        ] {
             let mut out = BytesMut::new();
             put_integer(&mut out, tag::INTEGER, v);
             let mut s = &out[..];

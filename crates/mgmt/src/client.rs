@@ -20,7 +20,12 @@ pub struct SnmpClient {
 impl SnmpClient {
     /// A client using `community` for every request.
     pub fn new(community: impl Into<String>) -> SnmpClient {
-        SnmpClient { community: community.into(), next_request_id: 1, pending: None, ops_sent: 0 }
+        SnmpClient {
+            community: community.into(),
+            next_request_id: 1,
+            pending: None,
+            ops_sent: 0,
+        }
     }
 
     /// Total requests issued (the migration experiment's op counter).
@@ -43,7 +48,10 @@ impl SnmpClient {
 
     /// Encode a Get for one or more instances.
     pub fn get(&mut self, oids: &[Oid]) -> Bytes {
-        self.issue(PduType::Get, oids.iter().map(|o| (o.clone(), Value::Null)).collect())
+        self.issue(
+            PduType::Get,
+            oids.iter().map(|o| (o.clone(), Value::Null)).collect(),
+        )
     }
 
     /// Encode a GetNext for one instance.
@@ -102,7 +110,10 @@ pub struct Walker {
 impl Walker {
     /// Walk the subtree rooted at `root`.
     pub fn new(root: Oid) -> Walker {
-        Walker { cursor: root.clone(), root }
+        Walker {
+            cursor: root.clone(),
+            root,
+        }
     }
 
     /// The opening GetNext.
@@ -136,10 +147,22 @@ mod tests {
 
     fn agent() -> MemoryMib {
         let mut m = MemoryMib::new();
-        m.insert(oid("1.3.6.1.2.1.1.1.0"), Value::OctetString(b"dev".to_vec()));
-        m.insert(oid("1.3.6.1.2.1.2.2.1.2.1"), Value::OctetString(b"p1".to_vec()));
-        m.insert(oid("1.3.6.1.2.1.2.2.1.2.2"), Value::OctetString(b"p2".to_vec()));
-        m.insert(oid("1.3.6.1.2.1.2.2.1.2.3"), Value::OctetString(b"p3".to_vec()));
+        m.insert(
+            oid("1.3.6.1.2.1.1.1.0"),
+            Value::OctetString(b"dev".to_vec()),
+        );
+        m.insert(
+            oid("1.3.6.1.2.1.2.2.1.2.1"),
+            Value::OctetString(b"p1".to_vec()),
+        );
+        m.insert(
+            oid("1.3.6.1.2.1.2.2.1.2.2"),
+            Value::OctetString(b"p2".to_vec()),
+        );
+        m.insert(
+            oid("1.3.6.1.2.1.2.2.1.2.3"),
+            Value::OctetString(b"p3".to_vec()),
+        );
         m.insert(oid("1.3.6.1.2.1.99.0"), Value::Integer(1));
         m.allow_writes_under(oid("1.3.6.1.2.1.99"));
         m

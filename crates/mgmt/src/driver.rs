@@ -100,7 +100,10 @@ impl VendorDialect for QBridgeDialect {
                     mibs::vlan_static_untagged_ports(v.vid),
                     Value::OctetString(mibs::encode_portlist(&v.untagged, cfg.n_ports)),
                 ),
-                (mibs::vlan_static_row_status(v.vid), Value::Integer(mibs::ROW_CREATE_AND_GO)),
+                (
+                    mibs::vlan_static_row_status(v.vid),
+                    Value::Integer(mibs::ROW_CREATE_AND_GO),
+                ),
             ]));
         }
         for &(port, pvid) in &cfg.pvids {
@@ -117,7 +120,10 @@ impl VendorDialect for QBridgeDialect {
             ));
         }
         for &(port, pvid) in &cfg.pvids {
-            ops.push(SnmpOp::Verify(mibs::pvid(u32::from(port)), Value::Gauge32(u32::from(pvid))));
+            ops.push(SnmpOp::Verify(
+                mibs::pvid(u32::from(port)),
+                Value::Gauge32(u32::from(pvid)),
+            ));
         }
         ops
     }
@@ -126,7 +132,10 @@ impl VendorDialect for QBridgeDialect {
         let mut ops = Vec::new();
         // Reset PVIDs to the default VLAN first, then destroy rows.
         for &(port, _) in &cfg.pvids {
-            ops.push(SnmpOp::Set(vec![(mibs::pvid(u32::from(port)), Value::Gauge32(1))]));
+            ops.push(SnmpOp::Set(vec![(
+                mibs::pvid(u32::from(port)),
+                Value::Gauge32(1),
+            )]));
         }
         for v in &cfg.vlans {
             ops.push(SnmpOp::Set(vec![(
@@ -179,7 +188,10 @@ impl VendorDialect for LegacyCliDialect {
                 mibs::pvid(u32::from(port)),
                 Value::Gauge32(u32::from(pvid)),
             )]));
-            ops.push(SnmpOp::Verify(mibs::pvid(u32::from(port)), Value::Gauge32(u32::from(pvid))));
+            ops.push(SnmpOp::Verify(
+                mibs::pvid(u32::from(port)),
+                Value::Gauge32(u32::from(pvid)),
+            ));
         }
         ops
     }
@@ -212,7 +224,11 @@ pub struct Driver {
 impl Driver {
     /// Wrap a dialect.
     pub fn new(dialect: Box<dyn VendorDialect>) -> Driver {
-        Driver { dialect, candidate: None, committed: None }
+        Driver {
+            dialect,
+            candidate: None,
+            committed: None,
+        }
     }
 
     /// The active dialect's name.
@@ -266,7 +282,11 @@ mod tests {
         // 4 access ports on a 5-port switch; port 5 is the trunk.
         let trunk = 5u16;
         let vlans = (1..=4u16)
-            .map(|p| VlanDef { vid: 100 + p, egress: vec![p, trunk], untagged: vec![p] })
+            .map(|p| VlanDef {
+                vid: 100 + p,
+                egress: vec![p, trunk],
+                untagged: vec![p],
+            })
             .collect();
         DesiredVlanConfig {
             n_ports: 5,
@@ -307,7 +327,9 @@ mod tests {
     fn plans_encode_correct_portlists() {
         let cfg = harmless_style_config();
         let plan = QBridgeDialect.compile(&cfg);
-        let SnmpOp::Set(bindings) = &plan[0] else { panic!() };
+        let SnmpOp::Set(bindings) = &plan[0] else {
+            panic!()
+        };
         // VLAN 101: egress = {1, 5}, untagged = {1}.
         assert_eq!(bindings[0].0, mibs::vlan_static_egress_ports(101));
         assert_eq!(
@@ -322,8 +344,14 @@ mod tests {
 
     #[test]
     fn dialect_detection() {
-        assert_eq!(detect_dialect("Acme generic-l2 Q-BRIDGE switch").name(), "qbridge");
-        assert_eq!(detect_dialect("AcmeOS LegacyOS 9.1 vintage").name(), "legacy-cli");
+        assert_eq!(
+            detect_dialect("Acme generic-l2 Q-BRIDGE switch").name(),
+            "qbridge"
+        );
+        assert_eq!(
+            detect_dialect("AcmeOS LegacyOS 9.1 vintage").name(),
+            "legacy-cli"
+        );
         assert_eq!(detect_dialect("who knows").name(), "qbridge");
     }
 
@@ -349,12 +377,17 @@ mod tests {
         let rb = QBridgeDialect.rollback(&cfg);
         let first_destroy = rb
             .iter()
-            .position(|o| matches!(o, SnmpOp::Set(b) if b[0].1 == Value::Integer(mibs::ROW_DESTROY)))
+            .position(
+                |o| matches!(o, SnmpOp::Set(b) if b[0].1 == Value::Integer(mibs::ROW_DESTROY)),
+            )
             .unwrap();
         let last_pvid = rb
             .iter()
             .rposition(|o| matches!(o, SnmpOp::Set(b) if matches!(b[0].1, Value::Gauge32(1))))
             .unwrap();
-        assert!(last_pvid < first_destroy, "PVIDs must move off a VLAN before it is destroyed");
+        assert!(
+            last_pvid < first_destroy,
+            "PVIDs must move off a VLAN before it is destroyed"
+        );
     }
 }

@@ -56,7 +56,10 @@ impl Value {
 
     /// True for the three v2c exception markers.
     pub fn is_exception(&self) -> bool {
-        matches!(self, Value::NoSuchObject | Value::NoSuchInstance | Value::EndOfMibView)
+        matches!(
+            self,
+            Value::NoSuchObject | Value::NoSuchInstance | Value::EndOfMibView
+        )
     }
 
     fn encode(&self, out: &mut BytesMut) {
@@ -203,7 +206,13 @@ pub struct Pdu {
 impl Pdu {
     /// A request PDU with null/provided values.
     pub fn request(ty: PduType, request_id: i64, bindings: Vec<(Oid, Value)>) -> Pdu {
-        Pdu { ty, request_id, error_status: ErrorStatus::NoError, error_index: 0, bindings }
+        Pdu {
+            ty,
+            request_id,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            bindings,
+        }
     }
 
     /// The success response mirroring this request with new bindings.
@@ -245,7 +254,10 @@ pub const VERSION_2C: i64 = 1;
 impl SnmpMessage {
     /// Wrap a PDU with a community.
     pub fn new(community: impl Into<String>, pdu: Pdu) -> SnmpMessage {
-        SnmpMessage { community: community.into(), pdu }
+        SnmpMessage {
+            community: community.into(),
+            pdu,
+        }
     }
 
     /// Encode to BER bytes.
@@ -320,7 +332,13 @@ impl SnmpMessage {
         }
         Ok(SnmpMessage {
             community,
-            pdu: Pdu { ty, request_id, error_status, error_index, bindings },
+            pdu: Pdu {
+                ty,
+                request_id,
+                error_status,
+                error_index,
+                bindings,
+            },
         })
     }
 }
@@ -399,23 +417,27 @@ mod tests {
         // A canonical v2c get of sysDescr.0, community "public".
         let msg = SnmpMessage::new(
             "public",
-            Pdu::request(PduType::Get, 1, vec![(oid("1.3.6.1.2.1.1.1.0"), Value::Null)]),
+            Pdu::request(
+                PduType::Get,
+                1,
+                vec![(oid("1.3.6.1.2.1.1.1.0"), Value::Null)],
+            ),
         );
         let wire = msg.encode();
         // SEQUENCE, version INTEGER 1, "public", 0xa0 PDU ...
         assert_eq!(wire[0], 0x30);
         assert_eq!(&wire[2..5], &[0x02, 0x01, 0x01]);
-        assert_eq!(&wire[5..13], &[0x04, 0x06, b'p', b'u', b'b', b'l', b'i', b'c']);
+        assert_eq!(
+            &wire[5..13],
+            &[0x04, 0x06, b'p', b'u', b'b', b'l', b'i', b'c']
+        );
         assert_eq!(wire[13], 0xa0);
     }
 
     #[test]
     fn decode_rejects_v1_and_garbage() {
         // Build a v1 message by hand: version 0.
-        let msg = SnmpMessage::new(
-            "public",
-            Pdu::request(PduType::Get, 1, vec![]),
-        );
+        let msg = SnmpMessage::new("public", Pdu::request(PduType::Get, 1, vec![]));
         let mut raw = msg.encode().to_vec();
         // Patch version byte (offset 4: SEQ hdr(2) INT hdr(2) value(1)).
         raw[4] = 0;
@@ -428,7 +450,10 @@ mod tests {
     fn value_accessors() {
         assert_eq!(Value::Integer(5).as_int(), Some(5));
         assert_eq!(Value::Counter64(7).as_int(), Some(7));
-        assert_eq!(Value::OctetString(b"ab".to_vec()).as_bytes(), Some(&b"ab"[..]));
+        assert_eq!(
+            Value::OctetString(b"ab".to_vec()).as_bytes(),
+            Some(&b"ab"[..])
+        );
         assert!(Value::EndOfMibView.is_exception());
         assert!(!Value::Null.is_exception());
     }

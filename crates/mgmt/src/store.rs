@@ -138,8 +138,14 @@ mod tests {
 
     fn store() -> MemoryMib {
         let mut m = MemoryMib::new();
-        m.insert(oid("1.3.6.1.2.1.1.1.0"), Value::OctetString(b"test device".to_vec()));
-        m.insert(oid("1.3.6.1.2.1.1.5.0"), Value::OctetString(b"sw1".to_vec()));
+        m.insert(
+            oid("1.3.6.1.2.1.1.1.0"),
+            Value::OctetString(b"test device".to_vec()),
+        );
+        m.insert(
+            oid("1.3.6.1.2.1.1.5.0"),
+            Value::OctetString(b"sw1".to_vec()),
+        );
         m.insert(oid("1.3.6.1.2.1.2.1.0"), Value::Integer(8));
         m.allow_writes_under(oid("1.3.6.1.2.1.1.5"));
         m
@@ -153,11 +159,17 @@ mod tests {
             Pdu::request(
                 PduType::Get,
                 1,
-                vec![(oid("1.3.6.1.2.1.1.1.0"), Value::Null), (oid("1.9"), Value::Null)],
+                vec![
+                    (oid("1.3.6.1.2.1.1.1.0"), Value::Null),
+                    (oid("1.9"), Value::Null),
+                ],
             ),
         );
         let resp = agent_respond(&mut s, "public", &req).unwrap();
-        assert_eq!(resp.pdu.bindings[0].1, Value::OctetString(b"test device".to_vec()));
+        assert_eq!(
+            resp.pdu.bindings[0].1,
+            Value::OctetString(b"test device".to_vec())
+        );
         assert_eq!(resp.pdu.bindings[1].1, Value::NoSuchInstance);
     }
 
@@ -181,7 +193,11 @@ mod tests {
         }
         assert_eq!(
             seen,
-            vec![oid("1.3.6.1.2.1.1.1.0"), oid("1.3.6.1.2.1.1.5.0"), oid("1.3.6.1.2.1.2.1.0")]
+            vec![
+                oid("1.3.6.1.2.1.1.1.0"),
+                oid("1.3.6.1.2.1.1.5.0"),
+                oid("1.3.6.1.2.1.2.1.0")
+            ]
         );
     }
 
@@ -193,19 +209,28 @@ mod tests {
             Pdu::request(
                 PduType::Set,
                 2,
-                vec![(oid("1.3.6.1.2.1.1.5.0"), Value::OctetString(b"renamed".to_vec()))],
+                vec![(
+                    oid("1.3.6.1.2.1.1.5.0"),
+                    Value::OctetString(b"renamed".to_vec()),
+                )],
             ),
         );
         let resp = agent_respond(&mut s, "public", &ok).unwrap();
         assert_eq!(resp.pdu.error_status, ErrorStatus::NoError);
-        assert_eq!(s.get(&oid("1.3.6.1.2.1.1.5.0")), Some(Value::OctetString(b"renamed".to_vec())));
+        assert_eq!(
+            s.get(&oid("1.3.6.1.2.1.1.5.0")),
+            Some(Value::OctetString(b"renamed".to_vec()))
+        );
 
         let bad = SnmpMessage::new(
             "public",
             Pdu::request(
                 PduType::Set,
                 3,
-                vec![(oid("1.3.6.1.2.1.1.1.0"), Value::OctetString(b"nope".to_vec()))],
+                vec![(
+                    oid("1.3.6.1.2.1.1.1.0"),
+                    Value::OctetString(b"nope".to_vec()),
+                )],
             ),
         );
         let resp = agent_respond(&mut s, "public", &bad).unwrap();
@@ -218,7 +243,11 @@ mod tests {
         let mut s = store();
         let req = SnmpMessage::new(
             "wrong",
-            Pdu::request(PduType::Get, 1, vec![(oid("1.3.6.1.2.1.1.1.0"), Value::Null)]),
+            Pdu::request(
+                PduType::Get,
+                1,
+                vec![(oid("1.3.6.1.2.1.1.1.0"), Value::Null)],
+            ),
         );
         assert!(agent_respond(&mut s, "public", &req).is_none());
     }

@@ -191,12 +191,18 @@ mod tests {
     fn rejects_non_ethernet_arp() {
         let mut buf = [0u8; PACKET_LEN];
         buf[1] = 6; // htype = IEEE 802
-        assert_eq!(ArpPacket::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            ArpPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]
     fn rejects_truncated() {
-        assert_eq!(ArpPacket::new_checked(&[0u8; 27][..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            ArpPacket::new_checked(&[0u8; 27][..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]

@@ -78,7 +78,16 @@ pub fn icmp_echo_request(
     seq: u16,
     payload: &[u8],
 ) -> Bytes {
-    icmp_echo(src_mac, dst_mac, src_ip, dst_ip, Icmpv4Type::EchoRequest, ident, seq, payload)
+    icmp_echo(
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        Icmpv4Type::EchoRequest,
+        ident,
+        seq,
+        payload,
+    )
 }
 
 /// Build an Ethernet/IPv4/ICMP echo-reply frame.
@@ -91,7 +100,16 @@ pub fn icmp_echo_reply(
     seq: u16,
     payload: &[u8],
 ) -> Bytes {
-    icmp_echo(src_mac, dst_mac, src_ip, dst_ip, Icmpv4Type::EchoReply, ident, seq, payload)
+    icmp_echo(
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        Icmpv4Type::EchoReply,
+        ident,
+        seq,
+        payload,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -172,7 +190,9 @@ pub fn sized_udp_packet(
     let overhead = HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN;
     let payload_len = frame_len.saturating_sub(overhead);
     let payload = vec![0u8; payload_len];
-    udp_packet(src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, &payload)
+    udp_packet(
+        src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, &payload,
+    )
 }
 
 /// Minimum sized frame (Ethernet minimum minus FCS).
@@ -224,7 +244,11 @@ mod tests {
 
     #[test]
     fn arp_frames_parse_back() {
-        let req = arp_request(MacAddr::host(1), Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        let req = arp_request(
+            MacAddr::host(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
         let eth = EthernetFrame::new_checked(&req[..]).unwrap();
         assert_eq!(eth.dst(), MacAddr::BROADCAST);
         let a = ArpPacket::new_checked(eth.payload()).unwrap();

@@ -56,13 +56,18 @@ mod tests {
 
     #[test]
     fn odd_length_pads_with_zero() {
-        assert_eq!(checksum(&[0xab]), finish(u32::from(u16::from_be_bytes([0xab, 0]))));
+        assert_eq!(
+            checksum(&[0xab]),
+            finish(u32::from(u16::from_be_bytes([0xab, 0])))
+        );
     }
 
     #[test]
     fn verify_detects_corruption() {
-        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0xde, 0xad, 0x00, 0x00, 0x40, 0x11, 0, 0, 10, 0,
-                            0, 1, 10, 0, 0, 2];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x1c, 0xde, 0xad, 0x00, 0x00, 0x40, 0x11, 0, 0, 10, 0, 0, 1, 10, 0,
+            0, 2,
+        ];
         let ck = checksum(&data);
         data[10..12].copy_from_slice(&ck.to_be_bytes());
         assert!(verify(&data));

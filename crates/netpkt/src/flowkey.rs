@@ -6,8 +6,8 @@
 //! ([`FieldMask`]). `key.masked(&mask)` is a field-wise AND — exactly the
 //! operation OVS-style megaflow caches and OXM masked matches need.
 
-use crate::{EtherType, IpProto, MacAddr, Result};
 use crate::{arp, icmp, ipv4, ipv6, tcp, udp, vlan};
+use crate::{EtherType, IpProto, MacAddr, Result};
 
 /// OpenFlow 1.3 `OFPVID_PRESENT`: set in [`FlowKey::vlan_vid`] when the
 /// frame carries an 802.1Q tag.
@@ -137,13 +137,7 @@ impl FlowKey {
 
     /// Field-wise AND with a mask.
     pub fn masked(&self, m: &FieldMask) -> FlowKey {
-        let and6 = |a: MacAddr, b: MacAddr| {
-            let mut o = [0u8; 6];
-            for i in 0..6 {
-                o[i] = a.0[i] & b.0[i];
-            }
-            MacAddr(o)
-        };
+        let and6 = |a: MacAddr, b: MacAddr| MacAddr(std::array::from_fn(|i| a.0[i] & b.0[i]));
         FlowKey {
             in_port: self.in_port & m.in_port,
             eth_dst: and6(self.eth_dst, m.eth_dst),
@@ -173,13 +167,7 @@ impl FlowKey {
     /// Union of two masks (bit-wise OR per field). Used when a megaflow
     /// entry must become *more* specific.
     pub fn mask_union(&self, m: &FieldMask) -> FieldMask {
-        let or6 = |a: MacAddr, b: MacAddr| {
-            let mut o = [0u8; 6];
-            for i in 0..6 {
-                o[i] = a.0[i] | b.0[i];
-            }
-            MacAddr(o)
-        };
+        let or6 = |a: MacAddr, b: MacAddr| MacAddr(std::array::from_fn(|i| a.0[i] | b.0[i]));
         FlowKey {
             in_port: self.in_port | m.in_port,
             eth_dst: or6(self.eth_dst, m.eth_dst),
@@ -333,12 +321,23 @@ mod tests {
 
     #[test]
     fn extract_tagged_reports_inner_ethertype() {
-        let tagged = push_vlan(&udp_frame(), VlanTag { vid: 101, pcp: 5, dei: false }).unwrap();
+        let tagged = push_vlan(
+            &udp_frame(),
+            VlanTag {
+                vid: 101,
+                pcp: 5,
+                dei: false,
+            },
+        )
+        .unwrap();
         let key = FlowKey::extract(1, &tagged).unwrap();
         assert_eq!(key.eth_type, 0x0800, "ETH_TYPE must look through the tag");
         assert_eq!(key.vlan(), VlanKey::Tagged(101));
         assert_eq!(key.vlan_pcp, 5);
-        assert_eq!(key.udp_dst, 53, "L4 must still be reachable through the tag");
+        assert_eq!(
+            key.udp_dst, 53,
+            "L4 must still be reachable through the tag"
+        );
     }
 
     #[test]
@@ -384,7 +383,10 @@ mod tests {
 
     #[test]
     fn vlan_key_oxm_round_trip() {
-        assert_eq!(VlanKey::from_oxm(VlanKey::Tagged(101).to_oxm()), VlanKey::Tagged(101));
+        assert_eq!(
+            VlanKey::from_oxm(VlanKey::Tagged(101).to_oxm()),
+            VlanKey::Tagged(101)
+        );
         assert_eq!(VlanKey::from_oxm(VlanKey::None.to_oxm()), VlanKey::None);
     }
 

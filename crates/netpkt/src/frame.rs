@@ -1,6 +1,6 @@
 //! Ethernet II frame view and representation.
 
-use crate::{EtherType, Error, MacAddr, Result};
+use crate::{Error, EtherType, MacAddr, Result};
 
 /// Length of an untagged Ethernet II header (dst + src + ethertype).
 pub const HEADER_LEN: usize = 14;
@@ -165,7 +165,10 @@ mod tests {
 
     #[test]
     fn checked_rejects_short_buffers() {
-        assert_eq!(EthernetFrame::new_checked(&[0u8; 13][..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            EthernetFrame::new_checked(&[0u8; 13][..]).unwrap_err(),
+            Error::Truncated
+        );
         assert!(EthernetFrame::new_checked(&[0u8; 14][..]).is_ok());
     }
 
@@ -187,7 +190,7 @@ mod tests {
             src: MacAddr::host(4),
             ethertype: EtherType::IPV6,
         };
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
         repr.emit(&mut frame);
         let parsed = EthernetRepr::parse(&EthernetFrame::new_checked(&buf[..]).unwrap()).unwrap();

@@ -134,7 +134,7 @@ mod tests {
 
     #[test]
     fn echo_round_trip() {
-        let mut buf = vec![0u8; HEADER_LEN + 4];
+        let mut buf = [0u8; HEADER_LEN + 4];
         buf[HEADER_LEN..].copy_from_slice(b"ping");
         let mut icmp = Icmpv4Packet::new_unchecked(&mut buf[..]);
         icmp.set_msg_type(Icmpv4Type::EchoRequest);
@@ -153,12 +153,14 @@ mod tests {
 
     #[test]
     fn corruption_detected() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         let mut icmp = Icmpv4Packet::new_unchecked(&mut buf[..]);
         icmp.set_msg_type(Icmpv4Type::EchoReply);
         icmp.fill_checksum();
         buf[7] ^= 1;
-        assert!(!Icmpv4Packet::new_checked(&buf[..]).unwrap().verify_checksum());
+        assert!(!Icmpv4Packet::new_checked(&buf[..])
+            .unwrap()
+            .verify_checksum());
     }
 
     #[test]

@@ -285,7 +285,7 @@ mod tests {
     #[test]
     fn emit_parse_round_trip() {
         let r = repr();
-        let mut buf = vec![0u8; HEADER_LEN + 8];
+        let mut buf = [0u8; HEADER_LEN + 8];
         let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
         r.emit(&mut pkt);
         let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
@@ -296,7 +296,7 @@ mod tests {
     #[test]
     fn corrupted_checksum_detected() {
         let r = repr();
-        let mut buf = vec![0u8; HEADER_LEN + 8];
+        let mut buf = [0u8; HEADER_LEN + 8];
         let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
         r.emit(&mut pkt);
         buf[15] ^= 0x01; // flip a src-address bit
@@ -306,30 +306,39 @@ mod tests {
 
     #[test]
     fn rejects_bad_version() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         buf[0] = 0x65; // version 6
-        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]
     fn rejects_short_ihl() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         buf[0] = 0x44; // IHL = 16 bytes < 20
-        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]
     fn rejects_total_len_beyond_buffer() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         buf[0] = 0x45;
         buf[2..4].copy_from_slice(&100u16.to_be_bytes());
-        assert_eq!(Ipv4Packet::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]
     fn payload_respects_total_len() {
         let r = repr();
-        let mut buf = vec![0u8; HEADER_LEN + 16]; // 8 bytes of trailing padding
+        let mut buf = [0u8; HEADER_LEN + 16]; // 8 bytes of trailing padding
         let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
         r.emit(&mut pkt);
         let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();

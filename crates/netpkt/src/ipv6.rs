@@ -119,15 +119,21 @@ mod tests {
 
     #[test]
     fn rejects_v4() {
-        let buf = vec![0x45u8; HEADER_LEN];
-        assert_eq!(Ipv6Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        let buf = [0x45u8; HEADER_LEN];
+        assert_eq!(
+            Ipv6Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
     }
 
     #[test]
     fn rejects_truncated_payload() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         buf[0] = 0x60;
         buf[4..6].copy_from_slice(&10u16.to_be_bytes());
-        assert_eq!(Ipv6Packet::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Ipv6Packet::new_checked(&buf[..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 }

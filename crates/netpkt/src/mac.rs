@@ -119,7 +119,7 @@ impl FromStr for MacAddr {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut out = [0u8; 6];
         let mut n = 0;
-        for part in s.split(|c| c == ':' || c == '-') {
+        for part in s.split([':', '-']) {
             if n == 6 || part.len() != 2 {
                 return Err(ParseMacError);
             }

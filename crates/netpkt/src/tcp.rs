@@ -106,12 +106,8 @@ impl<T: AsRef<[u8]>> TcpPacket<T> {
     /// Verify the checksum over the IPv4 pseudo-header.
     pub fn verify_checksum_v4(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
         let b = self.buffer.as_ref();
-        let mut acc = checksum::pseudo_header_v4(
-            src.octets(),
-            dst.octets(),
-            IpProto::TCP.0,
-            b.len() as u16,
-        );
+        let mut acc =
+            checksum::pseudo_header_v4(src.octets(), dst.octets(), IpProto::TCP.0, b.len() as u16);
         acc = checksum::sum(acc, b);
         checksum::finish(acc) == 0
     }
@@ -173,7 +169,7 @@ mod tests {
     fn build_verify_round_trip() {
         let src = Ipv4Addr::new(10, 1, 0, 1);
         let dst = Ipv4Addr::new(10, 1, 0, 2);
-        let mut buf = vec![0u8; HEADER_LEN + 3];
+        let mut buf = [0u8; HEADER_LEN + 3];
         buf[HEADER_LEN..].copy_from_slice(b"GET");
         let mut tcp = TcpPacket::new_unchecked(&mut buf[..]);
         tcp.set_src_port(40000);
@@ -197,7 +193,7 @@ mod tests {
 
     #[test]
     fn syn_detection() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         let mut tcp = TcpPacket::new_unchecked(&mut buf[..]);
         tcp.set_header_len(HEADER_LEN);
         tcp.set_flags(flags::SYN);
@@ -206,10 +202,16 @@ mod tests {
 
     #[test]
     fn rejects_bad_data_offset() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         buf[12] = 0x30; // doff = 12 bytes < 20
-        assert_eq!(TcpPacket::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            TcpPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
         buf[12] = 0xf0; // doff = 60 bytes > buffer
-        assert_eq!(TcpPacket::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            TcpPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 }

@@ -117,7 +117,7 @@ mod tests {
     fn build_verify_round_trip() {
         let src = Ipv4Addr::new(192, 168, 0, 1);
         let dst = Ipv4Addr::new(192, 168, 0, 2);
-        let mut buf = vec![0u8; HEADER_LEN + 5];
+        let mut buf = [0u8; HEADER_LEN + 5];
         buf[HEADER_LEN..].copy_from_slice(b"hello");
         let mut udp = UdpPacket::new_unchecked(&mut buf[..]);
         udp.set_src_port(1234);
@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn zero_checksum_always_verifies() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         let mut udp = UdpPacket::new_unchecked(&mut buf[..]);
         udp.set_len_field(8);
         let udp = UdpPacket::new_checked(&buf[..]).unwrap();
@@ -145,8 +145,11 @@ mod tests {
 
     #[test]
     fn rejects_len_field_below_header() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         buf[4..6].copy_from_slice(&4u16.to_be_bytes());
-        assert_eq!(UdpPacket::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            UdpPacket::new_checked(&buf[..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 }

@@ -12,7 +12,7 @@
 use bytes::{Bytes, BytesMut};
 
 use crate::frame::HEADER_LEN;
-use crate::{EtherType, Error, EthernetFrame, Result};
+use crate::{Error, EtherType, EthernetFrame, Result};
 
 /// Mask of the 12-bit VLAN identifier within the TCI.
 pub const VID_MASK: u16 = 0x0fff;
@@ -35,7 +35,11 @@ pub struct VlanTag {
 impl VlanTag {
     /// A tag carrying only a VLAN id (PCP 0, DEI clear).
     pub const fn new(vid: u16) -> Self {
-        VlanTag { vid, pcp: 0, dei: false }
+        VlanTag {
+            vid,
+            pcp: 0,
+            dei: false,
+        }
     }
 
     /// Decode from a raw TCI value.
@@ -188,7 +192,11 @@ mod tests {
 
     #[test]
     fn tci_round_trip() {
-        let t = VlanTag { vid: 101, pcp: 5, dei: true };
+        let t = VlanTag {
+            vid: 101,
+            pcp: 5,
+            dei: true,
+        };
         assert_eq!(VlanTag::from_tci(t.to_tci()), t);
     }
 
@@ -241,13 +249,28 @@ mod tests {
 
     #[test]
     fn set_vid_in_place() {
-        let tagged = push_vlan(&untagged(), VlanTag { vid: 101, pcp: 3, dei: false }).unwrap();
+        let tagged = push_vlan(
+            &untagged(),
+            VlanTag {
+                vid: 101,
+                pcp: 3,
+                dei: false,
+            },
+        )
+        .unwrap();
         let mut buf = BytesMut::from(&tagged[..]);
         let old = set_vlan_vid(&mut buf, 102).unwrap();
         assert_eq!(old.vid, 101);
         let view = VlanView::parse(&buf).unwrap();
         // PCP must be preserved across the rewrite.
-        assert_eq!(view.outer, Some(VlanTag { vid: 102, pcp: 3, dei: false }));
+        assert_eq!(
+            view.outer,
+            Some(VlanTag {
+                vid: 102,
+                pcp: 3,
+                dei: false
+            })
+        );
     }
 
     #[test]

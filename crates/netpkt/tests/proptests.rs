@@ -77,7 +77,7 @@ proptest! {
     #[test]
     fn ethernet_repr_round_trips(dst in arb_mac(), src in arb_mac(), ty in any::<u16>()) {
         let repr = EthernetRepr { dst, src, ethertype: netpkt::EtherType(ty) };
-        let mut buf = vec![0u8; 14];
+        let mut buf = [0u8; 14];
         let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
         repr.emit(&mut frame);
         let parsed = EthernetRepr::parse(&EthernetFrame::new_checked(&buf[..]).unwrap()).unwrap();

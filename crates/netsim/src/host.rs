@@ -23,9 +23,21 @@ pub const NIC: PortId = PortId(0);
 
 /// A frame waiting for ARP resolution.
 enum Pending {
-    Udp { dst_ip: Ipv4Addr, dst_port: u16, src_port: u16, payload: Vec<u8> },
-    Ping { dst_ip: Ipv4Addr, payload: Vec<u8> },
-    TcpSyn { dst_ip: Ipv4Addr, dst_port: u16, src_port: u16 },
+    Udp {
+        dst_ip: Ipv4Addr,
+        dst_port: u16,
+        src_port: u16,
+        payload: Vec<u8>,
+    },
+    Ping {
+        dst_ip: Ipv4Addr,
+        payload: Vec<u8>,
+    },
+    TcpSyn {
+        dst_ip: Ipv4Addr,
+        dst_port: u16,
+        src_port: u16,
+    },
 }
 
 /// A received UDP datagram kept in the mailbox.
@@ -134,7 +146,10 @@ impl Host {
     /// needed). Effective on the next simulation event; typically called
     /// through [`crate::Network::with_node_ctx`].
     pub fn ping(&mut self, payload: &[u8], dst_ip: Ipv4Addr) {
-        self.pending.push(Pending::Ping { dst_ip, payload: payload.to_vec() });
+        self.pending.push(Pending::Ping {
+            dst_ip,
+            payload: payload.to_vec(),
+        });
     }
 
     /// Queue a UDP datagram to `dst_ip:dst_port`.
@@ -151,7 +166,11 @@ impl Host {
     /// Queue a TCP SYN ("connection attempt") to `dst_ip:dst_port`.
     pub fn connect_tcp(&mut self, dst_ip: Ipv4Addr, dst_port: u16) {
         self.udp_src_seq = self.udp_src_seq.wrapping_add(1).max(1024);
-        self.pending.push(Pending::TcpSyn { dst_ip, dst_port, src_port: self.udp_src_seq });
+        self.pending.push(Pending::TcpSyn {
+            dst_ip,
+            dst_port,
+            src_port: self.udp_src_seq,
+        });
     }
 
     /// Flush queued sends now. Needed when queueing traffic from outside
@@ -189,7 +208,12 @@ impl Host {
 
     fn send_now(&mut self, p: Pending, dst_mac: MacAddr, ctx: &mut NodeCtx) {
         match p {
-            Pending::Udp { dst_ip, dst_port, src_port, payload } => {
+            Pending::Udp {
+                dst_ip,
+                dst_port,
+                src_port,
+                payload,
+            } => {
                 let f = builder::udp_packet(
                     self.mac, dst_mac, self.ip, dst_ip, src_port, dst_port, &payload,
                 );
@@ -198,11 +222,21 @@ impl Host {
             Pending::Ping { dst_ip, payload } => {
                 self.ping_seq = self.ping_seq.wrapping_add(1);
                 let f = builder::icmp_echo_request(
-                    self.mac, dst_mac, self.ip, dst_ip, 1, self.ping_seq, &payload,
+                    self.mac,
+                    dst_mac,
+                    self.ip,
+                    dst_ip,
+                    1,
+                    self.ping_seq,
+                    &payload,
                 );
                 ctx.transmit(NIC, f);
             }
-            Pending::TcpSyn { dst_ip, dst_port, src_port } => {
+            Pending::TcpSyn {
+                dst_ip,
+                dst_port,
+                src_port,
+            } => {
                 let f = builder::tcp_packet(
                     self.mac,
                     dst_mac,
@@ -220,8 +254,12 @@ impl Host {
 
     fn handle_arp(&mut self, frame: &[u8], ctx: &mut NodeCtx) {
         let eth = EthernetFrame::new_unchecked(frame);
-        let Ok(arp) = ArpPacket::new_checked(eth.payload()) else { return };
-        let Ok(repr) = ArpRepr::parse(&arp) else { return };
+        let Ok(arp) = ArpPacket::new_checked(eth.payload()) else {
+            return;
+        };
+        let Ok(repr) = ArpRepr::parse(&arp) else {
+            return;
+        };
         // Learn the sender either way.
         self.arp_table.insert(repr.sender_ip, repr.sender_mac);
         match repr.op {
@@ -235,13 +273,17 @@ impl Host {
 
     fn handle_ipv4(&mut self, frame: &[u8], ctx: &mut NodeCtx) {
         let eth = EthernetFrame::new_unchecked(frame);
-        let Ok(ip) = Ipv4Packet::new_checked(eth.payload()) else { return };
+        let Ok(ip) = Ipv4Packet::new_checked(eth.payload()) else {
+            return;
+        };
         if ip.dst() != self.ip {
             return; // promiscuous traffic (e.g. flooded); not for us
         }
         match ip.proto() {
             IpProto::ICMP => {
-                let Ok(icmp) = netpkt::Icmpv4Packet::new_checked(ip.payload()) else { return };
+                let Ok(icmp) = netpkt::Icmpv4Packet::new_checked(ip.payload()) else {
+                    return;
+                };
                 match icmp.msg_type() {
                     Icmpv4Type::EchoRequest => {
                         self.echo_requests_answered += 1;
@@ -263,7 +305,9 @@ impl Host {
                 }
             }
             IpProto::UDP => {
-                let Ok(udp) = UdpPacket::new_checked(ip.payload()) else { return };
+                let Ok(udp) = UdpPacket::new_checked(ip.payload()) else {
+                    return;
+                };
                 self.mailbox.push(Datagram {
                     at: ctx.now(),
                     src_ip: ip.src(),
@@ -273,7 +317,9 @@ impl Host {
                 });
             }
             IpProto::TCP => {
-                let Ok(tcp) = TcpPacket::new_checked(ip.payload()) else { return };
+                let Ok(tcp) = TcpPacket::new_checked(ip.payload()) else {
+                    return;
+                };
                 if tcp.is_syn() {
                     self.syns_received += 1;
                     // Answer SYN+ACK so the initiator can count success.
@@ -306,7 +352,9 @@ impl Node for Host {
 
     fn on_packet(&mut self, _port: PortId, frame: Bytes, ctx: &mut NodeCtx) {
         self.rx_frames += 1;
-        let Ok(key) = FlowKey::extract(0, &frame) else { return };
+        let Ok(key) = FlowKey::extract(0, &frame) else {
+            return;
+        };
         // Hosts are access devices: a VLAN tag reaching a host means the
         // switch misdelivered; count it by ignoring.
         if key.vlan_vid != 0 {
@@ -353,7 +401,8 @@ mod tests {
     #[test]
     fn ping_back_to_back() {
         let (mut net, a, b) = two_hosts();
-        net.node_mut::<Host>(a).ping(b"hello", Ipv4Addr::new(10, 0, 0, 2));
+        net.node_mut::<Host>(a)
+            .ping(b"hello", Ipv4Addr::new(10, 0, 0, 2));
         net.run_until(SimTime::from_millis(10));
         assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 1);
         assert_eq!(net.node_ref::<Host>(b).echo_requests_answered(), 1);
@@ -371,7 +420,8 @@ mod tests {
     #[test]
     fn udp_lands_in_mailbox() {
         let (mut net, a, b) = two_hosts();
-        net.node_mut::<Host>(a).send_udp(Ipv4Addr::new(10, 0, 0, 2), 5353, b"query");
+        net.node_mut::<Host>(a)
+            .send_udp(Ipv4Addr::new(10, 0, 0, 2), 5353, b"query");
         net.run_until(SimTime::from_millis(10));
         let mb = net.node_ref::<Host>(b).mailbox();
         assert_eq!(mb.len(), 1);
@@ -383,7 +433,8 @@ mod tests {
     #[test]
     fn tcp_syn_gets_syn_ack() {
         let (mut net, a, b) = two_hosts();
-        net.node_mut::<Host>(a).connect_tcp(Ipv4Addr::new(10, 0, 0, 2), 80);
+        net.node_mut::<Host>(a)
+            .connect_tcp(Ipv4Addr::new(10, 0, 0, 2), 80);
         net.run_until(SimTime::from_millis(10));
         assert_eq!(net.node_ref::<Host>(b).syns_received(), 1);
         assert_eq!(net.node_ref::<Host>(a).syn_acks_received(), 1);
@@ -393,7 +444,8 @@ mod tests {
     fn host_ignores_foreign_ip() {
         let (mut net, a, b) = two_hosts();
         // a pings an address that belongs to nobody; b must not answer.
-        net.node_mut::<Host>(a).ping(b"x", Ipv4Addr::new(10, 0, 0, 99));
+        net.node_mut::<Host>(a)
+            .ping(b"x", Ipv4Addr::new(10, 0, 0, 99));
         net.run_until(SimTime::from_millis(10));
         assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 0);
         assert_eq!(net.node_ref::<Host>(b).echo_requests_answered(), 0);

@@ -6,9 +6,9 @@ use std::collections::VecDeque;
 
 use crate::time::SimTime;
 
-/// Per-frame wire overhead of real Ethernet in bytes: preamble (7) + SFD (1)
-/// + FCS (4) + inter-frame gap (12). Included in serialization time so that
-/// RFC 2544-style numbers line up with hardware testers.
+/// Per-frame wire overhead of real Ethernet in bytes: preamble (7) +
+/// SFD (1) + FCS (4) + inter-frame gap (12). Included in serialization
+/// time so that RFC 2544-style numbers line up with hardware testers.
 pub const ETHERNET_WIRE_OVERHEAD: u32 = 24;
 
 /// Static parameters of one link (applied to both directions).

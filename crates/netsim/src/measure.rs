@@ -85,9 +85,32 @@ mod tests {
 
     #[test]
     fn loss_computation() {
-        assert_eq!(TrialResult { sent: 100, received: 100 }.loss(), 0.0);
-        assert!((TrialResult { sent: 100, received: 90 }.loss() - 0.1).abs() < 1e-9);
-        assert_eq!(TrialResult { sent: 0, received: 0 }.loss(), 0.0);
+        assert_eq!(
+            TrialResult {
+                sent: 100,
+                received: 100
+            }
+            .loss(),
+            0.0
+        );
+        assert!(
+            (TrialResult {
+                sent: 100,
+                received: 90
+            }
+            .loss()
+                - 0.1)
+                .abs()
+                < 1e-9
+        );
+        assert_eq!(
+            TrialResult {
+                sent: 0,
+                received: 0
+            }
+            .loss(),
+            0.0
+        );
     }
 
     #[test]
@@ -96,7 +119,11 @@ mod tests {
         let capacity = 1_000_000.0;
         let found = find_max_lossless_rate(1_000.0, 10_000_000.0, 24, 0.0, |pps| {
             let sent = 1_000_000u64;
-            let received = if pps <= capacity { sent } else { (sent as f64 * capacity / pps) as u64 };
+            let received = if pps <= capacity {
+                sent
+            } else {
+                (sent as f64 * capacity / pps) as u64
+            };
             TrialResult { sent, received }
         });
         assert!((found - capacity).abs() / capacity < 0.01, "found={found}");

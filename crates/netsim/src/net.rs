@@ -23,15 +23,27 @@ impl core::fmt::Display for NodeId {
 #[derive(Debug)]
 enum Ev {
     /// A frame finishes arriving at a node's port.
-    Deliver { node: NodeId, port: PortId, frame: Bytes },
+    Deliver {
+        node: NodeId,
+        port: PortId,
+        frame: Bytes,
+    },
     /// A device timer fires.
     Timer { node: NodeId, token: u64 },
     /// A control-plane message arrives.
-    Ctrl { node: NodeId, from: NodeId, data: Bytes },
+    Ctrl {
+        node: NodeId,
+        from: NodeId,
+        data: Bytes,
+    },
     /// A link serializer finishes the current frame.
     TxDone { link: usize, dir: usize },
     /// A delayed transmit enters the egress queue.
-    Emit { node: NodeId, port: PortId, frame: Bytes },
+    Emit {
+        node: NodeId,
+        port: PortId,
+        frame: Bytes,
+    },
 }
 
 struct Sched {
@@ -161,7 +173,10 @@ impl Network {
 
     /// Drain collected trace lines.
     pub fn take_trace(&mut self) -> Vec<String> {
-        self.trace_buf.as_mut().map(std::mem::take).unwrap_or_default()
+        self.trace_buf
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Egress statistics of the link attached to `(node, port)`, if
@@ -316,12 +331,26 @@ impl Network {
                 Action::Transmit { port, frame } => self.emit(id, port, frame),
                 Action::TransmitAfter { delay, port, frame } => {
                     let at = self.now + delay;
-                    self.push(at, Ev::Emit { node: id, port, frame });
+                    self.push(
+                        at,
+                        Ev::Emit {
+                            node: id,
+                            port,
+                            frame,
+                        },
+                    );
                 }
                 Action::Timer { at, token } => self.push(at, Ev::Timer { node: id, token }),
                 Action::Ctrl { to, data } => {
                     let at = self.now + self.ctrl_delay;
-                    self.push(at, Ev::Ctrl { node: to, from: id, data });
+                    self.push(
+                        at,
+                        Ev::Ctrl {
+                            node: to,
+                            from: id,
+                            data,
+                        },
+                    );
                 }
             }
         }
@@ -355,7 +384,14 @@ impl Network {
         d.busy_until = tx_done;
         let (peer, peer_port) = link.ends[1 - dir];
         self.push(tx_done, Ev::TxDone { link: idx, dir });
-        self.push(arrive, Ev::Deliver { node: peer, port: peer_port, frame });
+        self.push(
+            arrive,
+            Ev::Deliver {
+                node: peer,
+                port: peer_port,
+                frame,
+            },
+        );
     }
 }
 
@@ -421,14 +457,22 @@ mod tests {
     }
 
     fn pinger(count: u32, interval: SimTime) -> Pinger {
-        Pinger { count, interval, arrivals: Vec::new(), sent: 0 }
+        Pinger {
+            count,
+            interval,
+            arrivals: Vec::new(),
+            sent: 0,
+        }
     }
 
     #[test]
     fn round_trip_latency_is_deterministic() {
         let mut net = Network::new(1);
         let p = net.add_node(pinger(1, SimTime::from_micros(10)));
-        let e = net.add_node(Echo { delay: SimTime::from_micros(5), seen: 0 });
+        let e = net.add_node(Echo {
+            delay: SimTime::from_micros(5),
+            seen: 0,
+        });
         net.connect(p, PortId(0), e, PortId(0), LinkSpec::gigabit());
         net.run_until_idle();
         let arr = &net.node_ref::<Pinger>(p).arrivals;
@@ -443,7 +487,10 @@ mod tests {
     fn queueing_delays_back_to_back_frames() {
         let mut net = Network::new(1);
         let p = net.add_node(pinger(3, SimTime::ZERO)); // 3 frames same instant
-        let e = net.add_node(Echo { delay: SimTime::ZERO, seen: 0 });
+        let e = net.add_node(Echo {
+            delay: SimTime::ZERO,
+            seen: 0,
+        });
         net.connect(p, PortId(0), e, PortId(0), LinkSpec::gigabit());
         net.run_until_idle();
         let arr = &net.node_ref::<Pinger>(p).arrivals;
@@ -498,7 +545,10 @@ mod tests {
         let r = net.add_node(CtrlEcho { got_at: None });
         let _s = net.add_node(CtrlSender { to: r });
         net.run_until_idle();
-        assert_eq!(net.node_ref::<CtrlEcho>(r).got_at, Some(SimTime::from_micros(123)));
+        assert_eq!(
+            net.node_ref::<CtrlEcho>(r).got_at,
+            Some(SimTime::from_micros(123))
+        );
     }
 
     #[test]
@@ -522,7 +572,10 @@ mod tests {
     #[test]
     fn inject_delivers_to_node() {
         let mut net = Network::new(1);
-        let e = net.add_node(Echo { delay: SimTime::ZERO, seen: 0 });
+        let e = net.add_node(Echo {
+            delay: SimTime::ZERO,
+            seen: 0,
+        });
         net.inject(e, PortId(3), Bytes::from_static(b"x"));
         net.run_until_idle();
         assert_eq!(net.node_ref::<Echo>(e).seen, 1);
@@ -532,7 +585,10 @@ mod tests {
     fn link_stats_track_egress() {
         let mut net = Network::new(1);
         let p = net.add_node(pinger(5, SimTime::from_micros(100)));
-        let e = net.add_node(Echo { delay: SimTime::ZERO, seen: 0 });
+        let e = net.add_node(Echo {
+            delay: SimTime::ZERO,
+            seen: 0,
+        });
         net.connect(p, PortId(0), e, PortId(0), LinkSpec::gigabit());
         net.run_until_idle();
         let s = net.link_stats(p, PortId(0)).unwrap();

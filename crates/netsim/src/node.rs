@@ -32,7 +32,11 @@ pub(crate) enum Action {
     /// Put a frame on the wire attached to `port` right now.
     Transmit { port: PortId, frame: Bytes },
     /// Put a frame on the wire after an internal processing delay.
-    TransmitAfter { delay: SimTime, port: PortId, frame: Bytes },
+    TransmitAfter {
+        delay: SimTime,
+        port: PortId,
+        frame: Bytes,
+    },
     /// Fire `on_timer(token)` at `at`.
     Timer { at: SimTime, token: u64 },
     /// Deliver `data` to `to`'s `on_ctrl` after the control-plane delay.
@@ -71,12 +75,16 @@ impl<'a> NodeCtx<'a> {
     /// Transmit after an internal processing `delay` (models pipeline
     /// latency without device-side timer bookkeeping).
     pub fn transmit_after(&mut self, delay: SimTime, port: PortId, frame: Bytes) {
-        self.actions.push(Action::TransmitAfter { delay, port, frame });
+        self.actions
+            .push(Action::TransmitAfter { delay, port, frame });
     }
 
     /// Schedule `on_timer(token)` to fire `delay` from now.
     pub fn schedule(&mut self, delay: SimTime, token: u64) {
-        self.actions.push(Action::Timer { at: self.now + delay, token });
+        self.actions.push(Action::Timer {
+            at: self.now + delay,
+            token,
+        });
     }
 
     /// Send an out-of-band control message (OpenFlow, SNMP, ...) to another

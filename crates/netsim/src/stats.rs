@@ -203,8 +203,14 @@ mod tests {
         let p50 = h.p50();
         let p99 = h.p99();
         // log-linear bucketing: within ~4% of the true value
-        assert!((p50 as f64 - 5_000_000.0).abs() / 5_000_000.0 < 0.04, "p50={p50}");
-        assert!((p99 as f64 - 9_900_000.0).abs() / 9_900_000.0 < 0.04, "p99={p99}");
+        assert!(
+            (p50 as f64 - 5_000_000.0).abs() / 5_000_000.0 < 0.04,
+            "p50={p50}"
+        );
+        assert!(
+            (p99 as f64 - 9_900_000.0).abs() / 9_900_000.0 < 0.04,
+            "p99={p99}"
+        );
         assert!((h.mean() - 5_000_500.0 * 1.0).abs() / 5_000_500.0 < 0.001);
     }
 

@@ -120,9 +120,15 @@ mod tests {
     #[test]
     fn tx_time_gigabit() {
         // 1500 bytes at 1 Gbps = 12 microseconds.
-        assert_eq!(SimTime::tx_time(1500, 1_000_000_000), SimTime::from_micros(12));
+        assert_eq!(
+            SimTime::tx_time(1500, 1_000_000_000),
+            SimTime::from_micros(12)
+        );
         // 64 bytes at 10 Gbps = 51.2 ns.
-        assert_eq!(SimTime::tx_time(64, 10_000_000_000), SimTime::from_nanos(51));
+        assert_eq!(
+            SimTime::tx_time(64, 10_000_000_000),
+            SimTime::from_nanos(51)
+        );
     }
 
     #[test]
@@ -133,7 +139,10 @@ mod tests {
     #[test]
     fn saturating_arithmetic() {
         assert_eq!(SimTime::MAX + SimTime::from_secs(1), SimTime::MAX);
-        assert_eq!(SimTime::ZERO.saturating_sub(SimTime::from_secs(1)), SimTime::ZERO);
+        assert_eq!(
+            SimTime::ZERO.saturating_sub(SimTime::from_secs(1)),
+            SimTime::ZERO
+        );
     }
 
     #[test]

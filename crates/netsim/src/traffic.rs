@@ -222,7 +222,11 @@ impl Generator {
         let overhead = 14 + 20 + 8; // eth + ipv4 + udp
         let payload_len = f.frame_len.saturating_sub(overhead).max(STAMP_LEN);
         let mut payload = vec![0u8; payload_len];
-        Stamp { seq: self.seq, sent_ns: now.as_nanos() }.write(&mut payload);
+        Stamp {
+            seq: self.seq,
+            sent_ns: now.as_nanos(),
+        }
+        .write(&mut payload);
         self.seq += 1;
         let frame = builder::udp_packet(
             f.src_mac, f.dst_mac, f.src_ip, f.dst_ip, f.src_port, f.dst_port, &payload,
@@ -393,7 +397,10 @@ mod tests {
     #[test]
     fn stamp_round_trip() {
         let mut buf = [0u8; STAMP_LEN];
-        let s = Stamp { seq: 42, sent_ns: 123_456_789 };
+        let s = Stamp {
+            seq: 42,
+            sent_ns: 123_456_789,
+        };
         s.write(&mut buf);
         assert_eq!(Stamp::read(&buf), Some(s));
         assert_eq!(Stamp::read(&buf[..8]), None);
@@ -403,7 +410,11 @@ mod tests {
     fn stamp_recoverable_from_tagged_frame() {
         let f = FlowSpec::simple(1, 2, 100);
         let mut payload = vec![0u8; 32];
-        Stamp { seq: 7, sent_ns: 999 }.write(&mut payload);
+        Stamp {
+            seq: 7,
+            sent_ns: 999,
+        }
+        .write(&mut payload);
         let frame = builder::udp_packet(
             f.src_mac, f.dst_mac, f.src_ip, f.dst_ip, f.src_port, f.dst_port, &payload,
         );
@@ -433,7 +444,11 @@ mod tests {
         assert_eq!(sink.unstamped(), 0);
         // Latency = ser (128+24 B at 1 Gbps = 1216 ns) + 1 µs prop.
         assert_eq!(sink.latency().max(), 2216);
-        assert!((sink.rx_pps() - 10_000.0).abs() < 150.0, "pps={}", sink.rx_pps());
+        assert!(
+            (sink.rx_pps() - 10_000.0).abs() < 150.0,
+            "pps={}",
+            sink.rx_pps()
+        );
     }
 
     #[test]

@@ -33,18 +33,27 @@ pub enum Action {
 impl Action {
     /// Shorthand for a plain output action.
     pub fn output(port: u32) -> Action {
-        Action::Output { port, max_len: DEFAULT_MAX_LEN }
+        Action::Output {
+            port,
+            max_len: DEFAULT_MAX_LEN,
+        }
     }
 
     /// Shorthand for "punt the whole packet to the controller".
     pub fn to_controller() -> Action {
-        Action::Output { port: crate::port_no::CONTROLLER, max_len: DEFAULT_MAX_LEN }
+        Action::Output {
+            port: crate::port_no::CONTROLLER,
+            max_len: DEFAULT_MAX_LEN,
+        }
     }
 
     /// Shorthand for setting the VLAN id of the outermost tag (OF
     /// convention: the OXM value carries the PRESENT bit).
     pub fn set_vlan_vid(vid: u16) -> Action {
-        Action::SetField(OxmField::VlanVid(netpkt::flowkey::OFPVID_PRESENT | vid, None))
+        Action::SetField(OxmField::VlanVid(
+            netpkt::flowkey::OFPVID_PRESENT | vid,
+            None,
+        ))
     }
 
     /// Encoded length, padded to 8 bytes.
@@ -53,7 +62,7 @@ impl Action {
             Action::Output { .. } => 16,
             Action::Group(_) | Action::SetQueue(_) => 8,
             Action::PushVlan(_) | Action::PopVlan => 8,
-            Action::SetField(f) => (4 + f.encoded_len() + 7) / 8 * 8,
+            Action::SetField(f) => (4 + f.encoded_len()).div_ceil(8) * 8,
         }
     }
 
@@ -108,7 +117,9 @@ impl Action {
         let ty = buf.get_u16();
         let len = usize::from(buf.get_u16());
         if len < 8 || len % 8 != 0 {
-            return Err(Error::Malformed("action length must be a positive multiple of 8"));
+            return Err(Error::Malformed(
+                "action length must be a positive multiple of 8",
+            ));
         }
         let body_len = len - 4;
         if buf.len() < body_len {
@@ -212,7 +223,11 @@ mod tests {
 
     #[test]
     fn list_round_trip() {
-        let list = vec![Action::set_vlan_vid(102), Action::output(1), Action::PopVlan];
+        let list = vec![
+            Action::set_vlan_vid(102),
+            Action::output(1),
+            Action::PopVlan,
+        ];
         let mut buf = BytesMut::new();
         Action::encode_list(&list, &mut buf);
         assert_eq!(buf.len(), Action::list_len(&list));

@@ -93,15 +93,28 @@ impl Group {
             GroupType::All => self.buckets.iter().collect(),
             GroupType::Indirect => self.buckets.first().into_iter().collect(),
             GroupType::Select => {
-                let total: u32 = self.buckets.iter().map(|b| u32::from(b.weight.max(1))).sum();
+                let total: u32 = self
+                    .buckets
+                    .iter()
+                    .map(|b| u32::from(b.weight.max(1)))
+                    .sum();
                 if total == 0 {
                     return Vec::new();
                 }
                 let mut hasher = std::collections::hash_map::DefaultHasher::new();
                 // Hash the L3/L4 5-tuple only, so a flow sticks to a bucket
                 // regardless of in_port or metadata.
-                (key.ipv4_src, key.ipv4_dst, key.ip_proto, key.tcp_src, key.tcp_dst, key.udp_src,
-                 key.udp_dst, key.ipv6_src, key.ipv6_dst)
+                (
+                    key.ipv4_src,
+                    key.ipv4_dst,
+                    key.ip_proto,
+                    key.tcp_src,
+                    key.tcp_dst,
+                    key.udp_src,
+                    key.udp_dst,
+                    key.ipv6_src,
+                    key.ipv6_dst,
+                )
                     .hash(&mut hasher);
                 let mut point = (hasher.finish() % u64::from(total)) as u32;
                 for b in &self.buckets {
@@ -198,7 +211,16 @@ impl GroupTable {
             return Err(Error::BadGroup("select group needs buckets"));
         }
         self.check_chains(id, &buckets)?;
-        self.groups.insert(id, Group { id, type_, buckets, packets: 0, bytes: 0 });
+        self.groups.insert(
+            id,
+            Group {
+                id,
+                type_,
+                buckets,
+                packets: 0,
+                bytes: 0,
+            },
+        );
         Ok(())
     }
 
@@ -289,7 +311,9 @@ mod tests {
         gt.add(
             1,
             GroupType::Select,
-            (0..4).map(|i| Bucket::new(vec![Action::output(i + 1)])).collect(),
+            (0..4)
+                .map(|i| Bucket::new(vec![Action::output(i + 1)]))
+                .collect(),
         )
         .unwrap();
         let g = gt.get(1).unwrap();
@@ -327,7 +351,10 @@ mod tests {
             }
         }
         let share = heavy as f64 / n as f64;
-        assert!((share - 0.75).abs() < 0.05, "weight-3 bucket share = {share}");
+        assert!(
+            (share - 0.75).abs() < 0.05,
+            "weight-3 bucket share = {share}"
+        );
     }
 
     #[test]
@@ -341,19 +368,34 @@ mod tests {
                 vec![Bucket::new(vec![]), Bucket::new(vec![])]
             )
             .is_err());
-        gt.add(1, GroupType::Indirect, vec![Bucket::new(vec![Action::output(5)])]).unwrap();
+        gt.add(
+            1,
+            GroupType::Indirect,
+            vec![Bucket::new(vec![Action::output(5)])],
+        )
+        .unwrap();
     }
 
     #[test]
     fn chain_validation() {
         let mut gt = GroupTable::new();
-        gt.add(1, GroupType::All, vec![Bucket::new(vec![Action::output(1)])]).unwrap();
+        gt.add(
+            1,
+            GroupType::All,
+            vec![Bucket::new(vec![Action::output(1)])],
+        )
+        .unwrap();
         // Chaining to an existing group is fine.
-        gt.add(2, GroupType::All, vec![Bucket::new(vec![Action::Group(1)])]).unwrap();
+        gt.add(2, GroupType::All, vec![Bucket::new(vec![Action::Group(1)])])
+            .unwrap();
         // Forward reference rejected.
-        assert!(gt.add(3, GroupType::All, vec![Bucket::new(vec![Action::Group(9)])]).is_err());
+        assert!(gt
+            .add(3, GroupType::All, vec![Bucket::new(vec![Action::Group(9)])])
+            .is_err());
         // Self reference rejected.
-        assert!(gt.add(4, GroupType::All, vec![Bucket::new(vec![Action::Group(4)])]).is_err());
+        assert!(gt
+            .add(4, GroupType::All, vec![Bucket::new(vec![Action::Group(4)])])
+            .is_err());
         // Duplicate id rejected.
         assert!(gt.add(1, GroupType::All, vec![]).is_err());
     }

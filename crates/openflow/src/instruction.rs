@@ -34,9 +34,7 @@ impl Instruction {
         match self {
             Instruction::GotoTable(_) => 8,
             Instruction::WriteMetadata { .. } => 24,
-            Instruction::WriteActions(a) | Instruction::ApplyActions(a) => {
-                8 + Action::list_len(a)
-            }
+            Instruction::WriteActions(a) | Instruction::ApplyActions(a) => 8 + Action::list_len(a),
             Instruction::ClearActions => 8,
             Instruction::Meter(_) => 8,
         }
@@ -190,7 +188,10 @@ mod tests {
     fn all_instructions_round_trip() {
         for i in [
             Instruction::GotoTable(3),
-            Instruction::WriteMetadata { metadata: 0xdead, mask: 0xffff },
+            Instruction::WriteMetadata {
+                metadata: 0xdead,
+                mask: 0xffff,
+            },
             Instruction::WriteActions(vec![Action::output(1)]),
             Instruction::ApplyActions(vec![Action::PopVlan, Action::output(2)]),
             Instruction::ApplyActions(vec![]),

@@ -198,7 +198,10 @@ impl FlowMod {
 
     /// Start a non-strict `DELETE` for `table_id`.
     pub fn delete(table_id: u8) -> FlowMod {
-        FlowMod { command: FlowModCommand::Delete, ..FlowMod::add(table_id) }
+        FlowMod {
+            command: FlowModCommand::Delete,
+            ..FlowMod::add(table_id)
+        }
     }
 
     /// Builder: priority.
@@ -594,7 +597,12 @@ impl Message {
                 out.put_slice(data);
             }
             Message::EchoRequest(d) | Message::EchoReply(d) => out.put_slice(d),
-            Message::FeaturesReply { datapath_id, n_buffers, n_tables, capabilities } => {
+            Message::FeaturesReply {
+                datapath_id,
+                n_buffers,
+                n_tables,
+                capabilities,
+            } => {
                 out.put_u64(*datapath_id);
                 out.put_u32(*n_buffers);
                 out.put_u8(*n_tables);
@@ -603,12 +611,26 @@ impl Message {
                 out.put_u32(*capabilities);
                 out.put_u32(0); // reserved
             }
-            Message::GetConfigReply { flags, miss_send_len }
-            | Message::SetConfig { flags, miss_send_len } => {
+            Message::GetConfigReply {
+                flags,
+                miss_send_len,
+            }
+            | Message::SetConfig {
+                flags,
+                miss_send_len,
+            } => {
                 out.put_u16(*flags);
                 out.put_u16(*miss_send_len);
             }
-            Message::PacketIn { buffer_id, total_len, reason, table_id, cookie, match_, data } => {
+            Message::PacketIn {
+                buffer_id,
+                total_len,
+                reason,
+                table_id,
+                cookie,
+                match_,
+                data,
+            } => {
                 out.put_u32(*buffer_id);
                 out.put_u16(*total_len);
                 out.put_u8(reason.value());
@@ -647,7 +669,12 @@ impl Message {
                 out.put_bytes(0, 7);
                 desc.encode(out);
             }
-            Message::PacketOut { buffer_id, in_port, actions, data } => {
+            Message::PacketOut {
+                buffer_id,
+                in_port,
+                actions,
+                data,
+            } => {
                 out.put_u32(*buffer_id);
                 out.put_u32(*in_port);
                 out.put_u16(Action::list_len(actions) as u16);
@@ -671,7 +698,12 @@ impl Message {
                 fm.match_.encode(out);
                 Instruction::encode_list(&fm.instructions, out);
             }
-            Message::GroupMod { command, type_, group_id, buckets } => {
+            Message::GroupMod {
+                command,
+                type_,
+                group_id,
+                buckets,
+            } => {
                 out.put_u16(command.value());
                 out.put_u8(type_.value());
                 out.put_u8(0);
@@ -686,7 +718,12 @@ impl Message {
                     Action::encode_list(&b.actions, out);
                 }
             }
-            Message::MeterMod { command, meter_id, pktps, band } => {
+            Message::MeterMod {
+                command,
+                meter_id,
+                pktps,
+                band,
+            } => {
                 out.put_u16(command.value());
                 let mut flags = if *pktps { 0x2 } else { 0x1 };
                 flags |= 0x4; // burst
@@ -703,7 +740,14 @@ impl Message {
             Message::MultipartRequest(req) => {
                 let (ty, body): (u16, BytesMut) = match req {
                     MultipartReq::Desc => (mp_type::DESC, BytesMut::new()),
-                    MultipartReq::Flow { table_id, out_port, out_group, cookie, cookie_mask, match_ }
+                    MultipartReq::Flow {
+                        table_id,
+                        out_port,
+                        out_group,
+                        cookie,
+                        cookie_mask,
+                        match_,
+                    }
                     | MultipartReq::Aggregate {
                         table_id,
                         out_port,
@@ -744,10 +788,15 @@ impl Message {
             }
             Message::MultipartReply(res) => {
                 let (ty, body): (u16, BytesMut) = match res {
-                    MultipartRes::Desc { mfr, hw, sw, serial, dp } => {
+                    MultipartRes::Desc {
+                        mfr,
+                        hw,
+                        sw,
+                        serial,
+                        dp,
+                    } => {
                         let mut b = BytesMut::new();
-                        for (s, len) in
-                            [(mfr, 256), (hw, 256), (sw, 256), (serial, 32), (dp, 256)]
+                        for (s, len) in [(mfr, 256), (hw, 256), (sw, 256), (serial, 32), (dp, 256)]
                         {
                             let mut field = vec![0u8; len];
                             let n = s.len().min(len - 1);
@@ -779,7 +828,11 @@ impl Message {
                         }
                         (mp_type::FLOW, b)
                     }
-                    MultipartRes::Aggregate { packet_count, byte_count, flow_count } => {
+                    MultipartRes::Aggregate {
+                        packet_count,
+                        byte_count,
+                        flow_count,
+                    } => {
                         let mut b = BytesMut::new();
                         b.put_u64(*packet_count);
                         b.put_u64(*byte_count);
@@ -865,7 +918,11 @@ impl Message {
                 }
                 let ty = body.get_u16();
                 let code = body.get_u16();
-                Message::Error { ty, code, data: Bytes::copy_from_slice(body) }
+                Message::Error {
+                    ty,
+                    code,
+                    data: Bytes::copy_from_slice(body),
+                }
             }
             ECHO_REQUEST => Message::EchoRequest(Bytes::copy_from_slice(body)),
             ECHO_REPLY => Message::EchoReply(Bytes::copy_from_slice(body)),
@@ -879,7 +936,12 @@ impl Message {
                 let n_tables = body.get_u8();
                 body.advance(3);
                 let capabilities = body.get_u32();
-                Message::FeaturesReply { datapath_id, n_buffers, n_tables, capabilities }
+                Message::FeaturesReply {
+                    datapath_id,
+                    n_buffers,
+                    n_tables,
+                    capabilities,
+                }
             }
             GET_CONFIG_REQUEST => Message::GetConfigRequest,
             GET_CONFIG_REPLY | SET_CONFIG => {
@@ -889,9 +951,15 @@ impl Message {
                 let flags = body.get_u16();
                 let miss_send_len = body.get_u16();
                 if ty == GET_CONFIG_REPLY {
-                    Message::GetConfigReply { flags, miss_send_len }
+                    Message::GetConfigReply {
+                        flags,
+                        miss_send_len,
+                    }
                 } else {
-                    Message::SetConfig { flags, miss_send_len }
+                    Message::SetConfig {
+                        flags,
+                        miss_send_len,
+                    }
                 }
             }
             PACKET_IN => {
@@ -1029,7 +1097,12 @@ impl Message {
                     let actions = Action::decode_list(body, alen)?;
                     buckets.push(Bucket { weight, actions });
                 }
-                Message::GroupMod { command, type_, group_id, buckets }
+                Message::GroupMod {
+                    command,
+                    type_,
+                    group_id,
+                    buckets,
+                }
             }
             METER_MOD => {
                 if body.len() < 8 {
@@ -1055,7 +1128,12 @@ impl Message {
                     body.advance(4);
                     Some(MeterBand { rate, burst })
                 };
-                Message::MeterMod { command, meter_id, pktps, band }
+                Message::MeterMod {
+                    command,
+                    meter_id,
+                    pktps,
+                    band,
+                }
             }
             MULTIPART_REQUEST => {
                 if body.len() < 8 {
@@ -1136,7 +1214,13 @@ impl Message {
                         let sw = read(256);
                         let serial = read(32);
                         let dp = read(256);
-                        MultipartRes::Desc { mfr, hw, sw, serial, dp }
+                        MultipartRes::Desc {
+                            mfr,
+                            hw,
+                            sw,
+                            serial,
+                            dp,
+                        }
                     }
                     mp_type::FLOW => {
                         let mut entries = Vec::new();
@@ -1189,7 +1273,11 @@ impl Message {
                         let byte_count = body.get_u64();
                         let flow_count = body.get_u32();
                         body.advance(4);
-                        MultipartRes::Aggregate { packet_count, byte_count, flow_count }
+                        MultipartRes::Aggregate {
+                            packet_count,
+                            byte_count,
+                            flow_count,
+                        }
                     }
                     mp_type::TABLE => {
                         let mut entries = Vec::new();
@@ -1285,7 +1373,10 @@ mod tests {
     }
 
     fn sample_match() -> Match {
-        Match::new().in_port(1).eth_type(0x0800).ipv4_dst(Ipv4Addr::new(10, 0, 0, 9))
+        Match::new()
+            .in_port(1)
+            .eth_type(0x0800)
+            .ipv4_dst(Ipv4Addr::new(10, 0, 0, 9))
     }
 
     #[test]
@@ -1302,11 +1393,21 @@ mod tests {
                 capabilities: 0x47,
             },
             Message::GetConfigRequest,
-            Message::GetConfigReply { flags: 0, miss_send_len: 128 },
-            Message::SetConfig { flags: 0, miss_send_len: 0xffff },
+            Message::GetConfigReply {
+                flags: 0,
+                miss_send_len: 128,
+            },
+            Message::SetConfig {
+                flags: 0,
+                miss_send_len: 0xffff,
+            },
             Message::BarrierRequest,
             Message::BarrierReply,
-            Message::Error { ty: 5, code: 1, data: Bytes::from_static(b"bad flow mod") },
+            Message::Error {
+                ty: 5,
+                code: 1,
+                data: Bytes::from_static(b"bad flow mod"),
+            },
         ] {
             assert_eq!(round_trip(&m), m);
         }
@@ -1321,7 +1422,10 @@ mod tests {
             .timeouts(30, 300)
             .cookie(0xdeadbeef)
             .flags(crate::table::flow_flags::SEND_FLOW_REM);
-        assert_eq!(round_trip(&Message::FlowMod(fm.clone())), Message::FlowMod(fm));
+        assert_eq!(
+            round_trip(&Message::FlowMod(fm.clone())),
+            Message::FlowMod(fm)
+        );
     }
 
     #[test]
@@ -1329,10 +1433,16 @@ mod tests {
         let fm = FlowMod::add(0)
             .match_(Match::new().vlan(101))
             .instructions(vec![
-                Instruction::WriteMetadata { metadata: 101, mask: 0xfff },
+                Instruction::WriteMetadata {
+                    metadata: 101,
+                    mask: 0xfff,
+                },
                 Instruction::GotoTable(1),
             ]);
-        assert_eq!(round_trip(&Message::FlowMod(fm.clone())), Message::FlowMod(fm));
+        assert_eq!(
+            round_trip(&Message::FlowMod(fm.clone())),
+            Message::FlowMod(fm)
+        );
     }
 
     #[test]
@@ -1414,7 +1524,10 @@ mod tests {
             command: MeterModCommand::Add,
             meter_id: 5,
             pktps: false,
-            band: Some(MeterBand { rate: 10_000, burst: 100 }),
+            band: Some(MeterBand {
+                rate: 10_000,
+                burst: 100,
+            }),
         };
         assert_eq!(round_trip(&m), m);
         let del = Message::MeterMod {
@@ -1447,7 +1560,9 @@ mod tests {
                 match_: sample_match(),
             },
             MultipartReq::Table,
-            MultipartReq::PortStats { port_no: crate::port_no::ANY },
+            MultipartReq::PortStats {
+                port_no: crate::port_no::ANY,
+            },
             MultipartReq::PortDesc,
         ];
         for r in reqs {
@@ -1476,7 +1591,11 @@ mod tests {
                 match_: sample_match(),
                 instructions: Instruction::apply(vec![Action::output(2)]),
             }]),
-            MultipartRes::Aggregate { packet_count: 5, byte_count: 300, flow_count: 2 },
+            MultipartRes::Aggregate {
+                packet_count: 5,
+                byte_count: 300,
+                flow_count: 2,
+            },
             MultipartRes::Table(vec![TableStatsEntry {
                 table_id: 0,
                 active_count: 3,
@@ -1542,7 +1661,10 @@ mod tests {
         assert_eq!(Message::decode(&[1, 2, 3]).unwrap_err(), Error::Truncated);
         // length field below 8
         let bad = [OFP_VERSION, 0, 0, 4, 0, 0, 0, 0];
-        assert!(matches!(Message::decode(&bad).unwrap_err(), Error::Malformed(_)));
+        assert!(matches!(
+            Message::decode(&bad).unwrap_err(),
+            Error::Malformed(_)
+        ));
     }
 
     #[test]
@@ -1552,6 +1674,9 @@ mod tests {
         wire.put_u8(77);
         wire.put_u16(8);
         wire.put_u32(0);
-        assert_eq!(Message::decode(&wire).unwrap_err(), Error::UnsupportedType(77));
+        assert_eq!(
+            Message::decode(&wire).unwrap_err(),
+            Error::UnsupportedType(77)
+        );
     }
 }

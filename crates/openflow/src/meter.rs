@@ -38,11 +38,9 @@ pub struct Meter {
 
 impl Meter {
     fn capacity(&self) -> u64 {
-        if self.pktps {
-            u64::from(self.band.burst.max(1)) * 1_000_000
-        } else {
-            u64::from(self.band.burst.max(1)) * 1_000_000 // kb -> millibits
-        }
+        // Same scale factor either way: micro-packets for pktps meters,
+        // millibits (1 kb = 1e6 mbit) for kbps meters.
+        u64::from(self.band.burst.max(1)) * 1_000_000
     }
 
     fn refill(&mut self, now_ns: u64) {
@@ -132,7 +130,15 @@ impl MeterTable {
         if self.meters.contains_key(&id) {
             return Err(Error::BadMeter("meter exists"));
         }
-        let mut m = Meter { id, band, pktps, tokens: 0, last_ns: now_ns, passed: 0, dropped: 0 };
+        let mut m = Meter {
+            id,
+            band,
+            pktps,
+            tokens: 0,
+            last_ns: now_ns,
+            passed: 0,
+            dropped: 0,
+        };
         m.tokens = m.capacity(); // start full
         self.meters.insert(id, m);
         Ok(())
@@ -140,7 +146,10 @@ impl MeterTable {
 
     /// Replace a meter's band.
     pub fn modify(&mut self, id: u32, band: MeterBand, pktps: bool) -> Result<()> {
-        let m = self.meters.get_mut(&id).ok_or(Error::BadMeter("no such meter"))?;
+        let m = self
+            .meters
+            .get_mut(&id)
+            .ok_or(Error::BadMeter("no such meter"))?;
         m.band = band;
         m.pktps = pktps;
         Ok(())
@@ -176,7 +185,16 @@ mod tests {
     fn meter_limits_byte_rate() {
         let mut mt = MeterTable::new();
         // 8000 kb/s = 1 MB/s, burst 80 kb = 10 KB.
-        mt.add(1, MeterBand { rate: 8_000, burst: 80 }, false, 0).unwrap();
+        mt.add(
+            1,
+            MeterBand {
+                rate: 8_000,
+                burst: 80,
+            },
+            false,
+            0,
+        )
+        .unwrap();
         // Offer 1500-byte packets every 1 ms = 1.5 MB/s: ~2/3 should pass.
         let mut passed = 0;
         for i in 0..1000 {
@@ -191,7 +209,16 @@ mod tests {
     #[test]
     fn meter_passes_under_rate() {
         let mut mt = MeterTable::new();
-        mt.add(1, MeterBand { rate: 8_000, burst: 80 }, false, 0).unwrap();
+        mt.add(
+            1,
+            MeterBand {
+                rate: 8_000,
+                burst: 80,
+            },
+            false,
+            0,
+        )
+        .unwrap();
         // 0.5 MB/s offered against a 1 MB/s meter: everything passes.
         for i in 0..100 {
             assert!(mt.offer(1, i * SEC / 333, 1500));
@@ -201,7 +228,16 @@ mod tests {
     #[test]
     fn pktps_meter_counts_packets() {
         let mut mt = MeterTable::new();
-        mt.add(1, MeterBand { rate: 100, burst: 10 }, true, 0).unwrap();
+        mt.add(
+            1,
+            MeterBand {
+                rate: 100,
+                burst: 10,
+            },
+            true,
+            0,
+        )
+        .unwrap();
         // 200 pps offered against 100 pps: about half pass.
         let mut passed = 0;
         for i in 0..400 {
@@ -221,10 +257,16 @@ mod tests {
     #[test]
     fn add_modify_delete() {
         let mut mt = MeterTable::new();
-        mt.add(1, MeterBand { rate: 1, burst: 1 }, false, 0).unwrap();
-        assert!(mt.add(1, MeterBand { rate: 1, burst: 1 }, false, 0).is_err());
-        mt.modify(1, MeterBand { rate: 2, burst: 2 }, false).unwrap();
-        assert!(mt.modify(2, MeterBand { rate: 2, burst: 2 }, false).is_err());
+        mt.add(1, MeterBand { rate: 1, burst: 1 }, false, 0)
+            .unwrap();
+        assert!(mt
+            .add(1, MeterBand { rate: 1, burst: 1 }, false, 0)
+            .is_err());
+        mt.modify(1, MeterBand { rate: 2, burst: 2 }, false)
+            .unwrap();
+        assert!(mt
+            .modify(2, MeterBand { rate: 2, burst: 2 }, false)
+            .is_err());
         assert!(mt.delete(1));
         assert!(!mt.delete(1));
     }

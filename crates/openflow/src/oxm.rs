@@ -192,8 +192,11 @@ impl OxmField {
                     out.put_slice(&m.octets());
                 }
             }
-            OxmField::TcpSrc(v) | OxmField::TcpDst(v) | OxmField::UdpSrc(v)
-            | OxmField::UdpDst(v) | OxmField::ArpOp(v) => out.put_u16(v),
+            OxmField::TcpSrc(v)
+            | OxmField::TcpDst(v)
+            | OxmField::UdpSrc(v)
+            | OxmField::UdpDst(v)
+            | OxmField::ArpOp(v) => out.put_u16(v),
             OxmField::Icmpv4Type(v) | OxmField::Icmpv4Code(v) => out.put_u8(v),
             OxmField::ArpSpa(v, m) | OxmField::ArpTpa(v, m) => {
                 out.put_slice(&v.octets());
@@ -291,7 +294,11 @@ impl OxmField {
             IPV4_SRC | IPV4_DST | ARP_SPA | ARP_TPA => {
                 check(4)?;
                 let v = Ipv4Addr::from(buf.get_u32());
-                let m = if hm { Some(Ipv4Addr::from(buf.get_u32())) } else { None };
+                let m = if hm {
+                    Some(Ipv4Addr::from(buf.get_u32()))
+                } else {
+                    None
+                };
                 match field {
                     IPV4_SRC => OxmField::Ipv4Src(v, m),
                     IPV4_DST => OxmField::Ipv4Dst(v, m),
@@ -454,9 +461,10 @@ impl Match {
             seen[n] = true;
             match f {
                 OxmField::VlanPcp(_) => {
-                    let tagged = has(&self.fields, &|g| {
-                        matches!(g, OxmField::VlanVid(v, _) if v & OFPVID_PRESENT != 0)
-                    });
+                    let tagged = has(
+                        &self.fields,
+                        &|g| matches!(g, OxmField::VlanVid(v, _) if v & OFPVID_PRESENT != 0),
+                    );
                     if !tagged {
                         return Err(Error::BadMatch("VLAN_PCP requires tagged VLAN_VID"));
                     }
@@ -469,35 +477,35 @@ impl Match {
                         return Err(Error::BadMatch("IP field requires ETH_TYPE ip"));
                     }
                 }
-                OxmField::Ipv4Src(..) | OxmField::Ipv4Dst(..) => {
-                    if !has(&self.fields, &|g| matches!(g, OxmField::EthType(0x0800))) {
-                        return Err(Error::BadMatch("IPv4 field requires ETH_TYPE 0x0800"));
-                    }
+                OxmField::Ipv4Src(..) | OxmField::Ipv4Dst(..)
+                    if !has(&self.fields, &|g| matches!(g, OxmField::EthType(0x0800))) =>
+                {
+                    return Err(Error::BadMatch("IPv4 field requires ETH_TYPE 0x0800"));
                 }
-                OxmField::Ipv6Src(..) | OxmField::Ipv6Dst(..) => {
-                    if !has(&self.fields, &|g| matches!(g, OxmField::EthType(0x86dd))) {
-                        return Err(Error::BadMatch("IPv6 field requires ETH_TYPE 0x86dd"));
-                    }
+                OxmField::Ipv6Src(..) | OxmField::Ipv6Dst(..)
+                    if !has(&self.fields, &|g| matches!(g, OxmField::EthType(0x86dd))) =>
+                {
+                    return Err(Error::BadMatch("IPv6 field requires ETH_TYPE 0x86dd"));
                 }
-                OxmField::TcpSrc(_) | OxmField::TcpDst(_) => {
-                    if !has(&self.fields, &|g| matches!(g, OxmField::IpProto(6))) {
-                        return Err(Error::BadMatch("TCP field requires IP_PROTO 6"));
-                    }
+                OxmField::TcpSrc(_) | OxmField::TcpDst(_)
+                    if !has(&self.fields, &|g| matches!(g, OxmField::IpProto(6))) =>
+                {
+                    return Err(Error::BadMatch("TCP field requires IP_PROTO 6"));
                 }
-                OxmField::UdpSrc(_) | OxmField::UdpDst(_) => {
-                    if !has(&self.fields, &|g| matches!(g, OxmField::IpProto(17))) {
-                        return Err(Error::BadMatch("UDP field requires IP_PROTO 17"));
-                    }
+                OxmField::UdpSrc(_) | OxmField::UdpDst(_)
+                    if !has(&self.fields, &|g| matches!(g, OxmField::IpProto(17))) =>
+                {
+                    return Err(Error::BadMatch("UDP field requires IP_PROTO 17"));
                 }
-                OxmField::Icmpv4Type(_) | OxmField::Icmpv4Code(_) => {
-                    if !has(&self.fields, &|g| matches!(g, OxmField::IpProto(1))) {
-                        return Err(Error::BadMatch("ICMP field requires IP_PROTO 1"));
-                    }
+                OxmField::Icmpv4Type(_) | OxmField::Icmpv4Code(_)
+                    if !has(&self.fields, &|g| matches!(g, OxmField::IpProto(1))) =>
+                {
+                    return Err(Error::BadMatch("ICMP field requires IP_PROTO 1"));
                 }
-                OxmField::ArpOp(_) | OxmField::ArpSpa(..) | OxmField::ArpTpa(..) => {
-                    if !has(&self.fields, &|g| matches!(g, OxmField::EthType(0x0806))) {
-                        return Err(Error::BadMatch("ARP field requires ETH_TYPE 0x0806"));
-                    }
+                OxmField::ArpOp(_) | OxmField::ArpSpa(..) | OxmField::ArpTpa(..)
+                    if !has(&self.fields, &|g| matches!(g, OxmField::EthType(0x0806))) =>
+                {
+                    return Err(Error::BadMatch("ARP field requires ETH_TYPE 0x0806"));
                 }
                 _ => {}
             }
@@ -624,7 +632,7 @@ impl Match {
     /// Encoded length of the `ofp_match` including padding to 8 bytes.
     pub fn encoded_len(&self) -> usize {
         let body: usize = 4 + self.fields.iter().map(OxmField::encoded_len).sum::<usize>();
-        (body + 7) / 8 * 8
+        body.div_ceil(8) * 8
     }
 
     /// Encode as `ofp_match` (type=1/OXM, padded to 8 bytes).
@@ -678,11 +686,7 @@ trait MaskedMac {
 
 impl MaskedMac for MacAddr {
     fn masked_with(&self, m: &MacAddr) -> MacAddr {
-        let mut o = [0u8; 6];
-        for i in 0..6 {
-            o[i] = self.0[i] & m.0[i];
-        }
-        MacAddr(o)
+        MacAddr(std::array::from_fn(|i| self.0[i] & m.0[i]))
     }
 }
 
@@ -732,13 +736,33 @@ mod tests {
     #[test]
     fn validate_rejects_missing_prereqs() {
         assert!(Match::new().tcp_dst(80).validate().is_err());
-        assert!(Match::new().eth_type(0x0800).tcp_dst(80).validate().is_err());
-        assert!(Match::new().eth_type(0x0800).ip_proto(6).tcp_dst(80).validate().is_ok());
-        assert!(Match::new().ipv4_src(Ipv4Addr::new(1, 2, 3, 4)).validate().is_err());
+        assert!(Match::new()
+            .eth_type(0x0800)
+            .tcp_dst(80)
+            .validate()
+            .is_err());
+        assert!(Match::new()
+            .eth_type(0x0800)
+            .ip_proto(6)
+            .tcp_dst(80)
+            .validate()
+            .is_ok());
+        assert!(Match::new()
+            .ipv4_src(Ipv4Addr::new(1, 2, 3, 4))
+            .validate()
+            .is_err());
         assert!(Match::new().with(OxmField::VlanPcp(3)).validate().is_err());
-        assert!(Match::new().vlan(5).with(OxmField::VlanPcp(3)).validate().is_ok());
+        assert!(Match::new()
+            .vlan(5)
+            .with(OxmField::VlanPcp(3))
+            .validate()
+            .is_ok());
         // Untagged + PCP is contradictory.
-        assert!(Match::new().untagged().with(OxmField::VlanPcp(3)).validate().is_err());
+        assert!(Match::new()
+            .untagged()
+            .with(OxmField::VlanPcp(3))
+            .validate()
+            .is_err());
     }
 
     #[test]
@@ -774,7 +798,10 @@ mod tests {
     #[test]
     fn masked_fields_round_trip() {
         let m = Match::new()
-            .with(OxmField::EthDst(MacAddr::host(5), Some(MacAddr([0xff, 0xff, 0, 0, 0, 0]))))
+            .with(OxmField::EthDst(
+                MacAddr::host(5),
+                Some(MacAddr([0xff, 0xff, 0, 0, 0, 0])),
+            ))
             .with(OxmField::Metadata(0xdead_beef, Some(0xffff_ffff)))
             .with(OxmField::Ipv6Dst(0x1234, Some(u128::MAX)));
         assert_eq!(round_trip(&m), m);

@@ -193,9 +193,9 @@ impl FlowEntry {
             return true;
         }
         self.instructions.iter().any(|i| match i {
-            Instruction::WriteActions(a) | Instruction::ApplyActions(a) => {
-                a.iter().any(|x| matches!(x, crate::Action::Output { port: p, .. } if *p == port))
-            }
+            Instruction::WriteActions(a) | Instruction::ApplyActions(a) => a
+                .iter()
+                .any(|x| matches!(x, crate::Action::Output { port: p, .. } if *p == port)),
             _ => false,
         })
     }
@@ -206,9 +206,9 @@ impl FlowEntry {
             return true;
         }
         self.instructions.iter().any(|i| match i {
-            Instruction::WriteActions(a) | Instruction::ApplyActions(a) => {
-                a.iter().any(|x| matches!(x, crate::Action::Group(g) if *g == group))
-            }
+            Instruction::WriteActions(a) | Instruction::ApplyActions(a) => a
+                .iter()
+                .any(|x| matches!(x, crate::Action::Group(g) if *g == group)),
             _ => false,
         })
     }
@@ -234,7 +234,14 @@ impl FlowTable {
 
     /// A table that refuses adds beyond `capacity` entries (models TCAM).
     pub fn with_capacity(id: TableId, capacity: usize) -> FlowTable {
-        FlowTable { id, entries: Vec::new(), capacity, version: 0, lookups: 0, hits: 0 }
+        FlowTable {
+            id,
+            entries: Vec::new(),
+            capacity,
+            version: 0,
+            lookups: 0,
+            hits: 0,
+        }
     }
 
     /// This table's id.
@@ -444,7 +451,12 @@ mod tests {
     }
 
     fn entry(priority: u16, m: Match, out: u32) -> FlowEntry {
-        FlowEntry::new(priority, m, Instruction::apply(vec![Action::output(out)]), 0)
+        FlowEntry::new(
+            priority,
+            m,
+            Instruction::apply(vec![Action::output(out)]),
+            0,
+        )
     }
 
     fn udp_match(port: u16) -> Match {
@@ -468,7 +480,8 @@ mod tests {
     fn equal_priority_is_fifo() {
         let mut t = FlowTable::new(TableId(0));
         t.add(entry(50, udp_match(53), 1)).unwrap();
-        t.add(entry(50, Match::new().eth_type(0x0800).ip_proto(17), 2)).unwrap();
+        t.add(entry(50, Match::new().eth_type(0x0800).ip_proto(17), 2))
+            .unwrap();
         // Both match; the first-installed must win.
         let idx = t.lookup(&udp_key(53)).unwrap();
         assert!(t.entry(idx).outputs_to(1));
@@ -506,7 +519,10 @@ mod tests {
         let mut t = FlowTable::with_capacity(TableId(0), 2);
         t.add(entry(1, udp_match(1), 1)).unwrap();
         t.add(entry(1, udp_match(2), 1)).unwrap();
-        assert_eq!(t.add(entry(1, udp_match(3), 1)).unwrap_err(), Error::TableFull);
+        assert_eq!(
+            t.add(entry(1, udp_match(3), 1)).unwrap_err(),
+            Error::TableFull
+        );
         // Replacement still allowed at capacity.
         t.add(entry(1, udp_match(2), 9)).unwrap();
     }
@@ -528,7 +544,13 @@ mod tests {
         assert_eq!(removed.len(), 2);
         assert_eq!(t.len(), 1);
         // Empty filter removes everything.
-        let removed = t.delete(&Match::any(), 0, false, crate::port_no::ANY, crate::group_no::ANY);
+        let removed = t.delete(
+            &Match::any(),
+            0,
+            false,
+            crate::port_no::ANY,
+            crate::group_no::ANY,
+        );
         assert_eq!(removed.len(), 1);
         assert!(t.is_empty());
     }
@@ -537,11 +559,21 @@ mod tests {
     fn strict_delete_needs_exact_match_and_priority() {
         let mut t = FlowTable::new(TableId(0));
         t.add(entry(5, udp_match(53), 1)).unwrap();
-        let removed =
-            t.delete(&udp_match(53), 6, true, crate::port_no::ANY, crate::group_no::ANY);
+        let removed = t.delete(
+            &udp_match(53),
+            6,
+            true,
+            crate::port_no::ANY,
+            crate::group_no::ANY,
+        );
         assert!(removed.is_empty());
-        let removed =
-            t.delete(&udp_match(53), 5, true, crate::port_no::ANY, crate::group_no::ANY);
+        let removed = t.delete(
+            &udp_match(53),
+            5,
+            true,
+            crate::port_no::ANY,
+            crate::group_no::ANY,
+        );
         assert_eq!(removed.len(), 1);
     }
 
@@ -562,7 +594,12 @@ mod tests {
         t.add(entry(5, udp_match(53), 1)).unwrap();
         let idx = t.lookup(&udp_key(53)).unwrap();
         t.hit(idx, 100, 1);
-        let n = t.modify(&udp_match(53), 5, true, &Instruction::apply(vec![Action::output(7)]));
+        let n = t.modify(
+            &udp_match(53),
+            5,
+            true,
+            &Instruction::apply(vec![Action::output(7)]),
+        );
         assert_eq!(n, 1);
         let idx = t.lookup(&udp_key(53)).unwrap();
         assert!(t.entry(idx).outputs_to(7));
@@ -573,8 +610,10 @@ mod tests {
     fn timeouts_expire() {
         let sec = 1_000_000_000u64;
         let mut t = FlowTable::new(TableId(0));
-        t.add(entry(5, udp_match(53), 1).with_timeouts(0, 10)).unwrap();
-        t.add(entry(5, udp_match(80), 1).with_timeouts(3, 0)).unwrap();
+        t.add(entry(5, udp_match(53), 1).with_timeouts(0, 10))
+            .unwrap();
+        t.add(entry(5, udp_match(80), 1).with_timeouts(3, 0))
+            .unwrap();
         assert!(t.expire(2 * sec).is_empty());
         // Keep the idle entry alive by hitting it at t=2s.
         let idx = t.lookup(&udp_key(80)).unwrap();
@@ -599,7 +638,13 @@ mod tests {
         assert!(v1 > v0);
         t.lookup(&udp_key(53));
         assert_eq!(t.version(), v1, "lookups must not invalidate caches");
-        t.delete(&Match::any(), 0, false, crate::port_no::ANY, crate::group_no::ANY);
+        t.delete(
+            &Match::any(),
+            0,
+            false,
+            crate::port_no::ANY,
+            crate::group_no::ANY,
+        );
         assert!(t.version() > v1);
     }
 
@@ -607,8 +652,13 @@ mod tests {
     fn table_miss_entry_catches_all() {
         let mut t = FlowTable::new(TableId(0));
         // Priority-0 any match = the OF 1.3 table-miss entry.
-        t.add(FlowEntry::new(0, Match::any(), Instruction::apply(vec![Action::to_controller()]), 0))
-            .unwrap();
+        t.add(FlowEntry::new(
+            0,
+            Match::any(),
+            Instruction::apply(vec![Action::to_controller()]),
+            0,
+        ))
+        .unwrap();
         assert!(t.lookup(&udp_key(1)).is_some());
         assert!(t.lookup(&FlowKey::default()).is_some());
     }

@@ -8,7 +8,7 @@
 use bytes::{Bytes, BytesMut};
 
 use netpkt::flowkey::OFPVID_PRESENT;
-use netpkt::vlan::{TAG_LEN, VlanView};
+use netpkt::vlan::{VlanView, TAG_LEN};
 use netpkt::{EtherType, FlowKey, IpProto, Ipv4Packet, TcpPacket, UdpPacket};
 use openflow::oxm::OxmField;
 
@@ -142,7 +142,9 @@ fn rewrite_ipv4(
     src: Option<std::net::Ipv4Addr>,
     dst: Option<std::net::Ipv4Addr>,
 ) -> bool {
-    let Some(off) = ip_offset(frame) else { return false };
+    let Some(off) = ip_offset(frame) else {
+        return false;
+    };
     let buf = &mut frame[off..];
     let Ok(mut ip) = Ipv4Packet::new_checked(&mut buf[..]) else {
         return false;
@@ -161,7 +163,9 @@ fn rewrite_ipv4(
 }
 
 fn rewrite_dscp(frame: &mut BytesMut, key: &mut FlowKey, dscp: u8) -> bool {
-    let Some(off) = ip_offset(frame) else { return false };
+    let Some(off) = ip_offset(frame) else {
+        return false;
+    };
     let buf = &mut frame[off..];
     let Ok(mut ip) = Ipv4Packet::new_checked(&mut buf[..]) else {
         return false;
@@ -179,7 +183,9 @@ fn rewrite_l4_port(
     src_side: bool,
     port: u16,
 ) -> bool {
-    let Some(off) = ip_offset(frame) else { return false };
+    let Some(off) = ip_offset(frame) else {
+        return false;
+    };
     let want = if tcp { IpProto::TCP } else { IpProto::UDP };
     {
         let Ok(ip) = Ipv4Packet::new_checked(&frame[off..]) else {
@@ -194,7 +200,11 @@ fn rewrite_l4_port(
     if frame.len() < l4_off + 4 {
         return false;
     }
-    let range = if src_side { l4_off..l4_off + 2 } else { l4_off + 2..l4_off + 4 };
+    let range = if src_side {
+        l4_off..l4_off + 2
+    } else {
+        l4_off + 2..l4_off + 4
+    };
     frame[range].copy_from_slice(&port.to_be_bytes());
     match (tcp, src_side) {
         (true, true) => key.tcp_src = port,
@@ -302,11 +312,17 @@ mod tests {
         assert!(ip.verify_checksum(), "IP checksum must hold");
         if ip.proto() == IpProto::UDP {
             let u = UdpPacket::new_checked(ip.payload()).unwrap();
-            assert!(u.verify_checksum_v4(ip.src(), ip.dst()), "UDP checksum must hold");
+            assert!(
+                u.verify_checksum_v4(ip.src(), ip.dst()),
+                "UDP checksum must hold"
+            );
         }
         if ip.proto() == IpProto::TCP {
             let t = TcpPacket::new_checked(ip.payload()).unwrap();
-            assert!(t.verify_checksum_v4(ip.src(), ip.dst()), "TCP checksum must hold");
+            assert!(
+                t.verify_checksum_v4(ip.src(), ip.dst()),
+                "TCP checksum must hold"
+            );
         }
     }
 
@@ -316,7 +332,11 @@ mod tests {
         let orig = f.clone();
         push_vlan(&mut f, &mut k, 0x8100);
         assert_eq!(k.vlan_vid, OFPVID_PRESENT);
-        assert!(set_field(&mut f, &mut k, &OxmField::VlanVid(OFPVID_PRESENT | 101, None)));
+        assert!(set_field(
+            &mut f,
+            &mut k,
+            &OxmField::VlanVid(OFPVID_PRESENT | 101, None)
+        ));
         assert_eq!(k.vlan_vid, OFPVID_PRESENT | 101);
         let reparsed = FlowKey::extract(1, &f).unwrap();
         assert_eq!(reparsed.vlan_vid, OFPVID_PRESENT | 101);
@@ -329,7 +349,11 @@ mod tests {
     #[test]
     fn set_vlan_on_untagged_is_refused() {
         let (mut f, mut k) = frame_and_key();
-        assert!(!set_field(&mut f, &mut k, &OxmField::VlanVid(OFPVID_PRESENT | 5, None)));
+        assert!(!set_field(
+            &mut f,
+            &mut k,
+            &OxmField::VlanVid(OFPVID_PRESENT | 5, None)
+        ));
     }
 
     #[test]
@@ -343,8 +367,16 @@ mod tests {
     #[test]
     fn rewrite_macs() {
         let (mut f, mut k) = frame_and_key();
-        assert!(set_field(&mut f, &mut k, &OxmField::EthDst(MacAddr::host(9), None)));
-        assert!(set_field(&mut f, &mut k, &OxmField::EthSrc(MacAddr::host(8), None)));
+        assert!(set_field(
+            &mut f,
+            &mut k,
+            &OxmField::EthDst(MacAddr::host(9), None)
+        ));
+        assert!(set_field(
+            &mut f,
+            &mut k,
+            &OxmField::EthSrc(MacAddr::host(8), None)
+        ));
         let re = FlowKey::extract(1, &f).unwrap();
         assert_eq!(re.eth_dst, MacAddr::host(9));
         assert_eq!(re.eth_src, MacAddr::host(8));
@@ -353,7 +385,11 @@ mod tests {
     #[test]
     fn rewrite_ipv4_fixes_both_checksums() {
         let (mut f, mut k) = frame_and_key();
-        assert!(set_field(&mut f, &mut k, &OxmField::Ipv4Dst(Ipv4Addr::new(192, 168, 9, 9), None)));
+        assert!(set_field(
+            &mut f,
+            &mut k,
+            &OxmField::Ipv4Dst(Ipv4Addr::new(192, 168, 9, 9), None)
+        ));
         assert_eq!(k.ipv4_dst, u32::from(Ipv4Addr::new(192, 168, 9, 9)));
         assert_checksums_ok(&f);
         let re = FlowKey::extract(1, &f).unwrap();
@@ -405,7 +441,11 @@ mod tests {
     fn metadata_set_touches_only_key() {
         let (mut f, mut k) = frame_and_key();
         let orig = f.clone();
-        assert!(set_field(&mut f, &mut k, &OxmField::Metadata(0xab, Some(0xff))));
+        assert!(set_field(
+            &mut f,
+            &mut k,
+            &OxmField::Metadata(0xab, Some(0xff))
+        ));
         assert_eq!(k.metadata, 0xab);
         assert_eq!(&f[..], &orig[..]);
     }
@@ -435,10 +475,24 @@ mod tests {
     fn replay_meter_drop() {
         let (f, mut k) = frame_and_key();
         let mut meters = openflow::MeterTable::new();
-        meters.add(1, openflow::MeterBand { rate: 1, burst: 0 }, true, 0).unwrap();
+        meters
+            .add(1, openflow::MeterBand { rate: 1, burst: 0 }, true, 0)
+            .unwrap();
         // burst 0 -> capacity max(1)... offer a couple to exhaust tokens.
-        let _ = replay(&[CAction::Meter(1), CAction::Output(1)], f.clone().freeze(), &mut k, 0, &mut meters);
-        let out = replay(&[CAction::Meter(1), CAction::Output(1)], f.freeze(), &mut k, 0, &mut meters);
+        let _ = replay(
+            &[CAction::Meter(1), CAction::Output(1)],
+            f.clone().freeze(),
+            &mut k,
+            0,
+            &mut meters,
+        );
+        let out = replay(
+            &[CAction::Meter(1), CAction::Output(1)],
+            f.freeze(),
+            &mut k,
+            0,
+            &mut meters,
+        );
         assert!(out.metered_out);
         assert!(out.outputs.is_empty());
     }

@@ -115,7 +115,12 @@ impl OfAgent {
                 self.rx.clear();
                 let x = self.xid();
                 out.replies.push(
-                    Message::Error { ty: 0, code: 0, data: Bytes::new() }.encode(x),
+                    Message::Error {
+                        ty: 0,
+                        code: 0,
+                        data: Bytes::new(),
+                    }
+                    .encode(x),
                 );
                 return out;
             }
@@ -153,8 +158,11 @@ impl OfAgent {
             }
             Message::GetConfigRequest => {
                 out.replies.push(
-                    Message::GetConfigReply { flags: 0, miss_send_len: self.miss_send_len }
-                        .encode(xid),
+                    Message::GetConfigReply {
+                        flags: 0,
+                        miss_send_len: self.miss_send_len,
+                    }
+                    .encode(xid),
                 );
             }
             Message::SetConfig { miss_send_len, .. } => {
@@ -164,25 +172,39 @@ impl OfAgent {
                 Ok(removed) => {
                     for (table_id, e) in removed {
                         if e.flags & openflow::table::flow_flags::SEND_FLOW_REM != 0 {
-                            let m =
-                                self.flow_removed(table_id, &e, RemovedReason::Delete, now_ns);
+                            let m = self.flow_removed(table_id, &e, RemovedReason::Delete, now_ns);
                             out.replies.push(m);
                         }
                     }
                 }
                 Err(e) => out.replies.push(self.error_for(&e, xid)),
             },
-            Message::GroupMod { command, type_, group_id, buckets } => {
+            Message::GroupMod {
+                command,
+                type_,
+                group_id,
+                buckets,
+            } => {
                 if let Err(e) = dp.apply_group_mod(command, type_, group_id, buckets) {
                     out.replies.push(self.error_for(&e, xid));
                 }
             }
-            Message::MeterMod { command, meter_id, pktps, band } => {
+            Message::MeterMod {
+                command,
+                meter_id,
+                pktps,
+                band,
+            } => {
                 if let Err(e) = dp.apply_meter_mod(command, meter_id, pktps, band, now_ns) {
                     out.replies.push(self.error_for(&e, xid));
                 }
             }
-            Message::PacketOut { in_port, actions, data, .. } => {
+            Message::PacketOut {
+                in_port,
+                actions,
+                data,
+                ..
+            } => {
                 let r = dp.packet_out(in_port, &actions, data, now_ns);
                 out.transmits.extend(r.outputs);
             }
@@ -207,15 +229,20 @@ impl OfAgent {
     fn error_for(&mut self, e: &Error, xid: Xid) -> Bytes {
         // (type, code) pairs per OF 1.3 §7.4.
         let (ty, code) = match e {
-            Error::Overlap => (5, 1),           // FLOW_MOD_FAILED / OVERLAP
-            Error::TableFull => (5, 2),         // FLOW_MOD_FAILED / TABLE_FULL
-            Error::BadTable(_) => (5, 3),       // FLOW_MOD_FAILED / BAD_TABLE_ID
-            Error::BadMatch(_) => (4, 0),       // BAD_MATCH
-            Error::BadGroup(_) => (6, 0),       // GROUP_MOD_FAILED
-            Error::BadMeter(_) => (12, 0),      // METER_MOD_FAILED
-            _ => (1, 0),                        // BAD_REQUEST
+            Error::Overlap => (5, 1),      // FLOW_MOD_FAILED / OVERLAP
+            Error::TableFull => (5, 2),    // FLOW_MOD_FAILED / TABLE_FULL
+            Error::BadTable(_) => (5, 3),  // FLOW_MOD_FAILED / BAD_TABLE_ID
+            Error::BadMatch(_) => (4, 0),  // BAD_MATCH
+            Error::BadGroup(_) => (6, 0),  // GROUP_MOD_FAILED
+            Error::BadMeter(_) => (12, 0), // METER_MOD_FAILED
+            _ => (1, 0),                   // BAD_REQUEST
         };
-        Message::Error { ty, code, data: Bytes::new() }.encode(xid)
+        Message::Error {
+            ty,
+            code,
+            data: Bytes::new(),
+        }
+        .encode(xid)
     }
 
     fn multipart(&mut self, dp: &mut Datapath, xid: Xid, req: MultipartReq, now_ns: u64) -> Bytes {
@@ -227,7 +254,13 @@ impl OfAgent {
                 serial: format!("{:016x}", dp.datapath_id()),
                 dp: self.description.clone(),
             },
-            MultipartReq::Flow { table_id, out_port, out_group, match_, .. } => {
+            MultipartReq::Flow {
+                table_id,
+                out_port,
+                out_group,
+                match_,
+                ..
+            } => {
                 let (fkey, fmask) = match_.to_key_mask();
                 let mut entries = Vec::new();
                 for t in 0..dp.n_tables() {
@@ -260,7 +293,13 @@ impl OfAgent {
                 }
                 MultipartRes::Flow(entries)
             }
-            MultipartReq::Aggregate { table_id, out_port, out_group, match_, .. } => {
+            MultipartReq::Aggregate {
+                table_id,
+                out_port,
+                out_group,
+                match_,
+                ..
+            } => {
                 let (fkey, fmask) = match_.to_key_mask();
                 let (mut p, mut b, mut n) = (0u64, 0u64, 0u32);
                 for t in 0..dp.n_tables() {
@@ -278,7 +317,11 @@ impl OfAgent {
                         }
                     }
                 }
-                MultipartRes::Aggregate { packet_count: p, byte_count: b, flow_count: n }
+                MultipartRes::Aggregate {
+                    packet_count: p,
+                    byte_count: b,
+                    flow_count: n,
+                }
             }
             MultipartReq::Table => MultipartRes::Table(
                 (0..dp.n_tables())
@@ -358,7 +401,11 @@ mod tests {
         let (xid, msg, _) = Message::decode(&out.replies[0]).unwrap();
         assert_eq!(xid, 2);
         match msg {
-            Message::FeaturesReply { datapath_id, n_tables, .. } => {
+            Message::FeaturesReply {
+                datapath_id,
+                n_tables,
+                ..
+            } => {
                 assert_eq!(datapath_id, 0xabc);
                 assert_eq!(n_tables, 4);
             }
@@ -466,14 +513,20 @@ mod tests {
         let mut agent = OfAgent::new("test");
         agent.handle(
             &mut dp,
-            &Message::SetConfig { flags: 0, miss_send_len: 32 }.encode(1),
+            &Message::SetConfig {
+                flags: 0,
+                miss_send_len: 32,
+            }
+            .encode(1),
             0,
         );
         let f = frame();
         let pi = agent.packet_in(PacketInReason::NoMatch, 1, &f);
         let (_, msg, _) = Message::decode(&pi).unwrap();
         match msg {
-            Message::PacketIn { data, total_len, .. } => {
+            Message::PacketIn {
+                data, total_len, ..
+            } => {
                 assert_eq!(data.len(), 32);
                 assert_eq!(usize::from(total_len), f.len());
             }

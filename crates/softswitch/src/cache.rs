@@ -42,7 +42,13 @@ impl MicroflowCache {
     /// A cache bounded to `capacity` entries (evicts by full flush, like
     /// the kernel datapath's emergency flush).
     pub fn new(capacity: usize) -> MicroflowCache {
-        MicroflowCache { map: HashMap::new(), epoch: 0, capacity, hits: 0, misses: 0 }
+        MicroflowCache {
+            map: HashMap::new(),
+            epoch: 0,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Look up an exact key at `epoch`.
@@ -223,7 +229,11 @@ mod tests {
     }
 
     fn path(epoch: u64) -> CachedPath {
-        CachedPath { actions: vec![CAction::Output(1)], hits: vec![(0, 0)], epoch }
+        CachedPath {
+            actions: vec![CAction::Output(1)],
+            hits: vec![(0, 0)],
+            epoch,
+        }
     }
 
     #[test]
@@ -231,7 +241,10 @@ mod tests {
         let mut c = MicroflowCache::new(100);
         c.insert(key(1, 53), path(1));
         assert!(c.lookup(&key(1, 53), 1).is_some());
-        assert!(c.lookup(&key(2, 53), 1).is_none(), "different src = different microflow");
+        assert!(
+            c.lookup(&key(2, 53), 1).is_none(),
+            "different src = different microflow"
+        );
         // Epoch bump flushes.
         assert!(c.lookup(&key(1, 53), 2).is_none());
         assert_eq!(c.len(), 0);

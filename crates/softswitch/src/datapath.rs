@@ -13,9 +13,7 @@ use netpkt::flowkey::FieldMask;
 use netpkt::FlowKey;
 use openflow::message::{FlowMod, PacketInReason, PortDesc, PortStatsEntry};
 use openflow::table::{FlowEntry, FlowModCommand, RemovedReason, TableId};
-use openflow::{
-    port_no, Action, Error, FlowTable, GroupTable, Instruction, MeterTable, Result,
-};
+use openflow::{port_no, Action, Error, FlowTable, GroupTable, Instruction, MeterTable, Result};
 
 use crate::actions::{self, CAction};
 use crate::cache::{CachedPath, MegaflowCache, MicroflowCache};
@@ -36,23 +34,39 @@ pub struct PipelineMode {
 impl PipelineMode {
     /// Linear scan only — the naive baseline.
     pub fn linear() -> Self {
-        PipelineMode { tss: false, microflow: false, megaflow: false }
+        PipelineMode {
+            tss: false,
+            microflow: false,
+            megaflow: false,
+        }
     }
 
     /// TSS-indexed tables, no caches — an ESwitch-style specialised
     /// pipeline.
     pub fn tss() -> Self {
-        PipelineMode { tss: true, microflow: false, megaflow: false }
+        PipelineMode {
+            tss: true,
+            microflow: false,
+            megaflow: false,
+        }
     }
 
     /// Microflow cache over a TSS pipeline.
     pub fn microflow() -> Self {
-        PipelineMode { tss: true, microflow: true, megaflow: false }
+        PipelineMode {
+            tss: true,
+            microflow: true,
+            megaflow: false,
+        }
     }
 
     /// The full OVS-style hierarchy: micro → mega → TSS slow path.
     pub fn full() -> Self {
-        PipelineMode { tss: true, microflow: true, megaflow: true }
+        PipelineMode {
+            tss: true,
+            microflow: true,
+            megaflow: true,
+        }
     }
 }
 
@@ -259,9 +273,20 @@ impl Datapath {
     pub fn add_port(&mut self, no: u32, name: impl Into<String>, speed_kbps: u32) {
         self.ports.insert(
             no,
-            PortInfo { no, name: name.into(), up: true, speed_kbps },
+            PortInfo {
+                no,
+                name: name.into(),
+                up: true,
+                speed_kbps,
+            },
         );
-        self.port_stats.insert(no, PortStatsEntry { port_no: no, ..Default::default() });
+        self.port_stats.insert(
+            no,
+            PortStatsEntry {
+                port_no: no,
+                ..Default::default()
+            },
+        );
         self.epoch += 1;
     }
 
@@ -345,8 +370,11 @@ impl Datapath {
             }
             FlowModCommand::Delete | FlowModCommand::DeleteStrict => {
                 let strict = fm.command == FlowModCommand::DeleteStrict;
-                let range: Vec<usize> =
-                    if all_tables { (0..self.tables.len()).collect() } else { vec![tid] };
+                let range: Vec<usize> = if all_tables {
+                    (0..self.tables.len()).collect()
+                } else {
+                    vec![tid]
+                };
                 for t in range {
                     for e in self.tables[t].delete(
                         &fm.match_,
@@ -428,7 +456,13 @@ impl Datapath {
 
     /// Execute a controller `PACKET_OUT`: apply `actions` to `data` with
     /// `in_port` as the ingress context.
-    pub fn packet_out(&mut self, in_port: u32, actions: &[Action], data: Bytes, _now_ns: u64) -> DpResult {
+    pub fn packet_out(
+        &mut self,
+        in_port: u32,
+        actions: &[Action],
+        data: Bytes,
+        _now_ns: u64,
+    ) -> DpResult {
         let key = FlowKey::extract_lossy(in_port, &data);
         let mut ctx = ExecCtx {
             buf: BytesMut::from(&data[..]),
@@ -489,8 +523,11 @@ impl Datapath {
             }
             if let LookupPath::SlowPath { .. } = trace.path {
                 // carry the wasted probes into the slow-path accounting
-                trace.path =
-                    LookupPath::SlowPath { tables: 0, entries_scanned: 0, tss_probes: probes };
+                trace.path = LookupPath::SlowPath {
+                    tables: 0,
+                    entries_scanned: 0,
+                    tss_probes: probes,
+                };
             }
         }
 
@@ -546,8 +583,10 @@ impl Datapath {
     fn aggregate_mask(&mut self, t: usize) -> FieldMask {
         let version = self.tables[t].version();
         if self.table_masks[t].0 != version {
-            let mut m = FieldMask::default();
-            m.in_port = u32::MAX;
+            let mut m = FieldMask {
+                in_port: u32::MAX,
+                ..FieldMask::default()
+            };
             for e in self.tables[t].entries() {
                 m = m.mask_union(&e.mask);
             }
@@ -565,13 +604,17 @@ impl Datapath {
         trace: ProcessingTrace,
     ) -> DpResult {
         let (mut tables_visited, mut scanned, mut tss_probes) = match trace.path {
-            LookupPath::SlowPath { tables, entries_scanned, tss_probes } => {
-                (tables, entries_scanned, tss_probes)
-            }
+            LookupPath::SlowPath {
+                tables,
+                entries_scanned,
+                tss_probes,
+            } => (tables, entries_scanned, tss_probes),
             _ => (0, 0, 0),
         };
-        let mut unwild = FieldMask::default();
-        unwild.in_port = u32::MAX;
+        let unwild = FieldMask {
+            in_port: u32::MAX,
+            ..FieldMask::default()
+        };
 
         let mut ctx = ExecCtx {
             buf: BytesMut::from(&frame[..]),
@@ -698,8 +741,7 @@ impl Datapath {
                 s.tx_bytes += f.len() as u64;
             }
         }
-        let dropped =
-            ctx.metered_out || (ctx.outputs.is_empty() && ctx.packet_ins.is_empty());
+        let dropped = ctx.metered_out || (ctx.outputs.is_empty() && ctx.packet_ins.is_empty());
         DpResult {
             outputs: ctx.outputs,
             packet_ins: ctx.packet_ins,
@@ -766,7 +808,9 @@ impl Datapath {
             return;
         }
         ctx.trace.group_hops += 1;
-        let Some(group) = self.groups.get(gid) else { return };
+        let Some(group) = self.groups.get(gid) else {
+            return;
+        };
         // Select-group bucket choice hashes the 5-tuple: those fields must
         // be in the megaflow mask or different flows would replay the
         // wrong bucket.
@@ -781,8 +825,11 @@ impl Datapath {
             ctx.unwild.udp_src = u16::MAX;
             ctx.unwild.udp_dst = u16::MAX;
         }
-        let buckets: Vec<Vec<Action>> =
-            group.select_buckets(&ctx.key).into_iter().map(|b| b.actions.clone()).collect();
+        let buckets: Vec<Vec<Action>> = group
+            .select_buckets(&ctx.key)
+            .into_iter()
+            .map(|b| b.actions.clone())
+            .collect();
         self.groups.account(gid, ctx.buf.len() as u64);
         for bucket in buckets {
             // Each bucket works on a copy of the packet (OF 1.3 §5.6.1).
@@ -799,14 +846,19 @@ impl Datapath {
             port_no::CONTROLLER => {
                 ctx.trace.packet_in = true;
                 ctx.recorded.push(CAction::ToController);
-                let reason =
-                    if miss_entry { PacketInReason::NoMatch } else { PacketInReason::Action };
-                ctx.packet_ins.push((reason, ctx.in_port, Bytes::copy_from_slice(&ctx.buf)));
+                let reason = if miss_entry {
+                    PacketInReason::NoMatch
+                } else {
+                    PacketInReason::Action
+                };
+                ctx.packet_ins
+                    .push((reason, ctx.in_port, Bytes::copy_from_slice(&ctx.buf)));
             }
             port_no::IN_PORT => {
                 ctx.trace.outputs += 1;
                 ctx.recorded.push(CAction::Output(ctx.in_port));
-                ctx.outputs.push((ctx.in_port, Bytes::copy_from_slice(&ctx.buf)));
+                ctx.outputs
+                    .push((ctx.in_port, Bytes::copy_from_slice(&ctx.buf)));
             }
             port_no::FLOOD | port_no::ALL => {
                 let ports: Vec<u32> = self
@@ -825,7 +877,8 @@ impl Datapath {
             concrete => {
                 ctx.trace.outputs += 1;
                 ctx.recorded.push(CAction::Output(concrete));
-                ctx.outputs.push((concrete, Bytes::copy_from_slice(&ctx.buf)));
+                ctx.outputs
+                    .push((concrete, Bytes::copy_from_slice(&ctx.buf)));
             }
         }
     }
@@ -894,7 +947,10 @@ mod tests {
         add_forward_rule(&mut dp, 53, 2);
         // First packet: slow path.
         let r1 = dp.process(1, udp_frame(1, 53), 0);
-        assert!(matches!(r1.trace.unwrap().path, LookupPath::SlowPath { .. }));
+        assert!(matches!(
+            r1.trace.unwrap().path,
+            LookupPath::SlowPath { .. }
+        ));
         // Same microflow: microflow hit.
         let r2 = dp.process(1, udp_frame(1, 53), 1);
         assert!(matches!(r2.trace.unwrap().path, LookupPath::MicroHit));
@@ -966,11 +1022,17 @@ mod tests {
         let mut dp = dp(PipelineMode::full());
         // Table 0: stamp metadata from VLAN, goto 1.
         dp.apply_flow_mod(
-            &FlowMod::add(0).priority(10).match_(Match::new().vlan(101)).instructions(vec![
-                Instruction::WriteMetadata { metadata: 101, mask: 0xfff },
-                Instruction::ApplyActions(vec![Action::PopVlan]),
-                Instruction::GotoTable(1),
-            ]),
+            &FlowMod::add(0)
+                .priority(10)
+                .match_(Match::new().vlan(101))
+                .instructions(vec![
+                    Instruction::WriteMetadata {
+                        metadata: 101,
+                        mask: 0xfff,
+                    },
+                    Instruction::ApplyActions(vec![Action::PopVlan]),
+                    Instruction::GotoTable(1),
+                ]),
             0,
         )
         .unwrap();
@@ -994,7 +1056,9 @@ mod tests {
     fn table_miss_to_controller() {
         let mut dp = dp(PipelineMode::full());
         dp.apply_flow_mod(
-            &FlowMod::add(0).priority(0).apply(vec![Action::to_controller()]),
+            &FlowMod::add(0)
+                .priority(0)
+                .apply(vec![Action::to_controller()]),
             0,
         )
         .unwrap();
@@ -1007,7 +1071,9 @@ mod tests {
     fn flood_excludes_ingress() {
         let mut dp = dp(PipelineMode::full());
         dp.apply_flow_mod(
-            &FlowMod::add(0).priority(0).apply(vec![Action::output(port_no::FLOOD)]),
+            &FlowMod::add(0)
+                .priority(0)
+                .apply(vec![Action::output(port_no::FLOOD)]),
             0,
         )
         .unwrap();
@@ -1031,9 +1097,10 @@ mod tests {
         )
         .unwrap();
         dp.apply_flow_mod(
-            &FlowMod::add(0).priority(10).match_(Match::new().eth_type(0x0800)).apply(vec![
-                Action::Group(1),
-            ]),
+            &FlowMod::add(0)
+                .priority(10)
+                .match_(Match::new().eth_type(0x0800))
+                .apply(vec![Action::Group(1)]),
             0,
         )
         .unwrap();
@@ -1106,7 +1173,10 @@ mod tests {
         assert!(!r1.dropped);
         let r2 = dp.process(1, udp_frame(1, 53), 1000);
         assert!(r2.dropped, "second packet within the same second must drop");
-        assert!(dp.micro_cache().is_empty(), "metered paths must not be cached");
+        assert!(
+            dp.micro_cache().is_empty(),
+            "metered paths must not be cached"
+        );
     }
 
     #[test]
@@ -1120,10 +1190,12 @@ mod tests {
         )
         .unwrap();
         dp.apply_flow_mod(
-            &FlowMod::add(0).priority(1).instructions(vec![Instruction::WriteActions(vec![
-                Action::output(2),
-                Action::Group(7),
-            ])]),
+            &FlowMod::add(0)
+                .priority(1)
+                .instructions(vec![Instruction::WriteActions(vec![
+                    Action::output(2),
+                    Action::Group(7),
+                ])]),
             0,
         )
         .unwrap();
@@ -1155,7 +1227,10 @@ mod tests {
     fn bad_table_rejected() {
         let mut dp = dp(PipelineMode::full());
         let err = dp
-            .apply_flow_mod(&FlowMod::add(9).priority(1).apply(vec![Action::output(1)]), 0)
+            .apply_flow_mod(
+                &FlowMod::add(9).priority(1).apply(vec![Action::output(1)]),
+                0,
+            )
             .unwrap_err();
         assert_eq!(err, Error::BadTable(9));
     }

@@ -158,7 +158,10 @@ impl Node for SoftSwitchNode {
     }
 
     fn on_packet(&mut self, port: PortId, frame: Bytes, ctx: &mut NodeCtx) {
-        match self.sq.submit(Work { in_port: u32::from(port.0), frame }) {
+        match self.sq.submit(Work {
+            in_port: u32::from(port.0),
+            frame,
+        }) {
             Submit::Start(slot) => self.start_service(slot, ctx),
             Submit::Queued => {}
             Submit::Dropped => self.rx_dropped += 1,
@@ -172,7 +175,8 @@ impl Node for SoftSwitchNode {
                 for (table_id, entry, reason) in removed {
                     if entry.flags & flow_flags::SEND_FLOW_REM != 0 {
                         let msg =
-                            self.agent.flow_removed(table_id, &entry, reason, ctx.now().as_nanos());
+                            self.agent
+                                .flow_removed(table_id, &entry, reason, ctx.now().as_nanos());
                         ctx.ctrl_send(c, msg);
                     }
                 }
@@ -283,7 +287,11 @@ mod tests {
         assert_eq!(rx, 1000, "100 kpps × 10 ms, no loss expected");
         // Latency includes the switch's processing time.
         let lat = net.node_ref::<Sink>(sink).latency();
-        assert!(lat.p50() > 2_000, "p50 {}ns must exceed raw wire latency", lat.p50());
+        assert!(
+            lat.p50() > 2_000,
+            "p50 {}ns must exceed raw wire latency",
+            lat.p50()
+        );
     }
 
     #[test]
@@ -293,7 +301,7 @@ mod tests {
             "slow",
             DpConfig::software(1).with_mode(PipelineMode::linear()),
             1,
-            16, // tiny RX ring
+            16,                      // tiny RX ring
             CostModel::scaled(50.0), // ~deliberately slow CPU
         );
         sw.add_port(1, "p1", 1_000_000);
@@ -388,7 +396,10 @@ mod tests {
             .received
             .iter()
             .any(|m| matches!(m, openflow::Message::FeaturesReply { .. })));
-        assert!(ctrl_node.received.iter().any(|m| matches!(m, openflow::Message::BarrierReply)));
+        assert!(ctrl_node
+            .received
+            .iter()
+            .any(|m| matches!(m, openflow::Message::BarrierReply)));
         // The installed rule forwards.
         net.with_node_ctx::<netsim::host::Host, _>(h, |host, ctx| {
             host.send_udp(Ipv4Addr::new(10, 0, 0, 2), 53, b"q");
@@ -411,7 +422,9 @@ mod tests {
         sw.connect_controller(ctrl);
         sw.datapath_mut()
             .apply_flow_mod(
-                &FlowMod::add(0).priority(0).apply(vec![Action::to_controller()]),
+                &FlowMod::add(0)
+                    .priority(0)
+                    .apply(vec![Action::to_controller()]),
                 0,
             )
             .unwrap();

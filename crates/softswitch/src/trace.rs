@@ -53,7 +53,11 @@ impl ProcessingTrace {
     /// A fresh trace for a frame of `len` bytes, before lookup.
     pub fn new(len: usize) -> ProcessingTrace {
         ProcessingTrace {
-            path: LookupPath::SlowPath { tables: 0, entries_scanned: 0, tss_probes: 0 },
+            path: LookupPath::SlowPath {
+                tables: 0,
+                entries_scanned: 0,
+                tss_probes: 0,
+            },
             vlan_ops: 0,
             set_fields: 0,
             group_hops: 0,
@@ -147,7 +151,11 @@ impl CostModel {
         ns += match t.path {
             LookupPath::MicroHit => self.micro_hit,
             LookupPath::MegaHit { probes } => self.mega_probe * f64::from(probes.max(1)),
-            LookupPath::SlowPath { tables, entries_scanned, tss_probes } => {
+            LookupPath::SlowPath {
+                tables,
+                entries_scanned,
+                tss_probes,
+            } => {
                 self.table_visit * f64::from(tables)
                     + self.entry_scan * f64::from(entries_scanned)
                     + self.tss_probe * f64::from(tss_probes)

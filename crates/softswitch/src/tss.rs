@@ -52,8 +52,11 @@ impl TssIndex {
             g.entries.entry(e.key).or_insert((e.priority, idx));
         }
         // Probe high-priority groups first so we can stop early.
-        groups.sort_by(|a, b| b.max_priority.cmp(&a.max_priority));
-        TssIndex { version: table.version(), groups }
+        groups.sort_by_key(|g| std::cmp::Reverse(g.max_priority));
+        TssIndex {
+            version: table.version(),
+            groups,
+        }
     }
 
     /// True if the index still reflects `table`.
@@ -115,7 +118,12 @@ mod tests {
     }
 
     fn entry(priority: u16, m: Match, out: u32) -> FlowEntry {
-        FlowEntry::new(priority, m, Instruction::apply(vec![Action::output(out)]), 0)
+        FlowEntry::new(
+            priority,
+            m,
+            Instruction::apply(vec![Action::output(out)]),
+            0,
+        )
     }
 
     #[test]
@@ -123,13 +131,19 @@ mod tests {
         let mut t = FlowTable::new(TableId(0));
         // Three rule shapes: per-dst-port ACLs, per-src exact, catch-all.
         for p in [53u16, 80, 443, 8080] {
-            t.add(entry(100, Match::new().eth_type(0x0800).ip_proto(17).udp_dst(p), u32::from(p)))
-                .unwrap();
+            t.add(entry(
+                100,
+                Match::new().eth_type(0x0800).ip_proto(17).udp_dst(p),
+                u32::from(p),
+            ))
+            .unwrap();
         }
         for s in 1..20u32 {
             t.add(entry(
                 50,
-                Match::new().eth_type(0x0800).ipv4_src(Ipv4Addr::from(0x0a000000 + s)),
+                Match::new()
+                    .eth_type(0x0800)
+                    .ipv4_src(Ipv4Addr::from(0x0a000000 + s)),
                 1000 + s,
             ))
             .unwrap();
@@ -140,7 +154,12 @@ mod tests {
         assert_eq!(idx.mask_count(), 3);
         assert!(idx.fresh(&t));
 
-        for key in [udp_key(1, 53), udp_key(5, 80), udp_key(7, 1234), udp_key(99, 7)] {
+        for key in [
+            udp_key(1, 53),
+            udp_key(5, 80),
+            udp_key(7, 1234),
+            udp_key(99, 7),
+        ] {
             let (tss_hit, probes) = idx.lookup(&key);
             let lin_hit = t.lookup(&key);
             assert_eq!(
@@ -160,7 +179,12 @@ mod tests {
     #[test]
     fn priority_early_exit() {
         let mut t = FlowTable::new(TableId(0));
-        t.add(entry(100, Match::new().eth_type(0x0800).ip_proto(17).udp_dst(53), 1)).unwrap();
+        t.add(entry(
+            100,
+            Match::new().eth_type(0x0800).ip_proto(17).udp_dst(53),
+            1,
+        ))
+        .unwrap();
         t.add(entry(1, Match::any(), 2)).unwrap();
         let idx = TssIndex::build(&t);
         // A dns packet hits the priority-100 group first and stops.
@@ -183,7 +207,8 @@ mod tests {
     fn single_template_table_is_one_probe() {
         let mut t = FlowTable::new(TableId(0));
         for vid in 1..100u16 {
-            t.add(entry(10, Match::new().vlan(vid), u32::from(vid))).unwrap();
+            t.add(entry(10, Match::new().vlan(vid), u32::from(vid)))
+                .unwrap();
         }
         let idx = TssIndex::build(&t);
         assert_eq!(idx.mask_count(), 1, "homogeneous table = ESwitch template");

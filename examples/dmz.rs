@@ -66,7 +66,12 @@ fn main() {
     let probes = [(0usize, 2u16), (0, 3), (2, 4), (4, 6)];
     for &(from, to) in &probes {
         let ok = probe_pair(&mut net, hosts[from], to);
-        println!("  VM{} -> VM{}: {}", from + 1, to, if ok { "ALLOWED" } else { "denied" });
+        println!(
+            "  VM{} -> VM{}: {}",
+            from + 1,
+            to,
+            if ok { "ALLOWED" } else { "denied" }
+        );
     }
 
     println!("\nfine-tuning at runtime: permit VM5<->VM6, revoke VM1<->VM2");
@@ -85,8 +90,14 @@ fn main() {
     println!("re-probing:");
     let vm5_vm6 = probe_pair(&mut net, hosts[4], 6);
     let vm1_vm2 = probe_pair(&mut net, hosts[0], 2);
-    println!("  VM5 -> VM6: {}", if vm5_vm6 { "ALLOWED" } else { "denied" });
-    println!("  VM1 -> VM2: {}", if vm1_vm2 { "ALLOWED" } else { "denied" });
+    println!(
+        "  VM5 -> VM6: {}",
+        if vm5_vm6 { "ALLOWED" } else { "denied" }
+    );
+    println!(
+        "  VM1 -> VM2: {}",
+        if vm1_vm2 { "ALLOWED" } else { "denied" }
+    );
 
     assert!(vm5_vm6, "newly permitted pair must connect");
     assert!(!vm1_vm2, "revoked pair must be cut off");

@@ -44,7 +44,10 @@ fn main() {
     hx.connect_controller(&mut net, ctrl);
 
     let client_ports = [1u16, 6, 7, 8];
-    let clients: Vec<_> = client_ports.iter().map(|&p| hx.attach_host(&mut net, p)).collect();
+    let clients: Vec<_> = client_ports
+        .iter()
+        .map(|&p| hx.attach_host(&mut net, p))
+        .collect();
     let backend_hosts: Vec<_> = (2..=5).map(|p| hx.attach_host(&mut net, p)).collect();
 
     net.run_until(SimTime::from_millis(100));
@@ -77,15 +80,23 @@ fn main() {
             net.node_ref::<Host>(b).syns_received()
         );
     }
-    let total: u64 =
-        backend_hosts.iter().map(|&b| net.node_ref::<Host>(b).syns_received()).sum();
+    let total: u64 = backend_hosts
+        .iter()
+        .map(|&b| net.node_ref::<Host>(b).syns_received())
+        .sum();
     let used = backend_hosts
         .iter()
         .filter(|&&b| net.node_ref::<Host>(b).syns_received() > 0)
         .count();
     assert_eq!(total, 12, "every connection must land on some backend");
-    assert!(used >= 3, "source-IP buckets must spread clients over backends");
-    assert!(handshakes >= 9, "handshakes complete through the VIP rewrite");
+    assert!(
+        used >= 3,
+        "source-IP buckets must spread clients over backends"
+    );
+    assert!(
+        handshakes >= 9,
+        "handshakes complete through the VIP rewrite"
+    );
     println!(
         "\nIngress web traffic from 4 client IPs balanced across {used} backends by\n\
          source-IP matching, with VIP proxy-ARP and bidirectional rewriting in SS_2."

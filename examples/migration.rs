@@ -86,6 +86,10 @@ fn main() {
     }
     let legacy = net.node_ref::<LegacySwitchNode>(hx.legacy);
     assert_eq!(legacy.bridge().pvid(1), 1, "factory state restored");
-    assert_eq!(legacy.bridge().vlans().len(), 1, "only the default VLAN remains");
+    assert_eq!(
+        legacy.bridge().vlans().len(),
+        1,
+        "only the default VLAN remains"
+    );
     println!("legacy switch back in factory state — the migration really is harmless.");
 }

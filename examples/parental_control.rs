@@ -50,7 +50,10 @@ fn main() {
     net.run_until(SimTime::from_millis(100));
 
     let show = |who: &str, what: &str, ok: bool| {
-        println!("  {who:<7} -> {what:<16} {}", if ok { "HTTP 200" } else { "timeout (blocked)" })
+        println!(
+            "  {who:<7} -> {what:<16} {}",
+            if ok { "HTTP 200" } else { "timeout (blocked)" }
+        )
     };
 
     println!("phase 1: no policy");

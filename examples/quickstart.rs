@@ -55,6 +55,9 @@ fn main() {
         net.node_ref::<Host>(h2).rx_frames(),
         net.node_ref::<Host>(h2).echo_requests_answered()
     );
-    assert_eq!(replies, 1, "the dumb legacy switch now runs an SDN dataplane");
+    assert_eq!(
+        replies, 1,
+        "the dumb legacy switch now runs an SDN dataplane"
+    );
     println!("\nA dumb legacy Ethernet switch is now a fully reconfigurable OpenFlow switch.");
 }

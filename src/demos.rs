@@ -1,0 +1,7 @@
+//! Anchor library for the `harmless-demos` root package.
+//!
+//! The package exists so the runnable demos in `examples/` belong to the
+//! workspace root (`cargo run --example quickstart`). All real code
+//! lives in the crates under `crates/`.
+
+#![forbid(unsafe_code)]

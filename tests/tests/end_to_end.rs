@@ -16,8 +16,10 @@ use softswitch::SoftSwitchNode;
 #[test]
 fn migrate_then_forward() {
     let mut net = Network::new(1001);
-    let ctrl =
-        net.add_node(ControllerNode::new("ctrl", vec![Box::new(LearningSwitch::new())]));
+    let ctrl = net.add_node(ControllerNode::new(
+        "ctrl",
+        vec![Box::new(LearningSwitch::new())],
+    ));
     let hx = HarmlessSpec::new(8).build(&mut net);
     let mgr = net.add_node(HarmlessManager::new(ManagerConfig::for_instance(&hx, ctrl)));
     let hosts: Vec<_> = (1..=8).map(|i| hx.attach_host(&mut net, i)).collect();
@@ -30,9 +32,9 @@ fn migrate_then_forward() {
     );
 
     // All-pairs ping (sequentially, like an operator's smoke test).
-    for i in 0..8usize {
-        let to = std::net::Ipv4Addr::new(10, 0, 0, ((i + 1) % 8 + 1) as u8);
-        net.with_node_ctx::<Host, _>(hosts[i], move |h, ctx| {
+    for (i, &host) in hosts.iter().enumerate() {
+        let to = std::net::Ipv4Addr::new(10, 0, 0, ((i + 1) % hosts.len() + 1) as u8);
+        net.with_node_ctx::<Host, _>(host, move |h, ctx| {
             h.ping(b"smoke", to);
             h.flush(ctx);
         });
@@ -54,8 +56,10 @@ fn migrate_then_forward() {
 #[test]
 fn transparency_port_numbering_and_no_tag_leak() {
     let mut net = Network::new(1002);
-    let ctrl =
-        net.add_node(ControllerNode::new("ctrl", vec![Box::new(LearningSwitch::new())]));
+    let ctrl = net.add_node(ControllerNode::new(
+        "ctrl",
+        vec![Box::new(LearningSwitch::new())],
+    ));
     let hx = HarmlessSpec::new(4).build(&mut net);
     hx.configure_legacy_directly(&mut net);
     hx.install_translator_rules(&mut net);
@@ -78,7 +82,11 @@ fn transparency_port_numbering_and_no_tag_leak() {
             learned = app.lookup(0x52, netpkt::MacAddr::host(3));
         }
     });
-    assert_eq!(learned, Some(3), "controller-visible port = legacy access port");
+    assert_eq!(
+        learned,
+        Some(3),
+        "controller-visible port = legacy access port"
+    );
     assert_eq!(net.node_ref::<Host>(h3).echo_replies_received(), 1);
 }
 
@@ -140,7 +148,11 @@ fn line_rate_no_loss_regression() {
     let sent = net.node_ref::<Generator>(g).sent();
     let sink = net.node_ref::<Sink>(s);
     assert_eq!(sink.received(), sent, "no loss at 80% line rate");
-    assert!(sink.latency().p99() < 100_000, "p99 {}ns under 100µs", sink.latency().p99());
+    assert!(
+        sink.latency().p99() < 100_000,
+        "p99 {}ns under 100µs",
+        sink.latency().p99()
+    );
 }
 
 /// The merged-variant ablation forwards the same traffic with one fewer
@@ -176,7 +188,8 @@ fn merged_variant_equivalence() {
         }
         let a = hx.attach_host(&mut net, 1);
         let b = hx.attach_host(&mut net, 2);
-        net.node_mut::<Host>(a).ping(b"variant", "10.0.0.2".parse().unwrap());
+        net.node_mut::<Host>(a)
+            .ping(b"variant", "10.0.0.2".parse().unwrap());
         net.run_until(SimTime::from_millis(300));
         assert_eq!(
             net.node_ref::<Host>(a).echo_replies_received(),
@@ -193,11 +206,20 @@ fn merged_variant_equivalence() {
 fn legacy_switch_is_still_a_switch() {
     let mut net = Network::new(1006);
     let sw = net.add_node(LegacySwitchNode::new("sw", 8));
-    let a = net.add_node(Host::new("a", netpkt::MacAddr::host(1), "10.1.0.1".parse().unwrap()));
-    let b = net.add_node(Host::new("b", netpkt::MacAddr::host(2), "10.1.0.2".parse().unwrap()));
+    let a = net.add_node(Host::new(
+        "a",
+        netpkt::MacAddr::host(1),
+        "10.1.0.1".parse().unwrap(),
+    ));
+    let b = net.add_node(Host::new(
+        "b",
+        netpkt::MacAddr::host(2),
+        "10.1.0.2".parse().unwrap(),
+    ));
     net.connect(a, PortId(0), sw, PortId(7), LinkSpec::gigabit());
     net.connect(b, PortId(0), sw, PortId(8), LinkSpec::gigabit());
-    net.node_mut::<Host>(a).ping(b"plain l2", "10.1.0.2".parse().unwrap());
+    net.node_mut::<Host>(a)
+        .ping(b"plain l2", "10.1.0.2".parse().unwrap());
     net.run_until(SimTime::from_millis(100));
     assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 1);
 }

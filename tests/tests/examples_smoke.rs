@@ -1,0 +1,39 @@
+//! Smoke test: every demo in `examples/` must build and run to
+//! completion, so the quickstart, migration, and use-case walkthroughs
+//! cannot silently rot.
+//!
+//! Runs the examples through `cargo run --example` (sequentially — the
+//! nested invocations share the target directory and its build lock).
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] = [
+    "quickstart",
+    "migration",
+    "load_balancer",
+    "parental_control",
+    "dmz",
+];
+
+#[test]
+fn all_examples_run_to_completion() {
+    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests/ lives directly under the workspace root");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .current_dir(workspace_root)
+            .args(["run", "--quiet", "--offline", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` exited with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

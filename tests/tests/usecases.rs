@@ -76,7 +76,10 @@ fn lb_proxy_arp_and_rewriting() {
             arps = lb.arps_answered();
         }
     });
-    assert!(arps >= 2, "VIP ARP must be answered by the controller, got {arps}");
+    assert!(
+        arps >= 2,
+        "VIP ARP must be answered by the controller, got {arps}"
+    );
     // Both backends served exactly one client each (srcs 1 and 6 hash to
     // different low bits).
     assert_eq!(net.node_ref::<Host>(b2).syns_received(), 1);
@@ -174,8 +177,10 @@ fn parental_control_block_cycle() {
 #[test]
 fn admin_set_controller_mid_run() {
     let mut net = Network::new(2004);
-    let ctrl =
-        net.add_node(ControllerNode::new("ctrl", vec![Box::new(LearningSwitch::new())]));
+    let ctrl = net.add_node(ControllerNode::new(
+        "ctrl",
+        vec![Box::new(LearningSwitch::new())],
+    ));
     let mut sw = SoftSwitchNode::new(
         "ss",
         softswitch::datapath::DpConfig::software(0x99),
@@ -194,7 +199,10 @@ fn admin_set_controller_mid_run() {
         ctx.ctrl_send(s, admin_set_controller(ctrl));
     });
     net.run_for(SimTime::from_millis(50));
-    let st = net.node_ref::<ControllerNode>(ctrl).switch(s).expect("handshake happened");
+    let st = net
+        .node_ref::<ControllerNode>(ctrl)
+        .switch(s)
+        .expect("handshake happened");
     assert!(st.ready, "features + port-desc exchange completed");
     assert_eq!(st.dpid, 0x99);
 }

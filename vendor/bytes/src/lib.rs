@@ -1,0 +1,613 @@
+//! Offline, dependency-free subset of the [`bytes`] crate.
+//!
+//! The workspace vendors this because the build environment has no
+//! network access to crates.io. Only the API surface the workspace
+//! actually uses is implemented: [`Bytes`] (cheaply clonable,
+//! reference-counted immutable buffer), [`BytesMut`] (growable builder
+//! buffer), and the [`Buf`]/[`BufMut`] cursor traits with big-endian
+//! integer accessors.
+//!
+//! Semantics match the real crate for this subset: `get_*`/`advance`
+//! panic on underflow, `Bytes::clone` is O(1), `BytesMut::freeze` hands
+//! the accumulated storage to a `Bytes` without copying.
+//!
+//! [`bytes`]: https://docs.rs/bytes
+
+#![forbid(unsafe_code)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply clonable, immutable, contiguous slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates a new empty `Bytes`.
+    pub fn new() -> Bytes {
+        Bytes::from_static(&[])
+    }
+
+    /// Creates `Bytes` from a static slice without copying at clone time.
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
+    }
+
+    /// Creates `Bytes` by copying the given slice.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Number of bytes contained in this `Bytes`.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns true if this `Bytes` has a length of zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a slice of self for the provided range, sharing storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end && end <= len, "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// Returns the contents as a byte slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copies the contents into a new `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Bytes {
+        b.freeze()
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// A growable buffer for assembling wire formats, frozen into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates a new, empty `BytesMut`.
+    pub fn new() -> BytesMut {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Creates a new `BytesMut` with the given capacity pre-allocated.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns true if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Remaining pre-allocated capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Reserve space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Appends the given slice.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.buf.extend_from_slice(extend);
+    }
+
+    /// Resizes the buffer, filling new space with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.buf.resize(new_len, value);
+    }
+
+    /// Shortens the buffer to `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Splits off and returns the first `at` bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.buf.split_off(at);
+        let head = std::mem::replace(&mut self.buf, rest);
+        BytesMut { buf: head }
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Returns the contents as a byte slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> BytesMut {
+        BytesMut { buf }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> BytesMut {
+        BytesMut { buf: s.to_vec() }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        self.buf.extend(iter);
+    }
+}
+
+macro_rules! buf_get_impl {
+    ($this:ident, $ty:ty) => {{
+        const N: usize = std::mem::size_of::<$ty>();
+        let chunk = $this.chunk();
+        assert!(chunk.len() >= N, "buffer underflow reading {} bytes", N);
+        let mut arr = [0u8; N];
+        arr.copy_from_slice(&chunk[..N]);
+        $this.advance(N);
+        <$ty>::from_be_bytes(arr)
+    }};
+}
+
+/// Read access to a buffer of bytes, consumed front-to-back.
+pub trait Buf {
+    /// Number of bytes between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// Returns the bytes left in the buffer, starting at the cursor.
+    fn chunk(&self) -> &[u8];
+
+    /// Advance the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Returns true if there are bytes left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies bytes from the buffer into `dst`, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "buffer underflow copying {} bytes",
+            dst.len()
+        );
+        let chunk = self.chunk();
+        dst.copy_from_slice(&chunk[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Gets an unsigned 8-bit integer, advancing the cursor.
+    fn get_u8(&mut self) -> u8 {
+        buf_get_impl!(self, u8)
+    }
+    /// Gets a signed 8-bit integer, advancing the cursor.
+    fn get_i8(&mut self) -> i8 {
+        buf_get_impl!(self, i8)
+    }
+    /// Gets a big-endian unsigned 16-bit integer, advancing the cursor.
+    fn get_u16(&mut self) -> u16 {
+        buf_get_impl!(self, u16)
+    }
+    /// Gets a big-endian signed 16-bit integer, advancing the cursor.
+    fn get_i16(&mut self) -> i16 {
+        buf_get_impl!(self, i16)
+    }
+    /// Gets a big-endian unsigned 32-bit integer, advancing the cursor.
+    fn get_u32(&mut self) -> u32 {
+        buf_get_impl!(self, u32)
+    }
+    /// Gets a big-endian signed 32-bit integer, advancing the cursor.
+    fn get_i32(&mut self) -> i32 {
+        buf_get_impl!(self, i32)
+    }
+    /// Gets a big-endian unsigned 64-bit integer, advancing the cursor.
+    fn get_u64(&mut self) -> u64 {
+        buf_get_impl!(self, u64)
+    }
+    /// Gets a big-endian signed 64-bit integer, advancing the cursor.
+    fn get_i64(&mut self) -> i64 {
+        buf_get_impl!(self, i64)
+    }
+    /// Gets a big-endian unsigned 128-bit integer, advancing the cursor.
+    fn get_u128(&mut self) -> u128 {
+        buf_get_impl!(self, u128)
+    }
+    /// Gets a big-endian signed 128-bit integer, advancing the cursor.
+    fn get_i128(&mut self) -> i128 {
+        buf_get_impl!(self, i128)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "cannot advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "cannot advance past end of buffer");
+        self.start += cnt;
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.buf
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.buf.len(), "cannot advance past end of buffer");
+        self.buf.drain(..cnt);
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt)
+    }
+}
+
+macro_rules! buf_put_impl {
+    ($this:ident, $val:expr) => {{
+        $this.put_slice(&$val.to_be_bytes());
+    }};
+}
+
+/// Write access to an append-only buffer of bytes.
+pub trait BufMut {
+    /// Appends the given slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize);
+
+    /// Appends all bytes from `src`.
+    fn put<B: Buf>(&mut self, mut src: B)
+    where
+        Self: Sized,
+    {
+        while src.has_remaining() {
+            let chunk_len = {
+                let c = src.chunk();
+                self.put_slice(c);
+                c.len()
+            };
+            src.advance(chunk_len);
+        }
+    }
+
+    /// Appends an unsigned 8-bit integer.
+    fn put_u8(&mut self, n: u8) {
+        buf_put_impl!(self, n)
+    }
+    /// Appends a signed 8-bit integer.
+    fn put_i8(&mut self, n: i8) {
+        buf_put_impl!(self, n)
+    }
+    /// Appends a big-endian unsigned 16-bit integer.
+    fn put_u16(&mut self, n: u16) {
+        buf_put_impl!(self, n)
+    }
+    /// Appends a big-endian signed 16-bit integer.
+    fn put_i16(&mut self, n: i16) {
+        buf_put_impl!(self, n)
+    }
+    /// Appends a big-endian unsigned 32-bit integer.
+    fn put_u32(&mut self, n: u32) {
+        buf_put_impl!(self, n)
+    }
+    /// Appends a big-endian signed 32-bit integer.
+    fn put_i32(&mut self, n: i32) {
+        buf_put_impl!(self, n)
+    }
+    /// Appends a big-endian unsigned 64-bit integer.
+    fn put_u64(&mut self, n: u64) {
+        buf_put_impl!(self, n)
+    }
+    /// Appends a big-endian signed 64-bit integer.
+    fn put_i64(&mut self, n: i64) {
+        buf_put_impl!(self, n)
+    }
+    /// Appends a big-endian unsigned 128-bit integer.
+    fn put_u128(&mut self, n: u128) {
+        buf_put_impl!(self, n)
+    }
+    /// Appends a big-endian signed 128-bit integer.
+    fn put_i128(&mut self, n: i128) {
+        buf_put_impl!(self, n)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.buf.resize(self.buf.len() + cnt, val);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.resize(self.len() + cnt, val);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        (**self).put_bytes(val, cnt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_clone_shares_and_slices() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let c = b.clone();
+        assert_eq!(&b[..], &c[..]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let s2 = b.slice(..2);
+        assert_eq!(&s2[..], &[1, 2]);
+    }
+
+    #[test]
+    fn round_trip_ints() {
+        let mut m = BytesMut::new();
+        m.put_u8(0xab);
+        m.put_u16(0x1234);
+        m.put_u32(0xdead_beef);
+        m.put_u64(0x0102_0304_0506_0708);
+        m.put_bytes(0xff, 3);
+        let frozen = m.freeze();
+        let mut s = &frozen[..];
+        assert_eq!(s.get_u8(), 0xab);
+        assert_eq!(s.get_u16(), 0x1234);
+        assert_eq!(s.get_u32(), 0xdead_beef);
+        assert_eq!(s.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(s.remaining(), 3);
+        let mut out = [0u8; 3];
+        s.copy_to_slice(&mut out);
+        assert_eq!(out, [0xff; 3]);
+        assert!(!s.has_remaining());
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_underflow_panics() {
+        let mut s: &[u8] = &[1];
+        let _ = s.get_u16();
+    }
+}

@@ -1,0 +1,337 @@
+//! Offline, dependency-free subset of the [`criterion`] benchmark
+//! harness.
+//!
+//! Vendored because the build environment has no network access to
+//! crates.io. The statistical machinery of real criterion is replaced by
+//! a simple calibrated loop: each benchmark warms up for
+//! `warm_up_time`, then runs batches until `measurement_time` elapses,
+//! and the mean ns/iteration (plus throughput, when declared) is printed
+//! in a criterion-like format. The API mirror is faithful enough that
+//! swapping the real crate back in is a one-line Cargo.toml change.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for reporting how much work one iteration performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// One iteration processes this many bytes (binary prefixes).
+    Bytes(u64),
+    /// One iteration processes this many bytes (decimal prefixes).
+    BytesDecimal(u64),
+    /// One iteration processes this many elements/packets/messages.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id with both a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("?"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(s.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly and records the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut batch = 1u64;
+        while Instant::now() < warm_deadline {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            batch = (batch * 2).min(4096);
+        }
+        // Measurement: timed batches until the measurement budget is
+        // spent, with at least `sample_size` iterations overall.
+        let mut total_iters = 0u64;
+        let mut total_ns = 0u128;
+        let deadline = Instant::now() + self.config.measurement_time;
+        while Instant::now() < deadline || total_iters < self.config.sample_size as u64 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_ns += start.elapsed().as_nanos();
+            total_iters += batch;
+            if total_iters >= u64::MAX / 2 {
+                break;
+            }
+        }
+        self.mean_ns = total_ns as f64 / total_iters as f64;
+    }
+
+    /// `iter` variant that feeds each call a fresh input.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut inputs = Vec::new();
+        self.iter(|| {
+            if inputs.is_empty() {
+                inputs = (0..64).map(|_| setup()).collect();
+            }
+            routine(inputs.pop().expect("batch refilled above"))
+        });
+    }
+}
+
+/// How many inputs `iter_batched` materializes per batch.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+            sample_size: 30,
+        }
+    }
+}
+
+/// The benchmark manager: owns configuration, doles out groups.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets how long each benchmark warms up before measurement.
+    pub fn warm_up_time(mut self, dur: Duration) -> Criterion {
+        self.config.warm_up_time = dur;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, dur: Duration) -> Criterion {
+        self.config.measurement_time = dur;
+        self
+    }
+
+    /// Sets the minimum number of measured iterations.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 10, "sample_size must be >= 10");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Accepted for CLI compatibility; argument filtering is not
+    /// implemented in the vendored harness.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let config = self.config.clone();
+        run_one(&config, None, id.into(), None, f);
+        self
+    }
+}
+
+/// A set of benchmarks reported under a common name.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration of subsequent benchmarks does.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.criterion.config.measurement_time = dur;
+        self
+    }
+
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.config.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let config = self.criterion.config.clone();
+        run_one(&config, Some(&self.name), id.into(), self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let config = self.criterion.config.clone();
+        run_one(&config, Some(&self.name), id.into(), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (formatting no-op in the vendored harness).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    config: &Config,
+    group: Option<&str>,
+    id: BenchmarkId,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        config,
+        mean_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.render()),
+        None => id.render(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+            let gib_s = n as f64 / bencher.mean_ns * 1e9 / (1u64 << 30) as f64;
+            format!("  thrpt: {gib_s:.3} GiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let melem_s = n as f64 / bencher.mean_ns * 1e9 / 1e6;
+            format!("  thrpt: {melem_s:.3} Melem/s")
+        }
+        None => String::new(),
+    };
+    println!("{label:<50} time: {:>12.1} ns/iter{rate}", bencher.mean_ns);
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; the
+            // vendored harness runs everything unconditionally.
+            $( $group(); )+
+        }
+    };
+}

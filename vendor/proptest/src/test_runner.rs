@@ -1,0 +1,69 @@
+//! Runner plumbing: configuration, RNG, and case outcomes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-`proptest!` block configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies.
+///
+/// Seeded from the test's name so every test explores a distinct but
+/// reproducible stream — there is no failure-persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates the deterministic RNG for the named test.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name, folded into a fixed salt.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Access the underlying `rand` generator.
+    pub fn inner(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` — try another input.
+    Reject(&'static str),
+    /// A `prop_assert*!` failed — the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Convenience constructor for a failed assertion.
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError::Fail(msg)
+    }
+}
