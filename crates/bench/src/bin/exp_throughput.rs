@@ -59,11 +59,31 @@ fn main() {
             )
         );
     }
+    // Batch ablation: the batched datapath fast path only engages once
+    // the RX queue backs up, which is exactly the regime the lossless
+    // search probes — bigger bursts mean more per-batch memo hits and a
+    // higher CPU ceiling.
+    let mut rows = Vec::new();
+    for n in [1usize, 8, 32] {
+        let pps = max_lossless_pps(System::SoftwareBatched(n), 60, LinkSpec::ten_gigabit());
+        rows.push(vec![format!("{n}"), fmt_mpps(pps)]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "software datapath service-batch ablation (64B frames, 10G access)",
+            &["batch", "max lossless Mpps"],
+            &rows,
+        )
+    );
     println!(
         "Reading: at 1G access all four systems sustain line rate — the\n\
          paper's no-performance-penalty claim. At 10G the hardware planes\n\
          (legacy, cots) stay at line rate while the software planes hit\n\
          the single-core CPU ceiling; HARMLESS pays the translator's\n\
-         second pass on SS_1."
+         second pass on SS_1. The batch ablation shows the batched\n\
+         datapath raising that software ceiling: repeated flows in a\n\
+         drained burst replay the per-batch memo instead of re-probing\n\
+         the caches."
     );
 }

@@ -38,6 +38,9 @@ pub enum System {
     Software,
     /// Software switch with an explicit pipeline mode.
     SoftwareWith(PipelineMode),
+    /// Software switch with an explicit service batch size (the batched
+    /// datapath ablation; `Software` uses the node's default burst).
+    SoftwareBatched(usize),
     /// COTS hardware OpenFlow switch.
     Cots,
 }
@@ -63,6 +66,7 @@ impl System {
                     "tss"
                 }
             ),
+            System::SoftwareBatched(n) => format!("software/b{n}"),
             System::Cots => "cots-sdn".into(),
         }
     }
@@ -193,7 +197,7 @@ pub fn forwarding_trial(system: System, spec: TrialSpec) -> ForwardingResult {
             hx.attach_node(&mut net, 2, s);
             (g, s)
         }
-        System::Software | System::SoftwareWith(_) => {
+        System::Software | System::SoftwareWith(_) | System::SoftwareBatched(_) => {
             let mode = match system {
                 System::SoftwareWith(m) => m,
                 _ => PipelineMode::full(),
@@ -205,6 +209,9 @@ pub fn forwarding_trial(system: System, spec: TrialSpec) -> ForwardingResult {
                 4096,
                 CostModel::default(),
             );
+            if let System::SoftwareBatched(n) = system {
+                sw = sw.with_batch_size(n);
+            }
             sw.add_port(1, "p1", 1_000_000);
             sw.add_port(2, "p2", 1_000_000);
             wire_datapath(sw.datapath_mut());
@@ -345,6 +352,8 @@ mod tests {
             System::Cots,
             System::HarmlessWith(Variant::Merged, PipelineMode::full()),
             System::SoftwareWith(PipelineMode::linear()),
+            System::SoftwareBatched(1),
+            System::SoftwareBatched(64),
         ] {
             let r = forwarding_trial(
                 system,

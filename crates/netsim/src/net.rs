@@ -288,10 +288,45 @@ impl Network {
         self.queue.push(Sched { at, seq, ev });
     }
 
+    /// Deliver a frame plus any immediately following same-instant
+    /// deliveries for the same node as one burst. Coalescing only merges
+    /// events that would have been processed back-to-back anyway (they
+    /// are adjacent in `(time, seq)` order), so per-port FIFO order,
+    /// action ordering and determinism are untouched; nodes that do not
+    /// override [`Node::on_frames`] see the exact per-frame callbacks
+    /// they always did.
+    fn deliver_burst(&mut self, node: NodeId, port: PortId, frame: Bytes) {
+        let mut frames = vec![(port, frame)];
+        loop {
+            match self.queue.peek() {
+                Some(top) if top.at == self.now => match &top.ev {
+                    Ev::Deliver { node: n, .. } if *n == node => {}
+                    _ => break,
+                },
+                _ => break,
+            }
+            let Some(Sched {
+                ev: Ev::Deliver { port, frame, .. },
+                ..
+            }) = self.queue.pop()
+            else {
+                unreachable!("peeked event was a Deliver");
+            };
+            self.events_processed += 1;
+            frames.push((port, frame));
+        }
+        if frames.len() == 1 {
+            let (port, frame) = frames.pop().expect("exactly one frame");
+            self.dispatch(node, |n, ctx| n.on_packet(port, frame, ctx));
+        } else {
+            self.dispatch(node, |n, ctx| n.on_frames(frames, ctx));
+        }
+    }
+
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Deliver { node, port, frame } => {
-                self.dispatch(node, |n, ctx| n.on_packet(port, frame, ctx));
+                self.deliver_burst(node, port, frame);
             }
             Ev::Timer { node, token } => {
                 self.dispatch(node, |n, ctx| n.on_timer(token, ctx));
@@ -567,6 +602,41 @@ mod tests {
         let c = net.add_node(pinger(0, SimTime::ZERO));
         net.connect(a, PortId(0), b, PortId(0), LinkSpec::gigabit());
         net.connect(a, PortId(0), c, PortId(0), LinkSpec::gigabit());
+    }
+
+    #[test]
+    fn same_instant_frames_coalesce_into_one_burst() {
+        struct Burst {
+            bursts: Vec<Vec<u16>>,
+        }
+        impl Node for Burst {
+            fn on_packet(&mut self, port: PortId, _f: Bytes, _ctx: &mut NodeCtx) {
+                self.bursts.push(vec![port.0]);
+            }
+            fn on_frames(&mut self, frames: Vec<(PortId, Bytes)>, _ctx: &mut NodeCtx) {
+                self.bursts.push(frames.iter().map(|(p, _)| p.0).collect());
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut net = Network::new(1);
+        let b = net.add_node(Burst { bursts: Vec::new() });
+        for port in [3u16, 1, 2] {
+            net.inject(b, PortId(port), Bytes::from_static(b"x"));
+        }
+        net.run_until_idle();
+        // All three same-instant frames arrive as one burst, in
+        // submission order.
+        assert_eq!(net.node_ref::<Burst>(b).bursts, vec![vec![3, 1, 2]]);
+        assert_eq!(net.events_processed(), 3, "coalesced events still count");
+        // A frame at a later instant arrives alone, via on_packet.
+        net.inject(b, PortId(9), Bytes::from_static(b"y"));
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<Burst>(b).bursts.last().unwrap(), &vec![9]);
     }
 
     #[test]

@@ -1,20 +1,27 @@
 //! A bounded multi-server service queue for modelling CPU-bound packet
 //! processing inside a device.
 //!
-//! Devices own a [`ServiceQueue`] and drive it with their timer callbacks:
+//! Each server slot serves a *batch* of one or more items per service
+//! period (a DPDK-style burst). Devices own a [`ServiceQueue`] and drive
+//! it with their timer callbacks:
 //!
 //! ```text
 //! on_packet:  match sq.submit(work) {
 //!                 Submit::Start(slot) => schedule(svc_time, TOKEN + slot),
 //!                 Submit::Queued | Submit::Dropped => {}
 //!             }
-//! on_timer:   let work = sq.complete(slot);
-//!             if sq.start_queued(slot) { schedule(svc_time, TOKEN + slot) }
-//!             ... emit results of `work` ...
+//! on_timer:   let batch = sq.complete(slot);
+//!             if sq.start_queued_batch(slot, max_batch) > 0 {
+//!                 schedule(svc_time, TOKEN + slot)
+//!             }
+//!             ... emit results of `batch` ...
 //! ```
 //!
-//! This yields an M/G/k queue whose service times the device computes per
-//! item (e.g. from a [`ProcessingTrace`](https://docs.rs) of its pipeline).
+//! This yields an M/G/k queue whose service times the device computes
+//! per batch (e.g. by summing per-frame costs from the
+//! `ProcessingTrace`s of its pipeline). Single-item service — the
+//! pre-batching behaviour — is just `start_queued` / batches of length
+//! one.
 
 use std::collections::VecDeque;
 
@@ -30,10 +37,12 @@ pub enum Submit {
     Dropped,
 }
 
-/// Bounded FIFO queue in front of `k` parallel servers.
+/// Bounded FIFO queue in front of `k` parallel servers, each serving
+/// batches of items.
 #[derive(Debug)]
 pub struct ServiceQueue<T> {
-    slots: Vec<Option<T>>,
+    /// In-service batches; an empty vector means the slot is idle.
+    slots: Vec<Vec<T>>,
     queue: VecDeque<T>,
     capacity: usize,
     drops: u64,
@@ -46,7 +55,7 @@ impl<T> ServiceQueue<T> {
     pub fn new(servers: usize, capacity: usize) -> ServiceQueue<T> {
         assert!(servers >= 1, "need at least one server");
         ServiceQueue {
-            slots: (0..servers).map(|_| None).collect(),
+            slots: (0..servers).map(|_| Vec::new()).collect(),
             queue: VecDeque::new(),
             capacity,
             drops: 0,
@@ -57,8 +66,8 @@ impl<T> ServiceQueue<T> {
 
     /// Offer an item for service.
     pub fn submit(&mut self, item: T) -> Submit {
-        if let Some(free) = self.slots.iter().position(Option::is_none) {
-            self.slots[free] = Some(item);
+        if let Some(free) = self.slots.iter().position(Vec::is_empty) {
+            self.slots[free].push(item);
             return Submit::Start(free);
         }
         if self.queue.len() >= self.capacity {
@@ -70,36 +79,67 @@ impl<T> ServiceQueue<T> {
         Submit::Queued
     }
 
-    /// The item currently served in `slot`.
+    /// The head item of the batch currently served in `slot`.
     ///
     /// # Panics
     /// Panics if the slot is idle.
     pub fn peek(&self, slot: usize) -> &T {
-        self.slots[slot].as_ref().expect("peek on idle slot")
+        self.slots[slot].first().expect("peek on idle slot")
     }
 
-    /// Finish the item in `slot`, returning it. The slot becomes idle.
+    /// The whole batch currently served in `slot` (empty slice = idle).
+    pub fn batch(&self, slot: usize) -> &[T] {
+        &self.slots[slot]
+    }
+
+    /// Move up to `extra` queued items into the batch already started in
+    /// `slot` (before its completion timer is scheduled). Returns how
+    /// many items were absorbed.
+    ///
+    /// # Panics
+    /// Panics if the slot is idle — there is no service period to join.
+    pub fn absorb_queued(&mut self, slot: usize, extra: usize) -> usize {
+        assert!(!self.slots[slot].is_empty(), "absorb into idle slot");
+        let n = extra.min(self.queue.len());
+        for _ in 0..n {
+            let item = self.queue.pop_front().expect("length checked");
+            self.slots[slot].push(item);
+        }
+        n
+    }
+
+    /// Finish the batch in `slot`, returning its items. The slot becomes
+    /// idle.
     ///
     /// # Panics
     /// Panics if the slot is idle.
-    pub fn complete(&mut self, slot: usize) -> T {
-        self.completed += 1;
-        self.slots[slot].take().expect("complete on idle slot")
+    pub fn complete(&mut self, slot: usize) -> Vec<T> {
+        let items = std::mem::take(&mut self.slots[slot]);
+        assert!(!items.is_empty(), "complete on idle slot");
+        self.completed += items.len() as u64;
+        items
     }
 
-    /// Pull the next queued item into the (idle) `slot`. Returns true if a
-    /// new service period begins; the caller must then schedule its timer.
+    /// Pull the next queued item into the (idle) `slot`. Returns true if
+    /// a new service period begins; the caller must then schedule its
+    /// timer.
     pub fn start_queued(&mut self, slot: usize) -> bool {
-        if self.slots[slot].is_some() {
-            return false;
+        self.start_queued_batch(slot, 1) > 0
+    }
+
+    /// Pull up to `max` queued items into the (idle) `slot` as one
+    /// batched service period. Returns the number of items started
+    /// (0 = slot busy or queue empty).
+    pub fn start_queued_batch(&mut self, slot: usize, max: usize) -> usize {
+        if !self.slots[slot].is_empty() {
+            return 0;
         }
-        match self.queue.pop_front() {
-            Some(item) => {
-                self.slots[slot] = Some(item);
-                true
-            }
-            None => false,
+        let n = max.min(self.queue.len());
+        for _ in 0..n {
+            let item = self.queue.pop_front().expect("length checked");
+            self.slots[slot].push(item);
         }
+        n
     }
 
     /// Items dropped because the waiting room was full.
@@ -124,7 +164,7 @@ impl<T> ServiceQueue<T> {
 
     /// Number of busy servers.
     pub fn busy(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.slots.iter().filter(|s| !s.is_empty()).count()
     }
 }
 
@@ -141,12 +181,12 @@ mod tests {
         assert_eq!(sq.submit(4), Submit::Dropped);
         assert_eq!(sq.drops(), 1);
         assert_eq!(*sq.peek(0), 1);
-        assert_eq!(sq.complete(0), 1);
+        assert_eq!(sq.complete(0), vec![1]);
         assert!(sq.start_queued(0));
         assert_eq!(*sq.peek(0), 2);
-        assert_eq!(sq.complete(0), 2);
+        assert_eq!(sq.complete(0), vec![2]);
         assert!(sq.start_queued(0));
-        assert_eq!(sq.complete(0), 3);
+        assert_eq!(sq.complete(0), vec![3]);
         assert!(!sq.start_queued(0));
         assert_eq!(sq.completed(), 3);
         assert_eq!(sq.max_queue_len(), 2);
@@ -165,9 +205,50 @@ mod tests {
     }
 
     #[test]
+    fn queued_items_drain_in_batches() {
+        let mut sq: ServiceQueue<u32> = ServiceQueue::new(1, 16);
+        assert_eq!(sq.submit(1), Submit::Start(0));
+        for i in 2..=9 {
+            assert_eq!(sq.submit(i), Submit::Queued);
+        }
+        assert_eq!(sq.complete(0), vec![1]);
+        // Drain the backlog four at a time.
+        assert_eq!(sq.start_queued_batch(0, 4), 4);
+        assert_eq!(sq.batch(0), &[2, 3, 4, 5]);
+        // A busy slot refuses a second batch.
+        assert_eq!(sq.start_queued_batch(0, 4), 0);
+        assert_eq!(sq.complete(0), vec![2, 3, 4, 5]);
+        assert_eq!(sq.start_queued_batch(0, 100), 4);
+        assert_eq!(sq.complete(0), vec![6, 7, 8, 9]);
+        assert_eq!(sq.completed(), 9);
+    }
+
+    #[test]
+    fn absorb_extends_a_started_batch() {
+        let mut sq: ServiceQueue<u32> = ServiceQueue::new(1, 16);
+        assert_eq!(sq.submit(1), Submit::Start(0));
+        assert_eq!(sq.submit(2), Submit::Queued);
+        assert_eq!(sq.submit(3), Submit::Queued);
+        assert_eq!(sq.submit(4), Submit::Queued);
+        assert_eq!(sq.absorb_queued(0, 2), 2);
+        assert_eq!(sq.batch(0), &[1, 2, 3]);
+        assert_eq!(sq.queue_len(), 1);
+        // Absorbing more than is queued takes what exists.
+        assert_eq!(sq.absorb_queued(0, 10), 1);
+        assert_eq!(sq.complete(0), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
     #[should_panic(expected = "idle slot")]
     fn complete_idle_slot_panics() {
         let mut sq: ServiceQueue<u32> = ServiceQueue::new(1, 1);
         sq.complete(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle slot")]
+    fn absorb_into_idle_slot_panics() {
+        let mut sq: ServiceQueue<u32> = ServiceQueue::new(1, 1);
+        sq.absorb_queued(0, 1);
     }
 }

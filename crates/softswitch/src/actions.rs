@@ -10,6 +10,7 @@ use bytes::{Bytes, BytesMut};
 use netpkt::flowkey::OFPVID_PRESENT;
 use netpkt::vlan::{VlanView, TAG_LEN};
 use netpkt::{EtherType, FlowKey, IpProto, Ipv4Packet, TcpPacket, UdpPacket};
+use openflow::message::PacketInReason;
 use openflow::oxm::OxmField;
 
 /// A concrete (fully resolved) action, as recorded for cache replay: no
@@ -26,8 +27,9 @@ pub enum CAction {
     Meter(u32),
     /// Emit the packet, as currently transformed, on this concrete port.
     Output(u32),
-    /// Punt a copy to the controller.
-    ToController,
+    /// Punt a copy to the controller, with the reason recorded at slow-
+    /// path time (so replays report `NoMatch` vs `Action` faithfully).
+    ToController(PacketInReason),
 }
 
 /// Apply a VLAN push to the frame and key.
@@ -245,8 +247,8 @@ fn fix_l4_checksum(frame: &mut BytesMut, off: usize) {
 pub struct ReplayOutput {
     /// `(concrete port, frame)` pairs to emit.
     pub outputs: Vec<(u32, Bytes)>,
-    /// Copies for the controller.
-    pub to_controller: Vec<Bytes>,
+    /// Copies for the controller, with their recorded punt reasons.
+    pub to_controller: Vec<(PacketInReason, Bytes)>,
     /// Dropped by a meter.
     pub metered_out: bool,
 }
@@ -278,8 +280,9 @@ pub fn replay(
             CAction::Output(port) => {
                 out.outputs.push((*port, Bytes::copy_from_slice(&buf)));
             }
-            CAction::ToController => {
-                out.to_controller.push(Bytes::copy_from_slice(&buf));
+            CAction::ToController(reason) => {
+                out.to_controller
+                    .push((*reason, Bytes::copy_from_slice(&buf)));
             }
         }
     }

@@ -1,0 +1,394 @@
+//! Batched frame processing: the containers and the per-batch lookup
+//! memo behind [`Datapath::process_batch`].
+//!
+//! A [`FrameBatch`] collects `(ingress port, frame)` pairs; the datapath
+//! drains it in one call, parsing every frame up front and resolving
+//! each distinct [`FlowKey`] through the cache hierarchy only once per
+//! batch. Repeated keys replay the memoised [`CachedPath`] directly —
+//! without the per-packet hash probe, epoch check and path clone the
+//! scalar cache hit pays — which is where the batched fast path earns
+//! its throughput margin (see `benches/datapath.rs`,
+//! `batched_vs_scalar_*`).
+//!
+//! The memo is scoped to a single `process_batch` call, so it can never
+//! go stale: flow-mods bump the datapath epoch between batches, never
+//! within one.
+//!
+//! [`Datapath::process_batch`]: crate::Datapath::process_batch
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+use netpkt::FlowKey;
+
+use crate::actions::CAction;
+use crate::cache::CachedPath;
+use crate::datapath::DpResult;
+use crate::trace::{LookupPath, ProcessingTrace};
+
+/// A batch of `(ingress port, frame)` pairs awaiting processing.
+///
+/// Reusable: [`Datapath::process_batch`] drains the batch, leaving it
+/// empty (capacity retained) for the next fill.
+///
+/// [`Datapath::process_batch`]: crate::Datapath::process_batch
+#[derive(Debug, Default)]
+pub struct FrameBatch {
+    frames: Vec<(u32, Bytes)>,
+}
+
+impl FrameBatch {
+    /// An empty batch.
+    pub fn new() -> FrameBatch {
+        FrameBatch::default()
+    }
+
+    /// An empty batch with room for `n` frames.
+    pub fn with_capacity(n: usize) -> FrameBatch {
+        FrameBatch {
+            frames: Vec::with_capacity(n),
+        }
+    }
+
+    /// Append a frame received on `in_port`.
+    pub fn push(&mut self, in_port: u32, frame: Bytes) {
+        self.frames.push((in_port, frame));
+    }
+
+    /// Number of frames currently batched.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if no frames are batched.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Drop all batched frames, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+
+    /// Iterate over the batched `(port, frame)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(u32, Bytes)> {
+        self.frames.iter()
+    }
+
+    /// Drain the frames out, keeping the allocation for the next fill
+    /// (used by the datapath).
+    pub(crate) fn drain(&mut self) -> std::vec::Drain<'_, (u32, Bytes)> {
+        self.frames.drain(..)
+    }
+}
+
+impl FromIterator<(u32, Bytes)> for FrameBatch {
+    fn from_iter<I: IntoIterator<Item = (u32, Bytes)>>(iter: I) -> FrameBatch {
+        FrameBatch {
+            frames: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Everything one [`Datapath::process_batch`] call produced.
+///
+/// Per-frame [`DpResult`]s are kept in input order (so callers can pair
+/// them with what they submitted — the simulator node does, for cost
+/// accounting), with aggregate per-port views derived on demand.
+///
+/// [`Datapath::process_batch`]: crate::Datapath::process_batch
+#[derive(Debug, Default)]
+pub struct BatchResult {
+    /// Per-frame results, in the order the frames were pushed.
+    pub results: Vec<DpResult>,
+}
+
+impl BatchResult {
+    /// Output frames grouped per egress port, in emission order. The
+    /// `Bytes` handles are reference-counted, so grouping does not copy
+    /// payloads.
+    pub fn outputs_by_port(&self) -> BTreeMap<u32, Vec<Bytes>> {
+        let mut by_port: BTreeMap<u32, Vec<Bytes>> = BTreeMap::new();
+        for r in &self.results {
+            for (port, frame) in &r.outputs {
+                by_port.entry(*port).or_default().push(frame.clone());
+            }
+        }
+        by_port
+    }
+
+    /// Total output frames emitted across the batch.
+    pub fn total_outputs(&self) -> usize {
+        self.results.iter().map(|r| r.outputs.len()).sum()
+    }
+
+    /// Frames the pipeline dropped.
+    pub fn dropped_count(&self) -> usize {
+        self.results.iter().filter(|r| r.dropped).count()
+    }
+}
+
+/// A replay plan precompiled once per key per batch, for paths whose
+/// actions never touch the packet bytes (pure forwards: only concrete
+/// `Output`s, no rewrites, meters or packet-ins — the overwhelmingly
+/// common case on a switch's fast path).
+///
+/// Replaying a plan emits reference-counted clones of the ingress frame
+/// and stamps a precomputed trace template, skipping the buffer copy,
+/// action re-scan and per-action trace accounting a [`CachedPath`]
+/// replay performs. Compiling the plan costs one action scan, paid by
+/// the first frame of the key and amortised over its repeats — the
+/// scalar path has nowhere to amortise it, which is the structural
+/// advantage `process_batch` measures in `benches/datapath.rs`.
+#[derive(Debug)]
+pub(crate) struct FastPlan {
+    /// Concrete egress ports, in action order.
+    pub(crate) ports: Vec<u32>,
+    /// Trace template: constant per-path counters; the replay fills in
+    /// `frame_len` and keeps `path = BatchHit`.
+    pub(crate) trace: ProcessingTrace,
+}
+
+impl FastPlan {
+    /// Compile a plan from a resolved path, if it is pure-forward.
+    fn compile(path: &CachedPath) -> Option<FastPlan> {
+        let mut ports = Vec::with_capacity(path.actions.len());
+        for a in &path.actions {
+            match a {
+                CAction::Output(p) => ports.push(*p),
+                _ => return None,
+            }
+        }
+        let mut trace = ProcessingTrace::new(0);
+        trace.path = LookupPath::BatchHit;
+        trace.outputs = ports.len() as u32;
+        Some(FastPlan { ports, trace })
+    }
+}
+
+struct MemoEntry {
+    key: FlowKey,
+    path: CachedPath,
+    plan: Option<FastPlan>,
+}
+
+impl std::fmt::Debug for MemoEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoEntry")
+            .field("path", &self.path)
+            .field("plan", &self.plan)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Hard bound on memoised keys per batch: past this, further distinct
+/// keys simply fall through to the regular caches (still correct, just
+/// unamortised). Keeps the linear probe bounded for degenerate batches.
+const MEMO_CAP: usize = 128;
+
+/// Per-batch lookup memo: each distinct [`FlowKey`] resolves its
+/// [`CachedPath`] once per batch; repeated keys replay it by reference
+/// (via the precompiled [`FastPlan`] when the path is pure-forward).
+///
+/// Deliberately **not** a hash map: hashing a ~130-byte key costs more
+/// than a hundred nanoseconds — several times a whole memo replay —
+/// while the memo never outgrows [`MEMO_CAP`] entries, so a
+/// newest-first linear probe of cheap key compares (early-exit on the
+/// first differing field) wins by a wide margin. A one-entry "last key"
+/// fast path serves packet trains (consecutive frames of one flow)
+/// with a single compare.
+#[derive(Debug, Default)]
+pub(crate) struct BatchMemo {
+    entries: Vec<MemoEntry>,
+    last: Option<usize>,
+    hits: u64,
+}
+
+impl BatchMemo {
+    /// Look up `key`; returns an index usable with [`BatchMemo::path`] /
+    /// [`BatchMemo::plan`].
+    pub(crate) fn lookup(&mut self, key: &FlowKey) -> Option<usize> {
+        if let Some(i) = self.last {
+            if self.entries[i].key == *key {
+                self.hits += 1;
+                return Some(i);
+            }
+        }
+        // Newest-first: bursts revisit recently resolved flows.
+        let found = self.entries.iter().rposition(|e| e.key == *key);
+        if found.is_some() {
+            self.hits += 1;
+            self.last = found;
+        }
+        found
+    }
+
+    /// True while the memo can take another entry.
+    pub(crate) fn has_room(&self) -> bool {
+        self.entries.len() < MEMO_CAP
+    }
+
+    /// The memoised path at `i`.
+    pub(crate) fn path(&self, i: usize) -> &CachedPath {
+        &self.entries[i].path
+    }
+
+    /// The precompiled pure-forward plan at `i`, if the path has one.
+    pub(crate) fn plan(&self, i: usize) -> Option<(&FastPlan, &CachedPath)> {
+        let e = &self.entries[i];
+        e.plan.as_ref().map(|p| (p, &e.path))
+    }
+
+    /// Record `path` for `key`, compiling its replay plan, and return a
+    /// reference to the stored copy (so the caller can replay without a
+    /// second clone). Call only while [`BatchMemo::has_room`].
+    pub(crate) fn insert(&mut self, key: FlowKey, path: CachedPath) -> &CachedPath {
+        debug_assert!(self.has_room(), "memo insert past MEMO_CAP");
+        let i = self.entries.len();
+        let plan = FastPlan::compile(&path);
+        self.entries.push(MemoEntry { key, path, plan });
+        self.last = Some(i);
+        &self.entries[i].path
+    }
+
+    /// Memo hits served so far.
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::CAction;
+
+    fn key(port: u16) -> FlowKey {
+        let f = netpkt::builder::udp_packet(
+            netpkt::MacAddr::host(1),
+            netpkt::MacAddr::host(2),
+            std::net::Ipv4Addr::new(10, 0, 0, 1),
+            std::net::Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            port,
+            b"x",
+        );
+        FlowKey::extract(1, &f).unwrap()
+    }
+
+    fn path(out: u32) -> CachedPath {
+        CachedPath {
+            actions: vec![CAction::Output(out)],
+            hits: vec![(0, 0)],
+            epoch: 1,
+        }
+    }
+
+    #[test]
+    fn frame_batch_fills_and_clears() {
+        let mut b = FrameBatch::with_capacity(4);
+        assert!(b.is_empty());
+        b.push(1, Bytes::from_static(b"a"));
+        b.push(2, Bytes::from_static(b"bb"));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.iter().count(), 2);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn frame_batch_drain_keeps_capacity_for_reuse() {
+        let mut b = FrameBatch::with_capacity(8);
+        for i in 0..8 {
+            b.push(i, Bytes::from_static(b"x"));
+        }
+        assert_eq!(b.drain().count(), 8);
+        assert!(b.is_empty());
+        assert!(
+            b.frames.capacity() >= 8,
+            "drained batch must keep its allocation"
+        );
+    }
+
+    #[test]
+    fn memo_last_key_fast_path_and_linear_fallback() {
+        let mut m = BatchMemo::default();
+        assert_eq!(m.lookup(&key(53)), None);
+        m.insert(key(53), path(2));
+        m.insert(key(80), path(3));
+        // `last` now points at the port-80 entry; a port-53 lookup falls
+        // back to the linear probe and repoints `last`.
+        assert_eq!(m.lookup(&key(80)), Some(1));
+        assert_eq!(m.lookup(&key(53)), Some(0));
+        assert_eq!(m.lookup(&key(53)), Some(0)); // last-key fast path
+        assert_eq!(m.hits(), 3);
+        assert_eq!(m.path(0).actions, vec![CAction::Output(2)]);
+    }
+
+    #[test]
+    fn memo_caps_out_but_keeps_serving() {
+        let mut m = BatchMemo::default();
+        let mut stored = 0;
+        for p in 0..200u16 {
+            if m.has_room() {
+                m.insert(key(p), path(2));
+                stored += 1;
+            }
+        }
+        assert_eq!(stored, super::MEMO_CAP);
+        assert!(!m.has_room());
+        // Everything stored is still found; overflow keys simply miss.
+        assert!(m.lookup(&key(0)).is_some());
+        assert!(m.lookup(&key(199)).is_none());
+    }
+
+    #[test]
+    fn plans_compile_only_for_pure_forward_paths() {
+        let pure = CachedPath {
+            actions: vec![CAction::Output(2), CAction::Output(3)],
+            hits: vec![(0, 0)],
+            epoch: 1,
+        };
+        let plan = FastPlan::compile(&pure).expect("pure forward compiles");
+        assert_eq!(plan.ports, vec![2, 3]);
+        assert_eq!(plan.trace.outputs, 2);
+        for rewriting in [
+            CAction::PopVlan,
+            CAction::PushVlan(0x8100),
+            CAction::Meter(1),
+            CAction::ToController(openflow::message::PacketInReason::NoMatch),
+        ] {
+            let p = CachedPath {
+                actions: vec![rewriting, CAction::Output(2)],
+                hits: vec![],
+                epoch: 1,
+            };
+            assert!(FastPlan::compile(&p).is_none(), "{:?}", p.actions);
+        }
+    }
+
+    #[test]
+    fn batch_result_groups_outputs_by_port() {
+        let r = BatchResult {
+            results: vec![
+                DpResult {
+                    outputs: vec![(2, Bytes::from_static(b"a")), (3, Bytes::from_static(b"b"))],
+                    ..DpResult::default()
+                },
+                DpResult {
+                    dropped: true,
+                    ..DpResult::default()
+                },
+                DpResult {
+                    outputs: vec![(2, Bytes::from_static(b"c"))],
+                    ..DpResult::default()
+                },
+            ],
+        };
+        let by_port = r.outputs_by_port();
+        assert_eq!(by_port[&2].len(), 2);
+        assert_eq!(by_port[&3].len(), 1);
+        assert_eq!(&by_port[&2][1][..], b"c");
+        assert_eq!(r.total_outputs(), 3);
+        assert_eq!(r.dropped_count(), 1);
+    }
+}

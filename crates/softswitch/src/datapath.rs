@@ -1,10 +1,16 @@
 //! The multi-table OpenFlow 1.3 dataplane.
 //!
-//! [`Datapath::process`] is the single entry point: a frame plus ingress
-//! port goes in, concrete outputs / packet-ins / a [`ProcessingTrace`]
-//! come out. Depending on [`PipelineMode`], lookups are served by the
-//! microflow cache, the megaflow cache, tuple-space indexes, or a plain
-//! linear walk — the ablation axis of the E8 experiment.
+//! [`Datapath::process_batch`] is the primary entry point: a
+//! [`FrameBatch`] goes in, per-frame outputs / packet-ins /
+//! [`ProcessingTrace`]s come out. All frames are parsed first, then each
+//! distinct flow key resolves through the lookup hierarchy once per
+//! batch (a per-batch memo replays repeated keys), then actions run and
+//! the results aggregate into per-port output vectors. The single-frame
+//! [`Datapath::process`] delegates to the same engine with the memo
+//! disabled, so scalar and batched behaviour are identical by
+//! construction. Depending on [`PipelineMode`], lookups are served by
+//! the microflow cache, the megaflow cache, tuple-space indexes, or a
+//! plain linear walk — the ablation axis of the E8 experiment.
 
 use bytes::{Bytes, BytesMut};
 use std::collections::BTreeMap;
@@ -16,6 +22,7 @@ use openflow::table::{FlowEntry, FlowModCommand, RemovedReason, TableId};
 use openflow::{port_no, Action, Error, FlowTable, GroupTable, Instruction, MeterTable, Result};
 
 use crate::actions::{self, CAction};
+use crate::batch::{BatchMemo, BatchResult, FrameBatch};
 use crate::cache::{CachedPath, MegaflowCache, MicroflowCache};
 use crate::trace::{LookupPath, ProcessingTrace};
 use crate::tss::TssIndex;
@@ -168,6 +175,7 @@ pub struct Datapath {
     mega: MegaflowCache,
     port_stats: BTreeMap<u32, PortStatsEntry>,
     packets_processed: u64,
+    batch_memo_hits: u64,
 }
 
 /// Recursion bound for group chains.
@@ -246,6 +254,7 @@ impl Datapath {
             epoch: 1,
             port_stats: BTreeMap::new(),
             packets_processed: 0,
+            batch_memo_hits: 0,
         }
     }
 
@@ -267,6 +276,12 @@ impl Datapath {
     /// Total packets processed.
     pub fn packets_processed(&self) -> u64 {
         self.packets_processed
+    }
+
+    /// Lookups served by the per-batch memo across all
+    /// [`Datapath::process_batch`] calls (repeated keys within a batch).
+    pub fn batch_memo_hits(&self) -> u64 {
+        self.batch_memo_hits
     }
 
     /// Register a port.
@@ -490,22 +505,98 @@ impl Datapath {
         }
     }
 
-    /// Process one frame.
+    /// Process one frame. Delegates to the batch engine (memo disabled:
+    /// a single frame cannot repeat a key), so scalar and batched
+    /// processing share one code path.
     pub fn process(&mut self, in_port: u32, frame: Bytes, now_ns: u64) -> DpResult {
+        let key = FlowKey::extract_lossy(in_port, &frame);
+        self.process_keyed(in_port, frame, key, now_ns, None)
+    }
+
+    /// Process a whole batch of frames, draining `batch`.
+    ///
+    /// Three phases, DPDK burst style:
+    ///
+    /// 1. **Parse** — every frame's [`FlowKey`] is extracted up front;
+    /// 2. **Lookup** — each distinct key resolves through the cache
+    ///    hierarchy (or the slow path) once per batch; repeated keys hit
+    ///    the per-batch memo and skip the hash probe, epoch check and
+    ///    path clone of a scalar cache hit (their traces read
+    ///    [`LookupPath::BatchHit`]);
+    /// 3. **Execute** — actions replay per frame, producing per-frame
+    ///    [`DpResult`]s in input order (group them with
+    ///    [`BatchResult::outputs_by_port`]).
+    ///
+    /// Outputs, packet-ins and drop decisions are identical to calling
+    /// [`Datapath::process`] on each frame in order with the same
+    /// `now_ns`: paths are only memoised when they are cacheable
+    /// (matched, meter-free), so rate-dependent flows still consult
+    /// meters frame by frame. `tests/tests/proptests.rs` pins this
+    /// equivalence property down.
+    pub fn process_batch(&mut self, batch: &mut FrameBatch, now_ns: u64) -> BatchResult {
+        // Phase 1: parse all frames before any lookup.
+        let keys: Vec<FlowKey> = batch
+            .iter()
+            .map(|(port, frame)| FlowKey::extract_lossy(*port, frame))
+            .collect();
+        let mut memo = if batch.len() > 1 {
+            Some(BatchMemo::default())
+        } else {
+            None
+        };
+        let mut results = Vec::with_capacity(batch.len());
+        for ((in_port, frame), key) in batch.drain().zip(keys) {
+            results.push(self.process_keyed(in_port, frame, key, now_ns, memo.as_mut()));
+        }
+        if let Some(m) = memo {
+            self.batch_memo_hits += m.hits();
+        }
+        BatchResult { results }
+    }
+
+    /// The shared per-frame engine behind [`Datapath::process`] and
+    /// [`Datapath::process_batch`]: memo → microflow → megaflow → slow
+    /// path.
+    fn process_keyed(
+        &mut self,
+        in_port: u32,
+        frame: Bytes,
+        key: FlowKey,
+        now_ns: u64,
+        mut memo: Option<&mut BatchMemo>,
+    ) -> DpResult {
         self.packets_processed += 1;
         if let Some(s) = self.port_stats.get_mut(&in_port) {
             s.rx_packets += 1;
             s.rx_bytes += frame.len() as u64;
         }
+        // 0. Per-batch memo: a key already resolved in this batch
+        //    replays its path without touching the caches again —
+        //    through the precompiled plan when the path is pure-forward.
+        if let Some(m) = memo.as_deref_mut() {
+            if let Some(i) = m.lookup(&key) {
+                if let Some((plan, path)) = m.plan(i) {
+                    return self.replay_plan(plan, path, frame, now_ns);
+                }
+                let mut trace = ProcessingTrace::new(frame.len());
+                trace.path = LookupPath::BatchHit;
+                let path = m.path(i);
+                return self.finish_path(path, frame, key, now_ns, trace);
+            }
+        }
+
         let mut trace = ProcessingTrace::new(frame.len());
-        let key = FlowKey::extract_lossy(in_port, &frame);
 
         // 1. Microflow cache.
         if self.config.mode.microflow {
             if let Some(path) = self.micro.lookup(&key, self.epoch) {
                 let path = path.clone();
                 trace.path = LookupPath::MicroHit;
-                return self.finish_cached(path, frame, key, now_ns, trace);
+                if let Some(m) = memo.as_deref_mut().filter(|m| m.has_room()) {
+                    let path = m.insert(key, path);
+                    return self.finish_path(path, frame, key, now_ns, trace);
+                }
+                return self.finish_path(&path, frame, key, now_ns, trace);
             }
         }
 
@@ -519,7 +610,11 @@ impl Datapath {
                 if self.config.mode.microflow {
                     self.micro.insert(key, path.clone());
                 }
-                return self.finish_cached(path, frame, key, now_ns, trace);
+                if let Some(m) = memo.as_deref_mut().filter(|m| m.has_room()) {
+                    let path = m.insert(key, path);
+                    return self.finish_path(path, frame, key, now_ns, trace);
+                }
+                return self.finish_path(&path, frame, key, now_ns, trace);
             }
             if let LookupPath::SlowPath { .. } = trace.path {
                 // carry the wasted probes into the slow-path accounting
@@ -532,12 +627,48 @@ impl Datapath {
         }
 
         // 3. Slow path.
-        self.slow_path(in_port, frame, key, now_ns, trace)
+        self.slow_path(in_port, frame, key, now_ns, trace, memo)
     }
 
-    fn finish_cached(
+    /// Replay a precompiled pure-forward plan: emit reference-counted
+    /// clones of `frame` (the path provably never rewrites bytes), bump
+    /// the flow/port counters exactly as a full replay would, and stamp
+    /// the templated trace.
+    fn replay_plan(
         &mut self,
-        path: CachedPath,
+        plan: &crate::batch::FastPlan,
+        path: &CachedPath,
+        frame: Bytes,
+        now_ns: u64,
+    ) -> DpResult {
+        let len = frame.len() as u64;
+        for &(t, idx) in &path.hits {
+            self.tables[t].hit(idx, len, now_ns);
+        }
+        let mut outputs = Vec::with_capacity(plan.ports.len());
+        for &port in &plan.ports {
+            if let Some(s) = self.port_stats.get_mut(&port) {
+                s.tx_packets += 1;
+                s.tx_bytes += len;
+            }
+            outputs.push((port, frame.clone()));
+        }
+        let mut trace = plan.trace;
+        trace.frame_len = len as u32;
+        let dropped = outputs.is_empty();
+        DpResult {
+            outputs,
+            packet_ins: Vec::new(),
+            dropped,
+            trace: Some(trace),
+        }
+    }
+
+    /// Replay a resolved [`CachedPath`] (from a cache or the batch memo)
+    /// on `frame`.
+    fn finish_path(
+        &mut self,
+        path: &CachedPath,
         frame: Bytes,
         mut key: FlowKey,
         now_ns: u64,
@@ -554,7 +685,7 @@ impl Datapath {
                 CAction::SetField(_) => trace.set_fields += 1,
                 CAction::Meter(_) => trace.meter_checks += 1,
                 CAction::Output(_) => trace.outputs += 1,
-                CAction::ToController => trace.packet_in = true,
+                CAction::ToController(_) => trace.packet_in = true,
             }
         }
         let rep = actions::replay(&path.actions, frame, &mut key, now_ns, &mut self.meters);
@@ -570,7 +701,7 @@ impl Datapath {
             packet_ins: rep
                 .to_controller
                 .into_iter()
-                .map(|d| (PacketInReason::Action, key.in_port, d))
+                .map(|(reason, d)| (reason, key.in_port, d))
                 .collect(),
             dropped,
             trace: Some(trace),
@@ -602,6 +733,7 @@ impl Datapath {
         key: FlowKey,
         now_ns: u64,
         trace: ProcessingTrace,
+        memo: Option<&mut BatchMemo>,
     ) -> DpResult {
         let (mut tables_visited, mut scanned, mut tss_probes) = match trace.path {
             LookupPath::SlowPath {
@@ -718,8 +850,9 @@ impl Datapath {
             tss_probes,
         };
 
-        // Install caches (only for clean, meter-free completions; metered
-        // paths are rate-dependent and recycle through the slow path).
+        // Install caches and the batch memo (only for clean, meter-free
+        // completions; metered paths are rate-dependent and recycle
+        // through the slow path).
         let has_meter = ctx.recorded.iter().any(|a| matches!(a, CAction::Meter(_)));
         if matched_any && !ctx.metered_out && !has_meter {
             let path = CachedPath {
@@ -727,6 +860,9 @@ impl Datapath {
                 hits: hits.clone(),
                 epoch: self.epoch,
             };
+            if let Some(m) = memo.filter(|m| m.has_room()) {
+                m.insert(key, path.clone());
+            }
             if self.config.mode.megaflow {
                 self.mega.insert(&key, ctx.unwild, path.clone());
             }
@@ -845,12 +981,12 @@ impl Datapath {
         match port {
             port_no::CONTROLLER => {
                 ctx.trace.packet_in = true;
-                ctx.recorded.push(CAction::ToController);
                 let reason = if miss_entry {
                     PacketInReason::NoMatch
                 } else {
                     PacketInReason::Action
                 };
+                ctx.recorded.push(CAction::ToController(reason));
                 ctx.packet_ins
                     .push((reason, ctx.in_port, Bytes::copy_from_slice(&ctx.buf)));
             }
@@ -1233,6 +1369,138 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err, Error::BadTable(9));
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_result() {
+        let mut dp = dp(PipelineMode::full());
+        let mut batch = FrameBatch::new();
+        let r = dp.process_batch(&mut batch, 0);
+        assert!(r.results.is_empty());
+        assert!(r.outputs_by_port().is_empty());
+        assert_eq!(dp.packets_processed(), 0);
+    }
+
+    #[test]
+    fn batch_memo_amortizes_repeated_keys_without_caches() {
+        // TSS mode has no caches: only the per-batch memo can amortize.
+        let mut dp = dp(PipelineMode::tss());
+        add_forward_rule(&mut dp, 53, 2);
+        add_forward_rule(&mut dp, 80, 3);
+        let mut batch: FrameBatch = [
+            (1u32, udp_frame(1, 53)),
+            (1, udp_frame(1, 53)),
+            (1, udp_frame(2, 80)),
+            (1, udp_frame(1, 53)),
+            (1, udp_frame(2, 80)),
+        ]
+        .into_iter()
+        .collect();
+        let r = dp.process_batch(&mut batch, 0);
+        assert!(batch.is_empty(), "process_batch drains the batch");
+        assert_eq!(r.results.len(), 5);
+        let ports: Vec<u32> = r.results.iter().map(|d| d.outputs[0].0).collect();
+        assert_eq!(ports, vec![2, 2, 3, 2, 3]);
+        // First frame of each key walks the pipeline; repeats replay.
+        assert_eq!(dp.batch_memo_hits(), 3);
+        let paths: Vec<bool> = r
+            .results
+            .iter()
+            .map(|d| matches!(d.trace.unwrap().path, LookupPath::BatchHit))
+            .collect();
+        assert_eq!(paths, vec![false, true, false, true, true]);
+        let by_port = r.outputs_by_port();
+        assert_eq!(by_port[&2].len(), 3);
+        assert_eq!(by_port[&3].len(), 2);
+    }
+
+    #[test]
+    fn batch_memo_serves_repeats_of_a_microflow_hit() {
+        let mut dp = dp(PipelineMode::full());
+        add_forward_rule(&mut dp, 53, 2);
+        // Warm the microflow cache with scalar traffic.
+        dp.process(1, udp_frame(1, 53), 0);
+        let micro_hits = dp.micro_cache().hits();
+        let mut batch: FrameBatch = (0..4).map(|_| (1u32, udp_frame(1, 53))).collect();
+        let r = dp.process_batch(&mut batch, 1);
+        // One micro probe resolves the key for the whole batch.
+        assert_eq!(dp.micro_cache().hits(), micro_hits + 1);
+        assert_eq!(dp.batch_memo_hits(), 3);
+        assert!(r
+            .results
+            .iter()
+            .all(|d| d.outputs == [(2, udp_frame(1, 53))]));
+        // Flow counters account every frame, exactly like scalar calls.
+        assert_eq!(dp.table(0).unwrap().entries()[0].packets, 5);
+    }
+
+    #[test]
+    fn oversized_batch_survives_cache_overflow() {
+        // 256 distinct microflows through a 16-entry microflow cache:
+        // the emergency flush must not disturb batch results.
+        let mut cfg = DpConfig::software(1).with_mode(PipelineMode::full());
+        cfg.micro_capacity = 16;
+        cfg.mega_capacity = 8;
+        let mut dp = Datapath::new(cfg);
+        for p in 1..=4 {
+            dp.add_port(p, format!("p{p}"), 1_000_000);
+        }
+        add_forward_rule(&mut dp, 53, 2);
+        let mut batch: FrameBatch = (0..256).map(|i| (1u32, udp_frame(i, 53))).collect();
+        let r = dp.process_batch(&mut batch, 0);
+        assert_eq!(r.results.len(), 256);
+        assert!(r.results.iter().all(|d| !d.dropped && d.outputs[0].0 == 2));
+        assert_eq!(r.outputs_by_port()[&2].len(), 256);
+        assert_eq!(dp.packets_processed(), 256);
+    }
+
+    #[test]
+    fn metered_flows_are_not_memoized_in_batches() {
+        let mut dp = dp(PipelineMode::full());
+        dp.apply_meter_mod(
+            openflow::meter::MeterModCommand::Add,
+            1,
+            true,
+            Some(openflow::MeterBand { rate: 1, burst: 1 }),
+            0,
+        )
+        .unwrap();
+        dp.apply_flow_mod(
+            &FlowMod::add(0)
+                .priority(10)
+                .match_(Match::new().eth_type(0x0800))
+                .instructions(vec![
+                    Instruction::Meter(1),
+                    Instruction::ApplyActions(vec![Action::output(2)]),
+                ]),
+            0,
+        )
+        .unwrap();
+        // 1 pps, burst 1: within one instant only the first frame passes,
+        // and every frame must consult the meter individually.
+        let mut batch: FrameBatch = (0..3).map(|_| (1u32, udp_frame(1, 53))).collect();
+        let r = dp.process_batch(&mut batch, 0);
+        let dropped: Vec<bool> = r.results.iter().map(|d| d.dropped).collect();
+        assert_eq!(dropped, vec![false, true, true]);
+        assert_eq!(dp.batch_memo_hits(), 0, "metered paths must not memoize");
+    }
+
+    #[test]
+    fn single_frame_batch_equals_scalar_process() {
+        let mut a = dp(PipelineMode::full());
+        let mut b = dp(PipelineMode::full());
+        add_forward_rule(&mut a, 53, 2);
+        add_forward_rule(&mut b, 53, 2);
+        for t in 0..3u64 {
+            let scalar = a.process(1, udp_frame(1, 53), t);
+            let mut batch: FrameBatch = [(1u32, udp_frame(1, 53))].into_iter().collect();
+            let mut batched = b.process_batch(&mut batch, t);
+            let batched = batched.results.pop().unwrap();
+            assert_eq!(scalar.outputs, batched.outputs);
+            assert_eq!(scalar.dropped, batched.dropped);
+            assert_eq!(scalar.trace, batched.trace, "even traces agree");
+        }
+        assert_eq!(b.batch_memo_hits(), 0);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * [`actions`] — concrete packet transformations (VLAN push/pop/rewrite,
 //!   set-field with checksum maintenance) and the flattened
 //!   [`actions::CAction`] lists that caches replay;
+//! * [`batch`] — the [`batch::FrameBatch`]/[`batch::BatchResult`]
+//!   containers and per-batch lookup memo behind the burst-processing
+//!   fast path, [`Datapath::process_batch`](datapath::Datapath::process_batch);
 //! * [`trace`] — the [`trace::ProcessingTrace`] every lookup produces and
 //!   the [`trace::CostModel`] that converts it to nanoseconds;
 //! * [`tss`] — tuple-space-search table indexes (the "ESwitch-style"
@@ -26,16 +29,18 @@
 //!   of the datapath, driven by the cost model.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod actions;
 pub mod agent;
+pub mod batch;
 pub mod cache;
 pub mod datapath;
 pub mod node;
 pub mod trace;
 pub mod tss;
 
+pub use batch::{BatchResult, FrameBatch};
 pub use datapath::{Datapath, DpConfig, DpResult, PipelineMode};
 pub use node::SoftSwitchNode;
 pub use trace::{CostModel, ProcessingTrace};

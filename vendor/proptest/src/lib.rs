@@ -2,7 +2,7 @@
 //!
 //! Vendored because the build environment has no network access to
 //! crates.io. It implements the surface the workspace's property tests
-//! use: the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! use: the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
 //! `prop_filter` / `boxed`, [`arbitrary::any`], range and tuple
 //! strategies, [`collection::vec`], [`option::of`], [`prop_oneof!`], a
 //! tiny character-class string-regex strategy, and the `prop_assert*` /
