@@ -1,0 +1,84 @@
+//! Flow-hash microbenchmarks: the OVS-style custom mix of
+//! `netpkt::flowhash` against the standard library's SipHash-1-3, both
+//! as raw hashes over a [`FlowKey`] and as end-to-end `HashMap` probes —
+//! the operation ROADMAP.md flagged at ~120 ns as the microflow
+//! bottleneck.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
+use std::time::Duration;
+
+use netpkt::flowhash::FlowHashBuilder;
+use netpkt::{builder, FlowKey, MacAddr};
+
+fn key(src: u32, dst_port: u16) -> FlowKey {
+    let f = builder::udp_packet(
+        MacAddr::host(src),
+        MacAddr::host(2),
+        std::net::Ipv4Addr::from(0x0a00_0000 + src),
+        std::net::Ipv4Addr::new(10, 0, 0, 2),
+        1000,
+        dst_port,
+        b"x",
+    );
+    FlowKey::extract(1, &f).unwrap()
+}
+
+fn bench_raw_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flowhash_raw");
+    g.throughput(Throughput::Elements(1));
+    let k = key(500, 53);
+    let sip = RandomState::new();
+    g.bench_function("siphash", |b| {
+        b.iter(|| std::hint::black_box(sip.hash_one(std::hint::black_box(&k))))
+    });
+    let ovs = FlowHashBuilder::default();
+    g.bench_function("ovs_mix_hasher", |b| {
+        b.iter(|| std::hint::black_box(ovs.hash_one(std::hint::black_box(&k))))
+    });
+    g.bench_function("ovs_mix_direct", |b| {
+        b.iter(|| std::hint::black_box(std::hint::black_box(&k).flow_hash(0)))
+    });
+    g.finish();
+}
+
+fn bench_map_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flowhash_map_probe_1k");
+    g.throughput(Throughput::Elements(1));
+    let mut sip: HashMap<FlowKey, u32> = HashMap::new();
+    let mut ovs: HashMap<FlowKey, u32, FlowHashBuilder> = HashMap::default();
+    for s in 0..1000u32 {
+        sip.insert(key(s, 53), s);
+        ovs.insert(key(s, 53), s);
+    }
+    let k = key(500, 53);
+    g.bench_function("siphash_hit", |b| {
+        b.iter(|| std::hint::black_box(sip.contains_key(std::hint::black_box(&k))))
+    });
+    g.bench_function("ovs_mix_hit", |b| {
+        b.iter(|| std::hint::black_box(ovs.contains_key(std::hint::black_box(&k))))
+    });
+    let miss = key(5000, 54);
+    g.bench_function("siphash_miss", |b| {
+        b.iter(|| std::hint::black_box(sip.contains_key(std::hint::black_box(&miss))))
+    });
+    g.bench_function("ovs_mix_miss", |b| {
+        b.iter(|| std::hint::black_box(ovs.contains_key(std::hint::black_box(&miss))))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_raw_hash, bench_map_probe
+}
+criterion_main!(benches);

@@ -2,14 +2,16 @@
 //! render a legacy switch OpenFlow-capable, and what does the management
 //! plane do meanwhile?
 //!
-//! Sweeps the access-port count for both vendor dialects, and exercises
-//! the rollback path with an injected verification failure.
+//! Sweeps the access-port count for both vendor dialects, exercises the
+//! rollback path with an injected verification failure, and migrates a
+//! 4-pod fabric in two waves to show staged roll-out cost.
 //!
 //! `cargo run --release -p bench --bin exp_migration`
 
 use bench::render_table;
 use controller::apps::LearningSwitch;
 use controller::ControllerNode;
+use harmless::fabric::{FabricSpec, Interconnect};
 use harmless::instance::HarmlessSpec;
 use harmless::manager::{HarmlessManager, ManagerConfig, ManagerPhase};
 use netsim::{Network, SimTime};
@@ -31,8 +33,10 @@ fn migrate(n_ports: u16, sys_descr: Option<&str>, fail_at: Option<usize>) -> Run
     ));
     let mut spec = HarmlessSpec::new(n_ports);
     spec.legacy_sys_descr = sys_descr.map(str::to_string);
-    let hx = spec.build(&mut net);
-    let mut cfg = ManagerConfig::for_instance(&hx, ctrl);
+    let fx = FabricSpec::single(spec)
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    let mut cfg = ManagerConfig::for_instance(fx.pod(0), ctrl);
     cfg.fail_verify_at = fail_at;
     let mgr = net.add_node(HarmlessManager::new(cfg));
     net.run_until(SimTime::from_secs(60));
@@ -107,5 +111,71 @@ fn main() {
          The legacy switch is back in its factory state; no flow rules\n\
          were installed (flow-mods sent: {}).",
         r.phase, r.total, r.snmp_ops, r.flow_mods
+    );
+
+    // Migration waves over a fabric: 4 pods of 24 ports behind a legacy
+    // spine, migrated two at a time — the staged roll-out an operator
+    // would actually run.
+    println!("\nFabric migration waves (4 pods x 24 ports, legacy spine, 2 pods per wave):");
+    let mut net = Network::new(99);
+    let ctrl = net.add_node(ControllerNode::new(
+        "ctrl",
+        vec![Box::new(LearningSwitch::new())],
+    ));
+    let fx = FabricSpec::new(4, HarmlessSpec::new(24))
+        .with_interconnect(Interconnect::SpineLegacy)
+        .build(&mut net)
+        .expect("valid fabric spec");
+    let mut rows = Vec::new();
+    for (wave, pods) in [[0usize, 1], [2, 3]].iter().enumerate() {
+        let start = net.now();
+        let managers = fx
+            .run_migration_wave(&mut net, pods, ctrl)
+            .expect("two-switch pods");
+        net.run_until(start + SimTime::from_secs(30));
+        assert!(
+            fx.wave_done(&net, &managers),
+            "wave {} must finish",
+            wave + 1
+        );
+        let done_at = managers
+            .iter()
+            .map(|&m| {
+                net.node_ref::<HarmlessManager>(m)
+                    .timeline()
+                    .last()
+                    .map(|(at, _)| *at)
+                    .unwrap_or(start)
+            })
+            .max()
+            .unwrap_or(start);
+        let snmp: u64 = managers
+            .iter()
+            .map(|&m| net.node_ref::<HarmlessManager>(m).snmp_ops())
+            .sum();
+        let migrated: usize = (0..fx.n_pods())
+            .filter(|&p| fx.pod(p).ss2_has_controller(&net))
+            .count();
+        rows.push(vec![
+            format!("{}", wave + 1),
+            format!("{pods:?}"),
+            format!("{}", done_at - start),
+            snmp.to_string(),
+            format!("{migrated}/{}", fx.n_pods()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "per-wave cost (managers run concurrently within a wave)",
+            &["wave", "pods", "wall-clock", "snmp-ops", "pods under SDN"],
+            &rows,
+        )
+    );
+    println!(
+        "Reading: a wave's wall-clock is one pod's migration (managers are\n\
+         per-pod and independent), so fleet migration cost scales with the\n\
+         number of waves an operator is comfortable running, not with the\n\
+         pod count."
     );
 }

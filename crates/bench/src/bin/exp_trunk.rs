@@ -9,9 +9,10 @@
 //! `cargo run --release -p bench --bin exp_trunk`
 
 use bench::render_table;
+use harmless::fabric::FabricSpec;
 use harmless::instance::HarmlessSpec;
 use netsim::traffic::{FlowSpec, Generator, Pattern, Sink};
-use netsim::{Network, NodeId, PortId, SimTime};
+use netsim::{Network, NodeId, PortId, Rollup, SimTime};
 use openflow::message::FlowMod;
 use openflow::{Action, Match};
 use softswitch::datapath::PipelineMode;
@@ -21,13 +22,16 @@ use softswitch::SoftSwitchNode;
 fn run(pairs: u16, n_trunks: u16, frame_len: usize) -> (f64, f64) {
     let n_ports = pairs * 2;
     let mut net = Network::new(9);
-    let hx = HarmlessSpec::new(n_ports)
-        .with_trunks(n_trunks)
-        .with_pipeline_mode(PipelineMode::full())
-        .with_cores(4) // keep the CPU out of the way; the trunk is the subject
-        .build(&mut net);
-    hx.configure_legacy_directly(&mut net);
-    hx.install_translator_rules(&mut net);
+    let mut fx = FabricSpec::single(
+        HarmlessSpec::new(n_ports)
+            .with_trunks(n_trunks)
+            .with_pipeline_mode(PipelineMode::full())
+            .with_cores(4), // keep the CPU out of the way; the trunk is the subject
+    )
+    .build(&mut net)
+    .expect("valid single-pod spec");
+    fx.configure_direct(&mut net);
+    let hx = fx.pod(0);
     {
         let dp = net.node_mut::<SoftSwitchNode>(hx.ss2).datapath_mut();
         for p in 1..=pairs {
@@ -60,17 +64,18 @@ fn run(pairs: u16, n_trunks: u16, frame_len: usize) -> (f64, f64) {
             SimTime::from_millis(20),
             SimTime::from_millis(20) + window,
         ));
-        hx.attach_node(&mut net, p, g);
+        fx.attach_node(&mut net, 0, p, g).expect("free access port");
         let s = net.add_node(Sink::new(format!("sink{p}")));
-        hx.attach_node(&mut net, p + pairs, s);
+        fx.attach_node(&mut net, 0, p + pairs, s)
+            .expect("free access port");
         sinks.push(s);
     }
     net.run_until(SimTime::from_millis(400));
-    let delivered_bytes: u64 = sinks
-        .iter()
-        .map(|&s| net.node_ref::<Sink>(s).rx_bytes())
-        .sum();
-    let goodput_mbps = delivered_bytes as f64 * 8.0 / window.as_secs_f64() / 1e6;
+    let mut rollup = Rollup::new();
+    for &s in &sinks {
+        net.node_ref::<Sink>(s).roll_into(&mut rollup);
+    }
+    let goodput_mbps = rollup.bytes as f64 * 8.0 / window.as_secs_f64() / 1e6;
     // Offered trunk load: every frame crosses once per direction, tagged.
     let offered_trunk_mbps =
         f64::from(pairs) * line_pps * ((frame_len + 4 + 24) as f64 * 8.0) / 1e6;

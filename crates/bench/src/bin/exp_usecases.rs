@@ -14,6 +14,7 @@
 use controller::apps::lb::Backend;
 use controller::apps::{Dmz, LearningSwitch, LoadBalancer, ParentalControl};
 use controller::ControllerNode;
+use harmless::fabric::FabricSpec;
 use harmless::instance::HarmlessSpec;
 use netsim::host::Host;
 use netsim::traffic::{FlowSpec, Generator, Pattern, Sink};
@@ -40,10 +41,11 @@ fn lb() {
             Box::new(LearningSwitch::new().in_table(1)),
         ],
     ));
-    let hx = HarmlessSpec::new(5).build(&mut net); // port 1 uplink, 2..=5 backends
-    hx.configure_legacy_directly(&mut net);
-    hx.install_translator_rules(&mut net);
-    hx.connect_controller(&mut net, ctrl);
+    let mut fx = FabricSpec::single(HarmlessSpec::new(5)) // port 1 uplink, 2..=5 backends
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    fx.configure_direct(&mut net);
+    fx.connect_controller(&mut net, ctrl);
 
     // Client uplink: 1024 distinct source IPs sending to the VIP.
     let flows: Vec<FlowSpec> = (0..1024u32)
@@ -68,11 +70,11 @@ fn lb() {
         )
         .with_random_flows(),
     );
-    hx.attach_node(&mut net, 1, g);
+    fx.attach_node(&mut net, 0, 1, g).expect("free access port");
     let sinks: Vec<NodeId> = (2..=5u16)
         .map(|p| {
             let s = net.add_node(Sink::new(format!("backend{p}")));
-            hx.attach_node(&mut net, p, s);
+            fx.attach_node(&mut net, 0, p, s).expect("free access port");
             s
         })
         .collect();
@@ -122,11 +124,14 @@ fn dmz() {
             Box::new(LearningSwitch::new().in_table(1)),
         ],
     ));
-    let hx = HarmlessSpec::new(8).build(&mut net);
-    hx.configure_legacy_directly(&mut net);
-    hx.install_translator_rules(&mut net);
-    hx.connect_controller(&mut net, ctrl);
-    let hosts: Vec<NodeId> = (1..=8).map(|i| hx.attach_host(&mut net, i)).collect();
+    let mut fx = FabricSpec::single(HarmlessSpec::new(8))
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    fx.configure_direct(&mut net);
+    fx.connect_controller(&mut net, ctrl);
+    let hosts: Vec<NodeId> = (1..=8)
+        .map(|i| fx.attach_host(&mut net, 0, i).expect("free access port"))
+        .collect();
     net.run_until(SimTime::from_millis(200));
 
     // Every ordered pair pings once.
@@ -175,14 +180,15 @@ fn pc() {
             Box::new(LearningSwitch::new().in_table(1)),
         ],
     ));
-    let hx = HarmlessSpec::new(4).build(&mut net);
-    hx.configure_legacy_directly(&mut net);
-    hx.install_translator_rules(&mut net);
-    hx.connect_controller(&mut net, ctrl);
-    let kid = hx.attach_host(&mut net, 1);
-    let _other = hx.attach_host(&mut net, 2);
-    let _site_a = hx.attach_host(&mut net, 3); // "the web page"
-    let _site_b = hx.attach_host(&mut net, 4);
+    let mut fx = FabricSpec::single(HarmlessSpec::new(4))
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    fx.configure_direct(&mut net);
+    fx.connect_controller(&mut net, ctrl);
+    let kid = fx.attach_host(&mut net, 0, 1).expect("free access port");
+    let _other = fx.attach_host(&mut net, 0, 2).expect("free access port");
+    let _site_a = fx.attach_host(&mut net, 0, 3).expect("free access port"); // "the web page"
+    let _site_b = fx.attach_host(&mut net, 0, 4).expect("free access port");
     net.run_until(SimTime::from_millis(200));
 
     let probe = |net: &mut Network, from: NodeId, to: u16| -> u64 {

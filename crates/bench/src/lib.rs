@@ -15,6 +15,7 @@
 
 #![forbid(unsafe_code)]
 
+use harmless::fabric::FabricSpec;
 use harmless::instance::{HarmlessSpec, Variant};
 use legacy_switch::{CotsConfig, CotsSwitchNode, LegacySwitchNode};
 use netsim::measure::TrialResult;
@@ -171,13 +172,16 @@ pub fn forwarding_trial(system: System, spec: TrialSpec) -> ForwardingResult {
                 System::HarmlessWith(v, m) => (v, m),
                 _ => (Variant::TwoSwitch, PipelineMode::full()),
             };
-            let hx = HarmlessSpec::new(2)
-                .with_variant(variant)
-                .with_pipeline_mode(mode)
-                .with_access_link(spec.access_link)
-                .build(&mut net);
-            hx.configure_legacy_directly(&mut net);
-            hx.install_translator_rules(&mut net);
+            let mut fx = FabricSpec::single(
+                HarmlessSpec::new(2)
+                    .with_variant(variant)
+                    .with_pipeline_mode(mode)
+                    .with_access_link(spec.access_link),
+            )
+            .build(&mut net)
+            .expect("single-pod trial spec is valid");
+            fx.configure_direct(&mut net);
+            let hx = fx.pod(0);
             match variant {
                 Variant::TwoSwitch => {
                     let dp = net.node_mut::<SoftSwitchNode>(hx.ss2).datapath_mut();
@@ -193,8 +197,8 @@ pub fn forwarding_trial(system: System, spec: TrialSpec) -> ForwardingResult {
             }
             let g = net.add_node(gen_node);
             let s = net.add_node(Sink::new("sink"));
-            hx.attach_node(&mut net, 1, g);
-            hx.attach_node(&mut net, 2, s);
+            fx.attach_node(&mut net, 0, 1, g).expect("port 1 free");
+            fx.attach_node(&mut net, 0, 2, s).expect("port 2 free");
             (g, s)
         }
         System::Software | System::SoftwareWith(_) | System::SoftwareBatched(_) => {

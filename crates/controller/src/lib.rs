@@ -22,7 +22,7 @@
 //!   steady-state path.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod apps;
 pub mod node;

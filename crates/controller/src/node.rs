@@ -208,6 +208,26 @@ impl ControllerNode {
         self.switches.get(&node)
     }
 
+    /// Number of switches that completed the handshake (features +
+    /// port-desc). A fabric controller serves one datapath per pod, plus
+    /// a soft spine when the interconnect has one.
+    pub fn ready_switches(&self) -> usize {
+        self.switches.values().filter(|s| s.ready).count()
+    }
+
+    /// Datapath ids of all ready switches, sorted (for assertions over
+    /// multi-pod fabrics).
+    pub fn ready_dpids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .switches
+            .values()
+            .filter(|s| s.ready)
+            .map(|s| s.dpid)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Typed access to an app (for runtime policy updates).
     pub fn app_mut<T: App>(&mut self) -> Option<&mut T> {
         self.apps

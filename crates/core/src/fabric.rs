@@ -1,0 +1,828 @@
+//! Declarative multi-pod fabric construction — HARMLESS at *network*
+//! scale.
+//!
+//! The paper retrofits one legacy switch at a time; the interesting
+//! hybrid-SDN questions (partial deployment, per-pod migration waves,
+//! traffic crossing the SDN/legacy boundary) only appear when many such
+//! retrofits compose into one network. A [`FabricSpec`] describes that
+//! network declaratively:
+//!
+//! * **N pods**, each the classic HARMLESS unit built by
+//!   [`HarmlessSpec`] — a legacy access switch, the translator SS_1 and
+//!   the main OpenFlow switch SS_2;
+//! * an **interconnect** joining the pods' SS_2 uplink ports: a
+//!   [`Interconnect::Line`] chain, a software-switch spine
+//!   ([`Interconnect::SpineSoft`]), or a plain legacy/COTS Ethernet
+//!   spine ([`Interconnect::SpineLegacy`]);
+//! * **hosts** attached per `(pod, access port)` with globally unique
+//!   MAC/IP identities ([`Fabric::attach_host`]);
+//! * **one controller** for the whole fabric
+//!   ([`Fabric::connect_controller`]) — every SS_2 (and a soft spine) is
+//!   a separate datapath of the same controller node, so dpid-keyed apps
+//!   such as the learning switch converge across pods;
+//! * **migration waves** ([`Fabric::run_migration_wave`]): one
+//!   [`HarmlessManager`] per pod drives the SNMP/OpenFlow migration of a
+//!   subset of pods while the rest stay legacy.
+//!
+//! The single-pod path is [`FabricSpec::single`], which builds exactly
+//! the topology `HarmlessSpec::build` always built — the fabric layer is
+//! a superset, not a replacement, of the paper's Fig. 1.
+//!
+//! Pods are also the natural *shard boundary* for scaling the simulator:
+//! all high-rate traffic inside a pod stays inside its three nodes, and
+//! only inter-pod frames cross an uplink, so a sharded event loop can
+//! run one pod per core and synchronise on uplink delays (see
+//! ROADMAP.md).
+//!
+//! ```
+//! use harmless::fabric::{FabricSpec, Interconnect};
+//! use harmless::instance::HarmlessSpec;
+//! use netsim::host::Host;
+//! use netsim::{Network, SimTime};
+//!
+//! let mut net = Network::new(7);
+//! let ctrl = net.add_node(controller::ControllerNode::new(
+//!     "ctrl",
+//!     vec![Box::new(controller::apps::LearningSwitch::new())],
+//! ));
+//! // Two 2-port pods joined by a legacy spine.
+//! let mut fx = FabricSpec::new(2, HarmlessSpec::new(2))
+//!     .with_interconnect(Interconnect::SpineLegacy)
+//!     .build(&mut net)
+//!     .unwrap();
+//! fx.configure_direct(&mut net);
+//! fx.connect_controller(&mut net, ctrl);
+//! let a = fx.attach_host(&mut net, 0, 1).unwrap();
+//! let b = fx.attach_host(&mut net, 1, 1).unwrap();
+//! net.run_until(SimTime::from_millis(100));
+//! let b_ip = fx.host_ip(1, 1);
+//! net.with_node_ctx::<Host, _>(a, |h, ctx| {
+//!     h.ping(b"cross-pod", b_ip);
+//!     h.flush(ctx);
+//! });
+//! net.run_until(SimTime::from_millis(500));
+//! assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 1);
+//! # let _ = b;
+//! ```
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use legacy_switch::LegacySwitchNode;
+use netsim::host::Host;
+use netsim::{LinkSpec, Network, NodeId, PortId};
+use softswitch::SoftSwitchNode;
+
+use crate::instance::{HarmlessInstance, HarmlessSpec, Variant};
+use crate::manager::{HarmlessManager, ManagerConfig, ManagerPhase};
+use crate::portmap::{PortMap, PortMapError};
+
+/// Default datapath id of a software spine switch.
+pub const SPINE_DPID: u64 = 0x5F;
+/// Base datapath id of per-pod translator switches (`0x5100 + pod`).
+pub const POD_SS1_DPID_BASE: u64 = 0x5100;
+/// Base datapath id of per-pod main switches (`0x5200 + pod`).
+pub const POD_SS2_DPID_BASE: u64 = 0x5200;
+/// Pod count ceiling — the host addressing scheme spends one IPv4 octet
+/// on the pod index and reserves `10.200.0.0/13` for service addresses
+/// (VIPs and the like).
+pub const MAX_PODS: u16 = 200;
+
+/// How the pods' SS_2 uplinks are joined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interconnect {
+    /// No interconnect: a standalone pod (single-pod fabrics only).
+    None,
+    /// A chain: pod `i` ↔ pod `i+1`. Two uplink ports per pod; frames
+    /// between distant pods transit the SS_2 of every pod in between.
+    Line,
+    /// Leaf–spine over a dedicated spine `SoftSwitchNode` — the spine is
+    /// one more datapath of the fabric's controller (connect it with
+    /// [`Fabric::connect_controller`] or [`Fabric::connect_spine`]).
+    SpineSoft,
+    /// Leaf–spine over a plain legacy/COTS Ethernet switch in factory
+    /// configuration — a flat learning bridge, no controller needed.
+    /// This is the cheapest interconnect the cost model allows.
+    SpineLegacy,
+}
+
+/// Errors validating or using a [`FabricSpec`] / [`Fabric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricError {
+    /// A fabric needs at least one pod.
+    NoPods,
+    /// More pods than the addressing scheme supports.
+    TooManyPods {
+        /// The [`MAX_PODS`] ceiling.
+        max: u16,
+        /// What the spec asked for.
+        got: u16,
+    },
+    /// A multi-pod fabric needs an interconnect other than
+    /// [`Interconnect::None`].
+    MissingInterconnect,
+    /// The merged single-datapath variant has no clean uplink port space
+    /// and cannot be manager-migrated; fabrics of more than one pod
+    /// require [`Variant::TwoSwitch`] pods.
+    MergedVariant,
+    /// The pod spec pins an uplink count that disagrees with what the
+    /// chosen interconnect wires (leave `HarmlessSpec::uplinks` at 0 to
+    /// let the fabric pick).
+    UplinkMismatch {
+        /// Uplinks the interconnect needs per pod.
+        expected: u16,
+        /// Uplinks the pod spec pinned.
+        got: u16,
+    },
+    /// Pod index out of range.
+    NoSuchPod {
+        /// The requested pod.
+        pod: usize,
+        /// How many pods the fabric has.
+        n_pods: usize,
+    },
+    /// The port is not a managed access port of that pod.
+    NotAnAccessPort {
+        /// Pod index.
+        pod: usize,
+        /// Offending port.
+        port: u16,
+    },
+    /// Something is already attached to that `(pod, port)`.
+    DuplicateHostPort {
+        /// Pod index.
+        pod: usize,
+        /// Offending port.
+        port: u16,
+    },
+    /// The per-pod port map does not fit the VLAN budget.
+    PortMap(PortMapError),
+}
+
+impl core::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FabricError::NoPods => write!(f, "a fabric needs at least one pod"),
+            FabricError::TooManyPods { max, got } => {
+                write!(f, "at most {max} pods are addressable, spec has {got}")
+            }
+            FabricError::MissingInterconnect => {
+                write!(f, "a multi-pod fabric needs an interconnect")
+            }
+            FabricError::MergedVariant => {
+                write!(f, "merged-variant pods cannot join a fabric interconnect")
+            }
+            FabricError::UplinkMismatch { expected, got } => {
+                write!(
+                    f,
+                    "interconnect needs {expected} uplink(s) per pod, pod spec pins {got}"
+                )
+            }
+            FabricError::NoSuchPod { pod, n_pods } => {
+                write!(f, "pod {pod} out of range (fabric has {n_pods})")
+            }
+            FabricError::NotAnAccessPort { pod, port } => {
+                write!(f, "port {port} is not an access port of pod {pod}")
+            }
+            FabricError::DuplicateHostPort { pod, port } => {
+                write!(f, "pod {pod} port {port} already has a host attached")
+            }
+            FabricError::PortMap(e) => write!(f, "pod port map invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+impl From<PortMapError> for FabricError {
+    fn from(e: PortMapError) -> Self {
+        FabricError::PortMap(e)
+    }
+}
+
+/// A declarative description of a multi-pod HARMLESS fabric.
+#[derive(Debug, Clone)]
+pub struct FabricSpec {
+    /// Number of pods.
+    pub n_pods: u16,
+    /// Template for every pod (name prefixes and datapath ids are
+    /// assigned per pod by the builder).
+    pub pod: HarmlessSpec,
+    /// How the pods are joined.
+    pub interconnect: Interconnect,
+    /// Link model of the inter-pod uplinks.
+    pub uplink_link: LinkSpec,
+    /// Datapath id of a [`Interconnect::SpineSoft`] spine.
+    pub spine_dpid: u64,
+}
+
+impl FabricSpec {
+    /// A fabric of `n_pods` copies of `pod`, joined by a legacy spine
+    /// (override with [`Self::with_interconnect`]).
+    pub fn new(n_pods: u16, pod: HarmlessSpec) -> FabricSpec {
+        FabricSpec {
+            n_pods,
+            pod,
+            interconnect: if n_pods <= 1 {
+                Interconnect::None
+            } else {
+                Interconnect::SpineLegacy
+            },
+            uplink_link: LinkSpec::ten_gigabit(),
+            spine_dpid: SPINE_DPID,
+        }
+    }
+
+    /// The single-pod fabric: exactly the paper's Fig. 1, with the same
+    /// node names, datapath ids and host addressing the standalone
+    /// [`HarmlessSpec::build`] produces.
+    pub fn single(pod: HarmlessSpec) -> FabricSpec {
+        FabricSpec::new(1, pod)
+    }
+
+    /// Builder-style interconnect selection.
+    pub fn with_interconnect(mut self, i: Interconnect) -> Self {
+        self.interconnect = i;
+        self
+    }
+
+    /// Builder-style uplink link model.
+    pub fn with_uplink_link(mut self, l: LinkSpec) -> Self {
+        self.uplink_link = l;
+        self
+    }
+
+    /// Builder-style spine datapath id.
+    pub fn with_spine_dpid(mut self, dpid: u64) -> Self {
+        self.spine_dpid = dpid;
+        self
+    }
+
+    /// Uplink ports per pod the chosen interconnect wires.
+    fn required_uplinks(&self) -> u16 {
+        match self.interconnect {
+            Interconnect::None => 0,
+            Interconnect::Line => {
+                if self.n_pods > 1 {
+                    2
+                } else {
+                    0
+                }
+            }
+            Interconnect::SpineSoft | Interconnect::SpineLegacy => 1,
+        }
+    }
+
+    /// Check the spec without building anything.
+    pub fn validate(&self) -> Result<(), FabricError> {
+        if self.n_pods == 0 {
+            return Err(FabricError::NoPods);
+        }
+        if self.n_pods > MAX_PODS {
+            return Err(FabricError::TooManyPods {
+                max: MAX_PODS,
+                got: self.n_pods,
+            });
+        }
+        if self.n_pods > 1 && self.interconnect == Interconnect::None {
+            return Err(FabricError::MissingInterconnect);
+        }
+        if self.n_pods > 1 && self.pod.variant == Variant::Merged {
+            return Err(FabricError::MergedVariant);
+        }
+        let required = self.required_uplinks();
+        if self.pod.uplinks != 0 && self.pod.uplinks != required {
+            return Err(FabricError::UplinkMismatch {
+                expected: required,
+                got: self.pod.uplinks,
+            });
+        }
+        PortMap::new(self.pod.vlan_base, self.pod.n_access_ports)?;
+        Ok(())
+    }
+
+    /// Instantiate the fabric in `net`: build every pod, add the uplink
+    /// ports, and wire the interconnect. Hosts, direct configuration,
+    /// controller connections and migration waves are driven off the
+    /// returned [`Fabric`].
+    pub fn build(self, net: &mut Network) -> Result<Fabric, FabricError> {
+        self.validate()?;
+        let uplinks = if self.pod.uplinks != 0 {
+            self.pod.uplinks
+        } else {
+            self.required_uplinks()
+        };
+        let multi = self.n_pods > 1;
+        let mut pods = Vec::with_capacity(usize::from(self.n_pods));
+        for p in 0..self.n_pods {
+            let mut spec = self.pod.clone().with_uplinks(uplinks);
+            if multi {
+                // Per-pod identities; the single-pod fabric keeps the
+                // classic names/dpids so it is a drop-in for the
+                // standalone instance.
+                spec = spec
+                    .with_name_prefix(format!("{}pod{p}/", self.pod.name_prefix))
+                    .with_dpids(
+                        POD_SS1_DPID_BASE + u64::from(p),
+                        POD_SS2_DPID_BASE + u64::from(p),
+                    );
+            }
+            pods.push(spec.build(net));
+        }
+        let n = self.pod.n_access_ports;
+        let spine = match self.interconnect {
+            Interconnect::None => None,
+            Interconnect::Line => {
+                for p in 0..usize::from(self.n_pods) - 1 {
+                    // Right uplink (n+1) of pod p to left uplink (n+2)
+                    // of pod p+1.
+                    net.connect(
+                        pods[p].ss2,
+                        PortId(n + 1),
+                        pods[p + 1].ss2,
+                        PortId(n + 2),
+                        self.uplink_link,
+                    );
+                }
+                None
+            }
+            Interconnect::SpineSoft => {
+                let mut spine = self
+                    .pod
+                    .clone()
+                    .with_name_prefix(String::new())
+                    .soft_switch_node("spine", self.spine_dpid);
+                for p in 1..=self.n_pods {
+                    spine.add_port(u32::from(p), format!("pod{}", p - 1), 10_000_000);
+                }
+                let spine = net.add_node(spine);
+                for (p, pod) in pods.iter().enumerate() {
+                    net.connect(
+                        spine,
+                        PortId(p as u16 + 1),
+                        pod.ss2,
+                        PortId(n + 1),
+                        self.uplink_link,
+                    );
+                }
+                Some(Spine::Soft(spine))
+            }
+            Interconnect::SpineLegacy => {
+                let spine = net.add_node(LegacySwitchNode::new("spine", self.n_pods));
+                for (p, pod) in pods.iter().enumerate() {
+                    net.connect(
+                        spine,
+                        PortId(p as u16 + 1),
+                        pod.ss2,
+                        PortId(n + 1),
+                        self.uplink_link,
+                    );
+                }
+                Some(Spine::Legacy(spine))
+            }
+        };
+        Ok(Fabric {
+            spec: self,
+            pods,
+            spine,
+            attached: BTreeSet::new(),
+        })
+    }
+}
+
+/// The fabric's interconnect switch, when it has one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spine {
+    /// A software-switch spine (one more datapath of the controller).
+    Soft(NodeId),
+    /// A legacy Ethernet spine (self-learning, controller-free).
+    Legacy(NodeId),
+}
+
+impl Spine {
+    /// The spine's simulator node.
+    pub fn node(&self) -> NodeId {
+        match self {
+            Spine::Soft(n) | Spine::Legacy(n) => *n,
+        }
+    }
+}
+
+/// A built multi-pod HARMLESS fabric.
+pub struct Fabric {
+    /// The spec it was built from.
+    pub spec: FabricSpec,
+    pods: Vec<HarmlessInstance>,
+    spine: Option<Spine>,
+    attached: BTreeSet<(usize, u16)>,
+}
+
+impl Fabric {
+    /// Number of pods.
+    pub fn n_pods(&self) -> usize {
+        self.pods.len()
+    }
+
+    /// Handle of pod `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range; use [`Self::try_pod`] to probe.
+    pub fn pod(&self, i: usize) -> &HarmlessInstance {
+        &self.pods[i]
+    }
+
+    /// Handle of pod `i`, if it exists.
+    pub fn try_pod(&self, i: usize) -> Option<&HarmlessInstance> {
+        self.pods.get(i)
+    }
+
+    /// Iterate over all pods.
+    pub fn pods(&self) -> impl Iterator<Item = &HarmlessInstance> {
+        self.pods.iter()
+    }
+
+    /// The interconnect switch, if the fabric has one.
+    pub fn spine(&self) -> Option<Spine> {
+        self.spine
+    }
+
+    fn check_pod(&self, pod: usize) -> Result<&HarmlessInstance, FabricError> {
+        self.pods.get(pod).ok_or(FabricError::NoSuchPod {
+            pod,
+            n_pods: self.pods.len(),
+        })
+    }
+
+    fn check_access(&self, pod: usize, port: u16) -> Result<(), FabricError> {
+        let px = self.check_pod(pod)?;
+        if !(1..=px.spec.n_access_ports).contains(&port) {
+            return Err(FabricError::NotAnAccessPort { pod, port });
+        }
+        Ok(())
+    }
+
+    /// Fabric-wide IPv4 address of the host on `(pod, port)`:
+    /// `10.<pod>.<(port-1)/250>.<1+(port-1)%250>`. Pod 0 matches the
+    /// classic single-instance `10.0.0.<port>` scheme for the first 250
+    /// ports.
+    ///
+    /// # Panics
+    /// Panics on a pod index or access port this fabric does not have —
+    /// silently aliasing a neighbouring host's address would be worse.
+    pub fn host_ip(&self, pod: usize, port: u16) -> Ipv4Addr {
+        self.check_access(pod, port)
+            .expect("host_ip of an existing (pod, access port)");
+        let i = u32::from(port) - 1;
+        Ipv4Addr::new(10, pod as u8, (i / 250) as u8, (1 + i % 250) as u8)
+    }
+
+    /// Fabric-wide MAC address of the host on `(pod, port)` — the pod
+    /// index in the third-lowest octet keeps MACs unique across pods
+    /// while pod 0 matches the classic `MacAddr::host(port)` scheme.
+    ///
+    /// # Panics
+    /// Panics on a pod index or access port this fabric does not have.
+    pub fn host_mac(&self, pod: usize, port: u16) -> netpkt::MacAddr {
+        self.check_access(pod, port)
+            .expect("host_mac of an existing (pod, access port)");
+        netpkt::MacAddr::host((pod as u32) << 16 | u32::from(port))
+    }
+
+    /// Attach a host to access port `port` of pod `pod`, with the
+    /// fabric-wide identity of [`Self::host_ip`] / [`Self::host_mac`].
+    /// Duplicate `(pod, port)` attachments are rejected — each access
+    /// port carries exactly one station.
+    pub fn attach_host(
+        &mut self,
+        net: &mut Network,
+        pod: usize,
+        port: u16,
+    ) -> Result<NodeId, FabricError> {
+        self.check_access(pod, port)?;
+        if !self.attached.insert((pod, port)) {
+            return Err(FabricError::DuplicateHostPort { pod, port });
+        }
+        let px = &self.pods[pod];
+        let h = net.add_node(Host::new(
+            format!("{}h{port}", px.spec.name_prefix),
+            self.host_mac(pod, port),
+            self.host_ip(pod, port),
+        ));
+        px.attach_node(net, port, h);
+        Ok(h)
+    }
+
+    /// Attach an arbitrary node (generator/sink) to `(pod, port)` on its
+    /// port 0, with the same duplicate-port bookkeeping as
+    /// [`Self::attach_host`].
+    pub fn attach_node(
+        &mut self,
+        net: &mut Network,
+        pod: usize,
+        port: u16,
+        node: NodeId,
+    ) -> Result<(), FabricError> {
+        self.check_access(pod, port)?;
+        if !self.attached.insert((pod, port)) {
+            return Err(FabricError::DuplicateHostPort { pod, port });
+        }
+        self.pods[pod].attach_node(net, port, node);
+        Ok(())
+    }
+
+    /// Configure every pod through the direct (non-SNMP) path: legacy
+    /// VLAN tagging plus translator rules. Experiments that are not
+    /// about migration call this once instead of running managers.
+    pub fn configure_direct(&self, net: &mut Network) {
+        for pod in &self.pods {
+            pod.configure_legacy_directly(net);
+            pod.install_translator_rules(net);
+        }
+    }
+
+    /// Register every pod's SS_2 — and a soft spine, if present — with
+    /// the one fabric controller. Like
+    /// [`HarmlessInstance::connect_controller`], call before the first
+    /// `run_*` so the OpenFlow HELLOs go out on start; mid-run
+    /// connections go through the manager's admin path instead.
+    pub fn connect_controller(&self, net: &mut Network, controller: NodeId) {
+        for pod in &self.pods {
+            pod.connect_controller(net, controller);
+        }
+        self.connect_spine(net, controller);
+    }
+
+    /// Register only a [`Spine::Soft`] spine with the controller (no-op
+    /// for legacy spines). Migration-wave scenarios use this: pods join
+    /// the controller through their managers, but the spine is server
+    /// infrastructure that must be connected from the start.
+    pub fn connect_spine(&self, net: &mut Network, controller: NodeId) {
+        if let Some(Spine::Soft(spine)) = self.spine {
+            net.node_mut::<SoftSwitchNode>(spine)
+                .connect_controller(controller);
+        }
+    }
+
+    /// True once every pod's SS_2 has a controller configured.
+    pub fn all_pods_connected(&self, net: &Network) -> bool {
+        self.pods.iter().all(|p| p.ss2_has_controller(net))
+    }
+
+    /// Launch one [`HarmlessManager`] per listed pod, migrating those
+    /// pods to SDN control over the live management plane (SNMP
+    /// configure + verify, translator install, controller hookup).
+    /// Returns the manager nodes, in `pods` order; poll them with
+    /// [`Self::wave_done`]. Callable mid-run — managers start with the
+    /// next processed event, which is what makes staged migration waves
+    /// possible.
+    pub fn run_migration_wave(
+        &self,
+        net: &mut Network,
+        pods: &[usize],
+        controller: NodeId,
+    ) -> Result<Vec<NodeId>, FabricError> {
+        let mut managers = Vec::with_capacity(pods.len());
+        for &p in pods {
+            let pod = self.check_pod(p)?;
+            if pod.ss1.is_none() {
+                return Err(FabricError::MergedVariant);
+            }
+            let cfg = ManagerConfig::for_instance(pod, controller);
+            managers.push(net.add_node(HarmlessManager::new(cfg)));
+        }
+        Ok(managers)
+    }
+
+    /// True once every manager of a wave reports [`ManagerPhase::Done`].
+    pub fn wave_done(&self, net: &Network, managers: &[NodeId]) -> bool {
+        managers
+            .iter()
+            .all(|&m| *net.node_ref::<HarmlessManager>(m).phase() == ManagerPhase::Done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use controller::apps::LearningSwitch;
+    use controller::ControllerNode;
+    use netsim::SimTime;
+
+    fn learning_ctrl(net: &mut Network) -> NodeId {
+        net.add_node(ControllerNode::new(
+            "ctrl",
+            vec![Box::new(LearningSwitch::new())],
+        ))
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let pod = HarmlessSpec::new(4);
+        assert_eq!(
+            FabricSpec::new(0, pod.clone()).validate(),
+            Err(FabricError::NoPods)
+        );
+        assert!(matches!(
+            FabricSpec::new(201, pod.clone()).validate(),
+            Err(FabricError::TooManyPods { max: 200, got: 201 })
+        ));
+        assert_eq!(
+            FabricSpec::new(2, pod.clone())
+                .with_interconnect(Interconnect::None)
+                .validate(),
+            Err(FabricError::MissingInterconnect)
+        );
+        assert_eq!(
+            FabricSpec::new(2, pod.clone().with_variant(Variant::Merged)).validate(),
+            Err(FabricError::MergedVariant)
+        );
+        // Pinned uplink count disagreeing with the interconnect.
+        assert_eq!(
+            FabricSpec::new(2, pod.clone().with_uplinks(2))
+                .with_interconnect(Interconnect::SpineLegacy)
+                .validate(),
+            Err(FabricError::UplinkMismatch {
+                expected: 1,
+                got: 2
+            })
+        );
+        assert_eq!(
+            FabricSpec::new(3, pod.clone().with_uplinks(1))
+                .with_interconnect(Interconnect::Line)
+                .validate(),
+            Err(FabricError::UplinkMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        // VLAN budget propagates.
+        let mut big = HarmlessSpec::new(4000);
+        big.vlan_base = 100;
+        assert_eq!(
+            FabricSpec::single(big).validate(),
+            Err(FabricError::PortMap(PortMapError::VlanSpaceExhausted))
+        );
+        // And a good spec passes.
+        assert_eq!(FabricSpec::new(2, pod).validate(), Ok(()));
+    }
+
+    #[test]
+    fn attach_host_rejects_bad_and_duplicate_ports() {
+        let mut net = Network::new(1);
+        let mut fx = FabricSpec::new(2, HarmlessSpec::new(2))
+            .build(&mut net)
+            .unwrap();
+        assert!(matches!(
+            fx.attach_host(&mut net, 5, 1),
+            Err(FabricError::NoSuchPod { pod: 5, n_pods: 2 })
+        ));
+        assert_eq!(
+            fx.attach_host(&mut net, 1, 3).unwrap_err(),
+            FabricError::NotAnAccessPort { pod: 1, port: 3 }
+        );
+        fx.attach_host(&mut net, 1, 2).unwrap();
+        assert_eq!(
+            fx.attach_host(&mut net, 1, 2).unwrap_err(),
+            FabricError::DuplicateHostPort { pod: 1, port: 2 }
+        );
+        // Same port on the *other* pod is fine.
+        fx.attach_host(&mut net, 0, 2).unwrap();
+    }
+
+    #[test]
+    fn host_identities_are_globally_unique() {
+        let mut net = Network::new(1);
+        let fx = FabricSpec::new(3, HarmlessSpec::new(300))
+            .build(&mut net)
+            .unwrap();
+        // Pod 0 keeps the classic scheme.
+        assert_eq!(fx.host_ip(0, 2), Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(fx.host_mac(0, 2), netpkt::MacAddr::host(2));
+        // Other pods move to their own /16.
+        assert_eq!(fx.host_ip(2, 1), Ipv4Addr::new(10, 2, 0, 1));
+        assert_eq!(fx.host_ip(1, 251), Ipv4Addr::new(10, 1, 1, 1));
+        let mut ips = std::collections::HashSet::new();
+        let mut macs = std::collections::HashSet::new();
+        for pod in 0..3usize {
+            for port in 1..=4u16 {
+                assert!(ips.insert(fx.host_ip(pod, port)));
+                assert!(macs.insert(fx.host_mac(pod, port)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "host_ip of an existing")]
+    fn host_ip_rejects_addresses_outside_the_fabric() {
+        let mut net = Network::new(1);
+        let fx = FabricSpec::new(2, HarmlessSpec::new(4))
+            .build(&mut net)
+            .unwrap();
+        let _ = fx.host_ip(2, 1); // no such pod
+    }
+
+    #[test]
+    fn single_pod_fabric_matches_the_classic_instance() {
+        let mut net = Network::new(42);
+        let ctrl = learning_ctrl(&mut net);
+        let mut fx = FabricSpec::single(HarmlessSpec::new(4))
+            .build(&mut net)
+            .unwrap();
+        assert_eq!(fx.n_pods(), 1);
+        assert!(fx.spine().is_none());
+        // Classic dpid + no uplink ports.
+        assert_eq!(fx.pod(0).spec.ss2_dpid, crate::instance::SS2_DPID);
+        assert_eq!(fx.pod(0).spec.uplinks, 0);
+        fx.configure_direct(&mut net);
+        fx.connect_controller(&mut net, ctrl);
+        assert!(fx.all_pods_connected(&net));
+        let a = fx.attach_host(&mut net, 0, 1).unwrap();
+        let _b = fx.attach_host(&mut net, 0, 2).unwrap();
+        net.run_until(SimTime::from_millis(100));
+        let ip = fx.host_ip(0, 2);
+        net.with_node_ctx::<Host, _>(a, |h, ctx| {
+            h.ping(b"single", ip);
+            h.flush(ctx);
+        });
+        net.run_until(SimTime::from_millis(400));
+        assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 1);
+    }
+
+    #[test]
+    fn cross_pod_ping_over_every_interconnect() {
+        for ic in [
+            Interconnect::Line,
+            Interconnect::SpineSoft,
+            Interconnect::SpineLegacy,
+        ] {
+            let mut net = Network::new(77);
+            let ctrl = learning_ctrl(&mut net);
+            let mut fx = FabricSpec::new(3, HarmlessSpec::new(2))
+                .with_interconnect(ic)
+                .build(&mut net)
+                .unwrap();
+            fx.configure_direct(&mut net);
+            fx.connect_controller(&mut net, ctrl);
+            let a = fx.attach_host(&mut net, 0, 1).unwrap();
+            let b = fx.attach_host(&mut net, 2, 1).unwrap();
+            net.run_until(SimTime::from_millis(100));
+            let ip = fx.host_ip(2, 1);
+            net.with_node_ctx::<Host, _>(a, |h, ctx| {
+                h.ping(b"cross-pod", ip);
+                h.flush(ctx);
+            });
+            net.run_until(SimTime::from_millis(600));
+            assert_eq!(
+                net.node_ref::<Host>(a).echo_replies_received(),
+                1,
+                "{ic:?}: pod 0 must reach pod 2"
+            );
+            assert_eq!(net.node_ref::<Host>(b).echo_requests_answered(), 1);
+            // The controller really serves several datapaths.
+            let c = net.node_ref::<ControllerNode>(ctrl);
+            assert!(c.packet_ins() > 0);
+        }
+    }
+
+    #[test]
+    fn migration_waves_bring_pods_under_sdn_one_at_a_time() {
+        let mut net = Network::new(99);
+        let ctrl = learning_ctrl(&mut net);
+        let mut fx = FabricSpec::new(2, HarmlessSpec::new(4))
+            .with_interconnect(Interconnect::SpineLegacy)
+            .build(&mut net)
+            .unwrap();
+        let a = fx.attach_host(&mut net, 0, 1).unwrap();
+        let b = fx.attach_host(&mut net, 1, 1).unwrap();
+
+        // Wave 1: migrate pod 0 only.
+        let w1 = fx.run_migration_wave(&mut net, &[0], ctrl).unwrap();
+        net.run_until(SimTime::from_secs(2));
+        assert!(fx.wave_done(&net, &w1));
+        assert!(fx.pod(0).ss2_has_controller(&net));
+        assert!(!fx.pod(1).ss2_has_controller(&net));
+
+        // Pod 1 is still an unmigrated island: cross-pod traffic dies at
+        // its unconfigured translator.
+        let ip_b = fx.host_ip(1, 1);
+        net.with_node_ctx::<Host, _>(a, move |h, ctx| {
+            h.ping(b"too early", ip_b);
+            h.flush(ctx);
+        });
+        net.run_until(SimTime::from_secs(3));
+        assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 0);
+
+        // Wave 2: migrate pod 1 mid-run, then pinging works — including
+        // the queued "too early" ping, whose ARP now resolves.
+        let w2 = fx.run_migration_wave(&mut net, &[1], ctrl).unwrap();
+        net.run_until(SimTime::from_secs(6));
+        assert!(fx.wave_done(&net, &w2));
+        net.with_node_ctx::<Host, _>(a, move |h, ctx| {
+            h.ping(b"post wave 2", ip_b);
+            h.flush(ctx);
+        });
+        net.run_until(SimTime::from_secs(8));
+        assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 2);
+        assert_eq!(net.node_ref::<Host>(b).echo_requests_answered(), 2);
+    }
+}

@@ -37,7 +37,17 @@ pub enum Variant {
     Merged,
 }
 
-/// Everything needed to build a HARMLESS deployment.
+/// Default datapath id of the translator switch SS_1.
+pub const SS1_DPID: u64 = 0x51;
+/// Default datapath id of the main OpenFlow switch SS_2.
+pub const SS2_DPID: u64 = 0x52;
+/// Default datapath id of the merged single-datapath variant — distinct
+/// from [`SS2_DPID`] so a two-switch and a merged instance can face the
+/// same controller without colliding.
+pub const MERGED_DPID: u64 = 0x5A;
+
+/// Everything needed to build a HARMLESS deployment (one *pod* in fabric
+/// terms: a legacy switch plus its server-side software switches).
 #[derive(Debug, Clone)]
 pub struct HarmlessSpec {
     /// Managed access ports on the legacy switch.
@@ -62,6 +72,18 @@ pub struct HarmlessSpec {
     pub variant: Variant,
     /// Override the legacy switch's sysDescr (dialect detection).
     pub legacy_sys_descr: Option<String>,
+    /// Prefix for node names (`"pod3/"` → `"pod3/legacy"`, `"pod3/ss2"`).
+    /// The fabric layer sets this so multi-pod traces stay legible.
+    pub name_prefix: String,
+    /// Datapath id of SS_1 (the fabric gives every pod distinct ids).
+    pub ss1_dpid: u64,
+    /// Datapath id of SS_2 / the merged datapath.
+    pub ss2_dpid: u64,
+    /// Fabric uplink ports added to SS_2, numbered
+    /// `n_access_ports + 1 ..= n_access_ports + uplinks`. Zero for the
+    /// classic standalone instance; [`crate::fabric::FabricSpec`] sets it
+    /// to what its interconnect needs.
+    pub uplinks: u16,
 }
 
 impl HarmlessSpec {
@@ -80,6 +102,10 @@ impl HarmlessSpec {
             pipeline_mode: PipelineMode::full(),
             variant: Variant::TwoSwitch,
             legacy_sys_descr: None,
+            name_prefix: String::new(),
+            ss1_dpid: SS1_DPID,
+            ss2_dpid: SS2_DPID,
+            uplinks: 0,
         }
     }
 
@@ -119,6 +145,38 @@ impl HarmlessSpec {
         self
     }
 
+    /// Builder-style node-name prefix (used by the fabric layer to tell
+    /// pods apart in traces and panics).
+    pub fn with_name_prefix(mut self, p: impl Into<String>) -> Self {
+        self.name_prefix = p.into();
+        self
+    }
+
+    /// Builder-style datapath-id override for SS_1 and SS_2.
+    pub fn with_dpids(mut self, ss1: u64, ss2: u64) -> Self {
+        self.ss1_dpid = ss1;
+        self.ss2_dpid = ss2;
+        self
+    }
+
+    /// Builder-style fabric uplink count on SS_2.
+    pub fn with_uplinks(mut self, n: u16) -> Self {
+        self.uplinks = n;
+        self
+    }
+
+    /// A software switch shaped by this spec (shared by SS_1, SS_2 and
+    /// the merged datapath; the fabric layer reuses it for spines).
+    pub(crate) fn soft_switch_node(&self, suffix: &str, dpid: u64) -> SoftSwitchNode {
+        SoftSwitchNode::new(
+            format!("{}{}", self.name_prefix, suffix),
+            DpConfig::software(dpid).with_mode(self.pipeline_mode),
+            self.cores,
+            self.rx_queue,
+            self.cost_model,
+        )
+    }
+
     /// Instantiate the topology in `net`. The legacy switch starts in its
     /// factory configuration; call
     /// [`HarmlessInstance::configure_legacy_directly`] (or run the
@@ -130,7 +188,7 @@ impl HarmlessSpec {
         let n = self.n_access_ports;
         let t = self.n_trunks;
 
-        let mut legacy = LegacySwitchNode::new("legacy", n + t);
+        let mut legacy = LegacySwitchNode::new(format!("{}legacy", self.name_prefix), n + t);
         if let Some(d) = &self.legacy_sys_descr {
             legacy = legacy.with_sys_descr(d.clone());
         }
@@ -138,13 +196,7 @@ impl HarmlessSpec {
 
         match self.variant {
             Variant::TwoSwitch => {
-                let mut ss1 = SoftSwitchNode::new(
-                    "ss1",
-                    DpConfig::software(0x51).with_mode(self.pipeline_mode),
-                    self.cores,
-                    self.rx_queue,
-                    self.cost_model,
-                );
+                let mut ss1 = self.soft_switch_node("ss1", self.ss1_dpid);
                 for tr in 1..=t {
                     ss1.add_port(u32::from(tr), format!("trunk{tr}"), 10_000_000);
                 }
@@ -153,15 +205,12 @@ impl HarmlessSpec {
                 }
                 let ss1 = net.add_node(ss1);
 
-                let mut ss2 = SoftSwitchNode::new(
-                    "ss2",
-                    DpConfig::software(0x52).with_mode(self.pipeline_mode),
-                    self.cores,
-                    self.rx_queue,
-                    self.cost_model,
-                );
+                let mut ss2 = self.soft_switch_node("ss2", self.ss2_dpid);
                 for p in 1..=n {
                     ss2.add_port(u32::from(p), format!("vport{p}"), 1_000_000);
+                }
+                for u in 1..=self.uplinks {
+                    ss2.add_port(u32::from(n + u), format!("fabric{u}"), 10_000_000);
                 }
                 let ss2 = net.add_node(ss2);
 
@@ -186,15 +235,19 @@ impl HarmlessSpec {
                 }
             }
             Variant::Merged => {
-                let mut ssm = SoftSwitchNode::new(
-                    "ssm",
-                    DpConfig::software(0x5A).with_mode(self.pipeline_mode),
-                    self.cores,
-                    self.rx_queue,
-                    self.cost_model,
-                );
+                // Explicit overrides win; the default maps to the
+                // merged variant's own id, not SS_2's.
+                let dpid = if self.ss2_dpid == SS2_DPID {
+                    MERGED_DPID
+                } else {
+                    self.ss2_dpid
+                };
+                let mut ssm = self.soft_switch_node("ssm", dpid);
                 for tr in 1..=t {
                     ssm.add_port(u32::from(tr), format!("trunk{tr}"), 10_000_000);
+                }
+                for u in 1..=self.uplinks {
+                    ssm.add_port(u32::from(n + u), format!("fabric{u}"), 10_000_000);
                 }
                 let ssm = net.add_node(ssm);
                 for tr in 1..=t {
@@ -230,6 +283,18 @@ impl HarmlessInstance {
     /// Legacy-switch port number of trunk `t` (1-based).
     pub fn trunk_legacy_port(&self, t: u16) -> u16 {
         self.spec.n_access_ports + t
+    }
+
+    /// SS_2 (OpenFlow) port number of fabric uplink `k` (1-based).
+    /// Uplinks sit directly above the access-port range, so the
+    /// controller sees them as ordinary high-numbered ports.
+    pub fn uplink_port(&self, k: u16) -> u32 {
+        assert!(
+            (1..=self.spec.uplinks).contains(&k),
+            "pod has {} uplinks, asked for {k}",
+            self.spec.uplinks
+        );
+        u32::from(self.spec.n_access_ports + k)
     }
 
     /// The legacy-switch trunk port that is VLAN `vlan`'s home. Each VLAN
@@ -363,11 +428,12 @@ impl HarmlessInstance {
     }
 
     /// End-to-end readiness check used by examples: true once SS_2 has a
-    /// controller connection configured.
-    pub fn ss2_has_controller(&self, _net: &Network) -> bool {
-        // Configuration is push-only; presence is checked in tests via
-        // behaviour. Kept for API symmetry.
-        true
+    /// controller connection configured — either via
+    /// [`Self::connect_controller`] or the manager's admin message.
+    pub fn ss2_has_controller(&self, net: &Network) -> bool {
+        net.node_ref::<SoftSwitchNode>(self.ss2)
+            .controller()
+            .is_some()
     }
 }
 
@@ -495,6 +561,46 @@ mod tests {
         let hx = HarmlessSpec::new(8).with_trunks(2).build(&mut net);
         assert_eq!(hx.trunk_legacy_port(1), 9);
         assert_eq!(hx.trunk_legacy_port(2), 10);
+    }
+
+    #[test]
+    fn merged_and_two_switch_dpids_stay_distinct() {
+        let mut net = Network::new(1);
+        let two = HarmlessSpec::new(2).build(&mut net);
+        let merged = HarmlessSpec::new(2)
+            .with_variant(Variant::Merged)
+            .build(&mut net);
+        let d_two = net
+            .node_ref::<SoftSwitchNode>(two.ss2)
+            .datapath()
+            .datapath_id();
+        let d_merged = net
+            .node_ref::<SoftSwitchNode>(merged.ss2)
+            .datapath()
+            .datapath_id();
+        assert_eq!(d_two, SS2_DPID);
+        assert_eq!(d_merged, MERGED_DPID);
+        // An explicit override still wins.
+        let custom = HarmlessSpec::new(2)
+            .with_variant(Variant::Merged)
+            .with_dpids(0x9991, 0x9992)
+            .build(&mut net);
+        assert_eq!(
+            net.node_ref::<SoftSwitchNode>(custom.ss2)
+                .datapath()
+                .datapath_id(),
+            0x9992
+        );
+    }
+
+    #[test]
+    fn ss2_has_controller_reflects_configuration() {
+        let mut net = Network::new(1);
+        let ctrl = net.add_node(ControllerNode::new("ctrl", vec![]));
+        let hx = HarmlessSpec::new(2).build(&mut net);
+        assert!(!hx.ss2_has_controller(&net));
+        hx.connect_controller(&mut net, ctrl);
+        assert!(hx.ss2_has_controller(&net));
     }
 
     #[test]

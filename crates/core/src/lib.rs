@@ -21,6 +21,13 @@
 //! the design ablation between the paper's two-switch layout and a merged
 //! single-datapath pipeline.
 //!
+//! Above the single retrofit, the [`fabric`] module composes N such pods
+//! into one network — line or leaf–spine interconnects, per-pod hosts
+//! with fabric-wide addressing, one controller over all datapaths, and
+//! staged per-pod migration waves. [`fabric::FabricSpec::single`] is the
+//! one-pod special case, so every topology in the workspace is built
+//! through the same declarative entry point.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -51,14 +58,16 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cost;
+pub mod fabric;
 pub mod instance;
 pub mod manager;
 pub mod portmap;
 pub mod translator;
 
+pub use fabric::{Fabric, FabricError, FabricSpec, Interconnect};
 pub use instance::{HarmlessInstance, HarmlessSpec, Variant};
 pub use manager::{HarmlessManager, ManagerConfig, ManagerPhase};
 pub use portmap::PortMap;

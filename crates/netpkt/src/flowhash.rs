@@ -1,0 +1,320 @@
+//! A hand-rolled flow hash for [`FlowKey`], in the style of OVS's
+//! `lib/hash.h` (`mhash_add`/`mhash_finish`, i.e. the MurmurHash3 mixing
+//! rounds over 32-bit words).
+//!
+//! The standard library's `HashMap` defaults to SipHash-1-3, which is a
+//! keyed PRF: on the ~130-byte [`FlowKey`] one probe costs on the order
+//! of 120 ns — more than an entire memoised datapath replay (see the
+//! `Notes for perf PRs` section of EXPERIMENTS.md). Software switches do
+//! not need a PRF on this path: flow keys are already extracted from
+//! attacker-controlled bytes by a parser that canonicalises them, and the
+//! caches they index flush wholesale under churn, so OVS uses a short
+//! multiply–rotate mix instead. This module reproduces that trade:
+//!
+//! * [`FlowKey::flow_hash`] — direct 32-bit hash of a key, for callers
+//!   that want a bucket index or an RSS-style hash without the `Hasher`
+//!   plumbing;
+//! * [`FlowHasher`] / [`FlowHashBuilder`] — a [`core::hash::Hasher`]
+//!   implementation of the same mix, so any `HashMap` keyed by `FlowKey`
+//!   (the microflow and megaflow caches in `softswitch`) can swap SipHash
+//!   out with one type parameter.
+//!
+//! The `flowhash` criterion group in `crates/bench/benches/flowhash.rs`
+//! compares both against SipHash on real extracted keys.
+
+use core::hash::{BuildHasherDefault, Hasher};
+
+use crate::FlowKey;
+
+// MurmurHash3 mixing constants, as used by OVS's mhash.
+const C1: u32 = 0xcc9e_2d51;
+const C2: u32 = 0x1b87_3593;
+
+/// One OVS `mhash_add` round: fold a 32-bit word into the running hash.
+#[inline]
+pub fn mix(hash: u32, data: u32) -> u32 {
+    let mut d = data.wrapping_mul(C1);
+    d = d.rotate_left(15);
+    d = d.wrapping_mul(C2);
+    let h = hash ^ d;
+    h.rotate_left(13).wrapping_mul(5).wrapping_add(0xe654_6b64)
+}
+
+/// OVS `mhash_finish`: the avalanche finaliser.
+#[inline]
+pub fn finish(hash: u32) -> u32 {
+    let mut h = hash;
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85eb_ca6b);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xc2b2_ae35);
+    h ^ (h >> 16)
+}
+
+impl FlowKey {
+    /// Hash the key with the OVS-style multiply–rotate mix, seeded with
+    /// `basis` (use 0 unless you need distinct hash universes, e.g. for
+    /// per-bucket RSS).
+    ///
+    /// Every field of the key participates, so two keys compare equal iff
+    /// collisions aside they hash equal — the property the microflow
+    /// cache needs. This is *not* a keyed/cryptographic hash; see the
+    /// module docs for why that is the right trade here.
+    #[inline]
+    pub fn flow_hash(&self, basis: u32) -> u32 {
+        // Exhaustive destructure (no `..`): adding a field to `FlowKey`
+        // fails to compile here until the new field joins the mix — the
+        // derived `Hash` path picks fields up automatically, and this
+        // hand-walked path must never drift behind it.
+        let FlowKey {
+            in_port,
+            eth_dst,
+            eth_src,
+            eth_type,
+            vlan_vid,
+            vlan_pcp,
+            ip_proto,
+            ip_dscp,
+            ipv4_src,
+            ipv4_dst,
+            ipv6_src,
+            ipv6_dst,
+            tcp_src,
+            tcp_dst,
+            udp_src,
+            udp_dst,
+            icmp_type,
+            icmp_code,
+            arp_op,
+            arp_spa,
+            arp_tpa,
+            metadata,
+        } = *self;
+        let mut h = basis;
+        h = mix(h, in_port);
+        // The two MACs pack into three 32-bit words.
+        let d = eth_dst.0;
+        let s = eth_src.0;
+        h = mix(h, u32::from_be_bytes([d[0], d[1], d[2], d[3]]));
+        h = mix(h, u32::from_be_bytes([d[4], d[5], s[0], s[1]]));
+        h = mix(h, u32::from_be_bytes([s[2], s[3], s[4], s[5]]));
+        h = mix(h, u32::from(eth_type) << 16 | u32::from(vlan_vid));
+        h = mix(
+            h,
+            u32::from(vlan_pcp) << 24 | u32::from(ip_proto) << 16 | u32::from(ip_dscp) << 8,
+        );
+        h = mix(h, ipv4_src);
+        h = mix(h, ipv4_dst);
+        // IPv6 addresses are zero for the dominant v4 traffic; skip the
+        // eight extra rounds entirely in that case (OVS similarly hashes
+        // the miniflow, i.e. only the populated words).
+        if ipv6_src != 0 || ipv6_dst != 0 {
+            for word in [ipv6_src, ipv6_dst] {
+                h = mix(h, word as u32);
+                h = mix(h, (word >> 32) as u32);
+                h = mix(h, (word >> 64) as u32);
+                h = mix(h, (word >> 96) as u32);
+            }
+        }
+        h = mix(h, u32::from(tcp_src) << 16 | u32::from(tcp_dst));
+        h = mix(h, u32::from(udp_src) << 16 | u32::from(udp_dst));
+        h = mix(
+            h,
+            u32::from(icmp_type) << 24 | u32::from(icmp_code) << 16 | u32::from(arp_op),
+        );
+        h = mix(h, arp_spa);
+        h = mix(h, arp_tpa);
+        if metadata != 0 {
+            h = mix(h, metadata as u32);
+            h = mix(h, (metadata >> 32) as u32);
+        }
+        finish(h)
+    }
+}
+
+/// A [`Hasher`] running the OVS mix over whatever the key's `Hash` impl
+/// writes. Drop-in replacement for SipHash in flow-keyed maps:
+///
+/// ```
+/// use std::collections::HashMap;
+/// use netpkt::flowhash::FlowHashBuilder;
+/// use netpkt::FlowKey;
+///
+/// let mut cache: HashMap<FlowKey, u64, FlowHashBuilder> = HashMap::default();
+/// cache.insert(FlowKey::default(), 7);
+/// assert_eq!(cache[&FlowKey::default()], 7);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FlowHasher {
+    state: u32,
+}
+
+impl Hasher for FlowHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Spread the 32-bit hash over both halves so HashMap's
+        // high-bit control bytes and low-bit bucket index both see
+        // mixed entropy.
+        let h = finish(self.state);
+        u64::from(h) << 32 | u64::from(h)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(4);
+        for c in &mut chunks {
+            self.state = mix(self.state, u32::from_ne_bytes([c[0], c[1], c[2], c[3]]));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 4];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.state = mix(self.state, u32::from_ne_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.state = mix(self.state, u32::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.state = mix(self.state, u32::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.state = mix(self.state, i);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = mix(self.state, i as u32);
+        self.state = mix(self.state, (i >> 32) as u32);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.write_u64(i as u64);
+        self.write_u64((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        // Length prefixes from slice hashing; one round suffices.
+        self.state = mix(self.state, i as u32);
+    }
+}
+
+/// `BuildHasher` plugging [`FlowHasher`] into `HashMap`.
+pub type FlowHashBuilder = BuildHasherDefault<FlowHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{builder, MacAddr};
+    use std::collections::{HashMap, HashSet};
+    use std::net::Ipv4Addr;
+
+    fn key(src: u32, dport: u16) -> FlowKey {
+        let f = builder::udp_packet(
+            MacAddr::host(src),
+            MacAddr::host(2),
+            Ipv4Addr::from(0x0a00_0000 + src),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            dport,
+            b"x",
+        );
+        FlowKey::extract(1, &f).unwrap()
+    }
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        assert_eq!(key(7, 53).flow_hash(0), key(7, 53).flow_hash(0));
+        assert_eq!(key(7, 53).flow_hash(9), key(7, 53).flow_hash(9));
+    }
+
+    #[test]
+    fn basis_separates_universes() {
+        assert_ne!(key(7, 53).flow_hash(0), key(7, 53).flow_hash(1));
+    }
+
+    #[test]
+    fn distinct_microflows_spread() {
+        // 4096 distinct flows must not collapse: the mix has to put
+        // nearly all of them in distinct 32-bit slots (a couple of
+        // birthday collisions would be ~one in a million here).
+        let mut seen = HashSet::new();
+        for src in 0..64u32 {
+            for dport in 0..64u16 {
+                seen.insert(key(src, dport).flow_hash(0));
+            }
+        }
+        assert!(seen.len() >= 4095, "only {} distinct hashes", seen.len());
+    }
+
+    #[test]
+    fn low_bits_spread_for_bucketing() {
+        // HashMap uses the low bits for the bucket index; sequential
+        // sources must not all land in a few buckets.
+        let mut buckets = HashSet::new();
+        for src in 0..256u32 {
+            buckets.insert(key(src, 53).flow_hash(0) & 0xff);
+        }
+        assert!(
+            buckets.len() > 128,
+            "only {} low-byte values",
+            buckets.len()
+        );
+    }
+
+    #[test]
+    fn every_field_is_significant() {
+        let base = key(1, 53);
+        let h0 = base.flow_hash(0);
+        let mutations: Vec<FlowKey> = vec![
+            FlowKey { in_port: 2, ..base },
+            FlowKey {
+                eth_src: MacAddr::host(99),
+                ..base
+            },
+            FlowKey {
+                vlan_vid: 0x1000 | 101,
+                ..base
+            },
+            FlowKey {
+                ipv4_dst: base.ipv4_dst ^ 1,
+                ..base
+            },
+            FlowKey {
+                udp_src: 1001,
+                ..base
+            },
+            FlowKey {
+                metadata: 3,
+                ..base
+            },
+            FlowKey {
+                ipv6_src: 1,
+                ..base
+            },
+        ];
+        for (i, m) in mutations.iter().enumerate() {
+            assert_ne!(m.flow_hash(0), h0, "mutation {i} did not change the hash");
+        }
+    }
+
+    #[test]
+    fn hasher_agrees_with_map_semantics() {
+        let mut map: HashMap<FlowKey, u32, FlowHashBuilder> = HashMap::default();
+        for src in 0..100u32 {
+            map.insert(key(src, 53), src);
+        }
+        for src in 0..100u32 {
+            assert_eq!(map.get(&key(src, 53)), Some(&src));
+        }
+        assert_eq!(map.get(&key(5, 54)), None);
+    }
+}

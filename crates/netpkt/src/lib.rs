@@ -46,6 +46,7 @@ pub mod arp;
 pub mod builder;
 pub mod checksum;
 pub mod ethertype;
+pub mod flowhash;
 pub mod flowkey;
 pub mod frame;
 pub mod icmp;
@@ -58,6 +59,7 @@ pub mod vlan;
 
 pub use arp::{ArpOp, ArpPacket, ArpRepr};
 pub use ethertype::EtherType;
+pub use flowhash::{FlowHashBuilder, FlowHasher};
 pub use flowkey::{FieldMask, FlowKey, VlanKey};
 pub use frame::{EthernetFrame, EthernetRepr};
 pub use icmp::{Icmpv4Packet, Icmpv4Type};

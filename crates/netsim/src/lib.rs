@@ -50,5 +50,5 @@ pub mod traffic;
 pub use link::{LinkSpec, LinkStats};
 pub use net::{Network, NodeId};
 pub use node::{Node, NodeCtx, PortId};
-pub use stats::{Counter, Histogram};
+pub use stats::{Counter, Histogram, Rollup};
 pub use time::SimTime;

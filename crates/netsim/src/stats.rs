@@ -171,9 +171,62 @@ impl Histogram {
     }
 }
 
+/// An aggregated view over a group of measurement points — e.g. all the
+/// sinks of one fabric pod, rolled up into a per-pod row.
+///
+/// Rollups compose: merge per-sink rollups into a per-pod rollup, then
+/// per-pod rollups into a fabric total.
+#[derive(Debug, Clone, Default)]
+pub struct Rollup {
+    /// Frames observed.
+    pub frames: u64,
+    /// Bytes observed.
+    pub bytes: u64,
+    /// Merged latency samples (nanoseconds).
+    pub latency: Histogram,
+}
+
+impl Rollup {
+    /// An empty rollup.
+    pub fn new() -> Rollup {
+        Rollup::default()
+    }
+
+    /// Fold one measurement point into the rollup.
+    pub fn absorb(&mut self, frames: u64, bytes: u64, latency: &Histogram) {
+        self.frames += frames;
+        self.bytes += bytes;
+        self.latency.merge(latency);
+    }
+
+    /// Fold another rollup into this one.
+    pub fn merge(&mut self, other: &Rollup) {
+        self.frames += other.frames;
+        self.bytes += other.bytes;
+        self.latency.merge(&other.latency);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rollup_composes() {
+        let mut h = Histogram::new();
+        h.record(100);
+        let mut pod = Rollup::new();
+        pod.absorb(2, 128, &h);
+        pod.absorb(1, 64, &h);
+        assert_eq!(pod.frames, 3);
+        assert_eq!(pod.bytes, 192);
+        assert_eq!(pod.latency.count(), 2);
+        let mut total = Rollup::new();
+        total.merge(&pod);
+        total.merge(&pod);
+        assert_eq!(total.frames, 6);
+        assert_eq!(total.latency.count(), 4);
+    }
 
     #[test]
     fn counter_accumulates() {

@@ -350,6 +350,12 @@ impl Sink {
     pub fn by_dst_port(&self) -> &std::collections::HashMap<u16, u64> {
         &self.by_dst_port
     }
+
+    /// Fold this sink's counters into a [`crate::stats::Rollup`]
+    /// (per-pod/per-group aggregation in multi-pod experiments).
+    pub fn roll_into(&self, rollup: &mut crate::stats::Rollup) {
+        rollup.absorb(self.received.get(), self.rx_bytes.get(), &self.latency);
+    }
 }
 
 impl Node for Sink {

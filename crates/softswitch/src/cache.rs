@@ -9,11 +9,17 @@
 //!
 //! Both caches are tagged with the datapath's mutation epoch; any
 //! table/group/meter change bumps the epoch, implicitly flushing them.
+//!
+//! Both are keyed with the OVS-style [`FlowHashBuilder`] instead of the
+//! standard library's SipHash: a SipHash probe over the ~130-byte
+//! [`FlowKey`] costs about as much as an entire memoised replay, which
+//! made the hash the microflow bottleneck (see EXPERIMENTS.md's
+//! `flowhash` group for the measured gap).
 
 use std::collections::HashMap;
 
 use netpkt::flowkey::FieldMask;
-use netpkt::FlowKey;
+use netpkt::{FlowHashBuilder, FlowKey};
 
 use crate::actions::CAction;
 
@@ -31,7 +37,7 @@ pub struct CachedPath {
 /// Exact-match cache.
 #[derive(Debug, Default)]
 pub struct MicroflowCache {
-    map: HashMap<FlowKey, CachedPath>,
+    map: HashMap<FlowKey, CachedPath, FlowHashBuilder>,
     epoch: u64,
     capacity: usize,
     hits: u64,
@@ -43,7 +49,7 @@ impl MicroflowCache {
     /// the kernel datapath's emergency flush).
     pub fn new(capacity: usize) -> MicroflowCache {
         MicroflowCache {
-            map: HashMap::new(),
+            map: HashMap::default(),
             epoch: 0,
             capacity,
             hits: 0,
@@ -105,7 +111,7 @@ impl MicroflowCache {
 /// Masked cache: a list of masks, each with an exact map of masked keys.
 #[derive(Debug, Default)]
 pub struct MegaflowCache {
-    groups: Vec<(FieldMask, HashMap<FlowKey, CachedPath>)>,
+    groups: Vec<(FieldMask, HashMap<FlowKey, CachedPath, FlowHashBuilder>)>,
     epoch: u64,
     capacity: usize,
     len: usize,
@@ -174,7 +180,7 @@ impl MegaflowCache {
         let group = match self.groups.iter_mut().position(|(m, _)| *m == mask) {
             Some(i) => &mut self.groups[i].1,
             None => {
-                self.groups.push((mask, HashMap::new()));
+                self.groups.push((mask, HashMap::default()));
                 &mut self.groups.last_mut().unwrap().1
             }
         };

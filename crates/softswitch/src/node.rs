@@ -120,6 +120,11 @@ impl SoftSwitchNode {
         self.controller = Some(controller);
     }
 
+    /// The controller this switch is configured to speak to, if any.
+    pub fn controller(&self) -> Option<NodeId> {
+        self.controller
+    }
+
     /// Register an OpenFlow/sim port.
     pub fn add_port(&mut self, no: u32, name: impl Into<String>, speed_kbps: u32) {
         self.dp.add_port(no, name, speed_kbps);

@@ -10,6 +10,7 @@
 
 use controller::apps::{dmz::render_policy, Dmz, LearningSwitch};
 use controller::ControllerNode;
+use harmless::fabric::FabricSpec;
 use harmless::instance::HarmlessSpec;
 use netsim::host::Host;
 use netsim::{Network, NodeId, SimTime};
@@ -39,11 +40,14 @@ fn main() {
             Box::new(LearningSwitch::new().in_table(1)),
         ],
     ));
-    let hx = HarmlessSpec::new(8).build(&mut net);
-    hx.configure_legacy_directly(&mut net);
-    hx.install_translator_rules(&mut net);
-    hx.connect_controller(&mut net, ctrl);
-    let hosts: Vec<_> = (1..=8).map(|i| hx.attach_host(&mut net, i)).collect();
+    let mut fx = FabricSpec::single(HarmlessSpec::new(8))
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    fx.configure_direct(&mut net);
+    fx.connect_controller(&mut net, ctrl);
+    let hosts: Vec<_> = (1..=8)
+        .map(|i| fx.attach_host(&mut net, 0, i).expect("free access port"))
+        .collect();
     net.run_until(SimTime::from_millis(100));
 
     println!("policy table (SS_2, table 0):");

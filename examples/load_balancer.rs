@@ -12,6 +12,7 @@
 use controller::apps::lb::Backend;
 use controller::apps::{LearningSwitch, LoadBalancer};
 use controller::ControllerNode;
+use harmless::fabric::FabricSpec;
 use harmless::instance::HarmlessSpec;
 use netsim::host::Host;
 use netsim::{Network, SimTime};
@@ -38,17 +39,20 @@ fn main() {
     ));
 
     // 8 access ports: clients on 1, 6, 7, 8; backends on 2..=5.
-    let hx = HarmlessSpec::new(8).build(&mut net);
-    hx.configure_legacy_directly(&mut net);
-    hx.install_translator_rules(&mut net);
-    hx.connect_controller(&mut net, ctrl);
+    let mut fx = FabricSpec::single(HarmlessSpec::new(8))
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    fx.configure_direct(&mut net);
+    fx.connect_controller(&mut net, ctrl);
 
     let client_ports = [1u16, 6, 7, 8];
     let clients: Vec<_> = client_ports
         .iter()
-        .map(|&p| hx.attach_host(&mut net, p))
+        .map(|&p| fx.attach_host(&mut net, 0, p).expect("free access port"))
         .collect();
-    let backend_hosts: Vec<_> = (2..=5).map(|p| hx.attach_host(&mut net, p)).collect();
+    let backend_hosts: Vec<_> = (2..=5)
+        .map(|p| fx.attach_host(&mut net, 0, p).expect("free access port"))
+        .collect();
 
     net.run_until(SimTime::from_millis(100));
 

@@ -11,6 +11,7 @@
 
 use controller::apps::LearningSwitch;
 use controller::ControllerNode;
+use harmless::fabric::FabricSpec;
 use harmless::instance::HarmlessSpec;
 use harmless::manager::{HarmlessManager, ManagerConfig, ManagerPhase};
 use legacy_switch::LegacySwitchNode;
@@ -24,10 +25,14 @@ fn main() {
         "controller",
         vec![Box::new(LearningSwitch::new())],
     ));
-    let hx = HarmlessSpec::new(24).build(&mut net);
-    let mgr = net.add_node(HarmlessManager::new(ManagerConfig::for_instance(&hx, ctrl)));
-    let h1 = hx.attach_host(&mut net, 1);
-    let _h9 = hx.attach_host(&mut net, 9);
+    let mut fx = FabricSpec::single(HarmlessSpec::new(24))
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    let mgr = fx
+        .run_migration_wave(&mut net, &[0], ctrl)
+        .expect("two-switch pod")[0];
+    let h1 = fx.attach_host(&mut net, 0, 1).expect("free access port");
+    let _h9 = fx.attach_host(&mut net, 0, 9).expect("free access port");
 
     net.run_until(SimTime::from_secs(2));
 
@@ -47,12 +52,13 @@ fn main() {
         assert_eq!(*m.phase(), ManagerPhase::Done);
     }
     {
-        let legacy = net.node_ref::<LegacySwitchNode>(hx.legacy);
+        let legacy = net.node_ref::<LegacySwitchNode>(fx.pod(0).legacy);
         println!(
             "legacy switch state: port 1 PVID = {}, {} VLANs configured",
             legacy.bridge().pvid(1),
             legacy.bridge().vlans().len()
         );
+        assert!(fx.pod(0).ss2_has_controller(&net));
     }
 
     // Prove the migrated switch forwards under SDN control.
@@ -69,8 +75,10 @@ fn main() {
     println!("\n=== the same migration with a fault injected at verify #5 ===\n");
     let mut net = Network::new(8);
     let ctrl = net.add_node(ControllerNode::new("controller", vec![]));
-    let hx = HarmlessSpec::new(24).build(&mut net);
-    let mut cfg = ManagerConfig::for_instance(&hx, ctrl);
+    let fx = FabricSpec::single(HarmlessSpec::new(24))
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    let mut cfg = ManagerConfig::for_instance(fx.pod(0), ctrl);
     cfg.fail_verify_at = Some(5);
     let mgr = net.add_node(HarmlessManager::new(cfg));
     net.run_until(SimTime::from_secs(2));
@@ -84,7 +92,7 @@ fn main() {
         }
         other => panic!("expected rollback, got {other:?}"),
     }
-    let legacy = net.node_ref::<LegacySwitchNode>(hx.legacy);
+    let legacy = net.node_ref::<LegacySwitchNode>(fx.pod(0).legacy);
     assert_eq!(legacy.bridge().pvid(1), 1, "factory state restored");
     assert_eq!(
         legacy.bridge().vlans().len(),

@@ -10,6 +10,7 @@
 
 use controller::apps::{LearningSwitch, ParentalControl};
 use controller::ControllerNode;
+use harmless::fabric::FabricSpec;
 use harmless::instance::HarmlessSpec;
 use netsim::host::Host;
 use netsim::{Network, NodeId, SimTime};
@@ -38,15 +39,16 @@ fn main() {
             Box::new(LearningSwitch::new().in_table(1)),
         ],
     ));
-    let hx = HarmlessSpec::new(4).build(&mut net);
-    hx.configure_legacy_directly(&mut net);
-    hx.install_translator_rules(&mut net);
-    hx.connect_controller(&mut net, ctrl);
+    let mut fx = FabricSpec::single(HarmlessSpec::new(4))
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    fx.configure_direct(&mut net);
+    fx.connect_controller(&mut net, ctrl);
 
-    let kid = hx.attach_host(&mut net, 1); // 10.0.0.1
-    let parent = hx.attach_host(&mut net, 2); // 10.0.0.2
-    let _site_a = hx.attach_host(&mut net, 3); // 10.0.0.3 "videos.example"
-    let _site_b = hx.attach_host(&mut net, 4); // 10.0.0.4 "homework.example"
+    let kid = fx.attach_host(&mut net, 0, 1).expect("free port"); // 10.0.0.1
+    let parent = fx.attach_host(&mut net, 0, 2).expect("free port"); // 10.0.0.2
+    let _site_a = fx.attach_host(&mut net, 0, 3).expect("free port"); // "videos.example"
+    let _site_b = fx.attach_host(&mut net, 0, 4).expect("free port"); // "homework.example"
     net.run_until(SimTime::from_millis(100));
 
     let show = |who: &str, what: &str, ok: bool| {

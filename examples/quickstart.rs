@@ -1,16 +1,20 @@
-//! Quickstart: migrate a 4-port legacy switch to SDN and ping through it.
+//! Quickstart: migrate two 4-port legacy switches to SDN, join them into
+//! one fabric, and ping across it.
 //!
-//! This is the smallest complete HARMLESS deployment: legacy switch,
-//! translator (SS_1), main OpenFlow switch (SS_2), an L2-learning SDN
-//! controller, and two hosts. Everything — VLAN tagging on the legacy
-//! box, the translator flow table, the controller connection — is set up
+//! The smallest complete multi-pod HARMLESS deployment: two pods (each a
+//! legacy switch + translator SS_1 + main OpenFlow switch SS_2) joined
+//! by a legacy spine, one L2-learning SDN controller over both, and a
+//! host per pod. Everything — VLAN tagging on the legacy boxes, the
+//! translator flow tables, the controller connections — is set up
 //! through the library's direct-configuration path (see the `migration`
-//! example for the fully automated SNMP/NAPALM route).
+//! example for the fully automated SNMP/NAPALM route, and
+//! `FabricSpec::single` for the classic one-switch deployment).
 //!
-//! Run with: `cargo run --release -p harmless --example quickstart`
+//! Run with: `cargo run --release -p harmless-demos --example quickstart`
 
 use controller::apps::LearningSwitch;
 use controller::ControllerNode;
+use harmless::fabric::{FabricSpec, Interconnect};
 use harmless::instance::HarmlessSpec;
 use netsim::host::Host;
 use netsim::{Network, SimTime};
@@ -18,46 +22,52 @@ use netsim::{Network, SimTime};
 fn main() {
     let mut net = Network::new(2026);
 
-    // An SDN controller running the classic reactive L2-learning app.
+    // An SDN controller running the classic reactive L2-learning app —
+    // one controller for the whole fabric.
     let ctrl = net.add_node(ControllerNode::new(
         "controller",
         vec![Box::new(LearningSwitch::new())],
     ));
 
-    // Build the paper's Fig. 1 out of a 4-port legacy switch.
-    let hx = HarmlessSpec::new(4).build(&mut net);
-    hx.configure_legacy_directly(&mut net); // per-port VLANs + trunk
-    hx.install_translator_rules(&mut net); // SS_1's dispatch table
-    hx.connect_controller(&mut net, ctrl); // SS_2 ↔ controller
+    // Two pods of the paper's Fig. 1, joined by a spare legacy switch as
+    // the spine.
+    let mut fx = FabricSpec::new(2, HarmlessSpec::new(4))
+        .with_interconnect(Interconnect::SpineLegacy)
+        .build(&mut net)
+        .expect("valid fabric spec");
+    fx.configure_direct(&mut net); // per-port VLANs + translator tables
+    fx.connect_controller(&mut net, ctrl); // every SS_2 ↔ the controller
 
-    // Two ordinary hosts on legacy access ports 1 and 2.
-    let h1 = hx.attach_host(&mut net, 1);
-    let h2 = hx.attach_host(&mut net, 2);
+    // One ordinary host per pod, on legacy access port 1.
+    let h1 = fx.attach_host(&mut net, 0, 1).expect("free access port");
+    let h2 = fx.attach_host(&mut net, 1, 1).expect("free access port");
+    let h2_ip = fx.host_ip(1, 1);
 
-    // Let the OpenFlow handshake finish, then ping 10.0.0.2 from h1.
+    // Let the OpenFlow handshakes finish, then ping pod 1 from pod 0.
     net.run_until(SimTime::from_millis(100));
-    net.with_node_ctx::<Host, _>(h1, |h, ctx| {
-        h.ping(b"hello through HARMLESS", "10.0.0.2".parse().unwrap());
+    net.with_node_ctx::<Host, _>(h1, move |h, ctx| {
+        h.ping(b"hello across the fabric", h2_ip);
         h.flush(ctx);
     });
-    net.run_until(SimTime::from_millis(400));
+    net.run_until(SimTime::from_millis(500));
 
     let replies = net.node_ref::<Host>(h1).echo_replies_received();
     let c = net.node_ref::<ControllerNode>(ctrl);
-    println!("ping 10.0.0.1 -> 10.0.0.2: {replies} reply(ies)");
+    println!("ping {} -> {h2_ip}: {replies} reply(ies)", fx.host_ip(0, 1));
     println!(
-        "controller activity: {} packet-ins, {} flow-mods installed",
+        "controller activity: {} datapaths, {} packet-ins, {} flow-mods installed",
+        c.ready_switches(),
         c.packet_ins(),
         c.flow_mods_sent()
     );
     println!(
-        "h2 saw {} frame(s), answered {} echo request(s)",
+        "pod-1 host saw {} frame(s), answered {} echo request(s)",
         net.node_ref::<Host>(h2).rx_frames(),
         net.node_ref::<Host>(h2).echo_requests_answered()
     );
     assert_eq!(
         replies, 1,
-        "the dumb legacy switch now runs an SDN dataplane"
+        "two dumb legacy switches now form one SDN fabric"
     );
-    println!("\nA dumb legacy Ethernet switch is now a fully reconfigurable OpenFlow switch.");
+    println!("\nTwo dumb legacy Ethernet switches are now one reconfigurable OpenFlow fabric.");
 }

@@ -3,6 +3,7 @@
 
 use controller::apps::{LearningSwitch, StaticForwarder};
 use controller::ControllerNode;
+use harmless::fabric::{FabricSpec, Interconnect};
 use harmless::instance::{HarmlessSpec, Variant};
 use harmless::manager::{HarmlessManager, ManagerConfig, ManagerPhase};
 use legacy_switch::LegacySwitchNode;
@@ -20,9 +21,15 @@ fn migrate_then_forward() {
         "ctrl",
         vec![Box::new(LearningSwitch::new())],
     ));
-    let hx = HarmlessSpec::new(8).build(&mut net);
-    let mgr = net.add_node(HarmlessManager::new(ManagerConfig::for_instance(&hx, ctrl)));
-    let hosts: Vec<_> = (1..=8).map(|i| hx.attach_host(&mut net, i)).collect();
+    let mut fx = FabricSpec::single(HarmlessSpec::new(8))
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    let mgr = fx
+        .run_migration_wave(&mut net, &[0], ctrl)
+        .expect("two-switch pod")[0];
+    let hosts: Vec<_> = (1..=8)
+        .map(|i| fx.attach_host(&mut net, 0, i).expect("free access port"))
+        .collect();
 
     net.run_until(SimTime::from_secs(2));
     assert_eq!(
@@ -60,12 +67,13 @@ fn transparency_port_numbering_and_no_tag_leak() {
         "ctrl",
         vec![Box::new(LearningSwitch::new())],
     ));
-    let hx = HarmlessSpec::new(4).build(&mut net);
-    hx.configure_legacy_directly(&mut net);
-    hx.install_translator_rules(&mut net);
-    hx.connect_controller(&mut net, ctrl);
-    let h3 = hx.attach_host(&mut net, 3);
-    let _h4 = hx.attach_host(&mut net, 4);
+    let mut fx = FabricSpec::single(HarmlessSpec::new(4))
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    fx.configure_direct(&mut net);
+    fx.connect_controller(&mut net, ctrl);
+    let h3 = fx.attach_host(&mut net, 0, 3).expect("free access port");
+    let _h4 = fx.attach_host(&mut net, 0, 4).expect("free access port");
     net.run_until(SimTime::from_millis(100));
 
     net.with_node_ctx::<Host, _>(h3, |h, ctx| {
@@ -96,12 +104,14 @@ fn transparency_port_numbering_and_no_tag_leak() {
 fn failed_migration_leaves_legacy_network_working() {
     let mut net = Network::new(1003);
     let ctrl = net.add_node(ControllerNode::new("ctrl", vec![]));
-    let hx = HarmlessSpec::new(4).build(&mut net);
-    let mut cfg = ManagerConfig::for_instance(&hx, ctrl);
+    let mut fx = FabricSpec::single(HarmlessSpec::new(4))
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    let mut cfg = ManagerConfig::for_instance(fx.pod(0), ctrl);
     cfg.fail_verify_at = Some(2);
     let mgr = net.add_node(HarmlessManager::new(cfg));
-    let a = hx.attach_host(&mut net, 1);
-    let b = hx.attach_host(&mut net, 2);
+    let a = fx.attach_host(&mut net, 0, 1).expect("free access port");
+    let b = fx.attach_host(&mut net, 0, 2).expect("free access port");
     net.run_until(SimTime::from_secs(2));
     assert!(matches!(
         net.node_ref::<HarmlessManager>(mgr).phase(),
@@ -127,10 +137,11 @@ fn line_rate_no_loss_regression() {
         "ctrl",
         vec![Box::new(StaticForwarder::bidirectional(&[(1, 2)]))],
     ));
-    let hx = HarmlessSpec::new(2).build(&mut net);
-    hx.configure_legacy_directly(&mut net);
-    hx.install_translator_rules(&mut net);
-    hx.connect_controller(&mut net, ctrl);
+    let mut fx = FabricSpec::single(HarmlessSpec::new(2))
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    fx.configure_direct(&mut net);
+    fx.connect_controller(&mut net, ctrl);
     // 80% of gigabit line rate, 512-byte frames, 100 ms.
     let pps = netsim::measure::line_rate_pps(1_000_000_000, 512) * 0.8;
     let g = net.add_node(Generator::new(
@@ -142,8 +153,8 @@ fn line_rate_no_loss_regression() {
         SimTime::from_millis(200),
     ));
     let s = net.add_node(Sink::new("sink"));
-    hx.attach_node(&mut net, 1, g);
-    hx.attach_node(&mut net, 2, s);
+    fx.attach_node(&mut net, 0, 1, g).expect("free access port");
+    fx.attach_node(&mut net, 0, 2, s).expect("free access port");
     net.run_until(SimTime::from_millis(500));
     let sent = net.node_ref::<Generator>(g).sent();
     let sink = net.node_ref::<Sink>(s);
@@ -161,9 +172,11 @@ fn line_rate_no_loss_regression() {
 fn merged_variant_equivalence() {
     for variant in [Variant::TwoSwitch, Variant::Merged] {
         let mut net = Network::new(1005);
-        let hx = HarmlessSpec::new(2).with_variant(variant).build(&mut net);
-        hx.configure_legacy_directly(&mut net);
-        hx.install_translator_rules(&mut net);
+        let mut fx = FabricSpec::single(HarmlessSpec::new(2).with_variant(variant))
+            .build(&mut net)
+            .expect("the merged variant is allowed in single-pod fabrics");
+        fx.configure_direct(&mut net);
+        let hx = fx.pod(0);
         match variant {
             Variant::TwoSwitch => {
                 let dp = net.node_mut::<SoftSwitchNode>(hx.ss2).datapath_mut();
@@ -186,8 +199,8 @@ fn merged_variant_equivalence() {
                 dp.apply_flow_mod(&r21, 0).unwrap();
             }
         }
-        let a = hx.attach_host(&mut net, 1);
-        let b = hx.attach_host(&mut net, 2);
+        let a = fx.attach_host(&mut net, 0, 1).expect("free access port");
+        let b = fx.attach_host(&mut net, 0, 2).expect("free access port");
         net.node_mut::<Host>(a)
             .ping(b"variant", "10.0.0.2".parse().unwrap());
         net.run_until(SimTime::from_millis(300));
@@ -198,6 +211,93 @@ fn merged_variant_equivalence() {
         );
         let _ = b;
     }
+}
+
+/// Multi-pod transparency: one controller over a 2-pod fabric sees each
+/// pod as an ordinary switch with its own dpid, learns cross-pod MACs on
+/// the uplink port, and sustains generator traffic between pods with no
+/// loss.
+#[test]
+fn cross_pod_traffic_and_transparency() {
+    let mut net = Network::new(1007);
+    let ctrl = net.add_node(ControllerNode::new(
+        "ctrl",
+        vec![Box::new(LearningSwitch::new())],
+    ));
+    let mut fx = FabricSpec::new(2, HarmlessSpec::new(4))
+        .with_interconnect(Interconnect::SpineSoft)
+        .build(&mut net)
+        .expect("valid fabric spec");
+    fx.configure_direct(&mut net);
+    fx.connect_controller(&mut net, ctrl);
+    let a = fx.attach_host(&mut net, 0, 1).expect("free access port");
+    let b = fx.attach_host(&mut net, 1, 2).expect("free access port");
+    net.run_until(SimTime::from_millis(100));
+    // Pods + the soft spine all completed the handshake.
+    assert_eq!(net.node_ref::<ControllerNode>(ctrl).ready_switches(), 3);
+
+    let b_ip = fx.host_ip(1, 2);
+    net.with_node_ctx::<Host, _>(a, move |h, ctx| {
+        h.ping(b"cross-pod", b_ip);
+        h.flush(ctx);
+    });
+    net.run_until(SimTime::from_millis(500));
+    assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 1);
+
+    // Transparency per pod: pod 1's learning entry for host b is its
+    // access port (2); pod 0 learned b's MAC behind its uplink port.
+    let (dpid0, dpid1) = (fx.pod(0).spec.ss2_dpid, fx.pod(1).spec.ss2_dpid);
+    assert_ne!(dpid0, dpid1, "pods must be distinct datapaths");
+    let b_mac = fx.host_mac(1, 2);
+    let uplink = fx.pod(0).uplink_port(1);
+    let mut local = None;
+    let mut remote = None;
+    net.with_node_ctx::<ControllerNode, _>(ctrl, |c, _| {
+        if let Some(app) = c.app_mut::<LearningSwitch>() {
+            local = app.lookup(dpid1, b_mac);
+            remote = app.lookup(dpid0, b_mac);
+        }
+    });
+    assert_eq!(local, Some(2), "pod-local port numbering is preserved");
+    assert_eq!(
+        remote,
+        Some(uplink),
+        "cross-pod MACs live behind the uplink"
+    );
+
+    // Sustained generator traffic across the fabric, zero loss.
+    let pps = 20_000.0;
+    let flows = vec![netsim::traffic::FlowSpec {
+        src_mac: fx.host_mac(0, 3),
+        dst_mac: b_mac,
+        src_ip: fx.host_ip(0, 3),
+        dst_ip: b_ip,
+        src_port: 7000,
+        dst_port: 7001,
+        frame_len: 256,
+    }];
+    let g = net.add_node(Generator::new(
+        "gen",
+        PortId(0),
+        Pattern::Cbr { pps },
+        flows,
+        net.now() + SimTime::from_millis(100),
+        net.now() + SimTime::from_millis(300),
+    ));
+    fx.attach_node(&mut net, 0, 3, g).expect("free access port");
+    net.run_for(SimTime::from_millis(600));
+    let sent = net.node_ref::<Generator>(g).sent();
+    assert_eq!(sent, 4000, "20 kpps x 200 ms");
+    let delivered = net
+        .node_ref::<Host>(b)
+        .mailbox()
+        .iter()
+        .filter(|d| d.dst_port == 7001)
+        .count() as u64;
+    assert_eq!(
+        delivered, sent,
+        "every generated frame must cross the fabric"
+    );
 }
 
 /// The legacy switch keeps plain L2 semantics for unmanaged traffic: a

@@ -360,6 +360,95 @@ proptest! {
         prop_assert_eq!(key.vlan_vid, 0x1000 | vlan);
     }
 
+    /// Cross-pod forwarding equivalence: traffic between hosts in
+    /// different pods arrives with identical application-visible content
+    /// whether the network is plain legacy L2 (factory switches behind a
+    /// spine, `Legacy`-direct) or a HARMLESS fabric (VLAN hairpinning,
+    /// translators and a reactive SDN learning path). The retrofit must
+    /// be invisible above L2.
+    #[test]
+    fn cross_pod_harmless_equals_legacy_direct(
+        src_port in 1u16..5,
+        dst_port in 1u16..5,
+        dport in 1u16..1024,
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        use harmless::fabric::{FabricSpec, Interconnect};
+        use harmless::instance::HarmlessSpec;
+        use netsim::host::Host;
+        use netsim::{LinkSpec, Network, PortId, SimTime};
+
+        let deliver = |net: &mut Network, a: netsim::NodeId, b: netsim::NodeId,
+                       dst_ip: std::net::Ipv4Addr, dport: u16, payload: &[u8]| {
+            net.run_until(SimTime::from_millis(100));
+            let p = payload.to_vec();
+            net.with_node_ctx::<Host, _>(a, move |h, ctx| {
+                h.send_udp(dst_ip, dport, &p);
+                h.ping(b"equivalence", dst_ip);
+                h.flush(ctx);
+            });
+            net.run_until(SimTime::from_millis(600));
+            let replies = net.node_ref::<Host>(a).echo_replies_received();
+            let mail: Vec<(std::net::Ipv4Addr, u16, u16, Vec<u8>)> = net
+                .node_ref::<Host>(b)
+                .mailbox()
+                .iter()
+                .map(|d| (d.src_ip, d.src_port, d.dst_port, d.payload.clone()))
+                .collect();
+            (replies, mail)
+        };
+
+        // World 1: the HARMLESS fabric, SDN-controlled.
+        let (harmless_replies, harmless_mail) = {
+            let mut net = Network::new(4242);
+            let ctrl = net.add_node(controller::ControllerNode::new(
+                "ctrl",
+                vec![Box::new(controller::apps::LearningSwitch::new())],
+            ));
+            let mut fx = FabricSpec::new(2, HarmlessSpec::new(4))
+                .with_interconnect(Interconnect::SpineLegacy)
+                .build(&mut net)
+                .expect("valid fabric spec");
+            fx.configure_direct(&mut net);
+            fx.connect_controller(&mut net, ctrl);
+            let a = fx.attach_host(&mut net, 0, src_port).expect("free port");
+            let b = fx.attach_host(&mut net, 1, dst_port).expect("free port");
+            let dst_ip = fx.host_ip(1, dst_port);
+            deliver(&mut net, a, b, dst_ip, dport, &payload)
+        };
+
+        // World 2: the same stations on plain factory-default legacy
+        // switches behind the same spine — no VLANs, no SDN.
+        let (legacy_replies, legacy_mail) = {
+            let mut net = Network::new(4242);
+            let sw0 = net.add_node(legacy_switch::LegacySwitchNode::new("sw0", 5));
+            let sw1 = net.add_node(legacy_switch::LegacySwitchNode::new("sw1", 5));
+            let spine = net.add_node(legacy_switch::LegacySwitchNode::new("spine", 2));
+            net.connect(sw0, PortId(5), spine, PortId(1), LinkSpec::ten_gigabit());
+            net.connect(sw1, PortId(5), spine, PortId(2), LinkSpec::ten_gigabit());
+            // Identical station identities to the fabric world.
+            let a = net.add_node(Host::new(
+                "a",
+                MacAddr::host(u32::from(src_port)),
+                std::net::Ipv4Addr::new(10, 0, 0, src_port as u8),
+            ));
+            let b = net.add_node(Host::new(
+                "b",
+                MacAddr::host(1 << 16 | u32::from(dst_port)),
+                std::net::Ipv4Addr::new(10, 1, 0, dst_port as u8),
+            ));
+            net.connect(a, PortId(0), sw0, PortId(src_port), LinkSpec::gigabit());
+            net.connect(b, PortId(0), sw1, PortId(dst_port), LinkSpec::gigabit());
+            let dst_ip = std::net::Ipv4Addr::new(10, 1, 0, dst_port as u8);
+            deliver(&mut net, a, b, dst_ip, dport, &payload)
+        };
+
+        prop_assert_eq!(harmless_replies, 1, "fabric ping must complete");
+        prop_assert_eq!(legacy_replies, 1, "legacy ping must complete");
+        prop_assert_eq!(harmless_mail, legacy_mail,
+            "datagrams must arrive identically in both worlds");
+    }
+
     /// Bridge invariant: frames never exit their ingress port and never
     /// leave their VLAN.
     #[test]

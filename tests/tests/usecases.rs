@@ -4,6 +4,7 @@
 use controller::apps::lb::Backend;
 use controller::apps::{Dmz, LearningSwitch, LoadBalancer, ParentalControl};
 use controller::ControllerNode;
+use harmless::fabric::FabricSpec;
 use harmless::instance::HarmlessSpec;
 use netsim::host::Host;
 use netsim::{Network, NodeId, SimTime};
@@ -56,15 +57,16 @@ fn lb_proxy_arp_and_rewriting() {
             Box::new(LearningSwitch::new().in_table(1)),
         ],
     ));
-    let hx = HarmlessSpec::new(6).build(&mut net);
-    hx.configure_legacy_directly(&mut net);
-    hx.install_translator_rules(&mut net);
-    hx.connect_controller(&mut net, ctrl);
+    let mut fx = FabricSpec::single(HarmlessSpec::new(6))
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    fx.configure_direct(&mut net);
+    fx.connect_controller(&mut net, ctrl);
     // Clients on ports 1 and 6: src .1 -> bucket 1, src .6 -> bucket 0.
-    let c1 = hx.attach_host(&mut net, 1);
-    let c6 = hx.attach_host(&mut net, 6);
-    let b2 = hx.attach_host(&mut net, 2);
-    let b3 = hx.attach_host(&mut net, 3);
+    let c1 = fx.attach_host(&mut net, 0, 1).expect("free access port");
+    let c6 = fx.attach_host(&mut net, 0, 6).expect("free access port");
+    let b2 = fx.attach_host(&mut net, 0, 2).expect("free access port");
+    let b3 = fx.attach_host(&mut net, 0, 3).expect("free access port");
     net.run_until(SimTime::from_millis(100));
 
     assert!(tcp_works(&mut net, c1, vip, 80), "client 1 reaches the VIP");
@@ -97,13 +99,14 @@ fn dmz_runtime_policy_updates() {
             Box::new(LearningSwitch::new().in_table(1)),
         ],
     ));
-    let hx = HarmlessSpec::new(4).build(&mut net);
-    hx.configure_legacy_directly(&mut net);
-    hx.install_translator_rules(&mut net);
-    hx.connect_controller(&mut net, ctrl);
-    let h1 = hx.attach_host(&mut net, 1);
-    let h2 = hx.attach_host(&mut net, 2);
-    let h3 = hx.attach_host(&mut net, 3);
+    let mut fx = FabricSpec::single(HarmlessSpec::new(4))
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    fx.configure_direct(&mut net);
+    fx.connect_controller(&mut net, ctrl);
+    let h1 = fx.attach_host(&mut net, 0, 1).expect("free access port");
+    let h2 = fx.attach_host(&mut net, 0, 2).expect("free access port");
+    let h3 = fx.attach_host(&mut net, 0, 3).expect("free access port");
     net.run_until(SimTime::from_millis(100));
 
     assert!(ping_works(&mut net, h1, 2), "permitted pair connects");
@@ -137,14 +140,15 @@ fn parental_control_block_cycle() {
             Box::new(LearningSwitch::new().in_table(1)),
         ],
     ));
-    let hx = HarmlessSpec::new(4).build(&mut net);
-    hx.configure_legacy_directly(&mut net);
-    hx.install_translator_rules(&mut net);
-    hx.connect_controller(&mut net, ctrl);
-    let kid = hx.attach_host(&mut net, 1);
-    let _other = hx.attach_host(&mut net, 2);
-    let _site = hx.attach_host(&mut net, 3);
-    let _blocked_site = hx.attach_host(&mut net, 4);
+    let mut fx = FabricSpec::single(HarmlessSpec::new(4))
+        .build(&mut net)
+        .expect("valid single-pod spec");
+    fx.configure_direct(&mut net);
+    fx.connect_controller(&mut net, ctrl);
+    let kid = fx.attach_host(&mut net, 0, 1).expect("free access port");
+    let _other = fx.attach_host(&mut net, 0, 2).expect("free access port");
+    let _site = fx.attach_host(&mut net, 0, 3).expect("free access port");
+    let _blocked_site = fx.attach_host(&mut net, 0, 4).expect("free access port");
     net.run_until(SimTime::from_millis(100));
 
     // Initial blocklist applies from handshake.
