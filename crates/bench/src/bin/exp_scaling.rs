@@ -22,7 +22,7 @@
 use bytes::Bytes;
 use std::any::Any;
 
-use bench::{fmt_mpps, render_table};
+use bench::{fmt_mpps, render_table, report};
 use controller::apps::LearningSwitch;
 use controller::ControllerNode;
 use harmless::fabric::{FabricSpec, Interconnect};
@@ -166,7 +166,13 @@ fn throughput_with_rules(n_rules: u32, mode: PipelineMode) -> f64 {
 
 /// E3c: pods × hosts fabric, every host pings its partner in the next
 /// pod, one learning controller over all datapaths.
-fn fabric_convergence(n_pods: u16, hosts_per_pod: u16) {
+///
+/// With `threads = None` the classic single-queue loop runs the whole
+/// fabric; with `Some(n)` the network is sharded along
+/// [`harmless::Fabric::shard_map`] (one shard per pod + the system
+/// shard) and executed on `n` worker threads. Simulation results are
+/// identical either way — the engine only changes wall-clock.
+fn fabric_convergence(n_pods: u16, hosts_per_pod: u16, threads: Option<usize>) {
     if n_pods < 2 || hosts_per_pod == 0 {
         eprintln!(
             "E3c needs at least 2 pods and 1 host per pod \
@@ -174,6 +180,13 @@ fn fabric_convergence(n_pods: u16, hosts_per_pod: u16) {
         );
         std::process::exit(2);
     }
+    let engine = match threads {
+        None => "single-queue".to_string(),
+        Some(t) => format!("sharded, {} shards, {t} thread(s)", n_pods + 1),
+    };
+    // The engine choice goes to stderr: stdout must stay byte-identical
+    // for every engine/thread configuration (the determinism contract).
+    eprintln!("(engine: {engine})");
     println!(
         "\nE3c: fabric-scale convergence — {n_pods} pods x {hosts_per_pod} hosts, \
          software spine, one learning controller"
@@ -201,12 +214,25 @@ fn fabric_convergence(n_pods: u16, hosts_per_pod: u16) {
                 .collect(),
         );
     }
+    if let Some(t) = threads {
+        net.set_shards(&fx.shard_map());
+        net.set_threads(t);
+    }
     net.run_until(SimTime::from_millis(100));
     assert!(fx.all_pods_connected(&net));
 
     // Every host pings its partner (same port) in the next pod,
     // staggered per port index so the ARP floods do not all land in the
-    // same instant.
+    // same instant. Each step's n_pods broadcasts fan out to every host
+    // (pods × hosts copies through every pod's SS1/SS2/legacy), so the
+    // step must scale with fabric size or the offered flood load
+    // exceeds pod service capacity and queues build across the whole
+    // round. 4 pods × 512 hosts (2048 hosts) sits at the knee at
+    // 400 µs; scale linearly with 2× headroom from there (2048 hosts →
+    // 800 µs, 8192 → 3200 µs). Fabrics of ≤ 1024 hosts keep the
+    // classic 400 µs, so the recorded 2×512 baseline is unchanged.
+    let total_hosts = u64::from(n_pods) * u64::from(hosts_per_pod);
+    let step = SimTime::from_micros((total_hosts * 800 / 2048).max(400));
     let ping_round = |net: &mut Network, fx: &harmless::Fabric, hosts: &[Vec<NodeId>]| {
         for i in 1..=hosts_per_pod {
             for (p, pod_hosts) in hosts.iter().enumerate() {
@@ -217,7 +243,7 @@ fn fabric_convergence(n_pods: u16, hosts_per_pod: u16) {
                     h.flush(ctx);
                 });
             }
-            net.run_for(SimTime::from_micros(400));
+            net.run_for(step);
         }
         net.run_for(SimTime::from_millis(500));
     };
@@ -239,7 +265,9 @@ fn fabric_convergence(n_pods: u16, hosts_per_pod: u16) {
     // Second round over the converged fabric: ARP caches are warm and
     // every MAC pair has rules installed, so the controller must stay
     // silent and the pings must ride the fast path.
+    let t1 = std::time::Instant::now();
     ping_round(&mut net, &fx, &hosts);
+    let wall_round2 = t1.elapsed();
     let replies2: u64 = hosts
         .iter()
         .flatten()
@@ -267,12 +295,74 @@ fn fabric_convergence(n_pods: u16, hosts_per_pod: u16) {
             ],
         )
     );
-    // Host wall-clock varies run to run; keep stdout byte-identical
-    // (the repo's determinism check diffs it) and report on stderr.
-    eprintln!(
-        "(host wall-clock, round 1: {:.1}s)",
-        wall_round1.as_secs_f64()
+    // Per-pod convergence rollup: every pod must account for all of its
+    // hosts in both rounds (the controller converges *everywhere*, not
+    // just in aggregate).
+    let pod_rows: Vec<Vec<String>> = hosts
+        .iter()
+        .enumerate()
+        .map(|(p, pod_hosts)| {
+            let (mut r, mut ans, mut rx) = (0u64, 0u64, 0u64);
+            for &h in pod_hosts {
+                let host = net.node_ref::<Host>(h);
+                r += host.echo_replies_received();
+                ans += host.echo_requests_answered();
+                rx += host.rx_frames();
+            }
+            assert_eq!(
+                r,
+                2 * u64::from(hosts_per_pod),
+                "pod {p} must see replies for both rounds"
+            );
+            vec![
+                format!("pod{p}"),
+                pod_hosts.len().to_string(),
+                r.to_string(),
+                ans.to_string(),
+                rx.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "per-pod rollup (both rounds)",
+            &["pod", "hosts", "echo replies", "echo answered", "rx frames"],
+            &pod_rows,
+        )
     );
+    // Host wall-clock varies run to run; keep stdout byte-identical
+    // (the repo's determinism check diffs it) and report on stderr +
+    // BENCH_netsim.json.
+    let wall_s = wall_round1.as_secs_f64() + wall_round2.as_secs_f64();
+    let events = net.events_processed();
+    eprintln!(
+        "(host wall-clock: round 1 {:.2}s, round 2 {:.2}s, {:.0} events/s [{engine}])",
+        wall_round1.as_secs_f64(),
+        wall_round2.as_secs_f64(),
+        events as f64 / wall_s
+    );
+    let scenario = format!(
+        "scaling/fabric_{n_pods}x{hosts_per_pod}/{}",
+        match threads {
+            None => "single_queue".to_string(),
+            Some(t) => format!("sharded_t{t}"),
+        }
+    );
+    let mut rep = report::Report::load(report::bench_file());
+    rep.record(
+        &scenario,
+        &[
+            ("threads", threads.unwrap_or(0) as f64),
+            ("events", events as f64),
+            ("wall_s", wall_s),
+            ("events_per_sec", events as f64 / wall_s),
+            ("sim_s", net.now().as_secs_f64()),
+        ],
+    );
+    if let Err(e) = rep.save(report::bench_file()) {
+        eprintln!("(could not write {}: {e})", report::BENCH_FILE);
+    }
     assert_eq!(replies, total_pings, "round 1 must fully converge");
     assert_eq!(replies2 - replies, total_pings, "round 2 must be lossless");
     assert_eq!(
@@ -283,8 +373,9 @@ fn fabric_convergence(n_pods: u16, hosts_per_pod: u16) {
         "Reading: one reactive controller converges a {n_pods}-pod fabric in a\n\
          single ping round — every cross-pod path is pinned by round 2 and\n\
          the control plane goes silent. Pods are the shard boundary the\n\
-         sharded event loop will exploit: all flood fan-out stays inside\n\
-         the pod that triggered it."
+         sharded event loop exploits: all flood fan-out stays inside the\n\
+         pod that triggered it, so each pod runs on its own queue (and\n\
+         thread) between uplink/controller synchronization horizons."
     );
 }
 
@@ -345,23 +436,37 @@ fn forwarding_sweep() {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--threads N` selects the sharded engine (one shard per pod + the
+    // system shard) on N worker threads; without it the classic
+    // single-queue loop runs, so the two engines can be compared on the
+    // same scenario.
+    let mut threads: Option<usize> = None;
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let n = args.get(i + 1).and_then(|s| s.parse::<usize>().ok());
+        let Some(n @ 1..) = n else {
+            eprintln!("--threads needs a positive integer (omit it for the single-queue engine)");
+            std::process::exit(2);
+        };
+        threads = Some(n);
+        args.drain(i..=i + 1);
+    }
     let parse = |i: usize, default: u16| -> u16 {
         args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
     };
     match args.first().map(String::as_str) {
         Some("install") => install_sweep(),
         Some("forwarding") => forwarding_sweep(),
-        Some("fabric") => fabric_convergence(parse(1, 2), parse(2, 512)),
+        Some("fabric") => fabric_convergence(parse(1, 2), parse(2, 512), threads),
         None => {
             install_sweep();
             forwarding_sweep();
-            fabric_convergence(2, 512);
+            fabric_convergence(2, 512, threads);
         }
         Some(other) => {
             eprintln!(
-                "unknown sub-experiment {other:?}; \
-                 usage: exp_scaling [install|forwarding|fabric [pods] [hosts]]"
+                "unknown sub-experiment {other:?}; usage: \
+                 exp_scaling [install|forwarding|fabric [pods] [hosts]] [--threads N]"
             );
             std::process::exit(2);
         }

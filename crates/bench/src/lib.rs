@@ -15,6 +15,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod report;
+
 use harmless::fabric::FabricSpec;
 use harmless::instance::{HarmlessSpec, Variant};
 use legacy_switch::{CotsConfig, CotsSwitchNode, LegacySwitchNode};

@@ -136,7 +136,11 @@ impl SwitchHandle<'_> {
 }
 
 /// A controller application.
-pub trait App: 'static {
+///
+/// Apps must be [`Send`] because the controller node (like every
+/// [`netsim::Node`]) can be moved onto a worker thread by the sharded
+/// simulator; only one thread ever touches an app at a time.
+pub trait App: 'static + Send {
     /// Name for diagnostics.
     fn name(&self) -> &str;
 

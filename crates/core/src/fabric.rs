@@ -65,12 +65,12 @@
 //! # let _ = b;
 //! ```
 
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use legacy_switch::LegacySwitchNode;
 use netsim::host::Host;
-use netsim::{LinkSpec, Network, NodeId, PortId};
+use netsim::{LinkSpec, Network, NodeId, PortId, ShardMap};
 use softswitch::SoftSwitchNode;
 
 use crate::instance::{HarmlessInstance, HarmlessSpec, Variant};
@@ -385,7 +385,7 @@ impl FabricSpec {
             spec: self,
             pods,
             spine,
-            attached: BTreeSet::new(),
+            attached: BTreeMap::new(),
         })
     }
 }
@@ -414,7 +414,7 @@ pub struct Fabric {
     pub spec: FabricSpec,
     pods: Vec<HarmlessInstance>,
     spine: Option<Spine>,
-    attached: BTreeSet<(usize, u16)>,
+    attached: BTreeMap<(usize, u16), NodeId>,
 }
 
 impl Fabric {
@@ -499,7 +499,7 @@ impl Fabric {
         port: u16,
     ) -> Result<NodeId, FabricError> {
         self.check_access(pod, port)?;
-        if !self.attached.insert((pod, port)) {
+        if self.attached.contains_key(&(pod, port)) {
             return Err(FabricError::DuplicateHostPort { pod, port });
         }
         let px = &self.pods[pod];
@@ -508,6 +508,7 @@ impl Fabric {
             self.host_mac(pod, port),
             self.host_ip(pod, port),
         ));
+        self.attached.insert((pod, port), h);
         px.attach_node(net, port, h);
         Ok(h)
     }
@@ -523,11 +524,44 @@ impl Fabric {
         node: NodeId,
     ) -> Result<(), FabricError> {
         self.check_access(pod, port)?;
-        if !self.attached.insert((pod, port)) {
+        if self.attached.contains_key(&(pod, port)) {
             return Err(FabricError::DuplicateHostPort { pod, port });
         }
+        self.attached.insert((pod, port), node);
         self.pods[pod].attach_node(net, port, node);
         Ok(())
+    }
+
+    /// The node attached to `(pod, port)`, if any.
+    pub fn attached_node(&self, pod: usize, port: u16) -> Option<NodeId> {
+        self.attached.get(&(pod, port)).copied()
+    }
+
+    /// The natural [`ShardMap`] of this fabric for the sharded event
+    /// engine (`Network::set_shards`): pod `p`'s switches and attached
+    /// stations go to shard `p + 1`; shard 0 — the *system shard* — keeps
+    /// everything else (the spine, the controller, managers and any node
+    /// this fabric does not know about). Pods only talk to each other
+    /// through spine/line uplinks and to the controller through the
+    /// control channel, so those are the only cross-shard edges and the
+    /// engine's lookahead is `min(uplink delay, ctrl delay)`.
+    ///
+    /// Call after all hosts are attached; nodes attached later default to
+    /// shard 0, which is correct for management nodes but serializes
+    /// data-plane traffic of late-attached stations.
+    pub fn shard_map(&self) -> ShardMap {
+        let mut map = ShardMap::new(self.pods.len() + 1);
+        for (p, pod) in self.pods.iter().enumerate() {
+            map.assign(pod.legacy, p + 1);
+            if let Some(ss1) = pod.ss1 {
+                map.assign(ss1, p + 1);
+            }
+            map.assign(pod.ss2, p + 1);
+        }
+        for (&(pod, _port), &node) in &self.attached {
+            map.assign(node, pod + 1);
+        }
+        map
     }
 
     /// Configure every pod through the direct (non-SNMP) path: legacy
@@ -782,6 +816,71 @@ mod tests {
             let c = net.node_ref::<ControllerNode>(ctrl);
             assert!(c.packet_ins() > 0);
         }
+    }
+
+    #[test]
+    fn shard_map_puts_pods_on_their_own_shards() {
+        let mut net = Network::new(3);
+        let ctrl = learning_ctrl(&mut net);
+        let mut fx = FabricSpec::new(2, HarmlessSpec::new(2))
+            .with_interconnect(Interconnect::SpineSoft)
+            .build(&mut net)
+            .unwrap();
+        let a = fx.attach_host(&mut net, 0, 1).unwrap();
+        let b = fx.attach_host(&mut net, 1, 1).unwrap();
+        let map = fx.shard_map();
+        assert_eq!(map.n_shards(), 3);
+        assert_eq!(map.shard_of(ctrl), 0, "controller stays on system shard");
+        assert_eq!(map.shard_of(fx.spine().unwrap().node()), 0);
+        assert_eq!(map.shard_of(fx.pod(0).legacy), 1);
+        assert_eq!(map.shard_of(fx.pod(0).ss2), 1);
+        assert_eq!(map.shard_of(a), 1);
+        assert_eq!(map.shard_of(fx.pod(1).ss2), 2);
+        assert_eq!(map.shard_of(b), 2);
+        assert_eq!(fx.attached_node(0, 1), Some(a));
+        assert_eq!(fx.attached_node(0, 2), None);
+    }
+
+    #[test]
+    fn sharded_fabric_pings_cross_pod_on_any_thread_count() {
+        let run = |threads: Option<usize>| -> (u64, u64, u64) {
+            let mut net = Network::new(77);
+            let ctrl = learning_ctrl(&mut net);
+            let mut fx = FabricSpec::new(3, HarmlessSpec::new(2))
+                .with_interconnect(Interconnect::SpineSoft)
+                .build(&mut net)
+                .unwrap();
+            fx.configure_direct(&mut net);
+            fx.connect_controller(&mut net, ctrl);
+            let a = fx.attach_host(&mut net, 0, 1).unwrap();
+            let b = fx.attach_host(&mut net, 2, 1).unwrap();
+            if let Some(t) = threads {
+                net.set_shards(&fx.shard_map());
+                net.set_threads(t);
+            }
+            net.run_until(SimTime::from_millis(100));
+            let ip = fx.host_ip(2, 1);
+            net.with_node_ctx::<Host, _>(a, |h, ctx| {
+                h.ping(b"sharded", ip);
+                h.flush(ctx);
+            });
+            net.run_until(SimTime::from_millis(600));
+            (
+                net.node_ref::<Host>(a).echo_replies_received(),
+                net.node_ref::<Host>(b).echo_requests_answered(),
+                net.events_processed(),
+            )
+        };
+        let (r1, a1, e1) = run(Some(1));
+        for threads in [2, 4] {
+            assert_eq!(run(Some(threads)), (r1, a1, e1), "threads={threads}");
+        }
+        assert_eq!(r1, 1);
+        assert_eq!(a1, 1);
+        // And the sharded engine reaches the same converged state as the
+        // classic single-queue loop.
+        let (lr, la, _) = run(None);
+        assert_eq!((lr, la), (r1, a1));
     }
 
     #[test]

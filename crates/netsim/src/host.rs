@@ -178,11 +178,31 @@ impl Host {
     /// simulation has started; `on_start`/`on_packet`/`on_timer` flush
     /// automatically.
     pub fn flush(&mut self, ctx: &mut NodeCtx) {
-        self.flush_pending(ctx);
+        self.flush_pending(ctx, true);
     }
 
-    /// Flush any queued sends whose next hop is resolved; ARP for the rest.
-    fn flush_pending(&mut self, ctx: &mut NodeCtx) {
+    /// Flush any queued sends whose next hop is resolved. With `arp`,
+    /// broadcast an ARP request for each unresolved destination.
+    ///
+    /// Only *send-time* flushes pass `arp = true`. Frame-triggered
+    /// flushes must not: broadcast ARP traffic reaches every host in the
+    /// broadcast domain, and hosts that re-ARP for their own unresolved
+    /// destinations on every incoming ARP frame amplify each other —
+    /// in a multi-pod fabric where all hosts resolve at once, that
+    /// cascade grows combinatorially with the pod count (observed as
+    /// hundreds of thousands of spurious packet-ins on a 4-pod fabric).
+    /// Real stacks queue on the ARP entry and retransmit on a timer, not
+    /// on receipt of unrelated ARP frames.
+    ///
+    /// Consequence: the host itself never retries — if the one
+    /// send-time ARP request (or its reply) is tail-dropped, the
+    /// pending send waits until the next send-time flush. This host has
+    /// no autonomous timers, so drivers that run hosts into sustained
+    /// overload should either provision queues for the ARP burst (as
+    /// the fabric experiments do) or schedule a retry timer —
+    /// [`Node::on_timer`] re-flushes with `arp = true`. Convergence
+    /// assertions in the experiments catch a stranded send loudly.
+    fn flush_pending(&mut self, ctx: &mut NodeCtx, arp: bool) {
         let mut keep = Vec::new();
         let pending = std::mem::take(&mut self.pending);
         let mut arped: Vec<Ipv4Addr> = Vec::new();
@@ -195,7 +215,7 @@ impl Host {
             match self.arp_table.get(&dst_ip).copied() {
                 Some(dst_mac) => self.send_now(p, dst_mac, ctx),
                 None => {
-                    if !arped.contains(&dst_ip) {
+                    if arp && !arped.contains(&dst_ip) {
                         arped.push(dst_ip);
                         ctx.transmit(NIC, builder::arp_request(self.mac, self.ip, dst_ip));
                     }
@@ -268,7 +288,9 @@ impl Host {
             }
             _ => {}
         }
-        self.flush_pending(ctx);
+        // Send queued traffic the learned sender unblocks — without
+        // re-ARPing for unrelated destinations (see `flush_pending`).
+        self.flush_pending(ctx, false);
     }
 
     fn handle_ipv4(&mut self, frame: &[u8], ctx: &mut NodeCtx) {
@@ -347,7 +369,7 @@ impl Host {
 
 impl Node for Host {
     fn on_start(&mut self, ctx: &mut NodeCtx) {
-        self.flush_pending(ctx);
+        self.flush_pending(ctx, true);
     }
 
     fn on_packet(&mut self, _port: PortId, frame: Bytes, ctx: &mut NodeCtx) {
@@ -368,7 +390,7 @@ impl Node for Host {
     }
 
     fn on_timer(&mut self, _token: u64, ctx: &mut NodeCtx) {
-        self.flush_pending(ctx);
+        self.flush_pending(ctx, true);
     }
 
     fn name(&self) -> &str {

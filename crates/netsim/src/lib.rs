@@ -15,9 +15,14 @@
 //!   CPU-bound packet processing,
 //! * [`measure`] — RFC 2544-style max-lossless-rate search.
 //!
-//! The simulator is single-threaded and fully deterministic: events are
-//! ordered by `(time, sequence-number)` and all randomness flows from one
-//! seeded RNG.
+//! The simulator is fully deterministic: within a shard, events are
+//! ordered by `(time, sequence-number)` and all randomness flows from
+//! seeded per-shard RNG streams. By default a network is one shard and
+//! runs the classic sequential loop; [`Network::set_shards`] splits it
+//! along a [`ShardMap`] (one shard per fabric pod plus a system shard)
+//! and [`Network::set_threads`] runs the shards on worker threads with
+//! conservative lookahead synchronization — see the [`shard`] module.
+//! Results are bit-identical for every thread count.
 //!
 //! ## Example
 //!
@@ -43,6 +48,7 @@ pub mod measure;
 pub mod net;
 pub mod node;
 pub mod service;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod traffic;
@@ -50,5 +56,6 @@ pub mod traffic;
 pub use link::{LinkSpec, LinkStats};
 pub use net::{Network, NodeId};
 pub use node::{Node, NodeCtx, PortId};
+pub use shard::ShardMap;
 pub use stats::{Counter, Histogram, Rollup};
 pub use time::SimTime;

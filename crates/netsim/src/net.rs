@@ -1,13 +1,21 @@
-//! The simulation event loop.
+//! The simulation event loop: a facade over one or more event
+//! [`Shard`](crate::shard)s.
+//!
+//! An unsharded [`Network`] (the default) is a single shard running the
+//! classic sequential single-queue loop — behavior, event order and RNG
+//! stream are identical to the historical simulator. Call
+//! [`Network::set_shards`] to split the network along a
+//! [`ShardMap`] and [`Network::set_threads`] to run the shards on worker
+//! threads; see the [`crate::shard`] module docs for the conservative
+//! synchronization protocol.
 
 use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::sync::mpsc;
+use std::sync::Arc;
 
 use crate::link::{LinkDir, LinkSpec, LinkStats};
-use crate::node::{Action, Node, NodeCtx, PortId};
+use crate::node::{Node, NodeCtx, PortId};
+use crate::shard::{Chan, Cmd, Env, Ev, Loc, Remote, Reply, Shard, ShardMap};
 use crate::time::SimTime;
 
 /// Identifies a node within one [`Network`].
@@ -20,78 +28,21 @@ impl core::fmt::Display for NodeId {
     }
 }
 
-#[derive(Debug)]
-enum Ev {
-    /// A frame finishes arriving at a node's port.
-    Deliver {
-        node: NodeId,
-        port: PortId,
-        frame: Bytes,
-    },
-    /// A device timer fires.
-    Timer { node: NodeId, token: u64 },
-    /// A control-plane message arrives.
-    Ctrl {
-        node: NodeId,
-        from: NodeId,
-        data: Bytes,
-    },
-    /// A link serializer finishes the current frame.
-    TxDone { link: usize, dir: usize },
-    /// A delayed transmit enters the egress queue.
-    Emit {
-        node: NodeId,
-        port: PortId,
-        frame: Bytes,
-    },
-}
-
-struct Sched {
-    at: SimTime,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for Sched {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Sched {}
-impl PartialOrd for Sched {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Sched {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-struct Link {
-    ends: [(NodeId, PortId); 2],
-    dirs: [LinkDir; 2],
-}
-
-/// A complete simulated network: nodes, links and the event queue.
+/// A complete simulated network: nodes, links and the event queue(s).
 ///
 /// Deterministic given the seed passed to [`Network::new`]; all device
-/// randomness must come from [`NodeCtx::rng`].
+/// randomness must come from [`NodeCtx::rng`]. Sharded networks are
+/// additionally deterministic in the *thread count*: any `set_threads`
+/// value produces bit-identical simulation results.
 pub struct Network {
     now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Sched>,
-    nodes: Vec<Box<dyn Node>>,
-    started: Vec<bool>,
-    links: Vec<Link>,
-    port_map: HashMap<(NodeId, PortId), (usize, usize)>,
-    rng: StdRng,
+    seed: u64,
+    shards: Vec<Shard>,
+    /// Global node id → (shard, local index).
+    loc: Arc<Vec<Loc>>,
     ctrl_delay: SimTime,
-    trace_buf: Option<Vec<String>>,
-    unconnected_drops: u64,
-    events_processed: u64,
+    threads: usize,
+    tracing: bool,
 }
 
 impl Network {
@@ -99,26 +50,31 @@ impl Network {
     pub fn new(seed: u64) -> Network {
         Network {
             now: SimTime::ZERO,
-            seq: 0,
-            queue: BinaryHeap::new(),
-            nodes: Vec::new(),
-            started: Vec::new(),
-            links: Vec::new(),
-            port_map: HashMap::new(),
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            shards: vec![Shard::new(0, Shard::rng_stream(seed, 0))],
+            loc: Arc::new(Vec::new()),
             ctrl_delay: SimTime::from_micros(50),
-            trace_buf: None,
-            unconnected_drops: 0,
-            events_processed: 0,
+            threads: 1,
+            tracing: false,
         }
     }
 
-    /// Register a device; returns its id.
+    fn env(&self) -> Env {
+        Env {
+            loc: Arc::clone(&self.loc),
+            ctrl_delay: self.ctrl_delay,
+        }
+    }
+
+    /// Register a device; returns its id. Nodes added after
+    /// [`Network::set_shards`] land on shard 0 (the system shard) — this
+    /// is where mid-run management nodes such as migration managers
+    /// belong.
     pub fn add_node(&mut self, node: impl Node) -> NodeId {
-        let id = NodeId(self.nodes.len());
-        self.nodes.push(Box::new(node));
-        self.started.push(false);
-        id
+        let gid = NodeId(self.loc.len());
+        let idx = self.shards[0].add_node(Box::new(node), gid);
+        Arc::make_mut(&mut self.loc).push(Loc { shard: 0, idx });
+        gid
     }
 
     /// Connect `(a, pa)` to `(b, pb)` with a duplex link.
@@ -127,21 +83,26 @@ impl Network {
     /// Panics if either port is already connected, or `a == b` with the
     /// same port.
     pub fn connect(&mut self, a: NodeId, pa: PortId, b: NodeId, pb: PortId, spec: LinkSpec) {
-        assert!(
-            !self.port_map.contains_key(&(a, pa)),
-            "port {pa} of {a} already connected"
-        );
-        assert!(
-            !self.port_map.contains_key(&(b, pb)),
-            "port {pb} of {b} already connected"
-        );
-        let idx = self.links.len();
-        self.links.push(Link {
-            ends: [(a, pa), (b, pb)],
-            dirs: [LinkDir::new(spec), LinkDir::new(spec)],
+        let la = self.loc[a.0];
+        let lb = self.loc[b.0];
+        let chan_a = self.shards[la.shard as usize].chans.len() as u32;
+        self.shards[la.shard as usize].chans.push(Chan {
+            dir: LinkDir::new(spec),
+            peer: b,
+            peer_port: pb,
+            peer_shard: lb.shard,
+            peer_idx: lb.idx,
         });
-        self.port_map.insert((a, pa), (idx, 0));
-        self.port_map.insert((b, pb), (idx, 1));
+        self.shards[la.shard as usize].set_port(la.idx, pa, chan_a);
+        let chan_b = self.shards[lb.shard as usize].chans.len() as u32;
+        self.shards[lb.shard as usize].chans.push(Chan {
+            dir: LinkDir::new(spec),
+            peer: a,
+            peer_port: pa,
+            peer_shard: la.shard,
+            peer_idx: la.idx,
+        });
+        self.shards[lb.shard as usize].set_port(lb.idx, pb, chan_b);
     }
 
     /// Current simulated time.
@@ -149,41 +110,219 @@ impl Network {
         self.now
     }
 
-    /// Number of events processed so far (for runaway detection in tests).
+    /// Number of events processed so far (for runaway detection in tests
+    /// and events/second reporting). Summed across shards.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.shards.iter().map(|s| s.events_processed).sum()
     }
 
     /// Frames transmitted to unconnected ports so far.
     pub fn unconnected_drops(&self) -> u64 {
-        self.unconnected_drops
+        self.shards.iter().map(|s| s.unconnected_drops).sum()
     }
 
-    /// Set the out-of-band control channel delay (default 50 µs).
+    /// Set the out-of-band control channel delay (default 50 µs). In a
+    /// sharded network this is part of the synchronization lookahead and
+    /// must stay positive.
     pub fn set_ctrl_delay(&mut self, d: SimTime) {
         self.ctrl_delay = d;
     }
 
+    /// Number of shards (1 unless [`Network::set_shards`] was called).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker threads used to run a sharded network (default 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run shards on up to `n` worker threads (clamped to at least 1).
+    /// The thread count never changes simulation results — only
+    /// wall-clock time. With `n == 1` the shards run interleaved on the
+    /// calling thread, windows and barriers included, so `--threads 1`
+    /// and `--threads 8` are bit-identical.
+    pub fn set_threads(&mut self, n: usize) {
+        self.threads = n.max(1);
+    }
+
+    /// Split the network into the shards described by `map`: per-shard
+    /// node/link/queue/RNG state with conservative barrier
+    /// synchronization (see [`crate::shard`]). Typically called once,
+    /// after the topology is built — derive the map from a fabric with
+    /// `Fabric::shard_map` in the `harmless` crate.
+    ///
+    /// Pending events move to their target's shard; shard 0 keeps the
+    /// current RNG stream and counters. Nodes added later default to
+    /// shard 0.
+    ///
+    /// # Panics
+    /// Panics if the network is already sharded, or if `map` assigns a
+    /// node this network does not have.
+    pub fn set_shards(&mut self, map: &ShardMap) {
+        assert!(
+            self.shards.len() == 1,
+            "network is already sharded; set_shards can only be called once"
+        );
+        if let Some(max) = map.max_assigned_node() {
+            assert!(
+                max.0 < self.loc.len(),
+                "shard map assigns {max}, but the network only has {} nodes \
+                 (was the map built before all nodes were added?)",
+                self.loc.len()
+            );
+        }
+        let n = map.n_shards();
+        let mut old = self.shards.pop().expect("single shard");
+        let mut shards: Vec<Shard> = (0..n)
+            .map(|k| Shard::new(k as u32, Shard::rng_stream(self.seed, k as u32)))
+            .collect();
+        shards[0].rng = std::mem::replace(&mut old.rng, Shard::rng_stream(self.seed, 0));
+        shards[0].events_processed = old.events_processed;
+        shards[0].unconnected_drops = old.unconnected_drops;
+        for s in &mut shards {
+            s.now = old.now;
+            if self.tracing {
+                s.trace = Some(Vec::new());
+            }
+        }
+        shards[0].trace = old.trace.take();
+
+        // Nodes (with their port rows and started flags).
+        let n_nodes = old.nodes.len();
+        let mut loc = Vec::with_capacity(n_nodes);
+        let old_started = std::mem::take(&mut old.started);
+        let old_ports = std::mem::take(&mut old.ports);
+        for (i, node) in std::mem::take(&mut old.nodes).into_iter().enumerate() {
+            let gid = NodeId(i);
+            let target = map.shard_of(gid);
+            assert!(target < n, "node {gid} assigned to out-of-range shard");
+            let sh = &mut shards[target];
+            let idx = sh.add_node(node, gid);
+            sh.started[idx as usize] = old_started[i];
+            sh.ports[idx as usize] = old_ports[i].clone();
+            loc.push(Loc {
+                shard: target as u32,
+                idx,
+            });
+        }
+
+        // Channels follow their transmitting node; peers are re-resolved
+        // against the new locations.
+        let mut old_chans: Vec<Option<Chan>> = std::mem::take(&mut old.chans)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut chan_remap: Vec<Option<(u32, u32)>> = vec![None; old_chans.len()];
+        for (i, l) in loc.iter().enumerate() {
+            debug_assert_eq!(shards[l.shard as usize].gids[l.idx as usize], NodeId(i));
+            let n_ports = shards[l.shard as usize].ports[l.idx as usize].len();
+            for p in 0..n_ports {
+                let Some(old_c) = shards[l.shard as usize].ports[l.idx as usize][p] else {
+                    continue;
+                };
+                let mut chan = old_chans[old_c as usize]
+                    .take()
+                    .expect("each channel has exactly one owner");
+                let pl = loc[chan.peer.0];
+                chan.peer_shard = pl.shard;
+                chan.peer_idx = pl.idx;
+                let sh = &mut shards[l.shard as usize];
+                let new_c = sh.chans.len() as u32;
+                sh.chans.push(chan);
+                sh.ports[l.idx as usize][p] = Some(new_c);
+                chan_remap[old_c as usize] = Some((l.shard, new_c));
+            }
+        }
+
+        // Pending events migrate to the shard of their target, keeping
+        // global (time, seq) order so re-assigned sequence numbers stay
+        // deterministic.
+        for sched in old.drain_events() {
+            let (target, ev) = match sched.ev {
+                // In the old single shard, local index == global id.
+                Ev::Deliver { node, port, frame } => {
+                    let l = loc[node as usize];
+                    (
+                        l.shard,
+                        Ev::Deliver {
+                            node: l.idx,
+                            port,
+                            frame,
+                        },
+                    )
+                }
+                Ev::Timer { node, token } => {
+                    let l = loc[node as usize];
+                    (l.shard, Ev::Timer { node: l.idx, token })
+                }
+                Ev::Ctrl { node, from, data } => {
+                    let l = loc[node as usize];
+                    (
+                        l.shard,
+                        Ev::Ctrl {
+                            node: l.idx,
+                            from,
+                            data,
+                        },
+                    )
+                }
+                Ev::Emit { node, port, frame } => {
+                    let l = loc[node as usize];
+                    (
+                        l.shard,
+                        Ev::Emit {
+                            node: l.idx,
+                            port,
+                            frame,
+                        },
+                    )
+                }
+                Ev::TxDone { chan } => {
+                    let (s, c) = chan_remap[chan as usize].expect("event references a live chan");
+                    (s, Ev::TxDone { chan: c })
+                }
+            };
+            shards[target as usize].push(sched.at, ev);
+        }
+
+        self.shards = shards;
+        self.loc = Arc::new(loc);
+    }
+
     /// Start collecting trace lines from [`NodeCtx::trace`].
     pub fn enable_tracing(&mut self) {
-        if self.trace_buf.is_none() {
-            self.trace_buf = Some(Vec::new());
+        self.tracing = true;
+        for s in &mut self.shards {
+            if s.trace.is_none() {
+                s.trace = Some(Vec::new());
+            }
         }
     }
 
-    /// Drain collected trace lines.
+    /// Drain collected trace lines, merged across shards in time order
+    /// (ties resolved by shard id).
     pub fn take_trace(&mut self) -> Vec<String> {
-        self.trace_buf
-            .as_mut()
-            .map(std::mem::take)
-            .unwrap_or_default()
+        let mut entries: Vec<(SimTime, u32, usize, String)> = Vec::new();
+        for s in &mut self.shards {
+            if let Some(buf) = s.trace.as_mut() {
+                for (i, (t, line)) in std::mem::take(buf).into_iter().enumerate() {
+                    entries.push((t, s.id, i, line));
+                }
+            }
+        }
+        entries.sort_by_key(|e| (e.0, e.1, e.2));
+        entries.into_iter().map(|(_, _, _, line)| line).collect()
     }
 
     /// Egress statistics of the link attached to `(node, port)`, if
     /// connected.
     pub fn link_stats(&self, node: NodeId, port: PortId) -> Option<LinkStats> {
-        let (idx, dir) = *self.port_map.get(&(node, port))?;
-        Some(self.links[idx].dirs[dir].stats)
+        let l = self.loc.get(node.0)?;
+        let shard = &self.shards[l.shard as usize];
+        let chan = (*shard.ports[l.idx as usize].get(usize::from(port.0))?)?;
+        Some(shard.chans[chan as usize].dir.stats)
     }
 
     /// Typed shared access to a node.
@@ -191,7 +330,8 @@ impl Network {
     /// # Panics
     /// Panics if the node is not of type `T`.
     pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
-        self.nodes[id.0]
+        let l = self.loc[id.0];
+        self.shards[l.shard as usize].nodes[l.idx as usize]
             .as_any()
             .downcast_ref::<T>()
             .expect("node type mismatch")
@@ -202,7 +342,8 @@ impl Network {
     /// # Panics
     /// Panics if the node is not of type `T`.
     pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
-        self.nodes[id.0]
+        let l = self.loc[id.0];
+        self.shards[l.shard as usize].nodes[l.idx as usize]
             .as_any_mut()
             .downcast_mut::<T>()
             .expect("node type mismatch")
@@ -212,7 +353,15 @@ impl Network {
     /// (bypasses links; intended for tests).
     pub fn inject(&mut self, node: NodeId, port: PortId, frame: Bytes) {
         let at = self.now;
-        self.push(at, Ev::Deliver { node, port, frame });
+        let l = self.loc[node.0];
+        self.shards[l.shard as usize].push(
+            at,
+            Ev::Deliver {
+                node: l.idx,
+                port,
+                frame,
+            },
+        );
     }
 
     /// Invoke a closure against a node with a full [`NodeCtx`], outside any
@@ -224,40 +373,87 @@ impl Network {
         id: NodeId,
         f: impl FnOnce(&mut T, &mut NodeCtx) -> R,
     ) -> R {
+        let env = self.env();
+        let l = self.loc[id.0];
+        let now = self.now;
         let mut actions = Vec::new();
         let r = {
-            let node = self.nodes[id.0]
+            let shard = &mut self.shards[l.shard as usize];
+            shard.now = now;
+            let node = shard.nodes[l.idx as usize]
                 .as_any_mut()
                 .downcast_mut::<T>()
                 .expect("node type mismatch");
             let mut ctx = NodeCtx {
-                now: self.now,
+                now,
                 node: id,
                 actions: &mut actions,
-                rng: &mut self.rng,
-                trace: self.trace_buf.as_mut(),
+                rng: &mut shard.rng,
+                trace: shard.trace.as_mut(),
             };
             f(node, &mut ctx)
         };
-        self.apply(id, actions);
+        self.shards[l.shard as usize].apply(l.idx, actions, &env);
+        self.exchange_all(&env);
         r
+    }
+
+    /// Collect every shard's outbox and merge it into the destination
+    /// queues in deterministic `(time, source shard, source seq)` order.
+    /// Only valid at a barrier (all shards at a common fence time).
+    fn exchange_all(&mut self, env: &Env) -> bool {
+        let mut mail: Vec<Remote> = Vec::new();
+        for s in &mut self.shards {
+            mail.append(&mut s.outbox);
+        }
+        if mail.is_empty() {
+            return false;
+        }
+        mail.sort_by_key(Remote::key);
+        for r in mail {
+            let l = env.loc[r.dest().0];
+            self.shards[l.shard as usize].insert_remote(r, env);
+        }
+        true
     }
 
     /// Run until the event queue is exhausted or `limit` is reached,
     /// whichever comes first. The clock ends at `limit` if given.
     pub fn run_until(&mut self, limit: SimTime) {
-        self.start_pending();
-        while let Some(top) = self.queue.peek() {
-            if top.at > limit {
-                break;
+        let env = self.env();
+        let now = self.now;
+        for s in &mut self.shards {
+            s.start_pending(now, &env);
+        }
+        self.exchange_all(&env);
+        if self.shards.len() == 1 {
+            self.shards[0].burn_all(limit, &env);
+        } else {
+            let lookahead = self.lookahead();
+            assert!(
+                lookahead > SimTime::ZERO,
+                "sharded run needs a positive lookahead: every cross-shard \
+                 link delay and the ctrl delay must be > 0"
+            );
+            if self.threads.min(self.shards.len()) <= 1 {
+                self.run_windows_inline(limit, lookahead, &env);
+            } else {
+                self.run_windows_parallel(limit, lookahead, &env);
             }
-            let sched = self.queue.pop().unwrap();
-            self.now = sched.at;
-            self.events_processed += 1;
-            self.handle(sched.ev);
+        }
+        // Advance and re-align the clocks. Like the classic loop, the
+        // clock ends at `limit` when one is given, and at the last
+        // processed event when running until idle.
+        let mut t = self.now;
+        for s in &self.shards {
+            t = t.max(s.now);
         }
         if limit != SimTime::MAX {
-            self.now = self.now.max(limit);
+            t = t.max(limit);
+        }
+        self.now = t;
+        for s in &mut self.shards {
+            s.now = t;
         }
     }
 
@@ -273,160 +469,210 @@ impl Network {
         self.run_until(SimTime::MAX);
     }
 
-    fn start_pending(&mut self) {
-        for i in 0..self.nodes.len() {
-            if !self.started[i] {
-                self.started[i] = true;
-                self.dispatch(NodeId(i), |n, ctx| n.on_start(ctx));
+    /// The conservative synchronization lookahead: the minimum of the
+    /// control-plane delay and every cross-shard link's propagation
+    /// delay. Any cross-shard event generated at `t` arrives at
+    /// `t + lookahead` or later.
+    fn lookahead(&self) -> SimTime {
+        let mut la = self.ctrl_delay;
+        for s in &self.shards {
+            for c in &s.chans {
+                if c.peer_shard != s.id {
+                    la = la.min(c.dir.spec.delay);
+                }
             }
         }
+        la
     }
 
-    fn push(&mut self, at: SimTime, ev: Ev) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Sched { at, seq, ev });
+    /// Earliest pending event across all shards.
+    fn min_next_time(&self) -> SimTime {
+        self.shards
+            .iter()
+            .map(Shard::next_time)
+            .min()
+            .unwrap_or(SimTime::MAX)
     }
 
-    /// Deliver a frame plus any immediately following same-instant
-    /// deliveries for the same node as one burst. Coalescing only merges
-    /// events that would have been processed back-to-back anyway (they
-    /// are adjacent in `(time, seq)` order), so per-port FIFO order,
-    /// action ordering and determinism are untouched; nodes that do not
-    /// override [`Node::on_frames`] see the exact per-frame callbacks
-    /// they always did.
-    fn deliver_burst(&mut self, node: NodeId, port: PortId, frame: Bytes) {
-        let mut frames = vec![(port, frame)];
+    /// The window loop on the calling thread: identical window/barrier
+    /// sequence to the parallel path, so results match any thread count.
+    /// Returns through [`Network::drain_saturated`] so events within a
+    /// lookahead of the end of time are still processed causally.
+    fn run_windows_inline(&mut self, limit: SimTime, lookahead: SimTime, env: &Env) {
         loop {
-            match self.queue.peek() {
-                Some(top) if top.at == self.now => match &top.ev {
-                    Ev::Deliver { node: n, .. } if *n == node => {}
-                    _ => break,
-                },
-                _ => break,
+            let next = self.min_next_time();
+            if next > limit || next == SimTime::MAX {
+                break;
             }
-            let Some(Sched {
-                ev: Ev::Deliver { port, frame, .. },
-                ..
-            }) = self.queue.pop()
-            else {
-                unreachable!("peeked event was a Deliver");
-            };
-            self.events_processed += 1;
-            frames.push((port, frame));
+            let horizon = next + lookahead;
+            if horizon == SimTime::MAX {
+                break;
+            }
+            for s in &mut self.shards {
+                s.burn(horizon, limit, env);
+            }
+            self.exchange_all(env);
         }
-        if frames.len() == 1 {
-            let (port, frame) = frames.pop().expect("exactly one frame");
-            self.dispatch(node, |n, ctx| n.on_packet(port, frame, ctx));
-        } else {
-            self.dispatch(node, |n, ctx| n.on_frames(frames, ctx));
-        }
+        self.drain_saturated(limit, env);
     }
 
-    fn handle(&mut self, ev: Ev) {
-        match ev {
-            Ev::Deliver { node, port, frame } => {
-                self.deliver_burst(node, port, frame);
+    /// Degenerate tail: event times so close to [`SimTime::MAX`] that a
+    /// window horizon saturates (a no-op in every other case). Steps one
+    /// *instant* at a time — `lookahead > 0` guarantees a cross-shard
+    /// event generated at `t` arrives strictly after `t`, so burning
+    /// exactly the earliest pending instant in every shard is causal.
+    /// Sequential and deterministic, not parallel.
+    fn drain_saturated(&mut self, limit: SimTime, env: &Env) {
+        loop {
+            let next = self.min_next_time();
+            if next > limit || next == SimTime::MAX {
+                break;
             }
-            Ev::Timer { node, token } => {
-                self.dispatch(node, |n, ctx| n.on_timer(token, ctx));
+            let horizon = SimTime::from_nanos(next.as_nanos() + 1); // next < MAX
+            for s in &mut self.shards {
+                s.burn(horizon, limit, env);
             }
-            Ev::Ctrl { node, from, data } => {
-                self.dispatch(node, |n, ctx| n.on_ctrl(from, data, ctx));
-            }
-            Ev::Emit { node, port, frame } => {
-                self.emit(node, port, frame);
-            }
-            Ev::TxDone { link, dir } => {
-                self.links[link].dirs[dir].tx_in_flight = false;
-                self.kick(link, dir);
-            }
+            self.exchange_all(env);
         }
-    }
-
-    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut NodeCtx)) {
-        let mut actions = Vec::new();
-        {
-            let node = self.nodes[id.0].as_mut();
-            let mut ctx = NodeCtx {
-                now: self.now,
-                node: id,
-                actions: &mut actions,
-                rng: &mut self.rng,
-                trace: self.trace_buf.as_mut(),
-            };
-            f(node, &mut ctx);
-        }
-        self.apply(id, actions);
-    }
-
-    fn apply(&mut self, id: NodeId, actions: Vec<Action>) {
-        for a in actions {
-            match a {
-                Action::Transmit { port, frame } => self.emit(id, port, frame),
-                Action::TransmitAfter { delay, port, frame } => {
-                    let at = self.now + delay;
-                    self.push(
-                        at,
-                        Ev::Emit {
-                            node: id,
-                            port,
-                            frame,
-                        },
-                    );
+        // Anything still queued sits exactly at SimTime::MAX (with
+        // limit == MAX): cross-shard arrivals saturate to that same
+        // instant, so inter-shard causality is undefined there by
+        // construction. Drain shard-by-shard in fixed order, like the
+        // classic loop would in insertion order.
+        if limit == SimTime::MAX {
+            loop {
+                let mut progressed = false;
+                for i in 0..self.shards.len() {
+                    if self.shards[i].has_events() {
+                        self.shards[i].burn_all(limit, env);
+                        progressed = true;
+                    }
+                    self.exchange_all(env);
                 }
-                Action::Timer { at, token } => self.push(at, Ev::Timer { node: id, token }),
-                Action::Ctrl { to, data } => {
-                    let at = self.now + self.ctrl_delay;
-                    self.push(
-                        at,
-                        Ev::Ctrl {
-                            node: to,
-                            from: id,
-                            data,
-                        },
-                    );
+                if !progressed {
+                    break;
                 }
             }
         }
     }
 
-    /// Enqueue a frame onto the link attached to `(node, port)`.
-    fn emit(&mut self, node: NodeId, port: PortId, frame: Bytes) {
-        let Some(&(idx, dir)) = self.port_map.get(&(node, port)) else {
-            self.unconnected_drops += 1;
-            return;
-        };
-        if self.links[idx].dirs[dir].enqueue(frame) {
-            self.kick(idx, dir);
+    /// The window loop across worker threads (`std::thread` +
+    /// `std::sync::mpsc`). Shards move into the workers for the duration
+    /// of the call and come back at the end; the coordinator only routes
+    /// mailboxes and computes horizons.
+    fn run_windows_parallel(&mut self, limit: SimTime, lookahead: SimTime, env: &Env) {
+        let n = self.shards.len();
+        let t = self.threads.min(n);
+        let mut worker_next: Vec<SimTime> = vec![SimTime::MAX; t];
+        for (i, s) in self.shards.iter().enumerate() {
+            worker_next[i % t] = worker_next[i % t].min(s.next_time());
         }
-    }
 
-    /// If the serializer of `(link, dir)` is idle and frames are queued,
-    /// start transmitting the head-of-line frame.
-    fn kick(&mut self, idx: usize, dir: usize) {
-        let now = self.now;
-        let link = &mut self.links[idx];
-        let d = &mut link.dirs[dir];
-        if d.tx_in_flight {
-            return;
+        // Move the shards into their workers (round-robin by shard id).
+        let mut buckets: Vec<Vec<(u32, Shard)>> = (0..t).map(|_| Vec::new()).collect();
+        for (i, s) in std::mem::take(&mut self.shards).into_iter().enumerate() {
+            buckets[i % t].push((i as u32, s));
         }
-        let Some(frame) = d.dequeue() else { return };
-        let ser = d.spec.ser_time(frame.len());
-        let tx_done = now + ser;
-        let arrive = tx_done + d.spec.delay;
-        d.tx_in_flight = true;
-        d.busy_until = tx_done;
-        let (peer, peer_port) = link.ends[1 - dir];
-        self.push(tx_done, Ev::TxDone { link: idx, dir });
-        self.push(
-            arrive,
-            Ev::Deliver {
-                node: peer,
-                port: peer_port,
-                frame,
-            },
-        );
+        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+        let mut cmd_txs = Vec::with_capacity(t);
+        let mut handles = Vec::with_capacity(t);
+        for (w, bucket) in buckets.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+            cmd_txs.push(cmd_tx);
+            let env = env.clone();
+            let reply_tx = reply_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                crate::shard::worker_loop(bucket, env, w, cmd_rx, reply_tx);
+            }));
+        }
+
+        let mut pending: Vec<Remote> = Vec::new();
+        loop {
+            let mut next = worker_next.iter().copied().min().unwrap_or(SimTime::MAX);
+            for r in &pending {
+                next = next.min(r.at);
+            }
+            if next > limit || next == SimTime::MAX {
+                break;
+            }
+            let horizon = next + lookahead;
+            if horizon == SimTime::MAX {
+                break;
+            }
+            // Route the pending mail: global deterministic order, then
+            // grouped per destination shard, then per owning worker.
+            pending.sort_by_key(Remote::key);
+            let mut by_shard: Vec<Vec<Remote>> = (0..n).map(|_| Vec::new()).collect();
+            for r in pending.drain(..) {
+                by_shard[env.loc[r.dest().0].shard as usize].push(r);
+            }
+            let mut by_worker: Vec<Vec<(u32, Vec<Remote>)>> = (0..t).map(|_| Vec::new()).collect();
+            for (sid, batch) in by_shard.into_iter().enumerate() {
+                if !batch.is_empty() {
+                    by_worker[sid % t].push((sid as u32, batch));
+                }
+            }
+            for (w, mail) in by_worker.into_iter().enumerate() {
+                cmd_txs[w]
+                    .send(Cmd::Window {
+                        horizon,
+                        limit,
+                        mail,
+                    })
+                    .expect("worker alive");
+            }
+            for _ in 0..t {
+                match reply_rx.recv().expect("worker alive") {
+                    Reply::Window {
+                        worker,
+                        next,
+                        outbox,
+                    } => {
+                        worker_next[worker] = next;
+                        pending.extend(outbox);
+                    }
+                    Reply::Done { .. } => unreachable!("no Finish sent yet"),
+                }
+            }
+        }
+
+        // Retrieve the shards and re-assemble them in id order.
+        for tx in &cmd_txs {
+            tx.send(Cmd::Finish).expect("worker alive");
+        }
+        let mut returned: Vec<Option<Shard>> = (0..n).map(|_| None).collect();
+        let mut done = 0;
+        while done < t {
+            match reply_rx.recv().expect("worker alive") {
+                Reply::Done { shards } => {
+                    for (id, s) in shards {
+                        returned[id as usize] = Some(s);
+                    }
+                    done += 1;
+                }
+                Reply::Window { .. } => unreachable!("all windows were joined"),
+            }
+        }
+        for h in handles {
+            h.join().expect("worker thread exits cleanly");
+        }
+        self.shards = returned
+            .into_iter()
+            .map(|s| s.expect("every shard returned"))
+            .collect();
+
+        // Mail beyond the limit (or from the last window) still has to
+        // reach its destination queue for future runs.
+        if !pending.is_empty() {
+            pending.sort_by_key(Remote::key);
+            for r in pending {
+                let l = env.loc[r.dest().0];
+                self.shards[l.shard as usize].insert_remote(r, env);
+            }
+        }
+        // No-op unless event times sit within a lookahead of the end of
+        // time (saturated horizon above).
+        self.drain_saturated(limit, env);
     }
 }
 
@@ -665,5 +911,201 @@ mod tests {
         assert_eq!(s.tx_frames, 5);
         assert_eq!(s.tx_bytes, 500);
         assert_eq!(s.dropped_frames, 0);
+    }
+
+    /// Two pinger↔echo pairs in separate shards plus a cross-shard pair:
+    /// sharded execution must reproduce the unsharded timings exactly,
+    /// for any thread count.
+    fn sharded_scenario(shards: bool, threads: usize) -> (Vec<SimTime>, Vec<SimTime>, u64) {
+        let mut net = Network::new(9);
+        let p0 = net.add_node(pinger(4, SimTime::from_micros(3)));
+        let e0 = net.add_node(Echo {
+            delay: SimTime::from_micros(1),
+            seen: 0,
+        });
+        let p1 = net.add_node(pinger(4, SimTime::from_micros(5)));
+        let e1 = net.add_node(Echo {
+            delay: SimTime::from_micros(2),
+            seen: 0,
+        });
+        net.connect(p0, PortId(0), e0, PortId(0), LinkSpec::gigabit());
+        // Cross-shard link: p1 in shard 2 talks to e1 in shard 1.
+        net.connect(p1, PortId(0), e1, PortId(0), LinkSpec::gigabit());
+        if shards {
+            let mut map = ShardMap::new(3);
+            map.assign(p0, 1);
+            map.assign(e0, 1);
+            map.assign(e1, 1);
+            map.assign(p1, 2);
+            net.set_shards(&map);
+            net.set_threads(threads);
+        }
+        net.run_until(SimTime::from_millis(5));
+        let a0 = net.node_ref::<Pinger>(p0).arrivals.clone();
+        let a1 = net.node_ref::<Pinger>(p1).arrivals.clone();
+        (a0, a1, net.events_processed())
+    }
+
+    #[test]
+    fn sharded_run_matches_unsharded_timings() {
+        let (a0, a1, ev) = sharded_scenario(false, 1);
+        for threads in [1, 2, 3, 8] {
+            let (b0, b1, evs) = sharded_scenario(true, threads);
+            assert_eq!(a0, b0, "threads={threads}");
+            assert_eq!(a1, b1, "threads={threads}");
+            assert_eq!(ev, evs, "threads={threads}");
+        }
+        assert_eq!(a0.len(), 4);
+        assert_eq!(a1.len(), 4);
+    }
+
+    #[test]
+    fn sharded_ctrl_crosses_shards() {
+        struct CtrlEcho {
+            got: Vec<(NodeId, SimTime)>,
+        }
+        impl Node for CtrlEcho {
+            fn on_packet(&mut self, _p: PortId, _f: Bytes, _c: &mut NodeCtx) {}
+            fn on_ctrl(&mut self, from: NodeId, _d: Bytes, ctx: &mut NodeCtx) {
+                self.got.push((from, ctx.now()));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        struct CtrlSender {
+            to: NodeId,
+        }
+        impl Node for CtrlSender {
+            fn on_start(&mut self, ctx: &mut NodeCtx) {
+                ctx.ctrl_send(self.to, Bytes::from_static(b"hi"));
+            }
+            fn on_packet(&mut self, _p: PortId, _f: Bytes, _c: &mut NodeCtx) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut net = Network::new(1);
+        let r = net.add_node(CtrlEcho { got: Vec::new() });
+        let s1 = net.add_node(CtrlSender { to: r });
+        let s2 = net.add_node(CtrlSender { to: r });
+        let mut map = ShardMap::new(3);
+        map.assign(s1, 1);
+        map.assign(s2, 2);
+        net.set_shards(&map);
+        net.set_threads(2);
+        net.run_until(SimTime::from_millis(1));
+        let got = &net.node_ref::<CtrlEcho>(r).got;
+        // Both messages arrive after the default 50 µs ctrl delay, merged
+        // in deterministic (time, source shard) order.
+        assert_eq!(
+            got,
+            &vec![
+                (s1, SimTime::from_micros(50)),
+                (s2, SimTime::from_micros(50))
+            ]
+        );
+    }
+
+    #[test]
+    fn set_shards_preserves_pending_events() {
+        let mut net = Network::new(5);
+        let p = net.add_node(pinger(2, SimTime::from_micros(10)));
+        let e = net.add_node(Echo {
+            delay: SimTime::from_micros(1),
+            seen: 0,
+        });
+        net.connect(p, PortId(0), e, PortId(0), LinkSpec::gigabit());
+        // Run mid-way so frames and timers are in flight, then shard.
+        net.run_until(SimTime::from_micros(11));
+        let mut map = ShardMap::new(2);
+        map.assign(e, 1);
+        net.set_shards(&map);
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<Echo>(e).seen, 2);
+        assert_eq!(net.node_ref::<Pinger>(p).arrivals.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "only has 1 nodes")]
+    fn stale_shard_map_panics() {
+        let mut net = Network::new(1);
+        let _a = net.add_node(pinger(0, SimTime::ZERO));
+        let mut map = ShardMap::new(2);
+        // Assign a node id the network does not have (map built against
+        // a larger network).
+        map.assign(NodeId(7), 1);
+        net.set_shards(&map);
+    }
+
+    /// Events scheduled within a lookahead of (or exactly at) the end of
+    /// time exercise the saturated-horizon drain: they must still fire,
+    /// in causal order, under the sharded engine.
+    #[test]
+    fn events_at_the_end_of_time_still_fire_when_sharded() {
+        struct FarTimer {
+            fire_at: SimTime,
+            fired: Vec<SimTime>,
+        }
+        impl Node for FarTimer {
+            fn on_start(&mut self, ctx: &mut NodeCtx) {
+                let delay = self.fire_at.saturating_sub(ctx.now());
+                ctx.schedule(delay, 0);
+            }
+            fn on_timer(&mut self, _t: u64, ctx: &mut NodeCtx) {
+                self.fired.push(ctx.now());
+            }
+            fn on_packet(&mut self, _p: PortId, _f: Bytes, _c: &mut NodeCtx) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let near = SimTime::from_nanos(u64::MAX - 10);
+        let mut net = Network::new(1);
+        let a = net.add_node(FarTimer {
+            fire_at: near,
+            fired: Vec::new(),
+        });
+        let b = net.add_node(FarTimer {
+            fire_at: SimTime::MAX,
+            fired: Vec::new(),
+        });
+        let mut map = ShardMap::new(2);
+        map.assign(b, 1);
+        net.set_shards(&map);
+        net.set_threads(2);
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<FarTimer>(a).fired, vec![near]);
+        assert_eq!(net.node_ref::<FarTimer>(b).fired, vec![SimTime::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already sharded")]
+    fn resharding_panics() {
+        let mut net = Network::new(1);
+        let a = net.add_node(pinger(0, SimTime::ZERO));
+        let mut map = ShardMap::new(2);
+        map.assign(a, 1);
+        net.set_shards(&map);
+        net.set_shards(&map);
+    }
+
+    #[test]
+    fn shard_map_defaults_to_shard_zero() {
+        let mut map = ShardMap::new(4);
+        map.assign(NodeId(3), 2);
+        assert_eq!(map.shard_of(NodeId(0)), 0);
+        assert_eq!(map.shard_of(NodeId(3)), 2);
+        assert_eq!(map.shard_of(NodeId(99)), 0);
+        assert_eq!(map.n_shards(), 4);
     }
 }

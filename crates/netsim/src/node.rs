@@ -52,7 +52,7 @@ pub struct NodeCtx<'a> {
     pub(crate) node: NodeId,
     pub(crate) actions: &'a mut Vec<Action>,
     pub(crate) rng: &'a mut StdRng,
-    pub(crate) trace: Option<&'a mut Vec<String>>,
+    pub(crate) trace: Option<&'a mut Vec<(SimTime, String)>>,
 }
 
 impl<'a> NodeCtx<'a> {
@@ -93,7 +93,10 @@ impl<'a> NodeCtx<'a> {
         self.actions.push(Action::Ctrl { to, data });
     }
 
-    /// The simulation-wide deterministic RNG.
+    /// The deterministic RNG of the node's shard. An unsharded network
+    /// has a single stream; a sharded one keeps one stream per shard so
+    /// device randomness never depends on global event interleaving (or
+    /// the thread count).
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
@@ -101,15 +104,22 @@ impl<'a> NodeCtx<'a> {
     /// Record a trace line (no-op unless tracing was enabled on the
     /// network).
     pub fn trace(&mut self, msg: impl AsRef<str>) {
+        let now = self.now;
+        let node = self.node.0;
         if let Some(t) = self.trace.as_deref_mut() {
-            t.push(format!("[{}] n{}: {}", self.now, self.node.0, msg.as_ref()));
+            t.push((now, format!("[{now}] n{node}: {}", msg.as_ref())));
         }
     }
 }
 
 /// A simulated device: anything that owns ports and reacts to packets,
 /// timers and control messages.
-pub trait Node: Any {
+///
+/// Nodes must be [`Send`]: a sharded network (see
+/// [`crate::Network::set_shards`]) moves each shard's devices onto a
+/// worker thread for the duration of a `run_*` call. A device is only
+/// ever touched by one thread at a time, so no `Sync` bound is needed.
+pub trait Node: Any + Send {
     /// A frame arrived on `port`.
     fn on_packet(&mut self, port: PortId, frame: Bytes, ctx: &mut NodeCtx);
 

@@ -1,0 +1,680 @@
+//! The sharded event engine: conservative parallel discrete-event
+//! simulation.
+//!
+//! A [`crate::Network`] is always a collection of shards. The default
+//! is a single shard, which runs the classic sequential loop and behaves
+//! exactly as the historical single-queue simulator. Calling
+//! [`crate::Network::set_shards`] with a [`ShardMap`] splits the nodes,
+//! links and the pending event queue into independent shards — in fabric
+//! terms, one shard per pod plus shard 0 for the spine, the controller
+//! and management nodes.
+//!
+//! ## The conservative window protocol
+//!
+//! Shards only interact through two mechanisms, both of which carry a
+//! *lookahead* — a guaranteed minimum latency:
+//!
+//! * frames crossing an inter-shard link arrive no earlier than the
+//!   link's propagation delay after they were transmitted;
+//! * control-plane messages arrive exactly `ctrl_delay` after they were
+//!   sent.
+//!
+//! With `lookahead = min(min cross-shard link delay, ctrl_delay)`, any
+//! cross-shard event *generated* at time `t` *arrives* at `t + lookahead`
+//! or later. The engine exploits this with a barrier loop:
+//!
+//! ```text
+//! next    = min over shards of earliest pending event
+//! horizon = next + lookahead
+//! every shard burns all events with  at < horizon   (in parallel)
+//! barrier: cross-shard events produced this window are exchanged,
+//!          sorted by (time, source shard, source sequence)
+//! repeat
+//! ```
+//!
+//! No event below the horizon can be affected by another shard, so each
+//! shard can process its window without synchronization. Cross-shard
+//! events land in a per-window *outbox* and are merged into the
+//! destination shard's queue at the barrier, in a deterministic order
+//! that does not depend on how many OS threads executed the window.
+//! Results are therefore **bit-identical for any `--threads` value**;
+//! the thread count only changes wall-clock time.
+//!
+//! ## Determinism and randomness
+//!
+//! Each shard owns its own `StdRng` stream derived from the network seed
+//! and the shard id, so device randomness never depends on the global
+//! interleaving of events. Shard 0 uses the network seed itself, which
+//! keeps the single-shard configuration bit-compatible with the
+//! pre-shard simulator.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use crate::link::LinkDir;
+use crate::net::NodeId;
+use crate::node::{Action, Node, NodeCtx, PortId};
+use crate::time::SimTime;
+
+/// Assignment of every node of a network to a shard.
+///
+/// Build one with [`ShardMap::new`] and [`ShardMap::assign`], then hand
+/// it to [`crate::Network::set_shards`]. Nodes that are never assigned
+/// default to shard 0 — by convention the *system shard* holding the
+/// spine, the controller and management-plane nodes.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    n_shards: usize,
+    assign: Vec<u32>,
+}
+
+impl ShardMap {
+    /// A map with `n_shards` shards (at least 1) and every node defaulted
+    /// to shard 0.
+    ///
+    /// # Panics
+    /// Panics if `n_shards` is zero.
+    pub fn new(n_shards: usize) -> ShardMap {
+        assert!(n_shards >= 1, "a network needs at least one shard");
+        ShardMap {
+            n_shards,
+            assign: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Put `node` into `shard`.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn assign(&mut self, node: NodeId, shard: usize) {
+        assert!(
+            shard < self.n_shards,
+            "shard {shard} out of range (map has {})",
+            self.n_shards
+        );
+        if self.assign.len() <= node.0 {
+            self.assign.resize(node.0 + 1, 0);
+        }
+        self.assign[node.0] = shard as u32;
+    }
+
+    /// The shard `node` is assigned to (0 if never assigned).
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.assign.get(node.0).copied().unwrap_or(0) as usize
+    }
+
+    /// The highest node id this map explicitly assigns, if any — used by
+    /// [`crate::Network::set_shards`] to reject maps built against a
+    /// different (larger) network.
+    pub fn max_assigned_node(&self) -> Option<NodeId> {
+        if self.assign.is_empty() {
+            None
+        } else {
+            Some(NodeId(self.assign.len() - 1))
+        }
+    }
+}
+
+/// Where a node lives: its shard and its index within that shard.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Loc {
+    pub shard: u32,
+    pub idx: u32,
+}
+
+/// Immutable per-run context shared by every shard (and cloned into
+/// worker threads): the global node→shard table and the control delay.
+#[derive(Clone)]
+pub(crate) struct Env {
+    pub loc: Arc<Vec<Loc>>,
+    pub ctrl_delay: SimTime,
+}
+
+/// Events of one shard's queue. Node references are *local* indices
+/// within the shard; only `Ctrl::from` keeps a global [`NodeId`] because
+/// it is handed back to device code.
+#[derive(Debug)]
+pub(crate) enum Ev {
+    /// A frame finishes arriving at a node's port.
+    Deliver {
+        node: u32,
+        port: PortId,
+        frame: Bytes,
+    },
+    /// A device timer fires.
+    Timer { node: u32, token: u64 },
+    /// A control-plane message arrives.
+    Ctrl {
+        node: u32,
+        from: NodeId,
+        data: Bytes,
+    },
+    /// A link serializer finishes the current frame.
+    TxDone { chan: u32 },
+    /// A delayed transmit enters the egress queue.
+    Emit {
+        node: u32,
+        port: PortId,
+        frame: Bytes,
+    },
+}
+
+pub(crate) struct Sched {
+    pub at: SimTime,
+    pub seq: u64,
+    pub ev: Ev,
+}
+
+impl PartialEq for Sched {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Sched {}
+impl PartialOrd for Sched {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Sched {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// One egress channel: the transmitting half of a duplex link, owned by
+/// the shard of the transmitting node. The destination may live in
+/// another shard, in which case the final `Deliver` crosses via the
+/// outbox.
+pub(crate) struct Chan {
+    pub dir: LinkDir,
+    pub peer: NodeId,
+    pub peer_port: PortId,
+    pub peer_shard: u32,
+    pub peer_idx: u32,
+}
+
+/// A cross-shard event in flight between windows. `src_shard`/`src_seq`
+/// make the barrier merge order total and thread-count independent.
+pub(crate) struct Remote {
+    pub at: SimTime,
+    pub src_shard: u32,
+    pub src_seq: u64,
+    pub ev: REv,
+}
+
+impl Remote {
+    /// Global id of the destination node.
+    pub fn dest(&self) -> NodeId {
+        match self.ev {
+            REv::Deliver { node, .. } | REv::Ctrl { node, .. } => node,
+        }
+    }
+
+    /// The deterministic merge key used at every barrier.
+    pub fn key(&self) -> (SimTime, u32, u64) {
+        (self.at, self.src_shard, self.src_seq)
+    }
+}
+
+/// Payload of a [`Remote`]; node references are global ids, resolved to
+/// local indices by the destination shard.
+pub(crate) enum REv {
+    /// A frame crossing an inter-shard link.
+    Deliver {
+        node: NodeId,
+        port: PortId,
+        frame: Bytes,
+    },
+    /// A control-plane message to a node in another shard.
+    Ctrl {
+        node: NodeId,
+        from: NodeId,
+        data: Bytes,
+    },
+}
+
+/// One shard: a self-contained slice of the network with its own clock,
+/// event queue, sequence counter and RNG stream.
+pub(crate) struct Shard {
+    pub id: u32,
+    pub now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Sched>,
+    pub nodes: Vec<Box<dyn Node>>,
+    /// Global id of each local node (parallel to `nodes`).
+    pub gids: Vec<NodeId>,
+    pub started: Vec<bool>,
+    /// Per-node egress map: `ports[idx][port] = Some(chan)` — a plain
+    /// vector lookup on the `emit` hot path (one per frame hop) instead
+    /// of the former `HashMap<(NodeId, PortId), _>` probe.
+    pub ports: Vec<Vec<Option<u32>>>,
+    pub chans: Vec<Chan>,
+    pub rng: StdRng,
+    pub trace: Option<Vec<(SimTime, String)>>,
+    pub unconnected_drops: u64,
+    pub events_processed: u64,
+    pub outbox: Vec<Remote>,
+}
+
+impl Shard {
+    /// An empty shard with its own RNG stream.
+    pub fn new(id: u32, rng: StdRng) -> Shard {
+        Shard {
+            id,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            gids: Vec::new(),
+            started: Vec::new(),
+            ports: Vec::new(),
+            chans: Vec::new(),
+            rng,
+            trace: None,
+            unconnected_drops: 0,
+            events_processed: 0,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// The RNG stream of shard `id` for a network seeded with `seed`.
+    /// Shard 0 uses the seed itself so a single-shard network matches the
+    /// historical single-queue simulator bit for bit.
+    pub fn rng_stream(seed: u64, id: u32) -> StdRng {
+        if id == 0 {
+            StdRng::seed_from_u64(seed)
+        } else {
+            // SplitMix64-style decorrelation of the per-shard streams.
+            StdRng::seed_from_u64(seed ^ (u64::from(id)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }
+    }
+
+    /// Register a local node; returns its local index.
+    pub fn add_node(&mut self, node: Box<dyn Node>, gid: NodeId) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.gids.push(gid);
+        self.started.push(false);
+        self.ports.push(Vec::new());
+        idx
+    }
+
+    /// Map `(local node, port)` to an egress channel.
+    ///
+    /// # Panics
+    /// Panics if the port is already connected.
+    pub fn set_port(&mut self, idx: u32, port: PortId, chan: u32) {
+        let row = &mut self.ports[idx as usize];
+        let p = usize::from(port.0);
+        if row.len() <= p {
+            row.resize(p + 1, None);
+        }
+        assert!(
+            row[p].is_none(),
+            "port {port} of {} already connected",
+            self.gids[idx as usize]
+        );
+        row[p] = Some(chan);
+    }
+
+    fn chan_of(&self, idx: u32, port: PortId) -> Option<u32> {
+        self.ports[idx as usize]
+            .get(usize::from(port.0))
+            .copied()
+            .flatten()
+    }
+
+    pub fn push(&mut self, at: SimTime, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Sched { at, seq, ev });
+    }
+
+    /// Earliest pending event ([`SimTime::MAX`] if idle).
+    pub fn next_time(&self) -> SimTime {
+        self.queue.peek().map(|s| s.at).unwrap_or(SimTime::MAX)
+    }
+
+    /// True while any event is queued. Distinguishes "idle" from "an
+    /// event scheduled exactly at [`SimTime::MAX`]", which
+    /// [`Shard::next_time`] conflates.
+    pub fn has_events(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Drain the queue in `(time, seq)` order (used when repartitioning).
+    pub fn drain_events(&mut self) -> Vec<Sched> {
+        let mut evs = std::mem::take(&mut self.queue).into_vec();
+        evs.sort_by_key(|s| (s.at, s.seq));
+        evs
+    }
+
+    /// Resolve and enqueue one cross-shard event. Callers must feed
+    /// remotes in sorted [`Remote::key`] order so the local sequence
+    /// numbers are assigned deterministically.
+    pub fn insert_remote(&mut self, r: Remote, env: &Env) {
+        let ev = match r.ev {
+            REv::Deliver { node, port, frame } => Ev::Deliver {
+                node: env.loc[node.0].idx,
+                port,
+                frame,
+            },
+            REv::Ctrl { node, from, data } => Ev::Ctrl {
+                node: env.loc[node.0].idx,
+                from,
+                data,
+            },
+        };
+        self.push(r.at, ev);
+    }
+
+    /// Fire `on_start` for any nodes that have not started yet, at `now`.
+    pub fn start_pending(&mut self, now: SimTime, env: &Env) {
+        self.now = now;
+        for i in 0..self.nodes.len() {
+            if !self.started[i] {
+                self.started[i] = true;
+                self.dispatch(i as u32, env, |n, ctx| n.on_start(ctx));
+            }
+        }
+    }
+
+    /// Process every event strictly below `horizon` and at or below
+    /// `limit`. Cross-shard events generated along the way accumulate in
+    /// [`Shard::outbox`].
+    pub fn burn(&mut self, horizon: SimTime, limit: SimTime, env: &Env) {
+        while let Some(top) = self.queue.peek() {
+            if top.at >= horizon || top.at > limit {
+                break;
+            }
+            let sched = self.queue.pop().expect("peeked event exists");
+            self.now = sched.at;
+            self.events_processed += 1;
+            self.handle(sched.ev, env);
+        }
+    }
+
+    /// Process every event at or below `limit`, with no horizon — the
+    /// classic single-queue loop (valid only when the whole network is
+    /// one shard, or from the sequential fallback that exchanges after
+    /// every shard).
+    pub fn burn_all(&mut self, limit: SimTime, env: &Env) {
+        while let Some(top) = self.queue.peek() {
+            if top.at > limit {
+                break;
+            }
+            let sched = self.queue.pop().expect("peeked event exists");
+            self.now = sched.at;
+            self.events_processed += 1;
+            self.handle(sched.ev, env);
+        }
+    }
+
+    /// Deliver a frame plus any immediately following same-instant
+    /// deliveries for the same node as one burst. Coalescing only merges
+    /// events that would have been processed back-to-back anyway (they
+    /// are adjacent in `(time, seq)` order), so per-port FIFO order,
+    /// action ordering and determinism are untouched; nodes that do not
+    /// override [`Node::on_frames`] see the exact per-frame callbacks
+    /// they always did. Same-instant events never straddle a window
+    /// horizon, so coalescing is also shard-safe.
+    fn deliver_burst(&mut self, node: u32, port: PortId, frame: Bytes, env: &Env) {
+        let mut frames = vec![(port, frame)];
+        loop {
+            match self.queue.peek() {
+                Some(top) if top.at == self.now => match &top.ev {
+                    Ev::Deliver { node: n, .. } if *n == node => {}
+                    _ => break,
+                },
+                _ => break,
+            }
+            let Some(Sched {
+                ev: Ev::Deliver { port, frame, .. },
+                ..
+            }) = self.queue.pop()
+            else {
+                unreachable!("peeked event was a Deliver");
+            };
+            self.events_processed += 1;
+            frames.push((port, frame));
+        }
+        if frames.len() == 1 {
+            let (port, frame) = frames.pop().expect("exactly one frame");
+            self.dispatch(node, env, |n, ctx| n.on_packet(port, frame, ctx));
+        } else {
+            self.dispatch(node, env, |n, ctx| n.on_frames(frames, ctx));
+        }
+    }
+
+    fn handle(&mut self, ev: Ev, env: &Env) {
+        match ev {
+            Ev::Deliver { node, port, frame } => {
+                self.deliver_burst(node, port, frame, env);
+            }
+            Ev::Timer { node, token } => {
+                self.dispatch(node, env, |n, ctx| n.on_timer(token, ctx));
+            }
+            Ev::Ctrl { node, from, data } => {
+                self.dispatch(node, env, |n, ctx| n.on_ctrl(from, data, ctx));
+            }
+            Ev::Emit { node, port, frame } => {
+                self.emit(node, port, frame);
+            }
+            Ev::TxDone { chan } => {
+                self.chans[chan as usize].dir.tx_in_flight = false;
+                self.kick(chan);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, idx: u32, env: &Env, f: impl FnOnce(&mut dyn Node, &mut NodeCtx)) {
+        let mut actions = Vec::new();
+        {
+            let node = self.nodes[idx as usize].as_mut();
+            let mut ctx = NodeCtx {
+                now: self.now,
+                node: self.gids[idx as usize],
+                actions: &mut actions,
+                rng: &mut self.rng,
+                trace: self.trace.as_mut(),
+            };
+            f(node, &mut ctx);
+        }
+        self.apply(idx, actions, env);
+    }
+
+    /// Apply the deferred side effects of one callback of local node
+    /// `idx`. Cross-shard control messages go to the outbox; everything
+    /// else is local by construction.
+    pub fn apply(&mut self, idx: u32, actions: Vec<Action>, env: &Env) {
+        for a in actions {
+            match a {
+                Action::Transmit { port, frame } => self.emit(idx, port, frame),
+                Action::TransmitAfter { delay, port, frame } => {
+                    let at = self.now + delay;
+                    self.push(
+                        at,
+                        Ev::Emit {
+                            node: idx,
+                            port,
+                            frame,
+                        },
+                    );
+                }
+                Action::Timer { at, token } => self.push(at, Ev::Timer { node: idx, token }),
+                Action::Ctrl { to, data } => {
+                    let at = self.now + env.ctrl_delay;
+                    let from = self.gids[idx as usize];
+                    let l = env.loc[to.0];
+                    if l.shard == self.id {
+                        self.push(
+                            at,
+                            Ev::Ctrl {
+                                node: l.idx,
+                                from,
+                                data,
+                            },
+                        );
+                    } else {
+                        let src_seq = self.seq;
+                        self.seq += 1;
+                        self.outbox.push(Remote {
+                            at,
+                            src_shard: self.id,
+                            src_seq,
+                            ev: REv::Ctrl {
+                                node: to,
+                                from,
+                                data,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enqueue a frame onto the egress channel of `(idx, port)`.
+    fn emit(&mut self, idx: u32, port: PortId, frame: Bytes) {
+        let Some(chan) = self.chan_of(idx, port) else {
+            self.unconnected_drops += 1;
+            return;
+        };
+        if self.chans[chan as usize].dir.enqueue(frame) {
+            self.kick(chan);
+        }
+    }
+
+    /// If the serializer of `chan` is idle and frames are queued, start
+    /// transmitting the head-of-line frame.
+    fn kick(&mut self, chan: u32) {
+        let now = self.now;
+        let c = &mut self.chans[chan as usize];
+        if c.dir.tx_in_flight {
+            return;
+        }
+        let Some(frame) = c.dir.dequeue() else { return };
+        let ser = c.dir.spec.ser_time(frame.len());
+        let tx_done = now + ser;
+        let arrive = tx_done + c.dir.spec.delay;
+        c.dir.tx_in_flight = true;
+        c.dir.busy_until = tx_done;
+        let (peer, peer_port, peer_shard, peer_idx) =
+            (c.peer, c.peer_port, c.peer_shard, c.peer_idx);
+        self.push(tx_done, Ev::TxDone { chan });
+        if peer_shard == self.id {
+            self.push(
+                arrive,
+                Ev::Deliver {
+                    node: peer_idx,
+                    port: peer_port,
+                    frame,
+                },
+            );
+        } else {
+            let src_seq = self.seq;
+            self.seq += 1;
+            self.outbox.push(Remote {
+                at: arrive,
+                src_shard: self.id,
+                src_seq,
+                ev: REv::Deliver {
+                    node: peer,
+                    port: peer_port,
+                    frame,
+                },
+            });
+        }
+    }
+}
+
+/// Barrier commands from the coordinator to a worker thread.
+pub(crate) enum Cmd {
+    /// Run one window: merge `mail` (pre-sorted per shard), then burn
+    /// every owned shard to `horizon`.
+    Window {
+        horizon: SimTime,
+        limit: SimTime,
+        mail: Vec<(u32, Vec<Remote>)>,
+    },
+    /// Return the shards to the coordinator and exit.
+    Finish,
+}
+
+/// Worker-to-coordinator replies.
+pub(crate) enum Reply {
+    /// One window finished on this worker.
+    Window {
+        worker: usize,
+        /// Earliest pending event across the worker's shards.
+        next: SimTime,
+        /// Cross-shard events generated this window.
+        outbox: Vec<Remote>,
+    },
+    /// The worker's shards, handed back on [`Cmd::Finish`].
+    Done { shards: Vec<(u32, Shard)> },
+}
+
+/// Body of one worker thread: owns a set of shards for the duration of a
+/// `run_*` call and executes windows on command. Communication is pure
+/// `std::sync::mpsc`; the worker never touches another shard's state.
+pub(crate) fn worker_loop(
+    mut shards: Vec<(u32, Shard)>,
+    env: Env,
+    worker: usize,
+    rx: mpsc::Receiver<Cmd>,
+    tx: mpsc::Sender<Reply>,
+) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Window {
+                horizon,
+                limit,
+                mail,
+            } => {
+                for (id, batch) in mail {
+                    let (_, shard) = shards
+                        .iter_mut()
+                        .find(|(sid, _)| *sid == id)
+                        .expect("mail routed to an owned shard");
+                    for r in batch {
+                        shard.insert_remote(r, &env);
+                    }
+                }
+                let mut outbox = Vec::new();
+                let mut next = SimTime::MAX;
+                for (_, shard) in &mut shards {
+                    shard.burn(horizon, limit, &env);
+                    outbox.append(&mut shard.outbox);
+                    next = next.min(shard.next_time());
+                }
+                if tx
+                    .send(Reply::Window {
+                        worker,
+                        next,
+                        outbox,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Cmd::Finish => {
+                let _ = tx.send(Reply::Done { shards });
+                return;
+            }
+        }
+    }
+}

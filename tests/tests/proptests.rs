@@ -449,6 +449,109 @@ proptest! {
             "datagrams must arrive identically in both worlds");
     }
 
+    /// The sharded conservative engine is an *engine*, not a model: on
+    /// any random small fabric with arbitrary ping traffic it must
+    /// reproduce the classic single-queue loop's per-pod observable
+    /// state — per-host reply/answer/rx counters, controller totals and
+    /// the processed event count — for any thread count.
+    #[test]
+    fn sharded_engine_equals_single_queue_engine(
+        n_pods in 1u16..=3,
+        n_ports in 2u16..=4,
+        ic_pick in 0u8..3,
+        threads in 1usize..=4,
+        pings in proptest::collection::vec(
+            (any::<u16>(), any::<u16>(), any::<u16>(), any::<u16>()),
+            1..6,
+        ),
+    ) {
+        use harmless::fabric::{FabricSpec, Interconnect};
+        use harmless::instance::HarmlessSpec;
+        use netsim::host::Host;
+        use netsim::{Network, NodeId, SimTime};
+
+        let run = |threads: Option<usize>| -> (Vec<(u64, u64, u64)>, u64, u64, u64) {
+            let mut net = Network::new(2026);
+            let ctrl = net.add_node(controller::ControllerNode::new(
+                "ctrl",
+                vec![Box::new(controller::apps::LearningSwitch::new())],
+            ));
+            let ic = if n_pods == 1 {
+                Interconnect::None
+            } else {
+                match ic_pick {
+                    0 => Interconnect::Line,
+                    1 => Interconnect::SpineSoft,
+                    _ => Interconnect::SpineLegacy,
+                }
+            };
+            let mut fx = FabricSpec::new(n_pods, HarmlessSpec::new(n_ports))
+                .with_interconnect(ic)
+                .build(&mut net)
+                .expect("valid fabric spec");
+            fx.configure_direct(&mut net);
+            fx.connect_controller(&mut net, ctrl);
+            let mut hosts: Vec<NodeId> = Vec::new();
+            for p in 0..usize::from(n_pods) {
+                for i in 1..=n_ports {
+                    hosts.push(fx.attach_host(&mut net, p, i).expect("free port"));
+                }
+            }
+            if let Some(t) = threads {
+                net.set_shards(&fx.shard_map());
+                net.set_threads(t);
+            }
+            net.run_until(SimTime::from_millis(100));
+            // Arbitrary (src, dst) ping pairs, staggered 50 µs apart.
+            for (k, &(sp, spo, dp, dpo)) in pings.iter().enumerate() {
+                let src_pod = usize::from(sp) % usize::from(n_pods);
+                let src_port = 1 + spo % n_ports;
+                let dst_pod = usize::from(dp) % usize::from(n_pods);
+                let dst_port = 1 + dpo % n_ports;
+                let h = hosts[src_pod * usize::from(n_ports) + usize::from(src_port) - 1];
+                let target = fx.host_ip(dst_pod, dst_port);
+                net.with_node_ctx::<Host, _>(h, move |h, ctx| {
+                    h.ping(format!("p{k}").as_bytes(), target);
+                    h.flush(ctx);
+                });
+                net.run_for(SimTime::from_micros(50));
+            }
+            net.run_until(SimTime::from_millis(700));
+            let per_host: Vec<(u64, u64, u64)> = hosts
+                .iter()
+                .map(|&h| {
+                    let host = net.node_ref::<Host>(h);
+                    (
+                        host.echo_replies_received(),
+                        host.echo_requests_answered(),
+                        host.rx_frames(),
+                    )
+                })
+                .collect();
+            let c = net.node_ref::<controller::ControllerNode>(ctrl);
+            (per_host, c.packet_ins(), c.flow_mods_sent(), net.events_processed())
+        };
+
+        let legacy = run(None);
+        let sharded = run(Some(threads));
+        prop_assert_eq!(&legacy.0, &sharded.0, "per-host observables diverged");
+        prop_assert_eq!(legacy.1, sharded.1, "packet-in counts diverged");
+        prop_assert_eq!(legacy.2, sharded.2, "flow-mod counts diverged");
+        prop_assert_eq!(legacy.3, sharded.3, "event counts diverged");
+        // Pings to other hosts must actually complete (self-pings cannot
+        // resolve ARP and legitimately stay pending).
+        let total: u64 = legacy.0.iter().map(|h| h.0).sum();
+        let self_pings = pings.iter().filter(|&&(sp, spo, dp, dpo)| {
+            usize::from(sp) % usize::from(n_pods) == usize::from(dp) % usize::from(n_pods)
+                && spo % n_ports == dpo % n_ports
+        }).count() as u64;
+        prop_assert!(
+            total + self_pings >= pings.len() as u64,
+            "pings lost: {} replies + {} self of {}",
+            total, self_pings, pings.len()
+        );
+    }
+
     /// Bridge invariant: frames never exit their ingress port and never
     /// leave their VLAN.
     #[test]
