@@ -86,6 +86,9 @@ fn engines() -> Vec<(&'static str, Option<usize>)> {
         ("sharded_t1", Some(1)),
         ("sharded_t2", Some(2)),
         ("sharded_t4", Some(4)),
+        // `Some(0)` = auto-detect (`Network::set_threads(0)` resolves it
+        // via available_parallelism), the `--threads 0` default path.
+        ("sharded_tauto", Some(0)),
     ]
 }
 

@@ -23,8 +23,8 @@ use bytes::Bytes;
 use std::any::Any;
 
 use bench::{fmt_mpps, render_table, report};
-use controller::apps::LearningSwitch;
-use controller::ControllerNode;
+use controller::apps::{ArpProxy, LearningSwitch};
+use controller::{App, ControllerNode};
 use harmless::fabric::{FabricSpec, Interconnect};
 use harmless::instance::HarmlessSpec;
 use legacy_switch::{CotsConfig, CotsSwitchNode};
@@ -170,9 +170,27 @@ fn throughput_with_rules(n_rules: u32, mode: PipelineMode) -> f64 {
 /// With `threads = None` the classic single-queue loop runs the whole
 /// fabric; with `Some(n)` the network is sharded along
 /// [`harmless::Fabric::shard_map`] (one shard per pod + the system
-/// shard) and executed on `n` worker threads. Simulation results are
+/// shard) and executed on the persistent worker pool (`n == 0`
+/// auto-detects via `available_parallelism`). Simulation results are
 /// identical either way — the engine only changes wall-clock.
-fn fabric_convergence(n_pods: u16, hosts_per_pod: u16, threads: Option<usize>) {
+///
+/// With `arp_proxy` the fabric's host table feeds a controller-side
+/// [`ArpProxy`] chained before the learning app: who-has punts are
+/// answered at the pod edge and proactive routes keep unicast traffic
+/// off the control channel, so round-1 packet-ins collapse from
+/// O(hosts²) to one per host (asserted: ≤ hosts + pods).
+///
+/// `rounds` ≥ 2 staggered all-hosts ping rounds run back to back;
+/// rounds past the first must be lossless with zero packet-ins. Round
+/// counts above 2 exercise the runtime's pool reuse — hundreds of
+/// `run_for` windows on the same parked workers.
+fn fabric_convergence(
+    n_pods: u16,
+    hosts_per_pod: u16,
+    threads: Option<usize>,
+    arp_proxy: bool,
+    rounds: u32,
+) {
     if n_pods < 2 || hosts_per_pod == 0 {
         eprintln!(
             "E3c needs at least 2 pods and 1 host per pod \
@@ -180,28 +198,25 @@ fn fabric_convergence(n_pods: u16, hosts_per_pod: u16, threads: Option<usize>) {
         );
         std::process::exit(2);
     }
-    let engine = match threads {
-        None => "single-queue".to_string(),
-        Some(t) => format!("sharded, {} shards, {t} thread(s)", n_pods + 1),
-    };
-    // The engine choice goes to stderr: stdout must stay byte-identical
-    // for every engine/thread configuration (the determinism contract).
-    eprintln!("(engine: {engine})");
     println!(
         "\nE3c: fabric-scale convergence — {n_pods} pods x {hosts_per_pod} hosts, \
-         software spine, one learning controller"
+         software spine, one learning controller{}",
+        if arp_proxy { " + ARP proxy" } else { "" }
     );
     let mut net = Network::new(5);
-    let ctrl = net.add_node(ControllerNode::new(
-        "ctrl",
-        vec![Box::new(LearningSwitch::new())],
-    ));
+    let mut apps: Vec<Box<dyn App>> = Vec::new();
+    if arp_proxy {
+        apps.push(Box::new(ArpProxy::new()));
+    }
+    apps.push(Box::new(LearningSwitch::new()));
+    let ctrl = net.add_node(ControllerNode::new("ctrl", apps));
     // Fat pods: multi-core software switches and deep RX rings so the
     // ARP flood bursts of hundreds of hosts do not tail-drop.
     let mut pod = HarmlessSpec::new(hosts_per_pod).with_cores(8);
     pod.rx_queue = 1 << 16;
     let mut fx = FabricSpec::new(n_pods, pod)
         .with_interconnect(Interconnect::SpineSoft)
+        .with_arp_proxy(arp_proxy)
         .build(&mut net)
         .expect("valid fabric spec");
     fx.configure_direct(&mut net);
@@ -218,6 +233,19 @@ fn fabric_convergence(n_pods: u16, hosts_per_pod: u16, threads: Option<usize>) {
         net.set_shards(&fx.shard_map());
         net.set_threads(t);
     }
+    // Resolved after set_threads so `--threads 0` reports the detected
+    // count. The engine choice goes to stderr: stdout must stay
+    // byte-identical for every engine/thread configuration (the
+    // determinism contract).
+    let engine = match threads {
+        None => "single-queue".to_string(),
+        Some(_) => format!(
+            "sharded, {} shards, {} thread(s)",
+            n_pods + 1,
+            net.threads()
+        ),
+    };
+    eprintln!("(engine: {engine})");
     net.run_until(SimTime::from_millis(100));
     assert!(fx.all_pods_connected(&net));
 
@@ -275,28 +303,68 @@ fn fabric_convergence(n_pods: u16, hosts_per_pod: u16, threads: Option<usize>) {
         .sum();
     let pi_round2 = net.node_ref::<ControllerNode>(ctrl).packet_ins() - pi_round1;
 
+    // Rounds 3..=rounds over the converged fabric (the CI smoke uses
+    // this to stress pool reuse: every round is hundreds of `run_for`
+    // windows on the same parked workers).
+    let t2 = std::time::Instant::now();
+    for _ in 2..rounds {
+        ping_round(&mut net, &fx, &hosts);
+    }
+    let wall_extra = t2.elapsed();
+    let replies_all: u64 = hosts
+        .iter()
+        .flatten()
+        .map(|&h| net.node_ref::<Host>(h).echo_replies_received())
+        .sum();
+    let extra_replies = replies_all - replies2;
+    let extra_pi = net.node_ref::<ControllerNode>(ctrl).packet_ins() - pi_round1 - pi_round2;
+
+    let proxied = if arp_proxy {
+        net.node_mut::<ControllerNode>(ctrl)
+            .app_mut::<ArpProxy>()
+            .map(|p| p.answered())
+    } else {
+        None
+    };
+    let mut rows = vec![
+        vec!["datapaths (pods + spine)".into(), datapaths.to_string()],
+        vec!["hosts".into(), total_pings.to_string()],
+        vec!["round 1 replies".into(), format!("{replies}/{total_pings}")],
+        vec!["round 1 packet-ins".into(), pi_round1.to_string()],
+        vec!["round 1 flow-mods".into(), fm_round1.to_string()],
+        vec![
+            "round 2 replies".into(),
+            format!("{}/{total_pings}", replies2 - replies),
+        ],
+        vec!["round 2 packet-ins".into(), pi_round2.to_string()],
+    ];
+    if let Some(answered) = proxied {
+        rows.push(vec!["proxied ARP answers".into(), answered.to_string()]);
+    }
+    if rounds > 2 {
+        rows.push(vec![
+            format!("rounds 3-{rounds} replies"),
+            format!("{extra_replies}/{}", u64::from(rounds - 2) * total_pings),
+        ]);
+        rows.push(vec![
+            format!("rounds 3-{rounds} packet-ins"),
+            extra_pi.to_string(),
+        ]);
+    }
+    rows.push(vec![
+        "sim events".into(),
+        net.events_processed().to_string(),
+    ]);
     println!(
         "{}",
         render_table(
             "cross-pod all-hosts ping, learning controller",
             &["metric", "value"],
-            &[
-                vec!["datapaths (pods + spine)".into(), datapaths.to_string()],
-                vec!["hosts".into(), total_pings.to_string()],
-                vec!["round 1 replies".into(), format!("{replies}/{total_pings}"),],
-                vec!["round 1 packet-ins".into(), pi_round1.to_string()],
-                vec!["round 1 flow-mods".into(), fm_round1.to_string()],
-                vec![
-                    "round 2 replies".into(),
-                    format!("{}/{total_pings}", replies2 - replies),
-                ],
-                vec!["round 2 packet-ins".into(), pi_round2.to_string()],
-                vec!["sim events".into(), net.events_processed().to_string(),],
-            ],
+            &rows,
         )
     );
     // Per-pod convergence rollup: every pod must account for all of its
-    // hosts in both rounds (the controller converges *everywhere*, not
+    // hosts in every round (the controller converges *everywhere*, not
     // just in aggregate).
     let pod_rows: Vec<Vec<String>> = hosts
         .iter()
@@ -311,8 +379,8 @@ fn fabric_convergence(n_pods: u16, hosts_per_pod: u16, threads: Option<usize>) {
             }
             assert_eq!(
                 r,
-                2 * u64::from(hosts_per_pod),
-                "pod {p} must see replies for both rounds"
+                u64::from(rounds) * u64::from(hosts_per_pod),
+                "pod {p} must see replies for all {rounds} rounds"
             );
             vec![
                 format!("pod{p}"),
@@ -326,7 +394,7 @@ fn fabric_convergence(n_pods: u16, hosts_per_pod: u16, threads: Option<usize>) {
     println!(
         "{}",
         render_table(
-            "per-pod rollup (both rounds)",
+            "per-pod rollup (all rounds)",
             &["pod", "hosts", "echo replies", "echo answered", "rx frames"],
             &pod_rows,
         )
@@ -334,7 +402,7 @@ fn fabric_convergence(n_pods: u16, hosts_per_pod: u16, threads: Option<usize>) {
     // Host wall-clock varies run to run; keep stdout byte-identical
     // (the repo's determinism check diffs it) and report on stderr +
     // BENCH_netsim.json.
-    let wall_s = wall_round1.as_secs_f64() + wall_round2.as_secs_f64();
+    let wall_s = wall_round1.as_secs_f64() + wall_round2.as_secs_f64() + wall_extra.as_secs_f64();
     let events = net.events_processed();
     eprintln!(
         "(host wall-clock: round 1 {:.2}s, round 2 {:.2}s, {:.0} events/s [{engine}])",
@@ -342,18 +410,27 @@ fn fabric_convergence(n_pods: u16, hosts_per_pod: u16, threads: Option<usize>) {
         wall_round2.as_secs_f64(),
         events as f64 / wall_s
     );
-    let scenario = format!(
+    let mut scenario = format!(
         "scaling/fabric_{n_pods}x{hosts_per_pod}/{}",
         match threads {
             None => "single_queue".to_string(),
-            Some(t) => format!("sharded_t{t}"),
+            Some(_) => format!("sharded_t{}", net.threads()),
         }
     );
+    if arp_proxy {
+        scenario.push_str("_arpproxy");
+    }
+    if rounds != 2 {
+        scenario.push_str(&format!("_r{rounds}"));
+    }
     let mut rep = report::Report::load(report::bench_file());
     rep.record(
         &scenario,
         &[
-            ("threads", threads.unwrap_or(0) as f64),
+            (
+                "threads",
+                threads.map(|_| net.threads()).unwrap_or(0) as f64,
+            ),
             ("events", events as f64),
             ("wall_s", wall_s),
             ("events_per_sec", events as f64 / wall_s),
@@ -369,6 +446,24 @@ fn fabric_convergence(n_pods: u16, hosts_per_pod: u16, threads: Option<usize>) {
         pi_round2, 0,
         "a converged learning fabric punts nothing to the controller"
     );
+    assert_eq!(
+        extra_replies,
+        u64::from(rounds - 2) * total_pings,
+        "every extra round must be lossless"
+    );
+    assert_eq!(extra_pi, 0, "extra rounds must stay off the control plane");
+    if arp_proxy {
+        assert!(
+            pi_round1 <= total_hosts + u64::from(n_pods),
+            "ARP proxy must contain round-1 floods: {pi_round1} packet-ins \
+             for {total_hosts} hosts + {n_pods} pods"
+        );
+        assert_eq!(
+            proxied,
+            Some(total_hosts),
+            "every host's one who-has is answered at the pod edge"
+        );
+    }
     println!(
         "Reading: one reactive controller converges a {n_pods}-pod fabric in a\n\
          single ping round — every cross-pod path is pinned by round 2 and\n\
@@ -377,6 +472,14 @@ fn fabric_convergence(n_pods: u16, hosts_per_pod: u16, threads: Option<usize>) {
          pod that triggered it, so each pod runs on its own queue (and\n\
          thread) between uplink/controller synchronization horizons."
     );
+    if arp_proxy {
+        println!(
+            "With --arp-proxy the controller answers who-has punts at the pod\n\
+             edge from the fabric-wide host table and pre-installs host routes,\n\
+             so round 1 costs one packet-in per host instead of a fabric-wide\n\
+             broadcast per host — O(hosts), not O(hosts^2)."
+        );
+    }
 }
 
 fn install_sweep() {
@@ -438,17 +541,40 @@ fn forwarding_sweep() {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--threads N` selects the sharded engine (one shard per pod + the
-    // system shard) on N worker threads; without it the classic
-    // single-queue loop runs, so the two engines can be compared on the
-    // same scenario.
+    // system shard) on N worker threads — `0` auto-detects via
+    // `available_parallelism`; without the flag the classic single-queue
+    // loop runs, so the two engines can be compared on the same
+    // scenario.
     let mut threads: Option<usize> = None;
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         let n = args.get(i + 1).and_then(|s| s.parse::<usize>().ok());
-        let Some(n @ 1..) = n else {
-            eprintln!("--threads needs a positive integer (omit it for the single-queue engine)");
+        let Some(n) = n else {
+            eprintln!(
+                "--threads needs a non-negative integer (0 = auto-detect; \
+                 omit the flag for the single-queue engine)"
+            );
             std::process::exit(2);
         };
         threads = Some(n);
+        args.drain(i..=i + 1);
+    }
+    // `--arp-proxy` turns on the fabric's controller-side flood
+    // containment (FabricSpec::arp_proxy + the ArpProxy app).
+    let mut arp_proxy = false;
+    if let Some(i) = args.iter().position(|a| a == "--arp-proxy") {
+        arp_proxy = true;
+        args.remove(i);
+    }
+    // `--rounds N` (default 2, minimum 2): extra converged ping rounds —
+    // the round-2-silence contract is asserted for every one of them.
+    let mut rounds: u32 = 2;
+    if let Some(i) = args.iter().position(|a| a == "--rounds") {
+        let n = args.get(i + 1).and_then(|s| s.parse::<u32>().ok());
+        let Some(n @ 2..) = n else {
+            eprintln!("--rounds needs an integer ≥ 2 (the default)");
+            std::process::exit(2);
+        };
+        rounds = n;
         args.drain(i..=i + 1);
     }
     let parse = |i: usize, default: u16| -> u16 {
@@ -457,16 +583,19 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("install") => install_sweep(),
         Some("forwarding") => forwarding_sweep(),
-        Some("fabric") => fabric_convergence(parse(1, 2), parse(2, 512), threads),
+        Some("fabric") => {
+            fabric_convergence(parse(1, 2), parse(2, 512), threads, arp_proxy, rounds)
+        }
         None => {
             install_sweep();
             forwarding_sweep();
-            fabric_convergence(2, 512, threads);
+            fabric_convergence(2, 512, threads, arp_proxy, rounds);
         }
         Some(other) => {
             eprintln!(
                 "unknown sub-experiment {other:?}; usage: \
-                 exp_scaling [install|forwarding|fabric [pods] [hosts]] [--threads N]"
+                 exp_scaling [install|forwarding|fabric [pods] [hosts]] \
+                 [--threads N] [--arp-proxy] [--rounds N]"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,264 @@
+//! Per-pod ARP proxy with proactive host routes — flood containment for
+//! hybrid-SDN fabrics.
+//!
+//! In a multi-pod fabric every round of fresh traffic starts with ARP:
+//! each host broadcasts a who-has, the pod's edge datapath punts it,
+//! and a reactive learning controller floods it fabric-wide — every
+//! datapath punts the same broadcast again, and the round-1 control
+//! load grows as O(hosts²). This is the classic packet-in bottleneck of
+//! keeping legacy L2 flooding alive during an SDN migration (HARMLESS
+//! §5; the hybrid-SDN surveys make the same point).
+//!
+//! The fix is that the controller already *knows* every host: the
+//! fabric layer registers each attached host's `(IP, MAC)` identity and
+//! its location — which port of which datapath leads to it
+//! ([`HostRoute`]). With that table this app:
+//!
+//! * **answers ARP requests at the pod edge**: a punted who-has for a
+//!   known host is answered with a forged unicast reply out of the
+//!   ingress port and **consumed** ([`PacketInVerdict::Consumed`]), so
+//!   no app behind it floods the broadcast — the request never leaves
+//!   the pod, turning round-1 broadcast cost into O(hosts) packet-ins
+//!   (one per requesting host);
+//! * **installs proactive routes**: when a datapath completes its
+//!   handshake (and on every tick, for hosts registered later), a
+//!   `eth_dst → output` rule per known host is installed, so the
+//!   unicast traffic that follows the ARP exchange never punts at all —
+//!   without these, suppressing the ARP flood would just move the
+//!   flooding to the first data frame, since nothing would have
+//!   learned remote MACs;
+//! * **installs reflection guards** where the fabric asks for them
+//!   (legacy-spine interconnects): a flood copy arriving *from* the
+//!   fabric at a pod that does not host the destination would match the
+//!   uplink route and reflect back out of its ingress port; the guard
+//!   drops it instead.
+//!
+//! Chain this app *before* a [`crate::apps::LearningSwitch`]: the proxy
+//! consumes what it can answer, the learning switch handles any MAC the
+//! host table does not know (and is free to flood it, as before).
+//!
+//! The app is fabric-agnostic: it only sees `(dpid, port)` pairs. The
+//! `harmless` crate's `Fabric::host_route` computes them from the
+//! topology, and `FabricSpec`'s `arp_proxy` flag wires the whole thing
+//! up.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use netpkt::{builder, MacAddr};
+use openflow::message::FlowMod;
+use openflow::{Action, Match};
+
+use crate::node::{App, PacketInEvent, PacketInVerdict, SwitchHandle};
+
+/// Priority of the proactive `eth_dst → output` host routes — above the
+/// learning switch's reactive rules (10), below the guards.
+pub const ROUTE_PRIORITY: u16 = 20;
+/// Priority of the reflection-guard drop rules.
+pub const GUARD_PRIORITY: u16 = 30;
+
+/// One host's fabric-wide identity and location: how to answer ARP for
+/// it, and which port of each datapath leads to it.
+#[derive(Debug, Clone)]
+pub struct HostRoute {
+    /// The host's IPv4 address (the ARP table key).
+    pub ip: Ipv4Addr,
+    /// The host's MAC address (the ARP answer, and the route match).
+    pub mac: MacAddr,
+    /// `(dpid, out_port)`: the proactive route installed on each
+    /// datapath that carries traffic toward this host.
+    pub ports: Vec<(u64, u32)>,
+    /// `(dpid, in_port)`: drop frames for this host that arrive on
+    /// `in_port` of `dpid` (reflection guards for flooding
+    /// interconnects; empty for spine datapaths the controller owns).
+    pub guards: Vec<(u64, u32)>,
+}
+
+/// The ARP-proxy / proactive-routing app. See the module docs.
+pub struct ArpProxy {
+    hosts: Vec<HostRoute>,
+    by_ip: HashMap<Ipv4Addr, usize>,
+    /// dpid → number of `hosts` entries already installed there.
+    pushed: HashMap<u64, usize>,
+    answered: u64,
+    unknown_targets: u64,
+    routes_installed: u64,
+}
+
+impl ArpProxy {
+    /// An empty proxy; populate it with [`ArpProxy::add_host`] (the
+    /// fabric layer does this when `FabricSpec::arp_proxy` is set).
+    pub fn new() -> ArpProxy {
+        ArpProxy {
+            hosts: Vec::new(),
+            by_ip: HashMap::new(),
+            pushed: HashMap::new(),
+            answered: 0,
+            unknown_targets: 0,
+            routes_installed: 0,
+        }
+    }
+
+    /// Register a host. Routes reach already-connected datapaths on the
+    /// next controller tick (1 s) or switch handshake, whichever comes
+    /// first — register hosts before the simulation starts to have the
+    /// routes in place from the first handshake.
+    ///
+    /// Re-registering an IP replaces its table entry. The replacement is
+    /// appended past every datapath's push watermark, so its routes are
+    /// (re)installed everywhere — a same-MAC move overwrites the old
+    /// `eth_dst` rule in place (identical match + priority). Rules of a
+    /// *retired* MAC are not retracted.
+    pub fn add_host(&mut self, route: HostRoute) {
+        if let Some(&i) = self.by_ip.get(&route.ip) {
+            // Tombstone the old entry (kept so indices and per-dpid
+            // watermarks stay valid) and append the replacement where
+            // push_routes will see it again.
+            self.hosts[i].ports.clear();
+            self.hosts[i].guards.clear();
+        }
+        self.by_ip.insert(route.ip, self.hosts.len());
+        self.hosts.push(route);
+    }
+
+    /// Number of registered hosts (live IPs, not superseded entries).
+    pub fn hosts_known(&self) -> usize {
+        self.by_ip.len()
+    }
+
+    /// ARP requests answered (and consumed) at the pod edge.
+    pub fn answered(&self) -> u64 {
+        self.answered
+    }
+
+    /// ARP requests for targets outside the host table (left to the
+    /// rest of the app chain).
+    pub fn unknown_targets(&self) -> u64 {
+        self.unknown_targets
+    }
+
+    /// Proactive route + guard rules installed so far.
+    pub fn routes_installed(&self) -> u64 {
+        self.routes_installed
+    }
+
+    /// The registered MAC for an IP, if any.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<MacAddr> {
+        self.by_ip.get(&ip).map(|&i| self.hosts[i].mac)
+    }
+
+    /// Install rules for every host not yet pushed to `sw`'s datapath.
+    fn push_routes(&mut self, sw: &mut SwitchHandle) {
+        let dpid = sw.dpid;
+        let from = *self.pushed.get(&dpid).unwrap_or(&0);
+        if from >= self.hosts.len() {
+            return;
+        }
+        for h in &self.hosts[from..] {
+            for &(d, in_port) in &h.guards {
+                if d != dpid {
+                    continue;
+                }
+                self.routes_installed += 1;
+                sw.flow_mod(
+                    FlowMod::add(0)
+                        .priority(GUARD_PRIORITY)
+                        .match_(Match::new().in_port(in_port).eth_dst(h.mac))
+                        .apply(vec![]), // match with no actions = drop
+                );
+            }
+            for &(d, out) in &h.ports {
+                if d != dpid {
+                    continue;
+                }
+                self.routes_installed += 1;
+                sw.flow_mod(
+                    FlowMod::add(0)
+                        .priority(ROUTE_PRIORITY)
+                        .match_(Match::new().eth_dst(h.mac))
+                        .apply(vec![Action::output(out)]),
+                );
+            }
+        }
+        self.pushed.insert(dpid, self.hosts.len());
+        sw.barrier();
+    }
+}
+
+impl Default for ArpProxy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl App for ArpProxy {
+    fn name(&self) -> &str {
+        "arp-proxy"
+    }
+
+    fn on_switch_ready(&mut self, sw: &mut SwitchHandle) {
+        // Table-miss punt, so ARP broadcasts (which no dst-MAC route
+        // matches) reach the proxy. Idempotent with the learning
+        // switch's identical entry.
+        sw.flow_mod(
+            FlowMod::add(0)
+                .priority(0)
+                .apply(vec![Action::to_controller()]),
+        );
+        self.push_routes(sw);
+    }
+
+    fn on_tick(&mut self, sw: &mut SwitchHandle) {
+        // Hosts registered after a datapath's handshake catch up here.
+        self.push_routes(sw);
+    }
+
+    fn on_packet_in(&mut self, sw: &mut SwitchHandle, ev: &PacketInEvent) -> PacketInVerdict {
+        let Some(repr) = ev.arp_request() else {
+            return PacketInVerdict::Continue;
+        };
+        let Some(mac) = self.lookup(repr.target_ip) else {
+            self.unknown_targets += 1;
+            return PacketInVerdict::Continue;
+        };
+        // Answer from the host table with the target's real MAC, out of
+        // the port the request came in on — the broadcast itself goes no
+        // further than this datapath.
+        self.answered += 1;
+        sw.packet_out(ev.in_port, builder::arp_reply(&repr, mac));
+        PacketInVerdict::Consumed
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(ip: [u8; 4], mac: u32) -> HostRoute {
+        HostRoute {
+            ip: Ipv4Addr::from(ip),
+            mac: MacAddr::host(mac),
+            ports: vec![(0x52, 1)],
+            guards: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn add_host_replaces_existing_ips() {
+        let mut p = ArpProxy::new();
+        p.add_host(route([10, 0, 0, 1], 1));
+        p.add_host(route([10, 0, 0, 2], 2));
+        assert_eq!(p.hosts_known(), 2);
+        assert_eq!(p.lookup(Ipv4Addr::new(10, 0, 0, 1)), Some(MacAddr::host(1)));
+        // Re-registering the same IP with a new MAC replaces the entry.
+        p.add_host(route([10, 0, 0, 1], 7));
+        assert_eq!(p.hosts_known(), 2);
+        assert_eq!(p.lookup(Ipv4Addr::new(10, 0, 0, 1)), Some(MacAddr::host(7)));
+        assert_eq!(p.lookup(Ipv4Addr::new(10, 0, 0, 9)), None);
+    }
+}

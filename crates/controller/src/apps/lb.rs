@@ -12,12 +12,12 @@
 use std::any::Any;
 use std::net::Ipv4Addr;
 
-use netpkt::{builder, ArpOp, ArpPacket, ArpRepr, EthernetFrame, MacAddr};
+use netpkt::{builder, MacAddr};
 use openflow::message::FlowMod;
 use openflow::oxm::OxmField;
 use openflow::{Action, Match};
 
-use crate::node::{App, PacketInEvent, SwitchHandle};
+use crate::node::{App, PacketInEvent, PacketInVerdict, SwitchHandle};
 
 /// One backend server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,24 +142,21 @@ impl App for LoadBalancer {
         sw.barrier();
     }
 
-    fn on_packet_in(&mut self, sw: &mut SwitchHandle, ev: &PacketInEvent) {
+    fn on_packet_in(&mut self, sw: &mut SwitchHandle, ev: &PacketInEvent) -> PacketInVerdict {
         // Proxy-ARP for the VIP.
-        if ev.key.eth_type != 0x0806 || ev.key.arp_op != ArpOp::Request.value() {
-            return;
-        }
-        let eth = EthernetFrame::new_unchecked(&ev.data[..]);
-        let Ok(arp) = ArpPacket::new_checked(eth.payload()) else {
-            return;
-        };
-        let Ok(repr) = ArpRepr::parse(&arp) else {
-            return;
+        let Some(repr) = ev.arp_request() else {
+            return PacketInVerdict::Continue;
         };
         if repr.target_ip != self.vip {
-            return;
+            return PacketInVerdict::Continue;
         }
         self.arps_answered += 1;
         let reply = builder::arp_reply(&repr, self.vip_mac);
         sw.packet_out(ev.in_port, reply);
+        // Answered, but kept visible downstream: the learning stage uses
+        // the same punt to learn the requester's port, exactly as before
+        // the verdict chain existed.
+        PacketInVerdict::Continue
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

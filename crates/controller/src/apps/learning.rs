@@ -8,7 +8,7 @@ use netpkt::MacAddr;
 use openflow::message::FlowMod;
 use openflow::{Action, Match};
 
-use crate::node::{App, PacketInEvent, SwitchHandle};
+use crate::node::{App, PacketInEvent, PacketInVerdict, SwitchHandle};
 
 /// Reactive MAC learning over one pipeline table.
 pub struct LearningSwitch {
@@ -75,7 +75,7 @@ impl App for LearningSwitch {
         sw.barrier();
     }
 
-    fn on_packet_in(&mut self, sw: &mut SwitchHandle, ev: &PacketInEvent) {
+    fn on_packet_in(&mut self, sw: &mut SwitchHandle, ev: &PacketInEvent) -> PacketInVerdict {
         let dpid = sw.dpid;
         let src = ev.key.eth_src;
         let dst = ev.key.eth_dst;
@@ -108,6 +108,9 @@ impl App for LearningSwitch {
                 sw.packet_out_flood(ev.in_port, ev.data.clone());
             }
         }
+        // Learning is a terminal forwarding stage, but policy apps may
+        // still want to observe the event — leave the chain open.
+        PacketInVerdict::Continue
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

@@ -1,11 +1,13 @@
 //! Bundled controller applications.
 
+pub mod arp_proxy;
 pub mod dmz;
 pub mod lb;
 pub mod learning;
 pub mod parental;
 pub mod static_fwd;
 
+pub use arp_proxy::{ArpProxy, HostRoute};
 pub use dmz::Dmz;
 pub use lb::LoadBalancer;
 pub use learning::LearningSwitch;

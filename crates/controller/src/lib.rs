@@ -27,4 +27,4 @@
 pub mod apps;
 pub mod node;
 
-pub use node::{App, ControllerNode, PacketInEvent, SwitchHandle};
+pub use node::{App, ControllerNode, PacketInEvent, PacketInVerdict, SwitchHandle};

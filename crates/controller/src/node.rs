@@ -23,6 +23,21 @@ pub struct PacketInEvent {
     pub key: FlowKey,
 }
 
+impl PacketInEvent {
+    /// Parse the punted frame as an ARP *request*, if that is what it
+    /// is — the shared gate of every proxy-ARP app (VIP proxying, the
+    /// fabric ARP proxy). Returns `None` for anything else, including
+    /// malformed ARP.
+    pub fn arp_request(&self) -> Option<netpkt::ArpRepr> {
+        if self.key.eth_type != 0x0806 || self.key.arp_op != netpkt::ArpOp::Request.value() {
+            return None;
+        }
+        let eth = netpkt::EthernetFrame::new_unchecked(&self.data[..]);
+        let arp = netpkt::ArpPacket::new_checked(eth.payload()).ok()?;
+        netpkt::ArpRepr::parse(&arp).ok()
+    }
+}
+
 /// Per-switch connection state.
 #[derive(Debug)]
 pub struct SwitchState {
@@ -135,6 +150,23 @@ impl SwitchHandle<'_> {
     }
 }
 
+/// What an app decided about a packet-in it was offered.
+///
+/// Apps are dispatched in registration order; the first app to return
+/// [`PacketInVerdict::Consumed`] ends the chain for that event. This is
+/// how a specific app (e.g. the fabric ARP proxy) can answer a punted
+/// frame *instead of* the general-purpose apps behind it — without the
+/// verdict, a learning switch later in the chain would still flood the
+/// frame the proxy already answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PacketInVerdict {
+    /// Not (or only partially) handled: offer the event to the next app.
+    #[default]
+    Continue,
+    /// Fully handled: apps later in the chain never see the event.
+    Consumed,
+}
+
 /// A controller application.
 ///
 /// Apps must be [`Send`] because the controller node (like every
@@ -147,8 +179,12 @@ pub trait App: 'static + Send {
     /// The switch finished its handshake (features + ports known).
     fn on_switch_ready(&mut self, _sw: &mut SwitchHandle) {}
 
-    /// A packet was punted to the controller.
-    fn on_packet_in(&mut self, _sw: &mut SwitchHandle, _ev: &PacketInEvent) {}
+    /// A packet was punted to the controller. Return
+    /// [`PacketInVerdict::Consumed`] to stop the event from reaching
+    /// apps later in the chain.
+    fn on_packet_in(&mut self, _sw: &mut SwitchHandle, _ev: &PacketInEvent) -> PacketInVerdict {
+        PacketInVerdict::Continue
+    }
 
     /// A flow entry was removed.
     fn on_flow_removed(&mut self, _sw: &mut SwitchHandle, _msg: &Message) {}
@@ -269,13 +305,16 @@ impl ControllerNode {
         }
     }
 
+    /// Offer an event to every app in chain order; an app returning
+    /// [`PacketInVerdict::Consumed`] ends dispatch (non-packet-in
+    /// callbacks simply return `Continue`).
     fn dispatch_to_apps(
         apps: &mut [Box<dyn App>],
         st: &SwitchState,
         xid: &mut Xid,
         flow_mods_sent: &mut u64,
         queue: &mut Vec<Bytes>,
-        mut f: impl FnMut(&mut dyn App, &mut SwitchHandle),
+        mut f: impl FnMut(&mut dyn App, &mut SwitchHandle) -> PacketInVerdict,
     ) {
         for app in apps.iter_mut() {
             let mut handle = SwitchHandle {
@@ -285,7 +324,9 @@ impl ControllerNode {
                 queue,
                 flow_mods_sent,
             };
-            f(app.as_mut(), &mut handle);
+            if f(app.as_mut(), &mut handle) == PacketInVerdict::Consumed {
+                break;
+            }
         }
     }
 }
@@ -357,7 +398,10 @@ impl Node for ControllerNode {
                         &mut self.xid,
                         &mut self.flow_mods_sent,
                         &mut queue,
-                        |app, h| app.on_switch_ready(h),
+                        |app, h| {
+                            app.on_switch_ready(h);
+                            PacketInVerdict::Continue
+                        },
                     );
                 }
                 Message::PacketIn {
@@ -399,7 +443,10 @@ impl Node for ControllerNode {
                         &mut self.xid,
                         &mut self.flow_mods_sent,
                         &mut queue,
-                        |app, h| app.on_flow_removed(h, &m),
+                        |app, h| {
+                            app.on_flow_removed(h, &m);
+                            PacketInVerdict::Continue
+                        },
                     );
                 }
                 m @ Message::MultipartReply(_) => {
@@ -410,7 +457,10 @@ impl Node for ControllerNode {
                         &mut self.xid,
                         &mut self.flow_mods_sent,
                         &mut queue,
-                        |app, h| app.on_stats(h, &m),
+                        |app, h| {
+                            app.on_stats(h, &m);
+                            PacketInVerdict::Continue
+                        },
                     );
                 }
                 Message::Error { .. } => {
@@ -434,5 +484,86 @@ impl Node for ControllerNode {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::message::PacketInReason;
+
+    /// First app in the chain: returns a configured verdict.
+    struct Gate {
+        verdict: PacketInVerdict,
+        seen: u64,
+    }
+    impl App for Gate {
+        fn name(&self) -> &str {
+            "gate"
+        }
+        fn on_packet_in(&mut self, _sw: &mut SwitchHandle, _ev: &PacketInEvent) -> PacketInVerdict {
+            self.seen += 1;
+            self.verdict
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Second app in the chain: counts what reaches it.
+    struct Observer {
+        seen: u64,
+    }
+    impl App for Observer {
+        fn name(&self) -> &str {
+            "observer"
+        }
+        fn on_packet_in(&mut self, _sw: &mut SwitchHandle, _ev: &PacketInEvent) -> PacketInVerdict {
+            self.seen += 1;
+            PacketInVerdict::Continue
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Feed one encoded PACKET_IN through `on_ctrl` and report how many
+    /// events each app in the chain saw.
+    fn run_chain(verdict: PacketInVerdict) -> (u64, u64) {
+        let mut net = netsim::Network::new(1);
+        let ctrl = net.add_node(ControllerNode::new(
+            "ctrl",
+            vec![
+                Box::new(Gate { verdict, seen: 0 }),
+                Box::new(Observer { seen: 0 }),
+            ],
+        ));
+        let pi = Message::PacketIn {
+            buffer_id: openflow::NO_BUFFER,
+            total_len: 1,
+            reason: PacketInReason::NoMatch,
+            table_id: 0,
+            cookie: 0,
+            match_: openflow::Match::new().in_port(1),
+            data: Bytes::from_static(b"x"),
+        }
+        .encode(1);
+        net.with_node_ctx::<ControllerNode, _>(ctrl, |c, ctx| {
+            c.on_ctrl(ctx.self_id(), pi, ctx);
+        });
+        let c = net.node_mut::<ControllerNode>(ctrl);
+        let gate = c.app_mut::<Gate>().unwrap().seen;
+        let observer = c.app_mut::<Observer>().unwrap().seen;
+        (gate, observer)
+    }
+
+    #[test]
+    fn consumed_packet_ins_stop_the_app_chain() {
+        assert_eq!(run_chain(PacketInVerdict::Continue), (1, 1));
+        assert_eq!(
+            run_chain(PacketInVerdict::Consumed),
+            (1, 0),
+            "a consumed event must never reach later apps"
+        );
     }
 }

@@ -68,6 +68,8 @@
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
+use controller::apps::{ArpProxy, HostRoute};
+use controller::ControllerNode;
 use legacy_switch::LegacySwitchNode;
 use netsim::host::Host;
 use netsim::{LinkSpec, Network, NodeId, PortId, ShardMap};
@@ -214,6 +216,15 @@ pub struct FabricSpec {
     pub uplink_link: LinkSpec,
     /// Datapath id of a [`Interconnect::SpineSoft`] spine.
     pub spine_dpid: u64,
+    /// Contain round-1 ARP floods with a controller-side proxy: when
+    /// set, the fabric registers every attached host's identity and
+    /// location ([`Fabric::host_route`]) with the controller's
+    /// [`ArpProxy`] app, which answers who-has punts at the pod edge and
+    /// installs proactive `eth_dst` routes — O(hosts) round-1 packet-ins
+    /// instead of O(hosts²). The controller passed to
+    /// [`Fabric::connect_controller`] must then run an [`ArpProxy`] app
+    /// (chained before any learning app).
+    pub arp_proxy: bool,
 }
 
 impl FabricSpec {
@@ -230,6 +241,7 @@ impl FabricSpec {
             },
             uplink_link: LinkSpec::ten_gigabit(),
             spine_dpid: SPINE_DPID,
+            arp_proxy: false,
         }
     }
 
@@ -255,6 +267,13 @@ impl FabricSpec {
     /// Builder-style spine datapath id.
     pub fn with_spine_dpid(mut self, dpid: u64) -> Self {
         self.spine_dpid = dpid;
+        self
+    }
+
+    /// Builder-style ARP-proxy flood containment (see
+    /// [`FabricSpec::arp_proxy`]).
+    pub fn with_arp_proxy(mut self, on: bool) -> Self {
+        self.arp_proxy = on;
         self
     }
 
@@ -386,6 +405,8 @@ impl FabricSpec {
             pods,
             spine,
             attached: BTreeMap::new(),
+            host_ports: std::collections::BTreeSet::new(),
+            controller: None,
         })
     }
 }
@@ -415,6 +436,14 @@ pub struct Fabric {
     pods: Vec<HarmlessInstance>,
     spine: Option<Spine>,
     attached: BTreeMap<(usize, u16), NodeId>,
+    /// The subset of `attached` created by [`Fabric::attach_host`] —
+    /// stations that actually carry the fabric-wide `(IP, MAC)` identity
+    /// and therefore belong in the ARP-proxy host table (arbitrary
+    /// [`Fabric::attach_node`] devices do not).
+    host_ports: std::collections::BTreeSet<(usize, u16)>,
+    /// Set by [`Fabric::connect_controller`]; where ARP-proxy host
+    /// routes are synced when [`FabricSpec::arp_proxy`] is on.
+    controller: Option<NodeId>,
 }
 
 impl Fabric {
@@ -491,7 +520,9 @@ impl Fabric {
     /// Attach a host to access port `port` of pod `pod`, with the
     /// fabric-wide identity of [`Self::host_ip`] / [`Self::host_mac`].
     /// Duplicate `(pod, port)` attachments are rejected — each access
-    /// port carries exactly one station.
+    /// port carries exactly one station. With [`FabricSpec::arp_proxy`]
+    /// set and a controller connected, the host's identity and route are
+    /// registered with the controller's [`ArpProxy`] app.
     pub fn attach_host(
         &mut self,
         net: &mut Network,
@@ -509,8 +540,86 @@ impl Fabric {
             self.host_ip(pod, port),
         ));
         self.attached.insert((pod, port), h);
-        px.attach_node(net, port, h);
+        self.host_ports.insert((pod, port));
+        self.pods[pod].attach_node(net, port, h);
+        if self.spec.arp_proxy && self.controller.is_some() {
+            let route = self.host_route(pod, port);
+            self.push_route(net, route);
+        }
         Ok(h)
+    }
+
+    /// The fabric-wide [`HostRoute`] of the host on `(pod, port)`: its
+    /// [`Self::host_ip`] / [`Self::host_mac`] identity plus, for every
+    /// datapath the controller serves, the port that leads toward it —
+    /// the pod's own access port at its home SS_2, the uplink
+    /// (direction-aware for [`Interconnect::Line`]) everywhere else, and
+    /// the pod-facing spine port on a [`Interconnect::SpineSoft`] spine.
+    /// [`Interconnect::SpineLegacy`] routes additionally carry
+    /// reflection guards: the legacy spine floods unknown destinations,
+    /// and a flood copy arriving at a pod that does not host the MAC
+    /// must be dropped, not bounced back out of the uplink it came in
+    /// on.
+    ///
+    /// # Panics
+    /// Panics on a pod index or access port this fabric does not have.
+    pub fn host_route(&self, pod: usize, port: u16) -> HostRoute {
+        self.check_access(pod, port)
+            .expect("host_route of an existing (pod, access port)");
+        let n = self.spec.pod.n_access_ports;
+        let uplink_right = u32::from(n + 1);
+        let uplink_left = u32::from(n + 2);
+        let mut ports = Vec::with_capacity(self.pods.len() + 1);
+        let mut guards = Vec::new();
+        for (p, px) in self.pods.iter().enumerate() {
+            let dpid = px.spec.ss2_dpid;
+            if p == pod {
+                ports.push((dpid, u32::from(port)));
+                continue;
+            }
+            match self.spec.interconnect {
+                Interconnect::None => {} // single-pod fabrics never get here
+                Interconnect::Line => {
+                    // Toward higher pods out of the right uplink, lower
+                    // pods out of the left; transit frames enter on one
+                    // and leave on the other, so no reflection guard is
+                    // needed.
+                    let out = if pod > p { uplink_right } else { uplink_left };
+                    ports.push((dpid, out));
+                }
+                Interconnect::SpineSoft => ports.push((dpid, uplink_right)),
+                Interconnect::SpineLegacy => {
+                    ports.push((dpid, uplink_right));
+                    guards.push((dpid, uplink_right));
+                }
+            }
+        }
+        if let Some(Spine::Soft(_)) = self.spine {
+            ports.push((self.spec.spine_dpid, pod as u32 + 1));
+        }
+        HostRoute {
+            ip: self.host_ip(pod, port),
+            mac: self.host_mac(pod, port),
+            ports,
+            guards,
+        }
+    }
+
+    /// Register one route with the connected controller's [`ArpProxy`].
+    ///
+    /// # Panics
+    /// Panics if the controller node runs no [`ArpProxy`] app — the
+    /// spec explicitly asked for proxying, so silently skipping it would
+    /// quietly restore the O(hosts²) flood.
+    fn push_route(&self, net: &mut Network, route: HostRoute) {
+        let ctrl = self.controller.expect("push_route with a controller");
+        net.node_mut::<ControllerNode>(ctrl)
+            .app_mut::<ArpProxy>()
+            .expect(
+                "FabricSpec::arp_proxy is set, but the fabric controller \
+                 has no ArpProxy app (chain one before the learning app)",
+            )
+            .add_host(route);
     }
 
     /// Attach an arbitrary node (generator/sink) to `(pod, port)` on its
@@ -579,11 +688,26 @@ impl Fabric {
     /// [`HarmlessInstance::connect_controller`], call before the first
     /// `run_*` so the OpenFlow HELLOs go out on start; mid-run
     /// connections go through the manager's admin path instead.
-    pub fn connect_controller(&self, net: &mut Network, controller: NodeId) {
+    ///
+    /// With [`FabricSpec::arp_proxy`] set, all hosts attached so far are
+    /// registered with the controller's [`ArpProxy`] app (hosts attached
+    /// afterwards register as they attach).
+    pub fn connect_controller(&mut self, net: &mut Network, controller: NodeId) {
         for pod in &self.pods {
             pod.connect_controller(net, controller);
         }
         self.connect_spine(net, controller);
+        self.controller = Some(controller);
+        if self.spec.arp_proxy {
+            let routes: Vec<HostRoute> = self
+                .host_ports
+                .iter()
+                .map(|&(pod, port)| self.host_route(pod, port))
+                .collect();
+            for route in routes {
+                self.push_route(net, route);
+            }
+        }
     }
 
     /// Register only a [`Spine::Soft`] spine with the controller (no-op
@@ -639,7 +763,6 @@ impl Fabric {
 mod tests {
     use super::*;
     use controller::apps::LearningSwitch;
-    use controller::ControllerNode;
     use netsim::SimTime;
 
     fn learning_ctrl(net: &mut Network) -> NodeId {
@@ -881,6 +1004,172 @@ mod tests {
         // classic single-queue loop.
         let (lr, la, _) = run(None);
         assert_eq!((lr, la), (r1, a1));
+    }
+
+    /// Build a pods × hosts fabric (optionally with the ARP proxy),
+    /// stagger one all-hosts cross-pod ping round, then a second
+    /// (converged) round. Returns
+    /// `(round-1 replies, round-1 packet-ins, round-2 packet-ins,
+    ///   proxied answers, total hosts)`.
+    fn ping_rounds(
+        proxy: bool,
+        interconnect: Interconnect,
+        n_pods: u16,
+        n_hosts: u16,
+    ) -> (u64, u64, u64, u64, u64) {
+        let mut net = Network::new(5);
+        let apps: Vec<Box<dyn controller::App>> = if proxy {
+            vec![Box::new(ArpProxy::new()), Box::new(LearningSwitch::new())]
+        } else {
+            vec![Box::new(LearningSwitch::new())]
+        };
+        let ctrl = net.add_node(ControllerNode::new("ctrl", apps));
+        let mut fx = FabricSpec::new(n_pods, HarmlessSpec::new(n_hosts))
+            .with_interconnect(interconnect)
+            .with_arp_proxy(proxy)
+            .build(&mut net)
+            .unwrap();
+        fx.configure_direct(&mut net);
+        fx.connect_controller(&mut net, ctrl);
+        let mut hosts: Vec<Vec<NodeId>> = Vec::new();
+        for p in 0..usize::from(n_pods) {
+            hosts.push(
+                (1..=n_hosts)
+                    .map(|i| fx.attach_host(&mut net, p, i).unwrap())
+                    .collect(),
+            );
+        }
+        net.run_until(SimTime::from_millis(100));
+        let round = |net: &mut Network| {
+            for i in 1..=n_hosts {
+                for (p, pod_hosts) in hosts.iter().enumerate() {
+                    let target = fx.host_ip((p + 1) % usize::from(n_pods), i);
+                    let h = pod_hosts[usize::from(i) - 1];
+                    net.with_node_ctx::<Host, _>(h, move |h, ctx| {
+                        h.ping(b"proxy", target);
+                        h.flush(ctx);
+                    });
+                }
+                net.run_for(SimTime::from_micros(400));
+            }
+            net.run_for(SimTime::from_millis(400));
+        };
+        round(&mut net);
+        let replies1: u64 = hosts
+            .iter()
+            .flatten()
+            .map(|&h| net.node_ref::<Host>(h).echo_replies_received())
+            .sum();
+        let pi1 = net.node_ref::<ControllerNode>(ctrl).packet_ins();
+        round(&mut net);
+        let pi2 = net.node_ref::<ControllerNode>(ctrl).packet_ins() - pi1;
+        let answered = if proxy {
+            net.node_mut::<ControllerNode>(ctrl)
+                .app_mut::<ArpProxy>()
+                .unwrap()
+                .answered()
+        } else {
+            0
+        };
+        let total = u64::from(n_pods) * u64::from(n_hosts);
+        (replies1, pi1, pi2, answered, total)
+    }
+
+    #[test]
+    fn arp_proxy_contains_round1_floods() {
+        // Without the proxy: reactive learning, broadcast punts at every
+        // datapath — packet-ins grow superlinearly with hosts.
+        let (replies, pi1, pi2, _, total) = ping_rounds(false, Interconnect::SpineSoft, 3, 4);
+        assert_eq!(replies, total);
+        assert_eq!(pi2, 0);
+        assert!(
+            pi1 > total + 3,
+            "reactive baseline floods: {pi1} packet-ins for {total} hosts"
+        );
+        // With the proxy: one ARP punt per host, answered at the pod
+        // edge; proactive routes keep the unicast path silent.
+        let (replies, pi1, pi2, answered, total) = ping_rounds(true, Interconnect::SpineSoft, 3, 4);
+        assert_eq!(replies, total, "convergence is unchanged");
+        assert_eq!(pi2, 0, "round 2 stays silent");
+        assert!(
+            pi1 <= total + 3,
+            "round-1 packet-ins must be O(hosts): {pi1} > {total} + pods"
+        );
+        assert_eq!(answered, total, "every host's one ARP was proxied");
+    }
+
+    #[test]
+    fn arp_proxy_guards_legacy_spine_reflections() {
+        // A legacy spine floods unknown destinations; without the
+        // reflection guards the proactive uplink routes would bounce
+        // flood copies straight back and storm the fabric. The guarded
+        // routes must converge with pod-edge-only punts.
+        let (replies, pi1, pi2, answered, total) =
+            ping_rounds(true, Interconnect::SpineLegacy, 3, 2);
+        assert_eq!(replies, total);
+        assert_eq!(pi2, 0);
+        assert!(pi1 <= total + 3, "{pi1} packet-ins for {total} hosts");
+        assert_eq!(answered, total);
+    }
+
+    #[test]
+    fn host_routes_follow_the_interconnect() {
+        let mut net = Network::new(1);
+        let fx = FabricSpec::new(3, HarmlessSpec::new(4))
+            .with_interconnect(Interconnect::SpineSoft)
+            .build(&mut net)
+            .unwrap();
+        // Host (pod 1, port 2): home access port, uplinks elsewhere,
+        // pod-facing port on the spine.
+        let r = fx.host_route(1, 2);
+        assert_eq!(r.ip, fx.host_ip(1, 2));
+        assert_eq!(r.mac, fx.host_mac(1, 2));
+        assert_eq!(
+            r.ports,
+            vec![
+                (POD_SS2_DPID_BASE, 5),     // pod 0: uplink (4 access + 1)
+                (POD_SS2_DPID_BASE + 1, 2), // home pod: access port
+                (POD_SS2_DPID_BASE + 2, 5), // pod 2: uplink
+                (SPINE_DPID, 2),            // spine: port pod+1
+            ]
+        );
+        assert!(r.guards.is_empty(), "soft spines need no guards");
+
+        // Line interconnect: direction-aware uplinks, no spine entry.
+        let fx = FabricSpec::new(3, HarmlessSpec::new(4))
+            .with_interconnect(Interconnect::Line)
+            .build(&mut net)
+            .unwrap();
+        let r = fx.host_route(1, 3);
+        assert_eq!(
+            r.ports,
+            vec![
+                (POD_SS2_DPID_BASE, 5),     // pod 0 reaches pod 1 rightward
+                (POD_SS2_DPID_BASE + 1, 3), // home
+                (POD_SS2_DPID_BASE + 2, 6), // pod 2 reaches pod 1 leftward
+            ]
+        );
+
+        // Legacy spine: uplink routes carry reflection guards.
+        let fx = FabricSpec::new(2, HarmlessSpec::new(4))
+            .with_interconnect(Interconnect::SpineLegacy)
+            .build(&mut net)
+            .unwrap();
+        let r = fx.host_route(0, 1);
+        assert_eq!(r.guards, vec![(POD_SS2_DPID_BASE + 1, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ArpProxy app")]
+    fn arp_proxy_flag_requires_the_app() {
+        let mut net = Network::new(1);
+        let ctrl = learning_ctrl(&mut net); // no ArpProxy in the chain
+        let mut fx = FabricSpec::new(2, HarmlessSpec::new(2))
+            .with_arp_proxy(true)
+            .build(&mut net)
+            .unwrap();
+        fx.connect_controller(&mut net, ctrl);
+        let _ = fx.attach_host(&mut net, 0, 1);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod link;
 pub mod measure;
 pub mod net;
 pub mod node;
+pub mod runtime;
 pub mod service;
 pub mod shard;
 pub mod stats;
@@ -56,6 +57,7 @@ pub mod traffic;
 pub use link::{LinkSpec, LinkStats};
 pub use net::{Network, NodeId};
 pub use node::{Node, NodeCtx, PortId};
+pub use runtime::RuntimeStats;
 pub use shard::ShardMap;
 pub use stats::{Counter, Histogram, Rollup};
 pub use time::SimTime;

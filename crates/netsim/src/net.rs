@@ -10,12 +10,12 @@
 //! synchronization protocol.
 
 use bytes::Bytes;
-use std::sync::mpsc;
 use std::sync::Arc;
 
 use crate::link::{LinkDir, LinkSpec, LinkStats};
 use crate::node::{Node, NodeCtx, PortId};
-use crate::shard::{Chan, Cmd, Env, Ev, Loc, Remote, Reply, Shard, ShardMap};
+use crate::runtime::{Runtime, RuntimeStats};
+use crate::shard::{Chan, Env, Ev, Loc, Remote, Shard, ShardMap};
 use crate::time::SimTime;
 
 /// Identifies a node within one [`Network`].
@@ -41,7 +41,9 @@ pub struct Network {
     /// Global node id → (shard, local index).
     loc: Arc<Vec<Loc>>,
     ctrl_delay: SimTime,
-    threads: usize,
+    /// The persistent worker pool and mailbox buffer pools (see
+    /// [`crate::runtime`]).
+    runtime: Runtime,
     tracing: bool,
 }
 
@@ -54,7 +56,7 @@ impl Network {
             shards: vec![Shard::new(0, Shard::rng_stream(seed, 0))],
             loc: Arc::new(Vec::new()),
             ctrl_delay: SimTime::from_micros(50),
-            threads: 1,
+            runtime: Runtime::new(),
             tracing: false,
         }
     }
@@ -133,18 +135,39 @@ impl Network {
         self.shards.len()
     }
 
-    /// Worker threads used to run a sharded network (default 1).
+    /// Worker threads used to run a sharded network (default 1; already
+    /// resolved if `set_threads(0)` asked for auto-detection).
     pub fn threads(&self) -> usize {
-        self.threads
+        self.runtime.threads()
     }
 
-    /// Run shards on up to `n` worker threads (clamped to at least 1).
-    /// The thread count never changes simulation results — only
-    /// wall-clock time. With `n == 1` the shards run interleaved on the
-    /// calling thread, windows and barriers included, so `--threads 1`
-    /// and `--threads 8` are bit-identical.
+    /// Run shards on `n` worker threads. `n == 0` auto-detects via
+    /// [`std::thread::available_parallelism`]. The thread count never
+    /// changes simulation results — only wall-clock time. With a
+    /// resolved count of 1 the shards run interleaved on the calling
+    /// thread, windows and barriers included, so `--threads 1` and
+    /// `--threads 8` are bit-identical.
+    ///
+    /// For counts above 1 this is where the persistent worker pool is
+    /// (re)created: workers spawn here, park between runs and windows,
+    /// and are joined only when the network drops or the count changes —
+    /// `run_until`/`run_for` never spawn threads (see
+    /// [`crate::runtime`]).
     pub fn set_threads(&mut self, n: usize) {
-        self.threads = n.max(1);
+        let n = if n == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            n
+        };
+        self.runtime.configure(n);
+    }
+
+    /// Resource counters of the execution runtime (worker spawns,
+    /// mailbox-buffer allocations, windows executed).
+    pub fn runtime_stats(&self) -> RuntimeStats {
+        self.runtime.stats()
     }
 
     /// Split the network into the shards described by `map`: per-shard
@@ -400,21 +423,23 @@ impl Network {
 
     /// Collect every shard's outbox and merge it into the destination
     /// queues in deterministic `(time, source shard, source seq)` order.
-    /// Only valid at a barrier (all shards at a common fence time).
+    /// Only valid at a barrier (all shards at a common fence time). The
+    /// scratch buffer is recycled through the runtime's pool.
     fn exchange_all(&mut self, env: &Env) -> bool {
-        let mut mail: Vec<Remote> = Vec::new();
+        let mut mail: Vec<Remote> = self.runtime.pool.get();
         for s in &mut self.shards {
             mail.append(&mut s.outbox);
         }
-        if mail.is_empty() {
-            return false;
+        let any = !mail.is_empty();
+        if any {
+            mail.sort_by_key(Remote::key);
+            for r in mail.drain(..) {
+                let l = env.loc[r.dest().0];
+                self.shards[l.shard as usize].insert_remote(r, env);
+            }
         }
-        mail.sort_by_key(Remote::key);
-        for r in mail {
-            let l = env.loc[r.dest().0];
-            self.shards[l.shard as usize].insert_remote(r, env);
-        }
-        true
+        self.runtime.pool.put(mail);
+        any
     }
 
     /// Run until the event queue is exhausted or `limit` is reached,
@@ -435,10 +460,15 @@ impl Network {
                 "sharded run needs a positive lookahead: every cross-shard \
                  link delay and the ctrl delay must be > 0"
             );
-            if self.threads.min(self.shards.len()) <= 1 {
+            if self.runtime.threads().min(self.shards.len()) <= 1 {
                 self.run_windows_inline(limit, lookahead, &env);
             } else {
-                self.run_windows_parallel(limit, lookahead, &env);
+                // The persistent worker pool: shards move into the
+                // already-running workers and come back at the end of
+                // the call — no threads are spawned here.
+                self.runtime
+                    .run_windows(&mut self.shards, limit, lookahead, &env);
+                self.drain_saturated(limit, &env);
             }
         }
         // Advance and re-align the clocks. Like the classic loop, the
@@ -508,6 +538,7 @@ impl Network {
             if horizon == SimTime::MAX {
                 break;
             }
+            self.runtime.count_window();
             for s in &mut self.shards {
                 s.burn(horizon, limit, env);
             }
@@ -554,125 +585,6 @@ impl Network {
                 }
             }
         }
-    }
-
-    /// The window loop across worker threads (`std::thread` +
-    /// `std::sync::mpsc`). Shards move into the workers for the duration
-    /// of the call and come back at the end; the coordinator only routes
-    /// mailboxes and computes horizons.
-    fn run_windows_parallel(&mut self, limit: SimTime, lookahead: SimTime, env: &Env) {
-        let n = self.shards.len();
-        let t = self.threads.min(n);
-        let mut worker_next: Vec<SimTime> = vec![SimTime::MAX; t];
-        for (i, s) in self.shards.iter().enumerate() {
-            worker_next[i % t] = worker_next[i % t].min(s.next_time());
-        }
-
-        // Move the shards into their workers (round-robin by shard id).
-        let mut buckets: Vec<Vec<(u32, Shard)>> = (0..t).map(|_| Vec::new()).collect();
-        for (i, s) in std::mem::take(&mut self.shards).into_iter().enumerate() {
-            buckets[i % t].push((i as u32, s));
-        }
-        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
-        let mut cmd_txs = Vec::with_capacity(t);
-        let mut handles = Vec::with_capacity(t);
-        for (w, bucket) in buckets.into_iter().enumerate() {
-            let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
-            cmd_txs.push(cmd_tx);
-            let env = env.clone();
-            let reply_tx = reply_tx.clone();
-            handles.push(std::thread::spawn(move || {
-                crate::shard::worker_loop(bucket, env, w, cmd_rx, reply_tx);
-            }));
-        }
-
-        let mut pending: Vec<Remote> = Vec::new();
-        loop {
-            let mut next = worker_next.iter().copied().min().unwrap_or(SimTime::MAX);
-            for r in &pending {
-                next = next.min(r.at);
-            }
-            if next > limit || next == SimTime::MAX {
-                break;
-            }
-            let horizon = next + lookahead;
-            if horizon == SimTime::MAX {
-                break;
-            }
-            // Route the pending mail: global deterministic order, then
-            // grouped per destination shard, then per owning worker.
-            pending.sort_by_key(Remote::key);
-            let mut by_shard: Vec<Vec<Remote>> = (0..n).map(|_| Vec::new()).collect();
-            for r in pending.drain(..) {
-                by_shard[env.loc[r.dest().0].shard as usize].push(r);
-            }
-            let mut by_worker: Vec<Vec<(u32, Vec<Remote>)>> = (0..t).map(|_| Vec::new()).collect();
-            for (sid, batch) in by_shard.into_iter().enumerate() {
-                if !batch.is_empty() {
-                    by_worker[sid % t].push((sid as u32, batch));
-                }
-            }
-            for (w, mail) in by_worker.into_iter().enumerate() {
-                cmd_txs[w]
-                    .send(Cmd::Window {
-                        horizon,
-                        limit,
-                        mail,
-                    })
-                    .expect("worker alive");
-            }
-            for _ in 0..t {
-                match reply_rx.recv().expect("worker alive") {
-                    Reply::Window {
-                        worker,
-                        next,
-                        outbox,
-                    } => {
-                        worker_next[worker] = next;
-                        pending.extend(outbox);
-                    }
-                    Reply::Done { .. } => unreachable!("no Finish sent yet"),
-                }
-            }
-        }
-
-        // Retrieve the shards and re-assemble them in id order.
-        for tx in &cmd_txs {
-            tx.send(Cmd::Finish).expect("worker alive");
-        }
-        let mut returned: Vec<Option<Shard>> = (0..n).map(|_| None).collect();
-        let mut done = 0;
-        while done < t {
-            match reply_rx.recv().expect("worker alive") {
-                Reply::Done { shards } => {
-                    for (id, s) in shards {
-                        returned[id as usize] = Some(s);
-                    }
-                    done += 1;
-                }
-                Reply::Window { .. } => unreachable!("all windows were joined"),
-            }
-        }
-        for h in handles {
-            h.join().expect("worker thread exits cleanly");
-        }
-        self.shards = returned
-            .into_iter()
-            .map(|s| s.expect("every shard returned"))
-            .collect();
-
-        // Mail beyond the limit (or from the last window) still has to
-        // reach its destination queue for future runs.
-        if !pending.is_empty() {
-            pending.sort_by_key(Remote::key);
-            for r in pending {
-                let l = env.loc[r.dest().0];
-                self.shards[l.shard as usize].insert_remote(r, env);
-            }
-        }
-        // No-op unless event times sit within a lookahead of the end of
-        // time (saturated horizon above).
-        self.drain_saturated(limit, env);
     }
 }
 
@@ -957,6 +869,134 @@ mod tests {
         }
         assert_eq!(a0.len(), 4);
         assert_eq!(a1.len(), 4);
+    }
+
+    /// The sharded scenario again, but driven through many short
+    /// `run_for` slices — the staggered-driver shape that used to pay a
+    /// thread spawn-join per slice.
+    fn sliced_scenario(threads: Option<usize>, slices: u32) -> (Vec<SimTime>, Vec<SimTime>, u64) {
+        let mut net = Network::new(9);
+        let p0 = net.add_node(pinger(4, SimTime::from_micros(3)));
+        let e0 = net.add_node(Echo {
+            delay: SimTime::from_micros(1),
+            seen: 0,
+        });
+        let p1 = net.add_node(pinger(4, SimTime::from_micros(5)));
+        let e1 = net.add_node(Echo {
+            delay: SimTime::from_micros(2),
+            seen: 0,
+        });
+        net.connect(p0, PortId(0), e0, PortId(0), LinkSpec::gigabit());
+        net.connect(p1, PortId(0), e1, PortId(0), LinkSpec::gigabit());
+        if let Some(t) = threads {
+            let mut map = ShardMap::new(3);
+            map.assign(p0, 1);
+            map.assign(e0, 1);
+            map.assign(e1, 1);
+            map.assign(p1, 2);
+            net.set_shards(&map);
+            net.set_threads(t);
+        }
+        for _ in 0..slices {
+            net.run_for(SimTime::from_micros(5));
+        }
+        net.run_until(SimTime::from_millis(5));
+        let a0 = net.node_ref::<Pinger>(p0).arrivals.clone();
+        let a1 = net.node_ref::<Pinger>(p1).arrivals.clone();
+        (a0, a1, net.events_processed())
+    }
+
+    /// Satellite contract: repeated `run_for` calls on a persistent pool
+    /// produce byte-identical arrival times and event counts to a fresh
+    /// single-queue engine — and to any other slicing of the same span.
+    #[test]
+    fn persistent_pool_multi_run_matches_single_queue() {
+        let base = sliced_scenario(None, 40);
+        assert_eq!(base.0.len(), 4, "workload converged");
+        for threads in [1, 2, 3] {
+            assert_eq!(
+                sliced_scenario(Some(threads), 40),
+                base,
+                "threads={threads}"
+            );
+        }
+        // A different slicing of the same simulated span changes nothing.
+        assert_eq!(sliced_scenario(Some(2), 7), base);
+    }
+
+    /// Satellite contract: `set_threads` is the only place worker
+    /// threads are created; `run_until`/`run_for` reuse the parked pool.
+    #[test]
+    fn workers_spawn_once_per_set_threads_not_per_run() {
+        let mut net = Network::new(9);
+        let p = net.add_node(pinger(500, SimTime::from_micros(4)));
+        let e = net.add_node(Echo {
+            delay: SimTime::from_micros(1),
+            seen: 0,
+        });
+        net.connect(p, PortId(0), e, PortId(0), LinkSpec::gigabit());
+        let mut map = ShardMap::new(2);
+        map.assign(e, 1);
+        net.set_shards(&map);
+        assert_eq!(net.runtime_stats().workers_spawned, 0);
+        net.set_threads(2);
+        assert_eq!(net.runtime_stats().workers_spawned, 2);
+        for _ in 0..50 {
+            net.run_for(SimTime::from_micros(20));
+        }
+        let stats = net.runtime_stats();
+        assert_eq!(
+            stats.workers_spawned, 2,
+            "50 run_for calls must not spawn any threads"
+        );
+        assert!(stats.windows > 50, "the runs actually executed windows");
+        // Reconfiguring to the same count is a no-op; a new count joins
+        // the old pool and spawns a fresh one.
+        net.set_threads(2);
+        assert_eq!(net.runtime_stats().workers_spawned, 2);
+        net.set_threads(3);
+        assert_eq!(net.runtime_stats().workers_spawned, 5);
+        net.run_for(SimTime::from_micros(20));
+        assert_eq!(net.runtime_stats().workers_spawned, 5);
+    }
+
+    /// Satellite contract: per-window mailbox buffers come from the
+    /// free-list — after a warm-up, steady-state windows allocate
+    /// nothing.
+    #[test]
+    fn mailbox_buffers_recycle_through_the_pool() {
+        let mut net = Network::new(9);
+        // Cross-shard pinger ↔ echo so every window carries remote mail.
+        let p = net.add_node(pinger(2000, SimTime::from_micros(4)));
+        let e = net.add_node(Echo {
+            delay: SimTime::from_micros(1),
+            seen: 0,
+        });
+        net.connect(p, PortId(0), e, PortId(0), LinkSpec::gigabit());
+        let mut map = ShardMap::new(2);
+        map.assign(e, 1);
+        net.set_shards(&map);
+        net.set_threads(2);
+        for _ in 0..10 {
+            net.run_for(SimTime::from_micros(40));
+        }
+        let before = net.runtime_stats();
+        for _ in 0..40 {
+            net.run_for(SimTime::from_micros(40));
+        }
+        let after = net.runtime_stats();
+        assert!(after.windows > before.windows + 40, "windows kept running");
+        assert_eq!(
+            after.mailbox_allocs, before.mailbox_allocs,
+            "steady-state windows must draw every mailbox buffer from the pool"
+        );
+    }
+
+    #[test]
+    fn auto_thread_detection_resolves_to_a_positive_count() {
+        let mut net = Network::new(1);
+        net.set_threads(0);
+        assert!(net.threads() >= 1, "0 means auto-detect, never zero");
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! The persistent shard-worker runtime: a long-lived worker pool and
+//! recycled mailbox buffers for the sharded engine.
+//!
+//! Before this module existed, every `run_until` call on a sharded
+//! [`crate::Network`] spawned its worker threads, ran its windows, and
+//! joined the threads again — and every window allocated fresh
+//! `Vec<Remote>` mailbox buffers. Staggered experiment drivers call
+//! `run_for` hundreds of times per round, so a single experiment paid
+//! thousands of thread spawns and tens of thousands of allocations for
+//! constants that have nothing to do with the simulated workload.
+//!
+//! The `Runtime` owns both constants:
+//!
+//! * **Workers are created once**, in [`crate::Network::set_threads`],
+//!   and live until the network is dropped or the thread count is
+//!   reconfigured. Between runs (and between the `Adopt`/`Release`
+//!   handshakes of one run) each worker parks in `mpsc::Receiver::recv`
+//!   — a condvar block, not a spin — and is unparked by the next
+//!   command. `run_until`/`run_for` never touch `std::thread::spawn`.
+//! * **Mailbox buffers are recycled** through a `BufPool` free-list:
+//!   the per-window routing buckets, the per-worker outboxes, and the
+//!   pending-mail scratch all draw from the pool and return to it, so a
+//!   steady-state window performs no mailbox allocations at all.
+//!
+//! The window protocol itself is unchanged from the original spawn-join
+//! engine: the coordinator routes cross-shard mail in total
+//! `(time, source shard, source seq)` order and computes horizons, the
+//! workers burn windows — so results remain **bit-identical for any
+//! thread count**, persistent pool or not. [`RuntimeStats`] exposes the
+//! spawn and allocation counters the regression tests assert on.
+//!
+//! ## One run of a sharded network (threads > 1)
+//!
+//! ```text
+//! set_threads(N):   spawn N workers          (workers_spawned += N)
+//!                      each parks in recv()
+//! run_until:        Adopt{shards, env} ──►   workers own their shards
+//!   window loop:    Window{horizon, mail, outbox} ──► burn, fill outbox
+//!                      ◄── Reply::Window{next, outbox, spent mail}
+//!                      (all buffers return to the pool)
+//!   run ends:       Release ──►  ◄── Reply::Done{shards}
+//!                      workers park again, still alive
+//! drop / set_threads(M): channels close, workers exit, threads joined
+//! ```
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use crate::shard::{Env, Remote, Shard};
+use crate::time::SimTime;
+
+/// Counters describing the runtime's resource behavior, for tests and
+/// diagnostics. Obtain a snapshot with [`crate::Network::runtime_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Worker threads spawned over the network's lifetime. Grows only in
+    /// `set_threads` (once per reconfiguration), never in `run_until`.
+    pub workers_spawned: u64,
+    /// Mailbox buffers allocated because the free-list was empty. Flat
+    /// at steady state: once the pool is warm, windows recycle.
+    pub mailbox_allocs: u64,
+    /// Synchronization windows executed (inline or parallel).
+    pub windows: u64,
+}
+
+/// Free-list of `Vec<Remote>` mailbox buffers. Buffers keep their
+/// capacity across reuse, so a warmed-up pool serves every window
+/// allocation-free; only pool misses allocate (and are counted).
+pub(crate) struct BufPool {
+    free: Vec<Vec<Remote>>,
+    allocs: u64,
+}
+
+impl BufPool {
+    fn new() -> BufPool {
+        BufPool {
+            free: Vec::new(),
+            allocs: 0,
+        }
+    }
+
+    pub fn get(&mut self) -> Vec<Remote> {
+        self.free.pop().unwrap_or_else(|| {
+            self.allocs += 1;
+            Vec::new()
+        })
+    }
+
+    pub fn put(&mut self, mut buf: Vec<Remote>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+}
+
+/// Commands from the coordinator to a parked worker.
+enum Cmd {
+    /// Take ownership of `shards` for the duration of one `run_*` call.
+    Adopt { shards: Vec<(u32, Shard)>, env: Env },
+    /// Run one window: merge `mail` (pre-sorted per shard), burn every
+    /// owned shard to `horizon`, collect cross-shard events into
+    /// `outbox`.
+    Window {
+        horizon: SimTime,
+        limit: SimTime,
+        mail: Vec<(u32, Vec<Remote>)>,
+        outbox: Vec<Remote>,
+    },
+    /// Hand the shards back to the coordinator; park until the next
+    /// `Adopt` (the thread stays alive).
+    Release,
+}
+
+/// Worker-to-coordinator replies.
+enum Reply {
+    /// One window finished on this worker.
+    Window {
+        worker: usize,
+        /// Earliest pending event across the worker's shards.
+        next: SimTime,
+        /// Cross-shard events generated this window.
+        outbox: Vec<Remote>,
+        /// The drained mail buffers, returned for recycling.
+        spent: Vec<(u32, Vec<Remote>)>,
+    },
+    /// The worker's shards, handed back on [`Cmd::Release`].
+    Done { shards: Vec<(u32, Shard)> },
+}
+
+/// Body of one persistent worker thread. Parks in `recv()` between
+/// commands; owns a set of shards between `Adopt` and `Release`; exits
+/// when the command channel closes (runtime drop or reconfigure).
+/// Communication is pure `std::sync::mpsc`; the worker never touches
+/// another shard's state.
+fn worker_loop(worker: usize, rx: mpsc::Receiver<Cmd>, tx: mpsc::Sender<Reply>) {
+    let mut shards: Vec<(u32, Shard)> = Vec::new();
+    let mut env: Option<Env> = None;
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Adopt { shards: s, env: e } => {
+                shards = s;
+                env = Some(e);
+            }
+            Cmd::Window {
+                horizon,
+                limit,
+                mut mail,
+                mut outbox,
+            } => {
+                let env = env.as_ref().expect("Adopt precedes Window");
+                for (id, batch) in &mut mail {
+                    let (_, shard) = shards
+                        .iter_mut()
+                        .find(|(sid, _)| sid == id)
+                        .expect("mail routed to an owned shard");
+                    for r in batch.drain(..) {
+                        shard.insert_remote(r, env);
+                    }
+                }
+                let mut next = SimTime::MAX;
+                for (_, shard) in &mut shards {
+                    shard.burn(horizon, limit, env);
+                    outbox.append(&mut shard.outbox);
+                    next = next.min(shard.next_time());
+                }
+                if tx
+                    .send(Reply::Window {
+                        worker,
+                        next,
+                        outbox,
+                        spent: mail,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Cmd::Release => {
+                env = None;
+                if tx
+                    .send(Reply::Done {
+                        shards: std::mem::take(&mut shards),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// One worker thread's handle: its command channel and join handle.
+struct Worker {
+    tx: mpsc::Sender<Cmd>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The persistent execution backend of a sharded [`crate::Network`]:
+/// worker threads, their channels, and the mailbox buffer pools.
+pub(crate) struct Runtime {
+    /// Configured worker-thread count (resolved; always ≥ 1).
+    threads: usize,
+    workers: Vec<Worker>,
+    reply_rx: Option<mpsc::Receiver<Reply>>,
+    pub pool: BufPool,
+    /// Free-list for the per-worker `(shard, batch)` mail holders.
+    mail_pool: Vec<Vec<(u32, Vec<Remote>)>>,
+    workers_spawned: u64,
+    windows: u64,
+}
+
+impl Runtime {
+    pub fn new() -> Runtime {
+        Runtime {
+            threads: 1,
+            workers: Vec::new(),
+            reply_rx: None,
+            pool: BufPool::new(),
+            mail_pool: Vec::new(),
+            workers_spawned: 0,
+            windows: 0,
+        }
+    }
+
+    /// Resolved worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            workers_spawned: self.workers_spawned,
+            mailbox_allocs: self.pool.allocs,
+            windows: self.windows,
+        }
+    }
+
+    /// Count one synchronization window (also called by the inline
+    /// window loop so `windows` means the same thing at any thread
+    /// count).
+    pub fn count_window(&mut self) {
+        self.windows += 1;
+    }
+
+    /// (Re)configure the pool to `threads` workers. A no-op when the
+    /// count is unchanged; otherwise existing workers are joined and a
+    /// fresh pool is spawned — the only two places threads are ever
+    /// created or destroyed are here and `drop`.
+    pub fn configure(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        if threads == self.threads && (threads == 1 || !self.workers.is_empty()) {
+            return;
+        }
+        self.shutdown();
+        self.threads = threads;
+        if threads == 1 {
+            return;
+        }
+        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+        self.reply_rx = Some(reply_rx);
+        for w in 0..threads {
+            let (tx, rx) = mpsc::channel::<Cmd>();
+            let reply_tx = reply_tx.clone();
+            let join = std::thread::spawn(move || worker_loop(w, rx, reply_tx));
+            self.workers.push(Worker {
+                tx,
+                join: Some(join),
+            });
+            self.workers_spawned += 1;
+        }
+        // The original reply sender drops here: once every worker has
+        // exited, `recv` errors instead of blocking forever.
+    }
+
+    /// Join all workers (hang up their command channels first).
+    fn shutdown(&mut self) {
+        let workers = std::mem::take(&mut self.workers);
+        for mut w in workers {
+            drop(w.tx);
+            if let Some(join) = w.join.take() {
+                // A worker that panicked already reported via the test
+                // harness; don't double-panic in drop paths.
+                let _ = join.join();
+            }
+        }
+        self.reply_rx = None;
+    }
+
+    /// The window loop across the persistent workers. Shards move into
+    /// the workers for the duration of the call (`Adopt`) and come back
+    /// at the end (`Release`); the coordinator only routes mailboxes and
+    /// computes horizons. Identical window/barrier/merge sequence to the
+    /// inline loop, so results match any thread count.
+    pub fn run_windows(
+        &mut self,
+        shards: &mut Vec<Shard>,
+        limit: SimTime,
+        lookahead: SimTime,
+        env: &Env,
+    ) {
+        let n = shards.len();
+        let t = self.threads.min(n);
+        debug_assert!(t > 1, "inline loop handles t <= 1");
+        let mut worker_next: Vec<SimTime> = vec![SimTime::MAX; t];
+        for (i, s) in shards.iter().enumerate() {
+            worker_next[i % t] = worker_next[i % t].min(s.next_time());
+        }
+
+        // Move the shards into their workers (round-robin by shard id).
+        let mut buckets: Vec<Vec<(u32, Shard)>> = (0..t).map(|_| Vec::new()).collect();
+        for (i, s) in std::mem::take(shards).into_iter().enumerate() {
+            buckets[i % t].push((i as u32, s));
+        }
+        for (w, bucket) in buckets.into_iter().enumerate() {
+            self.workers[w]
+                .tx
+                .send(Cmd::Adopt {
+                    shards: bucket,
+                    env: env.clone(),
+                })
+                .expect("worker alive");
+        }
+
+        let mut pending: Vec<Remote> = self.pool.get();
+        loop {
+            let mut next = worker_next.iter().copied().min().unwrap_or(SimTime::MAX);
+            for r in &pending {
+                next = next.min(r.at);
+            }
+            if next > limit || next == SimTime::MAX {
+                break;
+            }
+            let horizon = next + lookahead;
+            if horizon == SimTime::MAX {
+                break;
+            }
+            self.windows += 1;
+            // Route the pending mail: global deterministic order, then
+            // grouped per destination shard, then per owning worker —
+            // all through pooled buffers.
+            pending.sort_by_key(Remote::key);
+            let mut by_shard: Vec<Vec<Remote>> = (0..n).map(|_| self.pool.get()).collect();
+            for r in pending.drain(..) {
+                by_shard[env.loc[r.dest().0].shard as usize].push(r);
+            }
+            let mut mails: Vec<Vec<(u32, Vec<Remote>)>> = (0..t)
+                .map(|_| self.mail_pool.pop().unwrap_or_default())
+                .collect();
+            for (sid, batch) in by_shard.into_iter().enumerate() {
+                if batch.is_empty() {
+                    self.pool.put(batch);
+                } else {
+                    mails[sid % t].push((sid as u32, batch));
+                }
+            }
+            for (w, mail) in mails.into_iter().enumerate() {
+                let outbox = self.pool.get();
+                self.workers[w]
+                    .tx
+                    .send(Cmd::Window {
+                        horizon,
+                        limit,
+                        mail,
+                        outbox,
+                    })
+                    .expect("worker alive");
+            }
+            let reply_rx = self.reply_rx.as_ref().expect("pool is configured");
+            for _ in 0..t {
+                match reply_rx.recv().expect("worker alive") {
+                    Reply::Window {
+                        worker,
+                        next,
+                        mut outbox,
+                        mut spent,
+                    } => {
+                        worker_next[worker] = next;
+                        pending.append(&mut outbox);
+                        self.pool.put(outbox);
+                        for (_, batch) in spent.drain(..) {
+                            self.pool.put(batch);
+                        }
+                        self.mail_pool.push(spent);
+                    }
+                    Reply::Done { .. } => unreachable!("no Release sent yet"),
+                }
+            }
+        }
+
+        // Retrieve the shards and re-assemble them in id order.
+        for w in 0..t {
+            self.workers[w].tx.send(Cmd::Release).expect("worker alive");
+        }
+        let mut returned: Vec<Option<Shard>> = (0..n).map(|_| None).collect();
+        let reply_rx = self.reply_rx.as_ref().expect("pool is configured");
+        let mut done = 0;
+        while done < t {
+            match reply_rx.recv().expect("worker alive") {
+                Reply::Done { shards } => {
+                    for (id, s) in shards {
+                        returned[id as usize] = Some(s);
+                    }
+                    done += 1;
+                }
+                Reply::Window { .. } => unreachable!("all windows were joined"),
+            }
+        }
+        *shards = returned
+            .into_iter()
+            .map(|s| s.expect("every shard returned"))
+            .collect();
+
+        // Mail beyond the limit (or from the last window) still has to
+        // reach its destination queue for future runs.
+        if !pending.is_empty() {
+            pending.sort_by_key(Remote::key);
+            for r in pending.drain(..) {
+                let l = env.loc[r.dest().0];
+                shards[l.shard as usize].insert_remote(r, env);
+            }
+        }
+        self.pool.put(pending);
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -53,7 +53,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::mpsc;
 use std::sync::Arc;
 
 use crate::link::LinkDir;
@@ -600,81 +599,6 @@ impl Shard {
     }
 }
 
-/// Barrier commands from the coordinator to a worker thread.
-pub(crate) enum Cmd {
-    /// Run one window: merge `mail` (pre-sorted per shard), then burn
-    /// every owned shard to `horizon`.
-    Window {
-        horizon: SimTime,
-        limit: SimTime,
-        mail: Vec<(u32, Vec<Remote>)>,
-    },
-    /// Return the shards to the coordinator and exit.
-    Finish,
-}
-
-/// Worker-to-coordinator replies.
-pub(crate) enum Reply {
-    /// One window finished on this worker.
-    Window {
-        worker: usize,
-        /// Earliest pending event across the worker's shards.
-        next: SimTime,
-        /// Cross-shard events generated this window.
-        outbox: Vec<Remote>,
-    },
-    /// The worker's shards, handed back on [`Cmd::Finish`].
-    Done { shards: Vec<(u32, Shard)> },
-}
-
-/// Body of one worker thread: owns a set of shards for the duration of a
-/// `run_*` call and executes windows on command. Communication is pure
-/// `std::sync::mpsc`; the worker never touches another shard's state.
-pub(crate) fn worker_loop(
-    mut shards: Vec<(u32, Shard)>,
-    env: Env,
-    worker: usize,
-    rx: mpsc::Receiver<Cmd>,
-    tx: mpsc::Sender<Reply>,
-) {
-    while let Ok(cmd) = rx.recv() {
-        match cmd {
-            Cmd::Window {
-                horizon,
-                limit,
-                mail,
-            } => {
-                for (id, batch) in mail {
-                    let (_, shard) = shards
-                        .iter_mut()
-                        .find(|(sid, _)| *sid == id)
-                        .expect("mail routed to an owned shard");
-                    for r in batch {
-                        shard.insert_remote(r, &env);
-                    }
-                }
-                let mut outbox = Vec::new();
-                let mut next = SimTime::MAX;
-                for (_, shard) in &mut shards {
-                    shard.burn(horizon, limit, &env);
-                    outbox.append(&mut shard.outbox);
-                    next = next.min(shard.next_time());
-                }
-                if tx
-                    .send(Reply::Window {
-                        worker,
-                        next,
-                        outbox,
-                    })
-                    .is_err()
-                {
-                    return;
-                }
-            }
-            Cmd::Finish => {
-                let _ = tx.send(Reply::Done { shards });
-                return;
-            }
-        }
-    }
-}
+// The worker-thread machinery (commands, replies, the worker loop and
+// the persistent pool that owns them) lives in [`crate::runtime`]; this
+// module only defines the shard state those workers execute.

@@ -151,3 +151,56 @@ fn sharded_engine_matches_single_queue_loop() {
     let sharded = observables(Some(2));
     assert_eq!(legacy, sharded, "engines must agree on all observables");
 }
+
+/// The persistent runtime on a full fabric stack: a staggered multi-round
+/// driver issues hundreds of `run_for` calls, and the worker pool must
+/// serve all of them with the threads spawned at `set_threads` — while
+/// steady-state windows draw every mailbox buffer from the free-list.
+#[test]
+fn fabric_runs_reuse_the_worker_pool() {
+    let mut net = Network::new(11);
+    let ctrl = net.add_node(ControllerNode::new(
+        "ctrl",
+        vec![Box::new(LearningSwitch::new())],
+    ));
+    let mut fx = FabricSpec::new(2, HarmlessSpec::new(2))
+        .with_interconnect(Interconnect::SpineSoft)
+        .build(&mut net)
+        .expect("valid spec");
+    fx.configure_direct(&mut net);
+    fx.connect_controller(&mut net, ctrl);
+    let a = fx.attach_host(&mut net, 0, 1).expect("free port");
+    let b = fx.attach_host(&mut net, 1, 1).expect("free port");
+    net.set_shards(&fx.shard_map());
+    net.set_threads(2);
+    net.run_until(SimTime::from_millis(100));
+    assert_eq!(net.runtime_stats().workers_spawned, 2);
+
+    let mut warm = netsim::RuntimeStats::default();
+    for round in 0..3 {
+        for (h, peer) in [(a, fx.host_ip(1, 1)), (b, fx.host_ip(0, 1))] {
+            net.with_node_ctx::<Host, _>(h, move |h, ctx| {
+                h.ping(b"pool", peer);
+                h.flush(ctx);
+            });
+        }
+        for _ in 0..40 {
+            net.run_for(SimTime::from_micros(300));
+        }
+        if round == 1 {
+            warm = net.runtime_stats();
+        }
+    }
+    let end = net.runtime_stats();
+    assert_eq!(
+        end.workers_spawned, 2,
+        "3 rounds × 40 run_for calls must not spawn a single thread"
+    );
+    assert!(end.windows > warm.windows, "the last round ran windows");
+    assert_eq!(
+        end.mailbox_allocs, warm.mailbox_allocs,
+        "a warm pool serves every window from the free-list"
+    );
+    assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 3);
+    assert_eq!(net.node_ref::<Host>(b).echo_replies_received(), 3);
+}
