@@ -1,0 +1,339 @@
+//! E4 — resilience: what does a fault cost the data plane, and how fast
+//! does HARMLESS reconverge?
+//!
+//! A 4-pod spine fabric carries three measured CBR flows (one per remote
+//! pod) while a fault schedule runs: an uplink flap, a softswitch power
+//! cycle, a legacy-switch reboot with and without the management plane
+//! watching, and a full migration wave under live traffic. Every sink
+//! carries an SLO meter, so each scenario yields per-flow downtime,
+//! worst outage and time-to-reconverge next to the engine's blackholed
+//! frame count — the disruption-vs-plan table of EXPERIMENTS.md.
+//!
+//! `cargo run --release -p bench --bin exp_resilience` (add `--quick`
+//! for the CI smoke subset: one fault scenario + the migration wave).
+
+use bench::render_table;
+use controller::apps::{ArpProxy, LearningSwitch};
+use controller::ControllerNode;
+use harmless::fabric::{Fabric, FabricSpec, Interconnect};
+use harmless::instance::HarmlessSpec;
+use harmless::manager::{HarmlessManager, ManagerConfig};
+use netsim::traffic::{FlowSpec, Generator, Pattern, Sink};
+use netsim::{FaultPlan, Network, NodeId, PortId, SimTime};
+
+const PODS: usize = 4;
+const ACCESS_PORTS: u16 = 4;
+/// Access port carrying the measurement stations in every pod.
+const STATION_PORT: u16 = 2;
+/// Per-flow rate: 1 kpps → 1 ms inter-arrival.
+const PPS_PER_FLOW: f64 = 1_000.0;
+/// A service gap above this is an outage (10× the inter-arrival time).
+const SLO_THRESHOLD: SimTime = SimTime::from_millis(10);
+const TRAFFIC_START: SimTime = SimTime::from_millis(100);
+const FAULT_AT: SimTime = SimTime::from_millis(500);
+
+struct FlowReport {
+    dst_pod: usize,
+    received: u64,
+    first_rx: Option<SimTime>,
+    downtime_ns: u64,
+    worst_ns: u64,
+    reconverged_ns: Option<u64>,
+}
+
+struct Report {
+    plan: &'static str,
+    /// When the measurement window (= traffic) closed.
+    stop: SimTime,
+    flows: Vec<FlowReport>,
+    blackholed: u64,
+}
+
+/// The common harness: controller, fabric, identity hosts on port 1 of
+/// every pod, a generator in pod 0 and an SLO-metered sink in each
+/// remote pod, all on [`STATION_PORT`].
+struct Harness {
+    net: Network,
+    fx: Fabric,
+    ctrl: NodeId,
+    gen: NodeId,
+    sinks: Vec<(usize, NodeId)>,
+    traffic_stop: SimTime,
+}
+
+fn build(seed: u64, traffic_stop: SimTime) -> Harness {
+    let mut net = Network::new(seed);
+    let ctrl = net.add_node(ControllerNode::new(
+        "ctrl",
+        vec![Box::new(ArpProxy::new()), Box::new(LearningSwitch::new())],
+    ));
+    let mut fx = FabricSpec::new(PODS as u16, HarmlessSpec::new(ACCESS_PORTS))
+        .with_interconnect(Interconnect::SpineSoft)
+        .with_arp_proxy(true)
+        .build(&mut net)
+        .expect("valid fabric spec");
+    for p in 0..PODS {
+        fx.attach_host(&mut net, p, 1).expect("free access port");
+    }
+    let flows: Vec<FlowSpec> = (1..PODS)
+        .map(|p| FlowSpec {
+            src_mac: fx.host_mac(0, STATION_PORT),
+            dst_mac: fx.host_mac(p, STATION_PORT),
+            src_ip: fx.host_ip(0, STATION_PORT),
+            dst_ip: fx.host_ip(p, STATION_PORT),
+            src_port: 10_000,
+            dst_port: 20_000 + p as u16,
+            frame_len: 200,
+        })
+        .collect();
+    let pps = PPS_PER_FLOW * flows.len() as f64;
+    let gen = net.add_node(Generator::new(
+        "gen",
+        PortId(0),
+        Pattern::Cbr { pps },
+        flows,
+        TRAFFIC_START,
+        traffic_stop,
+    ));
+    let mut sinks = Vec::new();
+    for p in 1..PODS {
+        let s = net.add_node(Sink::new(format!("sink{p}")).with_slo(SLO_THRESHOLD));
+        sinks.push((p, s));
+    }
+    Harness {
+        net,
+        fx,
+        ctrl,
+        gen,
+        sinks,
+        traffic_stop,
+    }
+}
+
+/// Attach the stations — their fabric identities go to the ARP proxy so
+/// sink traffic is routed, never flooded. Must run after the controller
+/// is registered with the fabric.
+fn attach_stations(hx: &mut Harness) {
+    let gen = hx.gen;
+    hx.fx
+        .attach_station(&mut hx.net, 0, STATION_PORT, gen)
+        .expect("free station port");
+    for &(p, s) in &hx.sinks.clone() {
+        hx.fx
+            .attach_station(&mut hx.net, p, STATION_PORT, s)
+            .expect("free station port");
+    }
+}
+
+fn report(hx: &mut Harness, plan: &'static str) -> Report {
+    // Close the SLO window when traffic stops, not when the run ends —
+    // otherwise the post-traffic silence reads as one bogus trailing
+    // outage on every flow.
+    let finish = hx.traffic_stop;
+    let flows = hx
+        .sinks
+        .iter()
+        .map(|&(p, s)| {
+            if let Some(slo) = hx.net.node_mut::<Sink>(s).slo_mut() {
+                slo.finish(finish.as_nanos());
+            }
+            let sink = hx.net.node_ref::<Sink>(s);
+            let slo = sink.slo().expect("sink built with_slo");
+            FlowReport {
+                dst_pod: p,
+                received: sink.received(),
+                first_rx: sink.first_rx(),
+                downtime_ns: slo.downtime_ns(),
+                worst_ns: slo.worst_outage_ns(),
+                reconverged_ns: slo.reconverged_at_ns(),
+            }
+        })
+        .collect();
+    Report {
+        plan,
+        stop: finish,
+        flows,
+        blackholed: hx.net.blackholed_frames(),
+    }
+}
+
+/// One steady-state scenario: pods pre-configured and under SDN from
+/// t = 0, the fault plan injected, optional managers watching listed
+/// pods.
+fn steady_state(
+    plan_name: &'static str,
+    window: SimTime,
+    managed: &[usize],
+    plan: impl FnOnce(&Fabric) -> FaultPlan,
+) -> Report {
+    let stop = window - SimTime::from_millis(400);
+    let mut hx = build(7, stop);
+    hx.fx.configure_direct(&mut hx.net);
+    let ctrl = hx.ctrl;
+    hx.fx.connect_controller(&mut hx.net, ctrl);
+    attach_stations(&mut hx);
+    for &p in managed {
+        let cfg = ManagerConfig::for_instance(hx.fx.pod(p), ctrl);
+        hx.net.add_node(HarmlessManager::new(cfg));
+    }
+    let plan = plan(&hx.fx);
+    hx.net.apply_faults(&plan);
+    hx.net.run_until(window);
+    report(&mut hx, plan_name)
+}
+
+/// Migration under live traffic: pods start legacy-only, the generator
+/// starts anyway, and two manager waves bring the pods under SDN while
+/// the sinks time service establishment.
+fn migration_waves(window: SimTime) -> Report {
+    let stop = window - SimTime::from_millis(400);
+    let mut hx = build(7, stop);
+    let ctrl = hx.ctrl;
+    // Spine + proxy bookkeeping only; the pods join through managers.
+    hx.fx.register_controller(&mut hx.net, ctrl);
+    attach_stations(&mut hx);
+    let half = SimTime::from_nanos(window.as_nanos() / 2);
+    let w1 = hx
+        .fx
+        .run_migration_wave(&mut hx.net, &[0, 1], ctrl)
+        .expect("two-switch pods");
+    hx.net.run_until(half);
+    assert!(
+        hx.fx.wave_done(&hx.net, &w1),
+        "wave 1 must finish within half the window"
+    );
+    let w2 = hx
+        .fx
+        .run_migration_wave(&mut hx.net, &[2, 3], ctrl)
+        .expect("two-switch pods");
+    hx.net.run_until(window);
+    assert!(hx.fx.wave_done(&hx.net, &w2), "wave 2 must finish");
+    report(&mut hx, "migration-waves")
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.1}ms", ns as f64 / 1e6)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("E4: per-flow disruption under fault schedules, seed 7");
+    println!(
+        "    (3 flows x 1 kpps from pod 0 to pods 1-3; outage threshold {})",
+        SLO_THRESHOLD
+    );
+
+    let win = SimTime::from_secs(3);
+    let long = SimTime::from_secs(5);
+    let mut reports = Vec::new();
+    if !quick {
+        reports.push(steady_state("baseline", win, &[], |_| FaultPlan::new()));
+    }
+    reports.push(steady_state("uplink-flap-100ms", win, &[], |fx| {
+        let uplink = PortId(fx.pod(1).uplink_port(1) as u16);
+        FaultPlan::new().link_flap(FAULT_AT, SimTime::from_millis(100), fx.pod(1).ss2, uplink)
+    }));
+    if !quick {
+        reports.push(steady_state("ss2-power-cycle", win, &[], |fx| {
+            FaultPlan::new().reset(FAULT_AT, fx.pod(2).ss2)
+        }));
+        reports.push(steady_state("legacy-reboot", win, &[], |fx| {
+            FaultPlan::new().reset(FAULT_AT, fx.pod(3).legacy)
+        }));
+        // 2650 ms sits off the manager's 500 ms uptime-poll grid, so the
+        // row shows the real detection latency, not a lucky alignment.
+        reports.push(steady_state("legacy-reboot+mgmt", long, &[3], |fx| {
+            FaultPlan::new().reset(SimTime::from_millis(2650), fx.pod(3).legacy)
+        }));
+    }
+    reports.push(migration_waves(if quick {
+        SimTime::from_secs(6)
+    } else {
+        SimTime::from_secs(8)
+    }));
+
+    let mut rows = Vec::new();
+    for r in &reports {
+        for (i, f) in r.flows.iter().enumerate() {
+            rows.push(vec![
+                if i == 0 {
+                    r.plan.to_string()
+                } else {
+                    String::new()
+                },
+                format!("0->{}", f.dst_pod),
+                f.received.to_string(),
+                f.first_rx.map_or("-".into(), |t| format!("{t}")),
+                fmt_ms(f.downtime_ns),
+                fmt_ms(f.worst_ns),
+                f.reconverged_ns.map_or("-".into(), fmt_ms),
+                if i == 0 {
+                    r.blackholed.to_string()
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "disruption vs fault plan",
+            &[
+                "plan",
+                "flow",
+                "rx",
+                "first-rx",
+                "downtime",
+                "worst outage",
+                "reconverged@",
+                "blackholed"
+            ],
+            &rows,
+        )
+    );
+
+    // Reconvergence guarantees — these make the bin a CI smoke test. A
+    // flow that recovered keeps its last outage end strictly inside the
+    // measurement window; a flow still dark when traffic stops accrues a
+    // trailing outage ending exactly at the window edge.
+    for r in &reports {
+        for f in &r.flows {
+            assert!(
+                f.received > 0,
+                "{}: flow 0->{} never received service",
+                r.plan,
+                f.dst_pod
+            );
+            if r.plan != "legacy-reboot" {
+                let still_dark = f.reconverged_ns.is_some_and(|at| at >= r.stop.as_nanos());
+                assert!(
+                    !still_dark,
+                    "{}: flow 0->{} did not reconverge",
+                    r.plan, f.dst_pod
+                );
+            }
+        }
+    }
+    if let Some(r) = reports.iter().find(|r| r.plan == "legacy-reboot") {
+        let dark = &r.flows[2]; // pod 3 hosts the rebooted legacy switch
+        assert!(
+            dark.downtime_ns > SimTime::from_secs(2).as_nanos(),
+            "unmanaged legacy reboot must stay dark for the rest of the window"
+        );
+    }
+
+    println!(
+        "Reading: a 100 ms uplink flap costs exactly the flap — routes\n\
+         are proactive, so there is nothing to relearn, and the frames\n\
+         sent into the dead link are the blackholed count. A softswitch\n\
+         power cycle costs one control-channel re-handshake (the ARP\n\
+         proxy replays its route table into the fresh datapath) and\n\
+         reconverges inside the SLO threshold. A legacy-switch reboot is\n\
+         the COTS trap: config is gone and the pod stays dark until the\n\
+         management plane notices sysUpTime went backwards and re-pushes\n\
+         the plan — without a manager it never recovers. The migration\n\
+         rows time service establishment per pod (first-rx) as SDN\n\
+         control arrives in waves."
+    );
+}

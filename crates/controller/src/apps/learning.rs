@@ -66,6 +66,13 @@ impl App for LearningSwitch {
     }
 
     fn on_switch_ready(&mut self, sw: &mut SwitchHandle) {
+        // A handshake means the datapath's tables are empty — either a
+        // first connect or a reboot. Forget what this dpid had learned:
+        // the cache no longer mirrors any installed rule, and a stale
+        // port mapping would short-circuit packet_out toward a port the
+        // topology may no longer serve. Re-learning costs one flood per
+        // destination, exactly like a cold start.
+        self.macs.retain(|&(d, _), _| d != sw.dpid);
         // Table-miss: punt to the controller.
         sw.flow_mod(
             FlowMod::add(self.table)

@@ -150,6 +150,24 @@ impl SwitchHandle<'_> {
     }
 }
 
+/// A free-standing [`SwitchHandle`] over caller-owned buffers, for app
+/// unit tests that want to drive callbacks without a running network.
+#[cfg(test)]
+pub(crate) fn test_handle<'a>(
+    dpid: u64,
+    xid: &'a mut Xid,
+    queue: &'a mut Vec<Bytes>,
+    flow_mods_sent: &'a mut u64,
+) -> SwitchHandle<'a> {
+    SwitchHandle {
+        dpid,
+        ports: &[],
+        xid,
+        queue,
+        flow_mods_sent,
+    }
+}
+
 /// What an app decided about a packet-in it was offered.
 ///
 /// Apps are dispatched in registration order; the first app to return

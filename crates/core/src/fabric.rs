@@ -157,6 +157,13 @@ pub enum FabricError {
         /// Offending port.
         port: u16,
     },
+    /// Detach/migrate of a `(pod, port)` with no host attached.
+    NothingAttached {
+        /// Pod index.
+        pod: usize,
+        /// Offending port.
+        port: u16,
+    },
     /// The per-pod port map does not fit the VLAN budget.
     PortMap(PortMapError),
 }
@@ -188,6 +195,9 @@ impl core::fmt::Display for FabricError {
             }
             FabricError::DuplicateHostPort { pod, port } => {
                 write!(f, "pod {pod} port {port} already has a host attached")
+            }
+            FabricError::NothingAttached { pod, port } => {
+                write!(f, "pod {pod} port {port} has no host attached")
             }
             FabricError::PortMap(e) => write!(f, "pod port map invalid: {e}"),
         }
@@ -429,6 +439,10 @@ impl Spine {
     }
 }
 
+/// Per-datapath `(dpid, port)` pairs — the location half of a
+/// [`HostRoute`] (output ports, or reflection-guard ports).
+type DpidPorts = Vec<(u64, u32)>;
+
 /// A built multi-pod HARMLESS fabric.
 pub struct Fabric {
     /// The spec it was built from.
@@ -566,6 +580,21 @@ impl Fabric {
     pub fn host_route(&self, pod: usize, port: u16) -> HostRoute {
         self.check_access(pod, port)
             .expect("host_route of an existing (pod, access port)");
+        let (ports, guards) = self.route_location(pod, port);
+        HostRoute {
+            ip: self.host_ip(pod, port),
+            mac: self.host_mac(pod, port),
+            ports,
+            guards,
+        }
+    }
+
+    /// The location half of a [`HostRoute`] for a station attached at
+    /// `(pod, port)`: per-dpid output ports and reflection guards.
+    /// Identity (IP/MAC) is the caller's business — a migrated host
+    /// keeps the identity of its original attach point while its
+    /// location follows it around the fabric.
+    fn route_location(&self, pod: usize, port: u16) -> (DpidPorts, DpidPorts) {
         let n = self.spec.pod.n_access_ports;
         let uplink_right = u32::from(n + 1);
         let uplink_left = u32::from(n + 2);
@@ -597,12 +626,7 @@ impl Fabric {
         if let Some(Spine::Soft(_)) = self.spine {
             ports.push((self.spec.spine_dpid, pod as u32 + 1));
         }
-        HostRoute {
-            ip: self.host_ip(pod, port),
-            mac: self.host_mac(pod, port),
-            ports,
-            guards,
-        }
+        (ports, guards)
     }
 
     /// Register one route with the connected controller's [`ArpProxy`].
@@ -622,6 +646,115 @@ impl Fabric {
             .add_host(route);
     }
 
+    /// Flush pending [`ArpProxy`] retractions/installs to every ready
+    /// datapath immediately, instead of waiting for the next controller
+    /// tick. Safe without the proxy flag — it is then a no-op.
+    fn sync_proxy_now(&self, net: &mut Network) {
+        let Some(ctrl) = self.controller else { return };
+        net.with_node_ctx::<ControllerNode, _>(ctrl, |c, ctx| {
+            c.for_each_switch(ctx, |apps, sw| {
+                if let Some(p) = apps
+                    .iter_mut()
+                    .find_map(|a| a.as_any_mut().downcast_mut::<ArpProxy>())
+                {
+                    p.sync_switch(sw);
+                }
+            });
+        });
+    }
+
+    /// Detach the station on `(pod, port)`: cut its access link (frames
+    /// queued on it are blackholed, as on any cable pull) and free the
+    /// port for a new attachment. For [`Self::attach_host`] stations
+    /// with the ARP proxy on, the host's entry is removed and its
+    /// proactive routes are retracted fabric-wide right away — leaving
+    /// them would blackhole every frame for that MAC at its old edge.
+    /// Returns the detached node.
+    pub fn detach_host(
+        &mut self,
+        net: &mut Network,
+        pod: usize,
+        port: u16,
+    ) -> Result<NodeId, FabricError> {
+        self.check_access(pod, port)?;
+        let Some(&h) = self.attached.get(&(pod, port)) else {
+            return Err(FabricError::NothingAttached { pod, port });
+        };
+        self.attached.remove(&(pod, port));
+        let carries_identity = self.host_ports.remove(&(pod, port));
+        net.disconnect(h, PortId(0));
+        if let Some(ctrl) = self
+            .controller
+            .filter(|_| carries_identity && self.spec.arp_proxy)
+        {
+            let ip = net.node_ref::<Host>(h).ip();
+            net.node_mut::<ControllerNode>(ctrl)
+                .app_mut::<ArpProxy>()
+                .expect("arp_proxy flag verified on attach")
+                .remove_host(ip);
+            self.sync_proxy_now(net);
+        }
+        Ok(h)
+    }
+
+    /// Move the host on `from` to the access port `to` — possibly in a
+    /// different pod — keeping its `(IP, MAC)` identity (that is the
+    /// whole point: a VM migrates, its addresses travel with it). The
+    /// old access link is cut, the host re-attaches at `to`, and with
+    /// the ARP proxy on its routes are *retracted and re-installed for
+    /// the new location in one sync*, deletes first — without the
+    /// retraction the stale `eth_dst` routes at the old pod would keep
+    /// matching and silently blackhole all traffic to the moved host.
+    ///
+    /// Callable between `run_*` calls; re-derive [`Self::shard_map`]
+    /// afterwards if the fabric is sharded, so the host's events live on
+    /// its new pod's shard.
+    pub fn migrate_host(
+        &mut self,
+        net: &mut Network,
+        from: (usize, u16),
+        to: (usize, u16),
+    ) -> Result<NodeId, FabricError> {
+        self.check_access(from.0, from.1)?;
+        self.check_access(to.0, to.1)?;
+        if self.attached.contains_key(&to) {
+            return Err(FabricError::DuplicateHostPort {
+                pod: to.0,
+                port: to.1,
+            });
+        }
+        if !self.host_ports.contains(&from) {
+            return Err(FabricError::NothingAttached {
+                pod: from.0,
+                port: from.1,
+            });
+        }
+        let h = self.attached.remove(&from).expect("host_ports ⊆ attached");
+        self.host_ports.remove(&from);
+        net.disconnect(h, PortId(0));
+        self.attached.insert(to, h);
+        self.host_ports.insert(to);
+        self.pods[to.0].attach_node(net, to.1, h);
+        if self.spec.arp_proxy && self.controller.is_some() {
+            let (ip, mac) = {
+                let hr = net.node_ref::<Host>(h);
+                (hr.ip(), hr.mac())
+            };
+            let (ports, guards) = self.route_location(to.0, to.1);
+            self.push_route(
+                net,
+                HostRoute {
+                    ip,
+                    mac,
+                    ports,
+                    guards,
+                },
+            );
+            self.sync_proxy_now(net);
+        }
+        Ok(h)
+    }
+
     /// Attach an arbitrary node (generator/sink) to `(pod, port)` on its
     /// port 0, with the same duplicate-port bookkeeping as
     /// [`Self::attach_host`].
@@ -638,6 +771,28 @@ impl Fabric {
         }
         self.attached.insert((pod, port), node);
         self.pods[pod].attach_node(net, port, node);
+        Ok(())
+    }
+
+    /// Attach a measurement station (traffic generator or sink) at
+    /// `(pod, port)` and, with the ARP proxy on, register the port's
+    /// fabric identity ([`Self::host_ip`] / [`Self::host_mac`]) with the
+    /// proxy. Sinks never transmit, so reactive learning alone would
+    /// flood every frame destined to them fabric-wide forever; the
+    /// proactive route keeps station traffic unicast. The station's
+    /// flows should use the port's fabric identity as their addresses.
+    pub fn attach_station(
+        &mut self,
+        net: &mut Network,
+        pod: usize,
+        port: u16,
+        node: NodeId,
+    ) -> Result<(), FabricError> {
+        self.attach_node(net, pod, port, node)?;
+        if self.spec.arp_proxy && self.controller.is_some() {
+            let route = self.host_route(pod, port);
+            self.push_route(net, route);
+        }
         Ok(())
     }
 
@@ -696,13 +851,36 @@ impl Fabric {
         for pod in &self.pods {
             pod.connect_controller(net, controller);
         }
+        self.register_controller(net, controller);
+    }
+
+    /// Adopt `controller` as the fabric controller — spine hookup, ARP
+    /// proxy bookkeeping, route registration — **without touching the
+    /// pods**. Migration-wave scenarios use this: the pods join the
+    /// controller later through their managers, and the routes
+    /// registered here flow to each datapath when it eventually
+    /// handshakes ([`ArpProxy`] replays its table on `on_switch_ready`).
+    pub fn register_controller(&mut self, net: &mut Network, controller: NodeId) {
         self.connect_spine(net, controller);
         self.controller = Some(controller);
         if self.spec.arp_proxy {
+            // Identity from the attached node itself, not the port — a
+            // host migrated before the controller connected keeps the
+            // addresses of its original attach point.
             let routes: Vec<HostRoute> = self
                 .host_ports
                 .iter()
-                .map(|&(pod, port)| self.host_route(pod, port))
+                .map(|&(pod, port)| {
+                    let hr = net.node_ref::<Host>(self.attached[&(pod, port)]);
+                    let (ip, mac) = (hr.ip(), hr.mac());
+                    let (ports, guards) = self.route_location(pod, port);
+                    HostRoute {
+                        ip,
+                        mac,
+                        ports,
+                        guards,
+                    }
+                })
                 .collect();
             for route in routes {
                 self.push_route(net, route);
@@ -1006,6 +1184,82 @@ mod tests {
         assert_eq!((lr, la), (r1, a1));
     }
 
+    #[test]
+    fn faulted_fabric_is_bit_identical_for_any_thread_count() {
+        use netsim::FaultPlan;
+        // A 4-pod fabric under live cross-pod traffic with an uplink
+        // flap, a softswitch power-cycle and a legacy reboot. The fault
+        // events ride the shard machinery, so every thread count — and
+        // the classic unsharded loop — must produce the same replies,
+        // the same blackhole count and the same event total.
+        let run = |threads: Option<usize>| -> (u64, u64, u64, u64) {
+            let mut net = Network::new(21);
+            let ctrl = net.add_node(ControllerNode::new(
+                "ctrl",
+                vec![Box::new(ArpProxy::new()), Box::new(LearningSwitch::new())],
+            ));
+            let mut fx = FabricSpec::new(4, HarmlessSpec::new(2))
+                .with_interconnect(Interconnect::SpineSoft)
+                .with_arp_proxy(true)
+                .build(&mut net)
+                .unwrap();
+            fx.configure_direct(&mut net);
+            fx.connect_controller(&mut net, ctrl);
+            let hosts: Vec<NodeId> = (0..4)
+                .map(|p| fx.attach_host(&mut net, p, 1).unwrap())
+                .collect();
+            if let Some(t) = threads {
+                net.set_shards(&fx.shard_map());
+                net.set_threads(t);
+            }
+            let uplink = PortId(fx.pod(1).uplink_port(1) as u16);
+            let plan = FaultPlan::new()
+                .link_flap(
+                    SimTime::from_millis(200),
+                    SimTime::from_millis(100),
+                    fx.pod(1).ss2,
+                    uplink,
+                )
+                .reset(SimTime::from_millis(350), fx.pod(2).ss2)
+                .reset(SimTime::from_millis(400), fx.pod(3).legacy);
+            net.apply_faults(&plan);
+            net.run_until(SimTime::from_millis(100));
+            // Ping rounds spanning the whole fault window.
+            for _ in 0..6 {
+                for (p, &h) in hosts.iter().enumerate() {
+                    let target = fx.host_ip((p + 1) % 4, 1);
+                    net.with_node_ctx::<Host, _>(h, move |h, ctx| {
+                        h.ping(b"fault", target);
+                        h.flush(ctx);
+                    });
+                }
+                net.run_for(SimTime::from_millis(100));
+            }
+            net.run_until(SimTime::from_millis(1500));
+            let replies: u64 = hosts
+                .iter()
+                .map(|&h| net.node_ref::<Host>(h).echo_replies_received())
+                .sum();
+            let resets = net.node_ref::<SoftSwitchNode>(fx.pod(2).ss2).resets()
+                + net.node_ref::<LegacySwitchNode>(fx.pod(3).legacy).reboots();
+            (
+                replies,
+                net.blackholed_frames(),
+                net.events_processed(),
+                resets,
+            )
+        };
+        let baseline = run(Some(1));
+        assert_eq!(baseline.3, 2, "both scheduled resets fired");
+        assert!(baseline.0 > 0, "traffic still flows around the faults");
+        for threads in [2, 4] {
+            assert_eq!(run(Some(threads)), baseline, "threads={threads}");
+        }
+        // The unsharded loop reaches the same converged state.
+        let (ur, ub, _, ures) = run(None);
+        assert_eq!((ur, ub, ures), (baseline.0, baseline.1, baseline.3));
+    }
+
     /// Build a pods × hosts fabric (optionally with the ARP proxy),
     /// stagger one all-hosts cross-pod ping round, then a second
     /// (converged) round. Returns
@@ -1170,6 +1424,146 @@ mod tests {
             .unwrap();
         fx.connect_controller(&mut net, ctrl);
         let _ = fx.attach_host(&mut net, 0, 1);
+    }
+
+    #[test]
+    fn migrating_a_host_retracts_stale_routes_and_reroutes_traffic() {
+        use controller::apps::arp_proxy::ROUTE_PRIORITY;
+        use openflow::{Action, Instruction, Match};
+        let mut net = Network::new(11);
+        let ctrl = net.add_node(ControllerNode::new(
+            "ctrl",
+            vec![Box::new(ArpProxy::new()), Box::new(LearningSwitch::new())],
+        ));
+        let mut fx = FabricSpec::new(3, HarmlessSpec::new(2))
+            .with_interconnect(Interconnect::SpineSoft)
+            .with_arp_proxy(true)
+            .build(&mut net)
+            .unwrap();
+        fx.configure_direct(&mut net);
+        fx.connect_controller(&mut net, ctrl);
+        let a = fx.attach_host(&mut net, 0, 1).unwrap();
+        let b = fx.attach_host(&mut net, 1, 1).unwrap();
+        net.run_until(SimTime::from_millis(100));
+        let b_ip = fx.host_ip(1, 1);
+        let b_mac = fx.host_mac(1, 1);
+        // Warm the path: proxied ARP, then pod 0 → spine → pod 1.
+        net.with_node_ctx::<Host, _>(a, move |h, ctx| {
+            h.ping(b"before", b_ip);
+            h.flush(ctx);
+        });
+        net.run_until(SimTime::from_millis(400));
+        assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 1);
+
+        // Live-migrate b to pod 2, access port 2; its IP/MAC travel
+        // with it. The proxy retracts the pod-1 routes and installs the
+        // pod-2 ones in the same sync.
+        fx.migrate_host(&mut net, (1, 1), (2, 2)).unwrap();
+        net.run_until(SimTime::from_millis(450)); // control plane lands
+        let blackholed_at_reconvergence = net.blackholed_frames();
+
+        net.with_node_ctx::<Host, _>(a, move |h, ctx| {
+            h.ping(b"after", b_ip);
+            h.flush(ctx);
+        });
+        net.run_until(SimTime::from_millis(900));
+        assert_eq!(
+            net.node_ref::<Host>(a).echo_replies_received(),
+            2,
+            "ping must reach the migrated host without re-ARPing"
+        );
+        assert_eq!(net.node_ref::<Host>(b).echo_requests_answered(), 2);
+        assert_eq!(
+            net.blackholed_frames(),
+            blackholed_at_reconvergence,
+            "zero packets blackholed after reconvergence"
+        );
+
+        // Every datapath holds exactly one prio-20 route for b's MAC,
+        // and it points at the *new* location — in particular the old
+        // home pod now routes b out of its uplink, not access port 1.
+        let uplink = 3u32; // 2 access ports + 1
+        for (node, expected_out, what) in [
+            (fx.pod(0).ss2, uplink, "pod 0 uplink"),
+            (
+                fx.pod(1).ss2,
+                uplink,
+                "old home: uplink, not the stale access port",
+            ),
+            (fx.pod(2).ss2, 2, "new home: access port 2"),
+            (fx.spine().unwrap().node(), 3, "spine: pod-2-facing port"),
+        ] {
+            let dp = net.node_ref::<SoftSwitchNode>(node);
+            let routes: Vec<_> = dp
+                .datapath()
+                .table(0)
+                .unwrap()
+                .entries()
+                .iter()
+                .filter(|e| e.priority == ROUTE_PRIORITY && e.match_ == Match::new().eth_dst(b_mac))
+                .collect();
+            assert_eq!(routes.len(), 1, "{what}: one live route, no stale ones");
+            assert_eq!(
+                routes[0].instructions,
+                vec![Instruction::ApplyActions(vec![Action::output(
+                    expected_out
+                )])],
+                "{what}"
+            );
+        }
+    }
+
+    #[test]
+    fn detach_host_retracts_routes_and_frees_the_port() {
+        let mut net = Network::new(4);
+        let ctrl = net.add_node(ControllerNode::new(
+            "ctrl",
+            vec![Box::new(ArpProxy::new()), Box::new(LearningSwitch::new())],
+        ));
+        let mut fx = FabricSpec::new(2, HarmlessSpec::new(2))
+            .with_interconnect(Interconnect::SpineSoft)
+            .with_arp_proxy(true)
+            .build(&mut net)
+            .unwrap();
+        fx.configure_direct(&mut net);
+        fx.connect_controller(&mut net, ctrl);
+        let a = fx.attach_host(&mut net, 0, 1).unwrap();
+        let _b = fx.attach_host(&mut net, 1, 1).unwrap();
+        net.run_until(SimTime::from_millis(100));
+        assert_eq!(
+            fx.detach_host(&mut net, 1, 2).unwrap_err(),
+            FabricError::NothingAttached { pod: 1, port: 2 }
+        );
+        fx.detach_host(&mut net, 1, 1).unwrap();
+        assert_eq!(fx.attached_node(1, 1), None);
+        // The proxy no longer answers for the detached IP...
+        let gone = fx.host_ip(1, 1);
+        assert_eq!(
+            net.node_mut::<ControllerNode>(ctrl)
+                .app_mut::<ArpProxy>()
+                .unwrap()
+                .lookup(gone),
+            None
+        );
+        // ...pings toward it stall at ARP (the host queues them and
+        // keeps retrying)...
+        net.with_node_ctx::<Host, _>(a, move |h, ctx| {
+            h.ping(b"ghost", gone);
+            h.flush(ctx);
+        });
+        net.run_until(SimTime::from_millis(600));
+        assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 0);
+        // ...and the port takes a fresh attachment, which revives the
+        // IP: the queued ping resolves and both pings go through.
+        let b2 = fx.attach_host(&mut net, 1, 1).unwrap();
+        net.run_until(SimTime::from_millis(700));
+        net.with_node_ctx::<Host, _>(a, move |h, ctx| {
+            h.ping(b"reborn", gone);
+            h.flush(ctx);
+        });
+        net.run_until(SimTime::from_millis(1500));
+        assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 2);
+        assert_eq!(net.node_ref::<Host>(b2).echo_requests_answered(), 2);
     }
 
     #[test]

@@ -95,7 +95,11 @@ pub enum ManagerPhase {
 }
 
 const TOKEN_TIMEOUT: u64 = 1;
+/// High bit keeps the monitor token clear of `TOKEN_TIMEOUT + req_gen`.
+const TOKEN_MONITOR: u64 = 1 << 62;
 const REQUEST_TIMEOUT: SimTime = SimTime::from_millis(500);
+/// sysUpTime poll period once migration is [`ManagerPhase::Done`].
+const MONITOR_PERIOD: SimTime = SimTime::from_millis(500);
 const MAX_RETRIES: u32 = 3;
 
 enum Await {
@@ -103,6 +107,8 @@ enum Await {
     SnmpResponse,
     BarrierReply,
     EchoReply,
+    /// A sysUpTime health poll of the migrated legacy switch.
+    UptimePoll,
 }
 
 /// The manager node.
@@ -121,6 +127,15 @@ pub struct HarmlessManager {
     timeline: Vec<(SimTime, String)>,
     flow_mods_sent: u64,
     facts_descr: String,
+    /// Last sysUpTime (centiseconds) read from the legacy switch; a
+    /// reading *below* the previous one means the device rebooted — the
+    /// classic SNMP reboot heuristic.
+    last_uptime: Option<u32>,
+    /// True while re-executing the SNMP plan after a detected reboot
+    /// (skips the translator/controller phases — those devices did not
+    /// reboot).
+    reprovisioning: bool,
+    reprovisions: u64,
 }
 
 impl HarmlessManager {
@@ -141,6 +156,9 @@ impl HarmlessManager {
             timeline: Vec::new(),
             flow_mods_sent: 0,
             facts_descr: String::new(),
+            last_uptime: None,
+            reprovisioning: false,
+            reprovisions: 0,
         }
     }
 
@@ -167,6 +185,14 @@ impl HarmlessManager {
     /// sysDescr discovered in phase 1.
     pub fn discovered_descr(&self) -> &str {
         &self.facts_descr
+    }
+
+    /// Legacy-switch reboots detected (and reprovisioned) since
+    /// migration completed. A COTS switch boots into factory defaults —
+    /// VLANs, PVIDs and FDB gone — so every reboot without a config
+    /// re-push leaves the pod silently unbridged.
+    pub fn reprovisions(&self) -> u64 {
+        self.reprovisions
     }
 
     /// Dialect the driver chose.
@@ -231,7 +257,15 @@ impl HarmlessManager {
 
     fn step_plan(&mut self, ctx: &mut NodeCtx) {
         if self.plan_idx >= self.plan.len() {
-            self.start_translator_install(ctx);
+            if self.reprovisioning {
+                // Reboot recovery: only the legacy switch lost state, so
+                // configuring it is the whole job — back to monitoring.
+                self.reprovisioning = false;
+                self.enter(ManagerPhase::Done, ctx);
+                ctx.schedule(MONITOR_PERIOD, TOKEN_MONITOR);
+            } else {
+                self.start_translator_install(ctx);
+            }
             return;
         }
         let op = self.plan[self.plan_idx].clone();
@@ -316,11 +350,50 @@ impl HarmlessManager {
         self.send_tracked(ss2, echo, Await::EchoReply, ctx);
     }
 
+    /// Issue a sysUpTime read; the response (or its timeout) drives the
+    /// reboot monitor.
+    fn poll_uptime(&mut self, ctx: &mut NodeCtx) {
+        let req = self.snmp.get(&[mibs::sys_uptime()]);
+        let legacy = self.config.legacy;
+        self.send_tracked(legacy, req, Await::UptimePoll, ctx);
+    }
+
+    /// React to a sysUpTime reading: a value below the previous one
+    /// means the switch rebooted into factory defaults, so re-run the
+    /// SNMP configuration plan against it.
+    fn handle_uptime(&mut self, pdu: &mgmt::Pdu, ctx: &mut NodeCtx) {
+        let got = pdu.bindings.first().and_then(|(_, v)| match v {
+            Value::TimeTicks(t) => Some(*t),
+            _ => None,
+        });
+        if let Some(t) = got {
+            let rebooted = self.last_uptime.is_some_and(|prev| t < prev);
+            self.last_uptime = Some(t);
+            if rebooted {
+                self.reprovisions += 1;
+                self.timeline
+                    .push((ctx.now(), "reboot detected: reprovisioning".into()));
+                self.reprovisioning = true;
+                // Facts (dialect) are already known; rebuild the plan
+                // and push it again.
+                self.build_plan();
+                self.enter(ManagerPhase::Configuring, ctx);
+                self.step_plan(ctx);
+                return;
+            }
+        }
+        ctx.schedule(MONITOR_PERIOD, TOKEN_MONITOR);
+    }
+
     fn handle_snmp(&mut self, data: &Bytes, ctx: &mut NodeCtx) {
         let Ok(Some(pdu)) = self.snmp.accept(data) else {
             return;
         };
-        self.awaiting = Await::None;
+        let was_awaiting = std::mem::replace(&mut self.awaiting, Await::None);
+        if matches!(was_awaiting, Await::UptimePoll) {
+            self.handle_uptime(&pdu, ctx);
+            return;
+        }
         match self.phase.clone() {
             ManagerPhase::Discovering => {
                 if pdu.error_status != mgmt::ErrorStatus::NoError || pdu.bindings.len() < 3 {
@@ -385,6 +458,9 @@ impl HarmlessManager {
                 (ManagerPhase::Connecting, Message::EchoReply(_)) => {
                     self.awaiting = Await::None;
                     self.enter(ManagerPhase::Done, ctx);
+                    // Keep watching the device we migrated: a COTS
+                    // reboot silently drops the whole VLAN config.
+                    ctx.schedule(MONITOR_PERIOD, TOKEN_MONITOR);
                 }
                 (_, Message::Error { ty, code, .. }) => {
                     self.enter(
@@ -406,6 +482,18 @@ impl Node for HarmlessManager {
     fn on_packet(&mut self, _port: PortId, _frame: Bytes, _ctx: &mut NodeCtx) {}
 
     fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx) {
+        if token == TOKEN_MONITOR {
+            if matches!(self.phase, ManagerPhase::Done) && matches!(self.awaiting, Await::None) {
+                self.poll_uptime(ctx);
+            } else if !matches!(
+                self.phase,
+                ManagerPhase::Failed(_) | ManagerPhase::RolledBack(_)
+            ) {
+                // Busy (e.g. mid-reprovision): try again next period.
+                ctx.schedule(MONITOR_PERIOD, TOKEN_MONITOR);
+            }
+            return;
+        }
         // Stale timeout timers carry an old generation; ignore them.
         if token != TOKEN_TIMEOUT + self.req_gen {
             return;
@@ -533,6 +621,39 @@ mod tests {
             m2.snmp_ops(),
             qbridge_ops
         );
+    }
+
+    #[test]
+    fn legacy_reboot_is_detected_and_reprovisioned() {
+        let (mut net, hx, _, mgr) = migrated_network(None, None);
+        let a = hx.attach_host(&mut net, 1);
+        let _b = hx.attach_host(&mut net, 3);
+        net.run_until(SimTime::from_secs(2));
+        assert_eq!(
+            *net.node_ref::<HarmlessManager>(mgr).phase(),
+            ManagerPhase::Done
+        );
+        // Power-cycle the legacy switch: per the COTS model it boots
+        // into factory defaults — the VLAN plan is gone and sysUpTime
+        // restarts from zero.
+        net.schedule_reset(SimTime::from_millis(2500), hx.legacy);
+        net.run_until(SimTime::from_secs(4));
+        {
+            let m = net.node_ref::<HarmlessManager>(mgr);
+            assert_eq!(m.reprovisions(), 1, "timeline: {:?}", m.timeline());
+            assert_eq!(*m.phase(), ManagerPhase::Done);
+        }
+        assert_eq!(net.node_ref::<LegacySwitchNode>(hx.legacy).reboots(), 1);
+        // The manager pushed the plan again: tagging config restored...
+        let pvid = net.node_ref::<LegacySwitchNode>(hx.legacy).bridge().pvid(1);
+        assert_eq!(pvid, 101, "PVID must be re-provisioned, not factory 1");
+        // ...and the pod forwards end to end again.
+        net.with_node_ctx::<Host, _>(a, |h, ctx| {
+            h.ping(b"post-reboot", "10.0.0.3".parse().unwrap());
+            h.flush(ctx);
+        });
+        net.run_until(SimTime::from_secs(5));
+        assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 1);
     }
 
     #[test]

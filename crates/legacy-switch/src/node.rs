@@ -28,6 +28,10 @@ pub struct LegacySwitchNode {
     community: String,
     latency: SimTime,
     snmp_requests: u64,
+    /// When the box last booted; `sysUpTime` restarts from here, which
+    /// is how an SNMP manager detects the reboot.
+    boot_at: SimTime,
+    reboots: u64,
 }
 
 impl LegacySwitchNode {
@@ -44,7 +48,14 @@ impl LegacySwitchNode {
             community: "public".into(),
             latency: DEFAULT_LATENCY,
             snmp_requests: 0,
+            boot_at: SimTime::ZERO,
+            reboots: 0,
         }
+    }
+
+    /// Number of reboots this box has been through.
+    pub fn reboots(&self) -> u64 {
+        self.reboots
     }
 
     /// Override the advertised `sysDescr` (drives NAPALM dialect
@@ -108,7 +119,7 @@ impl Node for LegacySwitchNode {
             return;
         };
         self.snmp_requests += 1;
-        let uptime_cs = (ctx.now().as_millis() / 10) as u32;
+        let uptime_cs = (ctx.now().saturating_sub(self.boot_at).as_millis() / 10) as u32;
         let mut mib = BridgeMib {
             bridge: &mut self.bridge,
             sys: &self.sys,
@@ -117,6 +128,18 @@ impl Node for LegacySwitchNode {
         if let Some(resp) = agent_respond(&mut mib, &self.community, &msg) {
             ctx.ctrl_send(from, resp.encode());
         }
+    }
+
+    fn on_reset(&mut self, ctx: &mut NodeCtx) {
+        // COTS boxes keep their config in volatile RAM unless an
+        // operator wrote it to NVRAM — the paper's COTS model. A reboot
+        // therefore reverts the whole bridge to factory defaults: VLAN
+        // config, PVIDs, the learned FDB and the MIB counters all go;
+        // the management plane must re-push the desired config.
+        self.reboots += 1;
+        self.bridge = Bridge::new(self.bridge.n_ports());
+        // sysUpTime restarts, which is how SNMP managers spot reboots.
+        self.boot_at = ctx.now();
     }
 
     fn name(&self) -> &str {
@@ -198,6 +221,34 @@ mod tests {
         // ARP exchange + ICMP round trip all crossed the switch; just
         // assert the reply arrived (timing is covered by netsim tests).
         assert_eq!(net.node_ref::<Host>(hosts[0]).echo_replies_received(), 1);
+    }
+
+    #[test]
+    fn reboot_factory_resets_and_refloods_until_relearned() {
+        let (mut net, sw, hosts) = lan();
+        // Learn: an h1 ↔ h3 ping populates the FDB.
+        net.node_mut::<Host>(hosts[0])
+            .ping(b"a", Ipv4Addr::new(10, 0, 0, 3));
+        net.run_until(SimTime::from_millis(50));
+        assert!(net.node_ref::<LegacySwitchNode>(sw).bridge().fdb_len() >= 2);
+        // Power-cycle the box.
+        net.schedule_reset(SimTime::from_millis(60), sw);
+        net.run_until(SimTime::from_millis(70));
+        let swn = net.node_ref::<LegacySwitchNode>(sw);
+        assert_eq!(swn.reboots(), 1);
+        assert_eq!(swn.bridge().fdb_len(), 0, "reboot loses the learned FDB");
+        assert_eq!(swn.bridge().flood_frames(), 0, "MIB state resets too");
+        // Post-reboot traffic floods as unknown unicast until the bridge
+        // re-learns, then converges and the ping still succeeds.
+        net.with_node_ctx::<Host, _>(hosts[0], |h, ctx| {
+            h.ping(b"b", Ipv4Addr::new(10, 0, 0, 3));
+            h.flush(ctx);
+        });
+        net.run_until(SimTime::from_millis(120));
+        let swn = net.node_ref::<LegacySwitchNode>(sw);
+        assert!(swn.bridge().flood_frames() > 0, "unknown unicast re-floods");
+        assert!(swn.bridge().fdb_len() >= 2, "the FDB re-learns");
+        assert_eq!(net.node_ref::<Host>(hosts[0]).echo_replies_received(), 2);
     }
 
     /// SNMP manager node for tests: fires one request, stores the reply.

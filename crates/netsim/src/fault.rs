@@ -1,0 +1,162 @@
+//! Scheduled fault injection: link flaps, node reboots.
+//!
+//! A [`FaultPlan`] is a declarative schedule of faults built before (or
+//! between) `run_*` calls and armed with
+//! [`crate::Network::apply_faults`]. Each entry becomes an ordinary
+//! event in the owning shard's queue, so faults ride the same
+//! conservative window machinery as frames and timers: the schedule is
+//! **bit-identical for any thread count**.
+//!
+//! Semantics:
+//!
+//! * **Link down** — both directions of the duplex link go down at the
+//!   same instant. Frames queued on either direction are blackholed,
+//!   frames transmitted into a downed direction are blackholed, and
+//!   frames already in flight are blackholed *on arrival* (delivery
+//!   checks the receiving port's link state). A frame transmitted
+//!   before the fault whose arrival postdates the matching link-up
+//!   survives — the flap was shorter than its remaining flight time.
+//! * **Link up** — both directions come back; queued traffic resumes.
+//! * **Reset** — the node's [`crate::Node::on_reset`] hook fires: the
+//!   device drops whatever a real power cycle would lose.
+//!
+//! Blackholed frames are counted (per direction in
+//! [`crate::LinkStats::blackholed_frames`], in-flight losses at the
+//! shard) and totalled by [`crate::Network::blackholed_frames`].
+
+use crate::net::NodeId;
+use crate::node::PortId;
+use crate::time::SimTime;
+
+/// One fault. Link faults name either end of the link — `(node, port)`
+/// identifies the duplex pair, and both directions are affected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Take the link attached to `(node, port)` down (both directions).
+    LinkDown {
+        /// Either endpoint of the link.
+        node: NodeId,
+        /// The endpoint's port.
+        port: PortId,
+    },
+    /// Bring the link attached to `(node, port)` back up.
+    LinkUp {
+        /// Either endpoint of the link.
+        node: NodeId,
+        /// The endpoint's port.
+        port: PortId,
+    },
+    /// Power-cycle `node`: its [`crate::Node::on_reset`] hook fires.
+    Reset {
+        /// The node to reboot.
+        node: NodeId,
+    },
+}
+
+/// A deterministic schedule of [`Fault`]s.
+///
+/// Build with the chained constructors, then arm it with
+/// [`crate::Network::apply_faults`]. Entries at the same instant fire
+/// in insertion order; the whole schedule is independent of the thread
+/// count.
+///
+/// ```
+/// use netsim::{FaultPlan, NodeId, PortId, SimTime};
+/// let plan = FaultPlan::new()
+///     .link_flap(
+///         SimTime::from_millis(10),
+///         SimTime::from_millis(5),
+///         NodeId(3),
+///         PortId(1),
+///     )
+///     .reset(SimTime::from_millis(30), NodeId(7));
+/// assert_eq!(plan.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    entries: Vec<(SimTime, Fault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule a raw [`Fault`] at `at`.
+    pub fn push(mut self, at: SimTime, fault: Fault) -> Self {
+        self.entries.push((at, fault));
+        self
+    }
+
+    /// Take the link at `(node, port)` down at `at`.
+    pub fn link_down(self, at: SimTime, node: NodeId, port: PortId) -> Self {
+        self.push(at, Fault::LinkDown { node, port })
+    }
+
+    /// Bring the link at `(node, port)` up at `at`.
+    pub fn link_up(self, at: SimTime, node: NodeId, port: PortId) -> Self {
+        self.push(at, Fault::LinkUp { node, port })
+    }
+
+    /// Flap the link at `(node, port)`: down at `at`, up again
+    /// `duration` later.
+    pub fn link_flap(self, at: SimTime, duration: SimTime, node: NodeId, port: PortId) -> Self {
+        self.link_down(at, node, port)
+            .link_up(at + duration, node, port)
+    }
+
+    /// Power-cycle `node` at `at`.
+    pub fn reset(self, at: SimTime, node: NodeId) -> Self {
+        self.push(at, Fault::Reset { node })
+    }
+
+    /// The scheduled entries in time order (ties keep insertion order).
+    pub fn entries(&self) -> Vec<(SimTime, Fault)> {
+        let mut v = self.entries.clone();
+        v.sort_by_key(|(at, _)| *at); // stable: same-instant entries keep order
+        v
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_sort_by_time_keeping_insertion_order_on_ties() {
+        let t = SimTime::from_millis(1);
+        let plan = FaultPlan::new()
+            .reset(SimTime::from_millis(2), NodeId(1))
+            .link_down(t, NodeId(0), PortId(0))
+            .link_up(t, NodeId(0), PortId(0));
+        let e = plan.entries();
+        assert_eq!(e.len(), 3);
+        assert!(matches!(e[0].1, Fault::LinkDown { .. }));
+        assert!(matches!(e[1].1, Fault::LinkUp { .. }));
+        assert!(matches!(e[2].1, Fault::Reset { .. }));
+    }
+
+    #[test]
+    fn flap_expands_to_down_then_up() {
+        let plan = FaultPlan::new().link_flap(
+            SimTime::from_millis(3),
+            SimTime::from_millis(2),
+            NodeId(4),
+            PortId(2),
+        );
+        let e = plan.entries();
+        assert_eq!(e[0].0, SimTime::from_millis(3));
+        assert_eq!(e[1].0, SimTime::from_millis(5));
+    }
+}

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod fault;
 pub mod host;
 pub mod link;
 pub mod measure;
@@ -54,10 +55,11 @@ pub mod stats;
 pub mod time;
 pub mod traffic;
 
+pub use fault::{Fault, FaultPlan};
 pub use link::{LinkSpec, LinkStats};
 pub use net::{Network, NodeId};
 pub use node::{Node, NodeCtx, PortId};
 pub use runtime::RuntimeStats;
 pub use shard::ShardMap;
-pub use stats::{Counter, Histogram, Rollup};
+pub use stats::{Counter, Histogram, Rollup, SloMeter};
 pub use time::SimTime;

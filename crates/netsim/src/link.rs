@@ -99,6 +99,9 @@ pub struct LinkStats {
     pub tx_bytes: u64,
     /// Frames tail-dropped at the egress queue.
     pub dropped_frames: u64,
+    /// Frames lost to a downed or disconnected link: queued or in flight
+    /// when it went down, or transmitted into it while it was down.
+    pub blackholed_frames: u64,
     /// High-water mark of queue occupancy in bytes.
     pub max_queue_bytes: usize,
 }
@@ -115,6 +118,13 @@ pub(crate) struct LinkDir {
     pub busy_until: SimTime,
     /// Whether a TxDone event is outstanding.
     pub tx_in_flight: bool,
+    /// Administratively/faulted down: frames offered to (or queued on)
+    /// the direction are blackholed instead of delivered.
+    pub down: bool,
+    /// The link was torn out (host detach): it stays as a tombstone so
+    /// late events referencing it resolve safely, and its port slot may
+    /// be reused by a later re-attach.
+    pub dead: bool,
     pub stats: LinkStats,
 }
 
@@ -126,13 +136,34 @@ impl LinkDir {
             queued_bytes: 0,
             busy_until: SimTime::ZERO,
             tx_in_flight: false,
+            down: false,
+            dead: false,
             stats: LinkStats::default(),
         }
+    }
+
+    /// Take the direction down: everything queued is blackholed and
+    /// further enqueues blackhole until [`LinkDir::bring_up`].
+    pub fn take_down(&mut self) {
+        self.down = true;
+        self.stats.blackholed_frames += self.queue.len() as u64;
+        self.queue.clear();
+        self.queued_bytes = 0;
+    }
+
+    /// Bring the direction back up. The serializer state is untouched:
+    /// `busy_until` in the past simply means it is idle.
+    pub fn bring_up(&mut self) {
+        self.down = false;
     }
 
     /// Try to enqueue a frame; returns false on tail drop.
     pub fn enqueue(&mut self, frame: Bytes) -> bool {
         let len = frame.len();
+        if self.down {
+            self.stats.blackholed_frames += 1;
+            return false;
+        }
         if self.queued_bytes + len > self.spec.queue_bytes {
             self.stats.dropped_frames += 1;
             return false;

@@ -12,10 +12,11 @@
 use bytes::Bytes;
 use std::sync::Arc;
 
+use crate::fault::{Fault, FaultPlan};
 use crate::link::{LinkDir, LinkSpec, LinkStats};
 use crate::node::{Node, NodeCtx, PortId};
 use crate::runtime::{Runtime, RuntimeStats};
-use crate::shard::{Chan, Env, Ev, Loc, Remote, Shard, ShardMap};
+use crate::shard::{Chan, Env, Ev, FaultEv, Loc, Remote, Shard, ShardMap};
 use crate::time::SimTime;
 
 /// Identifies a node within one [`Network`].
@@ -306,6 +307,18 @@ impl Network {
                     let (s, c) = chan_remap[chan as usize].expect("event references a live chan");
                     (s, Ev::TxDone { chan: c })
                 }
+                Ev::Fault(FaultEv::LinkDown { chan }) => {
+                    let (s, c) = chan_remap[chan as usize].expect("fault references a live chan");
+                    (s, Ev::Fault(FaultEv::LinkDown { chan: c }))
+                }
+                Ev::Fault(FaultEv::LinkUp { chan }) => {
+                    let (s, c) = chan_remap[chan as usize].expect("fault references a live chan");
+                    (s, Ev::Fault(FaultEv::LinkUp { chan: c }))
+                }
+                Ev::Fault(FaultEv::Reset { node }) => {
+                    let l = loc[node as usize];
+                    (l.shard, Ev::Fault(FaultEv::Reset { node: l.idx }))
+                }
             };
             shards[target as usize].push(sched.at, ev);
         }
@@ -346,6 +359,113 @@ impl Network {
         let shard = &self.shards[l.shard as usize];
         let chan = (*shard.ports[l.idx as usize].get(usize::from(port.0))?)?;
         Some(shard.chans[chan as usize].dir.stats)
+    }
+
+    /// Resolve the two egress channels of the duplex link attached to
+    /// `(node, port)`: the endpoint's own direction and its peer's, each
+    /// with the shard that owns it.
+    fn link_chans(&self, node: NodeId, port: PortId) -> Option<((usize, u32), (usize, u32))> {
+        let l = self.loc.get(node.0)?;
+        let shard = &self.shards[l.shard as usize];
+        let chan = (*shard.ports[l.idx as usize].get(usize::from(port.0))?)?;
+        let c = &shard.chans[chan as usize];
+        let (peer, peer_port) = (c.peer, c.peer_port);
+        let pl = self.loc[peer.0];
+        let pshard = &self.shards[pl.shard as usize];
+        let pchan = (*pshard.ports[pl.idx as usize].get(usize::from(peer_port.0))?)?;
+        Some(((l.shard as usize, chan), (pl.shard as usize, pchan)))
+    }
+
+    /// Arm every fault in `plan` (see [`crate::fault`]). Entries are
+    /// scheduled in time order (ties in insertion order) as ordinary
+    /// shard events, so the fault schedule is bit-identical for any
+    /// thread count. Fault times must not lie in the simulated past.
+    ///
+    /// # Panics
+    /// Panics if a link fault names an unconnected port or a fault names
+    /// an unknown node.
+    pub fn apply_faults(&mut self, plan: &FaultPlan) {
+        for (at, fault) in plan.entries() {
+            match fault {
+                Fault::LinkDown { node, port } => self.schedule_link_down(at, node, port),
+                Fault::LinkUp { node, port } => self.schedule_link_up(at, node, port),
+                Fault::Reset { node } => self.schedule_reset(at, node),
+            }
+        }
+    }
+
+    /// Schedule both directions of the link at `(node, port)` to go down
+    /// at `at`. Queued and in-flight frames are blackholed (see
+    /// [`crate::fault`] for exact semantics).
+    ///
+    /// # Panics
+    /// Panics if `(node, port)` has no link.
+    pub fn schedule_link_down(&mut self, at: SimTime, node: NodeId, port: PortId) {
+        let ((sa, ca), (sb, cb)) = self
+            .link_chans(node, port)
+            .unwrap_or_else(|| panic!("no link at {node}:{port}"));
+        self.shards[sa].push(at, Ev::Fault(FaultEv::LinkDown { chan: ca }));
+        self.shards[sb].push(at, Ev::Fault(FaultEv::LinkDown { chan: cb }));
+    }
+
+    /// Schedule both directions of the link at `(node, port)` to come
+    /// back up at `at`.
+    ///
+    /// # Panics
+    /// Panics if `(node, port)` has no link.
+    pub fn schedule_link_up(&mut self, at: SimTime, node: NodeId, port: PortId) {
+        let ((sa, ca), (sb, cb)) = self
+            .link_chans(node, port)
+            .unwrap_or_else(|| panic!("no link at {node}:{port}"));
+        self.shards[sa].push(at, Ev::Fault(FaultEv::LinkUp { chan: ca }));
+        self.shards[sb].push(at, Ev::Fault(FaultEv::LinkUp { chan: cb }));
+    }
+
+    /// Schedule a power cycle of `node` at `at`: its
+    /// [`Node::on_reset`] hook fires at that instant.
+    pub fn schedule_reset(&mut self, at: SimTime, node: NodeId) {
+        let l = self.loc[node.0];
+        self.shards[l.shard as usize].push(at, Ev::Fault(FaultEv::Reset { node: l.idx }));
+    }
+
+    /// Tear out the link at `(node, port)` right now, returning the peer
+    /// endpoint. Queued frames on both directions are blackholed; frames
+    /// already in flight blackhole on arrival. Both port slots become
+    /// reusable — a later [`Network::connect`] on either port builds a
+    /// fresh link (this is how host detach/re-attach is modelled).
+    ///
+    /// Returns `None` if the port has no link. Call between `run_*`
+    /// invocations only; as a facade operation it is deterministic by
+    /// construction.
+    pub fn disconnect(&mut self, node: NodeId, port: PortId) -> Option<(NodeId, PortId)> {
+        let ((sa, ca), (sb, cb)) = self.link_chans(node, port)?;
+        let peer = {
+            let c = &mut self.shards[sa].chans[ca as usize];
+            let p = (c.peer, c.peer_port);
+            c.dir.take_down();
+            c.dir.dead = true;
+            p
+        };
+        let c = &mut self.shards[sb].chans[cb as usize];
+        c.dir.take_down();
+        c.dir.dead = true;
+        Some(peer)
+    }
+
+    /// Total frames lost to downed or torn-out links so far: queued or
+    /// newly transmitted frames blackholed at the egress, plus in-flight
+    /// frames blackholed on arrival.
+    pub fn blackholed_frames(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.blackholed_in_flight
+                    + s.chans
+                        .iter()
+                        .map(|c| c.dir.stats.blackholed_frames)
+                        .sum::<u64>()
+            })
+            .sum()
     }
 
     /// Typed shared access to a node.
@@ -1137,6 +1257,175 @@ mod tests {
         map.assign(a, 1);
         net.set_shards(&map);
         net.set_shards(&map);
+    }
+
+    #[test]
+    fn link_down_blackholes_then_up_restores_service() {
+        // 10 pings at 100 µs spacing; the link is down for [250 µs, 450 µs):
+        // pings sent at 300 and 400 µs blackhole, the rest echo back.
+        let mut net = Network::new(1);
+        let p = net.add_node(pinger(10, SimTime::from_micros(100)));
+        let e = net.add_node(Echo {
+            delay: SimTime::ZERO,
+            seen: 0,
+        });
+        net.connect(p, PortId(0), e, PortId(0), LinkSpec::gigabit());
+        let plan = crate::FaultPlan::new().link_flap(
+            SimTime::from_micros(250),
+            SimTime::from_micros(200),
+            p,
+            PortId(0),
+        );
+        net.apply_faults(&plan);
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<Pinger>(p).arrivals.len(), 8);
+        assert_eq!(net.node_ref::<Echo>(e).seen, 8);
+        assert_eq!(net.blackholed_frames(), 2);
+        // Service resumed: pings from 500 µs onward arrived.
+        let last = *net.node_ref::<Pinger>(p).arrivals.last().unwrap();
+        assert!(last > SimTime::from_micros(900));
+    }
+
+    #[test]
+    fn in_flight_frame_blackholes_on_arrival() {
+        // A slow link (1 ms propagation): the frame sent at t=0 is still
+        // in flight when the link drops at 500 µs, so it must be counted
+        // as blackholed, not delivered.
+        let mut net = Network::new(1);
+        let p = net.add_node(pinger(1, SimTime::from_micros(10)));
+        let e = net.add_node(Echo {
+            delay: SimTime::ZERO,
+            seen: 0,
+        });
+        net.connect(
+            p,
+            PortId(0),
+            e,
+            PortId(0),
+            LinkSpec::gigabit().with_delay(SimTime::from_millis(1)),
+        );
+        net.schedule_link_down(SimTime::from_micros(500), p, PortId(0));
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<Echo>(e).seen, 0);
+        assert_eq!(net.blackholed_frames(), 1);
+    }
+
+    #[test]
+    fn disconnect_blackholes_and_frees_ports_for_reattach() {
+        let mut net = Network::new(1);
+        let p = net.add_node(pinger(3, SimTime::from_micros(10)));
+        let e = net.add_node(Echo {
+            delay: SimTime::ZERO,
+            seen: 0,
+        });
+        let e2 = net.add_node(Echo {
+            delay: SimTime::ZERO,
+            seen: 0,
+        });
+        net.connect(p, PortId(0), e, PortId(0), LinkSpec::gigabit());
+        net.run_until(SimTime::from_micros(15)); // pings 1 and 2 echoed
+        let peer = net.disconnect(p, PortId(0)).expect("link existed");
+        assert_eq!(peer, (e, PortId(0)));
+        net.run_until(SimTime::from_micros(40)); // 3rd ping blackholes
+        assert_eq!(net.blackholed_frames(), 1);
+        // Re-attach the pinger's port 0 to a different echo node.
+        net.connect(p, PortId(0), e2, PortId(0), LinkSpec::gigabit());
+        net.with_node_ctx::<Pinger, _>(p, |n, ctx| {
+            n.count += 1; // one more ping through the new link
+            ctx.schedule(SimTime::ZERO, 0);
+        });
+        net.run_until_idle();
+        assert_eq!(net.node_ref::<Echo>(e2).seen, 1);
+        assert_eq!(net.node_ref::<Echo>(e).seen, 2);
+    }
+
+    #[test]
+    fn scheduled_reset_fires_the_hook() {
+        struct Resettable {
+            resets: u32,
+            at: Vec<SimTime>,
+        }
+        impl Node for Resettable {
+            fn on_packet(&mut self, _p: PortId, _f: Bytes, _c: &mut NodeCtx) {}
+            fn on_reset(&mut self, ctx: &mut NodeCtx) {
+                self.resets += 1;
+                self.at.push(ctx.now());
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut net = Network::new(1);
+        let r = net.add_node(Resettable {
+            resets: 0,
+            at: Vec::new(),
+        });
+        let plan = crate::FaultPlan::new()
+            .reset(SimTime::from_millis(1), r)
+            .reset(SimTime::from_millis(3), r);
+        net.apply_faults(&plan);
+        net.run_until_idle();
+        let n = net.node_ref::<Resettable>(r);
+        assert_eq!(n.resets, 2);
+        assert_eq!(n.at, vec![SimTime::from_millis(1), SimTime::from_millis(3)]);
+    }
+
+    /// The sharded pinger/echo scenario with a cross-shard link flap and
+    /// a node reset: results must be bit-identical for any thread count.
+    fn faulted_scenario(shards: bool, threads: usize) -> (Vec<SimTime>, Vec<SimTime>, u64, u64) {
+        let mut net = Network::new(9);
+        let p0 = net.add_node(pinger(6, SimTime::from_micros(3)));
+        let e0 = net.add_node(Echo {
+            delay: SimTime::from_micros(1),
+            seen: 0,
+        });
+        let p1 = net.add_node(pinger(6, SimTime::from_micros(5)));
+        let e1 = net.add_node(Echo {
+            delay: SimTime::from_micros(2),
+            seen: 0,
+        });
+        net.connect(p0, PortId(0), e0, PortId(0), LinkSpec::gigabit());
+        net.connect(p1, PortId(0), e1, PortId(0), LinkSpec::gigabit());
+        if shards {
+            let mut map = ShardMap::new(3);
+            map.assign(p0, 1);
+            map.assign(e0, 1);
+            map.assign(e1, 1);
+            map.assign(p1, 2);
+            net.set_shards(&map);
+            net.set_threads(threads);
+        }
+        let plan = crate::FaultPlan::new()
+            .link_flap(
+                SimTime::from_micros(8),
+                SimTime::from_micros(9),
+                p1,
+                PortId(0), // the cross-shard link
+            )
+            .link_flap(
+                SimTime::from_micros(4),
+                SimTime::from_micros(3),
+                p0,
+                PortId(0),
+            )
+            .reset(SimTime::from_micros(12), e0);
+        net.apply_faults(&plan);
+        net.run_until(SimTime::from_millis(5));
+        let a0 = net.node_ref::<Pinger>(p0).arrivals.clone();
+        let a1 = net.node_ref::<Pinger>(p1).arrivals.clone();
+        (a0, a1, net.events_processed(), net.blackholed_frames())
+    }
+
+    #[test]
+    fn fault_schedule_is_bit_identical_for_any_thread_count() {
+        let base = faulted_scenario(false, 1);
+        assert!(base.3 > 0, "the schedule actually blackholed something");
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(faulted_scenario(true, threads), base, "threads={threads}");
+        }
     }
 
     #[test]

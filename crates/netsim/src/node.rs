@@ -144,6 +144,16 @@ pub trait Node: Any + Send {
     /// Called once when the simulation starts running.
     fn on_start(&mut self, _ctx: &mut NodeCtx) {}
 
+    /// The device was power-cycled by the fault layer (see
+    /// [`crate::fault::FaultPlan`]). Implementations must drop whatever
+    /// state a real reboot would lose — learned tables, caches, queued
+    /// work — and keep only persistent configuration (their "startup
+    /// config"). Timers survive in the event queue; devices whose timers
+    /// carry pre-reset context must treat stale tokens defensively. The
+    /// default is a no-op: a stateless device reboots into the same
+    /// behaviour.
+    fn on_reset(&mut self, _ctx: &mut NodeCtx) {}
+
     /// Human-readable name used in traces.
     fn name(&self) -> &str {
         "node"

@@ -64,6 +64,18 @@ impl<T> ServiceQueue<T> {
         }
     }
 
+    /// Drop everything in flight: the waiting queue and every
+    /// in-service batch (a device power cycle). Counters survive —
+    /// they model the observer, not the device. Completion timers for
+    /// the flushed batches may still fire; callers must treat a
+    /// completion on an idle slot as stale.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            s.clear();
+        }
+        self.queue.clear();
+    }
+
     /// Offer an item for service.
     pub fn submit(&mut self, item: T) -> Submit {
         if let Some(free) = self.slots.iter().position(Vec::is_empty) {

@@ -166,6 +166,23 @@ pub(crate) enum Ev {
         port: PortId,
         frame: Bytes,
     },
+    /// A scheduled fault fires (see [`crate::fault::FaultPlan`]).
+    Fault(FaultEv),
+}
+
+/// Shard-local fault events. Link faults reference the egress channel
+/// owned by this shard; a full link-down therefore schedules one event
+/// per direction, each in the shard owning that direction, at the same
+/// instant — which keeps fault processing inside the normal `(at, seq)`
+/// order and bit-identical for any thread count.
+#[derive(Debug)]
+pub(crate) enum FaultEv {
+    /// Take one egress direction down (queued frames blackhole).
+    LinkDown { chan: u32 },
+    /// Bring one egress direction back up.
+    LinkUp { chan: u32 },
+    /// Power-cycle a node: fires [`Node::on_reset`].
+    Reset { node: u32 },
 }
 
 pub(crate) struct Sched {
@@ -264,6 +281,10 @@ pub(crate) struct Shard {
     pub trace: Option<Vec<(SimTime, String)>>,
     pub unconnected_drops: u64,
     pub events_processed: u64,
+    /// Frames that finished their flight into a port whose link was down
+    /// on arrival. Counted at the shard (not per link direction) because
+    /// the transmitting direction lives in the sender's shard.
+    pub blackholed_in_flight: u64,
     pub outbox: Vec<Remote>,
 }
 
@@ -284,6 +305,7 @@ impl Shard {
             trace: None,
             unconnected_drops: 0,
             events_processed: 0,
+            blackholed_in_flight: 0,
             outbox: Vec::new(),
         }
     }
@@ -320,11 +342,16 @@ impl Shard {
         if row.len() <= p {
             row.resize(p + 1, None);
         }
-        assert!(
-            row[p].is_none(),
-            "port {port} of {} already connected",
-            self.gids[idx as usize]
-        );
+        if let Some(old) = row[p] {
+            // A dead channel (torn out by a host detach) may be replaced
+            // on re-attach; it stays allocated as a tombstone so pending
+            // TxDone events referencing it resolve safely.
+            assert!(
+                self.chans[old as usize].dir.dead,
+                "port {port} of {} already connected",
+                self.gids[idx as usize]
+            );
+        }
         row[p] = Some(chan);
     }
 
@@ -447,6 +474,10 @@ impl Shard {
                 unreachable!("peeked event was a Deliver");
             };
             self.events_processed += 1;
+            if self.ingress_down(node, port) {
+                self.blackholed_in_flight += 1;
+                continue;
+            }
             frames.push((port, frame));
         }
         if frames.len() == 1 {
@@ -457,9 +488,23 @@ impl Shard {
         }
     }
 
+    /// True when the link into `(node, port)` is down on arrival. The
+    /// transmitting direction is owned by the sender's shard, so the
+    /// check uses the receiver's *own* egress channel on the same port —
+    /// the paired half of the same duplex link, which fault scheduling
+    /// always downs at the same instant as its twin.
+    fn ingress_down(&self, node: u32, port: PortId) -> bool {
+        self.chan_of(node, port)
+            .is_some_and(|c| self.chans[c as usize].dir.down)
+    }
+
     fn handle(&mut self, ev: Ev, env: &Env) {
         match ev {
             Ev::Deliver { node, port, frame } => {
+                if self.ingress_down(node, port) {
+                    self.blackholed_in_flight += 1;
+                    return;
+                }
                 self.deliver_burst(node, port, frame, env);
             }
             Ev::Timer { node, token } => {
@@ -475,6 +520,16 @@ impl Shard {
                 self.chans[chan as usize].dir.tx_in_flight = false;
                 self.kick(chan);
             }
+            Ev::Fault(f) => match f {
+                FaultEv::LinkDown { chan } => self.chans[chan as usize].dir.take_down(),
+                FaultEv::LinkUp { chan } => {
+                    self.chans[chan as usize].dir.bring_up();
+                    self.kick(chan);
+                }
+                FaultEv::Reset { node } => {
+                    self.dispatch(node, env, |n, ctx| n.on_reset(ctx));
+                }
+            },
         }
     }
 
@@ -561,7 +616,7 @@ impl Shard {
     fn kick(&mut self, chan: u32) {
         let now = self.now;
         let c = &mut self.chans[chan as usize];
-        if c.dir.tx_in_flight {
+        if c.dir.tx_in_flight || c.dir.down {
             return;
         }
         let Some(frame) = c.dir.dequeue() else { return };

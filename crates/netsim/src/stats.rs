@@ -207,6 +207,122 @@ impl Rollup {
     }
 }
 
+/// One service interruption observed by an [`SloMeter`]: the half-open
+/// interval (nanoseconds) during which a flow received nothing for
+/// longer than the outage threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// When service was last seen before the gap (ns).
+    pub start_ns: u64,
+    /// When service resumed — or the measurement window closed (ns).
+    pub end_ns: u64,
+}
+
+impl Outage {
+    /// Length of the interruption in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Per-flow service-level meter: turns a stream of arrival timestamps
+/// into downtime, outage intervals and time-to-reconverge.
+///
+/// Feed it every arrival with [`SloMeter::observe`] and close the
+/// window with [`SloMeter::finish`]. Any inter-arrival gap longer than
+/// the threshold counts as an outage from the last arrival before the
+/// gap to the arrival that ended it; a flow still dark at `finish`
+/// accrues a trailing outage to the end of the window. Fully
+/// deterministic — it only folds over simulated timestamps.
+#[derive(Debug, Clone)]
+pub struct SloMeter {
+    threshold_ns: u64,
+    first_rx_ns: Option<u64>,
+    last_rx_ns: Option<u64>,
+    outages: Vec<Outage>,
+    finished: bool,
+}
+
+impl SloMeter {
+    /// A meter that calls any service gap longer than `threshold_ns` an
+    /// outage.
+    pub fn new(threshold_ns: u64) -> SloMeter {
+        SloMeter {
+            threshold_ns,
+            first_rx_ns: None,
+            last_rx_ns: None,
+            outages: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// The configured outage threshold in nanoseconds.
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns
+    }
+
+    /// Record one arrival at `now_ns` (must be fed in nondecreasing
+    /// time order).
+    pub fn observe(&mut self, now_ns: u64) {
+        if let Some(last) = self.last_rx_ns {
+            if now_ns.saturating_sub(last) > self.threshold_ns {
+                self.outages.push(Outage {
+                    start_ns: last,
+                    end_ns: now_ns,
+                });
+            }
+        }
+        if self.first_rx_ns.is_none() {
+            self.first_rx_ns = Some(now_ns);
+        }
+        self.last_rx_ns = Some(now_ns);
+    }
+
+    /// Close the measurement window at `end_ns`: a flow that went dark
+    /// before the end accrues one trailing outage. Idempotent per
+    /// window; further arrivals are not expected afterwards.
+    pub fn finish(&mut self, end_ns: u64) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if let Some(last) = self.last_rx_ns {
+            if end_ns.saturating_sub(last) > self.threshold_ns {
+                self.outages.push(Outage {
+                    start_ns: last,
+                    end_ns,
+                });
+            }
+        }
+    }
+
+    /// The recorded outage intervals, in time order.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// Total downtime in nanoseconds (sum of all outages).
+    pub fn downtime_ns(&self) -> u64 {
+        self.outages.iter().map(Outage::duration_ns).sum()
+    }
+
+    /// The longest single outage in nanoseconds (0 if none).
+    pub fn worst_outage_ns(&self) -> u64 {
+        self.outages
+            .iter()
+            .map(Outage::duration_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// When the flow last recovered: the end of the final outage, i.e.
+    /// the time-to-reconverge measured from time zero. `None` if the
+    /// flow never suffered an outage.
+    pub fn reconverged_at_ns(&self) -> Option<u64> {
+        self.outages.last().map(|o| o.end_ns)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +421,43 @@ mod tests {
         h.record(u64::MAX / 2);
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn slo_meter_detects_gaps_and_reconvergence() {
+        let mut m = SloMeter::new(1_000); // 1 µs threshold
+        for t in [0u64, 500, 1_000, 5_000, 5_500, 6_000] {
+            m.observe(t);
+        }
+        m.finish(10_000);
+        // One mid-stream outage (1_000 → 5_000) and one trailing outage
+        // (6_000 → 10_000).
+        assert_eq!(m.outages().len(), 2);
+        assert_eq!(m.downtime_ns(), 4_000 + 4_000);
+        assert_eq!(m.worst_outage_ns(), 4_000);
+        assert_eq!(m.reconverged_at_ns(), Some(10_000));
+    }
+
+    #[test]
+    fn slo_meter_clean_flow_has_no_outages() {
+        let mut m = SloMeter::new(2_000);
+        for t in (0..10).map(|i| i * 1_000) {
+            m.observe(t);
+        }
+        m.finish(10_000);
+        assert!(m.outages().is_empty());
+        assert_eq!(m.downtime_ns(), 0);
+        assert_eq!(m.reconverged_at_ns(), None);
+    }
+
+    #[test]
+    fn slo_meter_finish_is_idempotent() {
+        let mut m = SloMeter::new(100);
+        m.observe(0);
+        m.finish(1_000);
+        m.finish(2_000);
+        assert_eq!(m.outages().len(), 1);
+        assert_eq!(m.downtime_ns(), 1_000);
     }
 
     #[test]

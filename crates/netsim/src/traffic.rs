@@ -13,7 +13,7 @@ use netpkt::vlan::{push_vlan, VlanTag};
 use netpkt::{builder, EtherType, Ipv4Packet, MacAddr, UdpPacket};
 
 use crate::node::{Node, NodeCtx, PortId};
-use crate::stats::{Counter, Histogram};
+use crate::stats::{Counter, Histogram, SloMeter};
 use crate::time::SimTime;
 
 /// Size of the measurement stamp embedded in generated payloads.
@@ -291,6 +291,8 @@ pub struct Sink {
     /// Received per UDP destination port — used by the LB experiment to
     /// count per-backend shares when multiple flows land on one sink.
     by_dst_port: std::collections::HashMap<u16, u64>,
+    /// Optional SLO meter fed with every arrival (see [`Sink::with_slo`]).
+    slo: Option<SloMeter>,
 }
 
 impl Sink {
@@ -305,7 +307,27 @@ impl Sink {
             first_rx: None,
             last_rx: None,
             by_dst_port: std::collections::HashMap::new(),
+            slo: None,
         }
+    }
+
+    /// Attach an [`SloMeter`]: every arrival is observed, and any
+    /// service gap longer than `threshold` counts as an outage. Read
+    /// the results back with [`Sink::slo`] / [`Sink::slo_mut`] (call
+    /// [`SloMeter::finish`] once the measurement window closes).
+    pub fn with_slo(mut self, threshold: SimTime) -> Self {
+        self.slo = Some(SloMeter::new(threshold.as_nanos()));
+        self
+    }
+
+    /// The SLO meter, if one was attached.
+    pub fn slo(&self) -> Option<&SloMeter> {
+        self.slo.as_ref()
+    }
+
+    /// Mutable SLO meter access (to `finish` the window).
+    pub fn slo_mut(&mut self) -> Option<&mut SloMeter> {
+        self.slo.as_mut()
     }
 
     /// Frames received.
@@ -321,6 +343,12 @@ impl Sink {
     /// Frames that carried no recoverable stamp.
     pub fn unstamped(&self) -> u64 {
         self.unstamped.get()
+    }
+
+    /// Time of the first arrival, if any — the service-establishment
+    /// instant in migration-under-traffic scenarios.
+    pub fn first_rx(&self) -> Option<SimTime> {
+        self.first_rx
     }
 
     /// One-way latency histogram (nanoseconds).
@@ -367,6 +395,9 @@ impl Node for Sink {
             self.first_rx = Some(now);
         }
         self.last_rx = Some(now);
+        if let Some(slo) = self.slo.as_mut() {
+            slo.observe(now.as_nanos());
+        }
         match Stamp::from_frame(&frame) {
             Some(stamp) => {
                 let lat = now.as_nanos().saturating_sub(stamp.sent_ns);

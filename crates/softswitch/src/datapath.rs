@@ -273,6 +273,24 @@ impl Datapath {
         self.epoch
     }
 
+    /// Drop every piece of dataplane state a power cycle would lose:
+    /// all flow tables, groups, meters, TSS indexes and both caches.
+    /// Ports (hardware) and their counters survive. The epoch is bumped
+    /// so any cached path that somehow survived is invalidated.
+    pub fn reset_tables(&mut self) {
+        let n = usize::from(self.config.n_tables.max(1));
+        self.tables = (0..n)
+            .map(|i| FlowTable::with_capacity(TableId(i as u8), self.config.table_capacity))
+            .collect();
+        self.groups = GroupTable::new();
+        self.meters = MeterTable::new();
+        self.tss = (0..n).map(|_| None).collect();
+        self.table_masks = (0..n).map(|_| (u64::MAX, FieldMask::default())).collect();
+        self.micro = MicroflowCache::new(self.config.micro_capacity);
+        self.mega = MegaflowCache::new(self.config.mega_capacity);
+        self.epoch += 1;
+    }
+
     /// Total packets processed.
     pub fn packets_processed(&self) -> u64 {
         self.packets_processed

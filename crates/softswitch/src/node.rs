@@ -28,7 +28,9 @@ use crate::trace::CostModel;
 
 /// Timer token for periodic flow expiry.
 const TOKEN_EXPIRE: u64 = 1;
-/// Timer tokens `TOKEN_SVC + slot` mark service completions.
+/// Timer tokens `TOKEN_SVC + (generation << 16) + slot` mark service
+/// completions. The generation is bumped by a reset so completions of
+/// batches flushed by the power cycle are recognised as stale.
 const TOKEN_SVC: u64 = 1000;
 
 /// Magic prefix of local administration messages (the analogue of the
@@ -74,6 +76,10 @@ pub struct SoftSwitchNode {
     in_service: Vec<Option<Finished>>,
     batch_size: usize,
     rx_dropped: u64,
+    /// Bumped by every reset; stale service-completion timers carry the
+    /// old generation and are ignored.
+    svc_gen: u64,
+    resets: u64,
 }
 
 impl SoftSwitchNode {
@@ -100,7 +106,14 @@ impl SoftSwitchNode {
             in_service: (0..cores).map(|_| None).collect(),
             batch_size: DEFAULT_BATCH_SIZE,
             rx_dropped: 0,
+            svc_gen: 0,
+            resets: 0,
         }
+    }
+
+    /// Number of power cycles this switch has been through.
+    pub fn resets(&self) -> u64 {
+        self.resets
     }
 
     /// Builder-style override of the maximum frames per service period
@@ -171,7 +184,10 @@ impl SoftSwitchNode {
             })
             .sum();
         self.in_service[slot] = Some(Finished { result });
-        ctx.schedule(SimTime::from_nanos(svc_ns), TOKEN_SVC + slot as u64);
+        ctx.schedule(
+            SimTime::from_nanos(svc_ns),
+            TOKEN_SVC + (self.svc_gen << 16) + slot as u64,
+        );
     }
 
     fn emit_result(&mut self, result: BatchResult, ctx: &mut NodeCtx) {
@@ -249,9 +265,16 @@ impl Node for SoftSwitchNode {
             return;
         }
         if token >= TOKEN_SVC {
-            let slot = (token - TOKEN_SVC) as usize;
-            let _ = self.sq.complete(slot);
+            let v = token - TOKEN_SVC;
+            // A completion from before the last reset is stale: its
+            // batch was flushed by the power cycle and the slot may
+            // already serve post-reset work.
+            if (v >> 16) != self.svc_gen {
+                return;
+            }
+            let slot = (v & 0xFFFF) as usize;
             if let Some(fin) = self.in_service[slot].take() {
+                let _ = self.sq.complete(slot);
                 self.emit_result(fin.result, ctx);
             }
             // Drain whatever backed up while this core was busy, as one
@@ -259,6 +282,25 @@ impl Node for SoftSwitchNode {
             if self.sq.start_queued_batch(slot, self.batch_size) > 0 {
                 self.start_service(slot, ctx);
             }
+        }
+    }
+
+    fn on_reset(&mut self, ctx: &mut NodeCtx) {
+        // A power cycle: pipeline tables, caches and all in-flight work
+        // are RAM and vanish; the port inventory and the configured
+        // controller target are persistent config (the OVSDB analogue)
+        // and survive. Reconnect to the controller like a fresh boot.
+        self.resets += 1;
+        self.svc_gen += 1;
+        self.dp.reset_tables();
+        self.sq.clear();
+        for slot in &mut self.in_service {
+            *slot = None;
+        }
+        self.agent = OfAgent::new(self.name.clone());
+        if let Some(c) = self.controller {
+            let hello = self.agent.hello();
+            ctx.ctrl_send(c, hello);
         }
     }
 
@@ -515,6 +557,110 @@ mod tests {
         net.run_until(SimTime::from_millis(20));
         // The ARP for 10.0.0.2 gets forwarded to the sink (port 2).
         assert!(net.node_ref::<Sink>(sink).received() > 0);
+    }
+
+    #[test]
+    fn idle_flow_expiry_flushes_caches_and_reports_flow_removed() {
+        use openflow::table::flow_flags;
+        let mut net = Network::new(1);
+        // The controller installs one idle-timeout rule that asks for a
+        // FLOW_REMOVED notification.
+        let fm = FlowMod::add(0)
+            .priority(1)
+            .match_(Match::new().in_port(1))
+            .apply(vec![Action::output(2)])
+            .timeouts(1, 0) // 1 s idle
+            .flags(flow_flags::SEND_FLOW_REM);
+        let ctrl = net.add_node(MiniController {
+            to_send: vec![
+                openflow::Message::Hello.encode(1),
+                openflow::Message::FlowMod(fm).encode(2),
+                openflow::Message::BarrierRequest.encode(3),
+            ],
+            target: None,
+            received: Vec::new(),
+        });
+        let mut sw = switch();
+        sw.connect_controller(ctrl);
+        let s = net.add_node(sw);
+        let g = net.add_node(Generator::new(
+            "gen",
+            PortId(0),
+            Pattern::Cbr { pps: 10_000.0 },
+            vec![FlowSpec::simple(1, 2, 128)],
+            SimTime::from_millis(5), // after the rule + barrier landed
+            SimTime::from_millis(15),
+        ));
+        let sink = net.add_node(Sink::new("sink"));
+        net.connect(g, PortId(0), s, PortId(1), LinkSpec::gigabit());
+        net.connect(s, PortId(2), sink, PortId(0), LinkSpec::gigabit());
+
+        // Burst: the rule forwards and the repeated flow populates the
+        // micro/megaflow caches.
+        net.run_until(SimTime::from_millis(100));
+        let forwarded = net.node_ref::<Sink>(sink).received();
+        assert_eq!(
+            forwarded, 100,
+            "10 kpps over [5 ms, 15 ms) through the rule"
+        );
+        let epoch_before;
+        {
+            let dp = net.node_ref::<SoftSwitchNode>(s).datapath();
+            assert_eq!(dp.table(0).unwrap().len(), 1);
+            assert!(
+                dp.micro_cache().hits() + dp.mega_cache().hits() > 0,
+                "the repeated flow must be served from a cache"
+            );
+            epoch_before = dp.epoch();
+        }
+
+        // Idle past the timeout; the 500 ms sweep that crosses the
+        // deadline retires the rule, bumps the epoch (wholesale cache
+        // flush) and notifies the controller.
+        net.run_until(SimTime::from_millis(1700));
+        {
+            let dp = net.node_ref::<SoftSwitchNode>(s).datapath();
+            assert_eq!(dp.table(0).unwrap().len(), 0, "rule expired");
+            assert!(dp.epoch() > epoch_before, "expiry must flush the caches");
+        }
+        let removed: Vec<_> = net
+            .node_ref::<MiniController>(ctrl)
+            .received
+            .iter()
+            .filter_map(|m| match m {
+                openflow::Message::FlowRemoved {
+                    reason, priority, ..
+                } => Some((*reason, *priority)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            removed,
+            vec![(openflow::table::RemovedReason::IdleTimeout.value(), 1)],
+            "exactly one FLOW_REMOVED, for our rule, reason idle-timeout"
+        );
+
+        // End to end: with the rule gone and the caches flushed, the
+        // same flow is dropped, not forwarded from a stale cache line.
+        net.inject(
+            s,
+            PortId(1),
+            netpkt::builder::udp_packet(
+                MacAddr::host(1),
+                MacAddr::host(2),
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                1000,
+                53,
+                b"late",
+            ),
+        );
+        net.run_until(SimTime::from_millis(1800));
+        assert_eq!(
+            net.node_ref::<Sink>(sink).received(),
+            forwarded,
+            "no stale forwarding after the epoch flush"
+        );
     }
 
     #[test]
