@@ -5,6 +5,7 @@ pub mod dmz;
 pub mod lb;
 pub mod learning;
 pub mod parental;
+pub mod router;
 pub mod static_fwd;
 
 pub use arp_proxy::{ArpProxy, HostRoute};
@@ -12,4 +13,5 @@ pub use dmz::Dmz;
 pub use lb::LoadBalancer;
 pub use learning::LearningSwitch;
 pub use parental::ParentalControl;
+pub use router::{PrefixRoute, Router, RouterConfig};
 pub use static_fwd::StaticForwarder;

@@ -68,12 +68,14 @@
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
-use controller::apps::{ArpProxy, HostRoute};
+use controller::apps::{ArpProxy, HostRoute, PrefixRoute, Router, RouterConfig};
 use controller::ControllerNode;
 use legacy_switch::LegacySwitchNode;
+use netpkt::MacAddr;
 use netsim::host::Host;
 use netsim::{LinkSpec, Network, NodeId, PortId, ShardMap};
-use softswitch::SoftSwitchNode;
+use openflow::NatDir;
+use softswitch::{NatConfig, SoftSwitchNode};
 
 use crate::instance::{HarmlessInstance, HarmlessSpec, Variant};
 use crate::manager::{HarmlessManager, ManagerConfig, ManagerPhase};
@@ -89,6 +91,29 @@ pub const POD_SS2_DPID_BASE: u64 = 0x5200;
 /// on the pod index and reserves `10.200.0.0/13` for service addresses
 /// (VIPs and the like).
 pub const MAX_PODS: u16 = 200;
+
+/// MAC identity of the soft spine's routing stage in L3 mode.
+pub const SPINE_ROUTER_MAC: MacAddr = MacAddr::host(0x4e00_ff00);
+/// IPv4 identity of the soft spine's routing stage (service space) —
+/// the source address of its ICMP time-exceeded replies.
+pub const SPINE_ROUTER_IP: Ipv4Addr = Ipv4Addr::new(10, 200, 255, 254);
+/// MAC of the upstream "internet" host a gateway pod NATs toward.
+pub const INTERNET_MAC: MacAddr = MacAddr::host(0x4e01_0001);
+
+/// MAC identity of pod `p`'s routing stage — the `eth_src` of every
+/// frame it routes and the `eth_dst` next hops address it by. Disjoint
+/// from the host MAC space ([`Fabric::host_mac`] third-lowest octet
+/// caps at [`MAX_PODS`]).
+pub fn router_mac(pod: usize) -> MacAddr {
+    MacAddr::host(0x4e00_0000 + pod as u32)
+}
+
+/// IPv4 identity of pod `p`'s routing stage — the source address of
+/// its ICMP time-exceeded replies. Lives in the pod's own `/16`, past
+/// any address [`Fabric::host_ip`] can produce.
+pub fn router_ip(pod: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, pod as u8, 255, 254)
+}
 
 /// How the pods' SS_2 uplinks are joined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +131,40 @@ pub enum Interconnect {
     /// configuration — a flat learning bridge, no controller needed.
     /// This is the cheapest interconnect the cost model allows.
     SpineLegacy,
+}
+
+/// Where a fabric meets the internet: one pod hosts the NAT gateway.
+///
+/// Egress traffic from every pod follows the default route to
+/// `pod`, is source-NATted behind `external_ip`
+/// ([`softswitch::NatTable`] on the gateway's SS_2), and leaves
+/// through access port `port` — where [`Fabric::attach_internet`]
+/// places the upstream host answering as `internet_ip`. Return
+/// traffic addressed to `external_ip` is reverse-translated at the
+/// gateway before routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewaySpec {
+    /// The pod whose SS_2 runs the NAT stage.
+    pub pod: usize,
+    /// Gateway-pod access port the upstream host occupies.
+    pub port: u16,
+    /// The NAT's public face — what egress flows are translated to.
+    pub external_ip: Ipv4Addr,
+    /// Address of the upstream host (what internal hosts dial).
+    pub internet_ip: Ipv4Addr,
+}
+
+impl GatewaySpec {
+    /// A gateway at `(pod, port)` with the default `198.18.0.0/24`
+    /// (RFC 2544 benchmarking space) upstream addressing.
+    pub fn new(pod: usize, port: u16) -> GatewaySpec {
+        GatewaySpec {
+            pod,
+            port,
+            external_ip: Ipv4Addr::new(198, 18, 0, 254),
+            internet_ip: Ipv4Addr::new(198, 18, 0, 1),
+        }
+    }
 }
 
 /// Errors validating or using a [`FabricSpec`] / [`Fabric`].
@@ -166,6 +225,13 @@ pub enum FabricError {
     },
     /// The per-pod port map does not fit the VLAN budget.
     PortMap(PortMapError),
+    /// Per-prefix routing needs the ARP proxy: something must answer
+    /// who-has for hosts the first hop no longer floods toward.
+    L3NeedsArpProxy,
+    /// A NAT gateway only makes sense on a routed fabric.
+    GatewayNeedsL3,
+    /// [`Fabric::attach_internet`] on a spec without a gateway.
+    NoGateway,
 }
 
 impl core::fmt::Display for FabricError {
@@ -200,6 +266,15 @@ impl core::fmt::Display for FabricError {
                 write!(f, "pod {pod} port {port} has no host attached")
             }
             FabricError::PortMap(e) => write!(f, "pod port map invalid: {e}"),
+            FabricError::L3NeedsArpProxy => {
+                write!(f, "l3_routing requires arp_proxy (who answers who-has?)")
+            }
+            FabricError::GatewayNeedsL3 => {
+                write!(f, "a NAT gateway requires l3_routing")
+            }
+            FabricError::NoGateway => {
+                write!(f, "attach_internet needs FabricSpec::gateway")
+            }
         }
     }
 }
@@ -235,6 +310,19 @@ pub struct FabricSpec {
     /// [`Fabric::connect_controller`] must then run an [`ArpProxy`] app
     /// (chained before any learning app).
     pub arp_proxy: bool,
+    /// Route between pods instead of bridging them: the controller's
+    /// [`Router`] app installs per-prefix rules (one `/16` per remote
+    /// pod, `/32`s only for the *local* pod's hosts) so inter-pod rule
+    /// state is O(pods), not O(hosts), per datapath. Requires
+    /// [`FabricSpec::arp_proxy`] (the proxy still answers who-has with
+    /// the target's real MAC; per-host `eth_dst` routes shrink to the
+    /// home pod). The controller must chain a [`Router`] app; a
+    /// learning app must *not* be chained — a router drops what it has
+    /// no route for, it does not flood.
+    pub l3_routing: bool,
+    /// NAT'd internet egress through one gateway pod (implies nothing
+    /// by itself — see [`GatewaySpec`]; requires `l3_routing`).
+    pub gateway: Option<GatewaySpec>,
 }
 
 impl FabricSpec {
@@ -252,6 +340,8 @@ impl FabricSpec {
             uplink_link: LinkSpec::ten_gigabit(),
             spine_dpid: SPINE_DPID,
             arp_proxy: false,
+            l3_routing: false,
+            gateway: None,
         }
     }
 
@@ -285,6 +375,21 @@ impl FabricSpec {
     pub fn with_arp_proxy(mut self, on: bool) -> Self {
         self.arp_proxy = on;
         self
+    }
+
+    /// Builder-style per-prefix routing (see [`FabricSpec::l3_routing`]);
+    /// also turns the ARP proxy on — routing depends on it.
+    pub fn with_l3_routing(mut self) -> Self {
+        self.l3_routing = true;
+        self.arp_proxy = true;
+        self
+    }
+
+    /// Builder-style NAT gateway (see [`GatewaySpec`]); implies
+    /// [`FabricSpec::with_l3_routing`].
+    pub fn with_gateway(mut self, gw: GatewaySpec) -> Self {
+        self.gateway = Some(gw);
+        self.with_l3_routing()
     }
 
     /// Uplink ports per pod the chosen interconnect wires.
@@ -325,6 +430,26 @@ impl FabricSpec {
                 expected: required,
                 got: self.pod.uplinks,
             });
+        }
+        if self.l3_routing && !self.arp_proxy {
+            return Err(FabricError::L3NeedsArpProxy);
+        }
+        if let Some(gw) = self.gateway {
+            if !self.l3_routing {
+                return Err(FabricError::GatewayNeedsL3);
+            }
+            if gw.pod >= usize::from(self.n_pods) {
+                return Err(FabricError::NoSuchPod {
+                    pod: gw.pod,
+                    n_pods: usize::from(self.n_pods),
+                });
+            }
+            if !(1..=self.pod.n_access_ports).contains(&gw.port) {
+                return Err(FabricError::NotAnAccessPort {
+                    pod: gw.pod,
+                    port: gw.port,
+                });
+            }
         }
         PortMap::new(self.pod.vlan_base, self.pod.n_access_ports)?;
         Ok(())
@@ -416,7 +541,9 @@ impl FabricSpec {
             spine,
             attached: BTreeMap::new(),
             host_ports: std::collections::BTreeSet::new(),
+            station_ports: std::collections::BTreeSet::new(),
             controller: None,
+            internet: None,
         })
     }
 }
@@ -455,9 +582,15 @@ pub struct Fabric {
     /// and therefore belong in the ARP-proxy host table (arbitrary
     /// [`Fabric::attach_node`] devices do not).
     host_ports: std::collections::BTreeSet<(usize, u16)>,
+    /// Ports taken by [`Fabric::attach_station`] devices — these carry
+    /// the *port's* fabric identity, and in L3 mode get a local `/32`
+    /// route like hosts do.
+    station_ports: std::collections::BTreeSet<(usize, u16)>,
     /// Set by [`Fabric::connect_controller`]; where ARP-proxy host
     /// routes are synced when [`FabricSpec::arp_proxy`] is on.
     controller: Option<NodeId>,
+    /// The upstream host placed by [`Fabric::attach_internet`].
+    internet: Option<NodeId>,
 }
 
 impl Fabric {
@@ -560,6 +693,7 @@ impl Fabric {
             let route = self.host_route(pod, port);
             self.push_route(net, route);
         }
+        self.sync_l3(net);
         Ok(h)
     }
 
@@ -595,6 +729,15 @@ impl Fabric {
     /// keeps the identity of its original attach point while its
     /// location follows it around the fabric.
     fn route_location(&self, pod: usize, port: u16) -> (DpidPorts, DpidPorts) {
+        // Per-prefix routing shrinks per-host state to the home pod:
+        // inter-pod delivery rides the Router app's /16 aggregates, so
+        // the only eth_dst rule a host needs is its own access port
+        // (pod-local L2 traffic short-circuits the routed pipeline
+        // there). No uplink routes, no spine entry, no guards.
+        if self.spec.l3_routing {
+            let dpid = self.pods[pod].spec.ss2_dpid;
+            return (vec![(dpid, u32::from(port))], Vec::new());
+        }
         let n = self.spec.pod.n_access_ports;
         let uplink_right = u32::from(n + 1);
         let uplink_left = u32::from(n + 2);
@@ -663,6 +806,287 @@ impl Fabric {
         });
     }
 
+    /// Next hop from pod `p` toward pod `q`: the uplink out-port and
+    /// the MAC the routed frame is re-addressed to. Hop-by-hop on a
+    /// [`Interconnect::Line`] (each transited pod routes onward), via
+    /// the spine's own routing stage on [`Interconnect::SpineSoft`],
+    /// and straight to the target pod's router MAC across a flooding
+    /// [`Interconnect::SpineLegacy`] (the bridge learns router MACs
+    /// like any others; guard rules contain its flood copies).
+    fn l3_next_hop(&self, p: usize, q: usize) -> (u32, MacAddr) {
+        let n = self.spec.pod.n_access_ports;
+        let uplink_right = u32::from(n + 1);
+        let uplink_left = u32::from(n + 2);
+        match self.spec.interconnect {
+            Interconnect::None => {
+                unreachable!("single-pod fabrics route no inter-pod traffic")
+            }
+            Interconnect::Line => {
+                if q > p {
+                    (uplink_right, router_mac(p + 1))
+                } else {
+                    (uplink_left, router_mac(p - 1))
+                }
+            }
+            Interconnect::SpineSoft => (uplink_right, SPINE_ROUTER_MAC),
+            Interconnect::SpineLegacy => (uplink_right, router_mac(q)),
+        }
+    }
+
+    /// Pod `p`'s routing personality under the current topology and
+    /// attachment state: one `/16` per remote pod, one `/32` per
+    /// locally attached station, and — with a gateway — the default
+    /// route (NAT'd at the gateway pod itself).
+    fn l3_pod_config(&self, net: &Network, p: usize) -> RouterConfig {
+        let mut routes = Vec::new();
+        for q in 0..self.pods.len() {
+            if q == p {
+                continue;
+            }
+            let (out_port, next_hop) = self.l3_next_hop(p, q);
+            routes.push(PrefixRoute {
+                prefix: Ipv4Addr::new(10, q as u8, 0, 0),
+                len: 16,
+                out_port,
+                next_hop,
+                nat: None,
+            });
+        }
+        // Local delivery: identity from the attached node itself for
+        // hosts (a migrated host keeps its original addresses), from
+        // the port for stations (that is the identity they signed up
+        // for in attach_station).
+        for &(hp, hport) in self.host_ports.iter().filter(|&&(hp, _)| hp == p) {
+            let hr = net.node_ref::<Host>(self.attached[&(hp, hport)]);
+            routes.push(PrefixRoute {
+                prefix: hr.ip(),
+                len: 32,
+                out_port: u32::from(hport),
+                next_hop: hr.mac(),
+                nat: None,
+            });
+        }
+        for &(sp, sport) in self.station_ports.iter().filter(|&&(sp, _)| sp == p) {
+            routes.push(PrefixRoute {
+                prefix: self.host_ip(sp, sport),
+                len: 32,
+                out_port: u32::from(sport),
+                next_hop: self.host_mac(sp, sport),
+                nat: None,
+            });
+        }
+        // Exception routes: a migrated host keeps its original address,
+        // so the `/16` aggregate of its home pod no longer covers it. A
+        // fabric-wide `/32` punches through the aggregate (longest
+        // prefix wins) and steers toward wherever it lives now.
+        for (ip, _, hp) in self.l3_exceptions(net) {
+            if hp == p {
+                continue; // already a local /32 above
+            }
+            let (out_port, next_hop) = self.l3_next_hop(p, hp);
+            routes.push(PrefixRoute {
+                prefix: ip,
+                len: 32,
+                out_port,
+                next_hop,
+                nat: None,
+            });
+        }
+        let mut nat_external = None;
+        if let Some(gw) = self.spec.gateway {
+            if gw.pod == p {
+                routes.push(PrefixRoute {
+                    prefix: Ipv4Addr::UNSPECIFIED,
+                    len: 0,
+                    out_port: u32::from(gw.port),
+                    next_hop: INTERNET_MAC,
+                    nat: Some(NatDir::Egress),
+                });
+                nat_external = Some(gw.external_ip);
+            } else {
+                let (out_port, next_hop) = self.l3_next_hop(p, gw.pod);
+                routes.push(PrefixRoute {
+                    prefix: Ipv4Addr::UNSPECIFIED,
+                    len: 0,
+                    out_port,
+                    next_hop,
+                    nat: None,
+                });
+            }
+        }
+        let uplink_guards = if self.spec.interconnect == Interconnect::SpineLegacy {
+            vec![u32::from(self.spec.pod.n_access_ports + 1)]
+        } else {
+            Vec::new()
+        };
+        RouterConfig {
+            mac: router_mac(p),
+            routes,
+            nat_external,
+            uplink_guards,
+        }
+    }
+
+    /// Hosts living outside their address's home `/16` (migration
+    /// keeps IP and MAC), as `(ip, mac, current pod)` — each needs a
+    /// fabric-wide `/32` exception route.
+    fn l3_exceptions(&self, net: &Network) -> Vec<(Ipv4Addr, MacAddr, usize)> {
+        self.host_ports
+            .iter()
+            .filter_map(|&(hp, hport)| {
+                let hr = net.node_ref::<Host>(self.attached[&(hp, hport)]);
+                (usize::from(hr.ip().octets()[1]) != hp).then(|| (hr.ip(), hr.mac(), hp))
+            })
+            .collect()
+    }
+
+    /// A soft spine's routing personality: one `/16` per pod out of
+    /// its pod-facing port, plus `/32` exceptions for migrated hosts
+    /// and the default route toward the gateway pod. The spine is a
+    /// real routed hop (TTL decrement, ICMP time-exceeded under its
+    /// own identity).
+    fn l3_spine_config(&self, net: &Network) -> RouterConfig {
+        let mut routes: Vec<PrefixRoute> = (0..self.pods.len())
+            .map(|q| PrefixRoute {
+                prefix: Ipv4Addr::new(10, q as u8, 0, 0),
+                len: 16,
+                out_port: q as u32 + 1,
+                next_hop: router_mac(q),
+                nat: None,
+            })
+            .collect();
+        for (ip, _, hp) in self.l3_exceptions(net) {
+            routes.push(PrefixRoute {
+                prefix: ip,
+                len: 32,
+                out_port: hp as u32 + 1,
+                next_hop: router_mac(hp),
+                nat: None,
+            });
+        }
+        if let Some(gw) = self.spec.gateway {
+            routes.push(PrefixRoute {
+                prefix: Ipv4Addr::UNSPECIFIED,
+                len: 0,
+                out_port: gw.pod as u32 + 1,
+                next_hop: router_mac(gw.pod),
+                nat: None,
+            });
+        }
+        RouterConfig {
+            mac: SPINE_ROUTER_MAC,
+            routes,
+            nat_external: None,
+            uplink_guards: Vec::new(),
+        }
+    }
+
+    /// Recompute every datapath's routing personality from the live
+    /// attachment state, hand the configs to the controller's
+    /// [`Router`] app, set the dataplane identities the rules depend
+    /// on (router MAC/IP for ICMP errors, the gateway's NAT table),
+    /// and flush to every ready datapath. Identical configs are
+    /// no-ops end to end, so this is safe to call on every attach,
+    /// detach and migrate.
+    ///
+    /// # Panics
+    /// Panics if the controller runs no [`Router`] app while
+    /// [`FabricSpec::l3_routing`] is set — silently skipping it would
+    /// leave inter-pod traffic blackholed at the first classifier.
+    fn sync_l3(&self, net: &mut Network) {
+        if !self.spec.l3_routing {
+            return;
+        }
+        let Some(ctrl) = self.controller else { return };
+        let mut configs: Vec<(u64, RouterConfig)> = (0..self.pods.len())
+            .map(|p| (self.pods[p].spec.ss2_dpid, self.l3_pod_config(net, p)))
+            .collect();
+        if let Some(Spine::Soft(_)) = self.spine {
+            configs.push((self.spec.spine_dpid, self.l3_spine_config(net)));
+        }
+        {
+            let r = net
+                .node_mut::<ControllerNode>(ctrl)
+                .app_mut::<Router>()
+                .expect(
+                    "FabricSpec::l3_routing is set, but the fabric controller \
+                     has no Router app (chain one after the ArpProxy)",
+                );
+            for (dpid, cfg) in configs {
+                r.set_config(dpid, cfg);
+            }
+        }
+        for (p, px) in self.pods.iter().enumerate() {
+            let dp = net.node_mut::<SoftSwitchNode>(px.ss2).datapath_mut();
+            if dp.router() != Some((router_ip(p), router_mac(p))) {
+                dp.set_router(router_ip(p), router_mac(p));
+            }
+            if let Some(gw) = self.spec.gateway.filter(|g| g.pod == p) {
+                if dp.nat().external_ip() != Some(gw.external_ip) {
+                    dp.configure_nat(NatConfig::new(gw.external_ip));
+                }
+            }
+        }
+        if let Some(Spine::Soft(s)) = self.spine {
+            let dp = net.node_mut::<SoftSwitchNode>(s).datapath_mut();
+            if dp.router() != Some((SPINE_ROUTER_IP, SPINE_ROUTER_MAC)) {
+                dp.set_router(SPINE_ROUTER_IP, SPINE_ROUTER_MAC);
+            }
+        }
+        self.sync_router_now(net);
+    }
+
+    /// Flush pending [`Router`] retractions/installs to every ready
+    /// datapath immediately, instead of waiting for the next
+    /// controller tick.
+    fn sync_router_now(&self, net: &mut Network) {
+        let Some(ctrl) = self.controller else { return };
+        net.with_node_ctx::<ControllerNode, _>(ctrl, |c, ctx| {
+            c.for_each_switch(ctx, |apps, sw| {
+                if let Some(r) = apps
+                    .iter_mut()
+                    .find_map(|a| a.as_any_mut().downcast_mut::<Router>())
+                {
+                    r.sync_switch(sw);
+                }
+            });
+        });
+    }
+
+    /// Place the upstream "internet" host at the gateway's access
+    /// port: a plain [`Host`] with the [`GatewaySpec::internet_ip`]
+    /// identity, answering from behind nothing while the fabric's
+    /// hosts answer from behind the NAT. With the ARP proxy on, the
+    /// address is registered for who-has answering only — no
+    /// `eth_dst` routes anywhere, reaching it is the default route's
+    /// job.
+    pub fn attach_internet(&mut self, net: &mut Network) -> Result<NodeId, FabricError> {
+        let Some(gw) = self.spec.gateway else {
+            return Err(FabricError::NoGateway);
+        };
+        let h = net.add_node(Host::new("internet", INTERNET_MAC, gw.internet_ip));
+        self.attach_node(net, gw.pod, gw.port, h)?;
+        self.internet = Some(h);
+        if self.spec.arp_proxy && self.controller.is_some() {
+            self.push_route(
+                net,
+                HostRoute {
+                    ip: gw.internet_ip,
+                    mac: INTERNET_MAC,
+                    ports: Vec::new(),
+                    guards: Vec::new(),
+                },
+            );
+            self.sync_proxy_now(net);
+        }
+        Ok(h)
+    }
+
+    /// The upstream host placed by [`Fabric::attach_internet`], if any.
+    pub fn internet_node(&self) -> Option<NodeId> {
+        self.internet
+    }
+
     /// Detach the station on `(pod, port)`: cut its access link (frames
     /// queued on it are blackholed, as on any cable pull) and free the
     /// port for a new attachment. For [`Self::attach_host`] stations
@@ -682,6 +1106,7 @@ impl Fabric {
         };
         self.attached.remove(&(pod, port));
         let carries_identity = self.host_ports.remove(&(pod, port));
+        self.station_ports.remove(&(pod, port));
         net.disconnect(h, PortId(0));
         if let Some(ctrl) = self
             .controller
@@ -694,6 +1119,7 @@ impl Fabric {
                 .remove_host(ip);
             self.sync_proxy_now(net);
         }
+        self.sync_l3(net);
         Ok(h)
     }
 
@@ -752,6 +1178,7 @@ impl Fabric {
             );
             self.sync_proxy_now(net);
         }
+        self.sync_l3(net);
         Ok(h)
     }
 
@@ -789,10 +1216,12 @@ impl Fabric {
         node: NodeId,
     ) -> Result<(), FabricError> {
         self.attach_node(net, pod, port, node)?;
+        self.station_ports.insert((pod, port));
         if self.spec.arp_proxy && self.controller.is_some() {
             let route = self.host_route(pod, port);
             self.push_route(net, route);
         }
+        self.sync_l3(net);
         Ok(())
     }
 
@@ -885,7 +1314,19 @@ impl Fabric {
             for route in routes {
                 self.push_route(net, route);
             }
+            if let (Some(gw), Some(_)) = (self.spec.gateway, self.internet) {
+                self.push_route(
+                    net,
+                    HostRoute {
+                        ip: gw.internet_ip,
+                        mac: INTERNET_MAC,
+                        ports: Vec::new(),
+                        guards: Vec::new(),
+                    },
+                );
+            }
         }
+        self.sync_l3(net);
     }
 
     /// Register only a [`Spine::Soft`] spine with the controller (no-op
@@ -942,6 +1383,7 @@ mod tests {
     use super::*;
     use controller::apps::LearningSwitch;
     use netsim::SimTime;
+    use openflow::Match;
 
     fn learning_ctrl(net: &mut Network) -> NodeId {
         net.add_node(ControllerNode::new(
@@ -1564,6 +2006,375 @@ mod tests {
         net.run_until(SimTime::from_millis(1500));
         assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 2);
         assert_eq!(net.node_ref::<Host>(b2).echo_requests_answered(), 2);
+    }
+
+    /// A controller for routed fabrics: proxy answers who-has, router
+    /// installs the per-prefix pipeline. No learning app — a router
+    /// drops what it has no route for.
+    fn l3_ctrl(net: &mut Network) -> NodeId {
+        net.add_node(ControllerNode::new(
+            "ctrl",
+            vec![Box::new(ArpProxy::new()), Box::new(Router::new())],
+        ))
+    }
+
+    /// Build an l3 (or l2 baseline) fabric of `n_pods`×`n_hosts`, run
+    /// an all-pairs ping round, and report
+    /// `(replies, blackholed frames, net, fabric, hosts)`.
+    fn all_pairs_pings(
+        l3: bool,
+        interconnect: Interconnect,
+        n_pods: u16,
+        n_hosts: u16,
+    ) -> (u64, u64, Network, Fabric) {
+        let mut net = Network::new(13);
+        let ctrl = if l3 {
+            l3_ctrl(&mut net)
+        } else {
+            net.add_node(ControllerNode::new(
+                "ctrl",
+                vec![Box::new(ArpProxy::new()), Box::new(LearningSwitch::new())],
+            ))
+        };
+        let mut spec = FabricSpec::new(n_pods, HarmlessSpec::new(n_hosts))
+            .with_interconnect(interconnect)
+            .with_arp_proxy(true);
+        if l3 {
+            spec = spec.with_l3_routing();
+        }
+        let mut fx = spec.build(&mut net).unwrap();
+        fx.configure_direct(&mut net);
+        fx.connect_controller(&mut net, ctrl);
+        let mut hosts = Vec::new();
+        for p in 0..usize::from(n_pods) {
+            for i in 1..=n_hosts {
+                hosts.push(((p, i), fx.attach_host(&mut net, p, i).unwrap()));
+            }
+        }
+        net.run_until(SimTime::from_millis(100));
+        for &((sp, si), h) in &hosts {
+            for &((dp, di), _) in &hosts {
+                if (sp, si) == (dp, di) {
+                    continue;
+                }
+                let target = fx.host_ip(dp, di);
+                net.with_node_ctx::<Host, _>(h, move |h, ctx| {
+                    h.ping(b"pairs", target);
+                    h.flush(ctx);
+                });
+            }
+            net.run_for(SimTime::from_millis(2));
+        }
+        net.run_for(SimTime::from_millis(900));
+        let replies: u64 = hosts
+            .iter()
+            .map(|&(_, h)| net.node_ref::<Host>(h).echo_replies_received())
+            .sum();
+        (replies, net.blackholed_frames(), net, fx)
+    }
+
+    #[test]
+    fn l3_routing_matches_the_l2_fabric_on_every_interconnect() {
+        for ic in [
+            Interconnect::Line,
+            Interconnect::SpineSoft,
+            Interconnect::SpineLegacy,
+        ] {
+            let (l2_replies, l2_bh, _, _) = all_pairs_pings(false, ic, 3, 2);
+            let (l3_replies, l3_bh, net, fx) = all_pairs_pings(true, ic, 3, 2);
+            // 6 hosts, 30 directed pairs: identical reply sets, nothing
+            // blackholed in either fabric.
+            assert_eq!(l2_replies, 30, "{ic:?}: l2 baseline must converge");
+            assert_eq!(l3_replies, l2_replies, "{ic:?}: l3 ≡ l2");
+            assert_eq!((l2_bh, l3_bh), (0, 0), "{ic:?}: zero blackholes");
+            // And the routed fabric did it with per-prefix state: every
+            // SS_2's route table holds 2 inter-pod /16s + 2 local /32s,
+            // no per-host inter-pod rules.
+            for p in 0..fx.n_pods() {
+                let dp = net.node_ref::<SoftSwitchNode>(fx.pod(p).ss2);
+                let routes = dp
+                    .datapath()
+                    .table(controller::apps::router::ROUTE_TABLE)
+                    .unwrap();
+                let aggregates = routes
+                    .entries()
+                    .iter()
+                    .filter(|e| e.priority < controller::apps::router::ROUTE_PRIORITY_BASE + 32)
+                    .count();
+                assert_eq!(aggregates, 2, "{ic:?} pod {p}: one /16 per remote pod");
+                assert_eq!(routes.entries().len(), 4, "{ic:?} pod {p}: plus local /32s");
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_pod_fabric_routes_with_per_prefix_state() {
+        // The scaling claim: inter-pod reachability on a 16-pod fabric
+        // out of ≤ pods+1 aggregate rules per datapath, where per-host
+        // routing would need hosts×pods rules.
+        let mut net = Network::new(4);
+        let ctrl = l3_ctrl(&mut net);
+        let mut fx = FabricSpec::new(16, HarmlessSpec::new(2))
+            .with_interconnect(Interconnect::SpineSoft)
+            .with_gateway(GatewaySpec::new(0, 2))
+            .build(&mut net)
+            .unwrap();
+        fx.configure_direct(&mut net);
+        fx.connect_controller(&mut net, ctrl);
+        let mut hosts = Vec::new();
+        for p in 0..16 {
+            hosts.push(fx.attach_host(&mut net, p, 1).unwrap());
+        }
+        fx.attach_internet(&mut net).unwrap();
+        net.run_until(SimTime::from_millis(200));
+        // Far corner to far corner, and out through the NAT.
+        let far = fx.host_ip(15, 1);
+        let inet = fx.spec.gateway.unwrap().internet_ip;
+        net.with_node_ctx::<Host, _>(hosts[3], move |h, ctx| {
+            h.ping(b"far", far);
+            h.ping(b"out", inet);
+            h.flush(ctx);
+        });
+        net.run_until(SimTime::from_millis(900));
+        assert_eq!(net.node_ref::<Host>(hosts[3]).echo_replies_received(), 2);
+        for p in 0..16 {
+            let dp = net.node_ref::<SoftSwitchNode>(fx.pod(p).ss2);
+            let routes = dp
+                .datapath()
+                .table(controller::apps::router::ROUTE_TABLE)
+                .unwrap();
+            let aggregates = routes
+                .entries()
+                .iter()
+                .filter(|e| e.priority < controller::apps::router::ROUTE_PRIORITY_BASE + 32)
+                .count();
+            // 15 remote /16s + the default route.
+            assert!(
+                aggregates <= 16 + 1,
+                "pod {p}: {aggregates} aggregate rules, want ≤ pods+1"
+            );
+            // Against the L2 alternative: 16 hosts + internet would put
+            // 17 eth_dst rules on *every* datapath; here non-local state
+            // is bounded by the pod count, local state by pod size.
+            assert!(
+                routes.entries().len() <= 16 + 1 + 2,
+                "pod {p}: routing table must stay per-prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn nat_gateway_round_trips_and_offloads_to_the_caches() {
+        let mut net = Network::new(8);
+        let ctrl = l3_ctrl(&mut net);
+        let mut fx = FabricSpec::new(2, HarmlessSpec::new(2))
+            .with_interconnect(Interconnect::Line)
+            .with_gateway(GatewaySpec::new(1, 2))
+            .build(&mut net)
+            .unwrap();
+        fx.configure_direct(&mut net);
+        fx.connect_controller(&mut net, ctrl);
+        let a = fx.attach_host(&mut net, 0, 1).unwrap();
+        let inet_node = fx.attach_internet(&mut net).unwrap();
+        net.run_until(SimTime::from_millis(100));
+        let inet = fx.spec.gateway.unwrap().internet_ip;
+        net.with_node_ctx::<Host, _>(a, move |h, ctx| {
+            h.ping(b"first", inet);
+            h.flush(ctx);
+        });
+        net.run_until(SimTime::from_millis(500));
+        assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 1);
+        let gw_dp = net.node_ref::<SoftSwitchNode>(fx.pod(1).ss2).datapath();
+        assert_eq!(gw_dp.nat().created(), 1, "one ICMP connection");
+        assert_eq!(gw_dp.nat().live_conns(), 1);
+        let warm_hits = gw_dp.micro_cache().hits() + gw_dp.mega_cache().hits();
+        // Established connection: the next packets replay from the
+        // caches — the offload-on-first-packet shape.
+        net.with_node_ctx::<Host, _>(a, move |h, ctx| {
+            h.ping(b"second", inet);
+            h.flush(ctx);
+        });
+        net.run_until(SimTime::from_millis(900));
+        assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 2);
+        let gw_dp = net.node_ref::<SoftSwitchNode>(fx.pod(1).ss2).datapath();
+        assert_eq!(gw_dp.nat().created(), 1, "no new connection state");
+        assert!(
+            gw_dp.micro_cache().hits() + gw_dp.mega_cache().hits() >= warm_hits + 2,
+            "request and reply must both hit the caches on round 2"
+        );
+        assert_eq!(net.node_ref::<Host>(inet_node).echo_requests_answered(), 2);
+        assert_eq!(net.blackholed_frames(), 0);
+    }
+
+    #[test]
+    fn l3_migration_reconverges_with_zero_stale_routes() {
+        let mut net = Network::new(19);
+        let ctrl = l3_ctrl(&mut net);
+        let mut fx = FabricSpec::new(3, HarmlessSpec::new(2))
+            .with_interconnect(Interconnect::SpineSoft)
+            .with_l3_routing()
+            .build(&mut net)
+            .unwrap();
+        fx.configure_direct(&mut net);
+        fx.connect_controller(&mut net, ctrl);
+        let a = fx.attach_host(&mut net, 0, 1).unwrap();
+        let b = fx.attach_host(&mut net, 1, 1).unwrap();
+        net.run_until(SimTime::from_millis(100));
+        let b_ip = fx.host_ip(1, 1);
+        net.with_node_ctx::<Host, _>(a, move |h, ctx| {
+            h.ping(b"before", b_ip);
+            h.flush(ctx);
+        });
+        net.run_until(SimTime::from_millis(400));
+        assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 1);
+
+        // b moves to pod 2; its IP/MAC travel with it. The router
+        // recomputes wholesale: pod 1 loses the /32, pod 2 gains it.
+        fx.migrate_host(&mut net, (1, 1), (2, 2)).unwrap();
+        net.run_until(SimTime::from_millis(500));
+        let blackholed_at_reconvergence = net.blackholed_frames();
+        net.with_node_ctx::<Host, _>(a, move |h, ctx| {
+            h.ping(b"after", b_ip);
+            h.flush(ctx);
+        });
+        net.run_until(SimTime::from_millis(1000));
+        assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 2);
+        assert_eq!(net.node_ref::<Host>(b).echo_requests_answered(), 2);
+        assert_eq!(net.blackholed_frames(), blackholed_at_reconvergence);
+        // Zero stale rules: b kept its 10.1.* address, so every pod
+        // holds exactly one /32 exception for it — pods 0 and 1 steer
+        // up toward pod 2, pod 2 delivers on the new access port. No
+        // leftover rule points at the old port.
+        let host_prio = controller::apps::router::ROUTE_PRIORITY_BASE + 32;
+        let b_match = Match::new()
+            .eth_type(netpkt::EtherType::IPV4.0)
+            .ipv4_dst_masked(b_ip, Ipv4Addr::BROADCAST);
+        let uplink = u32::from(fx.spec.pod.n_access_ports + 1);
+        for (p, want_port) in [(0usize, uplink), (1, uplink), (2, 2)] {
+            let dp = net.node_ref::<SoftSwitchNode>(fx.pod(p).ss2);
+            let found: Vec<_> = dp
+                .datapath()
+                .table(controller::apps::router::ROUTE_TABLE)
+                .unwrap()
+                .entries()
+                .iter()
+                .filter(|e| e.priority == host_prio && e.match_ == b_match)
+                .cloned()
+                .collect();
+            assert_eq!(found.len(), 1, "pod {p}: exactly one /32 for b");
+            assert!(
+                matches!(
+                    found[0].instructions.first(),
+                    Some(openflow::Instruction::ApplyActions(acts))
+                        if matches!(acts.last(), Some(openflow::Action::Output { port, .. }) if *port == want_port)
+                ),
+                "pod {p}: /32 must steer out port {want_port}"
+            );
+        }
+    }
+
+    #[test]
+    fn route_loops_die_by_ttl_not_by_meltdown() {
+        use controller::apps::router::PrefixRoute;
+        let mut net = Network::new(23);
+        let ctrl = l3_ctrl(&mut net);
+        let mut fx = FabricSpec::new(2, HarmlessSpec::new(2))
+            .with_interconnect(Interconnect::Line)
+            .with_l3_routing()
+            .build(&mut net)
+            .unwrap();
+        fx.configure_direct(&mut net);
+        fx.connect_controller(&mut net, ctrl);
+        let a = fx.attach_host(&mut net, 0, 1).unwrap();
+        net.run_until(SimTime::from_millis(100));
+        // Sabotage: both pods claim 10.99.0.0/16 points at the other —
+        // a classic transient routing loop, made permanent.
+        let phantom = Ipv4Addr::new(10, 99, 0, 1);
+        {
+            let c = net.node_mut::<ControllerNode>(ctrl);
+            let r = c.app_mut::<Router>().unwrap();
+            for (p, q) in [(0usize, 1usize), (1, 0)] {
+                let dpid = fx.pod(p).spec.ss2_dpid;
+                let mut cfg = r.config(dpid).unwrap().clone();
+                let (out_port, next_hop) = fx.l3_next_hop(p, q);
+                cfg.routes.push(PrefixRoute {
+                    prefix: Ipv4Addr::new(10, 99, 0, 0),
+                    len: 16,
+                    out_port,
+                    next_hop,
+                    nat: None,
+                });
+                r.set_config(dpid, cfg);
+            }
+            // The proxy must answer who-has for the phantom or the ping
+            // never leaves the host.
+            c.app_mut::<ArpProxy>().unwrap().add_host(HostRoute {
+                ip: phantom,
+                mac: netpkt::MacAddr::host(0xbeef),
+                ports: Vec::new(),
+                guards: Vec::new(),
+            });
+        }
+        fx.sync_router_now(&mut net);
+        net.run_until(SimTime::from_millis(200));
+        net.with_node_ctx::<Host, _>(a, move |h, ctx| {
+            h.ping(b"looped", phantom);
+            h.flush(ctx);
+        });
+        net.run_until(SimTime::from_millis(2000));
+        let expiries: u64 = (0..2)
+            .map(|p| {
+                net.node_ref::<SoftSwitchNode>(fx.pod(p).ss2)
+                    .datapath()
+                    .ttl_expired_total()
+            })
+            .sum();
+        assert_eq!(expiries, 1, "the looped frame dies exactly once, by TTL");
+        assert_eq!(net.node_ref::<Host>(a).echo_replies_received(), 0);
+        // Bounded damage: one TTL's worth of hops, not a meltdown. A
+        // frame looping without TTL protection would cross links until
+        // the horizon and swamp the event count.
+        assert!(
+            net.events_processed() < 100_000,
+            "loop must be TTL-bounded: {} events",
+            net.events_processed()
+        );
+    }
+
+    #[test]
+    fn l3_spec_validation_and_attach_internet_guards() {
+        let pod = HarmlessSpec::new(2);
+        let mut spec = FabricSpec::new(2, pod.clone());
+        spec.l3_routing = true; // bypass the builder's auto-enable
+        assert_eq!(spec.validate(), Err(FabricError::L3NeedsArpProxy));
+        let mut spec = FabricSpec::new(2, pod.clone());
+        spec.gateway = Some(GatewaySpec::new(0, 1));
+        assert_eq!(spec.validate(), Err(FabricError::GatewayNeedsL3));
+        assert!(matches!(
+            FabricSpec::new(2, pod.clone())
+                .with_gateway(GatewaySpec::new(7, 1))
+                .validate(),
+            Err(FabricError::NoSuchPod { pod: 7, .. })
+        ));
+        assert!(matches!(
+            FabricSpec::new(2, pod.clone())
+                .with_gateway(GatewaySpec::new(0, 9))
+                .validate(),
+            Err(FabricError::NotAnAccessPort { port: 9, .. })
+        ));
+        assert_eq!(
+            FabricSpec::new(2, pod.clone())
+                .with_gateway(GatewaySpec::new(1, 2))
+                .validate(),
+            Ok(())
+        );
+        // attach_internet needs a gateway in the spec.
+        let mut net = Network::new(1);
+        let mut fx = FabricSpec::new(2, pod).build(&mut net).unwrap();
+        assert_eq!(
+            fx.attach_internet(&mut net).unwrap_err(),
+            FabricError::NoGateway
+        );
     }
 
     #[test]

@@ -135,6 +135,33 @@ fn icmp_echo(
     ipv4_frame(src_mac, dst_mac, src_ip, dst_ip, IpProto::ICMP, &l4)
 }
 
+/// Build the ICMP time-exceeded (type 11, code 0 "TTL exceeded in
+/// transit") a router sends back when it drops an expired packet. Per
+/// RFC 792 the body carries the original IP header plus the first 8
+/// payload bytes, so the sender can match the notice to the flow it
+/// killed. `orig_ip` is the dropped packet starting at its IPv4 header.
+pub fn icmp_time_exceeded(
+    router_mac: MacAddr,
+    dst_mac: MacAddr,
+    router_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    orig_ip: &[u8],
+) -> Bytes {
+    let quoted = orig_ip.len().min(ipv4::HEADER_LEN + 8);
+    let len = icmp::HEADER_LEN + quoted;
+    let mut l4 = vec![0u8; len];
+    l4[icmp::HEADER_LEN..].copy_from_slice(&orig_ip[..quoted]);
+    let mut i = icmp::Icmpv4Packet::new_unchecked(&mut l4[..]);
+    i.set_msg_type(Icmpv4Type::TimeExceeded);
+    i.set_code(0);
+    // The "rest of header" word is unused for time-exceeded; the echo
+    // accessors write exactly those 4 bytes.
+    i.set_echo_ident(0);
+    i.set_echo_seq(0);
+    i.fill_checksum();
+    ipv4_frame(router_mac, dst_mac, router_ip, dst_ip, IpProto::ICMP, &l4)
+}
+
 /// Build an Ethernet/IPv4 frame around a ready-made L4 payload.
 pub fn ipv4_frame(
     src_mac: MacAddr,
@@ -275,6 +302,40 @@ mod tests {
             let key = FlowKey::extract(1, &f).unwrap();
             assert_eq!(key.udp_dst, 2);
         }
+    }
+
+    #[test]
+    fn time_exceeded_quotes_the_original_header() {
+        let dropped = udp_packet(
+            MacAddr::host(1),
+            MacAddr::host(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 3, 0, 1),
+            1000,
+            2000,
+            b"a long payload that must not be quoted in full",
+        );
+        let eth = EthernetFrame::new_checked(&dropped[..]).unwrap();
+        let te = icmp_time_exceeded(
+            MacAddr::host(0xff),
+            MacAddr::host(1),
+            Ipv4Addr::new(10, 1, 255, 254),
+            Ipv4Addr::new(10, 0, 0, 1),
+            eth.payload(),
+        );
+        let key = FlowKey::extract(1, &te).unwrap();
+        assert_eq!(key.ip_proto, 1);
+        assert_eq!(key.icmp_type, 11);
+        let teth = EthernetFrame::new_checked(&te[..]).unwrap();
+        let tip = Ipv4Packet::new_checked(teth.payload()).unwrap();
+        assert!(tip.verify_checksum());
+        let icmp = crate::Icmpv4Packet::new_checked(tip.payload()).unwrap();
+        assert!(icmp.verify_checksum());
+        // Quoted: original IP header + 8 bytes = src/dst ports + len + ck.
+        assert_eq!(icmp.payload().len(), ipv4::HEADER_LEN + 8);
+        let quoted = Ipv4Packet::new_unchecked(icmp.payload());
+        assert_eq!(quoted.src(), Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(quoted.dst(), Ipv4Addr::new(10, 3, 0, 1));
     }
 
     #[test]

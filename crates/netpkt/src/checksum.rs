@@ -1,4 +1,6 @@
-//! RFC 1071 internet checksum.
+//! RFC 1071 internet checksum, plus the RFC 1624 incremental update
+//! used when a router rewrites single header fields (TTL decrement, NAT
+//! address/port rewrites) without touching the rest of the packet.
 
 /// Incremental ones-complement sum over a byte slice, continuing from
 /// `acc`. Pass `0` to start a fresh sum.
@@ -31,6 +33,18 @@ pub fn checksum(data: &[u8]) -> u16 {
 /// buffers sum to `0xffff` before inversion, i.e. `finish` yields 0.
 pub fn verify(data: &[u8]) -> bool {
     finish(sum(0, data)) == 0
+}
+
+/// RFC 1624 incremental checksum update: the stored checksum after one
+/// 16-bit word of the summed data changes from `old_word` to `new_word`.
+///
+/// `HC' = ~(~HC + ~m + m')` (RFC 1624 eqn. 3 — the form that, unlike
+/// RFC 1071's eqn. 4, never produces the wrong all-zeros representation
+/// of the checksum). Apply once per modified 16-bit word; fields wider
+/// than 16 bits (IPv4 addresses) are two words.
+pub fn incremental_update(old_check: u16, old_word: u16, new_word: u16) -> u16 {
+    let acc = u32::from(!old_check) + u32::from(!old_word) + u32::from(new_word);
+    finish(acc)
 }
 
 /// Pseudo-header sum for TCP/UDP over IPv4 (RFC 768 / RFC 793).
@@ -73,6 +87,31 @@ mod tests {
         assert!(verify(&data));
         data[0] ^= 0x10;
         assert!(!verify(&data));
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute() {
+        // Rewrite each word of a small header in turn and check the
+        // incrementally patched checksum against a full recompute.
+        let mut data = [
+            0x45u8, 0x00, 0x00, 0x1c, 0xde, 0xad, 0x40, 0x00, 0x40, 0x11, 0, 0, 10, 0, 0, 1, 10, 0,
+            0, 2,
+        ];
+        let ck = checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        for word in (0..data.len()).step_by(2) {
+            if word == 10 {
+                continue; // the checksum field itself is not summed data
+            }
+            let mut patched = data;
+            let old = u16::from_be_bytes([data[word], data[word + 1]]);
+            let new = old.wrapping_add(0x0101) ^ 0x00ff;
+            patched[word..word + 2].copy_from_slice(&new.to_be_bytes());
+            let inc = incremental_update(ck, old, new);
+            patched[10..12].copy_from_slice(&[0, 0]);
+            let full = checksum(&patched);
+            assert_eq!(inc, full, "word offset {word}");
+        }
     }
 
     #[test]

@@ -205,6 +205,27 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
         self.buffer.as_mut()[field::DST].copy_from_slice(&a.octets());
     }
 
+    /// Router-style TTL decrement: drop the TTL by one and patch the
+    /// header checksum incrementally (RFC 1624) instead of recomputing
+    /// it — the whole point of the routed fast path is not re-summing
+    /// 20 bytes per hop. Returns the *new* TTL; a return of 0 means the
+    /// packet must not be forwarded (ICMP time-exceeded territory).
+    ///
+    /// # Panics
+    /// Panics if the TTL is already 0 — callers check before routing.
+    pub fn dec_ttl(&mut self) -> u8 {
+        let b = self.buffer.as_mut();
+        let ttl = b[field::TTL];
+        assert!(ttl > 0, "dec_ttl on an expired packet");
+        let old_word = u16::from_be_bytes([b[field::TTL], b[field::PROTO]]);
+        b[field::TTL] = ttl - 1;
+        let new_word = u16::from_be_bytes([b[field::TTL], b[field::PROTO]]);
+        let old_ck = u16::from_be_bytes([b[field::CHECKSUM.start], b[field::CHECKSUM.start + 1]]);
+        let new_ck = checksum::incremental_update(old_ck, old_word, new_word);
+        b[field::CHECKSUM].copy_from_slice(&new_ck.to_be_bytes());
+        ttl - 1
+    }
+
     /// Recompute and store the header checksum.
     pub fn fill_checksum(&mut self) {
         self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&[0, 0]);
@@ -333,6 +354,33 @@ mod tests {
             Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
             Error::Truncated
         );
+    }
+
+    #[test]
+    fn dec_ttl_patches_checksum_incrementally() {
+        let r = repr();
+        let mut buf = [0u8; HEADER_LEN + 8];
+        let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+        r.emit(&mut pkt);
+        let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+        assert_eq!(pkt.dec_ttl(), 63);
+        assert_eq!(pkt.ttl(), 63);
+        assert!(pkt.verify_checksum(), "incremental patch must verify");
+        // And it must agree with a full recompute.
+        let patched_ck = pkt.header_checksum();
+        pkt.fill_checksum();
+        assert_eq!(pkt.header_checksum(), patched_ck);
+    }
+
+    #[test]
+    #[should_panic(expected = "dec_ttl on an expired packet")]
+    fn dec_ttl_rejects_expired() {
+        let mut r = repr();
+        r.ttl = 0;
+        let mut buf = [0u8; HEADER_LEN + 8];
+        let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+        r.emit(&mut pkt);
+        Ipv4Packet::new_unchecked(&mut buf[..]).dec_ttl();
     }
 
     #[test]

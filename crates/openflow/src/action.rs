@@ -8,6 +8,22 @@ use crate::{Error, Result};
 /// Default `max_len` for controller output actions.
 pub const DEFAULT_MAX_LEN: u16 = 0xffe5; // OFPCML_MAX
 
+/// Experimenter id carried by this stack's experimenter actions (the
+/// stateful-NAT action below). Spells "HARM" in ASCII.
+pub const HARMLESS_EXPERIMENTER: u32 = 0x4841_524d;
+
+/// Which way the stateful NAT stage translates (see
+/// [`Action::Nat`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NatDir {
+    /// Outbound: source-translate to the datapath's external address,
+    /// allocating per-connection state on first packet.
+    Egress,
+    /// Inbound: reverse-translate the destination back to the internal
+    /// host; packets with no live connection state are dropped.
+    Ingress,
+}
+
 /// An OpenFlow action.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Action {
@@ -28,6 +44,13 @@ pub enum Action {
     PopVlan,
     /// Rewrite a header field.
     SetField(OxmField),
+    /// Decrement the IPv4 TTL (incremental checksum update in the
+    /// datapath); an expired packet is dropped and answered with ICMP
+    /// time-exceeded instead of forwarded.
+    DecNwTtl,
+    /// Run the packet through the datapath's stateful NAT stage
+    /// (experimenter action, id [`HARMLESS_EXPERIMENTER`]).
+    Nat(NatDir),
 }
 
 impl Action {
@@ -61,8 +84,9 @@ impl Action {
         match self {
             Action::Output { .. } => 16,
             Action::Group(_) | Action::SetQueue(_) => 8,
-            Action::PushVlan(_) | Action::PopVlan => 8,
+            Action::PushVlan(_) | Action::PopVlan | Action::DecNwTtl => 8,
             Action::SetField(f) => (4 + f.encoded_len()).div_ceil(8) * 8,
+            Action::Nat(_) => 16,
         }
     }
 
@@ -105,6 +129,21 @@ impl Action {
                 f.encode(out);
                 let written = out.len() - before;
                 out.put_bytes(0, len - 4 - written);
+            }
+            Action::DecNwTtl => {
+                out.put_u16(24); // OFPAT_DEC_NW_TTL
+                out.put_u16(8);
+                out.put_bytes(0, 4);
+            }
+            Action::Nat(dir) => {
+                out.put_u16(0xffff); // OFPAT_EXPERIMENTER
+                out.put_u16(16);
+                out.put_u32(HARMLESS_EXPERIMENTER);
+                out.put_u16(match dir {
+                    NatDir::Egress => 0,
+                    NatDir::Ingress => 1,
+                });
+                out.put_bytes(0, 6);
             }
         }
     }
@@ -154,7 +193,21 @@ impl Action {
                 Action::PushVlan(body.get_u16())
             }
             18 => Action::PopVlan,
+            24 => Action::DecNwTtl,
             25 => Action::SetField(OxmField::decode(&mut body)?),
+            0xffff => {
+                if body.len() < 6 {
+                    return Err(Error::Truncated);
+                }
+                if body.get_u32() != HARMLESS_EXPERIMENTER {
+                    return Err(Error::Malformed("unknown experimenter action"));
+                }
+                match body.get_u16() {
+                    0 => Action::Nat(NatDir::Egress),
+                    1 => Action::Nat(NatDir::Ingress),
+                    _ => return Err(Error::Malformed("unknown NAT subtype")),
+                }
+            }
             _ => return Err(Error::Malformed("unknown action type")),
         };
         buf.advance(body_len);
@@ -216,9 +269,24 @@ mod tests {
             Action::set_vlan_vid(101),
             Action::SetField(OxmField::EthDst(MacAddr::host(9), None)),
             Action::SetField(OxmField::Ipv4Dst("10.0.0.9".parse().unwrap(), None)),
+            Action::DecNwTtl,
+            Action::Nat(NatDir::Egress),
+            Action::Nat(NatDir::Ingress),
         ] {
             assert_eq!(round_trip(&a), a);
         }
+    }
+
+    #[test]
+    fn foreign_experimenter_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(0xffff);
+        buf.put_u16(16);
+        buf.put_u32(0xdead_beef); // not our experimenter id
+        buf.put_u16(0);
+        buf.put_bytes(0, 6);
+        let mut s = &buf[..];
+        assert!(Action::decode(&mut s).is_err());
     }
 
     #[test]

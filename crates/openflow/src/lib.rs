@@ -33,7 +33,7 @@ pub mod meter;
 pub mod oxm;
 pub mod table;
 
-pub use action::Action;
+pub use action::{Action, NatDir};
 pub use group::{Bucket, Group, GroupTable, GroupType};
 pub use instruction::Instruction;
 pub use message::{Message, PacketInReason, PortDesc, Xid};

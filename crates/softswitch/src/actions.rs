@@ -8,10 +8,13 @@
 use bytes::{Bytes, BytesMut};
 
 use netpkt::flowkey::OFPVID_PRESENT;
+use netpkt::icmp::{Icmpv4Packet, Icmpv4Type};
 use netpkt::vlan::{VlanView, TAG_LEN};
 use netpkt::{EtherType, FlowKey, IpProto, Ipv4Packet, TcpPacket, UdpPacket};
 use openflow::message::PacketInReason;
 use openflow::oxm::OxmField;
+
+use crate::nat::NatTable;
 
 /// A concrete (fully resolved) action, as recorded for cache replay: no
 /// groups, no reserved ports — just transformations and concrete outputs.
@@ -30,6 +33,80 @@ pub enum CAction {
     /// Punt a copy to the controller, with the reason recorded at slow-
     /// path time (so replays report `NoMatch` vs `Action` faithfully).
     ToController(PacketInReason),
+    /// Decrement the IPv4 TTL with an incremental checksum patch. A
+    /// packet whose TTL would hit zero stops here (the replay reports it
+    /// via [`ReplayOutput::ttl_expired`] so the caller can answer with
+    /// ICMP time-exceeded); such truncated recordings are never cached.
+    DecTtl,
+    /// Rewrite the ICMP echo identifier (the NAT "port" of an ICMP
+    /// flow) and repair the ICMP checksum. Recorded by the NAT stage;
+    /// there is no OXM field for the echo ident, so set-field cannot
+    /// express this.
+    SetIcmpId(u16),
+    /// Refresh the NAT connection identified by this token at replay
+    /// time, so cache hits keep the connection's idle timer alive.
+    /// Rewrites nothing — the concrete set-fields recorded next to it
+    /// carry the translation.
+    NatTouch(u64),
+}
+
+/// Outcome of [`dec_ttl`] on a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TtlResult {
+    /// TTL decremented, checksum patched in place.
+    Decremented,
+    /// TTL was already ≤ 1: the frame is untouched and must not be
+    /// forwarded (RFC 1812 §5.3.1 — decrement-then-discard).
+    Expired,
+    /// Not an IPv4 packet; nothing to do.
+    NotIpv4,
+}
+
+/// Decrement the IPv4 TTL of `frame` (through any VLAN tags), patching
+/// the header checksum incrementally.
+pub fn dec_ttl(frame: &mut BytesMut) -> TtlResult {
+    let Some(off) = ip_offset(frame) else {
+        return TtlResult::NotIpv4;
+    };
+    let buf = &mut frame[off..];
+    let Ok(mut ip) = Ipv4Packet::new_checked(&mut buf[..]) else {
+        return TtlResult::NotIpv4;
+    };
+    if ip.ttl() <= 1 {
+        return TtlResult::Expired;
+    }
+    ip.dec_ttl();
+    TtlResult::Decremented
+}
+
+/// Rewrite the echo identifier of an ICMPv4 echo request/reply and
+/// repair the ICMP checksum. Returns `false` (frame untouched) for
+/// anything that is not an IPv4 echo message.
+pub fn set_icmp_id(frame: &mut BytesMut, id: u16) -> bool {
+    let Some(off) = ip_offset(frame) else {
+        return false;
+    };
+    let l4 = {
+        let Ok(ip) = Ipv4Packet::new_checked(&frame[off..]) else {
+            return false;
+        };
+        if ip.proto() != IpProto::ICMP {
+            return false;
+        }
+        off + ip.header_len()
+    };
+    let Ok(mut icmp) = Icmpv4Packet::new_checked(&mut frame[l4..]) else {
+        return false;
+    };
+    if !matches!(
+        icmp.msg_type(),
+        Icmpv4Type::EchoRequest | Icmpv4Type::EchoReply
+    ) {
+        return false;
+    }
+    icmp.set_echo_ident(id);
+    icmp.fill_checksum();
+    true
 }
 
 /// Apply a VLAN push to the frame and key.
@@ -251,16 +328,22 @@ pub struct ReplayOutput {
     pub to_controller: Vec<(PacketInReason, Bytes)>,
     /// Dropped by a meter.
     pub metered_out: bool,
+    /// The packet expired at a [`CAction::DecTtl`]: the frame as it
+    /// stood at expiry, for the caller's ICMP time-exceeded reply.
+    /// Nothing after the expiring action executed.
+    pub ttl_expired: Option<Bytes>,
 }
 
-/// Replay a recorded action list on a fresh packet. `meter` is consulted
-/// for [`CAction::Meter`] entries.
+/// Replay a recorded action list on a fresh packet. `meters` is
+/// consulted for [`CAction::Meter`] entries, `nat` for
+/// [`CAction::NatTouch`] keep-alives.
 pub fn replay(
     cactions: &[CAction],
     frame: Bytes,
     key: &mut FlowKey,
     now_ns: u64,
     meters: &mut openflow::MeterTable,
+    nat: &mut NatTable,
 ) -> ReplayOutput {
     let mut out = ReplayOutput::default();
     let mut buf = BytesMut::from(&frame[..]);
@@ -284,6 +367,17 @@ pub fn replay(
                 out.to_controller
                     .push((*reason, Bytes::copy_from_slice(&buf)));
             }
+            CAction::DecTtl => match dec_ttl(&mut buf) {
+                TtlResult::Decremented | TtlResult::NotIpv4 => {}
+                TtlResult::Expired => {
+                    out.ttl_expired = Some(buf.freeze());
+                    return out;
+                }
+            },
+            CAction::SetIcmpId(id) => {
+                set_icmp_id(&mut buf, *id);
+            }
+            CAction::NatTouch(token) => nat.touch(*token, now_ns),
         }
     }
     out
@@ -461,12 +555,14 @@ mod tests {
         let tagged = netpkt::vlan::push_vlan(&f.freeze(), netpkt::vlan::VlanTag::new(101)).unwrap();
         let mut key = FlowKey::extract(1, &tagged).unwrap();
         let mut meters = openflow::MeterTable::new();
+        let mut nat = NatTable::new();
         let out = replay(
             &[CAction::PopVlan, CAction::Output(7)],
             tagged,
             &mut key,
             0,
             &mut meters,
+            &mut nat,
         );
         assert_eq!(out.outputs.len(), 1);
         assert_eq!(out.outputs[0].0, 7);
@@ -478,6 +574,7 @@ mod tests {
     fn replay_meter_drop() {
         let (f, mut k) = frame_and_key();
         let mut meters = openflow::MeterTable::new();
+        let mut nat = NatTable::new();
         meters
             .add(1, openflow::MeterBand { rate: 1, burst: 0 }, true, 0)
             .unwrap();
@@ -488,6 +585,7 @@ mod tests {
             &mut k,
             0,
             &mut meters,
+            &mut nat,
         );
         let out = replay(
             &[CAction::Meter(1), CAction::Output(1)],
@@ -495,8 +593,67 @@ mod tests {
             &mut k,
             0,
             &mut meters,
+            &mut nat,
         );
         assert!(out.metered_out);
         assert!(out.outputs.is_empty());
+    }
+
+    #[test]
+    fn dec_ttl_patches_then_expires() {
+        let (mut f, _) = frame_and_key();
+        // builder frames start at TTL 64: 63 decrements succeed...
+        for i in 0..63 {
+            assert_eq!(dec_ttl(&mut f), TtlResult::Decremented, "hop {i}");
+            assert_checksums_ok(&f);
+        }
+        // ...and the 64th refuses, leaving the frame intact at TTL 1.
+        let before = f.clone();
+        assert_eq!(dec_ttl(&mut f), TtlResult::Expired);
+        assert_eq!(&f[..], &before[..]);
+    }
+
+    #[test]
+    fn replay_stops_at_expired_ttl() {
+        let (mut f, _) = frame_and_key();
+        for _ in 0..63 {
+            assert_eq!(dec_ttl(&mut f), TtlResult::Decremented);
+        }
+        let mut key = FlowKey::extract(1, &f).unwrap();
+        let mut meters = openflow::MeterTable::new();
+        let mut nat = NatTable::new();
+        let out = replay(
+            &[CAction::DecTtl, CAction::Output(3)],
+            f.freeze(),
+            &mut key,
+            0,
+            &mut meters,
+            &mut nat,
+        );
+        assert!(out.ttl_expired.is_some(), "expiry must be reported");
+        assert!(out.outputs.is_empty(), "expired packets are not forwarded");
+    }
+
+    #[test]
+    fn icmp_ident_rewrite_repairs_checksum() {
+        let f = builder::icmp_echo_request(
+            MacAddr::host(1),
+            MacAddr::host(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(198, 18, 0, 1),
+            0x1234,
+            1,
+            b"ping",
+        );
+        let mut buf = BytesMut::from(&f[..]);
+        assert!(set_icmp_id(&mut buf, 0x4000));
+        let view = VlanView::parse(&buf).unwrap();
+        let ip = Ipv4Packet::new_checked(&buf[view.payload_offset..]).unwrap();
+        let icmp = Icmpv4Packet::new_checked(ip.payload()).unwrap();
+        assert_eq!(icmp.echo_ident(), 0x4000);
+        assert!(icmp.verify_checksum());
+        // Not an echo message: refused.
+        let (mut udp, _) = frame_and_key();
+        assert!(!set_icmp_id(&mut udp, 7));
     }
 }

@@ -356,6 +356,11 @@ mod tests {
             CAction::PushVlan(0x8100),
             CAction::Meter(1),
             CAction::ToController(openflow::message::PacketInReason::NoMatch),
+            // Routed/NAT'd paths rewrite bytes or touch per-connection
+            // state: never eligible for the zero-copy plan.
+            CAction::DecTtl,
+            CAction::SetIcmpId(7),
+            CAction::NatTouch(0),
         ] {
             let p = CachedPath {
                 actions: vec![rewriting, CAction::Output(2)],

@@ -14,16 +14,23 @@
 
 use bytes::{Bytes, BytesMut};
 use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
 
 use netpkt::flowkey::FieldMask;
-use netpkt::FlowKey;
+use netpkt::icmp::Icmpv4Packet;
+use netpkt::vlan::VlanView;
+use netpkt::{builder, EtherType, FlowKey, IpProto, Ipv4Packet, MacAddr};
 use openflow::message::{FlowMod, PacketInReason, PortDesc, PortStatsEntry};
 use openflow::table::{FlowEntry, FlowModCommand, RemovedReason, TableId};
-use openflow::{port_no, Action, Error, FlowTable, GroupTable, Instruction, MeterTable, Result};
+use openflow::{
+    port_no, Action, Error, FlowTable, GroupTable, Instruction, MeterTable, NatDir, OxmField,
+    Result,
+};
 
-use crate::actions::{self, CAction};
+use crate::actions::{self, CAction, TtlResult};
 use crate::batch::{BatchMemo, BatchResult, FrameBatch};
 use crate::cache::{CachedPath, MegaflowCache, MicroflowCache};
+use crate::nat::{NatConfig, NatProto, NatTable};
 use crate::trace::{LookupPath, ProcessingTrace};
 use crate::tss::TssIndex;
 
@@ -176,6 +183,13 @@ pub struct Datapath {
     port_stats: BTreeMap<u32, PortStatsEntry>,
     packets_processed: u64,
     batch_memo_hits: u64,
+    /// Router identity `(interface IP, MAC)` — the source of ICMP
+    /// time-exceeded replies. `None` = pure L2 device, expired packets
+    /// drop silently.
+    router: Option<(Ipv4Addr, MacAddr)>,
+    nat: NatTable,
+    ttl_expired_total: u64,
+    nat_dropped_total: u64,
 }
 
 /// Recursion bound for group chains.
@@ -191,6 +205,20 @@ struct ExecCtx {
     trace: ProcessingTrace,
     unwild: FieldMask,
     metered_out: bool,
+    /// A `DecNwTtl` found TTL ≤ 1: stop the pipeline, answer with ICMP
+    /// time-exceeded, never cache (the truncated recording is not the
+    /// path healthy packets take).
+    ttl_expired: bool,
+    /// The NAT stage refused the packet (untranslatable protocol, or
+    /// inbound with no live connection): drop, never cache — a later
+    /// outbound packet can create the very mapping this one lacked.
+    nat_dropped: bool,
+}
+
+impl ExecCtx {
+    fn halted(&self) -> bool {
+        self.metered_out || self.ttl_expired || self.nat_dropped
+    }
 }
 
 /// The OF 1.3 action set: one slot per action kind, executed in spec
@@ -216,7 +244,9 @@ impl ActionSet {
                 }
                 Action::Group(g) => self.group = Some(*g),
                 Action::Output { port, .. } => self.output = Some(*port),
-                Action::SetQueue(_) => {}
+                // TTL/NAT stages are apply-actions constructs in this
+                // pipeline; a write-actions occurrence is ignored.
+                Action::SetQueue(_) | Action::DecNwTtl | Action::Nat(_) => {}
             }
         }
     }
@@ -255,6 +285,10 @@ impl Datapath {
             port_stats: BTreeMap::new(),
             packets_processed: 0,
             batch_memo_hits: 0,
+            router: None,
+            nat: NatTable::new(),
+            ttl_expired_total: 0,
+            nat_dropped_total: 0,
         }
     }
 
@@ -300,6 +334,54 @@ impl Datapath {
     /// [`Datapath::process_batch`] calls (repeated keys within a batch).
     pub fn batch_memo_hits(&self) -> u64 {
         self.batch_memo_hits
+    }
+
+    /// Give the datapath a router identity: the interface address and
+    /// MAC it answers ICMP time-exceeded from when a `DecNwTtl` expires
+    /// a packet. Without one, expired packets drop silently.
+    pub fn set_router(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.router = Some((ip, mac));
+        self.epoch += 1;
+    }
+
+    /// The configured router identity, if any.
+    pub fn router(&self) -> Option<(Ipv4Addr, MacAddr)> {
+        self.router
+    }
+
+    /// Configure (or reconfigure) the stateful NAT stage. Drops all
+    /// connection state and flushes the caches.
+    pub fn configure_nat(&mut self, config: NatConfig) {
+        self.nat.configure(config);
+        self.epoch += 1;
+    }
+
+    /// The NAT connection table (stats, tests).
+    pub fn nat(&self) -> &NatTable {
+        &self.nat
+    }
+
+    /// Reclaim NAT connections idle past their timeout. A non-zero
+    /// return flushed the caches (their recorded rewrites died with the
+    /// connections).
+    pub fn sweep_nat(&mut self, now_ns: u64) -> usize {
+        let evicted = self.nat.sweep(now_ns);
+        if evicted > 0 {
+            self.epoch += 1;
+        }
+        evicted
+    }
+
+    /// Packets expired by `DecNwTtl` (answered with time-exceeded when
+    /// a router identity is configured).
+    pub fn ttl_expired_total(&self) -> u64 {
+        self.ttl_expired_total
+    }
+
+    /// Packets dropped by the NAT stage (no live connection, or an
+    /// untranslatable protocol).
+    pub fn nat_dropped_total(&self) -> u64 {
+        self.nat_dropped_total
     }
 
     /// Register a port.
@@ -494,7 +576,7 @@ impl Datapath {
         in_port: u32,
         actions: &[Action],
         data: Bytes,
-        _now_ns: u64,
+        now_ns: u64,
     ) -> DpResult {
         let key = FlowKey::extract_lossy(in_port, &data);
         let mut ctx = ExecCtx {
@@ -507,8 +589,10 @@ impl Datapath {
             trace: ProcessingTrace::new(data.len()),
             unwild: FieldMask::default(),
             metered_out: false,
+            ttl_expired: false,
+            nat_dropped: false,
         };
-        self.exec_actions(actions, &mut ctx, false, 0);
+        self.exec_actions(actions, &mut ctx, false, 0, now_ns);
         for (port, f) in &ctx.outputs {
             if let Some(s) = self.port_stats.get_mut(port) {
                 s.tx_packets += 1;
@@ -700,22 +784,44 @@ impl Datapath {
         for a in &path.actions {
             match a {
                 CAction::PushVlan(_) | CAction::PopVlan => trace.vlan_ops += 1,
-                CAction::SetField(_) => trace.set_fields += 1,
+                CAction::SetField(_) | CAction::DecTtl | CAction::SetIcmpId(_) => {
+                    trace.set_fields += 1
+                }
                 CAction::Meter(_) => trace.meter_checks += 1,
                 CAction::Output(_) => trace.outputs += 1,
                 CAction::ToController(_) => trace.packet_in = true,
+                CAction::NatTouch(_) => {}
             }
         }
-        let rep = actions::replay(&path.actions, frame, &mut key, now_ns, &mut self.meters);
-        for (port, f) in &rep.outputs {
+        let rep = actions::replay(
+            &path.actions,
+            frame,
+            &mut key,
+            now_ns,
+            &mut self.meters,
+            &mut self.nat,
+        );
+        let mut outputs = rep.outputs;
+        // A packet can expire on a cached path too (TTL is not part of
+        // the flow key): same ICMP answer as the slow path, still a drop.
+        let ttl_expired = rep.ttl_expired.is_some();
+        if let Some(expired) = rep.ttl_expired {
+            self.ttl_expired_total += 1;
+            if let Some((port, reply)) = self.time_exceeded_reply(key.in_port, &expired) {
+                trace.outputs += 1;
+                outputs.push((port, reply));
+            }
+        }
+        for (port, f) in &outputs {
             if let Some(s) = self.port_stats.get_mut(port) {
                 s.tx_packets += 1;
                 s.tx_bytes += f.len() as u64;
             }
         }
-        let dropped = rep.metered_out || (rep.outputs.is_empty() && rep.to_controller.is_empty());
+        let dropped =
+            rep.metered_out || ttl_expired || (outputs.is_empty() && rep.to_controller.is_empty());
         DpResult {
-            outputs: rep.outputs,
+            outputs,
             packet_ins: rep
                 .to_controller
                 .into_iter()
@@ -724,6 +830,39 @@ impl Datapath {
             dropped,
             trace: Some(trace),
         }
+    }
+
+    /// Build the ICMP time-exceeded reply for the expired packet in
+    /// `buf`, addressed back to its sender out of `in_port`. `None`
+    /// when this datapath has no router identity, the packet is not
+    /// IPv4, or it is itself an ICMP error (RFC 1812 §4.3.2.7 — never
+    /// answer errors with errors).
+    fn time_exceeded_reply(&self, in_port: u32, buf: &[u8]) -> Option<(u32, Bytes)> {
+        let (router_ip, router_mac) = self.router?;
+        let view = VlanView::parse(buf).ok()?;
+        if view.inner_ethertype != EtherType::IPV4 {
+            return None;
+        }
+        let ip_off = view.payload_offset;
+        let ip = Ipv4Packet::new_checked(&buf[ip_off..]).ok()?;
+        if ip.proto() == IpProto::ICMP {
+            let icmp = Icmpv4Packet::new_checked(ip.payload()).ok()?;
+            if !matches!(
+                icmp.msg_type(),
+                netpkt::icmp::Icmpv4Type::EchoRequest | netpkt::icmp::Icmpv4Type::EchoReply
+            ) {
+                return None;
+            }
+        }
+        let orig_src_mac = MacAddr(buf[6..12].try_into().expect("6 bytes"));
+        let reply = builder::icmp_time_exceeded(
+            router_mac,
+            orig_src_mac,
+            router_ip,
+            ip.src(),
+            &buf[ip_off..],
+        );
+        Some((in_port, reply))
     }
 
     /// Aggregate mask of `table` (union of all entry masks), cached per
@@ -776,6 +915,8 @@ impl Datapath {
             trace,
             unwild,
             metered_out: false,
+            ttl_expired: false,
+            nat_dropped: false,
         };
         let mut action_set = ActionSet::default();
         let mut table = 0usize;
@@ -830,7 +971,7 @@ impl Datapath {
                         }
                     }
                     Instruction::ApplyActions(list) => {
-                        self.exec_actions(list, &mut ctx, is_miss_entry, 0);
+                        self.exec_actions(list, &mut ctx, is_miss_entry, 0, now_ns);
                     }
                     Instruction::ClearActions => action_set.clear(),
                     Instruction::WriteActions(list) => action_set.write(list),
@@ -839,11 +980,11 @@ impl Datapath {
                     }
                     Instruction::GotoTable(t) => goto = Some(*t),
                 }
-                if ctx.metered_out {
+                if ctx.halted() {
                     break;
                 }
             }
-            if ctx.metered_out {
+            if ctx.halted() {
                 break;
             }
             match goto {
@@ -855,7 +996,7 @@ impl Datapath {
                     // End of pipeline: run the action set.
                     if !action_set.is_empty() {
                         let list = Self::action_set_to_list(&action_set);
-                        self.exec_actions(&list, &mut ctx, is_miss_entry, 0);
+                        self.exec_actions(&list, &mut ctx, is_miss_entry, 0, now_ns);
                     }
                     break;
                 }
@@ -868,11 +1009,26 @@ impl Datapath {
             tss_probes,
         };
 
+        // A TTL death is answered with ICMP time-exceeded out of the
+        // ingress port, when this datapath has a router identity. The
+        // packet itself still counts as dropped.
+        if ctx.ttl_expired {
+            self.ttl_expired_total += 1;
+            if let Some((port, reply)) = self.time_exceeded_reply(in_port, &ctx.buf) {
+                ctx.trace.outputs += 1;
+                ctx.outputs.push((port, reply));
+            }
+        }
+        if ctx.nat_dropped {
+            self.nat_dropped_total += 1;
+        }
+
         // Install caches and the batch memo (only for clean, meter-free
         // completions; metered paths are rate-dependent and recycle
-        // through the slow path).
+        // through the slow path, and TTL-expired / NAT-refused packets
+        // record a truncated path that healthy packets must not replay).
         let has_meter = ctx.recorded.iter().any(|a| matches!(a, CAction::Meter(_)));
-        if matched_any && !ctx.metered_out && !has_meter {
+        if matched_any && !ctx.halted() && !has_meter {
             let path = CachedPath {
                 actions: ctx.recorded.clone(),
                 hits: hits.clone(),
@@ -895,7 +1051,7 @@ impl Datapath {
                 s.tx_bytes += f.len() as u64;
             }
         }
-        let dropped = ctx.metered_out || (ctx.outputs.is_empty() && ctx.packet_ins.is_empty());
+        let dropped = ctx.halted() || (ctx.outputs.is_empty() && ctx.packet_ins.is_empty());
         DpResult {
             outputs: ctx.outputs,
             packet_ins: ctx.packet_ins,
@@ -925,7 +1081,14 @@ impl Datapath {
         list
     }
 
-    fn exec_actions(&mut self, list: &[Action], ctx: &mut ExecCtx, miss_entry: bool, depth: u32) {
+    fn exec_actions(
+        &mut self,
+        list: &[Action],
+        ctx: &mut ExecCtx,
+        miss_entry: bool,
+        depth: u32,
+        now_ns: u64,
+    ) {
         for a in list {
             match a {
                 Action::PushVlan(tpid) => {
@@ -946,9 +1109,23 @@ impl Datapath {
                     ctx.recorded.push(CAction::SetField(*f));
                     actions::set_field(&mut ctx.buf, &mut ctx.key, f);
                 }
+                Action::DecNwTtl => {
+                    ctx.trace.set_fields += 1;
+                    ctx.recorded.push(CAction::DecTtl);
+                    if actions::dec_ttl(&mut ctx.buf) == TtlResult::Expired {
+                        ctx.ttl_expired = true;
+                        return;
+                    }
+                }
+                Action::Nat(dir) => {
+                    self.exec_nat(*dir, ctx, now_ns);
+                    if ctx.nat_dropped {
+                        return;
+                    }
+                }
                 Action::SetQueue(_) => {}
                 Action::Group(gid) => {
-                    self.exec_group(*gid, ctx, depth);
+                    self.exec_group(*gid, ctx, depth, now_ns);
                 }
                 Action::Output { port, .. } => {
                     self.exec_output(*port, ctx, miss_entry);
@@ -957,7 +1134,119 @@ impl Datapath {
         }
     }
 
-    fn exec_group(&mut self, gid: u32, ctx: &mut ExecCtx, depth: u32) {
+    /// The stateful NAT stage. The translation is applied *and recorded
+    /// as the concrete rewrites it resolved to*, so cached replays of
+    /// established connections skip the state lookup entirely — the
+    /// [`CAction::NatTouch`] recorded alongside keeps the connection's
+    /// idle timer honest on those fast-path hits.
+    fn exec_nat(&mut self, dir: NatDir, ctx: &mut ExecCtx, now_ns: u64) {
+        // Translation decisions depend on the full 5-tuple (and the
+        // ICMP header for echo flows): the megaflow entry must be at
+        // least that specific or other flows would replay this one's
+        // rewrites.
+        ctx.unwild.ipv4_src = u32::MAX;
+        ctx.unwild.ipv4_dst = u32::MAX;
+        ctx.unwild.ip_proto = u8::MAX;
+        ctx.unwild.tcp_src = u16::MAX;
+        ctx.unwild.tcp_dst = u16::MAX;
+        ctx.unwild.udp_src = u16::MAX;
+        ctx.unwild.udp_dst = u16::MAX;
+        ctx.unwild.icmp_type = u8::MAX;
+        ctx.unwild.icmp_code = u8::MAX;
+        let Some(ext_ip) = self.nat.external_ip() else {
+            return; // unconfigured: stage is a no-op
+        };
+        if ctx.key.eth_type != EtherType::IPV4.0 {
+            return;
+        }
+        let Some(proto) = NatProto::from_ip_proto(IpProto(ctx.key.ip_proto)) else {
+            ctx.nat_dropped = true;
+            return;
+        };
+        // Only echo flows have an identifier to translate by.
+        if proto == NatProto::Icmp && !matches!(ctx.key.icmp_type, 0 | 8) {
+            ctx.nat_dropped = true;
+            return;
+        }
+        match dir {
+            NatDir::Egress => {
+                let int_id = match proto {
+                    NatProto::Tcp => ctx.key.tcp_src,
+                    NatProto::Udp => ctx.key.udp_src,
+                    NatProto::Icmp => self.frame_echo_ident(&ctx.buf).unwrap_or(0),
+                };
+                let int_ip = Ipv4Addr::from(ctx.key.ipv4_src);
+                let Some(m) = self.nat.egress(proto, int_ip, int_id, now_ns) else {
+                    ctx.nat_dropped = true;
+                    return;
+                };
+                if m.evicted {
+                    // The victim's cached rewrites are stale now.
+                    self.epoch += 1;
+                }
+                self.apply_recorded_field(ctx, OxmField::Ipv4Src(ext_ip, None));
+                match proto {
+                    NatProto::Tcp => self.apply_recorded_field(ctx, OxmField::TcpSrc(m.ext_id)),
+                    NatProto::Udp => self.apply_recorded_field(ctx, OxmField::UdpSrc(m.ext_id)),
+                    NatProto::Icmp => {
+                        ctx.trace.set_fields += 1;
+                        ctx.recorded.push(CAction::SetIcmpId(m.ext_id));
+                        actions::set_icmp_id(&mut ctx.buf, m.ext_id);
+                    }
+                }
+                ctx.recorded.push(CAction::NatTouch(m.token));
+            }
+            NatDir::Ingress => {
+                if ctx.key.ipv4_dst != u32::from(ext_ip) {
+                    ctx.nat_dropped = true;
+                    return;
+                }
+                let ext_id = match proto {
+                    NatProto::Tcp => ctx.key.tcp_dst,
+                    NatProto::Udp => ctx.key.udp_dst,
+                    NatProto::Icmp => self.frame_echo_ident(&ctx.buf).unwrap_or(0),
+                };
+                let Some(m) = self.nat.ingress(proto, ext_id, now_ns) else {
+                    ctx.nat_dropped = true; // no live connection: refuse
+                    return;
+                };
+                self.apply_recorded_field(ctx, OxmField::Ipv4Dst(m.int_ip, None));
+                match proto {
+                    NatProto::Tcp => self.apply_recorded_field(ctx, OxmField::TcpDst(m.int_id)),
+                    NatProto::Udp => self.apply_recorded_field(ctx, OxmField::UdpDst(m.int_id)),
+                    NatProto::Icmp => {
+                        ctx.trace.set_fields += 1;
+                        ctx.recorded.push(CAction::SetIcmpId(m.int_id));
+                        actions::set_icmp_id(&mut ctx.buf, m.int_id);
+                    }
+                }
+                ctx.recorded.push(CAction::NatTouch(m.token));
+            }
+        }
+    }
+
+    /// Record and apply one concrete set-field (the NAT stage resolves
+    /// to these).
+    fn apply_recorded_field(&mut self, ctx: &mut ExecCtx, f: OxmField) {
+        ctx.trace.set_fields += 1;
+        ctx.recorded.push(CAction::SetField(f));
+        actions::set_field(&mut ctx.buf, &mut ctx.key, &f);
+    }
+
+    /// The ICMP echo identifier of the (possibly VLAN-tagged) frame.
+    fn frame_echo_ident(&self, buf: &[u8]) -> Option<u16> {
+        let view = VlanView::parse(buf).ok()?;
+        if view.inner_ethertype != EtherType::IPV4 {
+            return None;
+        }
+        let ip = Ipv4Packet::new_checked(&buf[view.payload_offset..]).ok()?;
+        if ip.proto() != IpProto::ICMP {
+            return None;
+        }
+        Some(Icmpv4Packet::new_checked(ip.payload()).ok()?.echo_ident())
+    }
+
+    fn exec_group(&mut self, gid: u32, ctx: &mut ExecCtx, depth: u32, now_ns: u64) {
         if depth >= MAX_GROUP_DEPTH {
             return;
         }
@@ -989,7 +1278,7 @@ impl Datapath {
             // Each bucket works on a copy of the packet (OF 1.3 §5.6.1).
             let saved_buf = ctx.buf.clone();
             let saved_key = ctx.key;
-            self.exec_actions(&bucket, ctx, false, depth + 1);
+            self.exec_actions(&bucket, ctx, false, depth + 1, now_ns);
             ctx.buf = saved_buf;
             ctx.key = saved_key;
         }
@@ -1519,6 +1808,230 @@ mod tests {
             assert_eq!(scalar.trace, batched.trace, "even traces agree");
         }
         assert_eq!(b.batch_memo_hits(), 0);
+    }
+
+    /// Rewrite a frame's TTL (and fix the checksum) for expiry tests.
+    fn with_ttl(frame: &Bytes, ttl: u8) -> Bytes {
+        let mut buf = BytesMut::from(&frame[..]);
+        let mut ip = Ipv4Packet::new_checked(&mut buf[14..]).unwrap();
+        ip.set_ttl(ttl);
+        ip.fill_checksum();
+        buf.freeze()
+    }
+
+    fn routed_dp() -> Datapath {
+        let mut dp = dp(PipelineMode::full());
+        dp.set_router(Ipv4Addr::new(10, 0, 255, 254), MacAddr::host(0x4e));
+        dp.apply_flow_mod(
+            &FlowMod::add(0)
+                .priority(10)
+                .match_(Match::new().eth_type(0x0800))
+                .apply(vec![
+                    Action::DecNwTtl,
+                    Action::SetField(OxmField::EthDst(MacAddr::host(0x77), None)),
+                    Action::output(2),
+                ]),
+            0,
+        )
+        .unwrap();
+        dp
+    }
+
+    #[test]
+    fn ttl_expiry_answers_icmp_and_never_caches() {
+        let mut dp = routed_dp();
+        let r = dp.process(1, with_ttl(&udp_frame(1, 53), 1), 0);
+        assert!(r.dropped, "expired packets are dropped");
+        assert_eq!(r.outputs.len(), 1, "…but answered");
+        let (port, reply) = &r.outputs[0];
+        assert_eq!(*port, 1, "time-exceeded goes back out the ingress port");
+        let view = netpkt::vlan::VlanView::parse(reply).unwrap();
+        let ip = Ipv4Packet::new_checked(&reply[view.payload_offset..]).unwrap();
+        assert_eq!(ip.proto(), IpProto::ICMP);
+        assert_eq!(ip.src(), Ipv4Addr::new(10, 0, 255, 254));
+        let icmp = netpkt::icmp::Icmpv4Packet::new_checked(ip.payload()).unwrap();
+        assert_eq!(icmp.msg_type(), netpkt::icmp::Icmpv4Type::TimeExceeded);
+        assert!(
+            dp.micro_cache().is_empty(),
+            "truncated expiry path must not be cached"
+        );
+        assert_eq!(dp.ttl_expired_total(), 1);
+    }
+
+    #[test]
+    fn ttl_expiry_on_a_cached_path_matches_slow_path() {
+        let mut dp = routed_dp();
+        // Healthy packet caches the routed path...
+        let r = dp.process(1, udp_frame(1, 53), 0);
+        assert_eq!(r.outputs[0].0, 2);
+        let out_ip = Ipv4Packet::new_checked(&r.outputs[0].1[14..]).unwrap();
+        assert_eq!(out_ip.ttl(), 63, "forwarded copy lost one hop");
+        assert!(out_ip.verify_checksum());
+        // ...and a TTL-1 packet of the same flow replays through the
+        // cache, where the per-packet TTL check still catches it.
+        let r2 = dp.process(1, with_ttl(&udp_frame(1, 53), 1), 1);
+        assert!(matches!(r2.trace.unwrap().path, LookupPath::MicroHit));
+        assert!(r2.dropped);
+        assert_eq!(r2.outputs.len(), 1);
+        let view = netpkt::vlan::VlanView::parse(&r2.outputs[0].1).unwrap();
+        let ip = Ipv4Packet::new_checked(&r2.outputs[0].1[view.payload_offset..]).unwrap();
+        assert_eq!(ip.proto(), IpProto::ICMP);
+        assert_eq!(dp.ttl_expired_total(), 1);
+    }
+
+    fn nat_dp() -> (Datapath, Ipv4Addr) {
+        let ext = Ipv4Addr::new(198, 18, 0, 254);
+        let mut dp = dp(PipelineMode::full());
+        dp.configure_nat(NatConfig::new(ext));
+        // Port 1 = inside (egress to port 2), port 2 = outside
+        // (ingress back to port 1).
+        dp.apply_flow_mod(
+            &FlowMod::add(0)
+                .priority(10)
+                .match_(Match::new().in_port(1).eth_type(0x0800))
+                .apply(vec![Action::Nat(NatDir::Egress), Action::output(2)]),
+            0,
+        )
+        .unwrap();
+        dp.apply_flow_mod(
+            &FlowMod::add(0)
+                .priority(10)
+                .match_(Match::new().in_port(2).eth_type(0x0800))
+                .apply(vec![Action::Nat(NatDir::Ingress), Action::output(1)]),
+            0,
+        )
+        .unwrap();
+        (dp, ext)
+    }
+
+    #[test]
+    fn nat_offloads_established_connections_to_the_caches() {
+        let (mut dp, ext) = nat_dp();
+        // First packet of the connection: slow path, allocates state.
+        let r = dp.process(1, udp_frame(1, 9000), 0);
+        assert!(matches!(r.trace.unwrap().path, LookupPath::SlowPath { .. }));
+        let out = &r.outputs[0].1;
+        let k = FlowKey::extract(2, out).unwrap();
+        assert_eq!(k.ipv4_src, u32::from(ext), "source translated");
+        let ext_id = k.udp_src;
+        assert_ne!(ext_id, 1000, "source port translated");
+        assert_eq!(dp.nat().live_conns(), 1);
+        // Second packet: pure cache hit, same translation, and the
+        // connection's idle timer was refreshed through NatTouch.
+        let micro_before = dp.micro_cache().hits();
+        let r2 = dp.process(1, udp_frame(1, 9000), 1);
+        assert!(matches!(r2.trace.unwrap().path, LookupPath::MicroHit));
+        assert_eq!(dp.micro_cache().hits(), micro_before + 1);
+        let k2 = FlowKey::extract(2, &r2.outputs[0].1).unwrap();
+        assert_eq!((k2.ipv4_src, k2.udp_src), (u32::from(ext), ext_id));
+        assert_eq!(dp.nat().live_conns(), 1, "no second connection");
+
+        // The reply from outside reverse-translates to the inside host.
+        let reply = builder::udp_packet(
+            MacAddr::host(99),
+            MacAddr::host(0x4e),
+            Ipv4Addr::new(198, 18, 0, 9),
+            ext,
+            9000,
+            ext_id,
+            b"pong",
+        );
+        let r3 = dp.process(2, reply.clone(), 2);
+        assert_eq!(r3.outputs[0].0, 1);
+        let k3 = FlowKey::extract(1, &r3.outputs[0].1).unwrap();
+        assert_eq!(k3.ipv4_dst, u32::from(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(k3.udp_dst, 1000, "reverse translation restores the port");
+        // Replies hit the cache too.
+        let r4 = dp.process(2, reply, 3);
+        assert!(matches!(r4.trace.unwrap().path, LookupPath::MicroHit));
+        assert_eq!(FlowKey::extract(1, &r4.outputs[0].1).unwrap().udp_dst, 1000);
+    }
+
+    #[test]
+    fn nat_ingress_without_state_drops_and_is_not_cached() {
+        let (mut dp, ext) = nat_dp();
+        let stray = builder::udp_packet(
+            MacAddr::host(99),
+            MacAddr::host(0x4e),
+            Ipv4Addr::new(198, 18, 0, 9),
+            ext,
+            9000,
+            50000,
+            b"scan",
+        );
+        let r = dp.process(2, stray.clone(), 0);
+        assert!(r.dropped, "no live connection: refused");
+        assert!(r.outputs.is_empty());
+        assert_eq!(dp.nat_dropped_total(), 1);
+        assert!(dp.micro_cache().is_empty(), "the refusal must not cache");
+        // Outbound traffic establishes mappings (external ids are
+        // allocated from 49152 up; distinct source ports drain the pool
+        // until 50000 is in use).
+        for p in 0..=(50000 - 49152) {
+            let f = builder::udp_packet(
+                MacAddr::host(1),
+                MacAddr::host(0x4e),
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(198, 18, 0, 9),
+                1000 + p,
+                9000,
+                b"out",
+            );
+            dp.process(1, f, u64::from(p));
+        }
+        // The very same stray packet now has a live connection behind
+        // it — a cached refusal would blackhole it.
+        let r2 = dp.process(2, stray, 99);
+        assert!(!r2.dropped, "mapping exists now, must translate");
+        assert_eq!(r2.outputs[0].0, 1);
+    }
+
+    #[test]
+    fn nat_eviction_bumps_the_epoch_to_flush_cached_rewrites() {
+        let ext = Ipv4Addr::new(198, 18, 0, 254);
+        let mut dp = dp(PipelineMode::full());
+        dp.configure_nat(NatConfig {
+            external_ip: ext,
+            port_lo: 49152,
+            port_hi: 49152, // pool of exactly one
+            idle_timeout_ns: u64::MAX,
+            max_conns: 64,
+        });
+        dp.apply_flow_mod(
+            &FlowMod::add(0)
+                .priority(10)
+                .match_(Match::new().in_port(1).eth_type(0x0800))
+                .apply(vec![Action::Nat(NatDir::Egress), Action::output(2)]),
+            0,
+        )
+        .unwrap();
+        dp.process(1, udp_frame(1, 9000), 0);
+        dp.process(1, udp_frame(1, 9000), 1);
+        assert_eq!(dp.micro_cache().hits(), 1, "conn A cached");
+        let epoch = dp.epoch();
+        // Conn B steals the only external id: A's cached rewrite is
+        // stale and the epoch bump must invalidate it.
+        dp.process(1, udp_frame(2, 9000), 2);
+        assert!(dp.epoch() > epoch, "eviction must flush the caches");
+        assert_eq!(dp.nat().evicted_lru(), 1);
+        let r = dp.process(1, udp_frame(1, 9000), 3);
+        assert!(
+            matches!(r.trace.unwrap().path, LookupPath::SlowPath { .. }),
+            "A re-resolves through the slow path, not a stale cache"
+        );
+    }
+
+    #[test]
+    fn nat_sweep_reclaims_idle_connections_and_flushes() {
+        let (mut dp, _) = nat_dp();
+        dp.process(1, udp_frame(1, 9000), 0);
+        assert_eq!(dp.nat().live_conns(), 1);
+        let epoch = dp.epoch();
+        assert_eq!(dp.sweep_nat(1_000), 0, "default timeout is 60 s");
+        assert_eq!(dp.epoch(), epoch, "nothing evicted, nothing flushed");
+        assert_eq!(dp.sweep_nat(61_000_000_000), 1);
+        assert!(dp.epoch() > epoch);
+        assert_eq!(dp.nat().live_conns(), 0);
     }
 
     #[test]

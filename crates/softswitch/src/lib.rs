@@ -20,9 +20,14 @@
 //!   specialised fast path: one hash probe per distinct mask);
 //! * [`cache`] — exact-match microflow cache and masked megaflow cache
 //!   with OVS-style unwildcarding;
+//! * [`nat`] — the stateful source-NAT connection table behind
+//!   [`openflow::Action::Nat`];
+//! * [`route`] — a standalone longest-prefix-match table (the reference
+//!   structure the routing stage's masked flow entries are checked
+//!   against);
 //! * [`datapath`] — the multi-table pipeline: flow/group/meter tables,
-//!   reserved-port semantics, packet-in generation, [`PipelineMode`]
-//!   selection;
+//!   reserved-port semantics, IPv4 TTL/NAT stages, packet-in
+//!   generation, [`PipelineMode`] selection;
 //! * [`agent`] — the switch side of the OpenFlow channel (handshake,
 //!   flow-mods, packet-out, stats);
 //! * [`node`] — the [`netsim::Node`] wrapper: a CPU service queue in front
@@ -36,11 +41,15 @@ pub mod agent;
 pub mod batch;
 pub mod cache;
 pub mod datapath;
+pub mod nat;
 pub mod node;
+pub mod route;
 pub mod trace;
 pub mod tss;
 
 pub use batch::{BatchResult, FrameBatch};
 pub use datapath::{Datapath, DpConfig, DpResult, PipelineMode};
+pub use nat::{NatConfig, NatProto, NatTable};
 pub use node::SoftSwitchNode;
+pub use route::LpmTable;
 pub use trace::{CostModel, ProcessingTrace};

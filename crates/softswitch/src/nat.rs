@@ -1,0 +1,424 @@
+//! Stateful source-NAT connection table.
+//!
+//! The datapath's NAT stage ([`openflow::Action::Nat`]) consults this
+//! table: the first outbound packet of a connection allocates an
+//! external identifier (L4 source port, or ICMP echo ident) under the
+//! configured external address, and inbound packets reverse the
+//! translation by that identifier. The stage then records the resulting
+//! *concrete* rewrites into the microflow/megaflow caches, so every
+//! later packet of an established connection translates on the fast
+//! path — the classic "state lookup on first packet, cached rewrite
+//! thereafter" shape. A [`crate::actions::CAction::NatTouch`] recorded
+//! next to the rewrites keeps the connection's idle timer alive on
+//! cache hits.
+//!
+//! External identifiers are allocated from one pool shared by all
+//! protocols, so no two live connections ever share an `(external
+//! address, identifier)` pair even across TCP/UDP/ICMP. Connections die
+//! two ways: idle timeout (swept periodically by the owning node) and
+//! LRU eviction when the pool is exhausted. Either way the datapath
+//! must flush its caches (epoch bump), since cached rewrites for the
+//! dead connection would otherwise keep translating.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use netpkt::IpProto;
+
+/// Transport protocol of a NAT'd connection. ICMP's "ports" are the
+/// echo identifier on both sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NatProto {
+    /// TCP: identifiers are the source port (egress) / dest port (ingress).
+    Tcp,
+    /// UDP: same as TCP.
+    Udp,
+    /// ICMP echo: identifiers are the echo ident field.
+    Icmp,
+}
+
+impl NatProto {
+    /// Classify an IP protocol number; `None` for anything the NAT
+    /// stage cannot translate.
+    pub fn from_ip_proto(proto: IpProto) -> Option<NatProto> {
+        match proto {
+            IpProto::TCP => Some(NatProto::Tcp),
+            IpProto::UDP => Some(NatProto::Udp),
+            IpProto::ICMP => Some(NatProto::Icmp),
+            _ => None,
+        }
+    }
+}
+
+/// NAT pool configuration.
+#[derive(Debug, Clone)]
+pub struct NatConfig {
+    /// The address all egress connections are translated to.
+    pub external_ip: Ipv4Addr,
+    /// First external identifier handed out (inclusive).
+    pub port_lo: u16,
+    /// Last external identifier handed out (inclusive).
+    pub port_hi: u16,
+    /// Connections idle longer than this are reclaimed by
+    /// [`NatTable::sweep`].
+    pub idle_timeout_ns: u64,
+    /// Hard cap on live connections; reaching it evicts the
+    /// least-recently-used connection.
+    pub max_conns: usize,
+}
+
+impl NatConfig {
+    /// A configuration with the conventional dynamic-port pool
+    /// (49152–65535), a 60 s idle timeout and a 4096-connection cap.
+    pub fn new(external_ip: Ipv4Addr) -> NatConfig {
+        NatConfig {
+            external_ip,
+            port_lo: 49152,
+            port_hi: 65535,
+            idle_timeout_ns: 60_000_000_000,
+            max_conns: 4096,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Conn {
+    proto: NatProto,
+    int_ip: Ipv4Addr,
+    int_id: u16,
+    ext_id: u16,
+    last_used_ns: u64,
+}
+
+/// Result of an egress translation lookup/allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EgressMapping {
+    /// External identifier (source port / echo ident after rewrite).
+    pub ext_id: u16,
+    /// Stable handle for [`NatTable::touch`] keep-alives.
+    pub token: u64,
+    /// True when allocating this mapping evicted an LRU connection —
+    /// the caller must flush its caches.
+    pub evicted: bool,
+}
+
+/// Result of an ingress (reverse) translation lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngressMapping {
+    /// The internal host the connection belongs to.
+    pub int_ip: Ipv4Addr,
+    /// Internal identifier (dest port / echo ident after rewrite).
+    pub int_id: u16,
+    /// Stable handle for [`NatTable::touch`] keep-alives.
+    pub token: u64,
+}
+
+/// The connection table. Unconfigured tables translate nothing.
+#[derive(Debug, Default)]
+pub struct NatTable {
+    config: Option<NatConfig>,
+    conns: HashMap<u64, Conn>,
+    by_internal: HashMap<(NatProto, Ipv4Addr, u16), u64>,
+    by_external: HashMap<u16, u64>,
+    next_token: u64,
+    /// Rotating allocation cursor, offset from `port_lo`.
+    cursor: u16,
+    created: u64,
+    evicted_idle: u64,
+    evicted_lru: u64,
+}
+
+impl NatTable {
+    /// An unconfigured (inert) table.
+    pub fn new() -> NatTable {
+        NatTable::default()
+    }
+
+    /// Install a pool configuration, replacing any previous one and
+    /// dropping all connection state.
+    pub fn configure(&mut self, config: NatConfig) {
+        assert!(config.port_lo <= config.port_hi, "empty NAT pool");
+        self.conns.clear();
+        self.by_internal.clear();
+        self.by_external.clear();
+        self.cursor = 0;
+        self.config = Some(config);
+    }
+
+    /// The active configuration, if any.
+    pub fn config(&self) -> Option<&NatConfig> {
+        self.config.as_ref()
+    }
+
+    /// The external address, if configured.
+    pub fn external_ip(&self) -> Option<Ipv4Addr> {
+        self.config.as_ref().map(|c| c.external_ip)
+    }
+
+    /// Live connection count.
+    pub fn live_conns(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Connections reclaimed by idle sweep so far.
+    pub fn evicted_idle(&self) -> u64 {
+        self.evicted_idle
+    }
+
+    /// Connections evicted to make room (pool/cap exhaustion) so far.
+    pub fn evicted_lru(&self) -> u64 {
+        self.evicted_lru
+    }
+
+    /// Connections ever created.
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Translate (or establish) an outbound connection: returns the
+    /// external identifier standing in for `(int_ip, int_id)`. `None`
+    /// when unconfigured or the protocol cannot be NAT'd.
+    pub fn egress(
+        &mut self,
+        proto: NatProto,
+        int_ip: Ipv4Addr,
+        int_id: u16,
+        now_ns: u64,
+    ) -> Option<EgressMapping> {
+        self.config.as_ref()?;
+        if let Some(&token) = self.by_internal.get(&(proto, int_ip, int_id)) {
+            let conn = self.conns.get_mut(&token).expect("index consistent");
+            conn.last_used_ns = now_ns;
+            return Some(EgressMapping {
+                ext_id: conn.ext_id,
+                token,
+                evicted: false,
+            });
+        }
+        let mut evicted = false;
+        let cfg = self.config.clone().expect("checked above");
+        if self.conns.len() >= cfg.max_conns.max(1) {
+            self.evict_lru();
+            evicted = true;
+        }
+        let ext_id = match self.allocate_id(&cfg) {
+            Some(id) => id,
+            None => {
+                // Identifier pool exhausted: reclaim the LRU connection
+                // and take its identifier.
+                let freed = self.evict_lru()?;
+                evicted = true;
+                freed
+            }
+        };
+        let token = self.next_token;
+        self.next_token += 1;
+        self.created += 1;
+        self.conns.insert(
+            token,
+            Conn {
+                proto,
+                int_ip,
+                int_id,
+                ext_id,
+                last_used_ns: now_ns,
+            },
+        );
+        self.by_internal.insert((proto, int_ip, int_id), token);
+        self.by_external.insert(ext_id, token);
+        Some(EgressMapping {
+            ext_id,
+            token,
+            evicted,
+        })
+    }
+
+    /// Reverse-translate an inbound packet addressed to the external
+    /// identifier. `None` (caller drops the packet) when no live
+    /// connection owns it or the protocol disagrees.
+    pub fn ingress(&mut self, proto: NatProto, ext_id: u16, now_ns: u64) -> Option<IngressMapping> {
+        let &token = self.by_external.get(&ext_id)?;
+        let conn = self.conns.get_mut(&token).expect("index consistent");
+        if conn.proto != proto {
+            return None;
+        }
+        conn.last_used_ns = now_ns;
+        Some(IngressMapping {
+            int_ip: conn.int_ip,
+            int_id: conn.int_id,
+            token,
+        })
+    }
+
+    /// Refresh a connection's idle timer (cache-hit keep-alive). Tokens
+    /// of evicted connections are ignored.
+    pub fn touch(&mut self, token: u64, now_ns: u64) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.last_used_ns = now_ns;
+        }
+    }
+
+    /// Reclaim connections idle past the configured timeout. Returns
+    /// how many died; a non-zero return obliges the caller to flush its
+    /// caches.
+    pub fn sweep(&mut self, now_ns: u64) -> usize {
+        let Some(cfg) = self.config.as_ref() else {
+            return 0;
+        };
+        let timeout = cfg.idle_timeout_ns;
+        let dead: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| now_ns.saturating_sub(c.last_used_ns) >= timeout)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in &dead {
+            self.remove(*token);
+            self.evicted_idle += 1;
+        }
+        dead.len()
+    }
+
+    /// Evict the least-recently-used connection, returning its freed
+    /// external identifier.
+    fn evict_lru(&mut self) -> Option<u16> {
+        let token = self
+            .conns
+            .iter()
+            .min_by_key(|(&t, c)| (c.last_used_ns, t))
+            .map(|(&t, _)| t)?;
+        self.evicted_lru += 1;
+        self.remove(token)
+    }
+
+    fn remove(&mut self, token: u64) -> Option<u16> {
+        let conn = self.conns.remove(&token)?;
+        self.by_internal
+            .remove(&(conn.proto, conn.int_ip, conn.int_id));
+        self.by_external.remove(&conn.ext_id);
+        Some(conn.ext_id)
+    }
+
+    fn allocate_id(&mut self, cfg: &NatConfig) -> Option<u16> {
+        let span = u32::from(cfg.port_hi - cfg.port_lo) + 1;
+        for _ in 0..span {
+            let id = cfg.port_lo + self.cursor;
+            self.cursor = ((u32::from(self.cursor) + 1) % span) as u16;
+            if !self.by_external.contains_key(&id) {
+                return Some(id);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(lo: u16, hi: u16, max: usize) -> NatTable {
+        let mut t = NatTable::new();
+        t.configure(NatConfig {
+            external_ip: Ipv4Addr::new(198, 18, 0, 254),
+            port_lo: lo,
+            port_hi: hi,
+            idle_timeout_ns: 1_000,
+            max_conns: max,
+        });
+        t
+    }
+
+    #[test]
+    fn unconfigured_table_is_inert() {
+        let mut t = NatTable::new();
+        assert!(t
+            .egress(NatProto::Udp, Ipv4Addr::new(10, 0, 0, 1), 5000, 0)
+            .is_none());
+        assert!(t.ingress(NatProto::Udp, 49152, 0).is_none());
+        assert_eq!(t.sweep(u64::MAX), 0);
+    }
+
+    #[test]
+    fn egress_then_ingress_round_trips() {
+        let mut t = table(40000, 40010, 64);
+        let host = Ipv4Addr::new(10, 1, 0, 1);
+        let m = t.egress(NatProto::Tcp, host, 12345, 10).unwrap();
+        assert!(!m.evicted);
+        // Same connection maps to the same identifier, new ones differ.
+        let again = t.egress(NatProto::Tcp, host, 12345, 20).unwrap();
+        assert_eq!(again.ext_id, m.ext_id);
+        assert_eq!(again.token, m.token);
+        let other = t.egress(NatProto::Tcp, host, 12346, 20).unwrap();
+        assert_ne!(other.ext_id, m.ext_id);
+        let back = t.ingress(NatProto::Tcp, m.ext_id, 30).unwrap();
+        assert_eq!((back.int_ip, back.int_id), (host, 12345));
+        // Wrong protocol or unknown identifier: dropped.
+        assert!(t.ingress(NatProto::Udp, m.ext_id, 30).is_none());
+        assert!(t.ingress(NatProto::Tcp, 39999, 30).is_none());
+    }
+
+    #[test]
+    fn identifiers_unique_across_protocols() {
+        let mut t = table(40000, 40100, 64);
+        let host = Ipv4Addr::new(10, 1, 0, 1);
+        let a = t.egress(NatProto::Tcp, host, 7, 0).unwrap();
+        let b = t.egress(NatProto::Udp, host, 7, 0).unwrap();
+        let c = t.egress(NatProto::Icmp, host, 7, 0).unwrap();
+        assert_ne!(a.ext_id, b.ext_id);
+        assert_ne!(b.ext_id, c.ext_id);
+        assert_ne!(a.ext_id, c.ext_id);
+    }
+
+    #[test]
+    fn pool_exhaustion_evicts_lru() {
+        let mut t = table(40000, 40001, 64); // pool of exactly 2
+        let h = Ipv4Addr::new(10, 0, 0, 1);
+        let a = t.egress(NatProto::Udp, h, 1, 100).unwrap();
+        let b = t.egress(NatProto::Udp, h, 2, 200).unwrap();
+        t.touch(a.token, 300); // a is now fresher than b
+        let c = t.egress(NatProto::Udp, h, 3, 400).unwrap();
+        assert!(c.evicted);
+        assert_eq!(c.ext_id, b.ext_id, "LRU connection's identifier reused");
+        assert_eq!(t.evicted_lru(), 1);
+        assert_eq!(t.live_conns(), 2);
+        // b's reverse mapping now belongs to c's connection.
+        let back = t.ingress(NatProto::Udp, c.ext_id, 500).unwrap();
+        assert_eq!(back.int_id, 3);
+        assert!(t.ingress(NatProto::Udp, 41000, 500).is_none());
+    }
+
+    #[test]
+    fn max_conns_cap_evicts_before_pool_runs_out() {
+        let mut t = table(40000, 40100, 2);
+        let h = Ipv4Addr::new(10, 0, 0, 1);
+        t.egress(NatProto::Udp, h, 1, 100).unwrap();
+        t.egress(NatProto::Udp, h, 2, 200).unwrap();
+        let c = t.egress(NatProto::Udp, h, 3, 300).unwrap();
+        assert!(c.evicted);
+        assert_eq!(t.live_conns(), 2);
+        assert!(
+            t.egress(NatProto::Udp, h, 1, 400).unwrap().evicted,
+            "oldest (conn 1) was the LRU victim, so re-adding it evicts again"
+        );
+    }
+
+    #[test]
+    fn sweep_reclaims_idle_connections_and_touch_defers() {
+        let mut t = table(40000, 40100, 64); // idle timeout 1000 ns
+        let h = Ipv4Addr::new(10, 0, 0, 1);
+        let a = t.egress(NatProto::Udp, h, 1, 0).unwrap();
+        let _b = t.egress(NatProto::Udp, h, 2, 0).unwrap();
+        t.touch(a.token, 900);
+        assert_eq!(t.sweep(1000), 1, "only the untouched connection dies");
+        assert_eq!(t.live_conns(), 1);
+        assert_eq!(t.evicted_idle(), 1);
+        // The ingress lookup itself refreshes the timer (at 1000)...
+        assert!(t.ingress(NatProto::Udp, a.ext_id, 1000).is_some());
+        assert_eq!(t.sweep(1900), 0, "refreshed at 1000, not yet idle");
+        assert_eq!(t.sweep(2000), 1, "…and expires one timeout later");
+        assert_eq!(t.live_conns(), 0);
+        // Touching a dead token is a no-op.
+        t.touch(a.token, 2000);
+        assert_eq!(t.live_conns(), 0);
+    }
+}

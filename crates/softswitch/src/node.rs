@@ -261,6 +261,9 @@ impl Node for SoftSwitchNode {
                     }
                 }
             }
+            // Idle NAT connections age out on the same cadence; the
+            // sweep flushes the caches itself when anything dies.
+            self.dp.sweep_nat(ctx.now().as_nanos());
             ctx.schedule(EXPIRE_PERIOD, TOKEN_EXPIRE);
             return;
         }

@@ -1,0 +1,144 @@
+//! Longest-prefix-match route table.
+//!
+//! The routing stage of the datapath is expressed through ordinary flow
+//! entries (masked `ipv4_dst` matches whose priority encodes prefix
+//! length), but the controller side — and the property suites pinning
+//! the semantics — need a standalone LPM structure to compute and check
+//! routes against. This one is organised as one exact-match bucket per
+//! prefix length, probed from /32 down to /0; simple, allocation-light
+//! and obviously correct, which is what an oracle-checked reference
+//! wants to be.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// The all-ones mask for a prefix length (`/0` → 0).
+pub fn prefix_mask(len: u8) -> u32 {
+    assert!(len <= 32, "IPv4 prefix length out of range");
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+/// A longest-prefix-match table mapping IPv4 prefixes to `T`.
+#[derive(Debug, Clone)]
+pub struct LpmTable<T> {
+    /// `buckets[len]`: network-order prefix → value, for prefixes of
+    /// exactly `len` bits.
+    buckets: Vec<HashMap<u32, T>>,
+    len: usize,
+}
+
+impl<T> Default for LpmTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> LpmTable<T> {
+    /// An empty table.
+    pub fn new() -> LpmTable<T> {
+        LpmTable {
+            buckets: (0..=32).map(|_| HashMap::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Insert `prefix/len → value`, masking stray host bits off the
+    /// prefix. Replaces (and returns) any previous value for the exact
+    /// same prefix.
+    pub fn insert(&mut self, prefix: Ipv4Addr, len: u8, value: T) -> Option<T> {
+        let key = u32::from(prefix) & prefix_mask(len);
+        let old = self.buckets[usize::from(len)].insert(key, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Remove the exact prefix, returning its value.
+    pub fn remove(&mut self, prefix: Ipv4Addr, len: u8) -> Option<T> {
+        let key = u32::from(prefix) & prefix_mask(len);
+        let old = self.buckets[usize::from(len)].remove(&key);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Longest-prefix match: the value of the most specific prefix
+    /// covering `addr`, with its prefix length.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<(u8, &T)> {
+        let a = u32::from(addr);
+        for len in (0..=32u8).rev() {
+            let bucket = &self.buckets[usize::from(len)];
+            if bucket.is_empty() {
+                continue;
+            }
+            if let Some(v) = bucket.get(&(a & prefix_mask(len))) {
+                return Some((len, v));
+            }
+        }
+        None
+    }
+
+    /// Number of routes installed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate all `(prefix, len, value)` routes, in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Addr, u8, &T)> {
+        self.buckets.iter().enumerate().flat_map(|(len, bucket)| {
+            bucket
+                .iter()
+                .map(move |(&p, v)| (Ipv4Addr::from(p), len as u8, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_match_wins() {
+        let mut t = LpmTable::new();
+        t.insert(Ipv4Addr::new(0, 0, 0, 0), 0, "default");
+        t.insert(Ipv4Addr::new(10, 0, 0, 0), 8, "ten");
+        t.insert(Ipv4Addr::new(10, 3, 0, 0), 16, "pod3");
+        t.insert(Ipv4Addr::new(10, 3, 0, 7), 32, "host");
+        assert_eq!(t.lookup(Ipv4Addr::new(10, 3, 0, 7)), Some((32, &"host")));
+        assert_eq!(t.lookup(Ipv4Addr::new(10, 3, 9, 9)), Some((16, &"pod3")));
+        assert_eq!(t.lookup(Ipv4Addr::new(10, 4, 0, 1)), Some((8, &"ten")));
+        assert_eq!(t.lookup(Ipv4Addr::new(8, 8, 8, 8)), Some((0, &"default")));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn no_default_means_miss() {
+        let mut t = LpmTable::new();
+        t.insert(Ipv4Addr::new(10, 0, 0, 0), 8, 1);
+        assert_eq!(t.lookup(Ipv4Addr::new(11, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn insert_masks_host_bits_and_replaces() {
+        let mut t = LpmTable::new();
+        assert_eq!(t.insert(Ipv4Addr::new(10, 1, 2, 3), 16, "a"), None);
+        // Same /16 despite different host bits: replacement, not a twin.
+        assert_eq!(t.insert(Ipv4Addr::new(10, 1, 9, 9), 16, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(Ipv4Addr::new(10, 1, 0, 1)), Some((16, &"b")));
+        assert_eq!(t.remove(Ipv4Addr::new(10, 1, 0, 0), 16), Some("b"));
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(Ipv4Addr::new(10, 1, 0, 1)), None);
+    }
+}

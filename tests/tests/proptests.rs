@@ -596,3 +596,343 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// L3 pipeline properties (routing, NAT, TTL/checksum) — the oracle
+// suites pinning the edge-router datapath of the `exp_l3` scenarios.
+// ---------------------------------------------------------------------
+
+use softswitch::actions::{dec_ttl, TtlResult};
+use softswitch::nat::{NatProto, NatTable};
+use softswitch::route::prefix_mask;
+use softswitch::{LpmTable, NatConfig};
+
+/// Addresses drawn from a deliberately tiny pool so generated prefixes
+/// overlap (nested supernets, sibling subnets, exact duplicates).
+fn arb_lpm_base() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        Just(0x0a00_0000u32), // 10.0.0.0
+        Just(0x0a01_0000u32), // 10.1.0.0
+        Just(0x0a01_8000u32), // 10.1.128.0
+        Just(0x0aff_0000u32), // 10.255.0.0
+        any::<u32>(),
+    ]
+}
+
+/// One step of the NAT state machine:
+/// `0` = egress(host, id), `1` = ingress(ext), `2` = sweep, `3` = wait.
+fn arb_nat_op() -> impl Strategy<Value = (u8, u8, u16, u64)> {
+    (0u8..4, any::<u8>(), any::<u16>(), 0u64..1500)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// LPM table ≡ naive linear-scan oracle, under heavy prefix
+    /// overlap, duplicate inserts and default-route (`/0`) fallback.
+    #[test]
+    fn lpm_lookup_matches_linear_scan_oracle(
+        routes in proptest::collection::vec((arb_lpm_base(), 0u8..=32, any::<u16>()), 0..24),
+        with_default in any::<bool>(),
+        probes in proptest::collection::vec((any::<usize>(), any::<u32>(), any::<bool>()), 1..48),
+    ) {
+        let mut table: LpmTable<u16> = LpmTable::new();
+        // The oracle: a flat list of (masked prefix, len, value),
+        // replace-on-duplicate, scanned linearly per lookup.
+        let mut oracle: Vec<(u32, u8, u16)> = Vec::new();
+        let mut insert = |table: &mut LpmTable<u16>, addr: u32, len: u8, val: u16| {
+            let masked = addr & prefix_mask(len);
+            table.insert(std::net::Ipv4Addr::from(addr), len, val);
+            if let Some(slot) = oracle.iter_mut().find(|r| (r.0, r.1) == (masked, len)) {
+                slot.2 = val;
+            } else {
+                oracle.push((masked, len, val));
+            }
+        };
+        for &(addr, len, val) in &routes {
+            insert(&mut table, addr, len, val);
+        }
+        if with_default {
+            insert(&mut table, 0, 0, 0xd00d);
+        }
+        prop_assert_eq!(table.len(), oracle.len());
+        for &(idx, bits, random) in &probes {
+            // Half the probes land inside an installed prefix (random
+            // host bits), half are fully random.
+            let addr = if random || oracle.is_empty() {
+                bits
+            } else {
+                let (p, len, _) = oracle[idx % oracle.len()];
+                p | (bits & !prefix_mask(len))
+            };
+            let want = oracle
+                .iter()
+                .filter(|&&(p, len, _)| addr & prefix_mask(len) == p)
+                .max_by_key(|&&(_, len, _)| len)
+                .map(|&(_, len, val)| (len, val));
+            let got = table
+                .lookup(std::net::Ipv4Addr::from(addr))
+                .map(|(len, &val)| (len, val));
+            prop_assert_eq!(got, want, "probe {:?}", std::net::Ipv4Addr::from(addr));
+        }
+    }
+
+    /// NAT connection table vs an exact model, under arbitrary
+    /// egress/ingress/sweep/wait interleavings: every live mapping
+    /// round-trips, no two live connections share an external
+    /// identifier, and idle/LRU eviction behaves deterministically.
+    #[test]
+    fn nat_state_machine_matches_model_under_interleavings(
+        ops in proptest::collection::vec(arb_nat_op(), 1..80),
+    ) {
+        const IDLE_NS: u64 = 1_000;
+        const MAX_CONNS: usize = 4;
+        let mut nat = NatTable::new();
+        nat.configure(NatConfig {
+            external_ip: std::net::Ipv4Addr::new(198, 18, 0, 254),
+            port_lo: 49152,
+            port_hi: 49159, // 8 ids for 4 conns: allocation never starves
+            idle_timeout_ns: IDLE_NS,
+            max_conns: MAX_CONNS,
+        });
+        // Model: token → (proto, int_ip, int_id, ext_id, last_used).
+        let mut model: std::collections::BTreeMap<u64, (NatProto, std::net::Ipv4Addr, u16, u16, u64)> =
+            std::collections::BTreeMap::new();
+        let mut now = 0u64;
+        let protos = [NatProto::Tcp, NatProto::Udp, NatProto::Icmp];
+        for &(kind, host, id16, dt) in &ops {
+            match kind {
+                0 => {
+                    // Egress from a small key space (2 ips × 4 ids × 3
+                    // protos) to force reuse and LRU churn.
+                    let proto = protos[usize::from(host) % 3];
+                    let int_ip = std::net::Ipv4Addr::new(10, 0, 0, 1 + host % 2);
+                    let int_id = id16 % 4;
+                    let existing = model
+                        .iter()
+                        .find(|(_, c)| (c.0, c.1, c.2) == (proto, int_ip, int_id))
+                        .map(|(&t, _)| t);
+                    let m = nat.egress(proto, int_ip, int_id, now).expect("configured");
+                    match existing {
+                        Some(t) => {
+                            let c = model.get_mut(&t).unwrap();
+                            prop_assert_eq!(m.ext_id, c.3, "stable mapping for a live flow");
+                            prop_assert!(!m.evicted);
+                            c.4 = now;
+                        }
+                        None => {
+                            let full = model.len() == MAX_CONNS;
+                            prop_assert_eq!(m.evicted, full, "evict exactly when full");
+                            if full {
+                                // LRU = least (last_used, token), as documented.
+                                let lru = *model
+                                    .iter()
+                                    .min_by_key(|(&t, c)| (c.4, t))
+                                    .map(|(t, _)| t)
+                                    .unwrap();
+                                model.remove(&lru);
+                            }
+                            prop_assert!(
+                                model.values().all(|c| c.3 != m.ext_id),
+                                "external id {} handed out twice", m.ext_id
+                            );
+                            model.insert(m.token, (proto, int_ip, int_id, m.ext_id, now));
+                        }
+                    }
+                    // Round-trip: the mapping must reverse immediately.
+                    let back = nat.ingress(proto, m.ext_id, now).expect("fresh mapping reverses");
+                    prop_assert_eq!((back.int_ip, back.int_id), (int_ip, int_id));
+                    prop_assert_eq!(back.token, m.token);
+                }
+                1 => {
+                    // Ingress for an arbitrary external id (sometimes a
+                    // live one, sometimes garbage / wrong protocol).
+                    let proto = protos[usize::from(host) % 3];
+                    let ext = 49152 + id16 % 10;
+                    let want = model
+                        .iter()
+                        .find(|(_, c)| c.3 == ext)
+                        .map(|(&t, c)| (c.0 == proto).then_some((t, c.1, c.2)));
+                    let got = nat.ingress(proto, ext, now);
+                    match want {
+                        Some(Some((t, ip, id))) => {
+                            let got = got.expect("live mapping answers");
+                            prop_assert_eq!((got.token, got.int_ip, got.int_id), (t, ip, id));
+                            model.get_mut(&t).unwrap().4 = now;
+                        }
+                        _ => prop_assert!(got.is_none(), "dead/mismatched ext id must drop"),
+                    }
+                }
+                2 => {
+                    let dead: Vec<u64> = model
+                        .iter()
+                        .filter(|(_, c)| now.saturating_sub(c.4) >= IDLE_NS)
+                        .map(|(&t, _)| t)
+                        .collect();
+                    prop_assert_eq!(nat.sweep(now), dead.len(), "idle reclaim count");
+                    for t in dead {
+                        model.remove(&t);
+                    }
+                }
+                _ => now += dt,
+            }
+            prop_assert_eq!(nat.live_conns(), model.len());
+            let exts: std::collections::HashSet<u16> = model.values().map(|c| c.3).collect();
+            prop_assert_eq!(exts.len(), model.len(), "live external ids must be unique");
+        }
+    }
+
+    /// The edge-router pipeline (classifier → NAT → LPM routes) must
+    /// behave identically whether frames take the scalar slow path or
+    /// the batched/cached fast path: same rewritten bytes, same drops,
+    /// same TTL expiries, same NAT connection state.
+    #[test]
+    fn routed_nat_pipeline_batch_equals_scalar(
+        packets in proptest::collection::vec((0u8..4, 0u8..3, 0u16..8, any::<bool>()), 1..60),
+        mode_sel in 0usize..4,
+    ) {
+        use openflow::{Instruction, NatDir};
+        let mode = [
+            PipelineMode::linear(),
+            PipelineMode::tss(),
+            PipelineMode::microflow(),
+            PipelineMode::full(),
+        ][mode_sel];
+        let ext = std::net::Ipv4Addr::new(198, 18, 0, 254);
+        let router_mac = MacAddr::host(0x4e);
+        let build = || {
+            let mut dp = Datapath::new(DpConfig::software(1).with_mode(mode));
+            for p in 1..=4 {
+                dp.add_port(p, format!("p{p}"), 1_000_000);
+            }
+            dp.set_router(std::net::Ipv4Addr::new(10, 0, 255, 254), router_mac);
+            dp.configure_nat(softswitch::NatConfig::new(ext));
+            // Table 0: IPv4 classifier. Table 1: reverse NAT for the
+            // external address, else fall through. Table 2: LPM routes.
+            dp.apply_flow_mod(
+                &FlowMod::add(0).priority(10).match_(Match::new().eth_type(0x0800)).goto(1),
+                0,
+            ).unwrap();
+            dp.apply_flow_mod(
+                &FlowMod::add(1).priority(50)
+                    .match_(Match::new().eth_type(0x0800).ipv4_dst(ext))
+                    .instructions(vec![
+                        Instruction::ApplyActions(vec![Action::Nat(NatDir::Ingress)]),
+                        Instruction::GotoTable(2),
+                    ]),
+                0,
+            ).unwrap();
+            dp.apply_flow_mod(&FlowMod::add(1).priority(0).goto(2), 0).unwrap();
+            let route = |prefix: [u8; 4], len: u8, prio: u16, nat: Option<NatDir>, out: u32| {
+                let mask = std::net::Ipv4Addr::from(softswitch::route::prefix_mask(len));
+                let m = if len == 0 {
+                    Match::new().eth_type(0x0800)
+                } else {
+                    Match::new().eth_type(0x0800)
+                        .ipv4_dst_masked(std::net::Ipv4Addr::from(prefix), mask)
+                };
+                let mut acts = vec![Action::DecNwTtl];
+                if let Some(dir) = nat {
+                    acts.push(Action::Nat(dir));
+                }
+                acts.push(Action::SetField(OxmField::EthSrc(router_mac, None)));
+                acts.push(Action::SetField(OxmField::EthDst(MacAddr::host(0x77), None)));
+                acts.push(Action::output(out));
+                FlowMod::add(2).priority(prio).match_(m).apply(acts)
+            };
+            dp.apply_flow_mod(&route([10, 0, 0, 2], 32, 72, None, 2), 0).unwrap();
+            dp.apply_flow_mod(&route([10, 1, 0, 0], 16, 56, None, 3), 0).unwrap();
+            dp.apply_flow_mod(&route([0, 0, 0, 0], 0, 40, Some(NatDir::Egress), 4), 0).unwrap();
+            dp
+        };
+        let frame = |&(kind, host, port, low_ttl): &(u8, u8, u16, bool)| -> Bytes {
+            let src = std::net::Ipv4Addr::new(10, 0, 0, 1 + host);
+            // Local /32, aggregate /16, NAT'd default route, and
+            // inbound-to-external (reverse NAT, drops unless a prior
+            // egress packet established the connection).
+            let dst = match kind {
+                0 => std::net::Ipv4Addr::new(10, 0, 0, 2),
+                1 => std::net::Ipv4Addr::new(10, 1, 0, 5),
+                2 => std::net::Ipv4Addr::new(8, 8, 8, 8),
+                _ => ext,
+            };
+            let f = builder::udp_packet(
+                MacAddr::host(u32::from(host)), router_mac, src, dst,
+                1000 + port, 49152 + port, b"pl",
+            );
+            if low_ttl {
+                let mut buf = bytes::BytesMut::from(&f[..]);
+                let mut ip = netpkt::Ipv4Packet::new_unchecked(&mut buf[14..]);
+                ip.set_ttl(1);
+                ip.fill_checksum();
+                buf.freeze()
+            } else {
+                f
+            }
+        };
+        let now = 7u64;
+        let mut seq_dp = build();
+        let sequential: Vec<_> = packets.iter().map(|p| seq_dp.process(1, frame(p), now)).collect();
+        let mut batch_dp = build();
+        let mut batch: FrameBatch = packets.iter().map(|p| (1u32, frame(p))).collect();
+        let batched = batch_dp.process_batch(&mut batch, now);
+        prop_assert_eq!(batched.results.len(), sequential.len());
+        for (i, (s, b)) in sequential.iter().zip(&batched.results).enumerate() {
+            prop_assert_eq!(&s.outputs, &b.outputs, "rewritten frames of packet {}", i);
+            prop_assert_eq!(s.dropped, b.dropped, "drop decision of packet {}", i);
+            prop_assert_eq!(&s.packet_ins, &b.packet_ins, "packet-ins of packet {}", i);
+        }
+        prop_assert_eq!(seq_dp.ttl_expired_total(), batch_dp.ttl_expired_total());
+        prop_assert_eq!(seq_dp.nat_dropped_total(), batch_dp.nat_dropped_total());
+        prop_assert_eq!(seq_dp.nat().created(), batch_dp.nat().created());
+        prop_assert_eq!(seq_dp.nat().live_conns(), batch_dp.nat().live_conns());
+        prop_assert_eq!(seq_dp.packets_processed(), batch_dp.packets_processed());
+    }
+
+    /// The routing stage's incremental TTL/checksum patch produces, at
+    /// every hop, exactly the checksum a full `netpkt::checksum`
+    /// recompute over the header yields — until the TTL hits 1, at
+    /// which point the frame is left untouched.
+    #[test]
+    fn ttl_decrement_patches_checksum_like_a_full_recompute(
+        src in arb_ipv4(),
+        dst in arb_ipv4(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        ttl in 1u8..=255,
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let frame = builder::udp_packet(
+            MacAddr::host(1), MacAddr::host(2), src, dst, sport, dport, &payload,
+        );
+        let mut buf = bytes::BytesMut::from(&frame[..]);
+        {
+            let mut ip = netpkt::Ipv4Packet::new_unchecked(&mut buf[14..]);
+            ip.set_ttl(ttl);
+            ip.fill_checksum();
+        }
+        for hop in 0..4u8 {
+            let before = netpkt::Ipv4Packet::new_checked(&buf[14..]).unwrap().ttl();
+            let res = dec_ttl(&mut buf);
+            let ip = netpkt::Ipv4Packet::new_checked(&buf[14..]).unwrap();
+            if before <= 1 {
+                prop_assert_eq!(res, TtlResult::Expired);
+                prop_assert_eq!(ip.ttl(), before, "expired frames stay untouched");
+                break;
+            }
+            prop_assert_eq!(res, TtlResult::Decremented, "hop {}", hop);
+            prop_assert_eq!(ip.ttl(), before - 1);
+            // Oracle: zero the checksum field and recompute from scratch.
+            let hdr_len = ip.header_len();
+            let mut hdr = buf[14..14 + hdr_len].to_vec();
+            hdr[10] = 0;
+            hdr[11] = 0;
+            prop_assert_eq!(
+                netpkt::checksum::checksum(&hdr),
+                ip.header_checksum(),
+                "incremental patch diverged from full recompute at hop {}", hop
+            );
+            prop_assert!(ip.verify_checksum());
+        }
+    }
+}
