@@ -351,6 +351,29 @@ fn fabric_convergence(
             extra_pi.to_string(),
         ]);
     }
+    // Fabric-wide rollup on the shared counter surface the hybrid
+    // engine reports through (`netsim::stats::Rollup`): E3c is pure
+    // packet-level, so every delivered byte is simulated and the
+    // flow-level counters must read zero. `exp_flowsim` fills them in.
+    let mut rollup = netsim::stats::Rollup::new();
+    rollup.absorb(
+        net.delivered_frames(),
+        net.delivered_bytes(),
+        &Default::default(),
+    );
+    rollup.bytes_simulated = net.delivered_bytes();
+    rows.push(vec![
+        "delivered frames / bytes".into(),
+        format!("{} / {}", rollup.frames, rollup.bytes),
+    ]);
+    rows.push(vec![
+        "flows promoted / demoted".into(),
+        format!("{} / {}", rollup.flows_promoted, rollup.flows_demoted),
+    ]);
+    rows.push(vec![
+        "bytes modeled / simulated".into(),
+        format!("{} / {}", rollup.bytes_modeled, rollup.bytes_simulated),
+    ]);
     rows.push(vec![
         "sim events".into(),
         net.events_processed().to_string(),

@@ -13,7 +13,9 @@
 //! * [`host`] — a minimal end host (ARP responder, ICMP echo, mailbox),
 //! * [`service`] — a single/multi-server service queue helper for modelling
 //!   CPU-bound packet processing,
-//! * [`measure`] — RFC 2544-style max-lossless-rate search.
+//! * [`measure`] — RFC 2544-style max-lossless-rate search,
+//! * [`flowsim`] — the flow-level hybrid engine: cache-resident flows
+//!   promoted out of the packet engine and advanced analytically.
 //!
 //! The simulator is fully deterministic: within a shard, events are
 //! ordered by `(time, sequence-number)` and all randomness flows from
@@ -43,6 +45,7 @@
 #![deny(missing_docs)]
 
 pub mod fault;
+pub mod flowsim;
 pub mod host;
 pub mod link;
 pub mod measure;
@@ -56,6 +59,7 @@ pub mod time;
 pub mod traffic;
 
 pub use fault::{Fault, FaultPlan};
+pub use flowsim::{FlowBundleSpec, FlowHop, FlowSim, HybridStats};
 pub use link::{LinkSpec, LinkStats};
 pub use net::{Network, NodeId};
 pub use node::{Node, NodeCtx, PortId};

@@ -124,6 +124,19 @@ impl Network {
         self.shards.iter().map(|s| s.unconnected_drops).sum()
     }
 
+    /// Frames handed to node callbacks so far, summed across shards —
+    /// the packet-level delivery volume ([`crate::flowsim`] reports its
+    /// modeled volume alongside this).
+    pub fn delivered_frames(&self) -> u64 {
+        self.shards.iter().map(|s| s.delivered_frames).sum()
+    }
+
+    /// Bytes of frames handed to node callbacks so far, summed across
+    /// shards.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.delivered_bytes).sum()
+    }
+
     /// Set the out-of-band control channel delay (default 50 µs). In a
     /// sharded network this is part of the synchronization lookahead and
     /// must stay positive.
@@ -452,6 +465,17 @@ impl Network {
         Some(peer)
     }
 
+    /// Whether the duplex link at `(node, port)` is currently up in both
+    /// directions (and not torn out). `None` if the port has no link.
+    /// The flow-level engine polls this at window boundaries: a downed
+    /// hop demotes every converged flow routed over it.
+    pub fn link_up(&self, node: NodeId, port: PortId) -> Option<bool> {
+        let ((sa, ca), (sb, cb)) = self.link_chans(node, port)?;
+        let a = &self.shards[sa].chans[ca as usize].dir;
+        let b = &self.shards[sb].chans[cb as usize].dir;
+        Some(!a.down && !a.dead && !b.down && !b.dead)
+    }
+
     /// Total frames lost to downed or torn-out links so far: queued or
     /// newly transmitted frames blackholed at the egress, plus in-flight
     /// frames blackholed on arrival.
@@ -490,6 +514,27 @@ impl Network {
             .as_any_mut()
             .downcast_mut::<T>()
             .expect("node type mismatch")
+    }
+
+    /// Typed shared access to a node, or `None` if it is of another
+    /// type (the probing sibling of [`Network::node_ref`]).
+    pub fn try_node_ref<T: Node>(&self, id: NodeId) -> Option<&T> {
+        let l = self.loc[id.0];
+        self.shards[l.shard as usize].nodes[l.idx as usize]
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Untyped shared access to a node (flow-level engine plumbing).
+    pub(crate) fn node_dyn(&self, id: NodeId) -> &dyn Node {
+        let l = self.loc[id.0];
+        self.shards[l.shard as usize].nodes[l.idx as usize].as_ref()
+    }
+
+    /// Untyped exclusive access to a node (flow-level engine plumbing).
+    pub(crate) fn node_dyn_mut(&mut self, id: NodeId) -> &mut dyn Node {
+        let l = self.loc[id.0];
+        self.shards[l.shard as usize].nodes[l.idx as usize].as_mut()
     }
 
     /// Deliver a frame to a node as if it had arrived on `port` now

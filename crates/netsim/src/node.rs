@@ -154,6 +154,36 @@ pub trait Node: Any + Send {
     /// behaviour.
     fn on_reset(&mut self, _ctx: &mut NodeCtx) {}
 
+    /// Flow-residency probe for the flow-level engine
+    /// ([`crate::flowsim`]): would `frame`, arriving on `port`, be
+    /// served entirely from this device's fast path (flow caches, NAT
+    /// table) without generating table misses or packet-ins?
+    ///
+    /// `None` means the device cannot answer (the default — hosts,
+    /// legacy bridges); the flowsim layer then relies on the
+    /// [`Node::quiescence`] signal alone for that hop. `Some(false)`
+    /// vetoes promotion.
+    fn flow_resident(&self, _port: PortId, _frame: &[u8]) -> Option<bool> {
+        None
+    }
+
+    /// A monotonic disturbance counter for the flow-level engine: any
+    /// event that could change how this device forwards an established
+    /// flow (table miss, packet-in, cache-epoch bump, NAT eviction,
+    /// drop, reset) must advance it. The flowsim layer promotes flows
+    /// only after this value holds still across whole windows, and
+    /// demotes them the moment it moves. `None` (the default) means the
+    /// device never disturbs converged flows (e.g. sinks).
+    fn quiescence(&self) -> Option<u64> {
+        None
+    }
+
+    /// Credit this device's throughput counters with `frames`/`bytes`
+    /// that the flow-level engine advanced analytically on its behalf.
+    /// The default ignores the credit; devices with meaningful
+    /// per-frame counters (software switches) override it.
+    fn credit_modeled(&mut self, _frames: u64, _bytes: u64) {}
+
     /// Human-readable name used in traces.
     fn name(&self) -> &str {
         "node"

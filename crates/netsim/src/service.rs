@@ -154,6 +154,15 @@ impl<T> ServiceQueue<T> {
         n
     }
 
+    /// Credit `n` items as served without passing through the queue.
+    ///
+    /// The flow-level engine calls this when a cache-resident flow's
+    /// frames are advanced analytically: the device never sees them, but
+    /// its throughput counters should read as if it had.
+    pub fn credit_modeled(&mut self, n: u64) {
+        self.completed += n;
+    }
+
     /// Items dropped because the waiting room was full.
     pub fn drops(&self) -> u64 {
         self.drops

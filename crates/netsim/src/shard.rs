@@ -281,6 +281,12 @@ pub(crate) struct Shard {
     pub trace: Option<Vec<(SimTime, String)>>,
     pub unconnected_drops: u64,
     pub events_processed: u64,
+    /// Frames actually handed to a node's `on_packet`/`on_frames` — the
+    /// packet-level delivery volume the flow-level engine compares its
+    /// modeled volume against.
+    pub delivered_frames: u64,
+    /// Bytes of those delivered frames.
+    pub delivered_bytes: u64,
     /// Frames that finished their flight into a port whose link was down
     /// on arrival. Counted at the shard (not per link direction) because
     /// the transmitting direction lives in the sender's shard.
@@ -305,6 +311,8 @@ impl Shard {
             trace: None,
             unconnected_drops: 0,
             events_processed: 0,
+            delivered_frames: 0,
+            delivered_bytes: 0,
             blackholed_in_flight: 0,
             outbox: Vec::new(),
         }
@@ -480,6 +488,8 @@ impl Shard {
             }
             frames.push((port, frame));
         }
+        self.delivered_frames += frames.len() as u64;
+        self.delivered_bytes += frames.iter().map(|(_, f)| f.len() as u64).sum::<u64>();
         if frames.len() == 1 {
             let (port, frame) = frames.pop().expect("exactly one frame");
             self.dispatch(node, env, |n, ctx| n.on_packet(port, frame, ctx));

@@ -90,9 +90,19 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, value: u64) {
-        self.buckets[Self::index(value)] += 1;
-        self.count += 1;
-        self.sum += u128::from(value);
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` identical samples in one step. Used by the flow-level
+    /// engine to credit a whole window of modeled arrivals without
+    /// looping per frame; a no-op when `n` is zero.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::index(value)] += n;
+        self.count += n;
+        self.sum += u128::from(value) * u128::from(n);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -184,6 +194,16 @@ pub struct Rollup {
     pub bytes: u64,
     /// Merged latency samples (nanoseconds).
     pub latency: Histogram,
+    /// Flows promoted from packet-level to flow-level simulation.
+    pub flows_promoted: u64,
+    /// Flows demoted back to packet-level simulation.
+    pub flows_demoted: u64,
+    /// Conservative-window rate/volume updates applied to modeled flows.
+    pub window_updates: u64,
+    /// Bytes advanced analytically while flows were cache-resident.
+    pub bytes_modeled: u64,
+    /// Bytes carried by per-frame Deliver events (packet-level).
+    pub bytes_simulated: u64,
 }
 
 impl Rollup {
@@ -204,6 +224,11 @@ impl Rollup {
         self.frames += other.frames;
         self.bytes += other.bytes;
         self.latency.merge(&other.latency);
+        self.flows_promoted += other.flows_promoted;
+        self.flows_demoted += other.flows_demoted;
+        self.window_updates += other.window_updates;
+        self.bytes_modeled += other.bytes_modeled;
+        self.bytes_simulated += other.bytes_simulated;
     }
 }
 

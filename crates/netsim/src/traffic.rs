@@ -108,6 +108,15 @@ pub enum Pattern {
         /// Mean frames per second.
         pps: f64,
     },
+    /// Pareto (heavy-tailed) inter-departure gaps with mean rate `pps`:
+    /// most gaps are short, a few are very long — the burst structure of
+    /// elephant flows. Requires `alpha > 1` so the mean exists.
+    Pareto {
+        /// Mean frames per second.
+        pps: f64,
+        /// Tail index; smaller = heavier tail. Must exceed 1.
+        alpha: f64,
+    },
 }
 
 impl Pattern {
@@ -118,13 +127,20 @@ impl Pattern {
                 let u: f64 = rng.gen_range(1e-12..1.0);
                 SimTime::from_nanos(((-u.ln()) * 1e9 / pps) as u64)
             }
+            Pattern::Pareto { pps, alpha } => {
+                // Scale chosen so the mean gap is exactly 1/pps:
+                // mean = alpha·x_m/(alpha-1).
+                let x_m = (1e9 / pps) * (alpha - 1.0) / alpha;
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                SimTime::from_nanos((x_m / u.powf(1.0 / alpha)) as u64)
+            }
         }
     }
 
     /// The configured mean rate.
     pub fn pps(&self) -> f64 {
         match *self {
-            Pattern::Cbr { pps } | Pattern::Poisson { pps } => pps,
+            Pattern::Cbr { pps } | Pattern::Poisson { pps } | Pattern::Pareto { pps, .. } => pps,
         }
     }
 }
@@ -209,6 +225,99 @@ impl Generator {
         self.sent_bytes.get()
     }
 
+    /// The configured inter-departure pattern.
+    pub fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    /// How the generator picks the flow of each frame.
+    pub fn choice(&self) -> FlowChoice {
+        self.choice
+    }
+
+    /// The configured flows.
+    pub fn flows(&self) -> &[FlowSpec] {
+        &self.flows
+    }
+
+    /// When sending begins.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// When sending stops (exclusive).
+    pub fn stop(&self) -> SimTime {
+        self.stop
+    }
+
+    /// The sequence number of the *next* frame (== frames emitted so
+    /// far, whether transmitted or credited analytically).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// A representative wire frame of flow `idx`, exactly as the
+    /// generator would emit it except for the measurement stamp (zeroed
+    /// here — it lives in the UDP payload and cannot change how any
+    /// switch classifies the frame). The flow-level engine uses these
+    /// templates to probe per-hop cache residency.
+    pub fn probe_frame(&self, idx: usize) -> Bytes {
+        let f = self.flows[idx];
+        let overhead = 14 + 20 + 8; // eth + ipv4 + udp
+        let payload_len = f.frame_len.saturating_sub(overhead).max(STAMP_LEN);
+        let payload = vec![0u8; payload_len];
+        let frame = builder::udp_packet(
+            f.src_mac, f.dst_mac, f.src_ip, f.dst_ip, f.src_port, f.dst_port, &payload,
+        );
+        match self.vlan {
+            Some(vid) => push_vlan(&frame, VlanTag::new(vid)).expect("frame is well-formed"),
+            None => frame,
+        }
+    }
+
+    /// Stop emitting without touching the schedule: a pending send timer
+    /// will fire and find `running == false`. Used by the flow-level
+    /// engine when it promotes this generator's flows; restart with
+    /// [`Generator::resume`].
+    pub fn pause(&mut self) {
+        self.running = false;
+    }
+
+    /// Resume packet-level emission after a [`Generator::pause`], with
+    /// the next frame due at its CBR slot `start + seq·gap` (strictly in
+    /// the future relative to `ctx.now()` whenever the modeled credit
+    /// stopped at the current instant). CBR only — it is the only
+    /// pattern whose departure times are reconstructible without
+    /// consuming RNG, which is what keeps pause/credit/resume invisible
+    /// to every other random stream.
+    ///
+    /// # Panics
+    /// Panics if the pattern is not [`Pattern::Cbr`].
+    pub fn resume(&mut self, ctx: &mut NodeCtx) {
+        let Pattern::Cbr { pps } = self.pattern else {
+            panic!("resume requires a CBR generator");
+        };
+        self.running = true;
+        if ctx.now() >= self.stop {
+            return;
+        }
+        let gap = (1e9 / pps) as u64;
+        let next = self.start + SimTime::from_nanos(self.seq * gap);
+        ctx.schedule(next.saturating_sub(ctx.now()), TOKEN_SEND);
+    }
+
+    /// Credit `frames` departures (totalling `bytes`) that the
+    /// flow-level engine advanced analytically: counters and round-robin
+    /// position move exactly as if the frames had been built and
+    /// transmitted.
+    pub fn credit_modeled(&mut self, frames: u64, bytes: u64) {
+        self.seq += frames;
+        self.sent.add(frames);
+        self.sent_bytes.add(bytes);
+        let n = self.flows.len();
+        self.next_flow = (self.next_flow + (frames % n as u64) as usize) % n;
+    }
+
     fn build_frame(&mut self, now: SimTime, rng: &mut rand::rngs::StdRng) -> Bytes {
         let idx = match self.choice {
             FlowChoice::RoundRobin => {
@@ -291,6 +400,8 @@ pub struct Sink {
     /// Received per UDP destination port — used by the LB experiment to
     /// count per-backend shares when multiple flows land on one sink.
     by_dst_port: std::collections::HashMap<u16, u64>,
+    /// One-way latency of the most recent stamped arrival.
+    last_latency_ns: Option<u64>,
     /// Optional SLO meter fed with every arrival (see [`Sink::with_slo`]).
     slo: Option<SloMeter>,
 }
@@ -307,6 +418,7 @@ impl Sink {
             first_rx: None,
             last_rx: None,
             by_dst_port: std::collections::HashMap::new(),
+            last_latency_ns: None,
             slo: None,
         }
     }
@@ -351,9 +463,63 @@ impl Sink {
         self.first_rx
     }
 
+    /// Time of the most recent arrival, if any (real or credited).
+    pub fn last_rx(&self) -> Option<SimTime> {
+        self.last_rx
+    }
+
+    /// Credit a window of analytically advanced arrivals: `per_port`
+    /// lists `(udp_dst_port, frames)` batches, each frame `frame_len`
+    /// bytes with one-way latency `latency_ns`, the last of them landing
+    /// at `last_arrival`. Counters, the per-port shares and the latency
+    /// histogram move exactly as if the frames had been delivered.
+    ///
+    /// # Panics
+    /// Panics if an [`SloMeter`] is attached: outage detection needs
+    /// every individual arrival time, so metered sinks must stay
+    /// packet-level.
+    pub fn credit_modeled(
+        &mut self,
+        per_port: &[(u16, u64)],
+        frame_len: u64,
+        latency_ns: u64,
+        last_arrival: SimTime,
+    ) {
+        assert!(
+            self.slo.is_none(),
+            "flow-level credit on an SLO-metered sink ({})",
+            self.name
+        );
+        let total: u64 = per_port.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return;
+        }
+        self.received.add(total);
+        self.rx_bytes.add(total * frame_len);
+        self.latency.record_n(latency_ns, total);
+        self.last_latency_ns = Some(latency_ns);
+        if self.first_rx.is_none() {
+            self.first_rx = Some(last_arrival);
+        }
+        self.last_rx = Some(self.last_rx.map_or(last_arrival, |t| t.max(last_arrival)));
+        for &(port, n) in per_port {
+            if n > 0 {
+                *self.by_dst_port.entry(port).or_insert(0) += n;
+            }
+        }
+    }
+
     /// One-way latency histogram (nanoseconds).
     pub fn latency(&self) -> &Histogram {
         &self.latency
+    }
+
+    /// One-way latency of the most recent stamped arrival, if any. A
+    /// converged CBR flow repeats this value frame after frame, which is
+    /// what lets the flow-level engine model a promoted flow's arrivals
+    /// with a single number.
+    pub fn last_latency_ns(&self) -> Option<u64> {
+        self.last_latency_ns
     }
 
     /// Mean receive rate in frames/second over the observation window.
@@ -402,6 +568,7 @@ impl Node for Sink {
             Some(stamp) => {
                 let lat = now.as_nanos().saturating_sub(stamp.sent_ns);
                 self.latency.record(lat);
+                self.last_latency_ns = Some(lat);
             }
             None => self.unstamped.inc(),
         }
@@ -422,6 +589,104 @@ impl Node for Sink {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// One aggregated traffic demand produced by a [`TrafficMatrix`]: a
+/// bundle of `n_flows` equal-rate flows from one pod to another, sharing
+/// a frame size and an aggregate rate. Fabric-agnostic — the experiment
+/// layer maps pods to stations and flows to [`FlowSpec`]s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Demand {
+    /// Pod the flows originate in.
+    pub src_pod: u16,
+    /// Pod the flows terminate in.
+    pub dst_pod: u16,
+    /// Number of distinct flows in the bundle.
+    pub n_flows: u32,
+    /// Aggregate rate of the whole bundle, frames per second.
+    pub pps: f64,
+    /// Ethernet frame length for every frame of the bundle.
+    pub frame_len: usize,
+    /// Whether the bundle was drawn from the elephant class.
+    pub elephant: bool,
+}
+
+/// A seeded, heavy-tailed traffic matrix: a small elephant class carries
+/// most of the bytes while the mice class carries most of the flows —
+/// the canonical datacenter mix. Deterministic for a given seed and
+/// shape, so experiments regenerate the same matrix on every run.
+#[derive(Debug, Clone)]
+pub struct TrafficMatrix {
+    demands: Vec<Demand>,
+}
+
+impl TrafficMatrix {
+    /// Fraction of bundles drawn from the elephant class.
+    pub const ELEPHANT_FRACTION: f64 = 0.125;
+
+    /// Generate a matrix over `n_pods` pods with `bundles_per_pod`
+    /// demands sourced in each pod, each bundling `flows_per_bundle`
+    /// flows. Destinations are drawn uniformly over the *other* pods
+    /// (self-pod demands only when there is a single pod). Elephants
+    /// (12.5% of bundles) run 2–4 frames/s per flow at 1024 B; mice run
+    /// 0.05–0.2 frames/s per flow at 128 B.
+    pub fn heavy_tailed(
+        seed: u64,
+        n_pods: u16,
+        bundles_per_pod: u16,
+        flows_per_bundle: u32,
+    ) -> TrafficMatrix {
+        use rand::SeedableRng;
+        assert!(n_pods >= 1, "need at least one pod");
+        assert!(flows_per_bundle >= 1, "need at least one flow per bundle");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x7261_6666_6963_6d78);
+        let mut demands = Vec::new();
+        for src in 0..n_pods {
+            for _ in 0..bundles_per_pod {
+                let dst = if n_pods == 1 {
+                    0
+                } else {
+                    // Uniform over the other pods.
+                    let d = rng.gen_range(0..n_pods - 1);
+                    if d >= src {
+                        d + 1
+                    } else {
+                        d
+                    }
+                };
+                let elephant = rng.gen_bool(Self::ELEPHANT_FRACTION);
+                let per_flow = if elephant {
+                    rng.gen_range(2.0..4.0)
+                } else {
+                    rng.gen_range(0.05..0.2)
+                };
+                demands.push(Demand {
+                    src_pod: src,
+                    dst_pod: dst,
+                    n_flows: flows_per_bundle,
+                    pps: per_flow * f64::from(flows_per_bundle),
+                    frame_len: if elephant { 1024 } else { 128 },
+                    elephant,
+                });
+            }
+        }
+        TrafficMatrix { demands }
+    }
+
+    /// The generated demands, in (source pod, draw order).
+    pub fn demands(&self) -> &[Demand] {
+        &self.demands
+    }
+
+    /// Total flows across all demands.
+    pub fn total_flows(&self) -> u64 {
+        self.demands.iter().map(|d| u64::from(d.n_flows)).sum()
+    }
+
+    /// Total offered rate in frames per second.
+    pub fn total_pps(&self) -> f64 {
+        self.demands.iter().map(|d| d.pps).sum()
     }
 }
 

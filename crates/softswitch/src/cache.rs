@@ -87,6 +87,15 @@ impl MicroflowCache {
         self.map.insert(key, path);
     }
 
+    /// Non-mutating residency probe: would `key` hit at `epoch` right
+    /// now? Unlike [`MicroflowCache::lookup`] this neither flushes a
+    /// stale cache (a stale epoch simply answers `false`) nor moves the
+    /// hit/miss counters — the flow-level engine polls it without
+    /// disturbing the statistics the promotion decision itself reads.
+    pub fn contains(&self, key: &FlowKey, epoch: u64) -> bool {
+        self.epoch == epoch && self.map.contains_key(key)
+    }
+
     /// Entries currently cached.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -187,6 +196,17 @@ impl MegaflowCache {
         if group.insert(masked, path).is_none() {
             self.len += 1;
         }
+    }
+
+    /// Non-mutating residency probe: would `key` hit at `epoch` right
+    /// now? Stale epochs answer `false` without flushing; no counters
+    /// move (see [`MicroflowCache::contains`]).
+    pub fn contains(&self, key: &FlowKey, epoch: u64) -> bool {
+        self.epoch == epoch
+            && self
+                .groups
+                .iter()
+                .any(|(mask, map)| map.contains_key(&key.masked(mask)))
     }
 
     /// Total cached entries.

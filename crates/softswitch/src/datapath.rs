@@ -336,6 +336,14 @@ impl Datapath {
         self.batch_memo_hits
     }
 
+    /// Credit `frames` packets that the flow-level engine advanced
+    /// analytically: the throughput counter moves as if the pipeline had
+    /// processed them, without touching tables, caches or statistics
+    /// that feed the quiescence signal.
+    pub fn credit_modeled(&mut self, frames: u64) {
+        self.packets_processed += frames;
+    }
+
     /// Give the datapath a router identity: the interface address and
     /// MAC it answers ICMP time-exceeded from when a `DecNwTtl` expires
     /// a packet. Without one, expired packets drop silently.
@@ -454,6 +462,52 @@ impl Datapath {
     /// Megaflow cache stats accessor.
     pub fn mega_cache(&self) -> &MegaflowCache {
         &self.mega
+    }
+
+    /// Flow-residency probe for the hybrid flow-level engine: would
+    /// `frame`, arriving on `in_port`, be served entirely from this
+    /// datapath's caches right now? Purely observational — no counters
+    /// move, no cache is flushed, no slow-path walk happens.
+    ///
+    /// Returns `None` when the pipeline mode has no cache to consult
+    /// (pure linear/TSS switches forward deterministically from their
+    /// tables, so residency is not a meaningful signal there) and
+    /// `Some(false)` for frames no [`FlowKey`] can be extracted from.
+    pub fn flow_resident(&self, in_port: u32, frame: &[u8]) -> Option<bool> {
+        if !self.config.mode.microflow && !self.config.mode.megaflow {
+            return None;
+        }
+        let Ok(key) = FlowKey::extract(in_port, frame) else {
+            return Some(false);
+        };
+        let in_micro = self.config.mode.microflow && self.micro.contains(&key, self.epoch);
+        let in_mega = self.config.mode.megaflow && self.mega.contains(&key, self.epoch);
+        Some(in_micro || in_mega)
+    }
+
+    /// Monotonic disturbance counter for the hybrid flow-level engine:
+    /// moves whenever something happens that could change how an
+    /// established flow is forwarded. Folds together the mutation epoch
+    /// (table/group/meter mods, NAT sweeps, resets), slow-path entries
+    /// (cache misses of the outermost cache layer), NAT drops and TTL
+    /// expiries. Cache *hits* and steady-state forwarding leave it
+    /// still.
+    ///
+    /// The outermost cache layer is the megaflow cache when present:
+    /// its misses are exactly the slow-path walks. Microflow misses are
+    /// deliberately excluded in that configuration — a busy switch
+    /// overflows the exact-match cache with emergency flushes forever
+    /// (every post-flush refill is a micro miss served by the megaflow
+    /// layer), which would keep a perfectly converged fabric "noisy".
+    pub fn quiescence(&self) -> u64 {
+        let slow_path = if self.config.mode.megaflow {
+            self.mega.misses()
+        } else if self.config.mode.microflow {
+            self.micro.misses()
+        } else {
+            0
+        };
+        self.epoch + slow_path + self.nat_dropped_total + self.ttl_expired_total
     }
 
     /// Apply a flow-mod; returns entries removed by delete commands (for

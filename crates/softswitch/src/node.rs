@@ -76,6 +76,7 @@ pub struct SoftSwitchNode {
     in_service: Vec<Option<Finished>>,
     batch_size: usize,
     rx_dropped: u64,
+    packet_ins_sent: u64,
     /// Bumped by every reset; stale service-completion timers carry the
     /// old generation and are ignored.
     svc_gen: u64,
@@ -106,6 +107,7 @@ impl SoftSwitchNode {
             in_service: (0..cores).map(|_| None).collect(),
             batch_size: DEFAULT_BATCH_SIZE,
             rx_dropped: 0,
+            packet_ins_sent: 0,
             svc_gen: 0,
             resets: 0,
         }
@@ -159,6 +161,13 @@ impl SoftSwitchNode {
         self.rx_dropped
     }
 
+    /// Packet-in messages sent to the controller so far. Part of the
+    /// quiescence signal: in cache-less pipeline modes it is the only
+    /// per-frame evidence of an unconverged flow.
+    pub fn packet_ins_sent(&self) -> u64 {
+        self.packet_ins_sent
+    }
+
     /// The cost model in use.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
@@ -198,6 +207,7 @@ impl SoftSwitchNode {
             if let Some(controller) = self.controller {
                 for (reason, in_port, data) in r.packet_ins {
                     let msg = self.agent.packet_in(reason, in_port, &data);
+                    self.packet_ins_sent += 1;
                     ctx.ctrl_send(controller, msg);
                 }
             }
@@ -329,6 +339,23 @@ impl Node for SoftSwitchNode {
         for (port, frame) in out.transmits {
             ctx.transmit(PortId(port as u16), frame);
         }
+    }
+
+    fn flow_resident(&self, port: PortId, frame: &[u8]) -> Option<bool> {
+        self.dp.flow_resident(u32::from(port.0), frame)
+    }
+
+    fn quiescence(&self) -> Option<u64> {
+        // Datapath disturbances (epoch, slow-path entries, NAT drops,
+        // TTL expiries) plus node-level ones: RX tail drops, power
+        // cycles, and packet-ins — the latter being the only per-frame
+        // convergence evidence in cache-less pipeline modes.
+        Some(self.dp.quiescence() + self.rx_dropped + self.resets + self.packet_ins_sent)
+    }
+
+    fn credit_modeled(&mut self, frames: u64, _bytes: u64) {
+        self.sq.credit_modeled(frames);
+        self.dp.credit_modeled(frames);
     }
 
     fn name(&self) -> &str {

@@ -10,9 +10,15 @@
 //!
 //! Differences from real proptest, by design of the stub:
 //!
-//! * **No shrinking.** A failing case panics with the assertion message;
-//!   inputs are reported unshrunk via the per-arg `Debug` printing of the
-//!   assertion macros.
+//! * **Greedy shrinking.** On failure the driver asks each strategy for
+//!   simpler candidates ([`strategy::Strategy::shrink`]) and descends
+//!   while the failure reproduces, then panics with the assertion
+//!   message of the *minimal* case found. Integer ranges bisect toward
+//!   their lower bound, `any` integers toward zero, tuples shrink
+//!   component-wise and `collection::vec` drops elements before
+//!   shrinking them; `prop_map` outputs do not shrink (the map is not
+//!   invertible). Unlike real proptest there is no lazy value tree —
+//!   the search is bounded (256 candidate evaluations) and greedy.
 //! * **Deterministic.** The RNG seed is derived from the test name, so
 //!   runs are reproducible without a persistence file.
 //!
@@ -34,6 +40,13 @@ pub mod arbitrary {
     pub trait Arbitrary: Sized {
         /// Generates one value of the type.
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Simpler candidates for a failing `value` (see
+        /// [`Strategy::shrink`]); the default proposes nothing.
+        fn shrink_value(value: &Self) -> Vec<Self> {
+            let _ = value;
+            Vec::new()
+        }
     }
 
     /// Strategy returned by [`any`].
@@ -54,6 +67,9 @@ pub mod arbitrary {
         fn new_value(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::shrink_value(value)
+        }
     }
 
     macro_rules! arb_int {
@@ -62,11 +78,42 @@ pub mod arbitrary {
                 fn arbitrary(rng: &mut TestRng) -> Self {
                     rng.inner().gen::<$ty>()
                 }
+                fn shrink_value(value: &Self) -> Vec<Self> {
+                    // Toward zero: zero itself, the halfway point, and
+                    // one step closer (negative values step upward).
+                    let v = *value;
+                    let mut out = Vec::new();
+                    if v != 0 {
+                        out.push(0);
+                        let mid = v / 2;
+                        if mid != 0 && mid != v {
+                            out.push(mid);
+                        }
+                        let step = if v > 0 { v - 1 } else { v + 1 };
+                        if step != 0 && step != mid {
+                            out.push(step);
+                        }
+                    }
+                    out
+                }
             }
         )*};
     }
 
-    arb_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool);
+    arb_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.inner().gen::<bool>()
+        }
+        fn shrink_value(value: &Self) -> Vec<Self> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
+    }
 
     impl Arbitrary for i128 {
         fn arbitrary(rng: &mut TestRng) -> Self {
@@ -97,6 +144,14 @@ pub mod arbitrary {
                 None
             } else {
                 Some(T::arbitrary(rng))
+            }
+        }
+        fn shrink_value(value: &Self) -> Vec<Self> {
+            match value {
+                None => Vec::new(),
+                Some(inner) => std::iter::once(None)
+                    .chain(T::shrink_value(inner).into_iter().map(Some))
+                    .collect(),
             }
         }
     }
@@ -141,11 +196,41 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = rng.inner().gen_range(self.len.clone());
             (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.len.start;
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            // Structural first: halve toward the minimum length, then
+            // drop single elements, then shrink elements in place.
+            if value.len() > min {
+                let half = min + (value.len() - min) / 2;
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..value.len() {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    if v.len() >= min {
+                        out.push(v);
+                    }
+                }
+            }
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.element.shrink(elem) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -329,35 +414,20 @@ macro_rules! proptest {
     )*) => {$(
         $(#[$meta])*
         fn $name() {
-            let config: $crate::test_runner::Config = $cfg;
-            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
-            let mut accepted: u32 = 0;
-            let mut rejected: u32 = 0;
-            while accepted < config.cases {
-                $(let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);)*
-                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (|| { $body ::std::result::Result::Ok(()) })();
-                match outcome {
-                    ::std::result::Result::Ok(()) => accepted += 1,
-                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
-                        rejected += 1;
-                        assert!(
-                            rejected < 65_536,
-                            "{}: too many prop_assume rejections ({} accepted so far)",
-                            stringify!($name),
-                            accepted,
-                        );
-                    }
-                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
-                        panic!(
-                            "proptest `{}` failed after {} passing case(s): {}",
-                            stringify!($name),
-                            accepted,
-                            msg,
-                        );
-                    }
-                }
-            }
+            // All argument strategies combine into one tuple strategy so
+            // the shrink loop in `run_proptest` can treat the whole case
+            // as a single value. The tuple draws components in
+            // declaration order, matching the per-argument draws the
+            // pre-shrinking driver performed.
+            $crate::test_runner::run_proptest(
+                stringify!($name),
+                $cfg,
+                ($(($strategy),)*),
+                |vals| {
+                    let ($($arg,)*) = ::std::clone::Clone::clone(vals);
+                    (|| { $body ::std::result::Result::Ok(()) })()
+                },
+            );
         }
     )*};
     ($($rest:tt)*) => {

@@ -6,14 +6,26 @@ use std::ops::{Range, RangeInclusive};
 
 /// A recipe for generating values of `Self::Value`.
 ///
-/// Unlike real proptest there is no shrinking: a strategy is just a
-/// deterministic function of the RNG stream.
+/// Unlike real proptest, shrinking is a single optional hook rather
+/// than a lazy value tree: [`Strategy::shrink`] proposes strictly
+/// "smaller" candidates for a failing value and the [`crate::proptest!`]
+/// driver greedily descends while the failure reproduces. Strategies
+/// that do not override it simply never shrink.
 pub trait Strategy {
     /// The type of value this strategy generates.
     type Value;
 
     /// Generates one value.
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates derived from a failing `value`,
+    /// ordered most-aggressive first. Every candidate must be strictly
+    /// "smaller" under some well-founded measure, so the driver's
+    /// greedy descent terminates. The default proposes nothing.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -64,12 +76,18 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     fn new_value(&self, rng: &mut TestRng) -> Self::Value {
         (**self).new_value(rng)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn new_value(&self, rng: &mut TestRng) -> Self::Value {
         (**self).new_value(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -125,6 +143,14 @@ where
         }
         panic!("prop_filter gave up after 1000 rejections: {}", self.whence);
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // Source candidates survive only if they still satisfy the filter.
+        self.source
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.f)(v))
+            .collect()
+    }
 }
 
 /// Uniform choice between type-erased strategies ([`crate::prop_oneof!`]).
@@ -148,6 +174,27 @@ impl<T> Strategy for Union<T> {
     }
 }
 
+/// Shrink candidates for an integer failing at `v` with range start
+/// `lo`: the start itself, the midpoint and the predecessor — greedy
+/// bisection toward the smallest value the range admits.
+macro_rules! int_shrink {
+    ($v:expr, $lo:expr) => {{
+        let (v, lo) = ($v, $lo);
+        let mut out = Vec::new();
+        if v != lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2;
+            if mid != lo && mid != v {
+                out.push(mid);
+            }
+            if v - 1 != lo && v - 1 != mid {
+                out.push(v - 1);
+            }
+        }
+        out
+    }};
+}
+
 macro_rules! range_strategy {
     ($($ty:ty),*) => {$(
         impl Strategy for Range<$ty> {
@@ -155,11 +202,17 @@ macro_rules! range_strategy {
             fn new_value(&self, rng: &mut TestRng) -> $ty {
                 rng.inner().gen_range(self.clone())
             }
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                int_shrink!(*value, self.start)
+            }
         }
         impl Strategy for RangeInclusive<$ty> {
             type Value = $ty;
             fn new_value(&self, rng: &mut TestRng) -> $ty {
                 rng.inner().gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                int_shrink!(*value, *self.start())
             }
         }
     )*};
@@ -181,12 +234,35 @@ impl Strategy for &'static str {
     }
 }
 
+/// The empty strategy tuple generates the unit value; the
+/// [`crate::proptest!`] driver uses it for zero-argument properties.
+impl Strategy for () {
+    type Value = ();
+    fn new_value(&self, _rng: &mut TestRng) {}
+}
+
 macro_rules! tuple_strategy {
     ($($name:ident => $idx:tt),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             fn new_value(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.new_value(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: each candidate shrinks exactly one
+                // position, cloning the rest of the failing tuple.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
@@ -198,3 +274,66 @@ tuple_strategy!(A => 0, B => 1, C => 2);
 tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
 tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
 tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8, J => 9);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8, J => 9, K => 10);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8, J => 9, K => 10, L => 11);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{Config, TestCaseError};
+
+    #[test]
+    fn range_shrink_bisects_toward_start() {
+        let s = 10u32..100;
+        let cands = s.shrink(&57);
+        assert!(cands.contains(&10), "start is always the first candidate");
+        assert!(cands.iter().all(|&c| (10..57).contains(&c)));
+        assert!(s.shrink(&10).is_empty(), "the start value cannot shrink");
+    }
+
+    #[test]
+    fn tuple_shrink_changes_one_component_per_candidate() {
+        let s = (0u8..=20, 0u8..=20);
+        let failing = (8u8, 13u8);
+        for cand in s.shrink(&failing) {
+            let moved = usize::from(cand.0 != failing.0) + usize::from(cand.1 != failing.1);
+            assert_eq!(moved, 1, "candidate {cand:?} must shrink exactly one slot");
+        }
+    }
+
+    #[test]
+    fn filter_shrink_keeps_only_passing_candidates() {
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        assert!(s.shrink(&88).iter().all(|v| v % 2 == 0));
+    }
+
+    #[test]
+    fn driver_shrinks_to_minimal_failing_input() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::test_runner::run_proptest(
+                "driver_shrinks_to_minimal_failing_input",
+                Config::with_cases(64),
+                0u32..1000,
+                |v| {
+                    if *v >= 37 {
+                        Err(TestCaseError::fail(format!("v={v}")))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        })
+        .expect_err("a failing property must panic");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("panic payload is the formatted message");
+        assert!(
+            msg.contains("v=37") && msg.contains("shrink step"),
+            "greedy descent should reach the boundary value: {msg}"
+        );
+    }
+}

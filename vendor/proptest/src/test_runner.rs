@@ -67,3 +67,80 @@ impl TestCaseError {
         TestCaseError::Fail(msg)
     }
 }
+
+/// Drives one `proptest!`-defined test: draws cases from `strat` until
+/// `config.cases` pass, and on the first failure greedily shrinks the
+/// failing tuple before panicking.
+///
+/// Lives here (rather than expanded inline by the macro) so the case
+/// closure's parameter type is pinned to `S::Value` — the test bodies
+/// themselves give the compiler no way to infer it.
+///
+/// Shrinking is greedy and bounded: the first candidate from
+/// [`crate::strategy::Strategy::shrink`] that still fails becomes the
+/// new best value, and
+/// at most 256 candidates are ever evaluated. Candidates that pass or
+/// are rejected by `prop_assume!` simply don't reproduce the failure.
+pub fn run_proptest<S, F>(name: &str, config: Config, strat: S, run: F)
+where
+    S: crate::strategy::Strategy,
+    S::Value: Clone,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::for_test(name);
+    let mut accepted: u32 = 0;
+    let mut rejected: u32 = 0;
+    while accepted < config.cases {
+        let vals = strat.new_value(&mut rng);
+        match run(&vals) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < 65_536,
+                    "{}: too many prop_assume rejections ({} accepted so far)",
+                    name,
+                    accepted,
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                let mut best_vals = vals;
+                let mut best_msg = msg;
+                let mut evals: u32 = 0;
+                let mut steps: u32 = 0;
+                'shrink: loop {
+                    let mut advanced = false;
+                    for cand in strat.shrink(&best_vals) {
+                        if evals >= 256 {
+                            break 'shrink;
+                        }
+                        evals += 1;
+                        if let Err(TestCaseError::Fail(m)) = run(&cand) {
+                            best_vals = cand;
+                            best_msg = m;
+                            steps += 1;
+                            advanced = true;
+                            break;
+                        }
+                    }
+                    if !advanced {
+                        break;
+                    }
+                }
+                // `best_vals` itself is only consulted through the shrink
+                // loop; the minimal case speaks through its message.
+                let _ = &best_vals;
+                if steps == 0 {
+                    panic!(
+                        "proptest `{}` failed after {} passing case(s): {}",
+                        name, accepted, best_msg,
+                    );
+                }
+                panic!(
+                    "proptest `{}` failed after {} passing case(s) ({} shrink step(s)): {}",
+                    name, accepted, steps, best_msg,
+                );
+            }
+        }
+    }
+}
