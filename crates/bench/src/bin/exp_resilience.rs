@@ -19,7 +19,9 @@ use harmless::fabric::{Fabric, FabricSpec, Interconnect};
 use harmless::instance::HarmlessSpec;
 use harmless::manager::{HarmlessManager, ManagerConfig};
 use netsim::traffic::{FlowSpec, Generator, Pattern, Sink};
-use netsim::{FaultPlan, Network, NodeId, PortId, SimTime};
+use netsim::{CtrlProfile, CtrlStats, FaultPlan, Network, NodeId, PortId, SimTime};
+use openflow::ControllerRole;
+use softswitch::{FailMode, SoftSwitchNode};
 
 const PODS: usize = 4;
 const ACCESS_PORTS: u16 = 4;
@@ -62,14 +64,24 @@ struct Harness {
 }
 
 fn build(seed: u64, traffic_stop: SimTime) -> Harness {
+    build_with(seed, traffic_stop, true)
+}
+
+/// Like [`build`], but `proxy: false` makes the fabric purely reactive
+/// (LearningSwitch only, no proactive routes): with silent sinks every
+/// data frame then rides the controller's flood path, which is what
+/// makes the fail-standalone vs fail-secure contrast observable.
+fn build_with(seed: u64, traffic_stop: SimTime, proxy: bool) -> Harness {
     let mut net = Network::new(seed);
-    let ctrl = net.add_node(ControllerNode::new(
-        "ctrl",
-        vec![Box::new(ArpProxy::new()), Box::new(LearningSwitch::new())],
-    ));
+    let apps: Vec<Box<dyn controller::App>> = if proxy {
+        vec![Box::new(ArpProxy::new()), Box::new(LearningSwitch::new())]
+    } else {
+        vec![Box::new(LearningSwitch::new())]
+    };
+    let ctrl = net.add_node(ControllerNode::new("ctrl", apps));
     let mut fx = FabricSpec::new(PODS as u16, HarmlessSpec::new(ACCESS_PORTS))
         .with_interconnect(Interconnect::SpineSoft)
-        .with_arp_proxy(true)
+        .with_arp_proxy(proxy)
         .build(&mut net)
         .expect("valid fabric spec");
     for p in 0..PODS {
@@ -211,6 +223,178 @@ fn migration_waves(window: SimTime) -> Report {
     report(&mut hx, "migration-waves")
 }
 
+// ---------------------------------------------------------------------------
+// E9 — control-plane resilience: the fault sits on the controller or its
+// channel, never in the data path. Disruption shows up only where the
+// slow path matters, and the control-plane counters tell the rest.
+
+/// Control-plane side of an E9 scenario, rendered next to the per-flow
+/// SLO rows.
+struct CtrlSide {
+    plan: &'static str,
+    /// Channel impairments plus the controllers' recovery resends
+    /// folded into `retransmitted` (the rollup convention).
+    ctrl: CtrlStats,
+    switch_deaths: u64,
+    failovers: u64,
+    promotions: u64,
+    standalone_frames: u64,
+    secure_dropped: u64,
+    /// Converged rule set identical to the fault-free twin run.
+    rules_match: Option<bool>,
+}
+
+/// Resilience knobs shared by the E9 scenarios: 50 ms probes, dead
+/// after 2 unanswered, redial after 50–200 ms backoff.
+fn tune_switches(hx: &mut Harness, mode: FailMode) {
+    hx.fx.for_each_softswitch(&mut hx.net, |sw| {
+        sw.set_keepalive(SimTime::from_millis(50), 2);
+        sw.set_backoff(SimTime::from_millis(50), SimTime::from_millis(200));
+        sw.set_fail_mode(mode);
+    });
+}
+
+/// Canonical `(priority, match, instructions)` rule set of every
+/// software datapath, for fault-free-twin comparison.
+fn rule_fingerprint(hx: &Harness) -> Vec<Vec<String>> {
+    let mut switches: Vec<NodeId> = (0..PODS).map(|p| hx.fx.pod(p).ss2).collect();
+    switches.push(hx.fx.spine().expect("soft spine").node());
+    switches
+        .iter()
+        .map(|&n| {
+            let mut v: Vec<String> = hx
+                .net
+                .node_ref::<SoftSwitchNode>(n)
+                .datapath()
+                .table(0)
+                .expect("table 0")
+                .entries()
+                .iter()
+                .map(|e| format!("{}|{:?}|{:?}", e.priority, e.match_, e.instructions))
+                .collect();
+            v.sort();
+            v
+        })
+        .collect()
+}
+
+fn ctrl_side(hx: &mut Harness, plan: &'static str, ctrls: &[NodeId]) -> CtrlSide {
+    let mut ctrl = hx.net.ctrl_stats();
+    let (mut switch_deaths, mut promotions) = (0, 0);
+    for &c in ctrls {
+        let n = hx.net.node_ref::<ControllerNode>(c);
+        ctrl.retransmitted += n.retransmits();
+        switch_deaths += n.switch_deaths();
+        promotions += n.promotions();
+    }
+    let (mut failovers, mut standalone, mut secure) = (0, 0, 0);
+    hx.fx.for_each_softswitch(&mut hx.net, |sw| {
+        failovers += sw.failovers();
+        standalone += sw.standalone_frames();
+        secure += sw.secure_dropped();
+    });
+    CtrlSide {
+        plan,
+        ctrl,
+        switch_deaths,
+        failovers,
+        promotions,
+        standalone_frames: standalone,
+        secure_dropped: secure,
+        rules_match: None,
+    }
+}
+
+/// E9a — crash the master with a warm-standby backup registered (or,
+/// with `crash: false`, the fault-free twin the crashed run is
+/// compared against).
+fn ctrl_failover(window: SimTime, crash: bool) -> (Report, CtrlSide, Vec<Vec<String>>) {
+    let stop = window - SimTime::from_millis(400);
+    let mut hx = build(7, stop);
+    hx.fx.configure_direct(&mut hx.net);
+    let primary = hx.ctrl;
+    hx.net
+        .node_mut::<ControllerNode>(primary)
+        .set_role(ControllerRole::Master, 1);
+    let backup = hx.net.add_node(
+        ControllerNode::new(
+            "backup",
+            vec![Box::new(ArpProxy::new()), Box::new(LearningSwitch::new())],
+        )
+        .with_role(ControllerRole::Slave, 2),
+    );
+    hx.fx.connect_controller(&mut hx.net, primary);
+    hx.fx.connect_backup_controller(&mut hx.net, backup);
+    tune_switches(&mut hx, FailMode::Secure);
+    attach_stations(&mut hx);
+    if crash {
+        hx.net
+            .apply_faults(&FaultPlan::new().ctrl_down(FAULT_AT, primary));
+    }
+    hx.net.run_until(window);
+    let plan = if crash {
+        "ctrl-crash+backup"
+    } else {
+        "ctrl-baseline"
+    };
+    let rep = report(&mut hx, plan);
+    let side = ctrl_side(&mut hx, plan, &[primary, backup]);
+    let rules = rule_fingerprint(&hx);
+    (rep, side, rules)
+}
+
+/// E9b — crash the only controller and contrast the two fail modes on
+/// a purely reactive fabric whose sinks never speak: every data frame
+/// rides the controller's flood path, so the slow path *is* the
+/// service. Fail-standalone keeps forwarding with local flood
+/// fallback; fail-secure goes dark by design.
+fn ctrl_crash_no_backup(window: SimTime, mode: FailMode, plan: &'static str) -> (Report, CtrlSide) {
+    let stop = window - SimTime::from_millis(400);
+    let mut hx = build_with(7, stop, false);
+    hx.fx.configure_direct(&mut hx.net);
+    let ctrl = hx.ctrl;
+    hx.fx.connect_controller(&mut hx.net, ctrl);
+    tune_switches(&mut hx, mode);
+    attach_stations(&mut hx);
+    hx.net
+        .apply_faults(&FaultPlan::new().ctrl_down(FAULT_AT, ctrl));
+    hx.net.run_until(window);
+    let rep = report(&mut hx, plan);
+    let side = ctrl_side(&mut hx, plan, &[ctrl]);
+    (rep, side)
+}
+
+/// E9c — an impaired control channel from t = 0. The barrier
+/// fate-sharing resync must converge every rule table to the exact
+/// fault-free set, and the whole run must be bit-identical for any
+/// thread count.
+fn ctrl_lossy(
+    window: SimTime,
+    profile: CtrlProfile,
+    threads: Option<usize>,
+    plan: &'static str,
+) -> (Report, CtrlSide, Vec<Vec<String>>, u64) {
+    let stop = window - SimTime::from_millis(400);
+    let mut hx = build(7, stop);
+    hx.fx.configure_direct(&mut hx.net);
+    let ctrl = hx.ctrl;
+    hx.fx.connect_controller(&mut hx.net, ctrl);
+    tune_switches(&mut hx, FailMode::Secure);
+    attach_stations(&mut hx);
+    hx.net.set_ctrl_profile(profile);
+    if let Some(t) = threads {
+        let map = hx.fx.shard_map();
+        hx.net.set_shards(&map);
+        hx.net.set_threads(t);
+    }
+    hx.net.run_until(window);
+    let rep = report(&mut hx, plan);
+    let side = ctrl_side(&mut hx, plan, &[ctrl]);
+    let rules = rule_fingerprint(&hx);
+    let events = hx.net.events_processed();
+    (rep, side, rules, events)
+}
+
 fn fmt_ms(ns: u64) -> String {
     format!("{:.1}ms", ns as f64 / 1e6)
 }
@@ -251,6 +435,101 @@ fn main() {
     } else {
         SimTime::from_secs(8)
     }));
+
+    // E9a: master crash with a warm standby — bounded downtime, zero
+    // stale rules, and (proactive routes) zero lost frames.
+    let mut sides: Vec<CtrlSide> = Vec::new();
+    {
+        let (base_rep, _, base_rules) = ctrl_failover(win, false);
+        let (rep, mut side, rules) = ctrl_failover(win, true);
+        side.rules_match = Some(rules == base_rules);
+        assert_eq!(
+            side.failovers,
+            PODS as u64 + 1,
+            "every SS_2 and the soft spine failed over exactly once"
+        );
+        assert!(side.promotions >= 1, "the backup self-promoted to master");
+        assert_eq!(
+            side.rules_match,
+            Some(true),
+            "fail-over must leave the exact fault-free rule set"
+        );
+        for (f, b) in rep.flows.iter().zip(&base_rep.flows) {
+            assert_eq!(
+                f.received, b.received,
+                "ctrl-crash+backup: flow 0->{} lost frames through the outage",
+                f.dst_pod
+            );
+        }
+        reports.push(rep);
+        sides.push(side);
+    }
+
+    // E9b: crash with no backup — the fail-mode contrast (full runs
+    // only; the flood-path fabric is the slowest scenario here).
+    if !quick {
+        let (rep_a, side_a) =
+            ctrl_crash_no_backup(win, FailMode::Standalone, "ctrl-crash-standalone");
+        assert!(
+            side_a.standalone_frames > 0,
+            "fail-standalone served misses via local flood fallback"
+        );
+        assert!(side_a.switch_deaths == 0 || side_a.failovers == 0);
+        reports.push(rep_a);
+        sides.push(side_a);
+
+        let (rep_s, side_s) = ctrl_crash_no_backup(win, FailMode::Secure, "ctrl-crash-secure");
+        assert!(
+            side_s.secure_dropped > 0,
+            "fail-secure dropped slow-path misses"
+        );
+        for f in &rep_s.flows {
+            assert!(
+                f.downtime_ns > SimTime::from_millis(1500).as_nanos(),
+                "ctrl-crash-secure: flow 0->{} must stay dark without a controller",
+                f.dst_pod
+            );
+        }
+        reports.push(rep_s);
+        sides.push(side_s);
+    }
+
+    // E9c: 10% drop + dup + reorder on the control channel. The run
+    // must converge to the fault-free rule set and be bit-identical
+    // for every thread count.
+    {
+        let profile = CtrlProfile::lossy(0.10)
+            .with_dup(0.02)
+            .with_reorder(0.05, SimTime::from_micros(200));
+        let (_, _, base_rules, _) =
+            ctrl_lossy(win, CtrlProfile::lossless(), None, "ctrl-lossless-baseline");
+        let (rep, mut side, rules, events) = ctrl_lossy(win, profile, Some(1), "ctrl-lossy-10pct");
+        side.rules_match = Some(rules == base_rules);
+        assert_eq!(
+            side.rules_match,
+            Some(true),
+            "lossy channel must converge to the fault-free rule set"
+        );
+        assert!(side.ctrl.dropped > 0, "the profile dropped messages");
+        assert!(
+            side.ctrl.retransmitted > 0,
+            "the resync layer re-sent unacked state"
+        );
+        let thread_counts: &[usize] = if quick { &[2] } else { &[2, 4] };
+        for &t in thread_counts {
+            let (rep_t, side_t, rules_t, ev_t) =
+                ctrl_lossy(win, profile, Some(t), "ctrl-lossy-10pct");
+            let rx: Vec<u64> = rep.flows.iter().map(|f| f.received).collect();
+            let rx_t: Vec<u64> = rep_t.flows.iter().map(|f| f.received).collect();
+            assert_eq!(
+                (rx_t, rep_t.blackholed, ev_t, side_t.ctrl.dropped, rules_t),
+                (rx, rep.blackholed, events, side.ctrl.dropped, rules.clone()),
+                "lossy run must be bit-identical with {t} threads"
+            );
+        }
+        reports.push(rep);
+        sides.push(side);
+    }
 
     let mut rows = Vec::new();
     for r in &reports {
@@ -305,7 +584,11 @@ fn main() {
                 r.plan,
                 f.dst_pod
             );
-            if r.plan != "legacy-reboot" {
+            // Two plans stay dark by design: an unmanaged legacy reboot
+            // (config gone, nobody re-pushes it) and a secure-mode
+            // controller crash (misses dropped until a controller
+            // returns).
+            if r.plan != "legacy-reboot" && r.plan != "ctrl-crash-secure" {
                 let still_dark = f.reconverged_ns.is_some_and(|at| at >= r.stop.as_nanos());
                 assert!(
                     !still_dark,
@@ -323,6 +606,48 @@ fn main() {
         );
     }
 
+    let ctrl_rows: Vec<Vec<String>> = sides
+        .iter()
+        .map(|s| {
+            vec![
+                s.plan.to_string(),
+                s.ctrl.sent.to_string(),
+                s.ctrl.dropped.to_string(),
+                s.ctrl.duplicated.to_string(),
+                s.ctrl.reordered.to_string(),
+                s.ctrl.retransmitted.to_string(),
+                s.switch_deaths.to_string(),
+                s.failovers.to_string(),
+                s.promotions.to_string(),
+                s.standalone_frames.to_string(),
+                s.secure_dropped.to_string(),
+                s.rules_match
+                    .map_or("-".into(), |b| if b { "yes".into() } else { "NO".into() }),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "E9: control-plane resilience",
+            &[
+                "plan",
+                "ctrl-sent",
+                "dropped",
+                "dup",
+                "reorder",
+                "retx",
+                "sw-deaths",
+                "failovers",
+                "promoted",
+                "standalone-fwd",
+                "secure-drop",
+                "rules=base"
+            ],
+            &ctrl_rows,
+        )
+    );
+
     println!(
         "Reading: a 100 ms uplink flap costs exactly the flap — routes\n\
          are proactive, so there is nothing to relearn, and the frames\n\
@@ -334,6 +659,19 @@ fn main() {
          management plane notices sysUpTime went backwards and re-pushes\n\
          the plan — without a manager it never recovers. The migration\n\
          rows time service establishment per pod (first-rx) as SDN\n\
-         control arrives in waves."
+         control arrives in waves.\n\
+         \n\
+         E9: a master crash with a warm standby costs the data plane\n\
+         nothing — proactive routes keep forwarding while keepalives\n\
+         detect the death, every switch redials the backup, and the\n\
+         backup self-promotes and rebuilds the exact fault-free rule\n\
+         set (rules=base). Without a backup the fail mode decides the\n\
+         outcome on slow-path traffic: fail-standalone floods misses\n\
+         locally (standalone-fwd) and service resumes after the\n\
+         detection window; fail-secure drops them (secure-drop) and\n\
+         stays dark by design. On a 10% drop + dup + reorder channel\n\
+         the barrier fate-sharing resync retransmits unacked state\n\
+         (retx) until the tables converge to the lossless rule set —\n\
+         bit-identical for 1, 2 and 4 worker threads."
     );
 }

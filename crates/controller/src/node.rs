@@ -6,7 +6,9 @@ use std::collections::HashMap;
 
 use netpkt::FlowKey;
 use netsim::{Node, NodeCtx, NodeId, PortId};
-use openflow::message::{decode_stream, FlowMod, Message, MultipartReq, PortDesc, Xid};
+use openflow::message::{
+    decode_stream, ControllerRole, FlowMod, Message, MultipartReq, PortDesc, Xid,
+};
 use openflow::oxm::OxmField;
 use openflow::{Action, NO_BUFFER};
 
@@ -50,6 +52,35 @@ pub struct SwitchState {
     /// True once features + port-desc completed.
     pub ready: bool,
     rx: BytesMut,
+    /// Keepalive probes sent to this switch, awaiting their echo reply.
+    echo_pending: Vec<Xid>,
+    /// State-mutating frames (flow/group mods) sent but not yet covered
+    /// by a BARRIER_REPLY, tagged with the covering barrier's xid. The
+    /// periodic tick re-sends whatever lingers here, so rule pushes
+    /// survive a lossy control channel.
+    inflight: Vec<(Xid, Bytes)>,
+}
+
+impl SwitchState {
+    fn new(node: NodeId) -> SwitchState {
+        SwitchState {
+            node,
+            dpid: 0,
+            ports: Vec::new(),
+            ready: false,
+            rx: BytesMut::new(),
+            echo_pending: Vec::new(),
+            inflight: Vec::new(),
+        }
+    }
+
+    /// Forget everything tied to the current connection (a reconnecting
+    /// switch starts from a clean slate; apps re-push state on ready).
+    fn reset_session(&mut self) {
+        self.ready = false;
+        self.echo_pending.clear();
+        self.inflight.clear();
+    }
 }
 
 /// What apps use to talk to one switch: queues messages for sending when
@@ -61,6 +92,7 @@ pub struct SwitchHandle<'a> {
     pub ports: &'a [PortDesc],
     xid: &'a mut Xid,
     queue: &'a mut Vec<Bytes>,
+    durable: &'a mut Vec<Bytes>,
     flow_mods_sent: &'a mut u64,
 }
 
@@ -76,10 +108,20 @@ impl SwitchHandle<'_> {
         self.queue.push(msg.encode(x));
     }
 
+    /// Send a state-mutating message that must survive channel loss: it is
+    /// tracked until a barrier reply confirms the switch applied it, and
+    /// re-sent by the controller tick otherwise.
+    fn send_durable(&mut self, msg: Message) {
+        let x = self.next_xid();
+        let b = msg.encode(x);
+        self.queue.push(b.clone());
+        self.durable.push(b);
+    }
+
     /// Send a flow-mod.
     pub fn flow_mod(&mut self, fm: FlowMod) {
         *self.flow_mods_sent += 1;
-        self.send(Message::FlowMod(fm));
+        self.send_durable(Message::FlowMod(fm));
     }
 
     /// Send a group-mod.
@@ -90,7 +132,7 @@ impl SwitchHandle<'_> {
         group_id: u32,
         buckets: Vec<openflow::Bucket>,
     ) {
-        self.send(Message::GroupMod {
+        self.send_durable(Message::GroupMod {
             command,
             type_,
             group_id,
@@ -164,6 +206,10 @@ pub(crate) fn test_handle<'a>(
         ports: &[],
         xid,
         queue,
+        // App tests assert on `queue` only; the durability tracking is a
+        // node-level concern, so a throwaway (leaked, test-only) buffer
+        // keeps the helper's signature stable.
+        durable: Box::leak(Box::default()),
         flow_mods_sent,
     }
 }
@@ -204,6 +250,10 @@ pub trait App: 'static + Send {
         PacketInVerdict::Continue
     }
 
+    /// The switch stopped answering keepalive probes and was declared
+    /// down; its state will be rebuilt on the next handshake.
+    fn on_switch_down(&mut self, _dpid: u64) {}
+
     /// A flow entry was removed.
     fn on_flow_removed(&mut self, _sw: &mut SwitchHandle, _msg: &Message) {}
 
@@ -220,6 +270,9 @@ pub trait App: 'static + Send {
 
 const TOKEN_TICK: u64 = 1;
 const TICK: netsim::SimTime = netsim::SimTime::from_secs(1);
+/// Keepalive probes a switch may leave unanswered (one sent per tick)
+/// before the controller declares it down.
+const MAX_MISSED_ECHOES: usize = 3;
 
 /// The controller as a simulator node.
 pub struct ControllerNode {
@@ -227,9 +280,16 @@ pub struct ControllerNode {
     apps: Vec<Box<dyn App>>,
     switches: HashMap<NodeId, SwitchState>,
     xid: Xid,
+    role: ControllerRole,
+    generation_id: u64,
     packet_ins: u64,
     flow_mods_sent: u64,
     errors_seen: u64,
+    retransmits: u64,
+    switch_deaths: u64,
+    promotions: u64,
+    stale_echo_replies: u64,
+    slave_ignored: u64,
 }
 
 impl ControllerNode {
@@ -240,10 +300,77 @@ impl ControllerNode {
             apps,
             switches: HashMap::new(),
             xid: 0,
+            role: ControllerRole::Equal,
+            generation_id: 0,
             packet_ins: 0,
             flow_mods_sent: 0,
             errors_seen: 0,
+            retransmits: 0,
+            switch_deaths: 0,
+            promotions: 0,
+            stale_echo_replies: 0,
+            slave_ignored: 0,
         }
+    }
+
+    /// Builder-style role override. A `Master` asserts its role (with
+    /// `generation_id`) on every switch that completes a handshake; a
+    /// `Slave` is a warm standby: it ignores packet-ins and self-promotes
+    /// to master the moment a switch dials it — in this model a switch
+    /// only dials a backup after declaring its master dead, so an
+    /// incoming handshake *is* the fail-over signal.
+    pub fn with_role(mut self, role: ControllerRole, generation_id: u64) -> Self {
+        self.role = role;
+        self.generation_id = generation_id;
+        self
+    }
+
+    /// Runtime variant of [`Self::with_role`], for controllers already
+    /// placed in a network.
+    pub fn set_role(&mut self, role: ControllerRole, generation_id: u64) {
+        self.role = role;
+        self.generation_id = generation_id;
+    }
+
+    /// The controller's current role.
+    pub fn role(&self) -> ControllerRole {
+        self.role
+    }
+
+    /// Times a slave self-promoted to master.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Frames re-sent because no barrier reply confirmed them.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Switches declared down after unanswered keepalive probes.
+    pub fn switch_deaths(&self) -> u64 {
+        self.switch_deaths
+    }
+
+    /// Echo replies whose xid matched no outstanding probe.
+    pub fn stale_echo_replies(&self) -> u64 {
+        self.stale_echo_replies
+    }
+
+    /// Packet-ins ignored while in the slave role.
+    pub fn slave_ignored(&self) -> u64 {
+        self.slave_ignored
+    }
+
+    /// Connected switch node ids in deterministic (id) order. All bulk
+    /// sends iterate in this order: HashMap order varies between map
+    /// instances, and send order feeds the simulator's event sequence
+    /// numbers, so iterating the map directly would break bit-identical
+    /// replay.
+    fn switch_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.switches.keys().copied().collect();
+        nodes.sort_by_key(|n| n.0);
+        nodes
     }
 
     /// Packet-ins received so far.
@@ -300,25 +427,65 @@ impl ControllerNode {
         ctx: &mut NodeCtx,
         mut f: impl FnMut(&mut Vec<Box<dyn App>>, &mut SwitchHandle),
     ) {
-        let mut sends: Vec<(NodeId, Vec<Bytes>)> = Vec::new();
-        for (node, st) in self.switches.iter() {
+        let mut sends: Vec<(NodeId, Vec<Bytes>, Vec<Bytes>)> = Vec::new();
+        for node in self.switch_nodes() {
+            let st = &self.switches[&node];
             if !st.ready {
                 continue;
             }
             let mut queue = Vec::new();
+            let mut durable = Vec::new();
             let mut handle = SwitchHandle {
                 dpid: st.dpid,
                 ports: &st.ports,
                 xid: &mut self.xid,
                 queue: &mut queue,
+                durable: &mut durable,
                 flow_mods_sent: &mut self.flow_mods_sent,
             };
             f(&mut self.apps, &mut handle);
-            sends.push((*node, queue));
+            sends.push((node, queue, durable));
         }
-        for (node, queue) in sends {
-            for m in queue {
-                ctx.ctrl_send(node, m);
+        for (node, queue, durable) in sends {
+            self.flush(node, queue, durable, ctx);
+        }
+    }
+
+    /// Send a queue of frames to `node`; if any were state-mutating,
+    /// append a barrier and track them until its reply confirms delivery.
+    fn flush(
+        &mut self,
+        node: NodeId,
+        mut queue: Vec<Bytes>,
+        durable: Vec<Bytes>,
+        ctx: &mut NodeCtx,
+    ) {
+        if !durable.is_empty() {
+            self.xid += 1;
+            let b = self.xid;
+            queue.push(Message::BarrierRequest.encode(b));
+            if let Some(st) = self.switches.get_mut(&node) {
+                st.inflight.extend(durable.into_iter().map(|f| (b, f)));
+            }
+        }
+        Self::send_batch(node, queue, ctx);
+    }
+
+    /// Send `frames` as one coalesced control-channel message. Fate
+    /// sharing is load-bearing on lossy channels: the trailing barrier
+    /// of a flush must be dropped or delivered *together with* the
+    /// state it confirms — sent separately, a dropped flow mod whose
+    /// barrier survived would confirm state the switch never applied.
+    fn send_batch(node: NodeId, mut frames: Vec<Bytes>, ctx: &mut NodeCtx) {
+        match frames.len() {
+            0 => {}
+            1 => ctx.ctrl_send(node, frames.pop().expect("len checked")),
+            _ => {
+                let mut buf = Vec::with_capacity(frames.iter().map(Bytes::len).sum());
+                for f in &frames {
+                    buf.extend_from_slice(f);
+                }
+                ctx.ctrl_send(node, Bytes::from(buf));
             }
         }
     }
@@ -332,6 +499,7 @@ impl ControllerNode {
         xid: &mut Xid,
         flow_mods_sent: &mut u64,
         queue: &mut Vec<Bytes>,
+        durable: &mut Vec<Bytes>,
         mut f: impl FnMut(&mut dyn App, &mut SwitchHandle) -> PacketInVerdict,
     ) {
         for app in apps.iter_mut() {
@@ -340,6 +508,7 @@ impl ControllerNode {
                 ports: &st.ports,
                 xid,
                 queue,
+                durable,
                 flow_mods_sent,
             };
             if f(app.as_mut(), &mut handle) == PacketInVerdict::Consumed {
@@ -367,17 +536,78 @@ impl Node for ControllerNode {
                 app.on_tick(handle);
             }
         });
+        // Handshake re-drive: a switch whose FEATURES_REPLY or
+        // PORT_DESC reply was lost sits mid-handshake forever — HELLOs
+        // crossed and echoes flow, so neither side sees a dead link and
+        // nobody redials. Re-ask for the missing step each tick; both
+        // replies are idempotent, so a duplicate answer is harmless.
+        for node in self.switch_nodes() {
+            let st = self.switches.get(&node).expect("listed node exists");
+            if st.ready {
+                continue;
+            }
+            self.xid += 1;
+            let msg = if st.dpid == 0 {
+                Message::FeaturesRequest.encode(self.xid)
+            } else {
+                Message::MultipartRequest(MultipartReq::PortDesc).encode(self.xid)
+            };
+            ctx.ctrl_send(node, msg);
+        }
+        // Re-sync: anything pushed but never barrier-acked (lost on the
+        // channel, or acked by a reply that was itself lost) is re-sent
+        // under a fresh barrier. Flow/group mods are idempotent, so a
+        // spurious re-send converges to the same tables.
+        for node in self.switch_nodes() {
+            let st = self.switches.get_mut(&node).expect("listed node exists");
+            if !st.ready || st.inflight.is_empty() {
+                continue;
+            }
+            self.xid += 1;
+            let b = self.xid;
+            let mut frames = Vec::with_capacity(st.inflight.len());
+            for e in st.inflight.iter_mut() {
+                frames.push(e.1.clone());
+                e.0 = b;
+            }
+            self.retransmits += frames.len() as u64;
+            frames.push(Message::BarrierRequest.encode(b));
+            Self::send_batch(node, frames, ctx);
+        }
+        // Keepalive: probe every ready switch; a switch that has left
+        // MAX_MISSED_ECHOES probes unanswered is declared down and its
+        // session state dropped — the next handshake rebuilds it.
+        let mut dead = Vec::new();
+        for node in self.switch_nodes() {
+            let st = self.switches.get_mut(&node).expect("listed node exists");
+            if !st.ready {
+                continue;
+            }
+            if st.echo_pending.len() >= MAX_MISSED_ECHOES {
+                dead.push(node);
+                continue;
+            }
+            self.xid += 1;
+            st.echo_pending.push(self.xid);
+            ctx.ctrl_send(node, Message::EchoRequest(Bytes::new()).encode(self.xid));
+        }
+        for node in dead {
+            let st = self.switches.get_mut(&node).expect("listed node exists");
+            let dpid = st.dpid;
+            st.reset_session();
+            self.switch_deaths += 1;
+            for app in self.apps.iter_mut() {
+                app.on_switch_down(dpid);
+            }
+        }
         ctx.schedule(TICK, TOKEN_TICK);
     }
 
     fn on_ctrl(&mut self, from: NodeId, data: Bytes, ctx: &mut NodeCtx) {
-        let st = self.switches.entry(from).or_insert_with(|| SwitchState {
-            node: from,
-            dpid: 0,
-            ports: Vec::new(),
-            ready: false,
-            rx: BytesMut::new(),
-        });
+        let st = self
+            .switches
+            .entry(from)
+            .or_insert_with(|| SwitchState::new(from));
         st.rx.extend_from_slice(&data);
         let msgs = match decode_stream(&mut st.rx) {
             Ok(m) => m,
@@ -387,17 +617,44 @@ impl Node for ControllerNode {
             }
         };
         let mut queue: Vec<Bytes> = Vec::new();
-        for (_xid, msg) in msgs {
+        let mut durable: Vec<Bytes> = Vec::new();
+        for (xid, msg) in msgs {
             match msg {
                 Message::Hello => {
+                    // A HELLO on an existing session is a reconnect: the
+                    // switch starts from scratch, so does our view of it.
+                    // Apps rebuild its state on `on_switch_ready`.
+                    self.switches.get_mut(&from).unwrap().reset_session();
+                    // A slave being dialed means the switches gave up on
+                    // their master: promote and assert the role below.
+                    if self.role == ControllerRole::Slave {
+                        self.role = ControllerRole::Master;
+                        self.promotions += 1;
+                    }
                     self.xid += 1;
                     queue.push(Message::Hello.encode(self.xid));
                     self.xid += 1;
                     queue.push(Message::FeaturesRequest.encode(self.xid));
                 }
                 Message::EchoRequest(d) => {
-                    self.xid += 1;
-                    queue.push(Message::EchoReply(d).encode(self.xid));
+                    // Echo replies must mirror the request xid — the
+                    // switch matches them against its outstanding probes
+                    // and discards replies with unknown xids as stale.
+                    queue.push(Message::EchoReply(d).encode(xid));
+                }
+                Message::EchoReply(_) => {
+                    let st = self.switches.get_mut(&from).unwrap();
+                    if st.echo_pending.contains(&xid) {
+                        st.echo_pending.retain(|&x| x > xid);
+                    } else {
+                        self.stale_echo_replies += 1;
+                    }
+                }
+                Message::BarrierReply => {
+                    // Everything covered by this barrier (or an earlier
+                    // one) reached the switch; stop tracking it.
+                    let st = self.switches.get_mut(&from).unwrap();
+                    st.inflight.retain(|(b, _)| *b > xid);
                 }
                 Message::FeaturesReply { datapath_id, .. } => {
                     let st = self.switches.get_mut(&from).unwrap();
@@ -409,6 +666,16 @@ impl Node for ControllerNode {
                     let st = self.switches.get_mut(&from).unwrap();
                     st.ports = ports;
                     st.ready = true;
+                    if self.role == ControllerRole::Master {
+                        self.xid += 1;
+                        queue.push(
+                            Message::RoleRequest {
+                                role: ControllerRole::Master,
+                                generation_id: self.generation_id,
+                            }
+                            .encode(self.xid),
+                        );
+                    }
                     let st = self.switches.get(&from).unwrap();
                     Self::dispatch_to_apps(
                         &mut self.apps,
@@ -416,6 +683,7 @@ impl Node for ControllerNode {
                         &mut self.xid,
                         &mut self.flow_mods_sent,
                         &mut queue,
+                        &mut durable,
                         |app, h| {
                             app.on_switch_ready(h);
                             PacketInVerdict::Continue
@@ -429,6 +697,12 @@ impl Node for ControllerNode {
                     ..
                 } => {
                     self.packet_ins += 1;
+                    if self.role == ControllerRole::Slave {
+                        // Slaves are warm standbys: they watch but must
+                        // not program switches another master owns.
+                        self.slave_ignored += 1;
+                        continue;
+                    }
                     let in_port = match_
                         .fields()
                         .iter()
@@ -450,6 +724,7 @@ impl Node for ControllerNode {
                         &mut self.xid,
                         &mut self.flow_mods_sent,
                         &mut queue,
+                        &mut durable,
                         |app, h| app.on_packet_in(h, &ev),
                     );
                 }
@@ -461,6 +736,7 @@ impl Node for ControllerNode {
                         &mut self.xid,
                         &mut self.flow_mods_sent,
                         &mut queue,
+                        &mut durable,
                         |app, h| {
                             app.on_flow_removed(h, &m);
                             PacketInVerdict::Continue
@@ -475,21 +751,26 @@ impl Node for ControllerNode {
                         &mut self.xid,
                         &mut self.flow_mods_sent,
                         &mut queue,
+                        &mut durable,
                         |app, h| {
                             app.on_stats(h, &m);
                             PacketInVerdict::Continue
                         },
                     );
                 }
-                Message::Error { .. } => {
+                Message::RoleReply { .. } => {}
+                Message::Error { ty, .. } => {
                     self.errors_seen += 1;
+                    if ty == 11 {
+                        // ROLE_REQUEST_FAILED/STALE: a newer master holds
+                        // this switch. Step down.
+                        self.role = ControllerRole::Slave;
+                    }
                 }
                 _ => {}
             }
         }
-        for m in queue {
-            ctx.ctrl_send(from, m);
-        }
+        self.flush(from, queue, durable, ctx);
     }
 
     fn name(&self) -> &str {
@@ -583,5 +864,65 @@ mod tests {
             (1, 0),
             "a consumed event must never reach later apps"
         );
+    }
+
+    /// Records every control message it receives.
+    struct Recorder {
+        frames: Vec<Bytes>,
+    }
+    impl Node for Recorder {
+        fn on_packet(&mut self, _port: PortId, _frame: Bytes, _ctx: &mut NodeCtx) {}
+        fn on_ctrl(&mut self, _from: NodeId, data: Bytes, _ctx: &mut NodeCtx) {
+            self.frames.push(data);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn echo_reply_mirrors_the_request_xid() {
+        // A liveness probe is only answered if the reply carries the
+        // *probe's* xid — a reply under a fresh xid would never match
+        // the prober's pending set and read as a dead peer.
+        let mut net = netsim::Network::new(1);
+        let ctrl = net.add_node(ControllerNode::new("ctrl", vec![]));
+        let sw = net.add_node(Recorder { frames: Vec::new() });
+        net.with_node_ctx::<ControllerNode, _>(ctrl, |c, ctx| {
+            c.on_ctrl(
+                sw,
+                Message::EchoRequest(Bytes::from_static(b"ping")).encode(77),
+                ctx,
+            );
+        });
+        net.run_until(netsim::SimTime::from_millis(1));
+        let mut rx = BytesMut::new();
+        for f in &net.node_ref::<Recorder>(sw).frames {
+            rx.extend_from_slice(f);
+        }
+        let msgs = decode_stream(&mut rx).expect("well-formed replies");
+        assert!(
+            msgs.iter()
+                .any(|(xid, m)| *xid == 77 && *m == Message::EchoReply(Bytes::from_static(b"ping"))),
+            "echo reply must mirror xid and payload, got {msgs:?}"
+        );
+    }
+
+    #[test]
+    fn stale_echo_replies_are_counted_not_acked() {
+        // A reply whose xid matches no outstanding probe (e.g. from a
+        // previous session, delayed by the channel) must not feed the
+        // liveness state machine.
+        let mut net = netsim::Network::new(1);
+        let ctrl = net.add_node(ControllerNode::new("ctrl", vec![]));
+        let sw = net.add_node(Recorder { frames: Vec::new() });
+        net.with_node_ctx::<ControllerNode, _>(ctrl, |c, ctx| {
+            c.on_ctrl(sw, Message::EchoReply(Bytes::new()).encode(9999), ctx);
+        });
+        let c = net.node_ref::<ControllerNode>(ctrl);
+        assert_eq!(c.stale_echo_replies(), 1);
     }
 }

@@ -548,6 +548,7 @@ impl FabricSpec {
             host_ports: std::collections::BTreeSet::new(),
             station_ports: std::collections::BTreeSet::new(),
             controller: None,
+            backup_controller: None,
             internet: None,
         })
     }
@@ -594,6 +595,10 @@ pub struct Fabric {
     /// Set by [`Fabric::connect_controller`]; where ARP-proxy host
     /// routes are synced when [`FabricSpec::arp_proxy`] is on.
     controller: Option<NodeId>,
+    /// Warm-standby controller set by
+    /// [`Fabric::connect_backup_controller`]; switches dial it only
+    /// after declaring the primary dead.
+    backup_controller: Option<NodeId>,
     /// The upstream host placed by [`Fabric::attach_internet`].
     internet: Option<NodeId>,
 }
@@ -785,6 +790,16 @@ impl Fabric {
     /// quietly restore the O(hosts²) flood.
     fn push_route(&self, net: &mut Network, route: HostRoute) {
         let ctrl = self.controller.expect("push_route with a controller");
+        if let Some(backup) = self.backup_controller {
+            Self::push_route_to(net, backup, route.clone());
+        }
+        Self::push_route_to(net, ctrl, route);
+    }
+
+    /// Feed one host route into `ctrl`'s [`ArpProxy`]. The warm-standby
+    /// backup gets the same feed as the primary so that, after a
+    /// fail-over, it rebuilds an identical rule set.
+    fn push_route_to(net: &mut Network, ctrl: NodeId, route: HostRoute) {
         net.node_mut::<ControllerNode>(ctrl)
             .app_mut::<ArpProxy>()
             .expect(
@@ -1009,16 +1024,16 @@ impl Fabric {
         if let Some(Spine::Soft(_)) = self.spine {
             configs.push((self.spec.spine_dpid, self.l3_spine_config(net)));
         }
-        {
+        for c in [Some(ctrl), self.backup_controller].into_iter().flatten() {
             let r = net
-                .node_mut::<ControllerNode>(ctrl)
+                .node_mut::<ControllerNode>(c)
                 .app_mut::<Router>()
                 .expect(
                     "FabricSpec::l3_routing is set, but the fabric controller \
                      has no Router app (chain one after the ArpProxy)",
                 );
-            for (dpid, cfg) in configs {
-                r.set_config(dpid, cfg);
+            for (dpid, cfg) in &configs {
+                r.set_config(*dpid, cfg.clone());
             }
         }
         for (p, px) in self.pods.iter().enumerate() {
@@ -1118,10 +1133,12 @@ impl Fabric {
             .filter(|_| carries_identity && self.spec.arp_proxy)
         {
             let ip = net.node_ref::<Host>(h).ip();
-            net.node_mut::<ControllerNode>(ctrl)
-                .app_mut::<ArpProxy>()
-                .expect("arp_proxy flag verified on attach")
-                .remove_host(ip);
+            for c in [Some(ctrl), self.backup_controller].into_iter().flatten() {
+                net.node_mut::<ControllerNode>(c)
+                    .app_mut::<ArpProxy>()
+                    .expect("arp_proxy flag verified on attach")
+                    .remove_host(ip);
+            }
             self.sync_proxy_now(net);
         }
         self.sync_l3(net);
@@ -1450,6 +1467,46 @@ impl Fabric {
         self.register_controller(net, controller);
     }
 
+    /// Register `backup` as the warm-standby controller of every software
+    /// switch (all SS_2s and a soft spine). A switch dials it only after
+    /// declaring the primary dead; the backup then rebuilds each
+    /// datapath's rules from the resulting re-handshakes. Build the
+    /// backup [`ControllerNode`] with the same app chain as the primary
+    /// (and a higher role generation); the fabric replays the routes and
+    /// router configs registered so far into it here, and mirrors every
+    /// later registration, so the rebuilt rule set matches the primary's.
+    pub fn connect_backup_controller(&mut self, net: &mut Network, backup: NodeId) {
+        self.for_each_softswitch(net, |sw| sw.add_backup_controller(backup));
+        self.backup_controller = Some(backup);
+        // Warm the standby: replay every proxy route and router config
+        // already registered with the primary, and mirror all future
+        // pushes (push_route / sync_l3 fan out to both from here on).
+        if self.spec.arp_proxy {
+            for route in self.proxy_routes(net) {
+                Self::push_route_to(net, backup, route);
+            }
+        }
+        self.sync_l3(net);
+    }
+
+    /// The configured backup controller, if any.
+    pub fn backup_controller(&self) -> Option<NodeId> {
+        self.backup_controller
+    }
+
+    /// Run `f` over every software switch of the fabric — each pod's SS_2
+    /// and the soft spine, if present. Experiments use this to tune
+    /// resilience knobs (fail mode, keepalive cadence, reconnect backoff)
+    /// after the topology is built.
+    pub fn for_each_softswitch(&self, net: &mut Network, mut f: impl FnMut(&mut SoftSwitchNode)) {
+        for pod in &self.pods {
+            f(net.node_mut::<SoftSwitchNode>(pod.ss2));
+        }
+        if let Some(Spine::Soft(spine)) = self.spine {
+            f(net.node_mut::<SoftSwitchNode>(spine));
+        }
+    }
+
     /// Adopt `controller` as the fabric controller — spine hookup, ARP
     /// proxy bookkeeping, route registration — **without touching the
     /// pods**. Migration-wave scenarios use this: the pods join the
@@ -1460,40 +1517,43 @@ impl Fabric {
         self.connect_spine(net, controller);
         self.controller = Some(controller);
         if self.spec.arp_proxy {
-            // Identity from the attached node itself, not the port — a
-            // host migrated before the controller connected keeps the
-            // addresses of its original attach point.
-            let routes: Vec<HostRoute> = self
-                .host_ports
-                .iter()
-                .map(|&(pod, port)| {
-                    let hr = net.node_ref::<Host>(self.attached[&(pod, port)]);
-                    let (ip, mac) = (hr.ip(), hr.mac());
-                    let (ports, guards) = self.route_location(pod, port);
-                    HostRoute {
-                        ip,
-                        mac,
-                        ports,
-                        guards,
-                    }
-                })
-                .collect();
-            for route in routes {
+            for route in self.proxy_routes(net) {
                 self.push_route(net, route);
-            }
-            if let (Some(gw), Some(_)) = (self.spec.gateway, self.internet) {
-                self.push_route(
-                    net,
-                    HostRoute {
-                        ip: gw.internet_ip,
-                        mac: INTERNET_MAC,
-                        ports: Vec::new(),
-                        guards: Vec::new(),
-                    },
-                );
             }
         }
         self.sync_l3(net);
+    }
+
+    /// Proactive [`ArpProxy`] routes for every identity-carrying host
+    /// attached so far, plus the internet gateway when configured.
+    /// Identity comes from the attached node itself, not the port — a
+    /// host migrated before the controller connected keeps the
+    /// addresses of its original attach point.
+    fn proxy_routes(&self, net: &Network) -> Vec<HostRoute> {
+        let mut routes: Vec<HostRoute> = self
+            .host_ports
+            .iter()
+            .map(|&(pod, port)| {
+                let hr = net.node_ref::<Host>(self.attached[&(pod, port)]);
+                let (ip, mac) = (hr.ip(), hr.mac());
+                let (ports, guards) = self.route_location(pod, port);
+                HostRoute {
+                    ip,
+                    mac,
+                    ports,
+                    guards,
+                }
+            })
+            .collect();
+        if let (Some(gw), Some(_)) = (self.spec.gateway, self.internet) {
+            routes.push(HostRoute {
+                ip: gw.internet_ip,
+                mac: INTERNET_MAC,
+                ports: Vec::new(),
+                guards: Vec::new(),
+            });
+        }
+        routes
     }
 
     /// Register only a [`Spine::Soft`] spine with the controller (no-op
@@ -1867,6 +1927,133 @@ mod tests {
         // The unsharded loop reaches the same converged state.
         let (ur, ub, _, ures) = run(None);
         assert_eq!((ur, ub, ures), (baseline.0, baseline.1, baseline.3));
+    }
+
+    #[test]
+    fn backup_controller_takes_over_after_primary_crash() {
+        use openflow::ControllerRole;
+        // A warm-standby backup with the same app chain. Crash the
+        // primary mid-run: every software switch must declare it dead,
+        // fail over, and the backup must self-promote to master and
+        // rebuild the exact fault-free rule set — bounded downtime,
+        // zero stale rules, and the data plane keeps forwarding on its
+        // proactive routes throughout the outage.
+        let run = |crash: bool| {
+            let mut net = Network::new(33);
+            let apps = || -> Vec<Box<dyn controller::App>> {
+                vec![Box::new(ArpProxy::new()), Box::new(LearningSwitch::new())]
+            };
+            let primary = net.add_node(
+                ControllerNode::new("primary", apps()).with_role(ControllerRole::Master, 1),
+            );
+            let backup = net.add_node(
+                ControllerNode::new("backup", apps()).with_role(ControllerRole::Slave, 2),
+            );
+            let mut fx = FabricSpec::new(2, HarmlessSpec::new(2))
+                .with_interconnect(Interconnect::SpineSoft)
+                .with_arp_proxy(true)
+                .build(&mut net)
+                .unwrap();
+            fx.configure_direct(&mut net);
+            fx.connect_controller(&mut net, primary);
+            fx.connect_backup_controller(&mut net, backup);
+            fx.for_each_softswitch(&mut net, |sw| {
+                sw.set_keepalive(SimTime::from_millis(50), 2);
+                sw.set_backoff(SimTime::from_millis(50), SimTime::from_millis(200));
+            });
+            let hosts: Vec<NodeId> = (0..2)
+                .map(|p| fx.attach_host(&mut net, p, 1).unwrap())
+                .collect();
+            net.run_until(SimTime::from_millis(100));
+            let round = |net: &mut Network| {
+                for (p, &h) in hosts.iter().enumerate() {
+                    let target = fx.host_ip((p + 1) % 2, 1);
+                    net.with_node_ctx::<Host, _>(h, move |h, ctx| {
+                        h.ping(b"failover", target);
+                        h.flush(ctx);
+                    });
+                }
+                net.run_for(SimTime::from_millis(100));
+            };
+            round(&mut net);
+            round(&mut net);
+            if crash {
+                net.ctrl_down(primary);
+                // Outage window: detection (2 × 50 ms of unanswered
+                // probes), backoff, redial and re-handshake.
+                net.run_for(SimTime::from_millis(400));
+            }
+            round(&mut net);
+            round(&mut net);
+            net.run_until(SimTime::from_millis(1500));
+            let replies: u64 = hosts
+                .iter()
+                .map(|&h| net.node_ref::<Host>(h).echo_replies_received())
+                .sum();
+            // Canonical rule set of every software datapath: the
+            // converged state must not depend on which controller
+            // installed it.
+            let switches = [fx.pod(0).ss2, fx.pod(1).ss2, fx.spine().unwrap().node()];
+            let rules: Vec<Vec<String>> = switches
+                .iter()
+                .map(|&n| {
+                    let mut v: Vec<String> = net
+                        .node_ref::<SoftSwitchNode>(n)
+                        .datapath()
+                        .table(0)
+                        .unwrap()
+                        .entries()
+                        .iter()
+                        .map(|e| format!("{}|{:?}|{:?}", e.priority, e.match_, e.instructions))
+                        .collect();
+                    v.sort();
+                    v
+                })
+                .collect();
+            let mut failovers = 0u64;
+            let mut all_up = true;
+            let mut on_backup = true;
+            fx.for_each_softswitch(&mut net, |sw| {
+                failovers += sw.failovers();
+                all_up &= sw.controller_link_up();
+                on_backup &= sw.controller() == Some(backup);
+            });
+            let promoted = net.node_ref::<ControllerNode>(backup).promotions();
+            let backup_role = net.node_ref::<ControllerNode>(backup).role();
+            (
+                replies,
+                rules,
+                failovers,
+                all_up,
+                on_backup,
+                promoted,
+                backup_role,
+            )
+        };
+        let base = run(false);
+        assert_eq!(base.0, 8, "fault-free: all pings answered");
+        assert_eq!(base.2, 0, "fault-free: no failovers");
+        assert_eq!(base.5, 0, "fault-free: the backup is never dialed");
+        let crashed = run(true);
+        assert_eq!(
+            crashed.2, 3,
+            "every software switch failed over exactly once"
+        );
+        assert!(crashed.3, "all control links re-established");
+        assert!(crashed.4, "every switch now dials the backup");
+        assert!(
+            crashed.5 >= 1,
+            "backup self-promoted on the first re-handshake"
+        );
+        assert_eq!(crashed.6, ControllerRole::Master);
+        assert_eq!(
+            crashed.0, base.0,
+            "proactive routes keep the data plane forwarding through the outage"
+        );
+        assert_eq!(
+            crashed.1, base.1,
+            "rule sets converge to the fault-free state — no stale, no missing rules"
+        );
     }
 
     /// Build a pods × hosts fabric (optionally with the ARP proxy),

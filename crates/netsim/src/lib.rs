@@ -58,12 +58,12 @@ pub mod stats;
 pub mod time;
 pub mod traffic;
 
-pub use fault::{Fault, FaultPlan};
+pub use fault::{CtrlProfile, Fault, FaultPlan};
 pub use flowsim::{FlowBundleSpec, FlowHop, FlowSim, HybridStats};
 pub use link::{LinkSpec, LinkStats};
 pub use net::{Network, NodeId};
 pub use node::{Node, NodeCtx, PortId};
 pub use runtime::RuntimeStats;
 pub use shard::ShardMap;
-pub use stats::{Counter, Histogram, Rollup, SloMeter};
+pub use stats::{Counter, CtrlStats, Histogram, Rollup, SloMeter};
 pub use time::SimTime;

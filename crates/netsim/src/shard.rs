@@ -50,14 +50,16 @@
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
+use crate::fault::CtrlProfile;
 use crate::link::LinkDir;
 use crate::net::NodeId;
 use crate::node::{Action, Node, NodeCtx, PortId};
+use crate::stats::CtrlStats;
 use crate::time::SimTime;
 
 /// Assignment of every node of a network to a shard.
@@ -137,6 +139,10 @@ pub(crate) struct Loc {
 pub(crate) struct Env {
     pub loc: Arc<Vec<Loc>>,
     pub ctrl_delay: SimTime,
+    /// Stochastic control-channel impairment (see
+    /// [`crate::fault::CtrlProfile`]); the default no-op profile keeps
+    /// the historical fast path and RNG streams.
+    pub ctrl_profile: CtrlProfile,
 }
 
 /// Events of one shard's queue. Node references are *local* indices
@@ -175,7 +181,7 @@ pub(crate) enum Ev {
 /// per direction, each in the shard owning that direction, at the same
 /// instant — which keeps fault processing inside the normal `(at, seq)`
 /// order and bit-identical for any thread count.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub(crate) enum FaultEv {
     /// Take one egress direction down (queued frames blackhole).
     LinkDown { chan: u32 },
@@ -183,6 +189,12 @@ pub(crate) enum FaultEv {
     LinkUp { chan: u32 },
     /// Power-cycle a node: fires [`Node::on_reset`].
     Reset { node: u32 },
+    /// Partition a node (global id — the blocked set spans shards) from
+    /// the control plane. Replicated into every shard's queue at the
+    /// same instant so each sender can decide locally.
+    CtrlDown { node: NodeId },
+    /// Heal a node's control-plane partition (replicated likewise).
+    CtrlUp { node: NodeId },
 }
 
 pub(crate) struct Sched {
@@ -291,6 +303,16 @@ pub(crate) struct Shard {
     /// on arrival. Counted at the shard (not per link direction) because
     /// the transmitting direction lives in the sender's shard.
     pub blackholed_in_flight: u64,
+    /// This shard's replica of the control-plane partition state,
+    /// indexed by **global** node id. Every shard processes the same
+    /// `CtrlDown`/`CtrlUp` events at the same instant, so the replicas
+    /// agree at every window boundary.
+    pub ctrl_blocked: Vec<bool>,
+    /// Per-channel control impairment counters, keyed by the global
+    /// `(from, to)` node pair. Send-side impairments accumulate in the
+    /// sender's shard; partition drops of in-flight messages in the
+    /// receiver's.
+    pub ctrl_stats: HashMap<(usize, usize), CtrlStats>,
     pub outbox: Vec<Remote>,
 }
 
@@ -314,8 +336,27 @@ impl Shard {
             delivered_frames: 0,
             delivered_bytes: 0,
             blackholed_in_flight: 0,
+            ctrl_blocked: Vec::new(),
+            ctrl_stats: HashMap::new(),
             outbox: Vec::new(),
         }
+    }
+
+    /// True when `node` is partitioned from the control plane.
+    pub fn ctrl_blocked(&self, node: NodeId) -> bool {
+        self.ctrl_blocked.get(node.0).copied().unwrap_or(false)
+    }
+
+    /// Flip `node`'s control-plane partition state in this replica.
+    pub fn set_ctrl_blocked(&mut self, node: NodeId, blocked: bool) {
+        if self.ctrl_blocked.len() <= node.0 {
+            self.ctrl_blocked.resize(node.0 + 1, false);
+        }
+        self.ctrl_blocked[node.0] = blocked;
+    }
+
+    fn ctrl_stat(&mut self, from: NodeId, to: NodeId) -> &mut CtrlStats {
+        self.ctrl_stats.entry((from.0, to.0)).or_default()
     }
 
     /// The RNG stream of shard `id` for a network seeded with `seed`.
@@ -521,6 +562,14 @@ impl Shard {
                 self.dispatch(node, env, |n, ctx| n.on_timer(token, ctx));
             }
             Ev::Ctrl { node, from, data } => {
+                // A message already in flight when the receiver was
+                // partitioned is discarded on delivery (the send-time
+                // check lives in `apply`).
+                let to = self.gids[node as usize];
+                if self.ctrl_blocked(to) {
+                    self.ctrl_stat(from, to).dropped += 1;
+                    return;
+                }
                 self.dispatch(node, env, |n, ctx| n.on_ctrl(from, data, ctx));
             }
             Ev::Emit { node, port, frame } => {
@@ -539,6 +588,8 @@ impl Shard {
                 FaultEv::Reset { node } => {
                     self.dispatch(node, env, |n, ctx| n.on_reset(ctx));
                 }
+                FaultEv::CtrlDown { node } => self.set_ctrl_blocked(node, true),
+                FaultEv::CtrlUp { node } => self.set_ctrl_blocked(node, false),
             },
         }
     }
@@ -579,31 +630,68 @@ impl Shard {
                 }
                 Action::Timer { at, token } => self.push(at, Ev::Timer { node: idx, token }),
                 Action::Ctrl { to, data } => {
-                    let at = self.now + env.ctrl_delay;
                     let from = self.gids[idx as usize];
+                    // Control partition: either endpoint down ⇒ the
+                    // message dies at the sender. The blocked set is a
+                    // per-shard replica, so this check is local and
+                    // thread-count independent.
+                    if self.ctrl_blocked(from) || self.ctrl_blocked(to) {
+                        self.ctrl_stat(from, to).dropped += 1;
+                        continue;
+                    }
+                    let mut at = self.now + env.ctrl_delay;
+                    let mut copies = 1u32;
+                    let p = env.ctrl_profile;
+                    if !p.is_noop() {
+                        // Impairment decisions come from this shard's
+                        // RNG stream, at the send instant — the one
+                        // point where ordering is already fixed.
+                        at += p.extra_delay;
+                        let st = self.ctrl_stat(from, to);
+                        st.sent += 1;
+                        if p.drop > 0.0 && self.rng.gen_bool(p.drop) {
+                            self.ctrl_stat(from, to).dropped += 1;
+                            continue;
+                        }
+                        if p.dup > 0.0 && self.rng.gen_bool(p.dup) {
+                            self.ctrl_stat(from, to).duplicated += 1;
+                            copies = 2;
+                        }
+                        if p.reorder > 0.0
+                            && p.reorder_bound > SimTime::ZERO
+                            && self.rng.gen_bool(p.reorder)
+                        {
+                            let jitter = self.rng.gen_range(1..=p.reorder_bound.as_nanos());
+                            at += SimTime::from_nanos(jitter);
+                            self.ctrl_stat(from, to).reordered += 1;
+                        }
+                    }
                     let l = env.loc[to.0];
-                    if l.shard == self.id {
-                        self.push(
-                            at,
-                            Ev::Ctrl {
-                                node: l.idx,
-                                from,
-                                data,
-                            },
-                        );
-                    } else {
-                        let src_seq = self.seq;
-                        self.seq += 1;
-                        self.outbox.push(Remote {
-                            at,
-                            src_shard: self.id,
-                            src_seq,
-                            ev: REv::Ctrl {
-                                node: to,
-                                from,
-                                data,
-                            },
-                        });
+                    for _ in 0..copies {
+                        let data = data.clone();
+                        if l.shard == self.id {
+                            self.push(
+                                at,
+                                Ev::Ctrl {
+                                    node: l.idx,
+                                    from,
+                                    data,
+                                },
+                            );
+                        } else {
+                            let src_seq = self.seq;
+                            self.seq += 1;
+                            self.outbox.push(Remote {
+                                at,
+                                src_shard: self.id,
+                                src_seq,
+                                ev: REv::Ctrl {
+                                    node: to,
+                                    from,
+                                    data,
+                                },
+                            });
+                        }
                     }
                 }
             }

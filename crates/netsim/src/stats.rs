@@ -181,6 +181,42 @@ impl Histogram {
     }
 }
 
+/// Control-channel impairment counters for one channel (an ordered
+/// `(from, to)` node pair) or an aggregate of channels.
+///
+/// `sent`/`dropped`/`duplicated`/`reordered` are filled by the
+/// simulator's control fault model (see `netsim::fault::CtrlProfile`):
+/// a message counts as `sent` when a lossy profile observed it,
+/// `dropped` when the profile or a control partition discarded it,
+/// `duplicated`/`reordered` when the corresponding impairment was
+/// applied. `retransmitted` is owned by the protocol layer above —
+/// agents and controllers count their recovery resends here when a
+/// rollup is assembled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CtrlStats {
+    /// Messages observed by an active lossy profile.
+    pub sent: u64,
+    /// Messages discarded (probabilistic drop or control partition).
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages given extra jitter past later sends.
+    pub reordered: u64,
+    /// Protocol-level recovery resends (filled by the layer above).
+    pub retransmitted: u64,
+}
+
+impl CtrlStats {
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: &CtrlStats) {
+        self.sent += other.sent;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.retransmitted += other.retransmitted;
+    }
+}
+
 /// An aggregated view over a group of measurement points — e.g. all the
 /// sinks of one fabric pod, rolled up into a per-pod row.
 ///
@@ -204,6 +240,9 @@ pub struct Rollup {
     pub bytes_modeled: u64,
     /// Bytes carried by per-frame Deliver events (packet-level).
     pub bytes_simulated: u64,
+    /// Control-channel impairment counters (drops, dups, reorders,
+    /// protocol retransmits) for the channels this rollup covers.
+    pub ctrl: CtrlStats,
 }
 
 impl Rollup {
@@ -229,6 +268,7 @@ impl Rollup {
         self.window_updates += other.window_updates;
         self.bytes_modeled += other.bytes_modeled;
         self.bytes_simulated += other.bytes_simulated;
+        self.ctrl.merge(&other.ctrl);
     }
 }
 

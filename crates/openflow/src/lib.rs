@@ -36,7 +36,7 @@ pub mod table;
 pub use action::{Action, NatDir};
 pub use group::{Bucket, Group, GroupTable, GroupType};
 pub use instruction::Instruction;
-pub use message::{Message, PacketInReason, PortDesc, Xid};
+pub use message::{ControllerRole, Message, PacketInReason, PortDesc, Xid};
 pub use meter::{Meter, MeterBand, MeterTable};
 pub use oxm::{Match, OxmField};
 pub use table::{FlowEntry, FlowModCommand, FlowTable, TableId};

@@ -41,6 +41,8 @@ pub mod msg_type {
     pub const MULTIPART_REPLY: u8 = 19;
     pub const BARRIER_REQUEST: u8 = 20;
     pub const BARRIER_REPLY: u8 = 21;
+    pub const ROLE_REQUEST: u8 = 24;
+    pub const ROLE_REPLY: u8 = 25;
     pub const METER_MOD: u8 = 29;
 }
 
@@ -72,6 +74,45 @@ impl PacketInReason {
             1 => PacketInReason::Action,
             2 => PacketInReason::InvalidTtl,
             _ => return Err(Error::Malformed("bad packet-in reason")),
+        })
+    }
+}
+
+/// `ofp_controller_role` (OF 1.3 §7.3.9): what a controller connection
+/// is allowed to do. A `Master` receives asynchronous messages and may
+/// modify state; a `Slave` is read-only standby; `Equal` is full access
+/// without exclusivity; `NoChange` queries the current role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerRole {
+    /// Don't change the role; report the current one.
+    NoChange,
+    /// Full access, no exclusivity.
+    Equal,
+    /// Full access; demotes the previous master to slave.
+    Master,
+    /// Read-only standby: no async messages, no mutations.
+    Slave,
+}
+
+impl ControllerRole {
+    /// Wire value.
+    pub fn value(&self) -> u32 {
+        match self {
+            ControllerRole::NoChange => 0,
+            ControllerRole::Equal => 1,
+            ControllerRole::Master => 2,
+            ControllerRole::Slave => 3,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_value(v: u32) -> Result<Self> {
+        Ok(match v {
+            0 => ControllerRole::NoChange,
+            1 => ControllerRole::Equal,
+            2 => ControllerRole::Master,
+            3 => ControllerRole::Slave,
+            _ => return Err(Error::Malformed("bad controller role")),
         })
     }
 }
@@ -541,6 +582,23 @@ pub enum Message {
     BarrierRequest,
     /// Barrier acknowledgement.
     BarrierReply,
+    /// Master/slave role negotiation (controller → switch). The
+    /// generation id fences stale masters: a request whose generation
+    /// is behind the switch's view is refused with an error.
+    RoleRequest {
+        /// Requested role.
+        role: ControllerRole,
+        /// Monotonic master-election generation.
+        generation_id: u64,
+    },
+    /// Role negotiation answer (switch → controller) carrying the role
+    /// now in effect.
+    RoleReply {
+        /// Role in effect after the request.
+        role: ControllerRole,
+        /// The switch's current generation.
+        generation_id: u64,
+    },
 }
 
 impl Message {
@@ -568,6 +626,8 @@ impl Message {
             Message::MultipartReply(_) => MULTIPART_REPLY,
             Message::BarrierRequest => BARRIER_REQUEST,
             Message::BarrierReply => BARRIER_REPLY,
+            Message::RoleRequest { .. } => ROLE_REQUEST,
+            Message::RoleReply { .. } => ROLE_REPLY,
         }
     }
 
@@ -597,6 +657,18 @@ impl Message {
                 out.put_slice(data);
             }
             Message::EchoRequest(d) | Message::EchoReply(d) => out.put_slice(d),
+            Message::RoleRequest {
+                role,
+                generation_id,
+            }
+            | Message::RoleReply {
+                role,
+                generation_id,
+            } => {
+                out.put_u32(role.value());
+                out.put_bytes(0, 4);
+                out.put_u64(*generation_id);
+            }
             Message::FeaturesReply {
                 datapath_id,
                 n_buffers,
@@ -926,6 +998,25 @@ impl Message {
             }
             ECHO_REQUEST => Message::EchoRequest(Bytes::copy_from_slice(body)),
             ECHO_REPLY => Message::EchoReply(Bytes::copy_from_slice(body)),
+            ROLE_REQUEST | ROLE_REPLY => {
+                if body.len() < 16 {
+                    return Err(Error::Truncated);
+                }
+                let role = ControllerRole::from_value(body.get_u32())?;
+                body.advance(4);
+                let generation_id = body.get_u64();
+                if ty == ROLE_REQUEST {
+                    Message::RoleRequest {
+                        role,
+                        generation_id,
+                    }
+                } else {
+                    Message::RoleReply {
+                        role,
+                        generation_id,
+                    }
+                }
+            }
             FEATURES_REQUEST => Message::FeaturesRequest,
             FEATURES_REPLY => {
                 if body.len() < 24 {
@@ -1408,9 +1499,31 @@ mod tests {
                 code: 1,
                 data: Bytes::from_static(b"bad flow mod"),
             },
+            Message::RoleRequest {
+                role: ControllerRole::Master,
+                generation_id: 7,
+            },
+            Message::RoleReply {
+                role: ControllerRole::Slave,
+                generation_id: u64::MAX,
+            },
         ] {
             assert_eq!(round_trip(&m), m);
         }
+    }
+
+    #[test]
+    fn controller_role_wire_values() {
+        for (role, v) in [
+            (ControllerRole::NoChange, 0u32),
+            (ControllerRole::Equal, 1),
+            (ControllerRole::Master, 2),
+            (ControllerRole::Slave, 3),
+        ] {
+            assert_eq!(role.value(), v);
+            assert_eq!(ControllerRole::from_value(v).unwrap(), role);
+        }
+        assert!(ControllerRole::from_value(4).is_err());
     }
 
     #[test]

@@ -8,8 +8,8 @@
 use bytes::{Bytes, BytesMut};
 
 use openflow::message::{
-    decode_stream, FlowStatsEntry, Message, MultipartReq, MultipartRes, PacketInReason,
-    TableStatsEntry, Xid,
+    decode_stream, ControllerRole, FlowStatsEntry, Message, MultipartReq, MultipartRes,
+    PacketInReason, TableStatsEntry, Xid,
 };
 use openflow::table::{FlowEntry, RemovedReason};
 use openflow::{Action, Error, NO_BUFFER};
@@ -33,6 +33,10 @@ pub struct OfAgent {
     hello_done: bool,
     miss_send_len: u16,
     description: String,
+    role: ControllerRole,
+    generation_id: Option<u64>,
+    echo_pending: Vec<Xid>,
+    stale_echo_replies: u64,
 }
 
 impl OfAgent {
@@ -44,6 +48,10 @@ impl OfAgent {
             hello_done: false,
             miss_send_len: 0xffff,
             description: description.into(),
+            role: ControllerRole::Equal,
+            generation_id: None,
+            echo_pending: Vec::new(),
+            stale_echo_replies: 0,
         }
     }
 
@@ -62,6 +70,40 @@ impl OfAgent {
     pub fn hello(&mut self) -> Bytes {
         let x = self.xid();
         Message::Hello.encode(x)
+    }
+
+    /// Forget the current connection: the receive buffer, the handshake and
+    /// any outstanding keepalive probes. `next_xid` keeps counting so echo
+    /// replies that straggle in from the torn-down connection can never be
+    /// mistaken for answers to probes sent on the new one.
+    pub fn reset_connection(&mut self) {
+        self.rx.clear();
+        self.hello_done = false;
+        self.echo_pending.clear();
+    }
+
+    /// Build a keepalive probe; its xid is tracked until the matching
+    /// [`Message::EchoReply`] comes back.
+    pub fn echo_probe(&mut self) -> Bytes {
+        let x = self.xid();
+        self.echo_pending.push(x);
+        Message::EchoRequest(Bytes::new()).encode(x)
+    }
+
+    /// Keepalive probes sent but not yet answered.
+    pub fn echoes_outstanding(&self) -> usize {
+        self.echo_pending.len()
+    }
+
+    /// Echo replies whose xid matched no outstanding probe (e.g. replies
+    /// from before a reconnect), counted and otherwise ignored.
+    pub fn stale_echo_replies(&self) -> u64 {
+        self.stale_echo_replies
+    }
+
+    /// The controller role last granted via `ROLE_REQUEST`.
+    pub fn controller_role(&self) -> ControllerRole {
+        self.role
     }
 
     /// Build an asynchronous `PACKET_IN` for a punted frame.
@@ -144,7 +186,49 @@ impl OfAgent {
                 self.hello_done = true;
             }
             Message::EchoRequest(d) => out.replies.push(Message::EchoReply(d).encode(xid)),
-            Message::EchoReply(_) => {}
+            Message::EchoReply(_) => {
+                if self.echo_pending.contains(&xid) {
+                    // Cumulative ack: a reply to probe N proves the channel
+                    // is alive, so earlier unanswered probes stop counting
+                    // against liveness too.
+                    self.echo_pending.retain(|&x| x > xid);
+                } else {
+                    self.stale_echo_replies += 1;
+                }
+            }
+            Message::RoleRequest {
+                role,
+                generation_id,
+            } => {
+                // Master/Slave requests are fenced by generation_id
+                // (OF 1.3 §6.3.4): a request older than the newest one seen
+                // is from a deposed controller and must be refused.
+                let fenced = matches!(role, ControllerRole::Master | ControllerRole::Slave);
+                if fenced && self.generation_id.is_some_and(|g| generation_id < g) {
+                    out.replies.push(
+                        Message::Error {
+                            ty: 11,  // ROLE_REQUEST_FAILED
+                            code: 0, // STALE
+                            data: Bytes::new(),
+                        }
+                        .encode(xid),
+                    );
+                } else {
+                    if fenced {
+                        self.generation_id = Some(generation_id);
+                    }
+                    if role != ControllerRole::NoChange {
+                        self.role = role;
+                    }
+                    out.replies.push(
+                        Message::RoleReply {
+                            role: self.role,
+                            generation_id: self.generation_id.unwrap_or(0),
+                        }
+                        .encode(xid),
+                    );
+                }
+            }
             Message::FeaturesRequest => {
                 out.replies.push(
                     Message::FeaturesReply {
@@ -222,6 +306,7 @@ impl OfAgent {
             | Message::PortStatus { .. }
             | Message::MultipartReply(_)
             | Message::BarrierReply
+            | Message::RoleReply { .. }
             | Message::Error { .. } => {}
         }
     }
@@ -505,6 +590,108 @@ mod tests {
             }
             other => panic!("expected flow stats, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn echo_probe_reply_must_mirror_xid() {
+        let mut dp = dp();
+        let mut agent = OfAgent::new("test");
+        let probe = agent.echo_probe();
+        let (probe_xid, _, _) = Message::decode(&probe).unwrap();
+        assert_eq!(agent.echoes_outstanding(), 1);
+
+        // A reply with the wrong xid is stale: ignored, probe still pending.
+        agent.handle(&mut dp, &Message::EchoReply(Bytes::new()).encode(999), 0);
+        assert_eq!(agent.echoes_outstanding(), 1);
+        assert_eq!(agent.stale_echo_replies(), 1);
+
+        // The mirrored xid clears it.
+        agent.handle(
+            &mut dp,
+            &Message::EchoReply(Bytes::new()).encode(probe_xid),
+            0,
+        );
+        assert_eq!(agent.echoes_outstanding(), 0);
+        assert_eq!(agent.stale_echo_replies(), 1);
+    }
+
+    #[test]
+    fn echo_reply_acks_cumulatively_and_reset_clears_pending() {
+        let mut dp = dp();
+        let mut agent = OfAgent::new("test");
+        let _p1 = agent.echo_probe();
+        let _p2 = agent.echo_probe();
+        let p3 = agent.echo_probe();
+        assert_eq!(agent.echoes_outstanding(), 3);
+        let (x3, _, _) = Message::decode(&p3).unwrap();
+        // Answering the newest probe proves liveness for the older ones too.
+        agent.handle(&mut dp, &Message::EchoReply(Bytes::new()).encode(x3), 0);
+        assert_eq!(agent.echoes_outstanding(), 0);
+
+        // After a reconnect, replies to pre-reset probes are stale.
+        let p4 = agent.echo_probe();
+        let (x4, _, _) = Message::decode(&p4).unwrap();
+        agent.reset_connection();
+        assert!(!agent.handshaken());
+        assert_eq!(agent.echoes_outstanding(), 0);
+        agent.handle(&mut dp, &Message::EchoReply(Bytes::new()).encode(x4), 0);
+        assert_eq!(agent.stale_echo_replies(), 1);
+        // And new probes never reuse an old xid.
+        let p5 = agent.echo_probe();
+        let (x5, _, _) = Message::decode(&p5).unwrap();
+        assert!(x5 > x4);
+    }
+
+    #[test]
+    fn role_request_fences_stale_generations() {
+        let mut dp = dp();
+        let mut agent = OfAgent::new("test");
+        assert_eq!(agent.controller_role(), ControllerRole::Equal);
+
+        let req = Message::RoleRequest {
+            role: ControllerRole::Master,
+            generation_id: 5,
+        };
+        let out = agent.handle(&mut dp, &req.encode(10), 0);
+        let (xid, msg, _) = Message::decode(&out.replies[0]).unwrap();
+        assert_eq!(xid, 10);
+        assert_eq!(
+            msg,
+            Message::RoleReply {
+                role: ControllerRole::Master,
+                generation_id: 5
+            }
+        );
+        assert_eq!(agent.controller_role(), ControllerRole::Master);
+
+        // A deposed controller re-asserting mastership with an older
+        // generation gets ROLE_REQUEST_FAILED/STALE and no role change.
+        let stale = Message::RoleRequest {
+            role: ControllerRole::Master,
+            generation_id: 4,
+        };
+        let out = agent.handle(&mut dp, &stale.encode(11), 0);
+        let (xid, msg, _) = Message::decode(&out.replies[0]).unwrap();
+        assert_eq!(xid, 11);
+        match msg {
+            Message::Error { ty, code, .. } => assert_eq!((ty, code), (11, 0)),
+            other => panic!("expected Error, got {other:?}"),
+        }
+
+        // NoChange queries report without touching the role.
+        let query = Message::RoleRequest {
+            role: ControllerRole::NoChange,
+            generation_id: 0,
+        };
+        let out = agent.handle(&mut dp, &query.encode(12), 0);
+        let (_, msg, _) = Message::decode(&out.replies[0]).unwrap();
+        assert_eq!(
+            msg,
+            Message::RoleReply {
+                role: ControllerRole::Master,
+                generation_id: 5
+            }
+        );
     }
 
     #[test]

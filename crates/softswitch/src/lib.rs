@@ -50,6 +50,6 @@ pub mod tss;
 pub use batch::{BatchResult, FrameBatch};
 pub use datapath::{Datapath, DpConfig, DpResult, PipelineMode};
 pub use nat::{NatConfig, NatProto, NatTable};
-pub use node::SoftSwitchNode;
+pub use node::{FailMode, SoftSwitchNode};
 pub use route::LpmTable;
 pub use trace::{CostModel, ProcessingTrace};

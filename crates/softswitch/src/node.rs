@@ -16,10 +16,13 @@
 
 use bytes::Bytes;
 use std::any::Any;
+use std::collections::HashMap;
 
 use netsim::service::{ServiceQueue, Submit};
 use netsim::{Node, NodeCtx, NodeId, PortId, SimTime};
+use openflow::message::FlowMod;
 use openflow::table::flow_flags;
+use openflow::Action;
 
 use crate::agent::OfAgent;
 use crate::batch::{BatchResult, FrameBatch};
@@ -32,6 +35,13 @@ const TOKEN_EXPIRE: u64 = 1;
 /// completions. The generation is bumped by a reset so completions of
 /// batches flushed by the power cycle are recognised as stale.
 const TOKEN_SVC: u64 = 1000;
+/// Timer tokens `TOKEN_CTRL + generation` drive the control-channel
+/// liveness state machine (keepalive probes, connect timeouts, reconnect
+/// backoff). The generation is bumped on every connection transition so
+/// ticks scheduled for a torn-down connection are recognised as stale.
+/// The base sits far above the service-token space, which grows as
+/// `TOKEN_SVC + (svc_gen << 16) + slot`, so the two cannot collide.
+const TOKEN_CTRL: u64 = 1 << 48;
 
 /// Magic prefix of local administration messages (the analogue of the
 /// switch's local management socket, à la `ovs-vsctl`).
@@ -39,14 +49,27 @@ pub const ADMIN_MAGIC: &[u8; 8] = b"HXADMIN\0";
 /// Admin command: set the controller to the node id that follows (u64
 /// big-endian) and initiate the OpenFlow connection.
 pub const ADMIN_SET_CONTROLLER: u8 = 1;
+/// Admin command: add a backup controller (u64 big-endian node id
+/// follows). The switch dials it only after declaring the active
+/// controller dead.
+pub const ADMIN_ADD_BACKUP: u8 = 2;
+
+fn admin_msg(op: u8, controller: NodeId) -> Bytes {
+    let mut b = Vec::with_capacity(17);
+    b.extend_from_slice(ADMIN_MAGIC);
+    b.push(op);
+    b.extend_from_slice(&(controller.0 as u64).to_be_bytes());
+    Bytes::from(b)
+}
 
 /// Build a set-controller admin message.
 pub fn admin_set_controller(controller: NodeId) -> Bytes {
-    let mut b = Vec::with_capacity(17);
-    b.extend_from_slice(ADMIN_MAGIC);
-    b.push(ADMIN_SET_CONTROLLER);
-    b.extend_from_slice(&(controller.0 as u64).to_be_bytes());
-    Bytes::from(b)
+    admin_msg(ADMIN_SET_CONTROLLER, controller)
+}
+
+/// Build an add-backup-controller admin message.
+pub fn admin_add_backup(controller: NodeId) -> Bytes {
+    admin_msg(ADMIN_ADD_BACKUP, controller)
 }
 
 /// How often the switch sweeps for expired flows.
@@ -55,6 +78,43 @@ const EXPIRE_PERIOD: SimTime = SimTime::from_millis(500);
 /// Default maximum frames drained into one service period (the DPDK
 /// burst size).
 pub const DEFAULT_BATCH_SIZE: usize = 32;
+
+/// Default keepalive probe period; doubles as the connect timeout for an
+/// unanswered HELLO.
+pub const DEFAULT_KEEPALIVE: SimTime = SimTime::from_millis(500);
+/// Default number of keepalive probes that may go unanswered before the
+/// controller connection is declared dead.
+pub const DEFAULT_MAX_MISSED: u32 = 3;
+/// Default initial reconnect backoff; doubled per failed attempt.
+pub const DEFAULT_BACKOFF: SimTime = SimTime::from_millis(250);
+/// Default reconnect backoff cap.
+pub const DEFAULT_BACKOFF_CAP: SimTime = SimTime::from_secs(4);
+
+/// What the switch does with slow-path misses while its controller is
+/// unreachable — the OF 1.3 §6.4 fail modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailMode {
+    /// Keep the installed rules and drop slow-path misses ("fail secure
+    /// mode"). The spec default for OpenFlow-only switches.
+    #[default]
+    Secure,
+    /// Keep the installed rules but serve slow-path misses with a local
+    /// MAC-learning flooding fallback ("fail standalone mode").
+    Standalone,
+}
+
+/// Control-channel connection state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkState {
+    /// No controller configured, or none reachable yet.
+    Idle,
+    /// HELLO sent, waiting for the controller's HELLO.
+    Connecting,
+    /// Handshaken; keepalive probes in flight.
+    Up,
+    /// Declared dead; waiting out the reconnect backoff.
+    Backoff,
+}
 
 struct Work {
     in_port: u32,
@@ -71,7 +131,27 @@ pub struct SoftSwitchNode {
     dp: Datapath,
     agent: OfAgent,
     cost: CostModel,
-    controller: Option<NodeId>,
+    /// Configured controllers: the primary first, then backups in
+    /// promotion order. `active_ctrl` points at the one currently dialed.
+    controllers: Vec<NodeId>,
+    active_ctrl: usize,
+    fail_mode: FailMode,
+    link: LinkState,
+    /// Bumped on every connection transition; liveness timers carry the
+    /// generation they were scheduled under and are ignored when stale.
+    ctrl_gen: u64,
+    keepalive: SimTime,
+    max_missed: u32,
+    backoff: SimTime,
+    backoff_base: SimTime,
+    backoff_cap: SimTime,
+    ctrl_failures: u64,
+    failovers: u64,
+    sessions: u64,
+    standalone_frames: u64,
+    secure_dropped: u64,
+    /// MAC-learning table of the fail-standalone fallback bridge.
+    fallback_macs: HashMap<[u8; 6], u32>,
     sq: ServiceQueue<Work>,
     in_service: Vec<Option<Finished>>,
     batch_size: usize,
@@ -102,7 +182,22 @@ impl SoftSwitchNode {
             name,
             dp: Datapath::new(config),
             cost,
-            controller: None,
+            controllers: Vec::new(),
+            active_ctrl: 0,
+            fail_mode: FailMode::default(),
+            link: LinkState::Idle,
+            ctrl_gen: 0,
+            keepalive: DEFAULT_KEEPALIVE,
+            max_missed: DEFAULT_MAX_MISSED,
+            backoff: DEFAULT_BACKOFF,
+            backoff_base: DEFAULT_BACKOFF,
+            backoff_cap: DEFAULT_BACKOFF_CAP,
+            ctrl_failures: 0,
+            failovers: 0,
+            sessions: 0,
+            standalone_frames: 0,
+            secure_dropped: 0,
+            fallback_macs: HashMap::new(),
             sq: ServiceQueue::new(cores, rx_queue),
             in_service: (0..cores).map(|_| None).collect(),
             batch_size: DEFAULT_BATCH_SIZE,
@@ -130,14 +225,106 @@ impl SoftSwitchNode {
         self.batch_size
     }
 
-    /// Attach the controller this switch should speak OpenFlow to.
+    /// Attach the controller this switch should speak OpenFlow to,
+    /// replacing any previously configured controller set.
     pub fn connect_controller(&mut self, controller: NodeId) {
-        self.controller = Some(controller);
+        self.controllers = vec![controller];
+        self.active_ctrl = 0;
     }
 
-    /// The controller this switch is configured to speak to, if any.
+    /// Add a backup controller; the switch dials it (in order) only after
+    /// declaring the active controller dead.
+    pub fn add_backup_controller(&mut self, controller: NodeId) {
+        if !self.controllers.contains(&controller) {
+            self.controllers.push(controller);
+        }
+    }
+
+    /// The controller this switch is currently dialing, if any.
     pub fn controller(&self) -> Option<NodeId> {
-        self.controller
+        self.controllers.get(self.active_ctrl).copied()
+    }
+
+    /// All configured controllers: the primary first, then backups.
+    pub fn controllers(&self) -> &[NodeId] {
+        &self.controllers
+    }
+
+    /// Builder-style fail-mode override.
+    pub fn with_fail_mode(mut self, mode: FailMode) -> Self {
+        self.fail_mode = mode;
+        self
+    }
+
+    /// Change the fail mode at runtime.
+    pub fn set_fail_mode(&mut self, mode: FailMode) {
+        self.fail_mode = mode;
+    }
+
+    /// The configured fail mode.
+    pub fn fail_mode(&self) -> FailMode {
+        self.fail_mode
+    }
+
+    /// Builder-style keepalive override: probe every `period`, declare the
+    /// controller dead after `max_missed` unanswered probes.
+    pub fn with_keepalive(mut self, period: SimTime, max_missed: u32) -> Self {
+        self.keepalive = period;
+        self.max_missed = max_missed.max(1);
+        self
+    }
+
+    /// Builder-style reconnect backoff override (initial delay and cap).
+    pub fn with_backoff(mut self, base: SimTime, cap: SimTime) -> Self {
+        self.backoff = base;
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Change the keepalive cadence at runtime (for switches already
+    /// placed in a fabric).
+    pub fn set_keepalive(&mut self, period: SimTime, max_missed: u32) {
+        self.keepalive = period;
+        self.max_missed = max_missed.max(1);
+    }
+
+    /// Change the reconnect backoff at runtime.
+    pub fn set_backoff(&mut self, base: SimTime, cap: SimTime) {
+        self.backoff = base;
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+    }
+
+    /// True while the OpenFlow session is handshaken and probes are
+    /// being answered.
+    pub fn controller_link_up(&self) -> bool {
+        self.link == LinkState::Up
+    }
+
+    /// Times the switch declared its controller connection dead.
+    pub fn ctrl_failures(&self) -> u64 {
+        self.ctrl_failures
+    }
+
+    /// Times the switch promoted a backup controller after a death.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Completed handshakes beyond the first — i.e. successful reconnects.
+    pub fn reconnects(&self) -> u64 {
+        self.sessions.saturating_sub(1)
+    }
+
+    /// Slow-path misses served by the fail-standalone fallback bridge.
+    pub fn standalone_frames(&self) -> u64 {
+        self.standalone_frames
+    }
+
+    /// Slow-path misses dropped in fail-secure mode.
+    pub fn secure_dropped(&self) -> u64 {
+        self.secure_dropped
     }
 
     /// Register an OpenFlow/sim port.
@@ -199,16 +386,151 @@ impl SoftSwitchNode {
         );
     }
 
+    /// (Re)start the OpenFlow connection to the active controller: forget
+    /// the old session, send HELLO, arm the connect timeout.
+    fn start_connect(&mut self, ctx: &mut NodeCtx) {
+        let Some(c) = self.controller() else {
+            self.link = LinkState::Idle;
+            return;
+        };
+        self.ctrl_gen += 1;
+        self.agent.reset_connection();
+        self.link = LinkState::Connecting;
+        let hello = self.agent.hello();
+        ctx.ctrl_send(c, hello);
+        ctx.schedule(self.keepalive, TOKEN_CTRL + self.ctrl_gen);
+    }
+
+    /// The active controller stopped answering: promote the next backup
+    /// (if any) and wait out the current backoff before redialing. The
+    /// backoff doubles per consecutive failure up to the cap.
+    fn ctrl_dead(&mut self, ctx: &mut NodeCtx) {
+        self.ctrl_failures += 1;
+        if self.fail_mode == FailMode::Standalone {
+            self.ensure_miss_punt(ctx.now().as_nanos());
+        }
+        if self.controllers.len() > 1 {
+            self.active_ctrl = (self.active_ctrl + 1) % self.controllers.len();
+            self.failovers += 1;
+        }
+        self.link = LinkState::Backoff;
+        self.ctrl_gen += 1;
+        ctx.schedule(self.backoff, TOKEN_CTRL + self.ctrl_gen);
+        let next = self
+            .backoff
+            .as_nanos()
+            .saturating_mul(2)
+            .min(self.backoff_cap.as_nanos());
+        self.backoff = SimTime::from_nanos(next);
+    }
+
+    /// The handshake completed (first connect, reconnect, or failover).
+    fn link_established(&mut self, ctx: &mut NodeCtx) {
+        self.sessions += 1;
+        self.link = LinkState::Up;
+        self.backoff = self.backoff_base;
+        self.fallback_macs.clear();
+        self.ctrl_gen += 1;
+        ctx.schedule(self.keepalive, TOKEN_CTRL + self.ctrl_gen);
+    }
+
+    /// One liveness tick for the current connection generation.
+    fn ctrl_tick(&mut self, ctx: &mut NodeCtx) {
+        match self.link {
+            LinkState::Idle => {}
+            // The HELLO went unanswered for a whole keepalive period.
+            LinkState::Connecting => self.ctrl_dead(ctx),
+            LinkState::Backoff => self.start_connect(ctx),
+            LinkState::Up => {
+                if self.agent.echoes_outstanding() >= self.max_missed as usize {
+                    self.ctrl_dead(ctx);
+                } else if let Some(c) = self.controller() {
+                    let probe = self.agent.echo_probe();
+                    ctx.ctrl_send(c, probe);
+                    ctx.schedule(self.keepalive, TOKEN_CTRL + self.ctrl_gen);
+                }
+            }
+        }
+    }
+
+    /// Fail-standalone serves slow-path misses — but a datapath that
+    /// never completed a handshake has an empty table 0, and OF 1.3 §5.4
+    /// drops misses that hit no table-miss entry, so they would never
+    /// surface as punts for [`Self::fallback_forward`] to serve. On
+    /// declared death, install the same priority-0 punt the controller's
+    /// handshake would have installed; a later (re)connect re-adds an
+    /// identical entry, so the rule set still matches a never-failed run.
+    fn ensure_miss_punt(&mut self, now_ns: u64) {
+        let has_miss = self.dp.table(0).is_some_and(|t| {
+            t.entries()
+                .iter()
+                .any(|e| e.priority == 0 && e.match_.fields().is_empty())
+        });
+        if has_miss {
+            return;
+        }
+        let fm = FlowMod::add(0)
+            .priority(0)
+            .apply(vec![Action::to_controller()]);
+        let _ = self.dp.apply_flow_mod(&fm, now_ns);
+    }
+
+    /// Serve a slow-path miss as a plain learning bridge would: learn the
+    /// source MAC, forward to the learned port or flood. Only reachable in
+    /// fail-standalone mode with the controller unreachable.
+    fn fallback_forward(&mut self, in_port: u32, frame: &Bytes, ctx: &mut NodeCtx) {
+        if frame.len() < 12 {
+            return;
+        }
+        self.standalone_frames += 1;
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&frame[0..6]);
+        src.copy_from_slice(&frame[6..12]);
+        self.fallback_macs.insert(src, in_port);
+        if dst[0] & 1 == 0 {
+            if let Some(&p) = self.fallback_macs.get(&dst) {
+                if p != in_port {
+                    ctx.transmit(PortId(p as u16), frame.clone());
+                }
+                return;
+            }
+        }
+        for pd in self.dp.port_descs() {
+            if pd.port_no != in_port && pd.port_no <= openflow::port_no::MAX {
+                ctx.transmit(PortId(pd.port_no as u16), frame.clone());
+            }
+        }
+    }
+
     fn emit_result(&mut self, result: BatchResult, ctx: &mut NodeCtx) {
         for r in result.results {
             for (port, frame) in r.outputs {
                 ctx.transmit(PortId(port as u16), frame);
             }
-            if let Some(controller) = self.controller {
+            if r.packet_ins.is_empty() {
+                continue;
+            }
+            // Punts go to the controller while the session is up — and
+            // during the *initial* handshake, where the channel usually
+            // works and the controller buffers early punts. After a
+            // declared death they go to the configured fail mode until a
+            // session is re-established.
+            let ctrl_ok = self.link == LinkState::Up
+                || (self.ctrl_failures == 0 && self.link == LinkState::Connecting);
+            if ctrl_ok {
+                let controller = self.controller().expect("link state implies a controller");
                 for (reason, in_port, data) in r.packet_ins {
                     let msg = self.agent.packet_in(reason, in_port, &data);
                     self.packet_ins_sent += 1;
                     ctx.ctrl_send(controller, msg);
+                }
+            } else {
+                for (_reason, in_port, data) in r.packet_ins {
+                    match self.fail_mode {
+                        FailMode::Secure => self.secure_dropped += 1,
+                        FailMode::Standalone => self.fallback_forward(in_port, &data, ctx),
+                    }
                 }
             }
         }
@@ -218,9 +540,8 @@ impl SoftSwitchNode {
 impl Node for SoftSwitchNode {
     fn on_start(&mut self, ctx: &mut NodeCtx) {
         ctx.schedule(EXPIRE_PERIOD, TOKEN_EXPIRE);
-        if let Some(c) = self.controller {
-            let hello = self.agent.hello();
-            ctx.ctrl_send(c, hello);
+        if self.controller().is_some() {
+            self.start_connect(ctx);
         }
     }
 
@@ -259,9 +580,15 @@ impl Node for SoftSwitchNode {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx) {
+        if token >= TOKEN_CTRL {
+            if token - TOKEN_CTRL == self.ctrl_gen {
+                self.ctrl_tick(ctx);
+            }
+            return;
+        }
         if token == TOKEN_EXPIRE {
             let removed = self.dp.expire_flows(ctx.now().as_nanos());
-            if let Some(c) = self.controller {
+            if let Some(c) = self.controller() {
                 for (table_id, entry, reason) in removed {
                     if entry.flags & flow_flags::SEND_FLOW_REM != 0 {
                         let msg =
@@ -311,9 +638,11 @@ impl Node for SoftSwitchNode {
             *slot = None;
         }
         self.agent = OfAgent::new(self.name.clone());
-        if let Some(c) = self.controller {
-            let hello = self.agent.hello();
-            ctx.ctrl_send(c, hello);
+        self.link = LinkState::Idle;
+        self.backoff = self.backoff_base;
+        self.fallback_macs.clear();
+        if self.controller().is_some() {
+            self.start_connect(ctx);
         }
     }
 
@@ -321,18 +650,25 @@ impl Node for SoftSwitchNode {
         // Local administration (set-controller) arrives on the same
         // management plane with a magic prefix.
         if data.len() >= 17 && &data[..8] == ADMIN_MAGIC {
-            if data[8] == ADMIN_SET_CONTROLLER {
-                let id = u64::from_be_bytes(data[9..17].try_into().expect("length checked"));
-                let controller = NodeId(id as usize);
-                self.controller = Some(controller);
-                let hello = self.agent.hello();
-                ctx.ctrl_send(controller, hello);
+            let id = u64::from_be_bytes(data[9..17].try_into().expect("length checked"));
+            let controller = NodeId(id as usize);
+            match data[8] {
+                ADMIN_SET_CONTROLLER => {
+                    self.connect_controller(controller);
+                    self.start_connect(ctx);
+                }
+                ADMIN_ADD_BACKUP => self.add_backup_controller(controller),
+                _ => {}
             }
             return;
         }
         // Only the attached controller (or a manager acting as one) is
         // honoured; OpenFlow has no in-band peer auth in this model.
+        let was_handshaken = self.agent.handshaken();
         let out = self.agent.handle(&mut self.dp, &data, ctx.now().as_nanos());
+        if !was_handshaken && self.agent.handshaken() {
+            self.link_established(ctx);
+        }
         for reply in out.replies {
             ctx.ctrl_send(from, reply);
         }
@@ -350,7 +686,15 @@ impl Node for SoftSwitchNode {
         // TTL expiries) plus node-level ones: RX tail drops, power
         // cycles, and packet-ins — the latter being the only per-frame
         // convergence evidence in cache-less pipeline modes.
-        Some(self.dp.quiescence() + self.rx_dropped + self.resets + self.packet_ins_sent)
+        Some(
+            self.dp.quiescence()
+                + self.rx_dropped
+                + self.resets
+                + self.packet_ins_sent
+                + self.ctrl_failures
+                + self.standalone_frames
+                + self.secure_dropped,
+        )
     }
 
     fn credit_modeled(&mut self, frames: u64, _bytes: u64) {
@@ -510,19 +854,36 @@ mod tests {
         assert!(rx > 0 && rx < 10_000, "some but not all forwarded: {rx}");
     }
 
-    /// A scripted controller: sends a canned list of messages on start,
-    /// records everything it receives.
+    /// A scripted controller: sends a canned list of messages on first
+    /// contact, records everything it receives. With `live` set it also
+    /// answers HELLOs and echo probes (mirroring the xid) like a real
+    /// controller, so switch-side liveness sees it as healthy.
     struct MiniController {
         to_send: Vec<Bytes>,
         target: Option<NodeId>,
         received: Vec<openflow::Message>,
+        live: bool,
     }
 
     impl Node for MiniController {
         fn on_packet(&mut self, _p: PortId, _f: Bytes, _ctx: &mut NodeCtx) {}
         fn on_ctrl(&mut self, from: NodeId, data: Bytes, ctx: &mut NodeCtx) {
             let mut buf = bytes::BytesMut::from(&data[..]);
-            for (_, m) in openflow::message::decode_stream(&mut buf).unwrap() {
+            for (xid, m) in openflow::message::decode_stream(&mut buf).unwrap() {
+                if self.live {
+                    match &m {
+                        openflow::Message::Hello => {
+                            ctx.ctrl_send(from, openflow::Message::Hello.encode(xid));
+                        }
+                        openflow::Message::EchoRequest(d) => {
+                            ctx.ctrl_send(
+                                from,
+                                openflow::Message::EchoReply(d.clone()).encode(xid),
+                            );
+                        }
+                        _ => {}
+                    }
+                }
                 self.received.push(m);
             }
             if self.target.is_none() {
@@ -556,6 +917,7 @@ mod tests {
             ],
             target: None,
             received: Vec::new(),
+            live: false,
         });
         let mut sw = switch();
         sw.connect_controller(ctrl);
@@ -609,6 +971,7 @@ mod tests {
             ],
             target: None,
             received: Vec::new(),
+            live: false,
         });
         let mut sw = switch();
         sw.connect_controller(ctrl);
@@ -700,6 +1063,7 @@ mod tests {
             to_send: vec![openflow::Message::Hello.encode(1)],
             target: None,
             received: Vec::new(),
+            live: false,
         });
         let mut sw = switch();
         sw.connect_controller(ctrl);
@@ -729,5 +1093,169 @@ mod tests {
             .filter(|m| matches!(m, openflow::Message::PacketIn { .. }))
             .count();
         assert_eq!(pis, 2);
+    }
+
+    /// Wire up a switch (with a punt-everything miss rule) to a live
+    /// MiniController, plus a sink on port 2 to observe fallback floods.
+    fn resilience_rig(fail_mode: FailMode) -> (Network, NodeId, NodeId, NodeId) {
+        let mut net = Network::new(7);
+        let ctrl = net.add_node(MiniController {
+            to_send: Vec::new(),
+            target: None,
+            received: Vec::new(),
+            live: true,
+        });
+        let mut sw = switch()
+            .with_fail_mode(fail_mode)
+            .with_keepalive(SimTime::from_millis(50), 2)
+            .with_backoff(SimTime::from_millis(100), SimTime::from_millis(400));
+        sw.connect_controller(ctrl);
+        sw.datapath_mut()
+            .apply_flow_mod(
+                &FlowMod::add(0)
+                    .priority(0)
+                    .apply(vec![Action::to_controller()]),
+                0,
+            )
+            .unwrap();
+        let s = net.add_node(sw);
+        let sink = net.add_node(Sink::new("sink"));
+        net.connect(s, PortId(2), sink, PortId(0), LinkSpec::gigabit());
+        (net, ctrl, s, sink)
+    }
+
+    fn miss_frame(payload: &'static [u8]) -> Bytes {
+        netpkt::builder::udp_packet(
+            MacAddr::host(1),
+            MacAddr::host(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            53,
+            payload,
+        )
+    }
+
+    #[test]
+    fn agent_observes_ctrl_down_and_standalone_floods() {
+        let (mut net, ctrl, s, sink) = resilience_rig(FailMode::Standalone);
+        // Healthy phase: handshake completes and probes are answered.
+        net.run_until(SimTime::from_millis(150));
+        {
+            let sw = net.node_ref::<SoftSwitchNode>(s);
+            assert!(sw.controller_link_up(), "live controller must stay up");
+            assert_eq!(sw.ctrl_failures(), 0);
+        }
+        // Explicit control-channel teardown: the agent must observe it
+        // (via missed probes), not silently keep a dead channel "up".
+        net.ctrl_down(ctrl);
+        net.run_until(SimTime::from_millis(500));
+        {
+            let sw = net.node_ref::<SoftSwitchNode>(s);
+            assert!(!sw.controller_link_up(), "keepalive must notice the cut");
+            assert!(sw.ctrl_failures() >= 1);
+        }
+        // Slow-path misses are now served by the learning-bridge
+        // fallback: an unknown destination floods out of port 2.
+        net.inject(s, PortId(1), miss_frame(b"standalone"));
+        net.run_until(SimTime::from_millis(600));
+        {
+            let sw = net.node_ref::<SoftSwitchNode>(s);
+            assert!(sw.standalone_frames() >= 1, "fallback must engage");
+            assert_eq!(net.node_ref::<Sink>(sink).received(), 1);
+        }
+        // Heal the channel: backoff redial completes a fresh handshake.
+        net.ctrl_up(ctrl);
+        net.run_until(SimTime::from_secs(3));
+        {
+            let sw = net.node_ref::<SoftSwitchNode>(s);
+            assert!(sw.controller_link_up(), "must redial after ctrl_up");
+            assert!(sw.reconnects() >= 1);
+        }
+    }
+
+    #[test]
+    fn secure_mode_keeps_rules_and_drops_misses() {
+        let (mut net, ctrl, s, sink) = resilience_rig(FailMode::Secure);
+        // Give the switch a live forwarding rule alongside the miss rule.
+        net.node_mut::<SoftSwitchNode>(s)
+            .datapath_mut()
+            .apply_flow_mod(
+                &FlowMod::add(0)
+                    .priority(5)
+                    .match_(Match::new().eth_type(0x0800))
+                    .apply(vec![Action::output(2)]),
+                0,
+            )
+            .unwrap();
+        net.run_until(SimTime::from_millis(150));
+        net.ctrl_down(ctrl);
+        net.run_until(SimTime::from_millis(500));
+        assert!(!net.node_ref::<SoftSwitchNode>(s).controller_link_up());
+        // The installed rule keeps forwarding (IPv4 frame hits it)…
+        net.inject(s, PortId(1), miss_frame(b"ipv4"));
+        // …while a miss (ARP frame, not matching the IPv4 rule) is
+        // dropped rather than flooded.
+        net.inject(
+            s,
+            PortId(1),
+            netpkt::builder::arp_request(
+                MacAddr::host(1),
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+            ),
+        );
+        net.run_until(SimTime::from_millis(700));
+        let sw = net.node_ref::<SoftSwitchNode>(s);
+        assert_eq!(sw.standalone_frames(), 0, "secure mode never floods");
+        assert!(sw.secure_dropped() >= 1, "the miss must be dropped");
+        assert_eq!(
+            net.node_ref::<Sink>(sink).received(),
+            1,
+            "installed rules must keep forwarding in fail-secure mode"
+        );
+    }
+
+    #[test]
+    fn failover_promotes_backup_controller() {
+        let mut net = Network::new(9);
+        let primary = net.add_node(MiniController {
+            to_send: Vec::new(),
+            target: None,
+            received: Vec::new(),
+            live: true,
+        });
+        let backup = net.add_node(MiniController {
+            to_send: Vec::new(),
+            target: None,
+            received: Vec::new(),
+            live: true,
+        });
+        let mut sw = switch()
+            .with_keepalive(SimTime::from_millis(50), 2)
+            .with_backoff(SimTime::from_millis(100), SimTime::from_millis(400));
+        sw.connect_controller(primary);
+        sw.add_backup_controller(backup);
+        let s = net.add_node(sw);
+        net.run_until(SimTime::from_millis(150));
+        assert_eq!(
+            net.node_ref::<SoftSwitchNode>(s).controller(),
+            Some(primary)
+        );
+        // Kill the primary; the switch must promote the backup and
+        // complete a full re-handshake with it.
+        net.ctrl_down(primary);
+        net.run_until(SimTime::from_secs(2));
+        let sw = net.node_ref::<SoftSwitchNode>(s);
+        assert_eq!(sw.controller(), Some(backup), "backup must be promoted");
+        assert!(sw.failovers() >= 1);
+        assert!(sw.controller_link_up(), "handshaken with the backup");
+        let b = net.node_ref::<MiniController>(backup);
+        assert!(
+            b.received
+                .iter()
+                .any(|m| matches!(m, openflow::Message::Hello)),
+            "the backup saw a fresh handshake"
+        );
     }
 }

@@ -936,3 +936,193 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fail-standalone equivalence: with the controller unreachable
+    /// from the first instant and every software switch in
+    /// `FailMode::Standalone`, cross-pod traffic must arrive with
+    /// identical application-visible content to the plain legacy-L2
+    /// world — the local flood fallback stands in for the reactive SDN
+    /// path, invisibly above L2.
+    #[test]
+    fn fail_standalone_equals_legacy_direct(
+        src_port in 1u16..5,
+        dst_port in 1u16..5,
+        dport in 1u16..1024,
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        use harmless::fabric::{FabricSpec, Interconnect};
+        use harmless::instance::HarmlessSpec;
+        use netsim::host::Host;
+        use netsim::{LinkSpec, Network, PortId, SimTime};
+        use softswitch::FailMode;
+
+        let deliver = |net: &mut Network, a: netsim::NodeId, b: netsim::NodeId,
+                       dst_ip: std::net::Ipv4Addr, dport: u16, payload: &[u8]| {
+            net.run_until(SimTime::from_millis(100));
+            let p = payload.to_vec();
+            net.with_node_ctx::<Host, _>(a, move |h, ctx| {
+                h.send_udp(dst_ip, dport, &p);
+                h.ping(b"equivalence", dst_ip);
+                h.flush(ctx);
+            });
+            net.run_until(SimTime::from_millis(600));
+            let replies = net.node_ref::<Host>(a).echo_replies_received();
+            let mail: Vec<(std::net::Ipv4Addr, u16, u16, Vec<u8>)> = net
+                .node_ref::<Host>(b)
+                .mailbox()
+                .iter()
+                .map(|d| (d.src_ip, d.src_port, d.dst_port, d.payload.clone()))
+                .collect();
+            (replies, mail)
+        };
+
+        // World 1: the HARMLESS fabric whose controller is partitioned
+        // away before anything runs. Fast keepalives declare it dead
+        // well inside the warm-up window; fail-standalone takes over.
+        let (standalone_replies, standalone_mail) = {
+            let mut net = Network::new(4242);
+            let ctrl = net.add_node(controller::ControllerNode::new(
+                "ctrl",
+                vec![Box::new(controller::apps::LearningSwitch::new())],
+            ));
+            let mut fx = FabricSpec::new(2, HarmlessSpec::new(4))
+                .with_interconnect(Interconnect::SpineLegacy)
+                .build(&mut net)
+                .expect("valid fabric spec");
+            fx.configure_direct(&mut net);
+            fx.connect_controller(&mut net, ctrl);
+            fx.for_each_softswitch(&mut net, |sw| {
+                sw.set_fail_mode(FailMode::Standalone);
+                sw.set_keepalive(SimTime::from_millis(20), 2);
+                sw.set_backoff(SimTime::from_millis(20), SimTime::from_millis(80));
+            });
+            net.ctrl_down(ctrl);
+            let a = fx.attach_host(&mut net, 0, src_port).expect("free port");
+            let b = fx.attach_host(&mut net, 1, dst_port).expect("free port");
+            let dst_ip = fx.host_ip(1, dst_port);
+            deliver(&mut net, a, b, dst_ip, dport, &payload)
+        };
+
+        // World 2: the same stations on plain factory-default legacy
+        // switches behind the same spine — no VLANs, no SDN.
+        let (legacy_replies, legacy_mail) = {
+            let mut net = Network::new(4242);
+            let sw0 = net.add_node(legacy_switch::LegacySwitchNode::new("sw0", 5));
+            let sw1 = net.add_node(legacy_switch::LegacySwitchNode::new("sw1", 5));
+            let spine = net.add_node(legacy_switch::LegacySwitchNode::new("spine", 2));
+            net.connect(sw0, PortId(5), spine, PortId(1), LinkSpec::ten_gigabit());
+            net.connect(sw1, PortId(5), spine, PortId(2), LinkSpec::ten_gigabit());
+            let a = net.add_node(Host::new(
+                "a",
+                MacAddr::host(u32::from(src_port)),
+                std::net::Ipv4Addr::new(10, 0, 0, src_port as u8),
+            ));
+            let b = net.add_node(Host::new(
+                "b",
+                MacAddr::host(1 << 16 | u32::from(dst_port)),
+                std::net::Ipv4Addr::new(10, 1, 0, dst_port as u8),
+            ));
+            net.connect(a, PortId(0), sw0, PortId(src_port), LinkSpec::gigabit());
+            net.connect(b, PortId(0), sw1, PortId(dst_port), LinkSpec::gigabit());
+            let dst_ip = std::net::Ipv4Addr::new(10, 1, 0, dst_port as u8);
+            deliver(&mut net, a, b, dst_ip, dport, &payload)
+        };
+
+        prop_assert_eq!(standalone_replies, 1, "standalone ping must complete");
+        prop_assert_eq!(legacy_replies, 1, "legacy ping must complete");
+        prop_assert_eq!(standalone_mail, legacy_mail,
+            "datagrams must arrive identically with a dead controller");
+    }
+
+    /// Resync idempotence: on a control channel that randomly drops,
+    /// duplicates and reorders messages, the barrier fate-sharing
+    /// resync must converge every datapath to the *exact* rule set of
+    /// a lossless run — and the whole impaired run must be
+    /// bit-identical for any worker-thread count.
+    #[test]
+    fn lossy_ctrl_resync_converges_to_fault_free_rules(
+        seed in any::<u64>(),
+        drop in 0.02f64..0.15,
+        dup in 0.0f64..0.10,
+        reorder in 0.0f64..0.10,
+        threads in 2usize..=4,
+    ) {
+        use harmless::fabric::{FabricSpec, Interconnect};
+        use harmless::instance::HarmlessSpec;
+        use netsim::{CtrlProfile, Network, SimTime};
+
+        let run = |profile: CtrlProfile, threads: Option<usize>| {
+            let mut net = Network::new(seed);
+            let ctrl = net.add_node(controller::ControllerNode::new(
+                "ctrl",
+                vec![
+                    Box::new(controller::apps::ArpProxy::new()),
+                    Box::new(controller::apps::LearningSwitch::new()),
+                ],
+            ));
+            let mut fx = FabricSpec::new(2, HarmlessSpec::new(2))
+                .with_interconnect(Interconnect::SpineSoft)
+                .with_arp_proxy(true)
+                .build(&mut net)
+                .expect("valid fabric spec");
+            fx.configure_direct(&mut net);
+            fx.connect_controller(&mut net, ctrl);
+            fx.attach_host(&mut net, 0, 1).expect("free port");
+            fx.attach_host(&mut net, 1, 1).expect("free port");
+            // Fast retry so even an unlucky drop streak leaves dozens
+            // of handshake attempts inside the window.
+            fx.for_each_softswitch(&mut net, |sw| {
+                sw.set_keepalive(SimTime::from_millis(50), 2);
+                sw.set_backoff(SimTime::from_millis(50), SimTime::from_millis(200));
+            });
+            net.set_ctrl_profile(profile);
+            if let Some(t) = threads {
+                net.set_shards(&fx.shard_map());
+                net.set_threads(t);
+            }
+            net.run_until(SimTime::from_secs(3));
+            // Heal the channel and let the periodic resync quiesce: the
+            // convergence claim is about where the state settles once
+            // the impairment ends, not about a lucky mid-handshake
+            // snapshot (a reply lost just before the cutoff is only
+            // re-driven on the next 1 s controller tick).
+            net.set_ctrl_profile(CtrlProfile::lossless());
+            net.run_until(SimTime::from_secs(6));
+            let nodes = [fx.pod(0).ss2, fx.pod(1).ss2, fx.spine().expect("soft spine").node()];
+            let rules: Vec<Vec<String>> = nodes
+                .iter()
+                .map(|&n| {
+                    let mut v: Vec<String> = net
+                        .node_ref::<softswitch::SoftSwitchNode>(n)
+                        .datapath()
+                        .table(0)
+                        .expect("table 0")
+                        .entries()
+                        .iter()
+                        .map(|e| format!("{}|{:?}|{:?}", e.priority, e.match_, e.instructions))
+                        .collect();
+                    v.sort();
+                    v
+                })
+                .collect();
+            (rules, net.events_processed(), net.ctrl_stats().dropped)
+        };
+
+        let profile = CtrlProfile::lossy(drop)
+            .with_dup(dup)
+            .with_reorder(reorder, SimTime::from_micros(200));
+        let clean = run(CtrlProfile::lossless(), None);
+        let lossy = run(profile, Some(1));
+        prop_assert_eq!(&lossy.0, &clean.0,
+            "impaired control channel must converge to the fault-free rule set");
+        let sharded = run(profile, Some(threads));
+        prop_assert_eq!(
+            (&sharded.0, sharded.1, sharded.2),
+            (&lossy.0, lossy.1, lossy.2),
+            "impaired run must be bit-identical for any thread count"
+        );
+    }
+}
