@@ -80,11 +80,11 @@ fn bench_tss_lookup(c: &mut Criterion) {
 fn bench_caches(c: &mut Criterion) {
     let mut g = c.benchmark_group("caches");
     g.throughput(Throughput::Elements(1));
-    let path = CachedPath {
-        actions: vec![softswitch::actions::CAction::Output(2)],
-        hits: vec![(0, 0)],
-        epoch: 1,
-    };
+    let path = std::sync::Arc::new(CachedPath::new(
+        vec![softswitch::actions::CAction::Output(2)],
+        vec![(0, 0)],
+        1,
+    ));
     let mut micro = MicroflowCache::new(65536);
     for s in 0..1000u32 {
         micro.insert(key(s, 53), path.clone());

@@ -44,6 +44,10 @@ pub enum System {
     /// Software switch with an explicit service batch size (the batched
     /// datapath ablation; `Software` uses the node's default burst).
     SoftwareBatched(usize),
+    /// Software switch with RSS flow steering across N datapath cores
+    /// (`SoftSwitchNode::with_datapath_cores`); N=1 is bit-identical to
+    /// `Software`.
+    SoftwareSteered(usize),
     /// COTS hardware OpenFlow switch.
     Cots,
 }
@@ -70,6 +74,7 @@ impl System {
                 }
             ),
             System::SoftwareBatched(n) => format!("software/b{n}"),
+            System::SoftwareSteered(n) => format!("software/c{n}"),
             System::Cots => "cots-sdn".into(),
         }
     }
@@ -203,7 +208,10 @@ pub fn forwarding_trial(system: System, spec: TrialSpec) -> ForwardingResult {
             fx.attach_node(&mut net, 0, 2, s).expect("port 2 free");
             (g, s)
         }
-        System::Software | System::SoftwareWith(_) | System::SoftwareBatched(_) => {
+        System::Software
+        | System::SoftwareWith(_)
+        | System::SoftwareBatched(_)
+        | System::SoftwareSteered(_) => {
             let mode = match system {
                 System::SoftwareWith(m) => m,
                 _ => PipelineMode::full(),
@@ -217,6 +225,9 @@ pub fn forwarding_trial(system: System, spec: TrialSpec) -> ForwardingResult {
             );
             if let System::SoftwareBatched(n) = system {
                 sw = sw.with_batch_size(n);
+            }
+            if let System::SoftwareSteered(n) = system {
+                sw = sw.with_datapath_cores(n);
             }
             sw.add_port(1, "p1", 1_000_000);
             sw.add_port(2, "p2", 1_000_000);

@@ -132,6 +132,75 @@ impl FlowKey {
     }
 }
 
+/// RSS-style steering hash over a *raw* frame: a single cheap pass that
+/// reads only the bytes a NIC's receive-side-scaling engine would — the
+/// IPv4 5-tuple when present, the MAC/EtherType words otherwise — and
+/// mixes them with the same MurmurHash3 rounds as [`FlowKey::flow_hash`].
+///
+/// This deliberately does *not* run the full [`FlowKey`] parser: the
+/// steering stage sits in front of the datapath and must cost a fraction
+/// of a lookup. The only property it needs is that all frames of one
+/// transport flow hash identically (so `hash % n_cores` pins the flow to
+/// one datapath instance and per-flow ordering is preserved); distinct
+/// flows should spread. VLAN tags are skipped the way RSS does before
+/// hashing the inner IP header, so tagged and untagged frames of the
+/// same flow steer together.
+pub fn rss_hash(frame: &[u8]) -> u32 {
+    const VLAN: u16 = 0x8100;
+    const QINQ: u16 = 0x88a8;
+    const IPV4: u16 = 0x0800;
+    let rd16 = |off: usize| -> Option<u16> {
+        Some(u16::from_be_bytes([*frame.get(off)?, *frame.get(off + 1)?]))
+    };
+    let rd32 = |off: usize| -> Option<u32> {
+        Some(u32::from_be_bytes([
+            *frame.get(off)?,
+            *frame.get(off + 1)?,
+            *frame.get(off + 2)?,
+            *frame.get(off + 3)?,
+        ]))
+    };
+    let five_tuple = || -> Option<u32> {
+        // Skip any stack of VLAN tags to the inner EtherType.
+        let mut off = 12;
+        let mut ety = rd16(off)?;
+        while ety == VLAN || ety == QINQ {
+            off += 4;
+            ety = rd16(off)?;
+        }
+        if ety != IPV4 {
+            return None;
+        }
+        let ip = off + 2;
+        let ihl = (*frame.get(ip)? & 0x0f) as usize * 4;
+        let proto = *frame.get(ip + 9)?;
+        let src = rd32(ip + 12)?;
+        let dst = rd32(ip + 16)?;
+        // TCP=6 / UDP=17 start with src/dst ports; everything else
+        // steers on the 3-tuple alone.
+        let ports = if proto == 6 || proto == 17 {
+            rd32(ip + ihl).unwrap_or(0)
+        } else {
+            0
+        };
+        let mut h = mix(0, src);
+        h = mix(h, dst);
+        h = mix(h, u32::from(proto));
+        h = mix(h, ports);
+        Some(finish(h))
+    };
+    five_tuple().unwrap_or_else(|| {
+        // Non-IP (ARP, LLDP, runts): steer on the MAC + EtherType words
+        // so the flow — such as it is — still lands on one core.
+        let mut h = 0;
+        for off in (0..12).step_by(4) {
+            h = mix(h, rd32(off).unwrap_or(0));
+        }
+        h = mix(h, u32::from(rd16(12).unwrap_or(0)));
+        finish(h)
+    })
+}
+
 /// A [`Hasher`] running the OVS mix over whatever the key's `Hash` impl
 /// writes. Drop-in replacement for SipHash in flow-keyed maps:
 ///
@@ -304,6 +373,63 @@ mod tests {
         for (i, m) in mutations.iter().enumerate() {
             assert_ne!(m.flow_hash(0), h0, "mutation {i} did not change the hash");
         }
+    }
+
+    #[test]
+    fn rss_hash_is_per_flow_stable_and_spreads() {
+        // Same 5-tuple, different payloads → same hash (flow pinning).
+        let f1 = builder::udp_packet(
+            MacAddr::host(1),
+            MacAddr::host(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            5000,
+            53,
+            b"first payload",
+        );
+        let f2 = builder::udp_packet(
+            MacAddr::host(1),
+            MacAddr::host(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            5000,
+            53,
+            b"a completely different payload entirely",
+        );
+        assert_eq!(rss_hash(&f1), rss_hash(&f2));
+
+        // A VLAN tag must not change where the flow steers.
+        let tagged = crate::vlan::push_vlan(&f1, crate::VlanTag::new(101)).expect("taggable");
+        assert_eq!(rss_hash(&f1), rss_hash(&tagged));
+
+        // Distinct flows spread across hash space.
+        let mut seen = HashSet::new();
+        for src in 0..32u32 {
+            for dport in 0..32u16 {
+                let f = builder::udp_packet(
+                    MacAddr::host(src),
+                    MacAddr::host(2),
+                    Ipv4Addr::from(0x0a00_0000 + src),
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    1000,
+                    dport,
+                    b"x",
+                );
+                seen.insert(rss_hash(&f));
+            }
+        }
+        assert!(seen.len() >= 1020, "only {} distinct hashes", seen.len());
+
+        // Non-IP frames still produce a stable hash.
+        let arp = builder::arp_request(
+            MacAddr::host(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        assert_eq!(rss_hash(&arp), rss_hash(&arp.to_vec()));
+        // Runts don't panic.
+        assert_eq!(rss_hash(&[]), rss_hash(&[]));
+        assert_eq!(rss_hash(&[1, 2, 3]), rss_hash(&[1, 2, 3]));
     }
 
     #[test]

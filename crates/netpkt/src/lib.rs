@@ -49,6 +49,7 @@ pub mod ethertype;
 pub mod flowhash;
 pub mod flowkey;
 pub mod frame;
+pub mod framebuf;
 pub mod icmp;
 pub mod ipv4;
 pub mod ipv6;
@@ -62,6 +63,7 @@ pub use ethertype::EtherType;
 pub use flowhash::{FlowHashBuilder, FlowHasher};
 pub use flowkey::{FieldMask, FlowKey, VlanKey};
 pub use frame::{EthernetFrame, EthernetRepr};
+pub use framebuf::FrameBuf;
 pub use icmp::{Icmpv4Packet, Icmpv4Type};
 pub use ipv4::{IpProto, Ipv4Addr, Ipv4Packet, Ipv4Repr};
 pub use ipv6::Ipv6Packet;

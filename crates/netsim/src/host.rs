@@ -51,8 +51,9 @@ pub struct Datagram {
     pub src_port: u16,
     /// Destination UDP port.
     pub dst_port: u16,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes — a zero-copy slice of the delivered frame's
+    /// backing storage (refcount bump, no allocation per datagram).
+    pub payload: Bytes,
 }
 
 /// A simulated end host.
@@ -293,7 +294,7 @@ impl Host {
         self.flush_pending(ctx, false);
     }
 
-    fn handle_ipv4(&mut self, frame: &[u8], ctx: &mut NodeCtx) {
+    fn handle_ipv4(&mut self, frame: &Bytes, ctx: &mut NodeCtx) {
         let eth = EthernetFrame::new_unchecked(frame);
         let Ok(ip) = Ipv4Packet::new_checked(eth.payload()) else {
             return;
@@ -335,7 +336,7 @@ impl Host {
                     src_ip: ip.src(),
                     src_port: udp.src_port(),
                     dst_port: udp.dst_port(),
-                    payload: udp.payload().to_vec(),
+                    payload: frame.slice_ref(udp.payload()),
                 });
             }
             IpProto::TCP => {
@@ -447,7 +448,7 @@ mod tests {
         net.run_until(SimTime::from_millis(10));
         let mb = net.node_ref::<Host>(b).mailbox();
         assert_eq!(mb.len(), 1);
-        assert_eq!(mb[0].payload, b"query");
+        assert_eq!(&mb[0].payload[..], b"query");
         assert_eq!(mb[0].dst_port, 5353);
         assert_eq!(mb[0].src_ip, Ipv4Addr::new(10, 0, 0, 1));
     }

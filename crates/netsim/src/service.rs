@@ -39,11 +39,29 @@ pub enum Submit {
 
 /// Bounded FIFO queue in front of `k` parallel servers, each serving
 /// batches of items.
+///
+/// Two submission disciplines coexist:
+///
+/// * [`submit`](ServiceQueue::submit) — work-conserving: any idle slot
+///   takes the item, overflow waits in one shared queue;
+/// * [`submit_to`](ServiceQueue::submit_to) — *steered*: the caller
+///   pins the item to a slot (e.g. by RSS flow hash), and overflow
+///   waits in that slot's private ring. Per-flow FIFO order is then
+///   guaranteed, since one flow only ever visits one slot.
+///
+/// When a slot refills ([`absorb_queued`](ServiceQueue::absorb_queued)
+/// / [`start_queued_batch`](ServiceQueue::start_queued_batch)) it
+/// drains its private ring before the shared queue, so both
+/// disciplines can be mixed. With one server and only `submit_to(0,
+/// ..)` submissions, behaviour is identical to `submit` — the ring is
+/// just the shared queue under another name.
 #[derive(Debug)]
 pub struct ServiceQueue<T> {
     /// In-service batches; an empty vector means the slot is idle.
     slots: Vec<Vec<T>>,
     queue: VecDeque<T>,
+    /// Per-slot steering rings for `submit_to`.
+    rings: Vec<VecDeque<T>>,
     capacity: usize,
     drops: u64,
     completed: u64,
@@ -57,6 +75,7 @@ impl<T> ServiceQueue<T> {
         ServiceQueue {
             slots: (0..servers).map(|_| Vec::new()).collect(),
             queue: VecDeque::new(),
+            rings: (0..servers).map(|_| VecDeque::new()).collect(),
             capacity,
             drops: 0,
             completed: 0,
@@ -64,14 +83,22 @@ impl<T> ServiceQueue<T> {
         }
     }
 
-    /// Drop everything in flight: the waiting queue and every
-    /// in-service batch (a device power cycle). Counters survive —
-    /// they model the observer, not the device. Completion timers for
-    /// the flushed batches may still fire; callers must treat a
-    /// completion on an idle slot as stale.
+    /// Number of server slots.
+    pub fn servers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Drop everything in flight: the waiting queues (shared and
+    /// per-slot) and every in-service batch (a device power cycle).
+    /// Counters survive — they model the observer, not the device.
+    /// Completion timers for the flushed batches may still fire;
+    /// callers must treat a completion on an idle slot as stale.
     pub fn clear(&mut self) {
         for s in &mut self.slots {
             s.clear();
+        }
+        for r in &mut self.rings {
+            r.clear();
         }
         self.queue.clear();
     }
@@ -87,8 +114,32 @@ impl<T> ServiceQueue<T> {
             return Submit::Dropped;
         }
         self.queue.push_back(item);
-        self.max_queue_len = self.max_queue_len.max(self.queue.len());
+        self.track_high_water();
         Submit::Queued
+    }
+
+    /// Offer an item for service on a specific slot (RSS-style flow
+    /// steering). The item starts immediately if the slot is idle with
+    /// nothing steered ahead of it; otherwise it waits in the slot's
+    /// private ring, bounded by the same `capacity` as the shared
+    /// queue.
+    pub fn submit_to(&mut self, slot: usize, item: T) -> Submit {
+        if self.slots[slot].is_empty() && self.rings[slot].is_empty() {
+            self.slots[slot].push(item);
+            return Submit::Start(slot);
+        }
+        if self.rings[slot].len() >= self.capacity {
+            self.drops += 1;
+            return Submit::Dropped;
+        }
+        self.rings[slot].push_back(item);
+        self.track_high_water();
+        Submit::Queued
+    }
+
+    fn track_high_water(&mut self) {
+        let waiting = self.queue.len() + self.rings.iter().map(VecDeque::len).sum::<usize>();
+        self.max_queue_len = self.max_queue_len.max(waiting);
     }
 
     /// The head item of the batch currently served in `slot`.
@@ -105,19 +156,25 @@ impl<T> ServiceQueue<T> {
     }
 
     /// Move up to `extra` queued items into the batch already started in
-    /// `slot` (before its completion timer is scheduled). Returns how
+    /// `slot` (before its completion timer is scheduled) — the slot's
+    /// own steering ring first, then the shared queue. Returns how
     /// many items were absorbed.
     ///
     /// # Panics
     /// Panics if the slot is idle — there is no service period to join.
     pub fn absorb_queued(&mut self, slot: usize, extra: usize) -> usize {
         assert!(!self.slots[slot].is_empty(), "absorb into idle slot");
-        let n = extra.min(self.queue.len());
-        for _ in 0..n {
+        let from_ring = extra.min(self.rings[slot].len());
+        for _ in 0..from_ring {
+            let item = self.rings[slot].pop_front().expect("length checked");
+            self.slots[slot].push(item);
+        }
+        let from_shared = (extra - from_ring).min(self.queue.len());
+        for _ in 0..from_shared {
             let item = self.queue.pop_front().expect("length checked");
             self.slots[slot].push(item);
         }
-        n
+        from_ring + from_shared
     }
 
     /// Finish the batch in `slot`, returning its items. The slot becomes
@@ -140,18 +197,24 @@ impl<T> ServiceQueue<T> {
     }
 
     /// Pull up to `max` queued items into the (idle) `slot` as one
-    /// batched service period. Returns the number of items started
-    /// (0 = slot busy or queue empty).
+    /// batched service period — the slot's own steering ring first,
+    /// then the shared queue. Returns the number of items started
+    /// (0 = slot busy or nothing waiting).
     pub fn start_queued_batch(&mut self, slot: usize, max: usize) -> usize {
         if !self.slots[slot].is_empty() {
             return 0;
         }
-        let n = max.min(self.queue.len());
-        for _ in 0..n {
+        let from_ring = max.min(self.rings[slot].len());
+        for _ in 0..from_ring {
+            let item = self.rings[slot].pop_front().expect("length checked");
+            self.slots[slot].push(item);
+        }
+        let from_shared = (max - from_ring).min(self.queue.len());
+        for _ in 0..from_shared {
             let item = self.queue.pop_front().expect("length checked");
             self.slots[slot].push(item);
         }
-        n
+        from_ring + from_shared
     }
 
     /// Credit `n` items as served without passing through the queue.
@@ -178,9 +241,10 @@ impl<T> ServiceQueue<T> {
         self.max_queue_len
     }
 
-    /// Items currently waiting (not in service).
+    /// Items currently waiting (not in service), across the shared
+    /// queue and all steering rings.
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.rings.iter().map(VecDeque::len).sum::<usize>()
     }
 
     /// Number of busy servers.
@@ -257,6 +321,79 @@ mod tests {
         // Absorbing more than is queued takes what exists.
         assert_eq!(sq.absorb_queued(0, 10), 1);
         assert_eq!(sq.complete(0), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn steered_submit_with_one_server_equals_shared_submit() {
+        // The N=1 bit-identity guarantee behind `--datapath-cores 1`.
+        let mut a: ServiceQueue<u32> = ServiceQueue::new(1, 2);
+        let mut b: ServiceQueue<u32> = ServiceQueue::new(1, 2);
+        for i in 1..=4 {
+            assert_eq!(a.submit(i), b.submit_to(0, i), "item {i}");
+        }
+        assert_eq!(a.drops(), b.drops());
+        assert_eq!(a.complete(0), b.complete(0));
+        assert_eq!(
+            a.start_queued_batch(0, 8),
+            b.start_queued_batch(0, 8),
+            "refill order must match"
+        );
+        assert_eq!(a.complete(0), b.complete(0));
+        assert_eq!(a.queue_len(), b.queue_len());
+        assert_eq!(a.max_queue_len(), b.max_queue_len());
+    }
+
+    #[test]
+    fn steered_items_stay_on_their_slot() {
+        let mut sq: ServiceQueue<u32> = ServiceQueue::new(2, 4);
+        // Flow A → slot 0, flow B → slot 1; interleaved arrivals.
+        assert_eq!(sq.submit_to(0, 10), Submit::Start(0));
+        assert_eq!(sq.submit_to(1, 20), Submit::Start(1));
+        assert_eq!(sq.submit_to(0, 11), Submit::Queued);
+        assert_eq!(sq.submit_to(1, 21), Submit::Queued);
+        assert_eq!(sq.submit_to(0, 12), Submit::Queued);
+        assert_eq!(sq.queue_len(), 3);
+        // Slot 0 finishes: its refill sees only its own flow, in order.
+        assert_eq!(sq.complete(0), vec![10]);
+        assert_eq!(sq.start_queued_batch(0, 8), 2);
+        assert_eq!(sq.batch(0), &[11, 12]);
+        // Slot 1 likewise.
+        assert_eq!(sq.complete(1), vec![20]);
+        assert_eq!(sq.start_queued_batch(1, 8), 1);
+        assert_eq!(sq.batch(1), &[21]);
+    }
+
+    #[test]
+    fn steering_ring_is_bounded_and_drains_before_shared() {
+        let mut sq: ServiceQueue<u32> = ServiceQueue::new(1, 2);
+        assert_eq!(sq.submit_to(0, 1), Submit::Start(0));
+        assert_eq!(sq.submit_to(0, 2), Submit::Queued);
+        assert_eq!(sq.submit_to(0, 3), Submit::Queued);
+        assert_eq!(sq.submit_to(0, 4), Submit::Dropped, "ring bounded");
+        // A shared-queue item waits behind the steered ones.
+        sq.queue.push_back(99);
+        assert_eq!(sq.absorb_queued(0, 10), 3);
+        assert_eq!(sq.complete(0), vec![1, 2, 3, 99]);
+        // An idle slot whose ring holds items must not let a newcomer
+        // jump the line.
+        assert_eq!(sq.submit_to(0, 5), Submit::Start(0));
+        assert_eq!(sq.submit_to(0, 6), Submit::Queued);
+        assert_eq!(sq.complete(0), vec![5]);
+        assert_eq!(sq.submit_to(0, 7), Submit::Queued, "FIFO behind ring");
+        assert_eq!(sq.start_queued_batch(0, 8), 2);
+        assert_eq!(sq.batch(0), &[6, 7]);
+    }
+
+    #[test]
+    fn clear_flushes_steering_rings() {
+        let mut sq: ServiceQueue<u32> = ServiceQueue::new(2, 4);
+        sq.submit_to(0, 1);
+        sq.submit_to(0, 2);
+        sq.submit_to(1, 3);
+        sq.clear();
+        assert_eq!(sq.queue_len(), 0);
+        assert_eq!(sq.busy(), 0);
+        assert_eq!(sq.servers(), 2);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use bytes::{Bytes, BytesMut};
 use netpkt::flowkey::OFPVID_PRESENT;
 use netpkt::icmp::{Icmpv4Packet, Icmpv4Type};
 use netpkt::vlan::{VlanView, TAG_LEN};
-use netpkt::{EtherType, FlowKey, IpProto, Ipv4Packet, TcpPacket, UdpPacket};
+use netpkt::{EtherType, FlowKey, FrameBuf, IpProto, Ipv4Packet, TcpPacket, UdpPacket};
 use openflow::message::PacketInReason;
 use openflow::oxm::OxmField;
 
@@ -334,6 +334,86 @@ pub struct ReplayOutput {
     pub ttl_expired: Option<Bytes>,
 }
 
+/// Where a replay delivers its frames. The datapath's batched path
+/// sinks straight into the flat [`BatchResult`] arena; the public
+/// [`replay`] sinks into a [`ReplayOutput`].
+///
+/// [`BatchResult`]: crate::batch::BatchResult
+pub(crate) trait ReplaySink {
+    /// One frame for a concrete egress port.
+    fn output(&mut self, port: u32, frame: Bytes);
+    /// One copy punted to the controller.
+    fn packet_in(&mut self, reason: PacketInReason, frame: Bytes);
+}
+
+impl ReplaySink for ReplayOutput {
+    fn output(&mut self, port: u32, frame: Bytes) {
+        self.outputs.push((port, frame));
+    }
+    fn packet_in(&mut self, reason: PacketInReason, frame: Bytes) {
+        self.to_controller.push((reason, frame));
+    }
+}
+
+/// Out-of-band replay outcomes that are not frames (see
+/// [`ReplayOutput`] for field semantics).
+#[derive(Debug, Default)]
+pub(crate) struct ReplayFlags {
+    pub(crate) metered_out: bool,
+    pub(crate) ttl_expired: Option<Bytes>,
+}
+
+/// Replay a recorded action list over a copy-on-write [`FrameBuf`],
+/// delivering frames into `sink`.
+///
+/// The ingress frame is *not* copied up front: pure-forward paths emit
+/// refcounted clones of it, and the first byte-rewriting action
+/// (VLAN push/pop, set-field, TTL, ICMP ident) pays exactly one copy
+/// via [`FrameBuf::make_mut`]. `meters` is consulted for
+/// [`CAction::Meter`] entries, `nat` for [`CAction::NatTouch`]
+/// keep-alives.
+pub(crate) fn replay_cow<S: ReplaySink>(
+    cactions: &[CAction],
+    frame: Bytes,
+    key: &mut FlowKey,
+    now_ns: u64,
+    meters: &mut openflow::MeterTable,
+    nat: &mut NatTable,
+    sink: &mut S,
+) -> ReplayFlags {
+    let mut flags = ReplayFlags::default();
+    let mut buf = FrameBuf::from_bytes(frame);
+    for a in cactions {
+        match a {
+            CAction::PushVlan(tpid) => push_vlan(buf.make_mut(), key, *tpid),
+            CAction::PopVlan => pop_vlan(buf.make_mut(), key),
+            CAction::SetField(f) => {
+                set_field(buf.make_mut(), key, f);
+            }
+            CAction::Meter(id) => {
+                if !meters.offer(*id, now_ns, buf.len()) {
+                    flags.metered_out = true;
+                    return flags;
+                }
+            }
+            CAction::Output(port) => sink.output(*port, buf.snapshot()),
+            CAction::ToController(reason) => sink.packet_in(*reason, buf.snapshot()),
+            CAction::DecTtl => match dec_ttl(buf.make_mut()) {
+                TtlResult::Decremented | TtlResult::NotIpv4 => {}
+                TtlResult::Expired => {
+                    flags.ttl_expired = Some(buf.into_bytes());
+                    return flags;
+                }
+            },
+            CAction::SetIcmpId(id) => {
+                set_icmp_id(buf.make_mut(), *id);
+            }
+            CAction::NatTouch(token) => nat.touch(*token, now_ns),
+        }
+    }
+    flags
+}
+
 /// Replay a recorded action list on a fresh packet. `meters` is
 /// consulted for [`CAction::Meter`] entries, `nat` for
 /// [`CAction::NatTouch`] keep-alives.
@@ -346,40 +426,9 @@ pub fn replay(
     nat: &mut NatTable,
 ) -> ReplayOutput {
     let mut out = ReplayOutput::default();
-    let mut buf = BytesMut::from(&frame[..]);
-    for a in cactions {
-        match a {
-            CAction::PushVlan(tpid) => push_vlan(&mut buf, key, *tpid),
-            CAction::PopVlan => pop_vlan(&mut buf, key),
-            CAction::SetField(f) => {
-                set_field(&mut buf, key, f);
-            }
-            CAction::Meter(id) => {
-                if !meters.offer(*id, now_ns, buf.len()) {
-                    out.metered_out = true;
-                    return out;
-                }
-            }
-            CAction::Output(port) => {
-                out.outputs.push((*port, Bytes::copy_from_slice(&buf)));
-            }
-            CAction::ToController(reason) => {
-                out.to_controller
-                    .push((*reason, Bytes::copy_from_slice(&buf)));
-            }
-            CAction::DecTtl => match dec_ttl(&mut buf) {
-                TtlResult::Decremented | TtlResult::NotIpv4 => {}
-                TtlResult::Expired => {
-                    out.ttl_expired = Some(buf.freeze());
-                    return out;
-                }
-            },
-            CAction::SetIcmpId(id) => {
-                set_icmp_id(&mut buf, *id);
-            }
-            CAction::NatTouch(token) => nat.touch(*token, now_ns),
-        }
-    }
+    let flags = replay_cow(cactions, frame, key, now_ns, meters, nat, &mut out);
+    out.metered_out = flags.metered_out;
+    out.ttl_expired = flags.ttl_expired;
     out
 }
 

@@ -10,21 +10,33 @@
 //! its throughput margin (see `benches/datapath.rs`,
 //! `batched_vs_scalar_*`).
 //!
-//! The memo is scoped to a single `process_batch` call, so it can never
-//! go stale: flow-mods bump the datapath epoch between batches, never
-//! within one.
+//! [`BatchResult`] is a *flat arena*: all output frames and packet-ins
+//! of a batch live in two contiguous vectors, with each frame owning a
+//! range into them. A result object is reusable across batches
+//! ([`BatchResult::clear`] keeps the allocations), so a steady-state
+//! service loop emits thousands of batches without allocating per
+//! frame — the per-frame `Vec<DpResult>` shape the old API forced is
+//! available on demand via [`BatchResult::per_frame`] for tests.
+//!
+//! The memo persists across batches while the datapath epoch is
+//! unchanged, so a steady-state service loop serves every frame of a
+//! warm flow from the memo — the cache hierarchy is only consulted the
+//! first time a flow appears after an epoch bump. Any flow-mod (or NAT
+//! binding install) bumps the epoch, and the next batch starts from an
+//! empty memo, exactly as the microflow/megaflow caches invalidate.
 //!
 //! [`Datapath::process_batch`]: crate::Datapath::process_batch
 
 use bytes::Bytes;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use netpkt::FlowKey;
 
-use crate::actions::CAction;
 use crate::cache::CachedPath;
 use crate::datapath::DpResult;
-use crate::trace::{LookupPath, ProcessingTrace};
+use crate::trace::ProcessingTrace;
+use openflow::message::PacketInReason;
 
 /// A batch of `(ingress port, frame)` pairs awaiting processing.
 ///
@@ -90,123 +102,253 @@ impl FromIterator<(u32, Bytes)> for FrameBatch {
     }
 }
 
-/// Everything one [`Datapath::process_batch`] call produced.
+/// Per-frame summary inside a [`BatchResult`]: the drop decision, the
+/// cost-accounting trace, and (privately) the frame's ranges into the
+/// shared output / packet-in arenas.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameResult {
+    /// True if the pipeline dropped the packet (miss, meter, TTL, NAT).
+    pub dropped: bool,
+    /// Cost-accounting trace.
+    pub trace: Option<ProcessingTrace>,
+    out_start: u32,
+    out_end: u32,
+    pi_start: u32,
+    pi_end: u32,
+}
+
+/// Arena positions at the start of a frame's processing; closed into a
+/// [`FrameResult`] by [`BatchResult::finish_frame`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FrameMark {
+    out: u32,
+    pi: u32,
+}
+
+/// Everything one [`Datapath::process_batch`] call produced, as a flat
+/// arena.
 ///
-/// Per-frame [`DpResult`]s are kept in input order (so callers can pair
-/// them with what they submitted — the simulator node does, for cost
-/// accounting), with aggregate per-port views derived on demand.
+/// Output frames and packet-ins are stored contiguously in emission
+/// order; each processed frame records its sub-range, in input order
+/// (so callers can pair results with what they submitted — the
+/// simulator node does, for cost accounting). The `Bytes` handles are
+/// reference-counted: on pure-forward and flood paths they share
+/// storage with the ingress frame.
+///
+/// Reusable: [`BatchResult::clear`] empties the arenas but keeps their
+/// allocations, so a service loop can recycle one result object across
+/// service periods.
 ///
 /// [`Datapath::process_batch`]: crate::Datapath::process_batch
 #[derive(Debug, Default)]
 pub struct BatchResult {
-    /// Per-frame results, in the order the frames were pushed.
-    pub results: Vec<DpResult>,
+    outputs: Vec<(u32, Bytes)>,
+    packet_ins: Vec<(PacketInReason, u32, Bytes)>,
+    frames: Vec<FrameResult>,
 }
 
 impl BatchResult {
+    /// Number of frames processed into this result.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if no frames were processed.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The per-frame summaries, in input order.
+    pub fn frames(&self) -> &[FrameResult] {
+        &self.frames
+    }
+
+    /// The `i`-th frame's summary (input order).
+    pub fn frame(&self, i: usize) -> &FrameResult {
+        &self.frames[i]
+    }
+
+    /// The `(port, frame)` outputs the `i`-th input frame produced.
+    pub fn outputs_of(&self, i: usize) -> &[(u32, Bytes)] {
+        let f = &self.frames[i];
+        &self.outputs[f.out_start as usize..f.out_end as usize]
+    }
+
+    /// The `(reason, in_port, frame)` packet-ins the `i`-th input frame
+    /// produced.
+    pub fn packet_ins_of(&self, i: usize) -> &[(PacketInReason, u32, Bytes)] {
+        let f = &self.frames[i];
+        &self.packet_ins[f.pi_start as usize..f.pi_end as usize]
+    }
+
+    /// All outputs of the batch, in emission order.
+    pub fn all_outputs(&self) -> &[(u32, Bytes)] {
+        &self.outputs
+    }
+
+    /// All packet-ins of the batch, in emission order.
+    pub fn all_packet_ins(&self) -> &[(PacketInReason, u32, Bytes)] {
+        &self.packet_ins
+    }
+
     /// Output frames grouped per egress port, in emission order. The
     /// `Bytes` handles are reference-counted, so grouping does not copy
     /// payloads.
     pub fn outputs_by_port(&self) -> BTreeMap<u32, Vec<Bytes>> {
         let mut by_port: BTreeMap<u32, Vec<Bytes>> = BTreeMap::new();
-        for r in &self.results {
-            for (port, frame) in &r.outputs {
-                by_port.entry(*port).or_default().push(frame.clone());
-            }
+        for (port, frame) in &self.outputs {
+            by_port.entry(*port).or_default().push(frame.clone());
         }
         by_port
     }
 
     /// Total output frames emitted across the batch.
     pub fn total_outputs(&self) -> usize {
-        self.results.iter().map(|r| r.outputs.len()).sum()
+        self.outputs.len()
     }
 
     /// Frames the pipeline dropped.
     pub fn dropped_count(&self) -> usize {
-        self.results.iter().filter(|r| r.dropped).count()
+        self.frames.iter().filter(|f| f.dropped).count()
     }
-}
 
-/// A replay plan precompiled once per key per batch, for paths whose
-/// actions never touch the packet bytes (pure forwards: only concrete
-/// `Output`s, no rewrites, meters or packet-ins — the overwhelmingly
-/// common case on a switch's fast path).
-///
-/// Replaying a plan emits reference-counted clones of the ingress frame
-/// and stamps a precomputed trace template, skipping the buffer copy,
-/// action re-scan and per-action trace accounting a [`CachedPath`]
-/// replay performs. Compiling the plan costs one action scan, paid by
-/// the first frame of the key and amortised over its repeats — the
-/// scalar path has nowhere to amortise it, which is the structural
-/// advantage `process_batch` measures in `benches/datapath.rs`.
-#[derive(Debug)]
-pub(crate) struct FastPlan {
-    /// Concrete egress ports, in action order.
-    pub(crate) ports: Vec<u32>,
-    /// Trace template: constant per-path counters; the replay fills in
-    /// `frame_len` and keeps `path = BatchHit`.
-    pub(crate) trace: ProcessingTrace,
-}
+    /// Expand into owned per-frame [`DpResult`]s (clones the handles).
+    /// For equivalence tests against the scalar path; the hot path
+    /// reads the arena directly.
+    pub fn per_frame(&self) -> Vec<DpResult> {
+        (0..self.frames.len())
+            .map(|i| DpResult {
+                outputs: self.outputs_of(i).to_vec(),
+                packet_ins: self.packet_ins_of(i).to_vec(),
+                dropped: self.frames[i].dropped,
+                trace: self.frames[i].trace,
+            })
+            .collect()
+    }
 
-impl FastPlan {
-    /// Compile a plan from a resolved path, if it is pure-forward.
-    fn compile(path: &CachedPath) -> Option<FastPlan> {
-        let mut ports = Vec::with_capacity(path.actions.len());
-        for a in &path.actions {
-            match a {
-                CAction::Output(p) => ports.push(*p),
-                _ => return None,
-            }
+    /// Empty the arenas, keeping their allocations for the next batch.
+    pub fn clear(&mut self) {
+        self.outputs.clear();
+        self.packet_ins.clear();
+        self.frames.clear();
+    }
+
+    /// Arena positions right now — the start marker of the next frame.
+    pub(crate) fn mark(&self) -> FrameMark {
+        FrameMark {
+            out: self.outputs.len() as u32,
+            pi: self.packet_ins.len() as u32,
         }
-        let mut trace = ProcessingTrace::new(0);
-        trace.path = LookupPath::BatchHit;
-        trace.outputs = ports.len() as u32;
-        Some(FastPlan { ports, trace })
+    }
+
+    /// Append one output for the frame currently being processed.
+    pub(crate) fn push_output(&mut self, port: u32, frame: Bytes) {
+        self.outputs.push((port, frame));
+    }
+
+    /// Append one packet-in for the frame currently being processed.
+    pub(crate) fn push_packet_in(&mut self, reason: PacketInReason, in_port: u32, frame: Bytes) {
+        self.packet_ins.push((reason, in_port, frame));
+    }
+
+    /// The outputs emitted since `mark` (the current frame's, while it
+    /// is still open).
+    pub(crate) fn outputs_from(&self, mark: FrameMark) -> &[(u32, Bytes)] {
+        &self.outputs[mark.out as usize..]
+    }
+
+    /// True if no packet-in was emitted since `mark`.
+    pub(crate) fn no_packet_ins_from(&self, mark: FrameMark) -> bool {
+        self.packet_ins.len() == mark.pi as usize
+    }
+
+    /// Close the current frame: record its arena ranges, drop decision
+    /// and trace.
+    pub(crate) fn finish_frame(
+        &mut self,
+        mark: FrameMark,
+        dropped: bool,
+        trace: Option<ProcessingTrace>,
+    ) {
+        self.frames.push(FrameResult {
+            dropped,
+            trace,
+            out_start: mark.out,
+            out_end: self.outputs.len() as u32,
+            pi_start: mark.pi,
+            pi_end: self.packet_ins.len() as u32,
+        });
+    }
+
+    /// Convert a single-frame result into the scalar [`DpResult`] shape
+    /// without cloning the arenas.
+    pub(crate) fn into_single(mut self) -> DpResult {
+        debug_assert_eq!(self.frames.len(), 1, "into_single on a multi-frame result");
+        let f = self.frames.pop().unwrap_or(FrameResult {
+            dropped: true,
+            trace: None,
+            out_start: 0,
+            out_end: 0,
+            pi_start: 0,
+            pi_end: 0,
+        });
+        DpResult {
+            outputs: self.outputs,
+            packet_ins: self.packet_ins,
+            dropped: f.dropped,
+            trace: f.trace,
+        }
     }
 }
 
 struct MemoEntry {
     key: FlowKey,
-    path: CachedPath,
-    plan: Option<FastPlan>,
+    /// OVS flow hash of `key`, compared before the full 96-byte key so
+    /// a memo-miss scan is a fingerprint sweep, not N key compares.
+    hash: u32,
+    path: Arc<CachedPath>,
 }
 
 impl std::fmt::Debug for MemoEntry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MemoEntry")
             .field("path", &self.path)
-            .field("plan", &self.plan)
             .finish_non_exhaustive()
     }
 }
 
-/// Hard bound on memoised keys per batch: past this, further distinct
+/// Hard bound on memoised keys per epoch: past this, further distinct
 /// keys simply fall through to the regular caches (still correct, just
-/// unamortised). Keeps the linear probe bounded for degenerate batches.
+/// unamortised). Keeps the linear probe bounded for degenerate
+/// workloads.
 const MEMO_CAP: usize = 128;
 
-/// Per-batch lookup memo: each distinct [`FlowKey`] resolves its
-/// [`CachedPath`] once per batch; repeated keys replay it by reference
-/// (via the precompiled [`FastPlan`] when the path is pure-forward).
+/// Batch lookup memo: each distinct [`FlowKey`] resolves its
+/// [`CachedPath`] once per datapath epoch; repeated keys replay it by
+/// reference (via the precompiled plan on the path itself when it is
+/// pure-forward — see [`CachedPath::fast_ports`]).
 ///
-/// Deliberately **not** a hash map: hashing a ~130-byte key costs more
-/// than a hundred nanoseconds — several times a whole memo replay —
-/// while the memo never outgrows [`MEMO_CAP`] entries, so a
-/// newest-first linear probe of cheap key compares (early-exit on the
-/// first differing field) wins by a wide margin. A one-entry "last key"
-/// fast path serves packet trains (consecutive frames of one flow)
-/// with a single compare.
+/// Deliberately **not** a hash map: the memo never outgrows
+/// [`MEMO_CAP`] entries, so a newest-first linear probe — a one-word
+/// fingerprint sweep with a full key compare only on fingerprint
+/// match — beats a hash-map probe of the ~100-byte key. A one-entry
+/// "last key" fast path serves packet trains (consecutive frames of
+/// one flow) with a single compare and no hash at all.
+///
+/// Reusable across batches: [`BatchMemo::ensure_epoch`] drops all
+/// entries when the datapath epoch moved (flow-mod, NAT binding) and
+/// keeps them warm otherwise, so steady-state batches never re-probe
+/// the cache hierarchy.
 #[derive(Debug, Default)]
 pub(crate) struct BatchMemo {
     entries: Vec<MemoEntry>,
     last: Option<usize>,
     hits: u64,
+    epoch: u64,
 }
 
 impl BatchMemo {
-    /// Look up `key`; returns an index usable with [`BatchMemo::path`] /
-    /// [`BatchMemo::plan`].
+    /// Look up `key`; returns an index usable with [`BatchMemo::path`].
     pub(crate) fn lookup(&mut self, key: &FlowKey) -> Option<usize> {
         if let Some(i) = self.last {
             if self.entries[i].key == *key {
@@ -214,8 +356,12 @@ impl BatchMemo {
                 return Some(i);
             }
         }
+        let hash = key.flow_hash(0);
         // Newest-first: bursts revisit recently resolved flows.
-        let found = self.entries.iter().rposition(|e| e.key == *key);
+        let found = self
+            .entries
+            .iter()
+            .rposition(|e| e.hash == hash && e.key == *key);
         if found.is_some() {
             self.hits += 1;
             self.last = found;
@@ -228,32 +374,42 @@ impl BatchMemo {
         self.entries.len() < MEMO_CAP
     }
 
-    /// The memoised path at `i`.
-    pub(crate) fn path(&self, i: usize) -> &CachedPath {
+    /// The memoised path at `i` (clone = refcount bump).
+    pub(crate) fn path(&self, i: usize) -> &Arc<CachedPath> {
         &self.entries[i].path
     }
 
-    /// The precompiled pure-forward plan at `i`, if the path has one.
-    pub(crate) fn plan(&self, i: usize) -> Option<(&FastPlan, &CachedPath)> {
-        let e = &self.entries[i];
-        e.plan.as_ref().map(|p| (p, &e.path))
-    }
-
-    /// Record `path` for `key`, compiling its replay plan, and return a
-    /// reference to the stored copy (so the caller can replay without a
-    /// second clone). Call only while [`BatchMemo::has_room`].
-    pub(crate) fn insert(&mut self, key: FlowKey, path: CachedPath) -> &CachedPath {
+    /// Record `path` for `key` (the pure-forward replay plan lives on
+    /// the path itself — see [`CachedPath::fast_ports`]). Call only
+    /// while [`BatchMemo::has_room`].
+    pub(crate) fn insert(&mut self, key: FlowKey, path: Arc<CachedPath>) {
         debug_assert!(self.has_room(), "memo insert past MEMO_CAP");
         let i = self.entries.len();
-        let plan = FastPlan::compile(&path);
-        self.entries.push(MemoEntry { key, path, plan });
+        let hash = key.flow_hash(0);
+        self.entries.push(MemoEntry { key, hash, path });
         self.last = Some(i);
-        &self.entries[i].path
     }
 
-    /// Memo hits served so far.
-    pub(crate) fn hits(&self) -> u64 {
-        self.hits
+    /// Memo hits served since the last call, resetting the counter.
+    pub(crate) fn take_hits(&mut self) -> u64 {
+        std::mem::take(&mut self.hits)
+    }
+
+    /// Validate the memo against the datapath epoch: entries recorded
+    /// under an older epoch are dropped wholesale (their paths may
+    /// reference reordered table entries), entries from the current
+    /// epoch stay warm for the next batch.
+    pub(crate) fn ensure_epoch(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.clear();
+            self.epoch = epoch;
+        }
+    }
+
+    /// Reset entries, keeping the allocation (and the hit counter).
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        self.last = None;
     }
 }
 
@@ -275,12 +431,8 @@ mod tests {
         FlowKey::extract(1, &f).unwrap()
     }
 
-    fn path(out: u32) -> CachedPath {
-        CachedPath {
-            actions: vec![CAction::Output(out)],
-            hits: vec![(0, 0)],
-            epoch: 1,
-        }
+    fn path(out: u32) -> Arc<CachedPath> {
+        Arc::new(CachedPath::new(vec![CAction::Output(out)], vec![(0, 0)], 1))
     }
 
     #[test]
@@ -320,8 +472,14 @@ mod tests {
         assert_eq!(m.lookup(&key(80)), Some(1));
         assert_eq!(m.lookup(&key(53)), Some(0));
         assert_eq!(m.lookup(&key(53)), Some(0)); // last-key fast path
-        assert_eq!(m.hits(), 3);
+        assert_eq!(m.take_hits(), 3);
+        assert_eq!(m.take_hits(), 0, "take_hits drains the counter");
         assert_eq!(m.path(0).actions, vec![CAction::Output(2)]);
+        // An epoch move forgets entries; a matching epoch keeps them.
+        m.ensure_epoch(0);
+        assert_eq!(m.lookup(&key(53)), Some(0), "same epoch keeps entries");
+        m.ensure_epoch(7);
+        assert_eq!(m.lookup(&key(53)), None, "epoch bump drops entries");
     }
 
     #[test]
@@ -342,15 +500,26 @@ mod tests {
     }
 
     #[test]
+    fn memo_path_clones_are_refcount_bumps() {
+        let mut m = BatchMemo::default();
+        let p = path(2);
+        m.insert(key(53), p.clone());
+        let i = m.lookup(&key(53)).unwrap();
+        let replayed = m.path(i).clone();
+        assert!(
+            Arc::ptr_eq(&replayed, &p),
+            "memoised path must share storage with the cached one"
+        );
+    }
+
+    #[test]
     fn plans_compile_only_for_pure_forward_paths() {
-        let pure = CachedPath {
-            actions: vec![CAction::Output(2), CAction::Output(3)],
-            hits: vec![(0, 0)],
-            epoch: 1,
-        };
-        let plan = FastPlan::compile(&pure).expect("pure forward compiles");
-        assert_eq!(plan.ports, vec![2, 3]);
-        assert_eq!(plan.trace.outputs, 2);
+        let pure = CachedPath::new(
+            vec![CAction::Output(2), CAction::Output(3)],
+            vec![(0, 0)],
+            1,
+        );
+        assert_eq!(pure.fast_ports(), Some(&[2u32, 3][..]));
         for rewriting in [
             CAction::PopVlan,
             CAction::PushVlan(0x8100),
@@ -362,38 +531,48 @@ mod tests {
             CAction::SetIcmpId(7),
             CAction::NatTouch(0),
         ] {
-            let p = CachedPath {
-                actions: vec![rewriting, CAction::Output(2)],
-                hits: vec![],
-                epoch: 1,
-            };
-            assert!(FastPlan::compile(&p).is_none(), "{:?}", p.actions);
+            let p = CachedPath::new(vec![rewriting, CAction::Output(2)], vec![], 1);
+            assert!(p.fast_ports().is_none(), "{:?}", p.actions);
         }
     }
 
     #[test]
-    fn batch_result_groups_outputs_by_port() {
-        let r = BatchResult {
-            results: vec![
-                DpResult {
-                    outputs: vec![(2, Bytes::from_static(b"a")), (3, Bytes::from_static(b"b"))],
-                    ..DpResult::default()
-                },
-                DpResult {
-                    dropped: true,
-                    ..DpResult::default()
-                },
-                DpResult {
-                    outputs: vec![(2, Bytes::from_static(b"c"))],
-                    ..DpResult::default()
-                },
-            ],
-        };
+    fn batch_result_arena_keeps_per_frame_ranges() {
+        let mut r = BatchResult::default();
+        // Frame 0: two outputs.
+        let m0 = r.mark();
+        r.push_output(2, Bytes::from_static(b"a"));
+        r.push_output(3, Bytes::from_static(b"b"));
+        r.finish_frame(m0, false, None);
+        // Frame 1: dropped, nothing emitted.
+        let m1 = r.mark();
+        r.finish_frame(m1, true, None);
+        // Frame 2: one output, one packet-in.
+        let m2 = r.mark();
+        r.push_output(2, Bytes::from_static(b"c"));
+        r.push_packet_in(PacketInReason::NoMatch, 1, Bytes::from_static(b"c"));
+        r.finish_frame(m2, false, None);
+
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.outputs_of(0).len(), 2);
+        assert!(r.outputs_of(1).is_empty());
+        assert_eq!(r.outputs_of(2), &[(2, Bytes::from_static(b"c"))]);
+        assert_eq!(r.packet_ins_of(2).len(), 1);
         let by_port = r.outputs_by_port();
         assert_eq!(by_port[&2].len(), 2);
         assert_eq!(by_port[&3].len(), 1);
         assert_eq!(&by_port[&2][1][..], b"c");
         assert_eq!(r.total_outputs(), 3);
         assert_eq!(r.dropped_count(), 1);
+        // The compatibility view expands to the same shape.
+        let per = r.per_frame();
+        assert_eq!(per.len(), 3);
+        assert_eq!(per[0].outputs.len(), 2);
+        assert!(per[1].dropped);
+        assert_eq!(per[2].packet_ins.len(), 1);
+        // Clearing keeps the allocations but empties the arenas.
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.total_outputs(), 0);
     }
 }

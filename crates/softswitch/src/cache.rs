@@ -17,6 +17,7 @@
 //! `flowhash` group for the measured gap).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use netpkt::flowkey::FieldMask;
 use netpkt::{FlowHashBuilder, FlowKey};
@@ -24,6 +25,11 @@ use netpkt::{FlowHashBuilder, FlowKey};
 use crate::actions::CAction;
 
 /// A cached, fully resolved processing recipe.
+///
+/// Stored behind an [`Arc`] everywhere (both caches, the per-batch
+/// memo): resolving a hit hands out a reference-count bump, never a
+/// deep copy of the recorded action list. A path is immutable once
+/// recorded, so sharing is safe by construction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CachedPath {
     /// Flattened actions to replay.
@@ -32,12 +38,49 @@ pub struct CachedPath {
     pub hits: Vec<(usize, usize)>,
     /// Datapath epoch this was recorded at.
     pub epoch: u64,
+    /// Precompiled egress ports for pure-forward paths (only concrete
+    /// `Output`s — no rewrites, meters or packet-ins, the overwhelmingly
+    /// common case on a switch's fast path). A hit on such a path
+    /// replays as refcounted clones of the ingress frame with no action
+    /// interpretation and no copy-on-write buffer. `None` when any
+    /// action touches packet bytes or datapath state.
+    fast_ports: Option<Vec<u32>>,
+}
+
+impl CachedPath {
+    /// Record a path, compiling its pure-forward replay plan (one
+    /// action scan, paid once per resolved path).
+    pub fn new(actions: Vec<CAction>, hits: Vec<(usize, usize)>, epoch: u64) -> CachedPath {
+        let mut ports = Vec::with_capacity(actions.len());
+        let mut pure = true;
+        for a in &actions {
+            match a {
+                CAction::Output(p) => ports.push(*p),
+                _ => {
+                    pure = false;
+                    break;
+                }
+            }
+        }
+        CachedPath {
+            actions,
+            hits,
+            epoch,
+            fast_ports: pure.then_some(ports),
+        }
+    }
+
+    /// The precompiled pure-forward egress ports, if this path has any.
+    #[inline]
+    pub fn fast_ports(&self) -> Option<&[u32]> {
+        self.fast_ports.as_deref()
+    }
 }
 
 /// Exact-match cache.
 #[derive(Debug, Default)]
 pub struct MicroflowCache {
-    map: HashMap<FlowKey, CachedPath, FlowHashBuilder>,
+    map: HashMap<FlowKey, Arc<CachedPath>, FlowHashBuilder>,
     epoch: u64,
     capacity: usize,
     hits: u64,
@@ -57,8 +100,9 @@ impl MicroflowCache {
         }
     }
 
-    /// Look up an exact key at `epoch`.
-    pub fn lookup(&mut self, key: &FlowKey, epoch: u64) -> Option<&CachedPath> {
+    /// Look up an exact key at `epoch`. Cloning the returned handle is
+    /// a refcount bump.
+    pub fn lookup(&mut self, key: &FlowKey, epoch: u64) -> Option<&Arc<CachedPath>> {
         if self.epoch != epoch {
             self.map.clear();
             self.epoch = epoch;
@@ -76,7 +120,7 @@ impl MicroflowCache {
     }
 
     /// Record a path for `key`.
-    pub fn insert(&mut self, key: FlowKey, path: CachedPath) {
+    pub fn insert(&mut self, key: FlowKey, path: Arc<CachedPath>) {
         if self.epoch != path.epoch {
             self.map.clear();
             self.epoch = path.epoch;
@@ -117,10 +161,16 @@ impl MicroflowCache {
     }
 }
 
+/// One mask's exact map of masked keys to shared paths.
+type MaskGroup = (
+    FieldMask,
+    HashMap<FlowKey, Arc<CachedPath>, FlowHashBuilder>,
+);
+
 /// Masked cache: a list of masks, each with an exact map of masked keys.
 #[derive(Debug, Default)]
 pub struct MegaflowCache {
-    groups: Vec<(FieldMask, HashMap<FlowKey, CachedPath, FlowHashBuilder>)>,
+    groups: Vec<MaskGroup>,
     epoch: u64,
     capacity: usize,
     len: usize,
@@ -147,7 +197,7 @@ impl MegaflowCache {
     }
 
     /// Look up `key`; returns the path and the number of masks probed.
-    pub fn lookup(&mut self, key: &FlowKey, epoch: u64) -> (Option<&CachedPath>, u32) {
+    pub fn lookup(&mut self, key: &FlowKey, epoch: u64) -> (Option<&Arc<CachedPath>>, u32) {
         if self.epoch != epoch {
             self.flush();
             self.epoch = epoch;
@@ -177,7 +227,7 @@ impl MegaflowCache {
     }
 
     /// Record a path for `key` under `mask` (the unwildcarded field set).
-    pub fn insert(&mut self, key: &FlowKey, mask: FieldMask, path: CachedPath) {
+    pub fn insert(&mut self, key: &FlowKey, mask: FieldMask, path: Arc<CachedPath>) {
         if self.epoch != path.epoch {
             self.flush();
             self.epoch = path.epoch;
@@ -254,12 +304,12 @@ mod tests {
         FlowKey::extract(1, &f).unwrap()
     }
 
-    fn path(epoch: u64) -> CachedPath {
-        CachedPath {
-            actions: vec![CAction::Output(1)],
-            hits: vec![(0, 0)],
+    fn path(epoch: u64) -> Arc<CachedPath> {
+        Arc::new(CachedPath::new(
+            vec![CAction::Output(1)],
+            vec![(0, 0)],
             epoch,
-        }
+        ))
     }
 
     #[test]

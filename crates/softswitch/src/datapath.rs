@@ -1,25 +1,43 @@
-//! The multi-table OpenFlow 1.3 dataplane.
+//! The multi-table OpenFlow 1.3 dataplane, structured as an explicit
+//! run-to-completion pipeline.
 //!
 //! [`Datapath::process_batch`] is the primary entry point: a
-//! [`FrameBatch`] goes in, per-frame outputs / packet-ins /
-//! [`ProcessingTrace`]s come out. All frames are parsed first, then each
-//! distinct flow key resolves through the lookup hierarchy once per
-//! batch (a per-batch memo replays repeated keys), then actions run and
-//! the results aggregate into per-port output vectors. The single-frame
-//! [`Datapath::process`] delegates to the same engine with the memo
-//! disabled, so scalar and batched behaviour are identical by
-//! construction. Depending on [`PipelineMode`], lookups are served by
-//! the microflow cache, the megaflow cache, tuple-space indexes, or a
-//! plain linear walk — the ablation axis of the E8 experiment.
+//! [`FrameBatch`] goes in, a flat [`BatchResult`] arena of outputs /
+//! packet-ins / [`ProcessingTrace`]s comes out. Each batch runs through
+//! staged processing:
+//!
+//! 1. **Parse** — every frame's [`FlowKey`] is extracted up front into
+//!    per-batch scratch (reused across batches, no per-batch Vec
+//!    churn); consecutive identical frames — packet trains — share one
+//!    parse.
+//! 2. **Probe + execute, run-to-completion per frame** — each frame
+//!    resolves through memo → microflow → megaflow → slow path and
+//!    replays its actions immediately, emitting into the result arena.
+//!    Frames are *not* pre-resolved as a separate stage: an action can
+//!    mutate datapath state mid-batch (a NAT eviction bumps the epoch),
+//!    so later frames must observe it.
+//! 3. **Emit** — results land in the flat arena in input order, ready
+//!    for the node's TX stage to walk without re-grouping.
+//!
+//! Frames travel as refcounted [`Bytes`] wrapped in a copy-on-write
+//! [`FrameBuf`]: pure-forward and flood paths never copy payloads, and
+//! the first byte-rewriting action (NAT, TTL, VLAN) pays exactly one
+//! copy. The single-frame [`Datapath::process`] delegates to the same
+//! engine with the memo disabled, so scalar and batched behaviour are
+//! identical by construction. Depending on [`PipelineMode`], lookups
+//! are served by the microflow cache, the megaflow cache, tuple-space
+//! indexes, or a plain linear walk — the ablation axis of the E8
+//! experiment.
 
-use bytes::{Bytes, BytesMut};
+use bytes::Bytes;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use netpkt::flowkey::FieldMask;
 use netpkt::icmp::Icmpv4Packet;
 use netpkt::vlan::VlanView;
-use netpkt::{builder, EtherType, FlowKey, IpProto, Ipv4Packet, MacAddr};
+use netpkt::{builder, EtherType, FlowKey, FrameBuf, IpProto, Ipv4Packet, MacAddr};
 use openflow::message::{FlowMod, PacketInReason, PortDesc, PortStatsEntry};
 use openflow::table::{FlowEntry, FlowModCommand, RemovedReason, TableId};
 use openflow::{
@@ -27,7 +45,7 @@ use openflow::{
     Result,
 };
 
-use crate::actions::{self, CAction, TtlResult};
+use crate::actions::{self, CAction, ReplaySink, TtlResult};
 use crate::batch::{BatchMemo, BatchResult, FrameBatch};
 use crate::cache::{CachedPath, MegaflowCache, MicroflowCache};
 use crate::nat::{NatConfig, NatProto, NatTable};
@@ -180,7 +198,10 @@ pub struct Datapath {
     table_masks: Vec<(u64, FieldMask)>,
     micro: MicroflowCache,
     mega: MegaflowCache,
-    port_stats: BTreeMap<u32, PortStatsEntry>,
+    /// Per-port counters, dense-indexed by port number so hot-path
+    /// accounting is an array index, not a map probe. Slots for
+    /// unregistered ports carry `port_no == u32::MAX`.
+    port_stats: Vec<PortStatsEntry>,
     packets_processed: u64,
     batch_memo_hits: u64,
     /// Router identity `(interface IP, MAC)` — the source of ICMP
@@ -190,18 +211,46 @@ pub struct Datapath {
     nat: NatTable,
     ttl_expired_total: u64,
     nat_dropped_total: u64,
+    /// Per-batch scratch (parsed keys + lookup memo), reused across
+    /// batches so steady-state service periods allocate nothing.
+    scratch: BatchScratch,
 }
 
 /// Recursion bound for group chains.
 const MAX_GROUP_DEPTH: u32 = 4;
 
-struct ExecCtx {
-    buf: BytesMut,
+/// Reusable per-batch working storage. Taken out of the datapath for
+/// the duration of one [`Datapath::process_batch`] call and put back
+/// after, allocations intact.
+#[derive(Default)]
+struct BatchScratch {
+    keys: Vec<FlowKey>,
+    memo: BatchMemo,
+}
+
+/// Sink adapter: replayed frames land directly in the result arena,
+/// packet-ins stamped with the ingress port.
+struct ArenaSink<'a> {
+    out: &'a mut BatchResult,
+    in_port: u32,
+}
+
+impl ReplaySink for ArenaSink<'_> {
+    fn output(&mut self, port: u32, frame: Bytes) {
+        self.out.push_output(port, frame);
+    }
+    fn packet_in(&mut self, reason: PacketInReason, frame: Bytes) {
+        self.out.push_packet_in(reason, self.in_port, frame);
+    }
+}
+
+struct ExecCtx<'a> {
+    buf: FrameBuf,
     key: FlowKey,
     in_port: u32,
     recorded: Vec<CAction>,
-    outputs: Vec<(u32, Bytes)>,
-    packet_ins: Vec<(PacketInReason, u32, Bytes)>,
+    /// The batch arena this frame emits into.
+    out: &'a mut BatchResult,
     trace: ProcessingTrace,
     unwild: FieldMask,
     metered_out: bool,
@@ -215,7 +264,7 @@ struct ExecCtx {
     nat_dropped: bool,
 }
 
-impl ExecCtx {
+impl ExecCtx<'_> {
     fn halted(&self) -> bool {
         self.metered_out || self.ttl_expired || self.nat_dropped
     }
@@ -282,13 +331,14 @@ impl Datapath {
             groups: GroupTable::new(),
             meters: MeterTable::new(),
             epoch: 1,
-            port_stats: BTreeMap::new(),
+            port_stats: Vec::new(),
             packets_processed: 0,
             batch_memo_hits: 0,
             router: None,
             nat: NatTable::new(),
             ttl_expired_total: 0,
             nat_dropped_total: 0,
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -403,13 +453,24 @@ impl Datapath {
                 speed_kbps,
             },
         );
-        self.port_stats.insert(
-            no,
-            PortStatsEntry {
-                port_no: no,
-                ..Default::default()
-            },
+        let idx = no as usize;
+        debug_assert!(
+            idx < 1 << 16,
+            "dense port-stats index assumes small port numbers"
         );
+        if self.port_stats.len() <= idx {
+            self.port_stats.resize(
+                idx + 1,
+                PortStatsEntry {
+                    port_no: u32::MAX,
+                    ..Default::default()
+                },
+            );
+        }
+        self.port_stats[idx] = PortStatsEntry {
+            port_no: no,
+            ..Default::default()
+        };
         self.epoch += 1;
     }
 
@@ -436,7 +497,19 @@ impl Datapath {
 
     /// Per-port counters.
     pub fn port_stats(&self) -> Vec<PortStatsEntry> {
-        self.port_stats.values().copied().collect()
+        self.port_stats
+            .iter()
+            .filter(|s| s.port_no != u32::MAX)
+            .copied()
+            .collect()
+    }
+
+    /// Mutable per-port counters, `None` for unregistered ports.
+    #[inline]
+    fn pstat(&mut self, port: u32) -> Option<&mut PortStatsEntry> {
+        self.port_stats
+            .get_mut(port as usize)
+            .filter(|s| s.port_no != u32::MAX)
     }
 
     /// Table accessor (stats, tests).
@@ -633,32 +706,33 @@ impl Datapath {
         now_ns: u64,
     ) -> DpResult {
         let key = FlowKey::extract_lossy(in_port, &data);
-        let mut ctx = ExecCtx {
-            buf: BytesMut::from(&data[..]),
-            key,
-            in_port,
-            recorded: Vec::new(),
-            outputs: Vec::new(),
-            packet_ins: Vec::new(),
-            trace: ProcessingTrace::new(data.len()),
-            unwild: FieldMask::default(),
-            metered_out: false,
-            ttl_expired: false,
-            nat_dropped: false,
-        };
-        self.exec_actions(actions, &mut ctx, false, 0, now_ns);
-        for (port, f) in &ctx.outputs {
-            if let Some(s) = self.port_stats.get_mut(port) {
-                s.tx_packets += 1;
-                s.tx_bytes += f.len() as u64;
+        let len = data.len();
+        let mut out = BatchResult::default();
+        let mark = out.mark();
+        let trace = {
+            let mut ctx = ExecCtx {
+                buf: FrameBuf::from_bytes(data),
+                key,
+                in_port,
+                recorded: Vec::new(),
+                out: &mut out,
+                trace: ProcessingTrace::new(len),
+                unwild: FieldMask::default(),
+                metered_out: false,
+                ttl_expired: false,
+                nat_dropped: false,
+            };
+            self.exec_actions(actions, &mut ctx, false, 0, now_ns);
+            for (port, f) in ctx.out.outputs_from(mark) {
+                if let Some(s) = self.pstat(*port) {
+                    s.tx_packets += 1;
+                    s.tx_bytes += f.len() as u64;
+                }
             }
-        }
-        DpResult {
-            outputs: ctx.outputs,
-            packet_ins: ctx.packet_ins,
-            dropped: false,
-            trace: Some(ctx.trace),
-        }
+            ctx.trace
+        };
+        out.finish_frame(mark, false, Some(trace));
+        out.into_single()
     }
 
     /// Process one frame. Delegates to the batch engine (memo disabled:
@@ -666,22 +740,38 @@ impl Datapath {
     /// processing share one code path.
     pub fn process(&mut self, in_port: u32, frame: Bytes, now_ns: u64) -> DpResult {
         let key = FlowKey::extract_lossy(in_port, &frame);
-        self.process_keyed(in_port, frame, key, now_ns, None)
+        let mut out = BatchResult::default();
+        self.process_keyed(in_port, frame, &key, now_ns, None, &mut out);
+        out.into_single()
     }
 
-    /// Process a whole batch of frames, draining `batch`.
+    /// Process a whole batch of frames, draining `batch`. Convenience
+    /// wrapper over [`Datapath::process_batch_into`] that allocates a
+    /// fresh result; hot loops should hold a pooled [`BatchResult`] and
+    /// call the `_into` form directly.
+    pub fn process_batch(&mut self, batch: &mut FrameBatch, now_ns: u64) -> BatchResult {
+        let mut out = BatchResult::default();
+        self.process_batch_into(batch, now_ns, &mut out);
+        out
+    }
+
+    /// Process a whole batch of frames into a caller-owned (reusable)
+    /// result arena, draining `batch`.
     ///
-    /// Three phases, DPDK burst style:
+    /// Staged, DPDK burst style:
     ///
-    /// 1. **Parse** — every frame's [`FlowKey`] is extracted up front;
-    /// 2. **Lookup** — each distinct key resolves through the cache
-    ///    hierarchy (or the slow path) once per batch; repeated keys hit
-    ///    the per-batch memo and skip the hash probe, epoch check and
-    ///    path clone of a scalar cache hit (their traces read
-    ///    [`LookupPath::BatchHit`]);
-    /// 3. **Execute** — actions replay per frame, producing per-frame
-    ///    [`DpResult`]s in input order (group them with
-    ///    [`BatchResult::outputs_by_port`]).
+    /// 1. **Parse** — every frame's [`FlowKey`] is extracted up front
+    ///    into per-batch scratch; a frame bit-identical to its
+    ///    predecessor (a packet train) reuses the previous key instead
+    ///    of re-parsing;
+    /// 2. **Probe + execute** — each frame runs to completion: its key
+    ///    resolves through the per-batch memo, then the cache hierarchy
+    ///    (or the slow path), and its actions replay immediately into
+    ///    the arena. Repeated keys hit the memo and skip the hash
+    ///    probe, epoch check and path clone of a scalar cache hit
+    ///    (their traces read [`LookupPath::BatchHit`]);
+    /// 3. **Emit** — per-frame results land in `out` in input order
+    ///    (group them with [`BatchResult::outputs_by_port`]).
     ///
     /// Outputs, packet-ins and drop decisions are identical to calling
     /// [`Datapath::process`] on each frame in order with the same
@@ -689,40 +779,71 @@ impl Datapath {
     /// (matched, meter-free), so rate-dependent flows still consult
     /// meters frame by frame. `tests/tests/proptests.rs` pins this
     /// equivalence property down.
-    pub fn process_batch(&mut self, batch: &mut FrameBatch, now_ns: u64) -> BatchResult {
-        // Phase 1: parse all frames before any lookup.
-        let keys: Vec<FlowKey> = batch
-            .iter()
-            .map(|(port, frame)| FlowKey::extract_lossy(*port, frame))
-            .collect();
-        let mut memo = if batch.len() > 1 {
-            Some(BatchMemo::default())
-        } else {
-            None
-        };
-        let mut results = Vec::with_capacity(batch.len());
-        for ((in_port, frame), key) in batch.drain().zip(keys) {
-            results.push(self.process_keyed(in_port, frame, key, now_ns, memo.as_mut()));
+    pub fn process_batch_into(
+        &mut self,
+        batch: &mut FrameBatch,
+        now_ns: u64,
+        out: &mut BatchResult,
+    ) {
+        out.clear();
+        // The scratch leaves `self` for the duration of the batch so the
+        // memo can be borrowed alongside `&mut self`.
+        let mut scratch = std::mem::take(&mut self.scratch);
+
+        // Stage 1: parse all frames before any lookup. Consecutive
+        // bit-identical frames on the same port (packet trains) share
+        // one parse — the memcmp is far cheaper than a key extraction.
+        scratch.keys.clear();
+        let mut prev: Option<(u32, &Bytes)> = None;
+        for (port, frame) in batch.iter() {
+            let key = match prev {
+                // Same backing storage (a refcount clone of the same
+                // frame) short-circuits the memcmp entirely.
+                Some((p, f))
+                    if p == *port
+                        && ((f.as_ptr() == frame.as_ptr() && f.len() == frame.len())
+                            || f == frame) =>
+                {
+                    *scratch.keys.last().expect("prev implies a pushed key")
+                }
+                _ => FlowKey::extract_lossy(*port, frame),
+            };
+            scratch.keys.push(key);
+            prev = Some((*port, frame));
         }
-        if let Some(m) = memo {
-            self.batch_memo_hits += m.hits();
+
+        // Stage 2+3: run each frame to completion, emitting into `out`.
+        // Epoch-validate instead of clearing: a warm memo carries
+        // resolved paths across service periods until a flow-mod (or
+        // NAT binding install) bumps the epoch.
+        scratch.memo.ensure_epoch(self.epoch);
+        let use_memo = batch.len() > 1;
+        for (i, (in_port, frame)) in batch.drain().enumerate() {
+            let memo = if use_memo {
+                Some(&mut scratch.memo)
+            } else {
+                None
+            };
+            self.process_keyed(in_port, frame, &scratch.keys[i], now_ns, memo, out);
         }
-        BatchResult { results }
+        self.batch_memo_hits += scratch.memo.take_hits();
+        self.scratch = scratch;
     }
 
     /// The shared per-frame engine behind [`Datapath::process`] and
     /// [`Datapath::process_batch`]: memo → microflow → megaflow → slow
-    /// path.
+    /// path, emitting one frame's results into `out`.
     fn process_keyed(
         &mut self,
         in_port: u32,
         frame: Bytes,
-        key: FlowKey,
+        key: &FlowKey,
         now_ns: u64,
         mut memo: Option<&mut BatchMemo>,
-    ) -> DpResult {
+        out: &mut BatchResult,
+    ) {
         self.packets_processed += 1;
-        if let Some(s) = self.port_stats.get_mut(&in_port) {
+        if let Some(s) = self.pstat(in_port) {
             s.rx_packets += 1;
             s.rx_bytes += frame.len() as u64;
         }
@@ -730,47 +851,56 @@ impl Datapath {
         //    replays its path without touching the caches again —
         //    through the precompiled plan when the path is pure-forward.
         if let Some(m) = memo.as_deref_mut() {
-            if let Some(i) = m.lookup(&key) {
-                if let Some((plan, path)) = m.plan(i) {
-                    return self.replay_plan(plan, path, frame, now_ns);
-                }
+            if let Some(i) = m.lookup(key) {
+                // The memo lives in scratch (detached from `self` for
+                // the batch), so its path can be borrowed across the
+                // replay — no refcount traffic on the hottest path.
+                let path = m.path(i);
                 let mut trace = ProcessingTrace::new(frame.len());
                 trace.path = LookupPath::BatchHit;
-                let path = m.path(i);
-                return self.finish_path(path, frame, key, now_ns, trace);
+                if path.fast_ports().is_some() {
+                    return self.replay_fast(path, frame, now_ns, trace, out);
+                }
+                let path = path.clone();
+                return self.finish_path(&path, frame, *key, now_ns, trace, out);
             }
         }
 
         let mut trace = ProcessingTrace::new(frame.len());
 
-        // 1. Microflow cache.
+        // 1. Microflow cache. Path clones are refcount bumps: caches
+        //    share one `Arc<CachedPath>` per resolved path.
         if self.config.mode.microflow {
-            if let Some(path) = self.micro.lookup(&key, self.epoch) {
+            if let Some(path) = self.micro.lookup(key, self.epoch) {
                 let path = path.clone();
                 trace.path = LookupPath::MicroHit;
                 if let Some(m) = memo.as_deref_mut().filter(|m| m.has_room()) {
-                    let path = m.insert(key, path);
-                    return self.finish_path(path, frame, key, now_ns, trace);
+                    m.insert(*key, path.clone());
                 }
-                return self.finish_path(&path, frame, key, now_ns, trace);
+                if path.fast_ports().is_some() {
+                    return self.replay_fast(&path, frame, now_ns, trace, out);
+                }
+                return self.finish_path(&path, frame, *key, now_ns, trace, out);
             }
         }
 
         // 2. Megaflow cache.
         if self.config.mode.megaflow {
-            let (hit, probes) = self.mega.lookup(&key, self.epoch);
+            let (hit, probes) = self.mega.lookup(key, self.epoch);
             if let Some(path) = hit {
                 let path = path.clone();
                 trace.path = LookupPath::MegaHit { probes };
                 // Promote to the microflow cache for next time.
                 if self.config.mode.microflow {
-                    self.micro.insert(key, path.clone());
+                    self.micro.insert(*key, path.clone());
                 }
                 if let Some(m) = memo.as_deref_mut().filter(|m| m.has_room()) {
-                    let path = m.insert(key, path);
-                    return self.finish_path(path, frame, key, now_ns, trace);
+                    m.insert(*key, path.clone());
                 }
-                return self.finish_path(&path, frame, key, now_ns, trace);
+                if path.fast_ports().is_some() {
+                    return self.replay_fast(&path, frame, now_ns, trace, out);
+                }
+                return self.finish_path(&path, frame, *key, now_ns, trace, out);
             }
             if let LookupPath::SlowPath { .. } = trace.path {
                 // carry the wasted probes into the slow-path accounting
@@ -783,45 +913,54 @@ impl Datapath {
         }
 
         // 3. Slow path.
-        self.slow_path(in_port, frame, key, now_ns, trace, memo)
+        self.slow_path(in_port, frame, *key, now_ns, trace, memo, out)
     }
 
     /// Replay a precompiled pure-forward plan: emit reference-counted
     /// clones of `frame` (the path provably never rewrites bytes), bump
     /// the flow/port counters exactly as a full replay would, and stamp
     /// the templated trace.
-    fn replay_plan(
+    /// Replay a precompiled pure-forward path: bump table and port
+    /// counters and emit refcounted clones of the ingress frame — no
+    /// action interpretation, no copy-on-write buffer. The last output
+    /// takes ownership of `frame`, so the common single-output path
+    /// performs no refcount traffic at all.
+    fn replay_fast(
         &mut self,
-        plan: &crate::batch::FastPlan,
         path: &CachedPath,
         frame: Bytes,
         now_ns: u64,
-    ) -> DpResult {
+        mut trace: ProcessingTrace,
+        out: &mut BatchResult,
+    ) {
+        let mark = out.mark();
         let len = frame.len() as u64;
         for &(t, idx) in &path.hits {
             self.tables[t].hit(idx, len, now_ns);
         }
-        let mut outputs = Vec::with_capacity(plan.ports.len());
-        for &port in &plan.ports {
-            if let Some(s) = self.port_stats.get_mut(&port) {
+        let ports = path.fast_ports().expect("caller checked fast_ports");
+        trace.outputs += ports.len() as u32;
+        let empty = ports.is_empty();
+        if let [head @ .., last] = ports {
+            for &p in head {
+                if let Some(s) = self.pstat(p) {
+                    s.tx_packets += 1;
+                    s.tx_bytes += len;
+                }
+                out.push_output(p, frame.clone());
+            }
+            let last = *last;
+            if let Some(s) = self.pstat(last) {
                 s.tx_packets += 1;
                 s.tx_bytes += len;
             }
-            outputs.push((port, frame.clone()));
+            out.push_output(last, frame);
         }
-        let mut trace = plan.trace;
-        trace.frame_len = len as u32;
-        let dropped = outputs.is_empty();
-        DpResult {
-            outputs,
-            packet_ins: Vec::new(),
-            dropped,
-            trace: Some(trace),
-        }
+        out.finish_frame(mark, empty, Some(trace));
     }
 
     /// Replay a resolved [`CachedPath`] (from a cache or the batch memo)
-    /// on `frame`.
+    /// on `frame`, emitting into the arena.
     fn finish_path(
         &mut self,
         path: &CachedPath,
@@ -829,7 +968,9 @@ impl Datapath {
         mut key: FlowKey,
         now_ns: u64,
         mut trace: ProcessingTrace,
-    ) -> DpResult {
+        out: &mut BatchResult,
+    ) {
+        let mark = out.mark();
         let len = frame.len() as u64;
         for &(t, idx) in &path.hits {
             self.tables[t].hit(idx, len, now_ns);
@@ -847,43 +988,41 @@ impl Datapath {
                 CAction::NatTouch(_) => {}
             }
         }
-        let rep = actions::replay(
-            &path.actions,
-            frame,
-            &mut key,
-            now_ns,
-            &mut self.meters,
-            &mut self.nat,
-        );
-        let mut outputs = rep.outputs;
+        let flags = {
+            let mut sink = ArenaSink {
+                out,
+                in_port: key.in_port,
+            };
+            actions::replay_cow(
+                &path.actions,
+                frame,
+                &mut key,
+                now_ns,
+                &mut self.meters,
+                &mut self.nat,
+                &mut sink,
+            )
+        };
         // A packet can expire on a cached path too (TTL is not part of
         // the flow key): same ICMP answer as the slow path, still a drop.
-        let ttl_expired = rep.ttl_expired.is_some();
-        if let Some(expired) = rep.ttl_expired {
+        let ttl_expired = flags.ttl_expired.is_some();
+        if let Some(expired) = flags.ttl_expired {
             self.ttl_expired_total += 1;
             if let Some((port, reply)) = self.time_exceeded_reply(key.in_port, &expired) {
                 trace.outputs += 1;
-                outputs.push((port, reply));
+                out.push_output(port, reply);
             }
         }
-        for (port, f) in &outputs {
-            if let Some(s) = self.port_stats.get_mut(port) {
+        for (port, f) in out.outputs_from(mark) {
+            if let Some(s) = self.pstat(*port) {
                 s.tx_packets += 1;
                 s.tx_bytes += f.len() as u64;
             }
         }
-        let dropped =
-            rep.metered_out || ttl_expired || (outputs.is_empty() && rep.to_controller.is_empty());
-        DpResult {
-            outputs,
-            packet_ins: rep
-                .to_controller
-                .into_iter()
-                .map(|(reason, d)| (reason, key.in_port, d))
-                .collect(),
-            dropped,
-            trace: Some(trace),
-        }
+        let dropped = flags.metered_out
+            || ttl_expired
+            || (out.outputs_from(mark).is_empty() && out.no_packet_ins_from(mark));
+        out.finish_frame(mark, dropped, Some(trace));
     }
 
     /// Build the ICMP time-exceeded reply for the expired packet in
@@ -937,6 +1076,7 @@ impl Datapath {
         self.table_masks[t].1
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn slow_path(
         &mut self,
         in_port: u32,
@@ -945,7 +1085,8 @@ impl Datapath {
         now_ns: u64,
         trace: ProcessingTrace,
         memo: Option<&mut BatchMemo>,
-    ) -> DpResult {
+        out: &mut BatchResult,
+    ) {
         let (mut tables_visited, mut scanned, mut tss_probes) = match trace.path {
             LookupPath::SlowPath {
                 tables,
@@ -959,13 +1100,13 @@ impl Datapath {
             ..FieldMask::default()
         };
 
+        let mark = out.mark();
         let mut ctx = ExecCtx {
-            buf: BytesMut::from(&frame[..]),
+            buf: FrameBuf::from_bytes(frame),
             key,
             in_port,
             recorded: Vec::new(),
-            outputs: Vec::new(),
-            packet_ins: Vec::new(),
+            out,
             trace,
             unwild,
             metered_out: false,
@@ -1070,7 +1211,7 @@ impl Datapath {
             self.ttl_expired_total += 1;
             if let Some((port, reply)) = self.time_exceeded_reply(in_port, &ctx.buf) {
                 ctx.trace.outputs += 1;
-                ctx.outputs.push((port, reply));
+                ctx.out.push_output(port, reply);
             }
         }
         if ctx.nat_dropped {
@@ -1081,13 +1222,15 @@ impl Datapath {
         // completions; metered paths are rate-dependent and recycle
         // through the slow path, and TTL-expired / NAT-refused packets
         // record a truncated path that healthy packets must not replay).
+        // One `Arc` is allocated per resolved path and shared by every
+        // cache layer (and the memo): insertion is a refcount bump.
         let has_meter = ctx.recorded.iter().any(|a| matches!(a, CAction::Meter(_)));
         if matched_any && !ctx.halted() && !has_meter {
-            let path = CachedPath {
-                actions: ctx.recorded.clone(),
-                hits: hits.clone(),
-                epoch: self.epoch,
-            };
+            let path = Arc::new(CachedPath::new(
+                ctx.recorded.clone(),
+                hits.clone(),
+                self.epoch,
+            ));
             if let Some(m) = memo.filter(|m| m.has_room()) {
                 m.insert(key, path.clone());
             }
@@ -1099,19 +1242,16 @@ impl Datapath {
             }
         }
 
-        for (port, f) in &ctx.outputs {
-            if let Some(s) = self.port_stats.get_mut(port) {
+        for (port, f) in ctx.out.outputs_from(mark) {
+            if let Some(s) = self.pstat(*port) {
                 s.tx_packets += 1;
                 s.tx_bytes += f.len() as u64;
             }
         }
-        let dropped = ctx.halted() || (ctx.outputs.is_empty() && ctx.packet_ins.is_empty());
-        DpResult {
-            outputs: ctx.outputs,
-            packet_ins: ctx.packet_ins,
-            dropped,
-            trace: Some(ctx.trace),
-        }
+        let dropped = ctx.halted()
+            || (ctx.out.outputs_from(mark).is_empty() && ctx.out.no_packet_ins_from(mark));
+        let trace = ctx.trace;
+        ctx.out.finish_frame(mark, dropped, Some(trace));
     }
 
     fn action_set_to_list(set: &ActionSet) -> Vec<Action> {
@@ -1148,12 +1288,12 @@ impl Datapath {
                 Action::PushVlan(tpid) => {
                     ctx.trace.vlan_ops += 1;
                     ctx.recorded.push(CAction::PushVlan(*tpid));
-                    actions::push_vlan(&mut ctx.buf, &mut ctx.key, *tpid);
+                    actions::push_vlan(ctx.buf.make_mut(), &mut ctx.key, *tpid);
                 }
                 Action::PopVlan => {
                     ctx.trace.vlan_ops += 1;
                     ctx.recorded.push(CAction::PopVlan);
-                    actions::pop_vlan(&mut ctx.buf, &mut ctx.key);
+                    actions::pop_vlan(ctx.buf.make_mut(), &mut ctx.key);
                     // Popping exposes inner headers: matching beyond here
                     // depended on the tag, keep it unwildcarded.
                     ctx.unwild.vlan_vid = u16::MAX;
@@ -1161,12 +1301,12 @@ impl Datapath {
                 Action::SetField(f) => {
                     ctx.trace.set_fields += 1;
                     ctx.recorded.push(CAction::SetField(*f));
-                    actions::set_field(&mut ctx.buf, &mut ctx.key, f);
+                    actions::set_field(ctx.buf.make_mut(), &mut ctx.key, f);
                 }
                 Action::DecNwTtl => {
                     ctx.trace.set_fields += 1;
                     ctx.recorded.push(CAction::DecTtl);
-                    if actions::dec_ttl(&mut ctx.buf) == TtlResult::Expired {
+                    if actions::dec_ttl(ctx.buf.make_mut()) == TtlResult::Expired {
                         ctx.ttl_expired = true;
                         return;
                     }
@@ -1245,7 +1385,7 @@ impl Datapath {
                     NatProto::Icmp => {
                         ctx.trace.set_fields += 1;
                         ctx.recorded.push(CAction::SetIcmpId(m.ext_id));
-                        actions::set_icmp_id(&mut ctx.buf, m.ext_id);
+                        actions::set_icmp_id(ctx.buf.make_mut(), m.ext_id);
                     }
                 }
                 ctx.recorded.push(CAction::NatTouch(m.token));
@@ -1271,7 +1411,7 @@ impl Datapath {
                     NatProto::Icmp => {
                         ctx.trace.set_fields += 1;
                         ctx.recorded.push(CAction::SetIcmpId(m.int_id));
-                        actions::set_icmp_id(&mut ctx.buf, m.int_id);
+                        actions::set_icmp_id(ctx.buf.make_mut(), m.int_id);
                     }
                 }
                 ctx.recorded.push(CAction::NatTouch(m.token));
@@ -1284,7 +1424,7 @@ impl Datapath {
     fn apply_recorded_field(&mut self, ctx: &mut ExecCtx, f: OxmField) {
         ctx.trace.set_fields += 1;
         ctx.recorded.push(CAction::SetField(f));
-        actions::set_field(&mut ctx.buf, &mut ctx.key, &f);
+        actions::set_field(ctx.buf.make_mut(), &mut ctx.key, &f);
     }
 
     /// The ICMP echo identifier of the (possibly VLAN-tagged) frame.
@@ -1328,16 +1468,23 @@ impl Datapath {
             .map(|b| b.actions.clone())
             .collect();
         self.groups.account(gid, ctx.buf.len() as u64);
+        // Each bucket works on a copy of the packet (OF 1.3 §5.6.1) —
+        // lazily: buckets start from a shared snapshot and only pay a
+        // real copy if their actions rewrite bytes.
+        let saved_buf = ctx.buf.snapshot();
+        let saved_key = ctx.key;
         for bucket in buckets {
-            // Each bucket works on a copy of the packet (OF 1.3 §5.6.1).
-            let saved_buf = ctx.buf.clone();
-            let saved_key = ctx.key;
-            self.exec_actions(&bucket, ctx, false, depth + 1, now_ns);
-            ctx.buf = saved_buf;
+            ctx.buf = FrameBuf::from_bytes(saved_buf.clone());
             ctx.key = saved_key;
+            self.exec_actions(&bucket, ctx, false, depth + 1, now_ns);
         }
+        ctx.buf = FrameBuf::from_bytes(saved_buf);
+        ctx.key = saved_key;
     }
 
+    /// Emit the packet as currently transformed. Every emission is a
+    /// [`FrameBuf::snapshot`] — a refcount bump, never a payload copy;
+    /// a flood to N ports shares one backing buffer N ways.
     fn exec_output(&mut self, port: u32, ctx: &mut ExecCtx, miss_entry: bool) {
         match port {
             port_no::CONTROLLER => {
@@ -1348,14 +1495,14 @@ impl Datapath {
                     PacketInReason::Action
                 };
                 ctx.recorded.push(CAction::ToController(reason));
-                ctx.packet_ins
-                    .push((reason, ctx.in_port, Bytes::copy_from_slice(&ctx.buf)));
+                let snap = ctx.buf.snapshot();
+                ctx.out.push_packet_in(reason, ctx.in_port, snap);
             }
             port_no::IN_PORT => {
                 ctx.trace.outputs += 1;
                 ctx.recorded.push(CAction::Output(ctx.in_port));
-                ctx.outputs
-                    .push((ctx.in_port, Bytes::copy_from_slice(&ctx.buf)));
+                let snap = ctx.buf.snapshot();
+                ctx.out.push_output(ctx.in_port, snap);
             }
             port_no::FLOOD | port_no::ALL => {
                 let ports: Vec<u32> = self
@@ -1364,18 +1511,19 @@ impl Datapath {
                     .filter(|p| p.up && p.no != ctx.in_port)
                     .map(|p| p.no)
                     .collect();
+                let snap = ctx.buf.snapshot();
                 for p in ports {
                     ctx.trace.outputs += 1;
                     ctx.recorded.push(CAction::Output(p));
-                    ctx.outputs.push((p, Bytes::copy_from_slice(&ctx.buf)));
+                    ctx.out.push_output(p, snap.clone());
                 }
             }
             port_no::ANY | port_no::TABLE | port_no::NORMAL | port_no::LOCAL => {}
             concrete => {
                 ctx.trace.outputs += 1;
                 ctx.recorded.push(CAction::Output(concrete));
-                ctx.outputs
-                    .push((concrete, Bytes::copy_from_slice(&ctx.buf)));
+                let snap = ctx.buf.snapshot();
+                ctx.out.push_output(concrete, snap);
             }
         }
     }
@@ -1737,7 +1885,7 @@ mod tests {
         let mut dp = dp(PipelineMode::full());
         let mut batch = FrameBatch::new();
         let r = dp.process_batch(&mut batch, 0);
-        assert!(r.results.is_empty());
+        assert!(r.is_empty());
         assert!(r.outputs_by_port().is_empty());
         assert_eq!(dp.packets_processed(), 0);
     }
@@ -1759,15 +1907,15 @@ mod tests {
         .collect();
         let r = dp.process_batch(&mut batch, 0);
         assert!(batch.is_empty(), "process_batch drains the batch");
-        assert_eq!(r.results.len(), 5);
-        let ports: Vec<u32> = r.results.iter().map(|d| d.outputs[0].0).collect();
+        assert_eq!(r.len(), 5);
+        let ports: Vec<u32> = (0..r.len()).map(|i| r.outputs_of(i)[0].0).collect();
         assert_eq!(ports, vec![2, 2, 3, 2, 3]);
         // First frame of each key walks the pipeline; repeats replay.
         assert_eq!(dp.batch_memo_hits(), 3);
         let paths: Vec<bool> = r
-            .results
+            .frames()
             .iter()
-            .map(|d| matches!(d.trace.unwrap().path, LookupPath::BatchHit))
+            .map(|f| matches!(f.trace.unwrap().path, LookupPath::BatchHit))
             .collect();
         assert_eq!(paths, vec![false, true, false, true, true]);
         let by_port = r.outputs_by_port();
@@ -1788,7 +1936,7 @@ mod tests {
         assert_eq!(dp.micro_cache().hits(), micro_hits + 1);
         assert_eq!(dp.batch_memo_hits(), 3);
         assert!(r
-            .results
+            .per_frame()
             .iter()
             .all(|d| d.outputs == [(2, udp_frame(1, 53))]));
         // Flow counters account every frame, exactly like scalar calls.
@@ -1809,8 +1957,8 @@ mod tests {
         add_forward_rule(&mut dp, 53, 2);
         let mut batch: FrameBatch = (0..256).map(|i| (1u32, udp_frame(i, 53))).collect();
         let r = dp.process_batch(&mut batch, 0);
-        assert_eq!(r.results.len(), 256);
-        assert!(r.results.iter().all(|d| !d.dropped && d.outputs[0].0 == 2));
+        assert_eq!(r.len(), 256);
+        assert!((0..r.len()).all(|i| !r.frame(i).dropped && r.outputs_of(i)[0].0 == 2));
         assert_eq!(r.outputs_by_port()[&2].len(), 256);
         assert_eq!(dp.packets_processed(), 256);
     }
@@ -1841,7 +1989,7 @@ mod tests {
         // and every frame must consult the meter individually.
         let mut batch: FrameBatch = (0..3).map(|_| (1u32, udp_frame(1, 53))).collect();
         let r = dp.process_batch(&mut batch, 0);
-        let dropped: Vec<bool> = r.results.iter().map(|d| d.dropped).collect();
+        let dropped: Vec<bool> = r.frames().iter().map(|f| f.dropped).collect();
         assert_eq!(dropped, vec![false, true, true]);
         assert_eq!(dp.batch_memo_hits(), 0, "metered paths must not memoize");
     }
@@ -1855,8 +2003,7 @@ mod tests {
         for t in 0..3u64 {
             let scalar = a.process(1, udp_frame(1, 53), t);
             let mut batch: FrameBatch = [(1u32, udp_frame(1, 53))].into_iter().collect();
-            let mut batched = b.process_batch(&mut batch, t);
-            let batched = batched.results.pop().unwrap();
+            let batched = b.process_batch(&mut batch, t).into_single();
             assert_eq!(scalar.outputs, batched.outputs);
             assert_eq!(scalar.dropped, batched.dropped);
             assert_eq!(scalar.trace, batched.trace, "even traces agree");
@@ -1866,7 +2013,7 @@ mod tests {
 
     /// Rewrite a frame's TTL (and fix the checksum) for expiry tests.
     fn with_ttl(frame: &Bytes, ttl: u8) -> Bytes {
-        let mut buf = BytesMut::from(&frame[..]);
+        let mut buf = bytes::BytesMut::from(&frame[..]);
         let mut ip = Ipv4Packet::new_checked(&mut buf[14..]).unwrap();
         ip.set_ttl(ttl);
         ip.fill_checksum();

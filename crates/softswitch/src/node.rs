@@ -9,7 +9,16 @@
 //! [`Datapath::process_batch`], so repeated flows in the burst pay the
 //! cheaper `BatchHit` cost instead of a full cache probe each. Under
 //! light load every frame still gets its own service period and the
-//! behaviour is identical to scalar processing.
+//! behaviour is identical to scalar processing. The drain buffer and
+//! the result arena are owned by the node and recycled across service
+//! periods, so steady-state service allocates nothing.
+//!
+//! With [`SoftSwitchNode::with_datapath_cores`] the RX path switches
+//! from shared-queue work conservation to RSS-style flow steering:
+//! each frame's 5-tuple hash ([`netpkt::flowhash::rss_hash`]) pins its
+//! flow to one service slot, so frames of a flow are never reordered
+//! by parallel service periods. One steered core is bit-identical to
+//! the unsteered single-core switch.
 //!
 //! Sim port numbering is 1:1 with OpenFlow port numbers (`PortId(n)` ↔
 //! OF port `n`), which keeps the wiring in experiment topologies legible.
@@ -155,6 +164,16 @@ pub struct SoftSwitchNode {
     sq: ServiceQueue<Work>,
     in_service: Vec<Option<Finished>>,
     batch_size: usize,
+    /// RX ring depth, kept so [`Self::with_datapath_cores`] can rebuild
+    /// the service queue with the same tail-drop bound.
+    rx_queue: usize,
+    /// When set, RX frames are flow-hash-steered to a fixed service
+    /// slot instead of taking any free worker.
+    steered: bool,
+    /// Drain buffer reused across service periods.
+    batch: FrameBatch,
+    /// Emitted result arenas recycled across service periods.
+    spare: Vec<BatchResult>,
     rx_dropped: u64,
     packet_ins_sent: u64,
     /// Bumped by every reset; stale service-completion timers carry the
@@ -201,6 +220,10 @@ impl SoftSwitchNode {
             sq: ServiceQueue::new(cores, rx_queue),
             in_service: (0..cores).map(|_| None).collect(),
             batch_size: DEFAULT_BATCH_SIZE,
+            rx_queue,
+            steered: false,
+            batch: FrameBatch::new(),
+            spare: Vec::new(),
             rx_dropped: 0,
             packet_ins_sent: 0,
             svc_gen: 0,
@@ -223,6 +246,25 @@ impl SoftSwitchNode {
     /// Maximum frames drained into one service period.
     pub fn batch_size(&self) -> usize {
         self.batch_size
+    }
+
+    /// Builder-style switch to RSS flow steering over `n` datapath
+    /// cores (clamped to at least 1): each flow's 5-tuple hash pins it
+    /// to one service slot, preserving per-flow frame order under
+    /// parallel service. `n = 1` behaves bit-identically to the default
+    /// single-core shared queue.
+    pub fn with_datapath_cores(mut self, n: usize) -> Self {
+        let n = n.max(1);
+        self.sq = ServiceQueue::new(n, self.rx_queue);
+        self.in_service = (0..n).map(|_| None).collect();
+        self.steered = true;
+        self
+    }
+
+    /// Number of service slots frames are steered across (1 when flow
+    /// steering is off and the shared queue is in use).
+    pub fn datapath_cores(&self) -> usize {
+        self.sq.servers()
     }
 
     /// Attach the controller this switch should speak OpenFlow to,
@@ -362,15 +404,19 @@ impl SoftSwitchNode {
 
     fn start_service(&mut self, slot: usize, ctx: &mut NodeCtx) {
         // Process the whole drained batch immediately to learn its cost,
-        // hold the results until the (summed) service time elapses.
-        let in_service = self.sq.batch(slot);
-        let mut batch = FrameBatch::with_capacity(in_service.len());
-        for w in in_service {
-            batch.push(w.in_port, w.frame.clone());
+        // hold the results until the (summed) service time elapses. The
+        // drain buffer and the result arena are recycled from previous
+        // periods — a steady-state period performs no allocations here,
+        // and the frame pushes are refcount bumps.
+        self.batch.clear();
+        for w in self.sq.batch(slot) {
+            self.batch.push(w.in_port, w.frame.clone());
         }
-        let result = self.dp.process_batch(&mut batch, ctx.now().as_nanos());
+        let mut result = self.spare.pop().unwrap_or_default();
+        self.dp
+            .process_batch_into(&mut self.batch, ctx.now().as_nanos(), &mut result);
         let svc_ns: u64 = result
-            .results
+            .frames()
             .iter()
             .map(|r| {
                 r.trace
@@ -503,12 +549,12 @@ impl SoftSwitchNode {
         }
     }
 
-    fn emit_result(&mut self, result: BatchResult, ctx: &mut NodeCtx) {
-        for r in result.results {
-            for (port, frame) in r.outputs {
-                ctx.transmit(PortId(port as u16), frame);
+    fn emit_result(&mut self, mut result: BatchResult, ctx: &mut NodeCtx) {
+        for i in 0..result.len() {
+            for (port, frame) in result.outputs_of(i) {
+                ctx.transmit(PortId(*port as u16), frame.clone());
             }
-            if r.packet_ins.is_empty() {
+            if result.packet_ins_of(i).is_empty() {
                 continue;
             }
             // Punts go to the controller while the session is up — and
@@ -520,19 +566,33 @@ impl SoftSwitchNode {
                 || (self.ctrl_failures == 0 && self.link == LinkState::Connecting);
             if ctrl_ok {
                 let controller = self.controller().expect("link state implies a controller");
-                for (reason, in_port, data) in r.packet_ins {
-                    let msg = self.agent.packet_in(reason, in_port, &data);
+                for (reason, in_port, data) in result.packet_ins_of(i) {
+                    let msg = self.agent.packet_in(*reason, *in_port, data);
                     self.packet_ins_sent += 1;
                     ctx.ctrl_send(controller, msg);
                 }
             } else {
-                for (_reason, in_port, data) in r.packet_ins {
+                for (_reason, in_port, data) in result.packet_ins_of(i) {
                     match self.fail_mode {
                         FailMode::Secure => self.secure_dropped += 1,
-                        FailMode::Standalone => self.fallback_forward(in_port, &data, ctx),
+                        FailMode::Standalone => self.fallback_forward(*in_port, data, ctx),
                     }
                 }
             }
+        }
+        // Recycle the arena for the next service period.
+        result.clear();
+        self.spare.push(result);
+    }
+
+    /// Pick the service slot for a frame: its RSS flow hash when
+    /// steering is on, the shared work-conserving queue otherwise.
+    fn submit_rx(&mut self, in_port: u32, frame: Bytes) -> Submit {
+        if self.steered {
+            let slot = netpkt::flowhash::rss_hash(&frame) as usize % self.sq.servers();
+            self.sq.submit_to(slot, Work { in_port, frame })
+        } else {
+            self.sq.submit(Work { in_port, frame })
         }
     }
 }
@@ -546,10 +606,7 @@ impl Node for SoftSwitchNode {
     }
 
     fn on_packet(&mut self, port: PortId, frame: Bytes, ctx: &mut NodeCtx) {
-        match self.sq.submit(Work {
-            in_port: u32::from(port.0),
-            frame,
-        }) {
+        match self.submit_rx(u32::from(port.0), frame) {
             Submit::Start(slot) => self.start_service(slot, ctx),
             Submit::Queued => {}
             Submit::Dropped => self.rx_dropped += 1,
@@ -563,10 +620,7 @@ impl Node for SoftSwitchNode {
         // single-frame periods.
         let mut started = Vec::new();
         for (port, frame) in frames {
-            match self.sq.submit(Work {
-                in_port: u32::from(port.0),
-                frame,
-            }) {
+            match self.submit_rx(u32::from(port.0), frame) {
                 Submit::Start(slot) => started.push(slot),
                 Submit::Queued => {}
                 Submit::Dropped => self.rx_dropped += 1,
@@ -815,6 +869,119 @@ mod tests {
         assert_eq!(run(16), (8, 7));
         // Batch size 1 degenerates to scalar service: no memo in play.
         assert_eq!(run(1), (8, 0));
+    }
+
+    /// One steered core must be bit-identical to the default shared
+    /// queue: same delivery count, same latency distribution, same
+    /// datapath counters.
+    #[test]
+    fn one_steered_core_equals_unsteered_shared_queue() {
+        let run = |cores: Option<usize>| {
+            let mut net = Network::new(5);
+            let mut sw = switch();
+            if let Some(n) = cores {
+                sw = sw.with_datapath_cores(n);
+            }
+            sw.datapath_mut()
+                .apply_flow_mod(
+                    &FlowMod::add(0)
+                        .priority(1)
+                        .match_(Match::new().in_port(1))
+                        .apply(vec![Action::output(2)]),
+                    0,
+                )
+                .unwrap();
+            let s = net.add_node(sw);
+            let g = net.add_node(Generator::new(
+                "gen",
+                PortId(0),
+                Pattern::Cbr { pps: 200_000.0 },
+                vec![
+                    FlowSpec::simple(1, 2, 128),
+                    FlowSpec::simple(3, 4, 256),
+                    FlowSpec::simple(5, 6, 512),
+                ],
+                SimTime::ZERO,
+                SimTime::from_millis(10),
+            ));
+            let sink = net.add_node(Sink::new("sink"));
+            net.connect(g, PortId(0), s, PortId(1), LinkSpec::gigabit());
+            net.connect(s, PortId(2), sink, PortId(0), LinkSpec::gigabit());
+            net.run_until(SimTime::from_millis(50));
+            let rx = net.node_ref::<Sink>(sink).received();
+            let p50 = net.node_ref::<Sink>(sink).latency().p50();
+            let sw = net.node_ref::<SoftSwitchNode>(s);
+            (
+                rx,
+                p50,
+                sw.datapath().packets_processed(),
+                sw.datapath().batch_memo_hits(),
+                sw.rx_dropped(),
+            )
+        };
+        let unsteered = run(None);
+        assert_eq!(unsteered, run(Some(1)), "N=1 steering must be invisible");
+        assert!(unsteered.0 > 0, "traffic must actually flow");
+    }
+
+    /// RSS steering pins each flow to one service slot: with four
+    /// datapath cores serving an interleaved mix of flows, every flow's
+    /// frames arrive in submission order.
+    #[test]
+    fn steering_preserves_per_flow_order_across_cores() {
+        let mut net = Network::new(11);
+        let mut sw = switch().with_datapath_cores(4);
+        assert_eq!(sw.datapath_cores(), 4);
+        sw.datapath_mut()
+            .apply_flow_mod(
+                &FlowMod::add(0)
+                    .priority(1)
+                    .match_(Match::new().in_port(1))
+                    .apply(vec![Action::output(2)]),
+                0,
+            )
+            .unwrap();
+        let s = net.add_node(sw);
+        let h = net.add_node(netsim::host::Host::new(
+            "h",
+            MacAddr::host(2),
+            Ipv4Addr::new(10, 0, 0, 2),
+        ));
+        net.connect(s, PortId(2), h, PortId(0), LinkSpec::gigabit());
+        const FLOWS: u16 = 4;
+        const SEQ: u8 = 8;
+        for i in 0..SEQ {
+            for flow in 0..FLOWS {
+                net.inject(
+                    s,
+                    PortId(1),
+                    netpkt::builder::udp_packet(
+                        MacAddr::host(1),
+                        MacAddr::host(2),
+                        Ipv4Addr::new(10, 0, 0, 1),
+                        Ipv4Addr::new(10, 0, 0, 2),
+                        1000 + flow,
+                        53,
+                        &[i],
+                    ),
+                );
+            }
+        }
+        net.run_until(SimTime::from_millis(20));
+        let mb = net.node_ref::<netsim::host::Host>(h).mailbox();
+        assert_eq!(mb.len(), usize::from(FLOWS) * usize::from(SEQ));
+        for flow in 0..FLOWS {
+            let seqs: Vec<u8> = mb
+                .iter()
+                .filter(|d| d.src_port == 1000 + flow)
+                .map(|d| d.payload[0])
+                .collect();
+            assert_eq!(
+                seqs,
+                (0..SEQ).collect::<Vec<u8>>(),
+                "flow {flow} must stay in order"
+            );
+        }
     }
 
     #[test]

@@ -305,8 +305,9 @@ proptest! {
         let mut batch_dp = build();
         let mut batch: FrameBatch = packets.iter().map(|p| (1u32, frame(p))).collect();
         let batched = batch_dp.process_batch(&mut batch, now);
-        prop_assert_eq!(batched.results.len(), sequential.len());
-        for (i, (s, b)) in sequential.iter().zip(&batched.results).enumerate() {
+        let batched = batched.per_frame();
+        prop_assert_eq!(batched.len(), sequential.len());
+        for (i, (s, b)) in sequential.iter().zip(&batched).enumerate() {
             prop_assert_eq!(&s.outputs, &b.outputs, "outputs of packet {}", i);
             prop_assert_eq!(&s.packet_ins, &b.packet_ins, "packet-ins of packet {}", i);
             prop_assert_eq!(s.dropped, b.dropped, "drop decision of packet {}", i);
@@ -318,6 +319,89 @@ proptest! {
             seq_dp.table(0).unwrap().entries().iter().map(|e| e.packets).collect::<Vec<_>>(),
             batch_dp.table(0).unwrap().entries().iter().map(|e| e.packets).collect::<Vec<_>>()
         );
+    }
+
+    /// Copy-on-write equivalence for frame-rewriting actions: batched
+    /// service of interleaved VLAN-push, VLAN-pop and pure-forward flows
+    /// produces byte-identical frames to scalar service, and a flow's
+    /// rewrite never leaks into a neighbouring frame that shares the
+    /// same backing storage (the CoW copy must be private).
+    #[test]
+    fn vlan_rewrite_batch_equals_sequential_process(
+        packets in proptest::collection::vec((0u32..6, 0u16..3), 1..60),
+    ) {
+        use netpkt::VlanTag;
+        // The UDP destination port selects the treatment: 0 → push a
+        // tag, 1 → pure forward (never copied), 2 → arrives tagged and
+        // gets the tag popped.
+        let build = || {
+            let mut dp = Datapath::new(DpConfig::software(1).with_mode(PipelineMode::full()));
+            for p in 1..=4 {
+                dp.add_port(p, format!("p{p}"), 1_000_000);
+            }
+            dp.apply_flow_mod(
+                &FlowMod::add(0)
+                    .priority(10)
+                    .match_(Match::new().eth_type(0x0800).ip_proto(17).udp_dst(0))
+                    .apply(vec![
+                        Action::PushVlan(0x8100),
+                        Action::set_vlan_vid(100),
+                        Action::output(2),
+                    ]),
+                0,
+            ).unwrap();
+            dp.apply_flow_mod(
+                &FlowMod::add(0)
+                    .priority(10)
+                    .match_(Match::new().eth_type(0x0800).ip_proto(17).udp_dst(1))
+                    .apply(vec![Action::output(3)]),
+                0,
+            ).unwrap();
+            dp.apply_flow_mod(
+                &FlowMod::add(0)
+                    .priority(5)
+                    .apply(vec![Action::PopVlan, Action::output(4)]),
+                0,
+            ).unwrap();
+            dp
+        };
+        let frame = |&(src, dport): &(u32, u16)| -> Bytes {
+            let f = builder::udp_packet(
+                MacAddr::host(src),
+                MacAddr::host(2),
+                std::net::Ipv4Addr::from(src),
+                std::net::Ipv4Addr::new(10, 0, 0, 2),
+                1000,
+                dport,
+                b"vlan",
+            );
+            if dport == 2 {
+                netpkt::vlan::push_vlan(&f, VlanTag::new(101)).unwrap()
+            } else {
+                f
+            }
+        };
+        let now = 3u64;
+        let mut seq_dp = build();
+        let sequential: Vec<_> = packets
+            .iter()
+            .map(|p| seq_dp.process(1, frame(p), now))
+            .collect();
+        let mut batch_dp = build();
+        let originals: Vec<Bytes> = packets.iter().map(frame).collect();
+        let mut batch: FrameBatch = originals.iter().map(|f| (1u32, f.clone())).collect();
+        let batched = batch_dp.process_batch(&mut batch, now).per_frame();
+        prop_assert_eq!(batched.len(), sequential.len());
+        for (i, (s, b)) in sequential.iter().zip(&batched).enumerate() {
+            prop_assert_eq!(&s.outputs, &b.outputs, "rewritten frames of packet {}", i);
+            prop_assert_eq!(s.dropped, b.dropped, "drop decision of packet {}", i);
+        }
+        // CoW isolation: the ingress frames the batch shared storage
+        // with are bit-for-bit what was submitted.
+        for (i, (orig, p)) in originals.iter().zip(&packets).enumerate() {
+            prop_assert_eq!(orig, &frame(p), "ingress frame {} was mutated in place", i);
+        }
+        prop_assert_eq!(seq_dp.packets_processed(), batch_dp.packets_processed());
     }
 
     /// Translator invariant: any packet entering tagged with a mapped
@@ -393,7 +477,7 @@ proptest! {
                 .node_ref::<Host>(b)
                 .mailbox()
                 .iter()
-                .map(|d| (d.src_ip, d.src_port, d.dst_port, d.payload.clone()))
+                .map(|d| (d.src_ip, d.src_port, d.dst_port, d.payload.to_vec()))
                 .collect();
             (replies, mail)
         };
@@ -876,8 +960,9 @@ proptest! {
         let mut batch_dp = build();
         let mut batch: FrameBatch = packets.iter().map(|p| (1u32, frame(p))).collect();
         let batched = batch_dp.process_batch(&mut batch, now);
-        prop_assert_eq!(batched.results.len(), sequential.len());
-        for (i, (s, b)) in sequential.iter().zip(&batched.results).enumerate() {
+        let batched = batched.per_frame();
+        prop_assert_eq!(batched.len(), sequential.len());
+        for (i, (s, b)) in sequential.iter().zip(&batched).enumerate() {
             prop_assert_eq!(&s.outputs, &b.outputs, "rewritten frames of packet {}", i);
             prop_assert_eq!(s.dropped, b.dropped, "drop decision of packet {}", i);
             prop_assert_eq!(&s.packet_ins, &b.packet_ins, "packet-ins of packet {}", i);
@@ -974,7 +1059,7 @@ proptest! {
                 .node_ref::<Host>(b)
                 .mailbox()
                 .iter()
-                .map(|d| (d.src_ip, d.src_port, d.dst_port, d.payload.clone()))
+                .map(|d| (d.src_ip, d.src_port, d.dst_port, d.payload.to_vec()))
                 .collect();
             (replies, mail)
         };

@@ -19,14 +19,70 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Count of fresh backing buffers materialised since process start.
+///
+/// Stub-only diagnostic (the real `bytes` crate has no equivalent):
+/// bumped whenever new backing storage for payload bytes is allocated
+/// or deep-copied — [`Bytes::copy_from_slice`], `BytesMut::from(&[u8])`,
+/// [`BytesMut::with_capacity`] with a non-zero capacity. *Not* bumped by
+/// ownership transfers ([`BytesMut::freeze`], `Bytes::from(Vec<u8>)`),
+/// refcount clones, slicing, or in-place growth of an existing
+/// `BytesMut`. Zero-copy regression tests take deltas of
+/// [`buffer_allocs`] around a hot path to prove it never copies.
+static BUFFER_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn note_buffer_alloc() {
+    BUFFER_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Returns the process-wide count of backing-buffer allocations.
+///
+/// See the module's private `BUFFER_ALLOCS` counter documentation for
+/// exactly what is counted. Take a delta
+/// around the code under test; the counter is monotonic and shared by
+/// all threads, so single-threaded tests get exact counts.
+pub fn buffer_allocs() -> u64 {
+    BUFFER_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Backing storage: refcounted heap vector or borrowed static slice.
+///
+/// Keeping the heap variant an `Arc<Vec<u8>>` (rather than `Arc<[u8]>`)
+/// makes `BytesMut::freeze` a true ownership transfer — `Arc::new(vec)`
+/// moves the existing heap block instead of copying it the way
+/// `Arc::<[u8]>::from(vec)` does.
+#[derive(Clone)]
+enum Data {
+    Heap(Arc<Vec<u8>>),
+    Static(&'static [u8]),
+}
+
+impl Data {
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Data::Heap(v) => v,
+            Data::Static(s) => s,
+        }
+    }
+}
+
 /// A cheaply clonable, immutable, contiguous slice of memory.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Data,
     start: usize,
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
 }
 
 impl Bytes {
@@ -35,10 +91,10 @@ impl Bytes {
         Bytes::from_static(&[])
     }
 
-    /// Creates `Bytes` from a static slice without copying at clone time.
+    /// Creates `Bytes` from a static slice without copying.
     pub fn from_static(bytes: &'static [u8]) -> Bytes {
         Bytes {
-            data: Arc::from(bytes),
+            data: Data::Static(bytes),
             start: 0,
             end: bytes.len(),
         }
@@ -46,6 +102,7 @@ impl Bytes {
 
     /// Creates `Bytes` by copying the given slice.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        note_buffer_alloc();
         Bytes::from(data.to_vec())
     }
 
@@ -78,15 +135,36 @@ impl Bytes {
         };
         assert!(begin <= end && end <= len, "slice out of bounds");
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + begin,
             end: self.start + end,
         }
     }
 
+    /// Returns a `Bytes` for `subset`, which must be a sub-slice of
+    /// `self` (e.g. a parsed header view), sharing storage with `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subset` does not point into `self`'s memory.
+    pub fn slice_ref(&self, subset: &[u8]) -> Bytes {
+        if subset.is_empty() {
+            return Bytes::new();
+        }
+        let base = self.as_slice();
+        let base_ptr = base.as_ptr() as usize;
+        let sub_ptr = subset.as_ptr() as usize;
+        assert!(
+            sub_ptr >= base_ptr && sub_ptr + subset.len() <= base_ptr + base.len(),
+            "subset is not contained within self"
+        );
+        let off = sub_ptr - base_ptr;
+        self.slice(off..off + subset.len())
+    }
+
     /// Returns the contents as a byte slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.as_slice()[self.start..self.end]
     }
 
     /// Copies the contents into a new `Vec<u8>`.
@@ -116,9 +194,11 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
+        // Ownership transfer: the vector's heap block becomes the shared
+        // storage as-is. Not counted as a buffer allocation.
         let end = v.len();
         Bytes {
-            data: Arc::from(v),
+            data: Data::Heap(Arc::new(v)),
             start: 0,
             end,
         }
@@ -221,6 +301,9 @@ impl BytesMut {
 
     /// Creates a new `BytesMut` with the given capacity pre-allocated.
     pub fn with_capacity(capacity: usize) -> BytesMut {
+        if capacity > 0 {
+            note_buffer_alloc();
+        }
         BytesMut {
             buf: Vec::with_capacity(capacity),
         }
@@ -273,7 +356,8 @@ impl BytesMut {
         BytesMut { buf: head }
     }
 
-    /// Converts into an immutable [`Bytes`] without copying.
+    /// Converts into an immutable [`Bytes`] without copying: the
+    /// accumulated heap storage is moved, not cloned.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
     }
@@ -317,6 +401,7 @@ impl From<Vec<u8>> for BytesMut {
 
 impl From<&[u8]> for BytesMut {
     fn from(s: &[u8]) -> BytesMut {
+        note_buffer_alloc();
         BytesMut { buf: s.to_vec() }
     }
 }
@@ -572,6 +657,11 @@ impl<B: BufMut + ?Sized> BufMut for &mut B {
 mod tests {
     use super::*;
 
+    /// Serialises tests that assert exact [`buffer_allocs`] deltas —
+    /// the counter is process-global, so a concurrent test thread
+    /// bumping it would make equality asserts flaky.
+    static COUNTER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn bytes_clone_shares_and_slices() {
         let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
@@ -609,5 +699,63 @@ mod tests {
     fn get_underflow_panics() {
         let mut s: &[u8] = &[1];
         let _ = s.get_u16();
+    }
+
+    #[test]
+    fn clone_is_refcount_not_copy() {
+        let _guard = COUNTER_LOCK.lock().unwrap();
+        let b = Bytes::from(vec![7u8; 1500]);
+        let before = buffer_allocs();
+        let clones: Vec<Bytes> = (0..32).map(|_| b.clone()).collect();
+        assert_eq!(buffer_allocs(), before, "clone must not allocate");
+        for c in &clones {
+            // Same backing storage, not a copy.
+            assert_eq!(c.as_slice().as_ptr(), b.as_slice().as_ptr());
+        }
+    }
+
+    #[test]
+    fn freeze_transfers_storage_without_copying() {
+        let _guard = COUNTER_LOCK.lock().unwrap();
+        let mut m = BytesMut::new();
+        m.extend_from_slice(&[1, 2, 3, 4]);
+        let ptr = m.as_slice().as_ptr();
+        let before = buffer_allocs();
+        let frozen = m.freeze();
+        assert_eq!(buffer_allocs(), before, "freeze must not allocate a buffer");
+        assert_eq!(frozen.as_slice().as_ptr(), ptr, "freeze must move storage");
+    }
+
+    #[test]
+    fn slice_ref_shares_storage() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let view = &b.as_slice()[2..6];
+        let sub = b.slice_ref(view);
+        assert_eq!(&sub[..], &[2, 3, 4, 5]);
+        assert_eq!(sub.as_slice().as_ptr(), view.as_ptr());
+        assert!(b.slice_ref(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_ref_rejects_foreign_slice() {
+        let b = Bytes::from(vec![0u8; 8]);
+        let other = [0u8; 8];
+        let _ = b.slice_ref(&other[..]);
+    }
+
+    #[test]
+    fn alloc_counter_tracks_copies() {
+        let _guard = COUNTER_LOCK.lock().unwrap();
+        let before = buffer_allocs();
+        let _c = Bytes::copy_from_slice(&[1, 2, 3]);
+        let _m = BytesMut::from(&[1u8, 2, 3][..]);
+        let _w = BytesMut::with_capacity(64);
+        assert_eq!(buffer_allocs(), before + 3);
+        // Transfers and slices are free.
+        let b = Bytes::from(vec![9u8; 16]);
+        let _s = b.slice(2..9);
+        let _r = b.slice_ref(&b.as_slice()[1..3]);
+        assert_eq!(buffer_allocs(), before + 3);
     }
 }
